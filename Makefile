@@ -1,0 +1,32 @@
+# RFTP reproduction — common tasks.
+
+GO ?= go
+
+.PHONY: all build vet test race bench experiments cover clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/fabric/... ./internal/core ./internal/trace
+
+bench:
+	$(GO) test -bench . -benchmem -benchtime 1x .
+
+# Report-quality regeneration of every table and figure (~1 minute).
+experiments:
+	$(GO) run ./cmd/experiments -scale 1.0 -csv results_full.csv all | tee results_full.txt
+
+cover:
+	$(GO) test -cover ./internal/...
+
+clean:
+	$(GO) clean ./...

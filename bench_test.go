@@ -1,0 +1,243 @@
+// Package rftp's top-level benchmarks regenerate every table and figure
+// of the paper's evaluation section (one testing.B per artifact) at
+// reduced scale, reporting the headline series as custom metrics.
+// Report-quality runs: go run ./cmd/experiments -scale 1.0 all
+package rftp
+
+import (
+	"io"
+	"testing"
+
+	"rftp/internal/bench"
+	"rftp/internal/core"
+	"rftp/internal/diskmodel"
+)
+
+// reportRows publishes the key series of a figure as benchmark metrics.
+func reportRows(b *testing.B, rows []bench.Row, err error) {
+	b.Helper()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(rows) == 0 {
+		b.Fatal("no rows")
+	}
+	var bestRFTP, bestGFTP, bestWrite, bestRead, bestSend float64
+	for _, r := range rows {
+		switch r.Tool {
+		case "RFTP", "RFTP mem-to-mem", "RFTP mem-to-disk", "proactive", "write-with-imm":
+			if r.Gbps > bestRFTP {
+				bestRFTP = r.Gbps
+			}
+		case "GridFTP", "on-demand":
+			if r.Gbps > bestGFTP {
+				bestGFTP = r.Gbps
+			}
+		case "RDMA WRITE":
+			if r.Gbps > bestWrite {
+				bestWrite = r.Gbps
+			}
+		case "RDMA READ":
+			if r.Gbps > bestRead {
+				bestRead = r.Gbps
+			}
+		case "SEND/RECV":
+			if r.Gbps > bestSend {
+				bestSend = r.Gbps
+			}
+		}
+	}
+	if bestRFTP > 0 {
+		b.ReportMetric(bestRFTP, "rftp-Gbps")
+	}
+	if bestGFTP > 0 {
+		b.ReportMetric(bestGFTP, "baseline-Gbps")
+	}
+	if bestWrite > 0 {
+		b.ReportMetric(bestWrite, "write-Gbps")
+	}
+	if bestRead > 0 {
+		b.ReportMetric(bestRead, "read-Gbps")
+	}
+	if bestSend > 0 {
+		b.ReportMetric(bestSend, "send-Gbps")
+	}
+}
+
+func BenchmarkTable1Testbeds(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := bench.WriteTable1(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+		if len(bench.Testbeds()) != 3 {
+			b.Fatal("testbed set incomplete")
+		}
+	}
+}
+
+func BenchmarkFig3aRoceLowDepth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.FigSemantics("fig3a", bench.RoCELAN(), 1, bench.ScaleQuick)
+		reportRows(b, rows, err)
+	}
+}
+
+func BenchmarkFig3bRoceHighDepth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.FigSemantics("fig3b", bench.RoCELAN(), 64, bench.ScaleQuick)
+		reportRows(b, rows, err)
+	}
+}
+
+func BenchmarkFig4aIBLowDepth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.FigSemantics("fig4a", bench.IBLAN(), 1, bench.ScaleQuick)
+		reportRows(b, rows, err)
+	}
+}
+
+func BenchmarkFig4bIBHighDepth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.FigSemantics("fig4b", bench.IBLAN(), 64, bench.ScaleQuick)
+		reportRows(b, rows, err)
+	}
+}
+
+func BenchmarkFig8RoceLAN(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.FigComparison("fig8", bench.RoCELAN(), []int{1, 8}, bench.ScaleQuick)
+		reportRows(b, rows, err)
+	}
+}
+
+func BenchmarkFig9IBLAN(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.FigComparison("fig9", bench.IBLAN(), []int{1, 8}, bench.ScaleQuick)
+		reportRows(b, rows, err)
+	}
+}
+
+func BenchmarkFig10WAN(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.FigComparison("fig10", bench.RoCEWAN(), []int{1, 8}, bench.ScaleQuick)
+		reportRows(b, rows, err)
+	}
+}
+
+func BenchmarkFig11MemVsDisk(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.FigMemVsDisk(bench.RoCEWAN(), bench.ScaleQuick)
+		reportRows(b, rows, err)
+	}
+}
+
+func BenchmarkAblationCreditPolicy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.AblationCreditPolicy(bench.ScaleQuick)
+		reportRows(b, rows, err)
+	}
+}
+
+func BenchmarkAblationQPCount(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.AblationQPCount(bench.RoCEWAN(), bench.ScaleQuick)
+		reportRows(b, rows, err)
+	}
+}
+
+func BenchmarkAblationIODepth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.AblationIODepth(bench.RoCEWAN(), bench.ScaleQuick)
+		reportRows(b, rows, err)
+	}
+}
+
+func BenchmarkAblationCreditRamp(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.AblationCreditRamp(bench.RoCEWAN(), bench.ScaleQuick)
+		reportRows(b, rows, err)
+	}
+}
+
+func BenchmarkAblationNotify(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.AblationNotify(bench.RoCEWAN(), bench.ScaleQuick)
+		reportRows(b, rows, err)
+	}
+}
+
+func BenchmarkScaleOut(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.ScaleOut(bench.ScaleQuick)
+		reportRows(b, rows, err)
+	}
+}
+
+// BenchmarkRFTPSingleTransferWAN measures one full protocol transfer on
+// the WAN testbed per iteration (end-to-end simulator throughput).
+func BenchmarkRFTPSingleTransferWAN(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := core.DefaultConfig()
+		cfg.BlockSize = 4 << 20
+		cfg.IODepth = 64
+		cfg.SinkBlocks = 128
+		res, err := bench.RunRFTP(bench.RoCEWAN(), bench.RFTPOptions{Config: cfg, TotalBytes: 2 << 30})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.BandwidthGbps, "rftp-Gbps")
+	}
+}
+
+// BenchmarkGridFTPSingleTransferWAN is the baseline counterpart.
+func BenchmarkGridFTPSingleTransferWAN(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunGridFTP(bench.RoCEWAN(), bench.GridFTPOptions{
+			Streams: 8, BlockSize: 4 << 20, TotalBytes: 2 << 30, UseTBCC: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.BandwidthGbps, "baseline-Gbps")
+	}
+}
+
+// BenchmarkPaperScale900GB runs the paper's headline workload — a
+// 900 GB transfer (Section V.C) — over the simulated WAN in virtual
+// time, end to end through the real protocol code.
+func BenchmarkPaperScale900GB(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := core.DefaultConfig()
+		cfg.BlockSize = 4 << 20
+		cfg.IODepth = 64
+		cfg.SinkBlocks = 128
+		res, err := bench.RunRFTP(bench.RoCEWAN(), bench.RFTPOptions{
+			Config: cfg, TotalBytes: 900 << 30,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.BandwidthGbps, "rftp-Gbps")
+		b.ReportMetric(res.Elapsed.Seconds(), "virtual-sec")
+	}
+}
+
+// BenchmarkRFTPMemToDisk exercises the direct-I/O disk path.
+func BenchmarkRFTPMemToDisk(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := core.DefaultConfig()
+		cfg.BlockSize = 4 << 20
+		cfg.IODepth = 64
+		cfg.SinkBlocks = 128
+		res, err := bench.RunRFTP(bench.RoCEWAN(), bench.RFTPOptions{
+			Config: cfg, TotalBytes: 1 << 30,
+			Disk: true, DiskMode: diskmodel.ODirect,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.BandwidthGbps, "rftp-Gbps")
+	}
+}

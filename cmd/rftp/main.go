@@ -1,0 +1,193 @@
+// Command rftp is the RFTP client (data source): it connects to an
+// rftpd server over the TCP-backed verbs fabric and transfers files
+// using the paper's protocol — control messages on a dedicated queue
+// pair, bulk payload via RDMA WRITE on parallel data channels, with
+// proactive credit flow control.
+//
+// Usage:
+//
+//	rftp -server localhost:2811 -channels 2 -block 1M file1 [file2 ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"rftp/internal/core"
+	"rftp/internal/fabric/chanfabric"
+	"rftp/internal/fabric/netfabric"
+	"rftp/internal/trace"
+)
+
+func main() {
+	server := flag.String("server", "localhost:2811", "rftpd address")
+	channels := flag.Int("channels", 2, "parallel data channel queue pairs (must match the server)")
+	blockStr := flag.String("block", "1M", "block size (e.g. 64K, 1M, 4M)")
+	depth := flag.Int("depth", 16, "blocks kept in flight")
+	zero := flag.String("zero", "", "memory-to-memory benchmark: send SIZE of synthetic zeros instead of files (e.g. -zero 1G)")
+	imm := flag.Bool("imm", false, "notify block completions via RDMA WRITE WITH IMMEDIATE instead of control messages")
+	doTrace := flag.Bool("trace", false, "dump the protocol event trace when the transfer ends")
+	flag.Parse()
+	if flag.NArg() == 0 && *zero == "" {
+		fmt.Fprintln(os.Stderr, "usage: rftp [flags] file...")
+		fmt.Fprintln(os.Stderr, "       rftp [flags] -zero 1G")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	blockSize, err := parseSize(*blockStr)
+	if err != nil {
+		log.Fatalf("rftp: %v", err)
+	}
+
+	dev, err := netfabric.Dial(*server)
+	if err != nil {
+		log.Fatalf("rftp: dial: %v", err)
+	}
+	defer dev.Close()
+	loop := chanfabric.NewLoop("rftp")
+	defer loop.Stop()
+
+	ep, err := core.NewEndpoint(dev, loop, *channels, *depth)
+	if err != nil {
+		log.Fatalf("rftp: endpoint: %v", err)
+	}
+	if err := dev.BindQP(ep.Ctrl, 0); err != nil {
+		log.Fatalf("rftp: bind: %v", err)
+	}
+	for i, qp := range ep.Data {
+		if err := dev.BindQP(qp, uint32(i+1)); err != nil {
+			log.Fatalf("rftp: bind data %d: %v", i, err)
+		}
+	}
+	cfg := core.DefaultConfig()
+	cfg.BlockSize = blockSize
+	cfg.Channels = *channels
+	cfg.IODepth = *depth
+	cfg.NotifyViaImm = *imm
+	source, err := core.NewSource(ep, cfg)
+	if err != nil {
+		log.Fatalf("rftp: source: %v", err)
+	}
+	source.OnError = func(err error) { log.Printf("rftp: connection error: %v", err) }
+	var ring *trace.Ring
+	if *doTrace {
+		ring = trace.NewRing(4096, nil)
+		source.Trace = ring
+	}
+	defer func() {
+		if ring != nil {
+			fmt.Fprintln(os.Stderr, "--- protocol trace ---")
+			ring.Render(os.Stderr)
+		}
+	}()
+
+	type result struct {
+		name string
+		r    core.TransferResult
+		dur  time.Duration
+	}
+	results := make(chan result, flag.NArg())
+	ready := make(chan error, 1)
+	loop.Post(0, func() {
+		source.Start(func(err error) { ready <- err })
+	})
+	if err := <-ready; err != nil {
+		log.Fatalf("rftp: negotiation: %v", err)
+	}
+	log.Printf("rftp: negotiated block=%s channels=%d depth=%d", *blockStr, *channels, *depth)
+
+	if *zero != "" {
+		// The paper's memory-to-memory test: /dev/zero at the source,
+		// /dev/null at the sink (run rftpd with -devnull).
+		n, err := parseSize(*zero)
+		if err != nil {
+			log.Fatalf("rftp: %v", err)
+		}
+		start := time.Now()
+		loop.Post(0, func() {
+			source.Transfer(core.ReaderSource{R: io.LimitReader(zeroReader{}, int64(n))}, int64(n),
+				func(r core.TransferResult) {
+					results <- result{name: "<zeros>", r: r, dur: time.Since(start)}
+				})
+		})
+		res := <-results
+		if res.r.Err != nil {
+			log.Fatalf("rftp: %v", res.r.Err)
+		}
+		gbps := float64(res.r.Bytes) * 8 / res.dur.Seconds() / 1e9
+		log.Printf("rftp: mem-to-mem %d bytes in %v (%.2f Gbps, %d blocks)",
+			res.r.Bytes, res.dur.Round(time.Millisecond), gbps, res.r.Blocks)
+		loop.Post(0, source.Close)
+		return
+	}
+
+	for _, name := range flag.Args() {
+		name := name
+		f, err := os.Open(name)
+		if err != nil {
+			log.Fatalf("rftp: %v", err)
+		}
+		st, err := f.Stat()
+		if err != nil {
+			log.Fatalf("rftp: %v", err)
+		}
+		start := time.Now()
+		loop.Post(0, func() {
+			source.Transfer(core.ReaderSource{R: f}, st.Size(), func(r core.TransferResult) {
+				f.Close()
+				results <- result{name: name, r: r, dur: time.Since(start)}
+			})
+		})
+	}
+	failed := false
+	for range flag.Args() {
+		res := <-results
+		if res.r.Err != nil {
+			log.Printf("rftp: %s: %v", res.name, res.r.Err)
+			failed = true
+			continue
+		}
+		gbps := float64(res.r.Bytes) * 8 / res.dur.Seconds() / 1e9
+		log.Printf("rftp: %s: %d bytes in %v (%.2f Gbps, %d blocks, session %d)",
+			res.name, res.r.Bytes, res.dur.Round(time.Millisecond), gbps, res.r.Blocks, res.r.Session)
+	}
+	loop.Post(0, source.Close)
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// zeroReader yields an endless stream of zero bytes (/dev/zero).
+type zeroReader struct{}
+
+func (zeroReader) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = 0
+	}
+	return len(p), nil
+}
+
+// parseSize parses 64K / 1M / 4M / plain-byte sizes.
+func parseSize(s string) (int, error) {
+	mult := 1
+	up := strings.ToUpper(strings.TrimSpace(s))
+	switch {
+	case strings.HasSuffix(up, "G"):
+		mult, up = 1<<30, strings.TrimSuffix(up, "G")
+	case strings.HasSuffix(up, "M"):
+		mult, up = 1<<20, strings.TrimSuffix(up, "M")
+	case strings.HasSuffix(up, "K"):
+		mult, up = 1<<10, strings.TrimSuffix(up, "K")
+	}
+	n, err := strconv.Atoi(up)
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	return n * mult, nil
+}

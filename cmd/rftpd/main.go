@@ -1,0 +1,135 @@
+// Command rftpd is the RFTP server (data sink): it accepts connections
+// on the TCP-backed verbs fabric and stores each received session as a
+// file.
+//
+// Usage:
+//
+//	rftpd -listen :2811 -dir ./received -channels 2
+//
+// The channel count must match the client's -channels flag (both sides
+// pre-create their data queue pairs; the protocol's channel negotiation
+// then confirms the counts agree).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"rftp/internal/core"
+	"rftp/internal/fabric/chanfabric"
+	"rftp/internal/fabric/netfabric"
+)
+
+func main() {
+	listen := flag.String("listen", ":2811", "address to listen on")
+	dir := flag.String("dir", ".", "directory to store received sessions in")
+	channels := flag.Int("channels", 2, "number of data channel queue pairs")
+	depth := flag.Int("depth", 16, "I/O depth (sink block pool = 2x)")
+	once := flag.Bool("once", false, "serve a single connection, then exit")
+	devnull := flag.Bool("devnull", false, "discard received data instead of writing files (memory-to-memory benchmark)")
+	flag.Parse()
+
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		log.Fatalf("rftpd: %v", err)
+	}
+	ln, err := netfabric.Listen(*listen)
+	if err != nil {
+		log.Fatalf("rftpd: %v", err)
+	}
+	log.Printf("rftpd: listening on %s (channels=%d)", ln.Addr(), *channels)
+
+	for {
+		dev, err := ln.Accept()
+		if err != nil {
+			log.Fatalf("rftpd: accept: %v", err)
+		}
+		served := make(chan struct{})
+		go serve(dev, *dir, *channels, *depth, *devnull, served)
+		if *once {
+			<-served
+			return
+		}
+	}
+}
+
+func serve(dev *netfabric.Device, dir string, channels, depth int, devnull bool, served chan<- struct{}) {
+	defer close(served)
+	defer dev.Close()
+	loop := chanfabric.NewLoop("rftpd")
+	defer loop.Stop()
+
+	ep, err := core.NewEndpoint(dev, loop, channels, depth)
+	if err != nil {
+		log.Printf("rftpd: endpoint: %v", err)
+		return
+	}
+	if err := dev.BindQP(ep.Ctrl, 0); err != nil {
+		log.Printf("rftpd: bind: %v", err)
+		return
+	}
+	for i, qp := range ep.Data {
+		if err := dev.BindQP(qp, uint32(i+1)); err != nil {
+			log.Printf("rftpd: bind data %d: %v", i, err)
+			return
+		}
+	}
+	cfg := core.DefaultConfig()
+	cfg.Channels = channels
+	cfg.IODepth = depth
+	sink, err := core.NewSink(ep, cfg)
+	if err != nil {
+		log.Printf("rftpd: sink: %v", err)
+		return
+	}
+	connDone := make(chan struct{})
+	dev.OnClose = func(error) { close(connDone) }
+
+	files := map[uint32]*os.File{}
+	sink.NewWriter = func(info core.SessionInfo) core.BlockSink {
+		if devnull {
+			log.Printf("rftpd: session %d -> /dev/null (%d bytes expected)", info.ID, info.Total)
+			return core.DiscardSink{}
+		}
+		name := filepath.Join(dir, fmt.Sprintf("session-%d.dat", info.ID))
+		f, err := os.Create(name)
+		if err != nil {
+			log.Printf("rftpd: create %s: %v", name, err)
+			return core.DiscardSink{}
+		}
+		files[info.ID] = f
+		log.Printf("rftpd: session %d -> %s (%d bytes expected, block %s)",
+			info.ID, name, info.Total, sizeLabel(info.BlockSize))
+		return core.WriterSink{W: f}
+	}
+	sink.OnSessionDone = func(info core.SessionInfo, r core.TransferResult) {
+		if f := files[info.ID]; f != nil {
+			f.Close()
+			delete(files, info.ID)
+		}
+		if r.Err != nil {
+			log.Printf("rftpd: session %d failed: %v", info.ID, r.Err)
+			return
+		}
+		log.Printf("rftpd: session %d complete: %d bytes in %d blocks", info.ID, r.Bytes, r.Blocks)
+	}
+	sink.OnError = func(err error) {
+		log.Printf("rftpd: connection error: %v", err)
+	}
+	<-connDone
+	loop.Post(0, sink.Close)
+	log.Printf("rftpd: peer disconnected")
+}
+
+func sizeLabel(n int) string {
+	switch {
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%dM", n>>20)
+	case n >= 1<<10 && n%(1<<10) == 0:
+		return fmt.Sprintf("%dK", n>>10)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

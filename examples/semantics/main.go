@@ -1,0 +1,60 @@
+// Semantics: the paper's Section III design-choice study in miniature —
+// drive raw RDMA WRITE, RDMA READ, and SEND/RECV through the fio-style
+// I/O engine on the simulated RoCE LAN and print the bandwidth/CPU/
+// latency table that justified the hybrid protocol design (control
+// messages via SEND/RECV, bulk data via RDMA WRITE).
+//
+//	go run ./examples/semantics
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"rftp/internal/bench"
+	"rftp/internal/ioengine"
+	"rftp/internal/verbs"
+)
+
+func main() {
+	tb := bench.RoCELAN()
+	fmt.Printf("RDMA semantics on %s (%.0f Gbps, RTT %v)\n\n", tb.Name, tb.Link.RateBps/1e9, tb.RTT)
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "op\tblock\tdepth\tGbps\tsrcCPU%\tsnkCPU%\tclat p50/p95 µs")
+	ops := []struct {
+		op   verbs.Opcode
+		name string
+	}{
+		{verbs.OpWrite, "RDMA WRITE"},
+		{verbs.OpRead, "RDMA READ"},
+		{verbs.OpSend, "SEND/RECV"},
+	}
+	for _, depth := range []int{1, 64} {
+		for _, bs := range []int{16 << 10, 128 << 10, 1 << 20} {
+			for _, o := range ops {
+				env := ioengine.NewEnv(1, tb.Link, tb.NIC, tb.NIC, tb.Host)
+				res, err := ioengine.Run(env, ioengine.Params{
+					Op: o.op, BlockSize: bs, Depth: depth, Duration: 100 * time.Millisecond,
+				})
+				if err != nil {
+					log.Fatalf("semantics: %v", err)
+				}
+				fmt.Fprintf(tw, "%s\t%dK\t%d\t%.1f\t%.0f\t%.0f\t%.0f/%.0f\n",
+					o.name, bs>>10, depth, res.BandwidthGbps,
+					res.SourceCPU, res.SinkCPU, res.Latency.P50, res.Latency.P95)
+			}
+		}
+		fmt.Fprintln(tw, "\t\t\t\t\t\t")
+	}
+	tw.Flush()
+
+	fmt.Println("takeaways (the paper's Section III conclusions):")
+	fmt.Println("  - high I/O depth is required to approach line rate")
+	fmt.Println("  - SEND/RECV pays CPU at both ends; WRITE/READ only at the initiator")
+	fmt.Println("  - READ trails WRITE under load (bounded outstanding requests)")
+	fmt.Println("  => hybrid design: SEND/RECV for control, RDMA WRITE for bulk data")
+}

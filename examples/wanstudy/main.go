@@ -1,0 +1,92 @@
+// Wanstudy: reproduce the paper's core wide-area argument on the
+// simulated ANI testbed (10 Gbps, 49 ms RTT, ~2000 miles).
+//
+// Three sweeps, each a claim from the paper:
+//
+//  1. I/O depth: a shallow pipeline cannot cover the 61 MB
+//     bandwidth-delay product, so bandwidth collapses (Section III:
+//     "I/O depth should be set to a relatively large number").
+//
+//  2. Credit policy: the proactive active-feedback design removes the
+//     one-RTT credit fetch that handicaps request-based designs like
+//     RXIO (Section IV.A, optimization 3).
+//
+//  3. Credit ramp: granting two credits per consumed block gives the
+//     TCP-slow-start-like exponential window growth the paper designed
+//     for (Section IV.C).
+//
+//     go run ./examples/wanstudy
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"rftp/internal/bench"
+	"rftp/internal/core"
+)
+
+func main() {
+	tb := bench.RoCEWAN()
+	const total = 4 << 30
+
+	fmt.Printf("WAN study on %s: %.0f Gbps, RTT %v, BDP %.0f MB\n\n",
+		tb.Name, tb.Link.RateBps/1e9, tb.RTT,
+		tb.Link.RateBps/8*tb.RTT.Seconds()/1e6)
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+
+	fmt.Fprintln(tw, "-- sweep 1: I/O depth (1 MiB blocks) --\t")
+	fmt.Fprintln(tw, "depth\tin-flight\tGbps")
+	for _, depth := range []int{2, 8, 32, 128} {
+		cfg := core.DefaultConfig()
+		cfg.BlockSize = 1 << 20
+		cfg.IODepth = depth
+		cfg.SinkBlocks = 2 * depth
+		r, err := bench.RunRFTP(tb, bench.RFTPOptions{Config: cfg, TotalBytes: total})
+		check(err)
+		fmt.Fprintf(tw, "%d\t%d MiB\t%.2f\n", depth, depth, r.BandwidthGbps)
+	}
+	fmt.Fprintln(tw, "\t")
+
+	fmt.Fprintln(tw, "-- sweep 2: credit policy (4 MiB blocks, depth 64) --\t")
+	fmt.Fprintln(tw, "policy\tcredit stalls\tGbps")
+	for _, policy := range []core.CreditPolicy{core.CreditProactive, core.CreditOnDemand} {
+		cfg := core.DefaultConfig()
+		cfg.BlockSize = 4 << 20
+		cfg.IODepth = 64
+		cfg.SinkBlocks = 128
+		cfg.CreditPolicy = policy
+		r, err := bench.RunRFTP(tb, bench.RFTPOptions{Config: cfg, TotalBytes: total})
+		check(err)
+		fmt.Fprintf(tw, "%v\t%d\t%.2f\n", policy, r.Stalls, r.BandwidthGbps)
+	}
+	fmt.Fprintln(tw, "\t")
+
+	fmt.Fprintln(tw, "-- sweep 3: credit grant per consumed block (short transfer, ramp-bound) --\t")
+	fmt.Fprintln(tw, "grant\tramp\tGbps")
+	for _, grant := range []int{1, 2, 4} {
+		cfg := core.DefaultConfig()
+		cfg.BlockSize = 1 << 20
+		cfg.IODepth = 128
+		cfg.SinkBlocks = 256
+		cfg.GrantPerConsume = grant
+		cfg.NoGrantOnFree = true // isolate the paper's literal ramp rule
+		r, err := bench.RunRFTP(tb, bench.RFTPOptions{Config: cfg, TotalBytes: 1 << 30})
+		check(err)
+		ramp := "linear"
+		if grant > 1 {
+			ramp = "exponential"
+		}
+		fmt.Fprintf(tw, "%d\t%s\t%.2f\n", grant, ramp, r.BandwidthGbps)
+	}
+	tw.Flush()
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatalf("wanstudy: %v", err)
+	}
+}

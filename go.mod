@@ -1,0 +1,3 @@
+module rftp
+
+go 1.22

@@ -1,0 +1,301 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"rftp/internal/core"
+	"rftp/internal/diskmodel"
+)
+
+// Quick-scale smoke plus shape assertions: these tests verify the
+// *qualitative* claims of each figure at reduced scale; full-scale runs
+// live in cmd/experiments and the repo-root benchmarks.
+
+func TestTestbedsMatchTableI(t *testing.T) {
+	tbs := Testbeds()
+	if len(tbs) != 3 {
+		t.Fatalf("want 3 testbeds, got %d", len(tbs))
+	}
+	wan := tbs[2]
+	if wan.RTT.Milliseconds() != 49 || wan.NICGbps != 10 {
+		t.Fatalf("WAN testbed wrong: %+v", wan)
+	}
+	if tbs[0].MTU != 65520 || tbs[1].MTU != 9000 {
+		t.Fatal("MTUs do not match Table I")
+	}
+}
+
+func TestFigSemanticsShapes(t *testing.T) {
+	rows, err := FigSemantics("fig3b", RoCELAN(), 64, ScaleQuick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byTool := map[string]map[int]Row{}
+	for _, r := range rows {
+		if byTool[r.Tool] == nil {
+			byTool[r.Tool] = map[int]Row{}
+		}
+		byTool[r.Tool][r.BlockSize] = r
+	}
+	// 1) WRITE and SEND/RECV beat READ at high depth (128K point).
+	bs := 128 << 10
+	if byTool["RDMA READ"][bs].Gbps >= byTool["RDMA WRITE"][bs].Gbps {
+		t.Fatalf("READ (%.1f) >= WRITE (%.1f) at 128K",
+			byTool["RDMA READ"][bs].Gbps, byTool["RDMA WRITE"][bs].Gbps)
+	}
+	// 2) Bandwidth saturates at >=128K for WRITE.
+	if w := byTool["RDMA WRITE"]; w[1<<20].Gbps < w[128<<10].Gbps*0.9 {
+		t.Fatalf("WRITE did not stay saturated: 128K=%.1f 1M=%.1f", w[128<<10].Gbps, w[1<<20].Gbps)
+	}
+	// 3) SEND/RECV costs more CPU than WRITE at its peak.
+	wr, sr := byTool["RDMA WRITE"][bs], byTool["SEND/RECV"][bs]
+	if sr.ClientCPU+sr.ServerCPU <= wr.ClientCPU+wr.ServerCPU {
+		t.Fatal("SEND/RECV CPU not above WRITE CPU")
+	}
+	// 4) CPU decreases as block size increases (WRITE source CPU).
+	if byTool["RDMA WRITE"][1<<20].ClientCPU >= byTool["RDMA WRITE"][16<<10].ClientCPU {
+		t.Fatal("CPU did not decline with block size")
+	}
+}
+
+func TestFigSemanticsLowDepthSimilar(t *testing.T) {
+	rows, err := FigSemantics("fig3a", RoCELAN(), 1, ScaleQuick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w, r float64
+	for _, row := range rows {
+		if row.BlockSize != 64<<10 {
+			continue
+		}
+		switch row.Tool {
+		case "RDMA WRITE":
+			w = row.Gbps
+		case "RDMA READ":
+			r = row.Gbps
+		}
+	}
+	if w == 0 || r == 0 {
+		t.Fatal("missing rows")
+	}
+	if ratio := r / w; ratio < 0.6 || ratio > 1.4 {
+		t.Fatalf("low-depth READ/WRITE ratio %.2f, want ~1", ratio)
+	}
+}
+
+func TestFigComparisonRoCELANShape(t *testing.T) {
+	rows, err := FigComparison("fig8", RoCELAN(), []int{1}, ScaleQuick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bs := range comparisonBlockSizes {
+		var rftp, gftp Row
+		for _, r := range rows {
+			if r.BlockSize != bs {
+				continue
+			}
+			if r.Tool == "RFTP" {
+				rftp = r
+			} else {
+				gftp = r
+			}
+		}
+		// The headline result: RFTP saturates the link; GridFTP is
+		// CPU-capped well below it.
+		if rftp.Gbps <= gftp.Gbps {
+			t.Fatalf("bs=%s: RFTP %.1f <= GridFTP %.1f", FormatBlockSize(bs), rftp.Gbps, gftp.Gbps)
+		}
+		if rftp.Gbps < 30 {
+			t.Fatalf("bs=%s: RFTP only %.1f Gbps on 40G LAN", FormatBlockSize(bs), rftp.Gbps)
+		}
+		if gftp.Gbps > 30 {
+			t.Fatalf("bs=%s: GridFTP %.1f Gbps breaks the single-core ceiling", FormatBlockSize(bs), gftp.Gbps)
+		}
+	}
+}
+
+func TestFigMemVsDiskShape(t *testing.T) {
+	rows, err := FigMemVsDisk(RoCEWAN(), ScaleQuick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mem, dsk, gftp Row
+	for _, r := range rows {
+		if r.BlockSize != 4<<20 {
+			continue
+		}
+		switch r.Tool {
+		case "RFTP mem-to-mem":
+			mem = r
+		case "RFTP mem-to-disk":
+			dsk = r
+		case "GridFTP mem-to-disk":
+			gftp = r
+		}
+	}
+	// Figure 11: same bandwidth, slightly higher server CPU on disk.
+	if dsk.Gbps < mem.Gbps*0.92 {
+		t.Fatalf("disk path lost bandwidth: mem=%.2f disk=%.2f", mem.Gbps, dsk.Gbps)
+	}
+	if dsk.ServerCPU <= mem.ServerCPU {
+		t.Fatalf("disk server CPU (%.0f%%) not above mem (%.0f%%)", dsk.ServerCPU, mem.ServerCPU)
+	}
+	// The paper's reason for declining the GridFTP comparison: buffered
+	// POSIX writes cost far more server CPU than RFTP's direct I/O.
+	if gftp.ServerCPU <= dsk.ServerCPU*2 {
+		t.Fatalf("GridFTP POSIX server CPU (%.0f%%) not well above RFTP direct (%.0f%%)",
+			gftp.ServerCPU, dsk.ServerCPU)
+	}
+}
+
+func TestAblationCreditPolicyShape(t *testing.T) {
+	rows, err := AblationCreditPolicy(ScaleQuick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At the largest RTT, proactive must beat on-demand.
+	var pro, dem float64
+	for _, r := range rows {
+		if !strings.Contains(r.Note, "rtt=49ms") {
+			continue
+		}
+		if r.Tool == "proactive" {
+			pro = r.Gbps
+		} else {
+			dem = r.Gbps
+		}
+	}
+	if pro == 0 || dem == 0 {
+		t.Fatalf("missing 49ms rows: %+v", rows)
+	}
+	if pro <= dem {
+		t.Fatalf("proactive (%.2f) not above on-demand (%.2f) at 49ms", pro, dem)
+	}
+}
+
+func TestAblationIODepthShape(t *testing.T) {
+	rows, err := AblationIODepth(RoCEWAN(), ScaleQuick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 4 {
+		t.Fatal("too few rows")
+	}
+	if rows[0].Gbps >= rows[len(rows)-1].Gbps {
+		t.Fatalf("depth sweep flat: d=1 %.2f vs d=max %.2f", rows[0].Gbps, rows[len(rows)-1].Gbps)
+	}
+}
+
+func TestRunGridFTPDiskOption(t *testing.T) {
+	r, err := RunGridFTP(RoCEWAN(), GridFTPOptions{
+		Streams: 2, BlockSize: 4 << 20, TotalBytes: 256 << 20,
+		UseTBCC: true, Disk: true, DiskMode: diskmodel.PosixBuffered,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Bytes != 256<<20 {
+		t.Fatalf("bytes = %d", r.Bytes)
+	}
+}
+
+func TestRunRFTPRejectsBadConfig(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.BlockSize = 8 // below header size
+	if _, err := RunRFTP(RoCELAN(), RFTPOptions{Config: cfg, TotalBytes: 1 << 20}); err == nil {
+		t.Fatal("bad block size accepted")
+	}
+}
+
+func TestReportFormatting(t *testing.T) {
+	rows := []Row{
+		{Figure: "fig8", Testbed: "RoCE-LAN", Tool: "RFTP", BlockSize: 4 << 20, Streams: 8, Gbps: 39.5, ClientCPU: 150, ServerCPU: 90},
+		{Figure: "fig8", Testbed: "RoCE-LAN", Tool: "GridFTP", BlockSize: 4 << 20, Streams: 8, Gbps: 15.1, ClientCPU: 120, ServerCPU: 110, Note: "x, y"},
+	}
+	var tbl, csv bytes.Buffer
+	if err := WriteTable(&tbl, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tbl.String(), "RFTP") || !strings.Contains(tbl.String(), "4M") {
+		t.Fatalf("table missing content:\n%s", tbl.String())
+	}
+	if err := WriteCSV(&csv, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(csv.String(), "4194304") || strings.Count(csv.String(), "\n") != 3 {
+		t.Fatalf("csv wrong:\n%s", csv.String())
+	}
+	if strings.Contains(csv.String(), "x, y") {
+		t.Fatal("comma in note not escaped")
+	}
+	var t1 bytes.Buffer
+	if err := WriteTable1(&t1); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"RoCE WAN", "49ms", "cubic/htcp", "65520"} {
+		if !strings.Contains(t1.String(), want) {
+			t.Fatalf("table1 missing %q:\n%s", want, t1.String())
+		}
+	}
+}
+
+func TestFormatBlockSize(t *testing.T) {
+	cases := map[int]string{
+		4 << 10: "4K", 1 << 20: "1M", 64 << 20: "64M", 1 << 30: "1G", 1234: "1234",
+	}
+	for in, want := range cases {
+		if got := FormatBlockSize(in); got != want {
+			t.Errorf("FormatBlockSize(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestScaleHelpers(t *testing.T) {
+	if ScaleQuick.bytes(16<<30) != 2<<30 {
+		t.Fatalf("quick scale bytes = %d", ScaleQuick.bytes(16<<30))
+	}
+	if ScaleFull.bytes(1) != 64<<20 {
+		t.Fatal("minimum bytes floor not applied")
+	}
+}
+
+func TestCrossArchShape(t *testing.T) {
+	rows, err := CrossArch(ScaleQuick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CPU per Gbps at the 64K point must order IB < RoCE < iWARP.
+	perGb := map[string]float64{}
+	for _, r := range rows {
+		if r.BlockSize == 64<<10 && r.Gbps > 0 {
+			perGb[r.Testbed] = r.ClientCPU / r.Gbps
+		}
+	}
+	if len(perGb) != 3 {
+		t.Fatalf("missing testbeds: %v", perGb)
+	}
+	if !(perGb["IB-LAN"] < perGb["RoCE-LAN"] && perGb["RoCE-LAN"] < perGb["iWARP-LAN"]) {
+		t.Fatalf("CPU/Gbps ordering wrong: %v", perGb)
+	}
+}
+
+func TestAblationThreadingShape(t *testing.T) {
+	rows, err := AblationThreading(RoCELAN(), ScaleQuick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// More client threads must lift the single-thread ceiling...
+	if rows[1].Gbps <= rows[0].Gbps*1.2 {
+		t.Fatalf("2 threads (%.1f) did not clearly beat 1 (%.1f)", rows[1].Gbps, rows[0].Gbps)
+	}
+	// ...but the single server thread then binds: 8 threads stay far
+	// below RFTP's ~39.7 Gbps.
+	if rows[3].Gbps > 32 {
+		t.Fatalf("8-thread GridFTP reached %.1f Gbps; server thread should bind", rows[3].Gbps)
+	}
+}

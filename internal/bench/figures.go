@@ -1,0 +1,433 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"rftp/internal/core"
+	"rftp/internal/diskmodel"
+	"rftp/internal/ioengine"
+	"rftp/internal/verbs"
+)
+
+// Row is one data point of a regenerated figure.
+type Row struct {
+	Figure    string
+	Testbed   string
+	Tool      string // RFTP, GridFTP, WRITE, READ, SEND/RECV
+	BlockSize int
+	Streams   int
+	Depth     int
+	Gbps      float64
+	ClientCPU float64
+	ServerCPU float64
+	Note      string
+}
+
+// Scale reduces experiment sizes for quick runs: 1.0 reproduces the
+// report-quality configuration; testing uses smaller factors.
+type Scale float64
+
+// Standard scales.
+const (
+	ScaleFull  Scale = 1.0
+	ScaleQuick Scale = 0.125
+)
+
+func (s Scale) bytes(full int64) int64 {
+	v := int64(float64(full) * float64(s))
+	if v < 64<<20 {
+		v = 64 << 20
+	}
+	return v
+}
+
+func (s Scale) dur(full time.Duration) time.Duration {
+	v := time.Duration(float64(full) * float64(s))
+	if v < 10*time.Millisecond {
+		v = 10 * time.Millisecond
+	}
+	return v
+}
+
+// semanticsBlockSizes is the Figure 3/4 x-axis.
+var semanticsBlockSizes = []int{4 << 10, 16 << 10, 64 << 10, 128 << 10, 512 << 10, 1 << 20}
+
+// FigSemantics regenerates Figure 3 (RoCE) or Figure 4 (InfiniBand):
+// bandwidth and CPU for RDMA WRITE / RDMA READ / SEND-RECV across block
+// sizes at the given I/O depth (1 = the "(a)" panels, 64 = the "(b)"
+// panels).
+func FigSemantics(figure string, tb Testbed, depth int, scale Scale) ([]Row, error) {
+	var rows []Row
+	ops := []struct {
+		op   verbs.Opcode
+		name string
+	}{
+		{verbs.OpWrite, "RDMA WRITE"},
+		{verbs.OpRead, "RDMA READ"},
+		{verbs.OpSend, "SEND/RECV"},
+	}
+	for _, bs := range semanticsBlockSizes {
+		for _, o := range ops {
+			env := ioengine.NewEnv(1, tb.Link, tb.NIC, tb.NIC, tb.Host)
+			res, err := ioengine.Run(env, ioengine.Params{
+				Op:        o.op,
+				BlockSize: bs,
+				Depth:     depth,
+				Duration:  scale.dur(400 * time.Millisecond),
+			})
+			if err != nil {
+				return nil, fmt.Errorf("%s %s bs=%d: %w", figure, o.name, bs, err)
+			}
+			rows = append(rows, Row{
+				Figure: figure, Testbed: tb.Name, Tool: o.name,
+				BlockSize: bs, Depth: depth,
+				Gbps: res.BandwidthGbps, ClientCPU: res.SourceCPU, ServerCPU: res.SinkCPU,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// comparisonBlockSizes is the Figure 8/9/10 x-axis (application block
+// sizes from 256 KiB to 64 MiB).
+var comparisonBlockSizes = []int{256 << 10, 1 << 20, 4 << 20, 16 << 20, 64 << 20}
+
+// FigComparison regenerates a GridFTP-versus-RFTP panel (Figures 8, 9,
+// 10): bandwidth and client/server CPU across block sizes, for each
+// stream count (the paper uses 1 and 8).
+func FigComparison(figure string, tb Testbed, streams []int, scale Scale) ([]Row, error) {
+	total := scale.bytes(16 << 30)
+	var rows []Row
+	for _, ns := range streams {
+		for _, bs := range comparisonBlockSizes {
+			cfg := core.DefaultConfig()
+			cfg.BlockSize = bs
+			cfg.Channels = ns
+			cfg.IODepth = rftpDepthFor(tb, bs)
+			cfg.SinkBlocks = 2 * cfg.IODepth
+			r, err := RunRFTP(tb, RFTPOptions{Config: cfg, TotalBytes: total})
+			if err != nil {
+				return nil, fmt.Errorf("%s RFTP bs=%d p=%d: %w", figure, bs, ns, err)
+			}
+			rows = append(rows, Row{
+				Figure: figure, Testbed: tb.Name, Tool: "RFTP",
+				BlockSize: bs, Streams: ns,
+				Gbps: r.BandwidthGbps, ClientCPU: r.ClientCPU, ServerCPU: r.ServerCPU,
+			})
+
+			g, err := RunGridFTP(tb, GridFTPOptions{
+				Streams: ns, BlockSize: bs, TotalBytes: total, UseTBCC: true,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("%s GridFTP bs=%d p=%d: %w", figure, bs, ns, err)
+			}
+			rows = append(rows, Row{
+				Figure: figure, Testbed: tb.Name, Tool: "GridFTP",
+				BlockSize: bs, Streams: ns,
+				Gbps: g.BandwidthGbps, ClientCPU: g.ClientCPU, ServerCPU: g.ServerCPU,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// rftpDepthFor sizes the block pool so in-flight data covers the
+// bandwidth-delay product with headroom (the paper's "relatively large"
+// I/O depth guidance), within sane bounds.
+func rftpDepthFor(tb Testbed, blockSize int) int {
+	bdp := tb.Link.RateBps / 8 * tb.RTT.Seconds()
+	depth := int(3*bdp)/blockSize + 8
+	if depth < 16 {
+		depth = 16
+	}
+	if depth > 256 {
+		depth = 256
+	}
+	return depth
+}
+
+// FigMemVsDisk regenerates Figure 11: RFTP memory-to-memory versus
+// memory-to-disk (direct I/O) on the WAN testbed.
+func FigMemVsDisk(tb Testbed, scale Scale) ([]Row, error) {
+	total := scale.bytes(16 << 30)
+	var rows []Row
+	for _, bs := range []int{1 << 20, 4 << 20, 16 << 20} {
+		cfg := core.DefaultConfig()
+		cfg.BlockSize = bs
+		cfg.Channels = 4
+		cfg.IODepth = rftpDepthFor(tb, bs)
+		cfg.SinkBlocks = 2 * cfg.IODepth
+
+		mem, err := RunRFTP(tb, RFTPOptions{Config: cfg, TotalBytes: total})
+		if err != nil {
+			return nil, fmt.Errorf("fig11 mem bs=%d: %w", bs, err)
+		}
+		rows = append(rows, Row{
+			Figure: "fig11", Testbed: tb.Name, Tool: "RFTP mem-to-mem",
+			BlockSize: bs, Streams: 4,
+			Gbps: mem.BandwidthGbps, ClientCPU: mem.ClientCPU, ServerCPU: mem.ServerCPU,
+		})
+
+		dsk, err := RunRFTP(tb, RFTPOptions{
+			Config: cfg, TotalBytes: total,
+			Disk: true, DiskMode: diskmodel.ODirect,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fig11 disk bs=%d: %w", bs, err)
+		}
+		rows = append(rows, Row{
+			Figure: "fig11", Testbed: tb.Name, Tool: "RFTP mem-to-disk",
+			BlockSize: bs, Streams: 4,
+			Gbps: dsk.BandwidthGbps, ClientCPU: dsk.ClientCPU, ServerCPU: dsk.ServerCPU,
+			Note: "O_DIRECT RAID",
+		})
+
+		// The comparison the paper declines to chart: GridFTP has no
+		// direct I/O, so its disk path pays buffered POSIX costs.
+		g, err := RunGridFTP(tb, GridFTPOptions{
+			Streams: 4, BlockSize: bs, TotalBytes: total, UseTBCC: true,
+			Disk: true, DiskMode: diskmodel.PosixBuffered,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fig11 gridftp bs=%d: %w", bs, err)
+		}
+		rows = append(rows, Row{
+			Figure: "fig11", Testbed: tb.Name, Tool: "GridFTP mem-to-disk",
+			BlockSize: bs, Streams: 4,
+			Gbps: g.BandwidthGbps, ClientCPU: g.ClientCPU, ServerCPU: g.ServerCPU,
+			Note: "buffered POSIX",
+		})
+	}
+	return rows, nil
+}
+
+// AblationCreditPolicy compares proactive active-feedback credits
+// against the on-demand (RXIO-style) design across RTTs: the cost of
+// the extra credit round trip grows with latency.
+func AblationCreditPolicy(scale Scale) ([]Row, error) {
+	var rows []Row
+	for _, rtt := range []time.Duration{100 * time.Microsecond, 5 * time.Millisecond, 25 * time.Millisecond, 49 * time.Millisecond} {
+		tb := RoCEWAN()
+		tb.RTT = rtt
+		tb.Link.PropDelay = rtt / 2
+		total := scale.bytes(8 << 30)
+		for _, policy := range []core.CreditPolicy{core.CreditProactive, core.CreditOnDemand} {
+			cfg := core.DefaultConfig()
+			cfg.BlockSize = 4 << 20
+			cfg.IODepth = rftpDepthFor(tb, cfg.BlockSize)
+			cfg.SinkBlocks = 2 * cfg.IODepth
+			cfg.CreditPolicy = policy
+			r, err := RunRFTP(tb, RFTPOptions{Config: cfg, TotalBytes: total})
+			if err != nil {
+				return nil, fmt.Errorf("ablation-credit rtt=%v %v: %w", rtt, policy, err)
+			}
+			rows = append(rows, Row{
+				Figure: "ablation-credit", Testbed: tb.Name, Tool: policy.String(),
+				BlockSize: cfg.BlockSize, Streams: 1,
+				Gbps: r.BandwidthGbps, ClientCPU: r.ClientCPU, ServerCPU: r.ServerCPU,
+				Note: fmt.Sprintf("rtt=%v stalls=%d", rtt, r.Stalls),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// AblationQPCount sweeps the number of parallel data channel QPs.
+func AblationQPCount(tb Testbed, scale Scale) ([]Row, error) {
+	total := scale.bytes(8 << 30)
+	var rows []Row
+	for _, ch := range []int{1, 2, 4, 8, 16} {
+		cfg := core.DefaultConfig()
+		cfg.BlockSize = 1 << 20
+		cfg.Channels = ch
+		cfg.IODepth = rftpDepthFor(tb, cfg.BlockSize)
+		cfg.SinkBlocks = 2 * cfg.IODepth
+		r, err := RunRFTP(tb, RFTPOptions{Config: cfg, TotalBytes: total})
+		if err != nil {
+			return nil, fmt.Errorf("ablation-qps ch=%d: %w", ch, err)
+		}
+		rows = append(rows, Row{
+			Figure: "ablation-qps", Testbed: tb.Name, Tool: "RFTP",
+			BlockSize: cfg.BlockSize, Streams: ch,
+			Gbps: r.BandwidthGbps, ClientCPU: r.ClientCPU, ServerCPU: r.ServerCPU,
+		})
+	}
+	return rows, nil
+}
+
+// AblationIODepth sweeps blocks in flight on the WAN: the paper's
+// Section III argument that high depth is essential.
+func AblationIODepth(tb Testbed, scale Scale) ([]Row, error) {
+	total := scale.bytes(8 << 30)
+	var rows []Row
+	for _, depth := range []int{1, 2, 4, 8, 16, 32, 64, 128} {
+		cfg := core.DefaultConfig()
+		cfg.BlockSize = 1 << 20
+		cfg.IODepth = depth
+		cfg.SinkBlocks = 2 * depth
+		r, err := RunRFTP(tb, RFTPOptions{Config: cfg, TotalBytes: total})
+		if err != nil {
+			return nil, fmt.Errorf("ablation-depth d=%d: %w", depth, err)
+		}
+		rows = append(rows, Row{
+			Figure: "ablation-depth", Testbed: tb.Name, Tool: "RFTP",
+			BlockSize: cfg.BlockSize, Depth: depth,
+			Gbps: r.BandwidthGbps, ClientCPU: r.ClientCPU, ServerCPU: r.ServerCPU,
+		})
+	}
+	return rows, nil
+}
+
+// LatencyTable reports per-operation completion-latency percentiles
+// (the fio "clat" statistics the paper's Section III methodology
+// collects) for each semantic at low and high depth on the RoCE LAN.
+func LatencyTable(tb Testbed, scale Scale) ([]Row, error) {
+	var rows []Row
+	ops := []struct {
+		op   verbs.Opcode
+		name string
+	}{
+		{verbs.OpWrite, "RDMA WRITE"},
+		{verbs.OpRead, "RDMA READ"},
+		{verbs.OpSend, "SEND/RECV"},
+	}
+	for _, depth := range []int{1, 64} {
+		for _, o := range ops {
+			env := ioengine.NewEnv(1, tb.Link, tb.NIC, tb.NIC, tb.Host)
+			res, err := ioengine.Run(env, ioengine.Params{
+				Op: o.op, BlockSize: 64 << 10, Depth: depth,
+				Duration: scale.dur(200 * time.Millisecond),
+			})
+			if err != nil {
+				return nil, fmt.Errorf("latency %s depth=%d: %w", o.name, depth, err)
+			}
+			rows = append(rows, Row{
+				Figure: "latency", Testbed: tb.Name, Tool: o.name,
+				BlockSize: 64 << 10, Depth: depth,
+				Gbps: res.BandwidthGbps,
+				Note: fmt.Sprintf("clat µs p50=%.1f p95=%.1f max=%.1f",
+					res.Latency.P50, res.Latency.P95, res.Latency.Max),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// CrossArch sweeps RDMA WRITE across the three RDMA architectures the
+// middleware targets (Figure 1's stack): InfiniBand, RoCE, and iWARP.
+// Bandwidth is capped by each link; host CPU per moved byte orders
+// IB < RoCE < iWARP, reflecting the verbs-path overheads the paper and
+// its citation [9] describe.
+func CrossArch(scale Scale) ([]Row, error) {
+	var rows []Row
+	for _, tb := range []Testbed{IBLAN(), RoCELAN(), IWARPLAN()} {
+		for _, bs := range []int{64 << 10, 256 << 10, 1 << 20} {
+			env := ioengine.NewEnv(1, tb.Link, tb.NIC, tb.NIC, tb.Host)
+			res, err := ioengine.Run(env, ioengine.Params{
+				Op: verbs.OpWrite, BlockSize: bs, Depth: 64,
+				Duration: scale.dur(400 * time.Millisecond),
+			})
+			if err != nil {
+				return nil, fmt.Errorf("cross-arch %s bs=%d: %w", tb.Name, bs, err)
+			}
+			note := ""
+			if res.BandwidthGbps > 0 {
+				note = fmt.Sprintf("cpu%%/Gbps=%.3f", res.SourceCPU/res.BandwidthGbps)
+			}
+			rows = append(rows, Row{
+				Figure: "cross-arch", Testbed: tb.Name, Tool: "RDMA WRITE",
+				BlockSize: bs, Depth: 64,
+				Gbps: res.BandwidthGbps, ClientCPU: res.SourceCPU, ServerCPU: res.SinkCPU,
+				Note: note,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// AblationThreading is the counterfactual behind Figure 8's diagnosis:
+// give the GridFTP client more producer threads and watch the ceiling
+// lift toward RFTP's, confirming the single thread is the binding
+// constraint.
+func AblationThreading(tb Testbed, scale Scale) ([]Row, error) {
+	total := scale.bytes(16 << 30)
+	var rows []Row
+	for _, threads := range []int{1, 2, 4, 8} {
+		r, err := runGridFTPThreads(tb, threads, total)
+		if err != nil {
+			return nil, fmt.Errorf("ablation-threads t=%d: %w", threads, err)
+		}
+		rows = append(rows, Row{
+			Figure: "ablation-threads", Testbed: tb.Name,
+			Tool:      fmt.Sprintf("GridFTP x%d threads", threads),
+			BlockSize: 4 << 20, Streams: 8,
+			Gbps: r.BandwidthGbps, ClientCPU: r.ClientCPU, ServerCPU: r.ServerCPU,
+		})
+	}
+	return rows, nil
+}
+
+// AblationNotify compares the paper's explicit block-completion control
+// message against the WRITE WITH IMMEDIATE alternative: same bandwidth,
+// one fewer message per block, lower sink CPU.
+func AblationNotify(tb Testbed, scale Scale) ([]Row, error) {
+	total := scale.bytes(8 << 30)
+	var rows []Row
+	for _, imm := range []bool{false, true} {
+		cfg := core.DefaultConfig()
+		cfg.BlockSize = 1 << 20
+		cfg.IODepth = rftpDepthFor(tb, cfg.BlockSize)
+		cfg.SinkBlocks = 2 * cfg.IODepth
+		cfg.NotifyViaImm = imm
+		r, err := RunRFTP(tb, RFTPOptions{Config: cfg, TotalBytes: total})
+		if err != nil {
+			return nil, fmt.Errorf("ablation-notify imm=%v: %w", imm, err)
+		}
+		name := "ctrl-message"
+		if imm {
+			name = "write-with-imm"
+		}
+		rows = append(rows, Row{
+			Figure: "ablation-notify", Testbed: tb.Name, Tool: name,
+			BlockSize: cfg.BlockSize,
+			Gbps:      r.BandwidthGbps, ClientCPU: r.ClientCPU, ServerCPU: r.ServerCPU,
+			Note: fmt.Sprintf("ctrlMsgs=%d", r.CtrlMsgs),
+		})
+	}
+	return rows, nil
+}
+
+// AblationCreditRamp compares the exponential (grant 2 per consumed
+// block) ramp against a linear (grant 1) ramp on the WAN. The transfer
+// is deliberately short — the ramp is a startup effect — and the
+// grant-on-free extension is disabled to isolate the paper's literal
+// mechanism.
+func AblationCreditRamp(tb Testbed, scale Scale) ([]Row, error) {
+	// The ramp is a startup effect: use a deliberately small dataset
+	// (256 MiB ≈ 4 BDPs on the WAN) so ramp time dominates, and make
+	// the explicit-request fallback as conservative as the grant rule
+	// so it cannot mask the ramp.
+	const total = 256 << 20
+	var rows []Row
+	for _, grant := range []int{1, 2, 4} {
+		cfg := core.DefaultConfig()
+		cfg.BlockSize = 1 << 20
+		cfg.IODepth = rftpDepthFor(tb, cfg.BlockSize)
+		cfg.SinkBlocks = 2 * cfg.IODepth
+		cfg.GrantPerConsume = grant
+		cfg.NoGrantOnFree = true
+		cfg.OnDemandBatch = grant
+		r, err := RunRFTP(tb, RFTPOptions{Config: cfg, TotalBytes: total})
+		if err != nil {
+			return nil, fmt.Errorf("ablation-ramp g=%d: %w", grant, err)
+		}
+		rows = append(rows, Row{
+			Figure: "ablation-ramp", Testbed: tb.Name, Tool: fmt.Sprintf("grant=%d", grant),
+			BlockSize: cfg.BlockSize,
+			Gbps:      r.BandwidthGbps, ClientCPU: r.ClientCPU, ServerCPU: r.ServerCPU,
+			Note: fmt.Sprintf("stalls=%d elapsed=%v", r.Stalls, r.Elapsed.Round(time.Millisecond)),
+		})
+	}
+	return rows, nil
+}

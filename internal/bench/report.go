@@ -1,0 +1,84 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+)
+
+// FormatBlockSize renders a byte count the way the paper labels its
+// x-axes (64K, 4M, ...).
+func FormatBlockSize(n int) string {
+	switch {
+	case n >= 1<<30 && n%(1<<30) == 0:
+		return fmt.Sprintf("%dG", n>>30)
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%dM", n>>20)
+	case n >= 1<<10 && n%(1<<10) == 0:
+		return fmt.Sprintf("%dK", n>>10)
+	default:
+		return fmt.Sprintf("%d", n)
+	}
+}
+
+// WriteTable renders rows as an aligned text table.
+func WriteTable(w io.Writer, rows []Row) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "figure\ttestbed\ttool\tblock\tstreams\tdepth\tGbps\tclientCPU%\tserverCPU%\tnote")
+	for _, r := range rows {
+		streams := ""
+		if r.Streams > 0 {
+			streams = fmt.Sprintf("%d", r.Streams)
+		}
+		depth := ""
+		if r.Depth > 0 {
+			depth = fmt.Sprintf("%d", r.Depth)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%s\t%.2f\t%.0f\t%.0f\t%s\n",
+			r.Figure, r.Testbed, r.Tool, FormatBlockSize(r.BlockSize),
+			streams, depth, r.Gbps, r.ClientCPU, r.ServerCPU, r.Note)
+	}
+	return tw.Flush()
+}
+
+// WriteCSV renders rows as CSV.
+func WriteCSV(w io.Writer, rows []Row) error {
+	if _, err := fmt.Fprintln(w, "figure,testbed,tool,block_bytes,streams,depth,gbps,client_cpu_pct,server_cpu_pct,note"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		note := strings.ReplaceAll(r.Note, ",", ";")
+		if _, err := fmt.Fprintf(w, "%s,%s,%s,%d,%d,%d,%.3f,%.1f,%.1f,%s\n",
+			r.Figure, r.Testbed, r.Tool, r.BlockSize, r.Streams, r.Depth,
+			r.Gbps, r.ClientCPU, r.ServerCPU, note); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteTable1 renders the Table I testbed description.
+func WriteTable1(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "\tIB LAN\tRoCE LAN\tRoCE WAN")
+	tbs := Testbeds()
+	row := func(label string, f func(Testbed) string) {
+		fmt.Fprintf(tw, "%s", label)
+		for _, tb := range tbs {
+			fmt.Fprintf(tw, "\t%s", f(tb))
+		}
+		fmt.Fprintln(tw)
+	}
+	row("CPU", func(t Testbed) string { return t.CPU })
+	row("Cores", func(t Testbed) string { return fmt.Sprintf("%d", t.CoresTotal) })
+	row("Mem (GB)", func(t Testbed) string { return fmt.Sprintf("%d", t.MemGB) })
+	row("NIC (Gbps)", func(t Testbed) string { return fmt.Sprintf("%d", t.NICGbps) })
+	row("OS", func(t Testbed) string { return t.OS })
+	row("Kernel", func(t Testbed) string { return t.Kernel })
+	row("OFED", func(t Testbed) string { return t.OFED })
+	row("TCP CC", func(t Testbed) string { return t.TCPCC })
+	row("MTU", func(t Testbed) string { return fmt.Sprintf("%d", t.MTU) })
+	row("RTT", func(t Testbed) string { return t.RTT.String() })
+	return tw.Flush()
+}

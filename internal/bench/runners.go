@@ -1,0 +1,257 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"rftp/internal/core"
+	"rftp/internal/diskmodel"
+	"rftp/internal/fabric/simfabric"
+	"rftp/internal/gridftp"
+	"rftp/internal/hostmodel"
+	"rftp/internal/sim"
+	"rftp/internal/tcpmodel"
+	"rftp/internal/wire"
+)
+
+// RFTPOptions configures one RFTP run on a testbed.
+type RFTPOptions struct {
+	Config     core.Config
+	TotalBytes int64
+	// Disk routes the sink to a modeled RAID array.
+	Disk     bool
+	DiskMode diskmodel.Mode
+	DiskCfg  diskmodel.ArrayConfig
+	Seed     int64
+}
+
+// RunResult is a normalized result row for either tool.
+type RunResult struct {
+	Tool          string
+	BandwidthGbps float64
+	// ClientCPU / ServerCPU are percent of one core, whole host
+	// (protocol threads + loader/storer), matching how the paper reads
+	// nmon.
+	ClientCPU float64
+	ServerCPU float64
+	Bytes     int64
+	Elapsed   time.Duration
+	// Stalls is the source credit-starvation count (RFTP only).
+	Stalls int64
+	// CtrlMsgs counts control messages (RFTP only).
+	CtrlMsgs int64
+	// Retrans counts TCP retransmissions (GridFTP only).
+	Retrans uint64
+}
+
+// RunRFTP executes one modeled RFTP transfer on the testbed and reports
+// bandwidth and CPU.
+func RunRFTP(tb Testbed, opt RFTPOptions) (RunResult, error) {
+	if opt.Seed == 0 {
+		opt.Seed = 1
+	}
+	sched := sim.New(opt.Seed)
+	fab := simfabric.New(sched)
+	srcHost := hostmodel.NewHost(sched, "src", tb.CoresTotal, tb.Host)
+	dstHost := hostmodel.NewHost(sched, "dst", tb.CoresTotal, tb.Host)
+	srcDev := fab.NewDevice("hca0", srcHost, tb.NIC)
+	dstDev := fab.NewDevice("hca1", dstHost, tb.NIC)
+	fab.Connect(srcDev, dstDev, tb.Link)
+
+	srcLoop := srcHost.NewThread("rftp-src")
+	dstLoop := dstHost.NewThread("rftp-sink")
+	loader := srcHost.NewThread("loader")
+	storer := dstHost.NewThread("storer")
+
+	cfg := opt.Config
+	cfg.ModelPayload = true
+	cfg, err := cfg.Normalize()
+	if err != nil {
+		return RunResult{}, err
+	}
+	srcEP, err := core.NewEndpoint(srcDev, srcLoop, cfg.Channels, cfg.IODepth)
+	if err != nil {
+		return RunResult{}, err
+	}
+	dstEP, err := core.NewEndpoint(dstDev, dstLoop, cfg.Channels, cfg.IODepth)
+	if err != nil {
+		return RunResult{}, err
+	}
+	if err := fab.ConnectQPs(srcEP.Ctrl, dstEP.Ctrl); err != nil {
+		return RunResult{}, err
+	}
+	for i := range srcEP.Data {
+		if err := fab.ConnectQPs(srcEP.Data[i], dstEP.Data[i]); err != nil {
+			return RunResult{}, err
+		}
+	}
+	sink, err := core.NewSink(dstEP, cfg)
+	if err != nil {
+		return RunResult{}, err
+	}
+	var arr *diskmodel.Array
+	if opt.Disk {
+		if opt.DiskCfg.RateBps == 0 {
+			opt.DiskCfg = diskmodel.DefaultArray()
+		}
+		arr = diskmodel.NewArray(sched, opt.DiskCfg)
+		sink.NewWriter = func(core.SessionInfo) core.BlockSink {
+			return diskSink{arr: arr, th: storer, mode: opt.DiskMode}
+		}
+	} else {
+		sink.NewWriter = func(core.SessionInfo) core.BlockSink {
+			return &core.ModelSink{Storer: storer, NsPerByte: tb.Host.MemStoreNsPerByte}
+		}
+	}
+	source, err := core.NewSource(srcEP, cfg)
+	if err != nil {
+		return RunResult{}, err
+	}
+
+	var srcRes core.TransferResult
+	srcDone := false
+	sinkDone := false
+	sink.OnSessionDone = func(info core.SessionInfo, r core.TransferResult) { sinkDone = true }
+	var negoErr error
+	srcBusy0, dstBusy0 := srcHost.BusyTotal(), dstHost.BusyTotal()
+	source.Start(func(err error) {
+		if err != nil {
+			negoErr = err
+			return
+		}
+		src := &core.ModelSource{Total: opt.TotalBytes, Loader: loader, NsPerByte: tb.Host.MemLoadNsPerByte}
+		source.Transfer(src, opt.TotalBytes, func(r core.TransferResult) {
+			srcRes = r
+			srcDone = true
+		})
+	})
+	sched.RunAll()
+	if negoErr != nil {
+		return RunResult{}, negoErr
+	}
+	if !srcDone || !sinkDone {
+		return RunResult{}, fmt.Errorf("bench: RFTP transfer did not complete (src=%v sink=%v)", srcDone, sinkDone)
+	}
+	if srcRes.Err != nil {
+		return RunResult{}, srcRes.Err
+	}
+	st := source.Stats()
+	elapsed := st.Elapsed()
+	res := RunResult{
+		Tool:          "RFTP",
+		BandwidthGbps: st.BandwidthGbps(),
+		Bytes:         st.Bytes,
+		Elapsed:       elapsed,
+		Stalls:        st.CreditStalls,
+		CtrlMsgs:      st.CtrlMsgs + sink.Stats().CtrlMsgs,
+	}
+	if elapsed > 0 {
+		res.ClientCPU = 100 * float64(srcHost.BusyTotal()-srcBusy0) / float64(elapsed)
+		res.ServerCPU = 100 * float64(dstHost.BusyTotal()-dstBusy0) / float64(elapsed)
+	}
+	return res, nil
+}
+
+// diskSink adapts the RAID array model to the protocol's BlockSink.
+type diskSink struct {
+	arr  *diskmodel.Array
+	th   *hostmodel.Thread
+	mode diskmodel.Mode
+}
+
+// Store implements core.BlockSink.
+func (d diskSink) Store(hdr wire.BlockHeader, payload []byte, modelLen int, done func(error)) {
+	d.arr.Write(d.th, d.mode, modelLen, func() { done(nil) })
+}
+
+// GridFTPOptions configures one GridFTP baseline run.
+type GridFTPOptions struct {
+	Streams    int
+	BlockSize  int
+	TotalBytes int64
+	Variant    tcpmodel.Variant // zero value: use the testbed's
+	UseTBCC    bool             // take the variant from the testbed
+	Disk       bool
+	DiskMode   diskmodel.Mode
+	Seed       int64
+}
+
+// runGridFTPThreads runs the multi-threaded-client counterfactual.
+func runGridFTPThreads(tb Testbed, threads int, total int64) (RunResult, error) {
+	sched := sim.New(1)
+	path := tcpmodel.NewPath(sched, tcpmodel.PathConfig{
+		RateBps: tb.Link.RateBps, RTT: tb.RTT, SegBytes: tb.TCPSegBytes,
+	})
+	client := hostmodel.NewHost(sched, "client", tb.CoresTotal, tb.Host)
+	server := hostmodel.NewHost(sched, "server", tb.CoresTotal, tb.Host)
+	tr := gridftp.New(sched, path, client, server, gridftp.Config{
+		Streams: 8, BlockSize: 4 << 20, TotalBytes: total,
+		Variant: tb.TCPVariant, ClientThreads: threads,
+	})
+	var got *gridftp.Stats
+	tr.Start(func(s gridftp.Stats) { got = &s })
+	sched.RunAll()
+	if got == nil {
+		return RunResult{}, fmt.Errorf("bench: threaded GridFTP transfer did not complete")
+	}
+	return RunResult{
+		Tool:          "GridFTP",
+		BandwidthGbps: got.BandwidthGbps(),
+		Bytes:         got.Bytes,
+		Elapsed:       got.Elapsed(),
+		ClientCPU:     got.ClientCPU,
+		ServerCPU:     got.ServerCPU,
+		Retrans:       got.Retrans,
+	}, nil
+}
+
+// RunGridFTP executes one modeled GridFTP transfer on the testbed.
+func RunGridFTP(tb Testbed, opt GridFTPOptions) (RunResult, error) {
+	if opt.Seed == 0 {
+		opt.Seed = 1
+	}
+	sched := sim.New(opt.Seed)
+	path := tcpmodel.NewPath(sched, tcpmodel.PathConfig{
+		RateBps:  tb.Link.RateBps,
+		RTT:      tb.RTT,
+		SegBytes: tb.TCPSegBytes,
+	})
+	client := hostmodel.NewHost(sched, "client", tb.CoresTotal, tb.Host)
+	server := hostmodel.NewHost(sched, "server", tb.CoresTotal, tb.Host)
+	variant := opt.Variant
+	if opt.UseTBCC {
+		variant = tb.TCPVariant
+	}
+	cfg := gridftp.Config{
+		Streams:    opt.Streams,
+		BlockSize:  opt.BlockSize,
+		TotalBytes: opt.TotalBytes,
+		Variant:    variant,
+	}
+	if opt.Disk {
+		cfg.Disk = diskmodel.NewArray(sched, diskmodel.DefaultArray())
+		cfg.DiskMode = opt.DiskMode
+	}
+	tr := gridftp.New(sched, path, client, server, cfg)
+	var got *gridftp.Stats
+	clientBusy0, serverBusy0 := client.BusyTotal(), server.BusyTotal()
+	tr.Start(func(s gridftp.Stats) { got = &s })
+	sched.RunAll()
+	if got == nil {
+		return RunResult{}, fmt.Errorf("bench: GridFTP transfer did not complete")
+	}
+	elapsed := got.Elapsed()
+	res := RunResult{
+		Tool:          "GridFTP",
+		BandwidthGbps: got.BandwidthGbps(),
+		Bytes:         got.Bytes,
+		Elapsed:       elapsed,
+		Retrans:       got.Retrans,
+	}
+	if elapsed > 0 {
+		// Whole-host CPU, like the paper's nmon methodology.
+		res.ClientCPU = 100 * float64(client.BusyTotal()-clientBusy0) / float64(elapsed)
+		res.ServerCPU = 100 * float64(server.BusyTotal()-serverBusy0) / float64(elapsed)
+	}
+	return res, nil
+}

@@ -1,0 +1,124 @@
+package bench
+
+import (
+	"fmt"
+
+	"rftp/internal/core"
+	"rftp/internal/fabric/simfabric"
+	"rftp/internal/hostmodel"
+	"rftp/internal/sim"
+)
+
+// ScaleOut reproduces the programmatic context of the paper (the DOE
+// ANI/ESnet goal of filling a 100 Gbps backbone with hosts that each
+// have a 10 Gbps RoCE NIC): n independent RFTP host pairs share one
+// 100 Gbps trunk. Aggregate bandwidth should scale linearly until the
+// trunk saturates at ten pairs.
+func ScaleOut(scale Scale) ([]Row, error) {
+	var rows []Row
+	for _, n := range []int{1, 2, 4, 8, 10, 12} {
+		agg, err := runScaleOut(n, scale)
+		if err != nil {
+			return nil, fmt.Errorf("scale-out n=%d: %w", n, err)
+		}
+		rows = append(rows, Row{
+			Figure: "scale-out", Testbed: "ANI-100G", Tool: "RFTP",
+			BlockSize: 4 << 20, Streams: n,
+			Gbps: agg,
+			Note: fmt.Sprintf("%d pairs x 10G NIC over shared 100G trunk", n),
+		})
+	}
+	return rows, nil
+}
+
+// runScaleOut runs n concurrent pairs and returns aggregate goodput.
+func runScaleOut(n int, scale Scale) (float64, error) {
+	tb := RoCEWAN()
+	sched := sim.New(1)
+	fab := simfabric.New(sched)
+	bb := fab.NewBackbone(100e9)
+
+	perPair := scale.bytes(4 << 30)
+	type pairState struct {
+		source *core.Source
+		done   bool
+	}
+	pairs := make([]*pairState, n)
+	var firstErr error
+	for i := 0; i < n; i++ {
+		srcHost := hostmodel.NewHost(sched, fmt.Sprintf("src%d", i), tb.CoresTotal, tb.Host)
+		dstHost := hostmodel.NewHost(sched, fmt.Sprintf("dst%d", i), tb.CoresTotal, tb.Host)
+		srcDev := fab.NewDevice(fmt.Sprintf("hca%d-a", i), srcHost, tb.NIC)
+		dstDev := fab.NewDevice(fmt.Sprintf("hca%d-b", i), dstHost, tb.NIC)
+		fab.ConnectVia(srcDev, dstDev, tb.Link, bb)
+
+		srcLoop := srcHost.NewThread("rftp-src")
+		dstLoop := dstHost.NewThread("rftp-sink")
+		loader := srcHost.NewThread("loader")
+		storer := dstHost.NewThread("storer")
+
+		cfg := core.DefaultConfig()
+		cfg.BlockSize = 4 << 20
+		cfg.IODepth = rftpDepthFor(tb, cfg.BlockSize)
+		cfg.SinkBlocks = 2 * cfg.IODepth
+		cfg.ModelPayload = true
+		cfg, err := cfg.Normalize()
+		if err != nil {
+			return 0, err
+		}
+		srcEP, err := core.NewEndpoint(srcDev, srcLoop, cfg.Channels, cfg.IODepth)
+		if err != nil {
+			return 0, err
+		}
+		dstEP, err := core.NewEndpoint(dstDev, dstLoop, cfg.Channels, cfg.IODepth)
+		if err != nil {
+			return 0, err
+		}
+		if err := fab.ConnectQPs(srcEP.Ctrl, dstEP.Ctrl); err != nil {
+			return 0, err
+		}
+		for j := range srcEP.Data {
+			if err := fab.ConnectQPs(srcEP.Data[j], dstEP.Data[j]); err != nil {
+				return 0, err
+			}
+		}
+		sink, err := core.NewSink(dstEP, cfg)
+		if err != nil {
+			return 0, err
+		}
+		sink.NewWriter = func(core.SessionInfo) core.BlockSink {
+			return &core.ModelSink{Storer: storer, NsPerByte: tb.Host.MemStoreNsPerByte}
+		}
+		source, err := core.NewSource(srcEP, cfg)
+		if err != nil {
+			return 0, err
+		}
+		ps := &pairState{source: source}
+		pairs[i] = ps
+		source.Start(func(err error) {
+			if err != nil {
+				firstErr = err
+				return
+			}
+			src := &core.ModelSource{Total: perPair, Loader: loader, NsPerByte: tb.Host.MemLoadNsPerByte}
+			source.Transfer(src, perPair, func(r core.TransferResult) {
+				if r.Err != nil && firstErr == nil {
+					firstErr = r.Err
+				}
+				ps.done = true
+			})
+		})
+	}
+	sched.RunAll()
+	if firstErr != nil {
+		return 0, firstErr
+	}
+	var aggregate float64
+	for i, ps := range pairs {
+		if !ps.done {
+			return 0, fmt.Errorf("pair %d never finished", i)
+		}
+		aggregate += ps.source.Stats().BandwidthGbps()
+	}
+	return aggregate, nil
+}

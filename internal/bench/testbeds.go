@@ -1,0 +1,171 @@
+// Package bench is the experiment harness: it encodes the paper's
+// testbeds (Table I) and regenerates every figure of the evaluation
+// section plus the ablations listed in DESIGN.md, printing the same
+// rows/series the paper reports.
+package bench
+
+import (
+	"time"
+
+	"rftp/internal/fabric/simfabric"
+	"rftp/internal/hostmodel"
+	"rftp/internal/tcpmodel"
+)
+
+// Testbed is one column of Table I: a network/host configuration the
+// experiments run on.
+type Testbed struct {
+	Name string
+	// Table I descriptive fields.
+	CPU        string
+	MemGB      int
+	NICGbps    int
+	OS         string
+	Kernel     string
+	OFED       string
+	TCPCC      string
+	MTU        int
+	RTT        time.Duration
+	CoresTotal int
+
+	// Model configuration.
+	Link       simfabric.LinkConfig
+	NIC        simfabric.NICProfile
+	Host       hostmodel.Params
+	TCPVariant tcpmodel.Variant
+	// TCPSegBytes is the aggregated segment size for the TCP model
+	// (multiple MTUs per simulated segment keeps event counts sane).
+	TCPSegBytes int
+}
+
+// IBLAN is the 40 Gbps InfiniBand LAN testbed (NERSC, 4X QDR; the
+// vendor-validated realizable bandwidth is ~25-32 Gbps, and the PCIe
+// 2.0 x8 slot caps the HCA around 25-26 Gbps of payload).
+func IBLAN() Testbed {
+	nic := simfabric.DefaultNICProfile()
+	nic.HostCostFactor = 1.0 // libibverbs overhead is lowest on IB
+	return Testbed{
+		Name:       "IB-LAN",
+		CPU:        "Intel Xeon X5550 2.67GHz",
+		MemGB:      48,
+		NICGbps:    40,
+		OS:         "RHEL 5.5",
+		Kernel:     "2.6.18-238",
+		OFED:       "1.5.3.1",
+		TCPCC:      "cubic",
+		MTU:        65520,
+		RTT:        13 * time.Microsecond,
+		CoresTotal: 8,
+		Link: simfabric.LinkConfig{
+			// 4X QDR signals 32 Gb/s; PCIe 2.0 x8 holds payload ~26G.
+			RateBps:     26e9,
+			PropDelay:   6500 * time.Nanosecond,
+			MTU:         65520,
+			HeaderBytes: 30, // IB LRH+BTH+ICRC
+		},
+		NIC:         nic,
+		Host:        hostmodel.DefaultParams(),
+		TCPVariant:  tcpmodel.Cubic,
+		TCPSegBytes: 64 << 10,
+	}
+}
+
+// RoCELAN is the 40 Gbps RoCE back-to-back LAN testbed (Stony Brook).
+func RoCELAN() Testbed {
+	nic := simfabric.DefaultNICProfile()
+	nic.HostCostFactor = 1.3 // RoCE verbs path costs more than IB
+	return Testbed{
+		Name:       "RoCE-LAN",
+		CPU:        "Intel Xeon X5650 2.67GHz",
+		MemGB:      24,
+		NICGbps:    40,
+		OS:         "CentOS 6.2",
+		Kernel:     "2.6.32-220",
+		OFED:       "MLNX OFED 1.5.3",
+		TCPCC:      "bic",
+		MTU:        9000,
+		RTT:        25 * time.Microsecond,
+		CoresTotal: 12,
+		Link: simfabric.LinkConfig{
+			RateBps:     40e9,
+			PropDelay:   12500 * time.Nanosecond,
+			MTU:         9000,
+			HeaderBytes: 58, // Eth+IP+UDP+BTH
+		},
+		NIC:         nic,
+		Host:        hostmodel.DefaultParams(),
+		TCPVariant:  tcpmodel.BIC,
+		TCPSegBytes: 36 << 10,
+	}
+}
+
+// RoCEWAN is the ANI 10 Gbps RoCE WAN testbed (ANL to NERSC, ~2000
+// miles, 49 ms RTT).
+func RoCEWAN() Testbed {
+	nic := simfabric.DefaultNICProfile()
+	nic.HostCostFactor = 1.3
+	return Testbed{
+		Name:       "RoCE-WAN",
+		CPU:        "AMD Opteron 6140 2.6GHz / Intel Xeon E5530 2.4GHz",
+		MemGB:      64,
+		NICGbps:    10,
+		OS:         "CentOS 5.7 / CentOS 6.2",
+		Kernel:     "2.6.32-220 / 2.6.32.27",
+		OFED:       "1.5.3",
+		TCPCC:      "cubic/htcp",
+		MTU:        9000,
+		RTT:        49 * time.Millisecond,
+		CoresTotal: 16,
+		Link: simfabric.LinkConfig{
+			RateBps:     10e9,
+			PropDelay:   24500 * time.Microsecond,
+			MTU:         9000,
+			HeaderBytes: 58,
+		},
+		NIC:         nic,
+		Host:        hostmodel.DefaultParams(),
+		TCPVariant:  tcpmodel.HTCP,
+		TCPSegBytes: 72 << 10,
+	}
+}
+
+// IWARPLAN is an extension testbed not in Table I: a 10 GbE iWARP LAN.
+// The paper's Figure 1 places iWARP alongside IB and RoCE as the third
+// RDMA architecture its middleware must span; per Cohen et al. [9]
+// (cited in Related Work), RoCE is the more efficient Ethernet mapping,
+// so the iWARP profile carries the highest host-side verbs overhead.
+func IWARPLAN() Testbed {
+	nic := simfabric.DefaultNICProfile()
+	nic.HostCostFactor = 1.6 // TCP-offload verbs path costs most
+	nic.TxPerWR = 900 * time.Nanosecond
+	nic.RxPerWR = 900 * time.Nanosecond
+	return Testbed{
+		Name:       "iWARP-LAN",
+		CPU:        "Intel Xeon X5650 2.67GHz",
+		MemGB:      24,
+		NICGbps:    10,
+		OS:         "CentOS 6.2",
+		Kernel:     "2.6.32-220",
+		OFED:       "1.5.3",
+		TCPCC:      "cubic",
+		MTU:        9000,
+		RTT:        30 * time.Microsecond,
+		CoresTotal: 12,
+		Link: simfabric.LinkConfig{
+			RateBps:     10e9,
+			PropDelay:   15 * time.Microsecond,
+			MTU:         9000,
+			HeaderBytes: 78, // Eth+IP+TCP+MPA/DDP/RDMAP framing
+		},
+		NIC:         nic,
+		Host:        hostmodel.DefaultParams(),
+		TCPVariant:  tcpmodel.Cubic,
+		TCPSegBytes: 36 << 10,
+	}
+}
+
+// Testbeds returns all Table I configurations (the iWARP extension
+// testbed is separate; see IWARPLAN).
+func Testbeds() []Testbed {
+	return []Testbed{IBLAN(), RoCELAN(), RoCEWAN()}
+}

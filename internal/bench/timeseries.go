@@ -1,0 +1,173 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+
+	"rftp/internal/core"
+	"rftp/internal/fabric/simfabric"
+	"rftp/internal/gridftp"
+	"rftp/internal/hostmodel"
+	"rftp/internal/metrics"
+	"rftp/internal/sim"
+	"rftp/internal/tcpmodel"
+)
+
+// TimeSeriesResult holds bandwidth-over-time curves for both tools from
+// a cold start: the RFTP credit ramp versus TCP slow start.
+type TimeSeriesResult struct {
+	Testbed  string
+	Interval time.Duration
+	RFTP     metrics.Series
+	GridFTP  metrics.Series
+	// Summaries over the steady-state half of the window.
+	RFTPSummary    metrics.Summary
+	GridFTPSummary metrics.Summary
+}
+
+// TimeSeries runs both tools from a cold start on the testbed for the
+// given window, sampling delivered bytes every interval.
+func TimeSeries(tb Testbed, window, interval time.Duration, blockSize, streams int) (*TimeSeriesResult, error) {
+	res := &TimeSeriesResult{Testbed: tb.Name, Interval: interval}
+
+	// RFTP: a transfer large enough to outlast the window.
+	{
+		sched := sim.New(1)
+		fab := simfabric.New(sched)
+		srcHost := hostmodel.NewHost(sched, "src", tb.CoresTotal, tb.Host)
+		dstHost := hostmodel.NewHost(sched, "dst", tb.CoresTotal, tb.Host)
+		srcDev := fab.NewDevice("hca0", srcHost, tb.NIC)
+		dstDev := fab.NewDevice("hca1", dstHost, tb.NIC)
+		fab.Connect(srcDev, dstDev, tb.Link)
+		srcLoop := srcHost.NewThread("rftp-src")
+		dstLoop := dstHost.NewThread("rftp-sink")
+		loader := srcHost.NewThread("loader")
+		storer := dstHost.NewThread("storer")
+
+		cfg := core.DefaultConfig()
+		cfg.BlockSize = blockSize
+		cfg.Channels = streams
+		cfg.IODepth = rftpDepthFor(tb, blockSize)
+		cfg.SinkBlocks = 2 * cfg.IODepth
+		cfg.ModelPayload = true
+		cfg, err := cfg.Normalize()
+		if err != nil {
+			return nil, err
+		}
+		srcEP, err := core.NewEndpoint(srcDev, srcLoop, cfg.Channels, cfg.IODepth)
+		if err != nil {
+			return nil, err
+		}
+		dstEP, err := core.NewEndpoint(dstDev, dstLoop, cfg.Channels, cfg.IODepth)
+		if err != nil {
+			return nil, err
+		}
+		if err := fab.ConnectQPs(srcEP.Ctrl, dstEP.Ctrl); err != nil {
+			return nil, err
+		}
+		for i := range srcEP.Data {
+			if err := fab.ConnectQPs(srcEP.Data[i], dstEP.Data[i]); err != nil {
+				return nil, err
+			}
+		}
+		sink, err := core.NewSink(dstEP, cfg)
+		if err != nil {
+			return nil, err
+		}
+		sink.NewWriter = func(core.SessionInfo) core.BlockSink {
+			return &core.ModelSink{Storer: storer, NsPerByte: tb.Host.MemStoreNsPerByte}
+		}
+		source, err := core.NewSource(srcEP, cfg)
+		if err != nil {
+			return nil, err
+		}
+		// Enough data to outlast the window at line rate.
+		total := int64(tb.Link.RateBps/8*window.Seconds()) * 2
+		source.Start(func(err error) {
+			if err != nil {
+				return
+			}
+			src := &core.ModelSource{Total: total, Loader: loader, NsPerByte: tb.Host.MemLoadNsPerByte}
+			source.Transfer(src, total, func(core.TransferResult) {})
+		})
+		sampler := metrics.NewRateSampler(interval)
+		var sample func()
+		sample = func() {
+			sampler.Observe(sched.Now(), float64(source.Stats().Bytes)*8/1e9) // gigabits
+			if sched.Now() < window {
+				sched.After(interval, sample)
+			}
+		}
+		sample()
+		sched.Run(window + interval)
+		sampler.Flush()
+		res.RFTP = sampler.Series()
+	}
+
+	// GridFTP on the same structural parameters.
+	{
+		sched := sim.New(1)
+		path := tcpmodel.NewPath(sched, tcpmodel.PathConfig{
+			RateBps: tb.Link.RateBps, RTT: tb.RTT, SegBytes: tb.TCPSegBytes,
+		})
+		client := hostmodel.NewHost(sched, "client", tb.CoresTotal, tb.Host)
+		server := hostmodel.NewHost(sched, "server", tb.CoresTotal, tb.Host)
+		total := int64(tb.Link.RateBps/8*window.Seconds()) * 2
+		tr := gridftp.New(sched, path, client, server, gridftp.Config{
+			Streams: streams, BlockSize: blockSize, TotalBytes: total, Variant: tb.TCPVariant,
+		})
+		tr.Start(func(gridftp.Stats) {})
+		sampler := metrics.NewRateSampler(interval)
+		var sample func()
+		sample = func() {
+			sampler.Observe(sched.Now(), float64(tr.DeliveredBytes())*8/1e9)
+			if sched.Now() < window {
+				sched.After(interval, sample)
+			}
+		}
+		sample()
+		sched.Run(window + interval)
+		sampler.Flush()
+		res.GridFTP = sampler.Series()
+	}
+
+	res.RFTPSummary = steadySummary(res.RFTP)
+	res.GridFTPSummary = steadySummary(res.GridFTP)
+	return res, nil
+}
+
+// steadySummary summarizes the second half of a series (post-ramp).
+func steadySummary(s metrics.Series) metrics.Summary {
+	vals := s.Values()
+	return metrics.Summarize(vals[len(vals)/2:])
+}
+
+// Render writes both curves side by side.
+func (r *TimeSeriesResult) Render(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "t\tRFTP Gbps\tGridFTP Gbps\n")
+	n := len(r.RFTP.Points)
+	if len(r.GridFTP.Points) > n {
+		n = len(r.GridFTP.Points)
+	}
+	get := func(s metrics.Series, i int) string {
+		if i >= len(s.Points) {
+			return ""
+		}
+		return fmt.Sprintf("%.2f", s.Points[i].V)
+	}
+	for i := 0; i < n; i++ {
+		var ts time.Duration
+		if i < len(r.RFTP.Points) {
+			ts = r.RFTP.Points[i].T
+		} else {
+			ts = r.GridFTP.Points[i].T
+		}
+		fmt.Fprintf(tw, "%v\t%s\t%s\n", ts.Round(time.Millisecond), get(r.RFTP, i), get(r.GridFTP, i))
+	}
+	fmt.Fprintf(tw, "steady mean\t%.2f\t%.2f\n", r.RFTPSummary.Mean, r.GridFTPSummary.Mean)
+	fmt.Fprintf(tw, "steady CoV\t%.3f\t%.3f\n", r.RFTPSummary.CoefficientOfVar, r.GridFTPSummary.CoefficientOfVar)
+	return tw.Flush()
+}

@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTimeSeriesShapes(t *testing.T) {
+	ts, err := TimeSeries(RoCEWAN(), 6*time.Second, 500*time.Millisecond, 4<<20, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts.RFTP.Points) < 8 || len(ts.GridFTP.Points) < 8 {
+		t.Fatalf("too few samples: %d/%d", len(ts.RFTP.Points), len(ts.GridFTP.Points))
+	}
+	// Both ramp from a cold start: first interval below steady mean.
+	if ts.RFTP.Points[0].V >= ts.RFTPSummary.Mean {
+		t.Fatalf("RFTP shows no ramp: first=%v mean=%v", ts.RFTP.Points[0].V, ts.RFTPSummary.Mean)
+	}
+	if ts.GridFTP.Points[0].V >= ts.GridFTPSummary.Mean {
+		t.Fatalf("GridFTP shows no ramp: first=%v mean=%v", ts.GridFTP.Points[0].V, ts.GridFTPSummary.Mean)
+	}
+	// RFTP steady state pins the link and is smoother than GridFTP
+	// (the paper's fluctuation observation).
+	if ts.RFTPSummary.Mean < 9 {
+		t.Fatalf("RFTP steady mean %.2f < 9 Gbps", ts.RFTPSummary.Mean)
+	}
+	if ts.RFTPSummary.CoefficientOfVar > ts.GridFTPSummary.CoefficientOfVar {
+		t.Fatalf("RFTP (CoV %.3f) less steady than GridFTP (%.3f)",
+			ts.RFTPSummary.CoefficientOfVar, ts.GridFTPSummary.CoefficientOfVar)
+	}
+}
+
+func TestTimeSeriesRender(t *testing.T) {
+	ts, err := TimeSeries(RoCEWAN(), 2*time.Second, 500*time.Millisecond, 4<<20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ts.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"RFTP Gbps", "GridFTP Gbps", "steady mean", "steady CoV"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAblationNotifyShape(t *testing.T) {
+	rows, err := AblationNotify(RoCEWAN(), ScaleQuick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	ctrl, imm := rows[0], rows[1]
+	if ctrl.Tool != "ctrl-message" || imm.Tool != "write-with-imm" {
+		t.Fatalf("tools: %s / %s", ctrl.Tool, imm.Tool)
+	}
+	// Same bandwidth ballpark, and the imm row's note must show far
+	// fewer control messages.
+	if imm.Gbps < ctrl.Gbps*0.95 {
+		t.Fatalf("imm mode lost bandwidth: %.2f vs %.2f", imm.Gbps, ctrl.Gbps)
+	}
+}
+
+func TestScaleOutShape(t *testing.T) {
+	rows, err := ScaleOut(ScaleQuick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Linear region: 4 pairs ~ 4x one pair (within 15%).
+	one, four, twelve := rows[0].Gbps, rows[2].Gbps, rows[5].Gbps
+	if four < 3.4*one {
+		t.Fatalf("not linear: 1 pair %.1f, 4 pairs %.1f", one, four)
+	}
+	// Saturation region: 12 pairs bounded by the 100G trunk.
+	if twelve > 100 {
+		t.Fatalf("12 pairs exceeded the trunk: %.1f Gbps", twelve)
+	}
+	if twelve < 8*one {
+		t.Fatalf("trunk saturation too low: %.1f Gbps", twelve)
+	}
+}

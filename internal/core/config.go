@@ -1,0 +1,201 @@
+// Package core implements the paper's data transfer protocol: the RDMA
+// middleware's flow control, connection management, and task
+// synchronization layer that RFTP is built on.
+//
+// Design (Section IV of the paper):
+//
+//   - One dedicated queue pair carries control messages via SEND/RECV;
+//     one or more data channel queue pairs carry bulk payload via
+//     one-sided RDMA WRITE.
+//   - Buffer blocks move through finite state machines at both ends
+//     (source: free → loading → loaded → sending → waiting → free;
+//     sink: free → waiting → data-ready → free).
+//   - The sink proactively pushes memory-region credits to the source
+//     ("active feedback"), granting up to two per consumed block — an
+//     exponential ramp that fills the pipe without the 1-RTT credit
+//     fetch of request-based designs.
+//   - Many blocks stay in flight (high I/O depth) and parallel channels
+//     are reassembled at the sink by (session id, sequence number).
+//
+// The package is written purely against the verbs interface and a Loop
+// executor, so the same protocol code runs over the simulated fabric
+// (virtual time, modeled payload), the in-process channel fabric, and
+// the TCP socket fabric (real bytes).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"rftp/internal/wire"
+)
+
+// CreditPolicy selects how the sink hands out memory-region credits.
+type CreditPolicy int
+
+const (
+	// CreditProactive is the paper's active-feedback design: the sink
+	// pushes credits without being asked, up to GrantPerConsume per
+	// consumed block (exponential ramp, like TCP slow start).
+	CreditProactive CreditPolicy = iota
+	// CreditOnDemand models the prior design the paper criticizes
+	// (RXIO): the source must explicitly request credits and stalls a
+	// full RTT waiting for each batch.
+	CreditOnDemand
+)
+
+func (p CreditPolicy) String() string {
+	switch p {
+	case CreditProactive:
+		return "proactive"
+	case CreditOnDemand:
+		return "on-demand"
+	default:
+		return fmt.Sprintf("CreditPolicy(%d)", int(p))
+	}
+}
+
+// Config parameterizes both ends of a transfer. The source's values are
+// proposed during negotiation; the sink accepts or rejects them.
+type Config struct {
+	// BlockSize is the buffer block size in bytes, including the
+	// wire.BlockHeaderSize header. The paper sweeps 4 KiB – 64 MiB.
+	BlockSize int
+	// Channels is the number of parallel data queue pairs.
+	Channels int
+	// IODepth is the source block pool size: the maximum number of
+	// blocks in flight. High depth is the key to saturating the
+	// asynchronous interface (Section III).
+	IODepth int
+	// SinkBlocks is the sink block pool size (the credit supply).
+	// Defaults to 2*IODepth so reassembly holes never starve credits.
+	SinkBlocks int
+	// CreditPolicy selects proactive (paper) or on-demand (baseline)
+	// credit flow.
+	CreditPolicy CreditPolicy
+	// GrantPerConsume caps credits granted back per consumed block under
+	// the proactive policy (paper: 2 → exponential ramp; 1 → linear).
+	GrantPerConsume int
+	// InitialCredits is the number of credits pushed right after session
+	// setup under the proactive policy.
+	InitialCredits int
+	// OnDemandBatch is the number of credits returned per explicit
+	// request under the on-demand policy.
+	OnDemandBatch int
+	// NotifyViaImm replaces the paper's explicit block-transfer
+	// completion notification (a SEND on the control QP) with RDMA
+	// WRITE WITH IMMEDIATE on the data channels: the immediate value
+	// names the consumed region and the sink learns of the block from
+	// the data QP completion itself. One fewer message per block, at
+	// the cost of consuming data-QP receives. Negotiated via
+	// wire.FlagImmNotify; the sink adopts the source's choice.
+	NotifyViaImm bool
+	// NoGrantOnFree disables the re-advertise-on-free extension and
+	// restricts the proactive policy to the paper's literal rule
+	// (grants only at block-completion notifications and explicit
+	// requests). Used by the credit-ramp ablation.
+	NoGrantOnFree bool
+	// ModelPayload marks simulation-scale transfers: payload is length
+	// modeled, only headers travel as real bytes. Requires a fabric
+	// supporting modeled memory regions.
+	ModelPayload bool
+	// MaxRetries bounds per-block resend attempts after a failed WRITE.
+	MaxRetries int
+	// NegotiateTimeout bounds each negotiation step (0 = no timeout).
+	NegotiateTimeout time.Duration
+}
+
+// DefaultConfig returns the configuration used by the paper's headline
+// runs: 4 MiB blocks, 1 channel, depth 16.
+func DefaultConfig() Config {
+	return Config{
+		BlockSize:       4 << 20,
+		Channels:        1,
+		IODepth:         16,
+		CreditPolicy:    CreditProactive,
+		GrantPerConsume: 2,
+		InitialCredits:  2,
+		OnDemandBatch:   16,
+		MaxRetries:      5,
+	}
+}
+
+// Normalize fills defaults and validates.
+func (c Config) Normalize() (Config, error) {
+	if c.BlockSize == 0 {
+		c.BlockSize = 4 << 20
+	}
+	if c.BlockSize < wire.BlockHeaderSize+1 {
+		return c, fmt.Errorf("core: block size %d too small (min %d)", c.BlockSize, wire.BlockHeaderSize+1)
+	}
+	if c.Channels <= 0 {
+		c.Channels = 1
+	}
+	if c.IODepth <= 0 {
+		c.IODepth = 16
+	}
+	if c.SinkBlocks <= 0 {
+		c.SinkBlocks = 2 * c.IODepth
+	}
+	if c.GrantPerConsume <= 0 {
+		c.GrantPerConsume = 2
+	}
+	if c.InitialCredits <= 0 {
+		c.InitialCredits = 2
+	}
+	if c.InitialCredits > c.SinkBlocks {
+		c.InitialCredits = c.SinkBlocks
+	}
+	if c.OnDemandBatch <= 0 {
+		c.OnDemandBatch = 16
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 5
+	}
+	return c, nil
+}
+
+// PayloadCapacity is the user bytes one block can carry.
+func (c Config) PayloadCapacity() int { return c.BlockSize - wire.BlockHeaderSize }
+
+// Errors surfaced by the protocol.
+var (
+	ErrNegotiationRejected = errors.New("core: peer rejected negotiation")
+	ErrAborted             = errors.New("core: transfer aborted by peer")
+	ErrClosed              = errors.New("core: endpoint closed")
+	ErrTooManyRetries      = errors.New("core: block retry budget exhausted")
+	ErrProtocol            = errors.New("core: protocol violation")
+	ErrBusy                = errors.New("core: negotiation already in progress")
+)
+
+// Stats summarizes one side of a transfer.
+type Stats struct {
+	// Bytes is user payload bytes moved (headers excluded).
+	Bytes int64
+	// Blocks is the number of payload blocks moved.
+	Blocks int64
+	// CtrlMsgs counts control messages sent by this side.
+	CtrlMsgs int64
+	// CreditsGranted counts credits issued (sink) or received (source).
+	CreditsGranted int64
+	// CreditStalls counts times the source ran dry and had to issue an
+	// explicit MR_INFO_REQUEST.
+	CreditStalls int64
+	// Retries counts block resends after failed WRITEs.
+	Retries int64
+	// Start and End are loop timestamps of first and last activity.
+	Start, End time.Duration
+}
+
+// Elapsed is the active transfer duration.
+func (s Stats) Elapsed() time.Duration { return s.End - s.Start }
+
+// BandwidthGbps is user goodput in gigabits per second.
+func (s Stats) BandwidthGbps() float64 {
+	e := s.Elapsed().Seconds()
+	if e <= 0 {
+		return 0
+	}
+	return float64(s.Bytes) * 8 / e / 1e9
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"fmt"
+
+	"rftp/internal/verbs"
+	"rftp/internal/wire"
+)
+
+// ctrlBufSize is the control receive buffer size: header plus a full
+// credit batch.
+const ctrlBufSize = wire.ControlHeaderSize + wire.MaxCreditsPerMsg*16
+
+// Endpoint bundles the queue pairs one side of a connection uses: a
+// dedicated control QP (SEND/RECV) and one or more data channel QPs
+// (RDMA WRITE), all completing onto one event loop.
+type Endpoint struct {
+	Dev  verbs.Device
+	Loop verbs.Loop
+	PD   *verbs.PD
+
+	Ctrl   verbs.QP
+	Data   []verbs.QP
+	CtrlCQ *verbs.UpcallCQ
+	DataCQ *verbs.UpcallCQ
+
+	ctrlRecvMRs []*verbs.MR
+	notifyMR    *verbs.MR
+	ctrlDepth   int
+	dataDepth   int
+	closed      bool
+}
+
+// NewEndpoint creates the QPs for one side: channels data QPs plus the
+// control QP. ioDepth sizes the queues: the control receive queue must
+// absorb one message per in-flight block plus negotiation traffic.
+func NewEndpoint(dev verbs.Device, loop verbs.Loop, channels, ioDepth int) (*Endpoint, error) {
+	if channels < 1 {
+		return nil, fmt.Errorf("core: need at least one data channel")
+	}
+	ctrlDepth := 2*ioDepth + 16
+	if ctrlDepth < 64 {
+		ctrlDepth = 64
+	}
+	ep := &Endpoint{Dev: dev, Loop: loop, PD: dev.AllocPD(), ctrlDepth: ctrlDepth, dataDepth: ioDepth + 4}
+	ep.CtrlCQ = verbs.NewUpcallCQ(loop)
+	ep.DataCQ = verbs.NewUpcallCQ(loop)
+
+	var err error
+	ep.Ctrl, err = dev.CreateQP(verbs.QPConfig{
+		PD: ep.PD, SendCQ: ep.CtrlCQ, RecvCQ: ep.CtrlCQ,
+		MaxSend: ctrlDepth, MaxRecv: ctrlDepth,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: control QP: %w", err)
+	}
+	dataDepth := ioDepth + 4
+	for i := 0; i < channels; i++ {
+		qp, err := dev.CreateQP(verbs.QPConfig{
+			PD: ep.PD, SendCQ: ep.DataCQ, RecvCQ: ep.DataCQ,
+			MaxSend: dataDepth, MaxRecv: dataDepth + 4,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: data QP %d: %w", i, err)
+		}
+		ep.Data = append(ep.Data, qp)
+	}
+
+	// Pre-post the full control receive ring so control SENDs never hit
+	// receiver-not-ready (Section III: "the data sink must pre-post
+	// sufficient registered buffers in the receive queue").
+	for i := 0; i < ctrlDepth; i++ {
+		mr, err := dev.RegisterMR(ep.PD, make([]byte, ctrlBufSize), verbs.AccessLocalWrite)
+		if err != nil {
+			return nil, fmt.Errorf("core: control recv buffer: %w", err)
+		}
+		ep.ctrlRecvMRs = append(ep.ctrlRecvMRs, mr)
+		if err := ep.Ctrl.PostRecv(&verbs.RecvWR{WRID: uint64(i), MR: mr, Len: ctrlBufSize}); err != nil {
+			return nil, fmt.Errorf("core: pre-posting control recv: %w", err)
+		}
+	}
+	return ep, nil
+}
+
+// postDataNotifyRecvs pre-posts notification receives on every data QP
+// (immediate-notification mode: WRITE WITH IMMEDIATE consumes one
+// receive per block). The buffers are minimal: the immediate value and
+// completion metadata carry everything.
+func (ep *Endpoint) postDataNotifyRecvs(perQP int) error {
+	mr, err := ep.Dev.RegisterMR(ep.PD, make([]byte, 64), verbs.AccessLocalWrite)
+	if err != nil {
+		return fmt.Errorf("core: notify recv buffer: %w", err)
+	}
+	ep.notifyMR = mr
+	for _, qp := range ep.Data {
+		for i := 0; i < perQP; i++ {
+			if err := qp.PostRecv(&verbs.RecvWR{WRID: uint64(i), MR: mr, Len: 64}); err != nil {
+				return fmt.Errorf("core: pre-posting notify recv: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// repostDataNotifyRecv replenishes one notification receive on qp.
+func (ep *Endpoint) repostDataNotifyRecv(qp verbs.QP, wrid uint64) error {
+	if ep.closed {
+		return ErrClosed
+	}
+	return qp.PostRecv(&verbs.RecvWR{WRID: wrid, MR: ep.notifyMR, Len: 64})
+}
+
+// repostCtrlRecv returns a consumed control receive buffer to the ring.
+func (ep *Endpoint) repostCtrlRecv(wrid uint64) error {
+	if ep.closed {
+		return ErrClosed
+	}
+	mr := ep.ctrlRecvMRs[int(wrid)]
+	return ep.Ctrl.PostRecv(&verbs.RecvWR{WRID: wrid, MR: mr, Len: ctrlBufSize})
+}
+
+// Close tears down all queue pairs.
+func (ep *Endpoint) Close() {
+	if ep.closed {
+		return
+	}
+	ep.closed = true
+	ep.Ctrl.Close()
+	for _, qp := range ep.Data {
+		qp.Close()
+	}
+}

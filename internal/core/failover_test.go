@@ -1,0 +1,165 @@
+package core
+
+import (
+	"testing"
+
+	"rftp/internal/fabric/simfabric"
+	"rftp/internal/verbs"
+)
+
+// TestChannelFailoverMidTransfer kills one of the data channels in the
+// middle of a transfer (by deregistering a granted sink region, so the
+// next WRITE to it takes a remote access error and errors its QP) and
+// checks that the source retries the block on a surviving channel and
+// the dataset still arrives complete.
+func TestChannelFailoverMidTransfer(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BlockSize = 1 << 20
+	cfg.Channels = 4
+	cfg.IODepth = 16
+	p := newSimPipe(t, lanLink(), cfg)
+
+	// After ~1ms of transfer, sabotage one granted (waiting) region.
+	p.sched.After(1e6, func() {
+		for _, b := range p.sink.pool.blocks {
+			if b.state == BlockWaiting {
+				dev := p.sink.ep.Dev.(*simfabric.Device)
+				dev.Space().Deregister(b.mr)
+				return
+			}
+		}
+		t.Log("no waiting block at sabotage time; test degenerates to a plain transfer")
+	})
+
+	total := int64(512 << 20)
+	var srcRes, sinkRes TransferResult
+	srcDone, sinkDone := false, false
+	p.sink.OnSessionDone = func(info SessionInfo, r TransferResult) { sinkRes, sinkDone = r, true }
+	p.source.Start(func(err error) {
+		if err != nil {
+			t.Errorf("nego: %v", err)
+			return
+		}
+		src := &ModelSource{Total: total, Loader: p.loader, NsPerByte: 0.16}
+		p.source.Transfer(src, total, func(r TransferResult) { srcRes, srcDone = r, true })
+	})
+	p.sched.RunAll()
+
+	if !srcDone || !sinkDone {
+		t.Fatalf("transfer incomplete after channel failure (src=%v sink=%v)", srcDone, sinkDone)
+	}
+	if srcRes.Err != nil || sinkRes.Err != nil {
+		t.Fatalf("errors: src=%v sink=%v", srcRes.Err, sinkRes.Err)
+	}
+	if sinkRes.Bytes != total {
+		t.Fatalf("sink got %d of %d bytes", sinkRes.Bytes, total)
+	}
+	st := p.source.Stats()
+	if st.Retries == 0 {
+		t.Fatal("no retry recorded despite the sabotaged region")
+	}
+	if p.source.liveChannels() != cfg.Channels-1 {
+		t.Fatalf("live channels = %d, want %d", p.source.liveChannels(), cfg.Channels-1)
+	}
+}
+
+// TestAllChannelsDeadFailsTransfer removes remote write access from
+// every granted region so all channels die: the transfer must fail
+// cleanly rather than hang.
+func TestAllChannelsDeadFailsTransfer(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BlockSize = 1 << 20
+	cfg.Channels = 1
+	cfg.IODepth = 8
+	p := newSimPipe(t, lanLink(), cfg)
+
+	p.sched.After(5e5, func() {
+		dev := p.sink.ep.Dev.(*simfabric.Device)
+		for _, b := range p.sink.pool.blocks {
+			dev.Space().Deregister(b.mr)
+		}
+	})
+	var srcRes TransferResult
+	done := false
+	p.source.Start(func(err error) {
+		if err != nil {
+			t.Errorf("nego: %v", err)
+			return
+		}
+		src := &ModelSource{Total: 512 << 20, Loader: p.loader, NsPerByte: 0.16}
+		p.source.Transfer(src, 512<<20, func(r TransferResult) { srcRes, done = r, true })
+	})
+	p.sched.RunAll()
+	if !done {
+		t.Fatal("transfer hung after all channels died")
+	}
+	if srcRes.Err == nil {
+		t.Fatal("transfer succeeded despite every region deregistered")
+	}
+}
+
+// TestRetryBudgetExhaustion drives one block through repeated failures
+// until ErrTooManyRetries. Uses many channels so channel death does not
+// end the run first.
+func TestRetryBudgetExhaustion(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BlockSize = 1 << 20
+	cfg.Channels = 8
+	cfg.IODepth = 4
+	cfg.MaxRetries = 3
+	p := newSimPipe(t, lanLink(), cfg)
+
+	// Deregister every region as soon as it is granted, forever.
+	var sabotage func()
+	sabotage = func() {
+		dev := p.sink.ep.Dev.(*simfabric.Device)
+		if p.sink.pool != nil {
+			for _, b := range p.sink.pool.blocks {
+				if b.state == BlockWaiting {
+					dev.Space().Deregister(b.mr)
+				}
+			}
+		}
+		p.sched.After(1e5, sabotage)
+	}
+	p.sched.After(1e5, sabotage)
+
+	var srcRes TransferResult
+	done := false
+	p.source.Start(func(err error) {
+		if err != nil {
+			return
+		}
+		src := &ModelSource{Total: 64 << 20, Loader: p.loader, NsPerByte: 0.16}
+		p.source.Transfer(src, 64<<20, func(r TransferResult) { srcRes, done = r, true })
+	})
+	// Bounded run: the sabotage loop reschedules forever.
+	p.sched.Run(5e9)
+	if !done {
+		t.Fatal("transfer hung instead of failing")
+	}
+	if srcRes.Err == nil {
+		t.Fatal("transfer succeeded under permanent sabotage")
+	}
+}
+
+// TestFlushedCompletionsIgnoredAfterClose closes the source mid-flight
+// and verifies flushed completions do not corrupt the pool.
+func TestFlushedCompletionsIgnoredAfterClose(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BlockSize = 1 << 20
+	p := newSimPipe(t, wanLink(), cfg)
+	p.source.Start(func(err error) {
+		if err != nil {
+			return
+		}
+		src := &ModelSource{Total: 1 << 30, Loader: p.loader, NsPerByte: 0.16}
+		p.source.Transfer(src, 1<<30, func(TransferResult) {})
+	})
+	// Close while blocks are in flight on the long-latency link.
+	p.sched.After(100e6, p.source.Close) // 100ms: mid-transfer
+	p.sched.RunAll()
+	// Nothing to assert beyond "no panic": the FSM would panic on any
+	// illegal transition triggered by stale completions.
+	_ = verbs.StatusFlushed
+}

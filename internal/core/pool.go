@@ -1,0 +1,169 @@
+package core
+
+import (
+	"fmt"
+
+	"rftp/internal/verbs"
+	"rftp/internal/wire"
+)
+
+// BlockState is the FSM state of a buffer block (Figure 6).
+type BlockState uint8
+
+// Block states. The source cycle is Free → Loading → Loaded → Sending →
+// Waiting → Free; the sink cycle is Free → Waiting → DataReady → Free
+// (Storing is the explicit "application consuming the payload" stage).
+const (
+	BlockFree BlockState = iota
+	BlockLoading
+	BlockLoaded
+	BlockSending
+	BlockWaiting
+	BlockDataReady
+	BlockStoring
+)
+
+func (s BlockState) String() string {
+	switch s {
+	case BlockFree:
+		return "free"
+	case BlockLoading:
+		return "loading"
+	case BlockLoaded:
+		return "loaded"
+	case BlockSending:
+		return "sending"
+	case BlockWaiting:
+		return "waiting"
+	case BlockDataReady:
+		return "data-ready"
+	case BlockStoring:
+		return "storing"
+	default:
+		return fmt.Sprintf("BlockState(%d)", uint8(s))
+	}
+}
+
+// validNext enumerates the legal FSM transitions. It is consulted on
+// every transition; an illegal transition panics, because it is always a
+// protocol-implementation bug, never a runtime condition.
+var validNext = map[BlockState][]BlockState{
+	BlockFree:      {BlockLoading, BlockWaiting},
+	BlockLoading:   {BlockLoaded, BlockFree},
+	BlockLoaded:    {BlockSending},
+	BlockSending:   {BlockWaiting, BlockLoaded},
+	BlockWaiting:   {BlockFree, BlockLoaded, BlockDataReady},
+	BlockDataReady: {BlockStoring},
+	BlockStoring:   {BlockFree},
+}
+
+// block is one buffer block and its registered memory region. The first
+// wire.BlockHeaderSize bytes of the region hold the header; the rest is
+// payload (real or modeled).
+type block struct {
+	idx   int
+	state BlockState
+	mr    *verbs.MR
+	// hdrBuf carries the header for modeled payloads (real payloads
+	// encode the header directly into mr.Buf).
+	hdrBuf [wire.BlockHeaderSize]byte
+
+	// Source-side bookkeeping.
+	session    uint32
+	seq        uint32
+	offset     uint64
+	payloadLen int
+	last       bool
+	retries    int
+	credit     wire.Credit // the remote region the block was written to
+	chIdx      int         // data channel the block was posted on
+}
+
+func (b *block) setState(to BlockState) {
+	for _, ok := range validNext[b.state] {
+		if ok == to {
+			b.state = to
+			return
+		}
+	}
+	panic(fmt.Sprintf("core: illegal block transition %v -> %v (block %d)", b.state, to, b.idx))
+}
+
+// pool is a set of blocks with registered MRs.
+type pool struct {
+	blocks []*block
+	free   []*block // LIFO free list
+}
+
+// newPool registers nblocks regions of blockSize bytes on dev. Modeled
+// pools back each block with a shadow of just the header plus slack.
+func newPool(dev verbs.Device, pd *verbs.PD, nblocks, blockSize int, modeled bool, access verbs.Access) (*pool, error) {
+	p := &pool{}
+	for i := 0; i < nblocks; i++ {
+		var mr *verbs.MR
+		var err error
+		if modeled {
+			mr, err = dev.RegisterModelMR(pd, blockSize, wire.BlockHeaderSize, access)
+		} else {
+			mr, err = dev.RegisterMR(pd, make([]byte, blockSize), access)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("core: registering block %d: %w", i, err)
+		}
+		b := &block{idx: i, mr: mr}
+		p.blocks = append(p.blocks, b)
+		p.free = append(p.free, b)
+	}
+	return p, nil
+}
+
+// get pops a free block (nil when exhausted).
+func (p *pool) get() *block {
+	if len(p.free) == 0 {
+		return nil
+	}
+	b := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	return b
+}
+
+// put returns a block to the free list. The caller must already have
+// transitioned it to BlockFree.
+func (p *pool) put(b *block) {
+	if b.state != BlockFree {
+		panic(fmt.Sprintf("core: putting non-free block %d (%v)", b.idx, b.state))
+	}
+	b.session, b.seq, b.offset, b.payloadLen, b.last, b.retries = 0, 0, 0, 0, false, 0
+	b.credit = wire.Credit{}
+	b.chIdx = 0
+	p.free = append(p.free, b)
+}
+
+// byIdx returns the block with the given index.
+func (p *pool) byIdx(i int) *block {
+	if i < 0 || i >= len(p.blocks) {
+		return nil
+	}
+	return p.blocks[i]
+}
+
+// byRKey finds the block whose MR has the given rkey.
+func (p *pool) byRKey(rkey uint32) *block {
+	for _, b := range p.blocks {
+		if b.mr.RKey == rkey {
+			return b
+		}
+	}
+	return nil
+}
+
+// countState returns how many blocks are in the given state.
+func (p *pool) countState(s BlockState) int {
+	n := 0
+	for _, b := range p.blocks {
+		if b.state == s {
+			n++
+		}
+	}
+	return n
+}

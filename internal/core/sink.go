@@ -1,0 +1,544 @@
+package core
+
+import (
+	"fmt"
+
+	"rftp/internal/trace"
+	"rftp/internal/verbs"
+	"rftp/internal/wire"
+)
+
+// SessionInfo describes a session the sink accepted.
+type SessionInfo struct {
+	ID uint32
+	// Total is the advisory dataset size from SESSION_REQ (0 = unknown).
+	Total int64
+	// BlockSize is the negotiated block size.
+	BlockSize int
+}
+
+// Sink is the data-sink side of the protocol: it accepts negotiation,
+// owns the receive block pool, pushes credits proactively, reassembles
+// out-of-order blocks by (session, sequence), and delivers an in-order
+// stream to a BlockSink per session.
+type Sink struct {
+	ep  *Endpoint
+	cfg Config
+
+	// NewWriter supplies the per-session consumer. Defaults to
+	// DiscardSink.
+	NewWriter func(SessionInfo) BlockSink
+	// OnSessionDone observes each finished session.
+	OnSessionDone func(SessionInfo, TransferResult)
+	// OnError observes fatal connection-level failures.
+	OnError func(error)
+	// Trace, when set, records protocol events into a ring buffer.
+	Trace *trace.Ring
+
+	ctrlQ      []ctrlItem // encoded messages awaiting queue space
+	ctrlSent   []func()   // per posted send: completion callback (may be nil)
+	pool       *pool      // allocated when block size is negotiated
+	blockSize  int
+	immMode    bool // WRITE WITH IMMEDIATE notifications negotiated
+	granted    int  // credits outstanding at the source
+	pendingReq bool // MR_INFO_REQUEST awaiting a free block
+
+	sessions map[uint32]*sinkSession
+	nextID   uint32
+
+	stats  Stats
+	closed bool
+	failed error
+}
+
+// sinkSession is one dataset being received.
+type sinkSession struct {
+	info        SessionInfo
+	writer      BlockSink
+	nextDeliver uint32
+	ready       map[uint32]*block // data-ready blocks by seq
+	storing     int               // Stores issued, not yet done
+	haveLast    bool
+	lastSeq     uint32
+	received    int64
+	blocks      int64
+	completeRx  bool
+	finished    bool
+}
+
+// NewSink creates the sink on an endpoint. Set NewWriter /
+// OnSessionDone / OnError before the fabric starts delivering messages
+// (for netfabric: before BindQP; for in-process fabrics: before the
+// peer's Source starts).
+func NewSink(ep *Endpoint, cfg Config) (*Sink, error) {
+	cfg, err := cfg.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	k := &Sink{
+		ep:        ep,
+		cfg:       cfg,
+		sessions:  make(map[uint32]*sinkSession),
+		NewWriter: func(SessionInfo) BlockSink { return DiscardSink{} },
+	}
+	ep.CtrlCQ.SetHandler(k.onCtrlWC)
+	ep.DataCQ.SetHandler(k.onDataWC)
+	return k, nil
+}
+
+// Stats returns a snapshot of connection-level statistics.
+func (k *Sink) Stats() Stats { return k.stats }
+
+// BlockSizeInUse returns the negotiated block size (0 before
+// negotiation).
+func (k *Sink) BlockSizeInUse() int { return k.blockSize }
+
+// Close tears the connection down.
+func (k *Sink) Close() {
+	if k.closed {
+		return
+	}
+	k.closed = true
+	k.ep.Close()
+}
+
+// ctrlItem is a control message queued for transmission, with an
+// optional callback fired when its send completion arrives (i.e. the
+// peer has it).
+type ctrlItem struct {
+	buf    []byte
+	onSent func()
+}
+
+func (k *Sink) sendCtrl(c *wire.Control) { k.sendCtrlThen(c, nil) }
+
+// sendCtrlThen queues a control message; onSent (if non-nil) fires on
+// the message's send completion — after the peer acknowledged it. Used
+// for ordering guarantees at teardown.
+func (k *Sink) sendCtrlThen(c *wire.Control, onSent func()) {
+	buf, err := c.Encode(nil)
+	if err != nil {
+		k.fail(fmt.Errorf("core: encoding %v: %w", c.Type, err))
+		return
+	}
+	k.stats.CtrlMsgs++
+	k.ctrlQ = append(k.ctrlQ, ctrlItem{buf: buf, onSent: onSent})
+	k.pumpCtrl()
+}
+
+// pumpCtrl posts queued control messages while the send queue accepts
+// them; ErrSendQueueFull waits for a send completion.
+func (k *Sink) pumpCtrl() {
+	for len(k.ctrlQ) > 0 {
+		item := k.ctrlQ[0]
+		err := k.ep.Ctrl.PostSend(&verbs.SendWR{Op: verbs.OpSend, Data: item.buf})
+		if err == verbs.ErrSendQueueFull {
+			return
+		}
+		if err != nil {
+			k.fail(fmt.Errorf("core: posting control message: %w", err))
+			return
+		}
+		k.ctrlQ = k.ctrlQ[1:]
+		k.ctrlSent = append(k.ctrlSent, item.onSent)
+	}
+}
+
+func (k *Sink) onCtrlWC(wc verbs.WC) {
+	if k.closed {
+		return
+	}
+	if wc.Status != verbs.StatusSuccess {
+		if wc.Status == verbs.StatusFlushed {
+			return
+		}
+		k.fail(fmt.Errorf("core: control QP failure: %v", wc.Status))
+		return
+	}
+	if wc.Op != verbs.OpRecv {
+		// Control send completion: run its callback (completions arrive
+		// in posting order on an RC queue pair) and drain the queue.
+		if len(k.ctrlSent) > 0 {
+			cb := k.ctrlSent[0]
+			k.ctrlSent = k.ctrlSent[1:]
+			if cb != nil {
+				cb()
+			}
+		}
+		k.pumpCtrl()
+		return
+	}
+	c, err := wire.DecodeControl(wc.Data)
+	if err != nil {
+		k.fail(fmt.Errorf("core: bad control message: %w", err))
+		return
+	}
+	if err := k.ep.repostCtrlRecv(wc.WRID); err != nil && !k.closed {
+		k.fail(fmt.Errorf("core: reposting control recv: %w", err))
+		return
+	}
+	k.handleCtrl(c)
+}
+
+// onDataWC: with explicit-notification mode the sink's data QPs see no
+// completions for plain RDMA WRITE (one-sided); in immediate mode every
+// block announces itself here.
+func (k *Sink) onDataWC(wc verbs.WC) {
+	if k.closed || wc.Status == verbs.StatusFlushed {
+		return
+	}
+	if wc.Status != verbs.StatusSuccess {
+		k.fail(fmt.Errorf("core: data QP failure: %v", wc.Status))
+		return
+	}
+	if wc.Op != verbs.OpWriteImm {
+		return
+	}
+	// Replenish the consumed notification receive on the same QP.
+	for _, qp := range k.ep.Data {
+		if qp.ID() == wc.QP {
+			if err := k.ep.repostDataNotifyRecv(qp, wc.WRID); err != nil && !k.closed {
+				k.fail(fmt.Errorf("core: reposting notify recv: %w", err))
+				return
+			}
+			break
+		}
+	}
+	k.handleImmNotify(wc)
+}
+
+// handleImmNotify processes a WRITE WITH IMMEDIATE arrival: the
+// immediate value is the rkey of the consumed region.
+func (k *Sink) handleImmNotify(wc verbs.WC) {
+	if k.pool == nil {
+		k.fail(fmt.Errorf("%w: immediate notification before negotiation", ErrProtocol))
+		return
+	}
+	b := k.pool.byRKey(wc.Imm)
+	if b == nil || b.state != BlockWaiting {
+		k.fail(fmt.Errorf("%w: immediate for unknown or non-waiting region rkey=%d", ErrProtocol, wc.Imm))
+		return
+	}
+	hdr, err := wire.DecodeBlockHeader(b.mr.ViewLocal(0, wire.BlockHeaderSize))
+	if err != nil {
+		k.fail(fmt.Errorf("%w: undecodable block header: %v", ErrProtocol, err))
+		return
+	}
+	if int(hdr.PayloadLen)+wire.BlockHeaderSize != wc.ByteLen {
+		k.fail(fmt.Errorf("%w: header length %d does not match WRITE length %d",
+			ErrProtocol, hdr.PayloadLen, wc.ByteLen))
+		return
+	}
+	k.blockArrived(b, hdr)
+}
+
+func (k *Sink) handleCtrl(c *wire.Control) {
+	switch c.Type {
+	case wire.MsgBlockSizeReq:
+		k.handleBlockSize(c)
+	case wire.MsgChannelsReq:
+		accept := int(c.AssocData) == len(k.ep.Data) && c.AssocData > 0
+		flags := uint8(0)
+		if accept {
+			flags = wire.FlagAccept
+		}
+		k.sendCtrl(&wire.Control{Type: wire.MsgChannelsResp, Flags: flags, AssocData: c.AssocData})
+	case wire.MsgSessionReq:
+		k.handleSessionReq(c)
+	case wire.MsgMRInfoRequest:
+		k.handleMRRequest()
+	case wire.MsgBlockComplete:
+		k.handleBlockComplete(c)
+	case wire.MsgDatasetComplete:
+		k.handleDatasetComplete(c)
+	case wire.MsgAbort:
+		if sess, ok := k.sessions[c.Session]; ok && c.Session != 0 {
+			k.finishSession(sess, ErrAborted)
+		} else {
+			k.fail(ErrAborted)
+		}
+	}
+}
+
+// handleBlockSize accepts a proposed block size and allocates the
+// receive pool (sink blocks become the credit supply).
+func (k *Sink) handleBlockSize(c *wire.Control) {
+	proposed := int(c.AssocData)
+	const minBlock, maxBlock = wire.BlockHeaderSize + 1, 256 << 20
+	if proposed < minBlock || proposed > maxBlock {
+		k.sendCtrl(&wire.Control{Type: wire.MsgBlockSizeResp, AssocData: c.AssocData})
+		return
+	}
+	if k.pool == nil {
+		var err error
+		shadowAccess := verbs.AccessLocalWrite | verbs.AccessRemoteWrite
+		k.pool, err = newPool(k.ep.Dev, k.ep.PD, k.cfg.SinkBlocks, proposed, k.cfg.ModelPayload, shadowAccess)
+		if err != nil {
+			k.fail(err)
+			return
+		}
+		k.blockSize = proposed
+		k.Trace.Emit(trace.CatNego, "accepted block size %d; pool of %d blocks", proposed, k.cfg.SinkBlocks)
+		// Adopt the source's notification mode; immediate mode needs
+		// pre-posted receives on every data channel.
+		if c.Flags&wire.FlagImmNotify != 0 {
+			k.immMode = true
+			if err := k.ep.postDataNotifyRecvs(k.ep.dataDepth); err != nil {
+				k.fail(err)
+				return
+			}
+		}
+	} else if proposed != k.blockSize {
+		// Renegotiating a different size on a live pool is rejected.
+		k.sendCtrl(&wire.Control{Type: wire.MsgBlockSizeResp, AssocData: c.AssocData})
+		return
+	}
+	flags := wire.FlagAccept
+	if k.immMode {
+		flags |= wire.FlagImmNotify
+	}
+	k.sendCtrl(&wire.Control{Type: wire.MsgBlockSizeResp, Flags: flags, AssocData: c.AssocData})
+}
+
+func (k *Sink) handleSessionReq(c *wire.Control) {
+	if k.pool == nil {
+		k.sendCtrl(&wire.Control{Type: wire.MsgSessionResp})
+		return
+	}
+	k.nextID++
+	sess := &sinkSession{
+		info:   SessionInfo{ID: k.nextID, Total: int64(c.AssocData), BlockSize: k.blockSize},
+		ready:  make(map[uint32]*block),
+		writer: nil,
+	}
+	sess.writer = k.NewWriter(sess.info)
+	k.Trace.Emit(trace.CatSession, "accepted session %d (%d bytes advertised)", sess.info.ID, sess.info.Total)
+	k.sessions[sess.info.ID] = sess
+	if k.stats.Start == 0 {
+		k.stats.Start = k.ep.Loop.Now()
+	}
+	k.sendCtrl(&wire.Control{Type: wire.MsgSessionResp, Flags: wire.FlagAccept, Session: sess.info.ID})
+	// Active feedback begins: push the initial credit window.
+	if k.cfg.CreditPolicy == CreditProactive {
+		k.grantCredits(k.cfg.InitialCredits)
+	}
+}
+
+// grantCredits advertises up to n free blocks to the source
+// (free → waiting in the sink FSM).
+func (k *Sink) grantCredits(n int) {
+	if n <= 0 || k.pool == nil {
+		return
+	}
+	var credits []wire.Credit
+	for len(credits) < n && len(credits) < wire.MaxCreditsPerMsg {
+		b := k.pool.get()
+		if b == nil {
+			break
+		}
+		b.setState(BlockWaiting)
+		credits = append(credits, wire.Credit{Addr: b.mr.Addr, RKey: b.mr.RKey, Len: uint32(k.blockSize)})
+	}
+	if len(credits) == 0 {
+		return
+	}
+	k.granted += len(credits)
+	k.stats.CreditsGranted += int64(len(credits))
+	k.Trace.Emit(trace.CatCredit, "granted %d credits (%d outstanding)", len(credits), k.granted)
+	k.sendCtrl(&wire.Control{Type: wire.MsgMRInfoResponse, Credits: credits})
+}
+
+// handleMRRequest must answer as soon as at least one region frees
+// (paper: "the responder will be delayed until one becomes available").
+func (k *Sink) handleMRRequest() {
+	// An explicit request means the source is starving: answer with a
+	// full batch regardless of policy.
+	batch := k.cfg.OnDemandBatch
+	if k.pool == nil || k.pool.countState(BlockFree) == 0 {
+		k.pendingReq = true
+		return
+	}
+	k.grantCredits(batch)
+}
+
+// handleBlockComplete processes a block-transfer completion
+// notification: the named region now holds a block (waiting →
+// data-ready), and under the proactive policy up to GrantPerConsume
+// fresh credits go back immediately.
+func (k *Sink) handleBlockComplete(c *wire.Control) {
+	if k.pool == nil {
+		k.fail(fmt.Errorf("%w: block complete before negotiation", ErrProtocol))
+		return
+	}
+	b := k.pool.byRKey(c.RKey)
+	if b == nil || b.state != BlockWaiting {
+		k.fail(fmt.Errorf("%w: completion for unknown or non-waiting region rkey=%d", ErrProtocol, c.RKey))
+		return
+	}
+	hdrBytes := b.mr.ViewLocal(0, wire.BlockHeaderSize)
+	hdr, err := wire.DecodeBlockHeader(hdrBytes)
+	if err != nil {
+		k.fail(fmt.Errorf("%w: undecodable block header: %v", ErrProtocol, err))
+		return
+	}
+	if hdr.Session != c.Session || hdr.Seq != c.Seq || hdr.PayloadLen != c.Length {
+		k.fail(fmt.Errorf("%w: header/notification mismatch (hdr %d/%d/%d vs msg %d/%d/%d)",
+			ErrProtocol, hdr.Session, hdr.Seq, hdr.PayloadLen, c.Session, c.Seq, c.Length))
+		return
+	}
+	k.blockArrived(b, hdr)
+}
+
+// blockArrived is the shared tail of both notification paths: the named
+// region holds a complete block (waiting → data-ready); replacements
+// are granted and in-order delivery advances.
+func (k *Sink) blockArrived(b *block, hdr wire.BlockHeader) {
+	k.granted--
+	sess := k.sessions[hdr.Session]
+	if sess == nil || sess.finished {
+		k.fail(fmt.Errorf("%w: block for unknown session %d", ErrProtocol, hdr.Session))
+		return
+	}
+	if _, dup := sess.ready[hdr.Seq]; dup || hdr.Seq < sess.nextDeliver {
+		k.fail(fmt.Errorf("%w: duplicate block %d/%d", ErrProtocol, hdr.Session, hdr.Seq))
+		return
+	}
+	b.setState(BlockDataReady)
+	b.session, b.seq, b.payloadLen, b.last = hdr.Session, hdr.Seq, int(hdr.PayloadLen), hdr.Last
+	b.offset = hdr.Offset
+	k.Trace.Emit(trace.CatBlock, "block %d/%d arrived (%dB, last=%v)", hdr.Session, hdr.Seq, hdr.PayloadLen, hdr.Last)
+	sess.ready[hdr.Seq] = b
+	if hdr.Last {
+		sess.haveLast = true
+		sess.lastSeq = hdr.Seq
+	}
+	// Proactive feedback: grant replacements right away; if nothing is
+	// free the notification is simply not answered (paper semantics).
+	if k.cfg.CreditPolicy == CreditProactive {
+		k.grantCredits(k.cfg.GrantPerConsume)
+	}
+	k.deliver(sess)
+}
+
+// deliver hands ready blocks to the writer in sequence order
+// (get_ready_blk in the paper's FSM).
+func (k *Sink) deliver(sess *sinkSession) {
+	for {
+		b, ok := sess.ready[sess.nextDeliver]
+		if !ok {
+			break
+		}
+		delete(sess.ready, sess.nextDeliver)
+		sess.nextDeliver++
+		b.setState(BlockStoring)
+		sess.storing++
+		hdr := wire.BlockHeader{
+			Session: b.session, Seq: b.seq,
+			Offset: b.offset, PayloadLen: uint32(b.payloadLen), Last: b.last,
+		}
+		var payload []byte
+		if !k.cfg.ModelPayload {
+			payload = b.mr.ViewLocal(wire.BlockHeaderSize, b.payloadLen)
+		}
+		sess.writer.Store(hdr, payload, b.payloadLen, func(err error) {
+			k.ep.Loop.Post(0, func() { k.storeDone(sess, b, err) })
+		})
+	}
+	k.maybeFinish(sess)
+}
+
+// storeDone recycles a consumed block (put_free_blk) and answers any
+// starved credit request.
+func (k *Sink) storeDone(sess *sinkSession, b *block, err error) {
+	if k.closed || k.failed != nil {
+		return
+	}
+	sess.storing--
+	if err != nil {
+		k.finishSession(sess, fmt.Errorf("core: storing block %d: %w", b.seq, err))
+		k.sendCtrl(&wire.Control{Type: wire.MsgAbort, Session: sess.info.ID})
+		return
+	}
+	sess.received += int64(b.payloadLen)
+	sess.blocks++
+	k.stats.Bytes += int64(b.payloadLen)
+	k.stats.Blocks++
+	k.stats.End = k.ep.Loop.Now()
+	b.setState(BlockFree)
+	k.pool.put(b)
+	if k.pendingReq {
+		k.pendingReq = false
+		k.handleMRRequest()
+	} else if k.cfg.CreditPolicy == CreditProactive && !k.cfg.NoGrantOnFree && len(k.sessions) > 0 {
+		// Active feedback: once the window has ramped to the whole
+		// pool, consume-time grants find nothing free, so re-advertise
+		// each block the moment it frees. Without this the source
+		// burns its stash and degenerates into explicit request
+		// round-trips.
+		k.grantCredits(1)
+	}
+	k.maybeFinish(sess)
+}
+
+func (k *Sink) handleDatasetComplete(c *wire.Control) {
+	sess := k.sessions[c.Session]
+	if sess == nil {
+		return
+	}
+	sess.completeRx = true
+	k.maybeFinish(sess)
+}
+
+// maybeFinish acknowledges a session once the complete in-order stream
+// has been stored.
+func (k *Sink) maybeFinish(sess *sinkSession) {
+	if sess.finished || !sess.completeRx || !sess.haveLast {
+		return
+	}
+	if sess.nextDeliver <= sess.lastSeq || sess.storing > 0 || len(sess.ready) > 0 {
+		return
+	}
+	k.Trace.Emit(trace.CatSession, "session %d complete (%d bytes, %d blocks)", sess.info.ID, sess.received, sess.blocks)
+	// Fire OnSessionDone only once the acknowledgment's send completion
+	// arrives: a server that closes the connection on session-done must
+	// not strand the ack.
+	sess.finished = true // no double-finish via other paths
+	k.sendCtrlThen(&wire.Control{Type: wire.MsgDatasetCompleteAck, Session: sess.info.ID}, func() {
+		sess.finished = false
+		k.finishSession(sess, nil)
+	})
+}
+
+func (k *Sink) finishSession(sess *sinkSession, err error) {
+	if sess.finished {
+		return
+	}
+	sess.finished = true
+	delete(k.sessions, sess.info.ID)
+	// Blocks still held by an aborted session return to the pool.
+	for _, b := range sess.ready {
+		b.state = BlockFree
+		k.pool.put(b)
+	}
+	sess.ready = nil
+	if k.OnSessionDone != nil {
+		k.OnSessionDone(sess.info, TransferResult{
+			Session: sess.info.ID, Bytes: sess.received, Blocks: sess.blocks, Err: err,
+		})
+	}
+}
+
+func (k *Sink) fail(err error) {
+	if k.failed != nil || k.closed {
+		return
+	}
+	k.failed = err
+	k.Trace.Emit(trace.CatError, "connection failed: %v", err)
+	k.sendCtrl(&wire.Control{Type: wire.MsgAbort})
+	for _, sess := range k.sessions {
+		k.finishSession(sess, err)
+	}
+	if k.OnError != nil {
+		k.OnError(err)
+	}
+}

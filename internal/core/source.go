@@ -1,0 +1,631 @@
+package core
+
+import (
+	"fmt"
+
+	"rftp/internal/trace"
+	"rftp/internal/verbs"
+	"rftp/internal/wire"
+)
+
+// Source is the data-source side of the protocol: it negotiates
+// parameters, loads blocks through a BlockSource, pairs loaded blocks
+// with remote-memory credits, and streams them over the data channel
+// queue pairs with RDMA WRITE, notifying the sink of each completed
+// block on the control queue pair.
+//
+// All methods must be called from the endpoint's loop (or before any
+// fabric activity); all callbacks are delivered on that loop.
+type Source struct {
+	ep  *Endpoint
+	cfg Config
+
+	pool    *pool
+	loaded  []*block // loaded, awaiting a credit+channel, in load order
+	credits []wire.Credit
+	stalled bool // MR_INFO_REQUEST outstanding
+
+	ctrlQ      [][]byte // encoded control messages awaiting queue space
+	negoStep   int      // 0 idle, 1 block size sent, 2 channels sent, 3 done
+	onReady    func(error)
+	openQ      []*srcSession // waiting to send SESSION_REQ
+	opening    *srcSession   // SESSION_REQ outstanding
+	sessions   map[uint32]*srcSession
+	rrSessions []*srcSession // load scheduling order
+
+	chInflight []int // per data QP
+	chDead     []bool
+	nextCh     int
+
+	stats  Stats
+	closed bool
+	failed error
+	// OnError observes fatal connection-level failures.
+	OnError func(error)
+	// OnProgress, when set, observes cumulative payload bytes confirmed
+	// per session (fires on every block completion, on the loop).
+	OnProgress func(session uint32, bytes int64)
+	// Trace, when set, records protocol events into a ring buffer.
+	Trace *trace.Ring
+}
+
+// srcSession is one dataset transfer in progress at the source.
+type srcSession struct {
+	id         uint32
+	src        BlockSource
+	total      int64 // advisory; EOF from the BlockSource is authoritative
+	sent       int64
+	blocks     int64
+	nextSeq    uint32
+	nextOffset uint64
+	loading    bool
+	eof        bool
+	inflight   int // blocks sending/waiting
+	queued     int // blocks in s.loaded
+	completeTx bool
+	onDone     func(TransferResult)
+}
+
+// TransferResult reports one finished dataset transfer.
+type TransferResult struct {
+	Session uint32
+	Bytes   int64
+	Blocks  int64
+	Err     error
+}
+
+// NewSource creates the source on an endpoint. Call Start to negotiate,
+// then Transfer for each dataset.
+func NewSource(ep *Endpoint, cfg Config) (*Source, error) {
+	cfg, err := cfg.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Channels != len(ep.Data) {
+		return nil, fmt.Errorf("core: config asks %d channels, endpoint has %d", cfg.Channels, len(ep.Data))
+	}
+	s := &Source{
+		ep:         ep,
+		cfg:        cfg,
+		sessions:   make(map[uint32]*srcSession),
+		chInflight: make([]int, len(ep.Data)),
+		chDead:     make([]bool, len(ep.Data)),
+	}
+	s.pool, err = newPool(ep.Dev, ep.PD, cfg.IODepth, cfg.BlockSize, cfg.ModelPayload, verbs.AccessLocalWrite)
+	if err != nil {
+		return nil, err
+	}
+	ep.CtrlCQ.SetHandler(s.onCtrlWC)
+	ep.DataCQ.SetHandler(s.onDataWC)
+	return s, nil
+}
+
+// Stats returns a snapshot of connection-level statistics.
+func (s *Source) Stats() Stats { return s.stats }
+
+// Config returns the normalized configuration in use.
+func (s *Source) Config() Config { return s.cfg }
+
+// Start begins parameter negotiation (phase 1). onReady fires on the
+// loop when both block size and channel count are accepted, or with an
+// error.
+func (s *Source) Start(onReady func(error)) {
+	if s.negoStep != 0 {
+		onReady(ErrBusy)
+		return
+	}
+	s.Trace.Emit(trace.CatNego, "negotiation start: block=%d channels=%d depth=%d imm=%v",
+		s.cfg.BlockSize, s.cfg.Channels, s.cfg.IODepth, s.cfg.NotifyViaImm)
+	s.onReady = onReady
+	s.negoStep = 1
+	if s.cfg.NegotiateTimeout > 0 {
+		s.ep.Loop.After(s.cfg.NegotiateTimeout, func() {
+			if s.negoStep != 3 && s.failed == nil && !s.closed {
+				s.fail(fmt.Errorf("core: negotiation timed out after %v", s.cfg.NegotiateTimeout))
+			}
+		})
+	}
+	var flags uint8
+	if s.cfg.NotifyViaImm {
+		flags |= wire.FlagImmNotify
+	}
+	s.sendCtrl(&wire.Control{Type: wire.MsgBlockSizeReq, Flags: flags, AssocData: uint64(s.cfg.BlockSize)})
+}
+
+// Transfer queues one dataset. total is advisory (sent to the sink in
+// SESSION_REQ); the BlockSource's EOF decides the true length. onDone
+// fires on the loop when the sink acknowledged the complete dataset.
+func (s *Source) Transfer(src BlockSource, total int64, onDone func(TransferResult)) {
+	if s.failed != nil || s.closed {
+		onDone(TransferResult{Err: firstErr(s.failed, ErrClosed)})
+		return
+	}
+	sess := &srcSession{src: src, total: total, onDone: onDone}
+	s.openQ = append(s.openQ, sess)
+	s.tryOpenSession()
+}
+
+// Close tears the connection down. In-flight transfers fail.
+func (s *Source) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.failSessions(ErrClosed)
+	s.ep.Close()
+}
+
+func firstErr(errs ...error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+// sendCtrl encodes and queues a control message. Sends are signaled so
+// completions drain the queue when the send queue was momentarily full.
+func (s *Source) sendCtrl(c *wire.Control) {
+	buf, err := c.Encode(nil)
+	if err != nil {
+		s.fail(fmt.Errorf("core: encoding %v: %w", c.Type, err))
+		return
+	}
+	s.stats.CtrlMsgs++
+	s.ctrlQ = append(s.ctrlQ, buf)
+	s.pumpCtrl()
+}
+
+// pumpCtrl posts queued control messages while the send queue accepts
+// them; ErrSendQueueFull waits for a send completion.
+func (s *Source) pumpCtrl() {
+	for len(s.ctrlQ) > 0 {
+		err := s.ep.Ctrl.PostSend(&verbs.SendWR{Op: verbs.OpSend, Data: s.ctrlQ[0]})
+		if err == verbs.ErrSendQueueFull {
+			return
+		}
+		if err != nil {
+			s.fail(fmt.Errorf("core: posting control message: %w", err))
+			return
+		}
+		s.ctrlQ = s.ctrlQ[1:]
+	}
+}
+
+func (s *Source) tryOpenSession() {
+	if s.opening != nil || len(s.openQ) == 0 || s.negoStep != 3 || s.failed != nil {
+		return
+	}
+	s.opening = s.openQ[0]
+	s.openQ = s.openQ[1:]
+	s.sendCtrl(&wire.Control{
+		Type:      wire.MsgSessionReq,
+		Length:    uint32(s.cfg.BlockSize),
+		AssocData: uint64(s.opening.total),
+	})
+}
+
+// onCtrlWC handles control queue completions.
+func (s *Source) onCtrlWC(wc verbs.WC) {
+	if s.closed {
+		return
+	}
+	if wc.Status != verbs.StatusSuccess {
+		if wc.Status == verbs.StatusFlushed {
+			return
+		}
+		s.fail(fmt.Errorf("core: control QP failure: %v", wc.Status))
+		return
+	}
+	if wc.Op != verbs.OpRecv {
+		s.pumpCtrl() // a send slot freed; drain queued control messages
+		return
+	}
+	c, err := wire.DecodeControl(wc.Data)
+	if err != nil {
+		s.fail(fmt.Errorf("core: bad control message: %w", err))
+		return
+	}
+	if err := s.ep.repostCtrlRecv(wc.WRID); err != nil && !s.closed {
+		s.fail(fmt.Errorf("core: reposting control recv: %w", err))
+		return
+	}
+	s.handleCtrl(c)
+}
+
+func (s *Source) handleCtrl(c *wire.Control) {
+	switch c.Type {
+	case wire.MsgBlockSizeResp:
+		if s.negoStep != 1 {
+			return
+		}
+		if c.Flags&wire.FlagAccept == 0 {
+			s.finishNego(ErrNegotiationRejected)
+			return
+		}
+		if s.cfg.NotifyViaImm && c.Flags&wire.FlagImmNotify == 0 {
+			// The sink did not adopt immediate notification.
+			s.finishNego(ErrNegotiationRejected)
+			return
+		}
+		s.negoStep = 2
+		s.sendCtrl(&wire.Control{Type: wire.MsgChannelsReq, AssocData: uint64(s.cfg.Channels)})
+
+	case wire.MsgChannelsResp:
+		if s.negoStep != 2 {
+			return
+		}
+		if c.Flags&wire.FlagAccept == 0 {
+			s.finishNego(ErrNegotiationRejected)
+			return
+		}
+		s.negoStep = 3
+		s.Trace.Emit(trace.CatNego, "negotiation complete")
+		s.finishNego(nil)
+		s.tryOpenSession()
+
+	case wire.MsgSessionResp:
+		sess := s.opening
+		if sess == nil {
+			return
+		}
+		s.opening = nil
+		if c.Flags&wire.FlagAccept == 0 {
+			sess.onDone(TransferResult{Err: ErrNegotiationRejected})
+			s.tryOpenSession()
+			return
+		}
+		sess.id = c.Session
+		s.Trace.Emit(trace.CatSession, "session %d open (%d bytes advertised)", sess.id, sess.total)
+		s.sessions[sess.id] = sess
+		s.rrSessions = append(s.rrSessions, sess)
+		if s.stats.Start == 0 {
+			s.stats.Start = s.ep.Loop.Now()
+		}
+		s.pump()
+		s.tryOpenSession()
+
+	case wire.MsgMRInfoResponse:
+		s.stalled = false
+		s.credits = append(s.credits, c.Credits...)
+		s.stats.CreditsGranted += int64(len(c.Credits))
+		s.Trace.Emit(trace.CatCredit, "received %d credits (stash %d)", len(c.Credits), len(s.credits))
+		s.pump()
+
+	case wire.MsgDatasetCompleteAck:
+		sess := s.sessions[c.Session]
+		if sess == nil {
+			return
+		}
+		s.Trace.Emit(trace.CatSession, "session %d acknowledged complete (%d bytes, %d blocks)",
+			sess.id, sess.sent, sess.blocks)
+		s.removeSession(sess)
+		sess.onDone(TransferResult{Session: sess.id, Bytes: sess.sent, Blocks: sess.blocks})
+
+	case wire.MsgAbort:
+		s.fail(ErrAborted)
+	}
+}
+
+func (s *Source) finishNego(err error) {
+	if cb := s.onReady; cb != nil {
+		s.onReady = nil
+		cb(err)
+	}
+	if err != nil {
+		s.fail(err)
+	}
+}
+
+func (s *Source) removeSession(sess *srcSession) {
+	delete(s.sessions, sess.id)
+	for i, r := range s.rrSessions {
+		if r == sess {
+			s.rrSessions = append(s.rrSessions[:i], s.rrSessions[i+1:]...)
+			break
+		}
+	}
+}
+
+// pump advances the source state machine: issue loads, pair loaded
+// blocks with credits, post WRITEs, request credits on starvation, and
+// send dataset-complete when drained.
+func (s *Source) pump() {
+	if s.failed != nil || s.closed {
+		return
+	}
+	s.issueLoads()
+	s.postWrites()
+	// Credit starvation fallback: data is ready but no credits and no
+	// outstanding request (paper: MR block information request).
+	if len(s.loaded) > 0 && len(s.credits) == 0 && !s.stalled {
+		s.stalled = true
+		s.stats.CreditStalls++
+		s.Trace.Emit(trace.CatCredit, "credit stall #%d (%d blocks waiting)", s.stats.CreditStalls, len(s.loaded))
+		s.sendCtrl(&wire.Control{Type: wire.MsgMRInfoRequest})
+	}
+	s.checkSessionCompletion()
+}
+
+// issueLoads starts block loads: one outstanding load per session,
+// blocks permitting (get_free_blk in the paper's FSM).
+func (s *Source) issueLoads() {
+	for _, sess := range s.rrSessions {
+		if sess.loading || sess.eof {
+			continue
+		}
+		b := s.pool.get()
+		if b == nil {
+			return
+		}
+		sess.loading = true
+		b.setState(BlockLoading)
+		b.session = sess.id
+		b.seq = sess.nextSeq
+		b.offset = sess.nextOffset
+		sess.nextSeq++
+		var payload []byte
+		if !s.cfg.ModelPayload {
+			payload = b.mr.Buf[wire.BlockHeaderSize:]
+		}
+		capacity := s.cfg.PayloadCapacity()
+		sess, b := sess, b
+		sess.src.Load(payload, capacity, func(n int, eof bool, err error) {
+			s.ep.Loop.Post(0, func() { s.loadDone(sess, b, n, eof, err) })
+		})
+	}
+}
+
+func (s *Source) loadDone(sess *srcSession, b *block, n int, eof bool, err error) {
+	if s.failed != nil || s.closed {
+		return
+	}
+	sess.loading = false
+	if err != nil {
+		b.setState(BlockFree)
+		s.pool.put(b)
+		s.failSession(sess, fmt.Errorf("core: loading block %d: %w", b.seq, err))
+		return
+	}
+	if n == 0 && !eof {
+		s.failSession(sess, fmt.Errorf("%w: empty load without EOF", ErrProtocol))
+		return
+	}
+	sess.nextOffset += uint64(n)
+	sess.eof = eof
+	b.payloadLen = n
+	b.last = eof
+	b.setState(BlockLoaded)
+	s.loaded = append(s.loaded, b)
+	sess.queued++
+	s.pump()
+}
+
+// postWrites pairs loaded blocks with credits and channels.
+func (s *Source) postWrites() {
+	for len(s.loaded) > 0 && len(s.credits) > 0 {
+		b := s.loaded[0]
+		cr := s.credits[0]
+		if int(cr.Len) < wire.BlockHeaderSize+b.payloadLen {
+			// Credit too small for this block: protocol violation (the
+			// block size was negotiated).
+			s.fail(fmt.Errorf("%w: credit len %d < block need %d", ErrProtocol, cr.Len, wire.BlockHeaderSize+b.payloadLen))
+			return
+		}
+		ch := s.pickChannel()
+		if ch < 0 {
+			return // all channels at depth; completions will re-pump
+		}
+		s.loaded = s.loaded[1:]
+		s.credits = s.credits[1:]
+		sess := s.sessions[b.session]
+		b.credit = cr
+		b.setState(BlockSending)
+		hdr := wire.BlockHeader{
+			Session: b.session, Seq: b.seq, Offset: b.offset,
+			PayloadLen: uint32(b.payloadLen), Last: b.last,
+		}
+		wr := &verbs.SendWR{
+			WRID:   uint64(b.idx),
+			Op:     verbs.OpWrite,
+			Remote: wire2remote(cr),
+		}
+		if s.cfg.NotifyViaImm {
+			// The immediate value names the consumed region; the sink
+			// reads everything else from the block header it owns.
+			wr.Op = verbs.OpWriteImm
+			wr.Imm = cr.RKey
+		}
+		if s.cfg.ModelPayload {
+			wire.EncodeBlockHeader(b.hdrBuf[:], hdr)
+			wr.Data = b.hdrBuf[:]
+			wr.ModelBytes = b.payloadLen
+		} else {
+			wire.EncodeBlockHeader(b.mr.Buf, hdr)
+			wr.Data = b.mr.Buf[:wire.BlockHeaderSize+b.payloadLen]
+		}
+		if err := s.ep.Data[ch].PostSend(wr); err != nil {
+			b.setState(BlockLoaded)
+			s.loaded = append([]*block{b}, s.loaded...)
+			s.credits = append([]wire.Credit{cr}, s.credits...)
+			if err == verbs.ErrSendQueueFull {
+				s.chInflight[ch] = s.cfg.IODepth + 4 // treat as saturated
+				continue
+			}
+			s.chDead[ch] = true
+			if s.liveChannels() == 0 {
+				s.fail(fmt.Errorf("core: all data channels failed: %w", err))
+				return
+			}
+			continue
+		}
+		b.setState(BlockWaiting)
+		b.chIdx = ch
+		s.Trace.Emit(trace.CatBlock, "posted block %d/%d (%dB) on channel %d", b.session, b.seq, b.payloadLen, ch)
+		s.chInflight[ch]++
+		if sess != nil {
+			sess.inflight++
+			sess.queued--
+		}
+	}
+}
+
+func wire2remote(c wire.Credit) verbs.RemoteAddr {
+	return verbs.RemoteAddr{Addr: c.Addr, RKey: c.RKey}
+}
+
+// pickChannel returns the next usable data channel (round-robin),
+// or -1 when every live channel is at depth.
+func (s *Source) pickChannel() int {
+	depth := s.cfg.IODepth + 4
+	for i := 0; i < len(s.ep.Data); i++ {
+		ch := (s.nextCh + i) % len(s.ep.Data)
+		if s.chDead[ch] || s.chInflight[ch] >= depth {
+			continue
+		}
+		s.nextCh = (ch + 1) % len(s.ep.Data)
+		return ch
+	}
+	return -1
+}
+
+func (s *Source) liveChannels() int {
+	n := 0
+	for _, d := range s.chDead {
+		if !d {
+			n++
+		}
+	}
+	return n
+}
+
+// onDataWC handles WRITE completions.
+func (s *Source) onDataWC(wc verbs.WC) {
+	if s.closed {
+		return
+	}
+	b := s.pool.byIdx(int(wc.WRID))
+	if b == nil || b.state != BlockWaiting {
+		return // stale completion after failure handling
+	}
+	s.chInflight[b.chIdx]--
+	sess := s.sessions[b.session]
+	switch wc.Status {
+	case verbs.StatusSuccess:
+		// Notify the sink which region completed (block transfer
+		// completion notification) — unless the WRITE itself carried
+		// the notification as an immediate value.
+		if !s.cfg.NotifyViaImm {
+			s.sendCtrl(&wire.Control{
+				Type:    wire.MsgBlockComplete,
+				Session: b.session,
+				Seq:     b.seq,
+				Addr:    b.credit.Addr,
+				RKey:    b.credit.RKey,
+				Length:  uint32(b.payloadLen),
+			})
+		}
+		s.stats.Bytes += int64(b.payloadLen)
+		s.stats.Blocks++
+		s.stats.End = s.ep.Loop.Now()
+		if sess != nil {
+			sess.sent += int64(b.payloadLen)
+			sess.blocks++
+			sess.inflight--
+			if s.OnProgress != nil {
+				s.OnProgress(sess.id, sess.sent)
+			}
+		}
+		b.setState(BlockFree)
+		s.pool.put(b)
+		s.pump()
+
+	case verbs.StatusFlushed:
+		// Teardown in progress; drop.
+		b.setState(BlockFree)
+		s.pool.put(b)
+
+	default:
+		// Failed WRITE: retry with a fresh credit (the old one is
+		// considered burned). The QP that failed is dead.
+		s.Trace.Emit(trace.CatError, "WRITE of block %d/%d failed (%v); channel %d dead, retry %d",
+			b.session, b.seq, wc.Status, b.chIdx, b.retries+1)
+		s.chDead[b.chIdx] = true
+		s.stats.Retries++
+		b.retries++
+		if b.retries > s.cfg.MaxRetries {
+			s.fail(fmt.Errorf("%w: block %d/%d after %v", ErrTooManyRetries, b.session, b.seq, wc.Status))
+			return
+		}
+		if s.liveChannels() == 0 {
+			s.fail(fmt.Errorf("core: all data channels failed: %v", wc.Status))
+			return
+		}
+		if sess != nil {
+			sess.inflight--
+			sess.queued++
+		}
+		b.setState(BlockLoaded)
+		s.loaded = append([]*block{b}, s.loaded...)
+		s.pump()
+	}
+}
+
+// checkSessionCompletion sends DATASET_COMPLETE for drained sessions.
+func (s *Source) checkSessionCompletion() {
+	for _, sess := range s.rrSessions {
+		if sess.completeTx || !sess.eof || sess.loading || sess.inflight > 0 || sess.queued > 0 {
+			continue
+		}
+		sess.completeTx = true
+		s.Trace.Emit(trace.CatSession, "session %d dataset complete sent (%d bytes, %d blocks)",
+			sess.id, sess.sent, sess.blocks)
+		s.sendCtrl(&wire.Control{
+			Type: wire.MsgDatasetComplete, Session: sess.id,
+			Seq: sess.nextSeq, AssocData: uint64(sess.sent),
+		})
+	}
+}
+
+// failSession aborts one session; the connection survives.
+func (s *Source) failSession(sess *srcSession, err error) {
+	s.removeSession(sess)
+	s.sendCtrl(&wire.Control{Type: wire.MsgAbort, Session: sess.id})
+	sess.onDone(TransferResult{Session: sess.id, Bytes: sess.sent, Blocks: sess.blocks, Err: err})
+}
+
+// fail is a fatal connection-level error: every session dies.
+func (s *Source) fail(err error) {
+	if s.failed != nil || s.closed {
+		return
+	}
+	s.failed = err
+	s.Trace.Emit(trace.CatError, "connection failed: %v", err)
+	s.failSessions(err)
+	if s.onReady != nil {
+		cb := s.onReady
+		s.onReady = nil
+		cb(err)
+	}
+	if s.OnError != nil {
+		s.OnError(err)
+	}
+}
+
+func (s *Source) failSessions(err error) {
+	sessions := append([]*srcSession(nil), s.rrSessions...)
+	s.rrSessions = nil
+	s.sessions = make(map[uint32]*srcSession)
+	for _, sess := range sessions {
+		sess.onDone(TransferResult{Session: sess.id, Bytes: sess.sent, Blocks: sess.blocks, Err: err})
+	}
+	if s.opening != nil {
+		s.opening.onDone(TransferResult{Err: err})
+		s.opening = nil
+	}
+	for _, sess := range s.openQ {
+		sess.onDone(TransferResult{Err: err})
+	}
+	s.openQ = nil
+}

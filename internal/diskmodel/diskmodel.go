@@ -1,0 +1,106 @@
+// Package diskmodel models the sink's storage subsystem for
+// memory-to-disk experiments (Figure 11).
+//
+// The paper spreads 400 GB files across multiple RAID disks so the
+// array outruns the 10 Gbps WAN NIC, and enables O_DIRECT in RFTP so
+// writes bypass the page cache. The model captures both effects: an
+// aggregate array bandwidth that serializes writes in virtual time, and
+// a per-byte CPU cost that differs sharply between buffered POSIX I/O
+// (page-cache copy + writeback) and direct I/O (DMA setup only).
+package diskmodel
+
+import (
+	"time"
+
+	"rftp/internal/hostmodel"
+	"rftp/internal/sim"
+)
+
+// Mode selects the I/O path.
+type Mode int
+
+// I/O modes.
+const (
+	// PosixBuffered is write(2) through the page cache.
+	PosixBuffered Mode = iota
+	// ODirect bypasses the page cache (RFTP's direct I/O feature).
+	ODirect
+)
+
+func (m Mode) String() string {
+	if m == ODirect {
+		return "direct"
+	}
+	return "posix"
+}
+
+// ArrayConfig describes the RAID array.
+type ArrayConfig struct {
+	// RateBps is the aggregate array write bandwidth in bits/s.
+	RateBps float64
+	// PerWriteLatency is fixed setup latency per write request.
+	PerWriteLatency time.Duration
+}
+
+// DefaultArray returns a RAID profile comfortably faster than a 10 Gbps
+// NIC (the paper's configuration goal).
+func DefaultArray() ArrayConfig {
+	return ArrayConfig{RateBps: 16e9, PerWriteLatency: 50 * time.Microsecond}
+}
+
+// Array is a shared disk array: writes serialize against its aggregate
+// bandwidth.
+type Array struct {
+	sched *sim.Scheduler
+	cfg   ArrayConfig
+
+	busyUntil time.Duration
+	// BytesWritten is the cumulative payload written.
+	BytesWritten int64
+	// Writes counts write requests.
+	Writes int64
+}
+
+// NewArray creates an array.
+func NewArray(sched *sim.Scheduler, cfg ArrayConfig) *Array {
+	if cfg.RateBps <= 0 {
+		cfg = DefaultArray()
+	}
+	return &Array{sched: sched, cfg: cfg}
+}
+
+// Write schedules an n-byte write issued by thread using mode. The CPU
+// cost (mode-dependent) is charged to the thread; the data then streams
+// to the array, and done fires when it is on stable storage.
+func (a *Array) Write(thread *hostmodel.Thread, mode Mode, n int, done func()) {
+	params := threadParams(thread)
+	var cpu time.Duration
+	switch mode {
+	case ODirect:
+		cpu = hostmodel.ScaleNsPerByte(params.DiskDirectNsPerByte, n)
+	default:
+		cpu = hostmodel.ScaleNsPerByte(params.DiskPosixNsPerByte, n) + params.Syscall
+	}
+	a.Writes++
+	a.BytesWritten += int64(n)
+	thread.Post(cpu, func() {
+		start := a.sched.Now()
+		if a.busyUntil > start {
+			start = a.busyUntil
+		}
+		dur := a.cfg.PerWriteLatency + time.Duration(float64(n)*8/a.cfg.RateBps*float64(time.Second))
+		a.busyUntil = start + dur
+		a.sched.At(a.busyUntil, done)
+	})
+}
+
+// Busy returns how far into the future the array is committed.
+func (a *Array) Busy() time.Duration {
+	if a.busyUntil <= a.sched.Now() {
+		return 0
+	}
+	return a.busyUntil - a.sched.Now()
+}
+
+// threadParams fetches the owning host's cost parameters.
+func threadParams(t *hostmodel.Thread) hostmodel.Params { return t.HostParams() }

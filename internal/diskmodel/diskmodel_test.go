@@ -1,0 +1,101 @@
+package diskmodel
+
+import (
+	"testing"
+	"time"
+
+	"rftp/internal/hostmodel"
+	"rftp/internal/sim"
+)
+
+func setup() (*sim.Scheduler, *hostmodel.Thread, *Array) {
+	s := sim.New(1)
+	h := hostmodel.NewHost(s, "sink", 8, hostmodel.DefaultParams())
+	th := h.NewThread("storer")
+	a := NewArray(s, DefaultArray())
+	return s, th, a
+}
+
+func TestWriteCompletes(t *testing.T) {
+	s, th, a := setup()
+	done := false
+	a.Write(th, ODirect, 1<<20, func() { done = true })
+	s.RunAll()
+	if !done {
+		t.Fatal("write never completed")
+	}
+	if a.BytesWritten != 1<<20 || a.Writes != 1 {
+		t.Fatalf("stats: %d bytes, %d writes", a.BytesWritten, a.Writes)
+	}
+}
+
+func TestArraySerializesAtRate(t *testing.T) {
+	s, th, a := setup()
+	const n = 16
+	size := 8 << 20
+	for i := 0; i < n; i++ {
+		a.Write(th, ODirect, size, func() {})
+	}
+	s.RunAll()
+	elapsed := s.Now()
+	gbps := float64(n*size) * 8 / elapsed.Seconds() / 1e9
+	// Aggregate array bandwidth is 16 Gbps.
+	if gbps > 16 || gbps < 12 {
+		t.Fatalf("array throughput = %.1f Gbps, want 12-16", gbps)
+	}
+}
+
+func TestDirectIOCheaperThanPosix(t *testing.T) {
+	s, th, a := setup()
+	a.Write(th, PosixBuffered, 4<<20, func() {})
+	s.RunAll()
+	posixCPU := th.Busy()
+
+	s2, th2, a2 := setup()
+	a2.Write(th2, ODirect, 4<<20, func() {})
+	s2.RunAll()
+	directCPU := th2.Busy()
+
+	if directCPU >= posixCPU {
+		t.Fatalf("direct I/O CPU (%v) not cheaper than POSIX (%v)", directCPU, posixCPU)
+	}
+	if posixCPU < 5*directCPU {
+		t.Fatalf("POSIX/direct CPU ratio too small: %v vs %v", posixCPU, directCPU)
+	}
+}
+
+func TestPerWriteLatencyApplied(t *testing.T) {
+	s := sim.New(1)
+	h := hostmodel.NewHost(s, "h", 4, hostmodel.DefaultParams())
+	th := h.NewThread("w")
+	a := NewArray(s, ArrayConfig{RateBps: 1e12, PerWriteLatency: time.Millisecond})
+	var at time.Duration
+	a.Write(th, ODirect, 10, func() { at = s.Now() })
+	s.RunAll()
+	if at < time.Millisecond {
+		t.Fatalf("completion at %v, want >= 1ms", at)
+	}
+}
+
+func TestZeroConfigGetsDefaults(t *testing.T) {
+	s := sim.New(1)
+	a := NewArray(s, ArrayConfig{})
+	if a.cfg.RateBps != DefaultArray().RateBps {
+		t.Fatal("defaults not applied")
+	}
+}
+
+func TestModeStrings(t *testing.T) {
+	if PosixBuffered.String() != "posix" || ODirect.String() != "direct" {
+		t.Fatal("mode strings wrong")
+	}
+}
+
+func TestBusyDrains(t *testing.T) {
+	s, th, a := setup()
+	a.Write(th, ODirect, 64<<20, func() {})
+	s.RunAll()
+	if a.Busy() != 0 {
+		t.Fatalf("array busy %v after drain", a.Busy())
+	}
+}

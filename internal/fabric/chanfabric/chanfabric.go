@@ -1,0 +1,443 @@
+// Package chanfabric implements the verbs interface in-process with real
+// goroutines and real byte movement.
+//
+// Two devices are connected by a pair of unidirectional pipes, each a
+// goroutine that optionally shapes traffic (token-bucket style wire
+// serialization plus propagation latency) and then applies the message
+// to the receiver on the receiver's event loop. With zero shaping the
+// fabric runs at memory speed, which is what the integration tests and
+// the quickstart example use; with shaping it approximates a LAN/WAN in
+// wall-clock time for small transfers.
+//
+// Semantics match simfabric except that receiver-not-ready SENDs are
+// parked until a receive is posted instead of being NAK-retried: the
+// counter RNRStalls records how often that happened. ModelBytes are
+// rejected — this fabric moves real bytes only.
+package chanfabric
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rftp/internal/verbs"
+)
+
+// Shaping configures the emulated wire between two devices. Zero values
+// mean unshaped (memory-speed, zero-latency) delivery.
+type Shaping struct {
+	// RateBps caps throughput in bits per second (0 = unlimited).
+	RateBps float64
+	// Latency is the one-way propagation delay.
+	Latency time.Duration
+}
+
+// Fabric tracks connected device pairs.
+type Fabric struct {
+	mu     sync.Mutex
+	nextQP uint64
+}
+
+// New creates a fabric.
+func New() *Fabric { return &Fabric{} }
+
+// Device is an in-process NIC endpoint.
+type Device struct {
+	fabric  *Fabric
+	name    string
+	space   *verbs.AddressSpace
+	peer    *Device
+	shaping Shaping
+	nextPD  uint32
+
+	// RNRStalls counts SEND arrivals that had to park waiting for a
+	// receive buffer.
+	RNRStalls atomic.Uint64
+	RxBytes   atomic.Uint64
+	TxBytes   atomic.Uint64
+}
+
+// NewDevice creates a device.
+func (f *Fabric) NewDevice(name string) *Device {
+	return &Device{fabric: f, name: name, space: verbs.NewAddressSpace()}
+}
+
+// Connect joins two devices with the given shaping in both directions.
+func (f *Fabric) Connect(a, b *Device, shaping Shaping) {
+	a.peer, b.peer = b, a
+	a.shaping, b.shaping = shaping, shaping
+}
+
+// Name implements verbs.Device.
+func (d *Device) Name() string { return d.name }
+
+// AllocPD implements verbs.Device.
+func (d *Device) AllocPD() *verbs.PD {
+	d.nextPD++
+	return &verbs.PD{ID: d.nextPD, Device: d.name}
+}
+
+// CreateCQ implements verbs.Device.
+func (d *Device) CreateCQ(loop verbs.Loop, depth int) verbs.CQ {
+	return verbs.NewUpcallCQ(loop)
+}
+
+// RegisterMR implements verbs.Device.
+func (d *Device) RegisterMR(pd *verbs.PD, buf []byte, access verbs.Access) (*verbs.MR, error) {
+	return d.space.Register(pd, buf, access)
+}
+
+// RegisterModelMR implements verbs.Device: modeled regions are not
+// supported on a real-byte fabric.
+func (d *Device) RegisterModelMR(pd *verbs.PD, length, shadow int, access verbs.Access) (*verbs.MR, error) {
+	return nil, verbs.ErrModelBytes
+}
+
+// Space exposes the device's address space.
+func (d *Device) Space() *verbs.AddressSpace { return d.space }
+
+var _ verbs.Device = (*Device)(nil)
+
+type qpState int32
+
+const (
+	stateInit int32 = iota
+	stateReady
+	stateError
+	stateClosed
+)
+
+type message struct {
+	wr   verbs.SendWR
+	data []byte // copy of wr.Data taken at post time
+}
+
+// QP is an in-process queue pair.
+type QP struct {
+	dev    *Device
+	id     verbs.QPID
+	cfg    verbs.QPConfig
+	sendCQ *verbs.UpcallCQ
+	recvCQ *verbs.UpcallCQ
+	peer   *QP
+	state  atomic.Int32
+
+	// sender-side, guarded by sendMu (PostSend may be called from any
+	// goroutine, though the protocol uses one loop).
+	sendMu        sync.Mutex
+	sqOutstanding int
+	pipe          chan *message
+	pipeOnce      sync.Once
+
+	// receiver-side state, touched only on the recv CQ's loop.
+	recvMu  sync.Mutex
+	recvQ   []*verbs.RecvWR
+	pending []*message
+}
+
+// CreateQP implements verbs.Device.
+func (d *Device) CreateQP(cfg verbs.QPConfig) (verbs.QP, error) {
+	if cfg.Type != verbs.RC {
+		return nil, verbs.ErrBadWR
+	}
+	cfg = cfg.Normalize()
+	sendCQ, ok1 := cfg.SendCQ.(*verbs.UpcallCQ)
+	recvCQ, ok2 := cfg.RecvCQ.(*verbs.UpcallCQ)
+	if !ok1 || !ok2 {
+		return nil, verbs.ErrBadWR
+	}
+	id := verbs.QPID(atomic.AddUint64(&d.fabric.nextQP, 1))
+	qp := &QP{dev: d, id: id, cfg: cfg, sendCQ: sendCQ, recvCQ: recvCQ}
+	qp.pipe = make(chan *message, cfg.MaxSend*2+16)
+	return qp, nil
+}
+
+// ConnectQPs joins two queue pairs on connected devices and starts the
+// delivery pipes.
+func (f *Fabric) ConnectQPs(a, b verbs.QP) error {
+	qa, ok1 := a.(*QP)
+	qb, ok2 := b.(*QP)
+	if !ok1 || !ok2 {
+		return verbs.ErrBadWR
+	}
+	if qa.dev.peer != qb.dev {
+		return verbs.ErrNotConnected
+	}
+	qa.peer, qb.peer = qb, qa
+	qa.state.Store(stateReady)
+	qb.state.Store(stateReady)
+	qa.pipeOnce.Do(func() { go qa.runPipe() })
+	qb.pipeOnce.Do(func() { go qb.runPipe() })
+	return nil
+}
+
+// ID implements verbs.QP.
+func (q *QP) ID() verbs.QPID { return q.id }
+
+// PostSend implements verbs.QP.
+func (q *QP) PostSend(wr *verbs.SendWR) error {
+	switch q.state.Load() {
+	case stateClosed:
+		return verbs.ErrQPClosed
+	case stateError:
+		return verbs.ErrQPError
+	case stateInit:
+		return verbs.ErrNotConnected
+	}
+	if wr.ModelBytes != 0 {
+		return verbs.ErrModelBytes
+	}
+	switch wr.Op {
+	case verbs.OpSend, verbs.OpWrite, verbs.OpWriteImm:
+		if wr.Length() <= 0 {
+			return verbs.ErrBadWR
+		}
+	case verbs.OpRead:
+		if wr.ReadLen <= 0 || wr.Local == nil || wr.LocalOffset < 0 ||
+			wr.LocalOffset+wr.ReadLen > wr.Local.Len {
+			return verbs.ErrBadWR
+		}
+	default:
+		return verbs.ErrBadWR
+	}
+	m := &message{wr: *wr}
+	// Copy payload: ownership of wr.Data stays with the caller until the
+	// completion, but copying here keeps the pipe safe even if the
+	// caller reuses the buffer early (matches DMA-at-post semantics
+	// closely enough for an emulation).
+	m.data = append([]byte(nil), wr.Data...)
+	q.sendMu.Lock()
+	if q.state.Load() == stateClosed {
+		q.sendMu.Unlock()
+		return verbs.ErrQPClosed
+	}
+	if q.sqOutstanding >= q.cfg.MaxSend {
+		q.sendMu.Unlock()
+		return verbs.ErrSendQueueFull
+	}
+	q.sqOutstanding++
+	q.pipe <- m // buffered beyond MaxSend: never blocks
+	q.sendMu.Unlock()
+	q.dev.TxBytes.Add(uint64(wr.Length()))
+	return nil
+}
+
+// PostRecv implements verbs.QP.
+func (q *QP) PostRecv(wr *verbs.RecvWR) error {
+	switch q.state.Load() {
+	case stateClosed:
+		return verbs.ErrQPClosed
+	case stateError:
+		return verbs.ErrQPError
+	}
+	if wr.MR == nil || wr.Len <= 0 || wr.Offset < 0 || wr.Offset+wr.Len > wr.MR.Len {
+		return verbs.ErrBadWR
+	}
+	cp := *wr
+	q.recvMu.Lock()
+	if len(q.recvQ) >= q.cfg.MaxRecv {
+		q.recvMu.Unlock()
+		return verbs.ErrRecvQueueFull
+	}
+	q.recvQ = append(q.recvQ, &cp)
+	q.recvMu.Unlock()
+	// Deliver any parked arrivals on the receiver loop.
+	q.recvCQ.Loop().Post(0, q.drainPending)
+	return nil
+}
+
+// runPipe shapes and delivers messages in order.
+func (q *QP) runPipe() {
+	var wireFree time.Time
+	for m := range q.pipe {
+		sh := q.dev.shaping
+		if sh.RateBps > 0 || sh.Latency > 0 {
+			now := time.Now()
+			if wireFree.Before(now) {
+				wireFree = now
+			}
+			if sh.RateBps > 0 {
+				tx := time.Duration(float64(m.wr.Length()) * 8 / sh.RateBps * float64(time.Second))
+				wireFree = wireFree.Add(tx)
+			}
+			deliverAt := wireFree.Add(sh.Latency)
+			if d := time.Until(deliverAt); d > 0 {
+				time.Sleep(d)
+			}
+		}
+		peer := q.peer
+		if peer == nil || peer.state.Load() == stateClosed {
+			q.completeSend(m, verbs.StatusAborted)
+			continue
+		}
+		m := m
+		peer.recvCQ.Loop().Post(0, func() { peer.arrive(m) })
+	}
+}
+
+// arrive runs on the receiver's loop; q.peer is the sender.
+func (q *QP) arrive(m *message) {
+	if q.state.Load() != stateReady {
+		q.peer.completeSend(m, verbs.StatusAborted)
+		return
+	}
+	switch m.wr.Op {
+	case verbs.OpWrite:
+		if q.placeWrite(m) {
+			q.peer.completeSend(m, verbs.StatusSuccess)
+		}
+	case verbs.OpWriteImm:
+		if q.placeWrite(m) {
+			q.park(m)
+		}
+	case verbs.OpSend:
+		q.park(m)
+	case verbs.OpRead:
+		q.serveRead(m)
+	}
+}
+
+func (q *QP) placeWrite(m *message) bool {
+	if _, _, err := q.dev.space.Place(m.wr.Remote, m.data, 0); err != nil {
+		q.enterError()
+		q.peer.completeSendAndError(m, verbs.StatusRemoteAccessError)
+		return false
+	}
+	q.dev.RxBytes.Add(uint64(len(m.data)))
+	return true
+}
+
+// park queues a receive-consuming arrival and tries to deliver.
+func (q *QP) park(m *message) {
+	q.recvMu.Lock()
+	q.pending = append(q.pending, m)
+	stalled := len(q.recvQ) == 0
+	q.recvMu.Unlock()
+	if stalled {
+		q.dev.RNRStalls.Add(1)
+	}
+	q.drainPending()
+}
+
+// drainPending delivers parked arrivals while receives are available.
+// Runs on the receiver loop.
+func (q *QP) drainPending() {
+	for {
+		q.recvMu.Lock()
+		if len(q.pending) == 0 || len(q.recvQ) == 0 {
+			q.recvMu.Unlock()
+			return
+		}
+		m := q.pending[0]
+		q.pending = q.pending[1:]
+		rwr := q.recvQ[0]
+		q.recvQ = q.recvQ[1:]
+		q.recvMu.Unlock()
+
+		if m.wr.Op == verbs.OpWriteImm {
+			q.recvCQ.Dispatch(0, verbs.WC{
+				WRID: rwr.WRID, Status: verbs.StatusSuccess, Op: verbs.OpWriteImm,
+				ByteLen: m.wr.Length(), Imm: m.wr.Imm, QP: q.id,
+			})
+			q.peer.completeSend(m, verbs.StatusSuccess)
+			continue
+		}
+		if len(m.data) > rwr.Len {
+			q.enterError()
+			q.peer.completeSendAndError(m, verbs.StatusRemoteAccessError)
+			return
+		}
+		rwr.MR.PlaceLocal(rwr.Offset, m.data)
+		q.dev.RxBytes.Add(uint64(len(m.data)))
+		q.recvCQ.Dispatch(0, verbs.WC{
+			WRID: rwr.WRID, Status: verbs.StatusSuccess, Op: verbs.OpRecv,
+			ByteLen: m.wr.Length(), Imm: m.wr.Imm,
+			Data: rwr.MR.ViewLocal(rwr.Offset, len(m.data)), QP: q.id,
+		})
+		q.peer.completeSend(m, verbs.StatusSuccess)
+	}
+}
+
+// serveRead runs at the responder: fetch and return data to the
+// initiator's loop.
+func (q *QP) serveRead(m *message) {
+	_, view, err := q.dev.space.Fetch(m.wr.Remote, m.wr.ReadLen)
+	if err != nil {
+		q.enterError()
+		q.peer.completeRead(m, nil, verbs.StatusRemoteAccessError)
+		return
+	}
+	data := append([]byte(nil), view...)
+	q.dev.TxBytes.Add(uint64(m.wr.ReadLen))
+	init := q.peer
+	init.sendCQ.Loop().Post(0, func() { init.completeRead(m, data, verbs.StatusSuccess) })
+}
+
+// completeRead lands READ data at the initiator (on its loop).
+func (q *QP) completeRead(m *message, data []byte, status verbs.Status) {
+	if status == verbs.StatusSuccess && m.wr.Local != nil {
+		m.wr.Local.PlaceLocal(m.wr.LocalOffset, data)
+		q.dev.RxBytes.Add(uint64(len(data)))
+	}
+	q.finishSend(m, status, m.wr.ReadLen)
+}
+
+// completeSend delivers a sender completion for non-READ ops.
+func (q *QP) completeSend(m *message, status verbs.Status) {
+	lat := q.dev.shaping.Latency // ACK propagation
+	if lat > 0 {
+		time.AfterFunc(lat, func() { q.finishSend(m, status, m.wr.Length()) })
+		return
+	}
+	q.finishSend(m, status, m.wr.Length())
+}
+
+func (q *QP) completeSendAndError(m *message, status verbs.Status) {
+	q.enterError()
+	q.finishSend(m, status, m.wr.Length())
+}
+
+func (q *QP) finishSend(m *message, status verbs.Status, byteLen int) {
+	q.sendMu.Lock()
+	q.sqOutstanding--
+	q.sendMu.Unlock()
+	if status != verbs.StatusSuccess {
+		q.enterError()
+	} else if m.wr.NoCompletion {
+		return
+	}
+	q.sendCQ.Dispatch(0, verbs.WC{
+		WRID: m.wr.WRID, Status: status, Op: m.wr.Op, ByteLen: byteLen, QP: q.id,
+	})
+}
+
+// enterError moves the QP to the error state.
+func (q *QP) enterError() {
+	q.state.CompareAndSwap(stateReady, stateError)
+}
+
+// Close implements verbs.QP. Parked receives are flushed and the
+// delivery pipe goroutine is shut down.
+func (q *QP) Close() error {
+	q.sendMu.Lock()
+	old := q.state.Swap(stateClosed)
+	if old != stateClosed && q.pipe != nil {
+		close(q.pipe)
+	}
+	q.sendMu.Unlock()
+	if old == stateClosed {
+		return verbs.ErrQPClosed
+	}
+	q.recvMu.Lock()
+	rq := q.recvQ
+	q.recvQ = nil
+	q.pending = nil
+	q.recvMu.Unlock()
+	for _, r := range rq {
+		r := r
+		q.recvCQ.Dispatch(0, verbs.WC{WRID: r.WRID, Status: verbs.StatusFlushed, Op: verbs.OpRecv, QP: q.id})
+	}
+	return nil
+}
+
+var _ verbs.QP = (*QP)(nil)

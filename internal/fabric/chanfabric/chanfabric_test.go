@@ -1,0 +1,363 @@
+package chanfabric
+
+import (
+	"bytes"
+	"crypto/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"rftp/internal/verbs"
+)
+
+// crig is a connected two-device fixture for real-time tests.
+type crig struct {
+	fabric   *Fabric
+	srcDev   *Device
+	dstDev   *Device
+	srcLoop  *Loop
+	dstLoop  *Loop
+	srcPD    *verbs.PD
+	dstPD    *verbs.PD
+	srcCQ    *verbs.UpcallCQ
+	dstCQ    *verbs.UpcallCQ
+	srcQP    verbs.QP
+	dstQP    verbs.QP
+	mu       sync.Mutex
+	srcWCs   []verbs.WC
+	dstWCs   []verbs.WC
+	srcWCsCh chan verbs.WC
+	dstWCsCh chan verbs.WC
+}
+
+func newCrig(t *testing.T, shaping Shaping) *crig {
+	t.Helper()
+	r := &crig{fabric: New()}
+	r.srcDev = r.fabric.NewDevice("cf0")
+	r.dstDev = r.fabric.NewDevice("cf1")
+	r.fabric.Connect(r.srcDev, r.dstDev, shaping)
+	r.srcLoop = NewLoop("src")
+	r.dstLoop = NewLoop("dst")
+	t.Cleanup(func() { r.srcLoop.Stop(); r.dstLoop.Stop() })
+	r.srcPD, r.dstPD = r.srcDev.AllocPD(), r.dstDev.AllocPD()
+	r.srcCQ = r.srcDev.CreateCQ(r.srcLoop, 256).(*verbs.UpcallCQ)
+	r.dstCQ = r.dstDev.CreateCQ(r.dstLoop, 256).(*verbs.UpcallCQ)
+	r.srcWCsCh = make(chan verbs.WC, 1024)
+	r.dstWCsCh = make(chan verbs.WC, 1024)
+	r.srcCQ.SetHandler(func(wc verbs.WC) { r.srcWCsCh <- wc })
+	r.dstCQ.SetHandler(func(wc verbs.WC) { r.dstWCsCh <- wc })
+	var err error
+	r.srcQP, err = r.srcDev.CreateQP(verbs.QPConfig{PD: r.srcPD, SendCQ: r.srcCQ, RecvCQ: r.srcCQ, MaxSend: 128, MaxRecv: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.dstQP, err = r.dstDev.CreateQP(verbs.QPConfig{PD: r.dstPD, SendCQ: r.dstCQ, RecvCQ: r.dstCQ, MaxSend: 128, MaxRecv: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.fabric.ConnectQPs(r.srcQP, r.dstQP); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.srcQP.Close(); r.dstQP.Close() })
+	return r
+}
+
+func waitWC(t *testing.T, ch chan verbs.WC) verbs.WC {
+	t.Helper()
+	select {
+	case wc := <-ch:
+		return wc
+	case <-time.After(5 * time.Second):
+		t.Fatal("timed out waiting for completion")
+		return verbs.WC{}
+	}
+}
+
+func TestSendRecvRealBytes(t *testing.T) {
+	r := newCrig(t, Shaping{})
+	buf := make([]byte, 1024)
+	mr, err := r.dstDev.RegisterMR(r.dstPD, buf, verbs.AccessLocalWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.dstQP.PostRecv(&verbs.RecvWR{WRID: 1, MR: mr, Len: 1024}); err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 512)
+	rand.Read(payload)
+	if err := r.srcQP.PostSend(&verbs.SendWR{WRID: 2, Op: verbs.OpSend, Data: payload, Imm: 5}); err != nil {
+		t.Fatal(err)
+	}
+	wc := waitWC(t, r.dstWCsCh)
+	if wc.Op != verbs.OpRecv || wc.Imm != 5 || !bytes.Equal(wc.Data, payload) {
+		t.Fatalf("recv WC wrong: op=%v imm=%d len=%d", wc.Op, wc.Imm, len(wc.Data))
+	}
+	swc := waitWC(t, r.srcWCsCh)
+	if swc.Status != verbs.StatusSuccess || swc.WRID != 2 {
+		t.Fatalf("send WC: %+v", swc)
+	}
+}
+
+func TestWriteMovesRealBytes(t *testing.T) {
+	r := newCrig(t, Shaping{})
+	sink := make([]byte, 1<<16)
+	mr, _ := r.dstDev.RegisterMR(r.dstPD, sink, verbs.AccessRemoteWrite)
+	payload := make([]byte, 1<<16)
+	rand.Read(payload)
+	if err := r.srcQP.PostSend(&verbs.SendWR{WRID: 3, Op: verbs.OpWrite, Data: payload, Remote: mr.Remote(0)}); err != nil {
+		t.Fatal(err)
+	}
+	wc := waitWC(t, r.srcWCsCh)
+	if wc.Status != verbs.StatusSuccess {
+		t.Fatalf("write WC: %+v", wc)
+	}
+	if !bytes.Equal(sink, payload) {
+		t.Fatal("payload not placed in sink MR")
+	}
+}
+
+func TestWriteOrderPreserved(t *testing.T) {
+	r := newCrig(t, Shaping{})
+	sink := make([]byte, 4096)
+	mr, _ := r.dstDev.RegisterMR(r.dstPD, sink, verbs.AccessRemoteWrite)
+	// 64 sequential writes, each overwriting the same word; last wins.
+	for i := 0; i < 64; i++ {
+		data := []byte{byte(i)}
+		if err := r.srcQP.PostSend(&verbs.SendWR{WRID: uint64(i), Op: verbs.OpWrite, Data: data, Remote: mr.Remote(0)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 64; i++ {
+		waitWC(t, r.srcWCsCh)
+	}
+	if sink[0] != 63 {
+		t.Fatalf("final byte = %d, want 63 (in-order delivery)", sink[0])
+	}
+}
+
+func TestParkedSendDeliversOnPostRecv(t *testing.T) {
+	r := newCrig(t, Shaping{})
+	if err := r.srcQP.PostSend(&verbs.SendWR{WRID: 1, Op: verbs.OpSend, Data: []byte("early")}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond) // let it park
+	if r.dstDev.RNRStalls.Load() == 0 {
+		t.Fatal("no RNR stall recorded")
+	}
+	buf := make([]byte, 64)
+	mr, _ := r.dstDev.RegisterMR(r.dstPD, buf, verbs.AccessLocalWrite)
+	if err := r.dstQP.PostRecv(&verbs.RecvWR{WRID: 2, MR: mr, Len: 64}); err != nil {
+		t.Fatal(err)
+	}
+	wc := waitWC(t, r.dstWCsCh)
+	if string(wc.Data) != "early" {
+		t.Fatalf("parked send delivered %q", wc.Data)
+	}
+}
+
+func TestReadRoundTrip(t *testing.T) {
+	r := newCrig(t, Shaping{})
+	remote := make([]byte, 256)
+	rand.Read(remote)
+	rmr, _ := r.dstDev.RegisterMR(r.dstPD, remote, verbs.AccessRemoteRead)
+	local := make([]byte, 256)
+	lmr, _ := r.srcDev.RegisterMR(r.srcPD, local, verbs.AccessLocalWrite)
+	wr := &verbs.SendWR{WRID: 4, Op: verbs.OpRead, Remote: rmr.Remote(0), ReadLen: 256, Local: lmr}
+	if err := r.srcQP.PostSend(wr); err != nil {
+		t.Fatal(err)
+	}
+	wc := waitWC(t, r.srcWCsCh)
+	if wc.Op != verbs.OpRead || wc.Status != verbs.StatusSuccess {
+		t.Fatalf("read WC: %+v", wc)
+	}
+	if !bytes.Equal(local, remote) {
+		t.Fatal("read data mismatch")
+	}
+}
+
+func TestModelBytesRejected(t *testing.T) {
+	r := newCrig(t, Shaping{})
+	if _, err := r.dstDev.RegisterModelMR(r.dstPD, 1<<20, 64, verbs.AccessRemoteWrite); err != verbs.ErrModelBytes {
+		t.Fatalf("RegisterModelMR: %v", err)
+	}
+	err := r.srcQP.PostSend(&verbs.SendWR{Op: verbs.OpWrite, Data: []byte("x"), ModelBytes: 100})
+	if err != verbs.ErrModelBytes {
+		t.Fatalf("ModelBytes post: %v", err)
+	}
+}
+
+func TestRemoteAccessErrorPropagates(t *testing.T) {
+	r := newCrig(t, Shaping{})
+	mr, _ := r.dstDev.RegisterMR(r.dstPD, make([]byte, 64), verbs.AccessRemoteRead)
+	if err := r.srcQP.PostSend(&verbs.SendWR{WRID: 1, Op: verbs.OpWrite, Data: []byte("x"), Remote: mr.Remote(0)}); err != nil {
+		t.Fatal(err)
+	}
+	wc := waitWC(t, r.srcWCsCh)
+	if wc.Status != verbs.StatusRemoteAccessError {
+		t.Fatalf("status = %v", wc.Status)
+	}
+	// Sender QP is in error state now.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		err := r.srcQP.PostSend(&verbs.SendWR{Op: verbs.OpSend, Data: []byte("y")})
+		if err == verbs.ErrQPError {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("QP never entered error state: %v", err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestShapingLatency(t *testing.T) {
+	r := newCrig(t, Shaping{Latency: 30 * time.Millisecond})
+	sink := make([]byte, 64)
+	mr, _ := r.dstDev.RegisterMR(r.dstPD, sink, verbs.AccessRemoteWrite)
+	start := time.Now()
+	r.srcQP.PostSend(&verbs.SendWR{WRID: 1, Op: verbs.OpWrite, Data: []byte("delayed"), Remote: mr.Remote(0)})
+	waitWC(t, r.srcWCsCh)
+	// One-way data + one-way ack = 2 * 30ms.
+	if elapsed := time.Since(start); elapsed < 55*time.Millisecond {
+		t.Fatalf("completion after %v, want >= ~60ms", elapsed)
+	}
+}
+
+func TestShapingRateLimits(t *testing.T) {
+	// 8 Mbit/s: 1 MiB takes about one second.
+	r := newCrig(t, Shaping{RateBps: 8e6 * 10}) // 80 Mbit/s -> 100ms for 1MiB
+	sink := make([]byte, 1<<20)
+	mr, _ := r.dstDev.RegisterMR(r.dstPD, sink, verbs.AccessRemoteWrite)
+	start := time.Now()
+	const chunk = 128 << 10
+	for i := 0; i < 8; i++ {
+		if err := r.srcQP.PostSend(&verbs.SendWR{WRID: uint64(i), Op: verbs.OpWrite,
+			Data: make([]byte, chunk), Remote: mr.Remote(i * chunk)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		waitWC(t, r.srcWCsCh)
+	}
+	elapsed := time.Since(start)
+	if elapsed < 90*time.Millisecond {
+		t.Fatalf("1 MiB at 80 Mbit/s finished in %v, want >= ~100ms", elapsed)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("rate shaping too slow: %v", elapsed)
+	}
+}
+
+func TestSendQueueCap(t *testing.T) {
+	r := newCrig(t, Shaping{Latency: 50 * time.Millisecond})
+	sink := make([]byte, 4096)
+	mr, _ := r.dstDev.RegisterMR(r.dstPD, sink, verbs.AccessRemoteWrite)
+	var full bool
+	for i := 0; i < 1000; i++ {
+		err := r.srcQP.PostSend(&verbs.SendWR{Op: verbs.OpWrite, Data: []byte("x"), Remote: mr.Remote(0), NoCompletion: true})
+		if err == verbs.ErrSendQueueFull {
+			full = true
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !full {
+		t.Fatal("send queue never filled")
+	}
+}
+
+func TestCloseFlushesAndRejects(t *testing.T) {
+	r := newCrig(t, Shaping{})
+	buf := make([]byte, 64)
+	mr, _ := r.dstDev.RegisterMR(r.dstPD, buf, verbs.AccessLocalWrite)
+	r.dstQP.PostRecv(&verbs.RecvWR{WRID: 9, MR: mr, Len: 64})
+	if err := r.dstQP.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wc := waitWC(t, r.dstWCsCh)
+	if wc.Status != verbs.StatusFlushed || wc.WRID != 9 {
+		t.Fatalf("flush WC: %+v", wc)
+	}
+	if err := r.dstQP.PostRecv(&verbs.RecvWR{MR: mr, Len: 64}); err != verbs.ErrQPClosed {
+		t.Fatalf("post after close: %v", err)
+	}
+	if err := r.dstQP.Close(); err != verbs.ErrQPClosed {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestLoopStopIdempotent(t *testing.T) {
+	l := NewLoop("x")
+	done := make(chan struct{})
+	l.Post(0, func() { close(done) })
+	<-done
+	l.Stop()
+	l.Stop() // must not hang or panic
+	l.Post(0, func() { t.Error("post after stop executed") })
+	time.Sleep(10 * time.Millisecond)
+}
+
+func TestLoopSerializes(t *testing.T) {
+	l := NewLoop("serial")
+	defer l.Stop()
+	var mu sync.Mutex
+	var got []int
+	var wg sync.WaitGroup
+	wg.Add(100)
+	for i := 0; i < 100; i++ {
+		i := i
+		l.Post(0, func() {
+			mu.Lock()
+			got = append(got, i)
+			mu.Unlock()
+			wg.Done()
+		})
+	}
+	wg.Wait()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("loop executed out of order at %d: %v", i, v)
+		}
+	}
+}
+
+func TestConcurrentPostersRace(t *testing.T) {
+	// Exercise the locking under -race: many goroutines posting writes.
+	r := newCrig(t, Shaping{})
+	sink := make([]byte, 1<<20)
+	mr, _ := r.dstDev.RegisterMR(r.dstPD, sink, verbs.AccessRemoteWrite)
+	var wg sync.WaitGroup
+	const writers, per = 8, 16
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				for {
+					err := r.srcQP.PostSend(&verbs.SendWR{Op: verbs.OpWrite,
+						Data: []byte{byte(w)}, Remote: mr.Remote(w*per + i), NoCompletion: true})
+					if err == nil {
+						break
+					}
+					if err == verbs.ErrSendQueueFull {
+						time.Sleep(time.Millisecond)
+						continue
+					}
+					t.Errorf("post: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	deadline := time.Now().Add(5 * time.Second)
+	for r.dstDev.RxBytes.Load() < writers*per {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d bytes arrived", r.dstDev.RxBytes.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

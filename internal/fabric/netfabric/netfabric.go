@@ -1,0 +1,386 @@
+// Package netfabric implements the verbs interface over TCP sockets, so
+// the protocol core runs unchanged between two real processes (in the
+// spirit of software RDMA emulations like Soft-RoCE).
+//
+// One TCP connection joins two Devices. All queue pairs are multiplexed
+// over it as framed messages keyed by a channel id that both sides bind
+// with BindQP (channel 0 is conventionally the control QP, 1..n the data
+// QPs). One-sided WRITE frames carry (addr, rkey) and are validated
+// against the receiving device's registered regions exactly like the
+// other fabrics; SENDs consume posted receives; READs round-trip a
+// request/response pair. Every data-bearing frame is acknowledged so
+// sender completions reflect remote placement (and carry remote access
+// errors), like RC ACKs.
+//
+// Modeled payloads (ModelBytes) are rejected: this fabric moves real
+// bytes only.
+package netfabric
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rftp/internal/verbs"
+)
+
+// Frame opcodes on the wire.
+const (
+	frSend      = 1
+	frWrite     = 2
+	frWriteImm  = 3
+	frReadReq   = 4
+	frReadResp  = 5
+	frAck       = 6
+	frGoodbye   = 7
+	frameMaxLen = 256 << 20
+)
+
+// Wire status codes in ACK/READ-response frames.
+const (
+	wsOK     = 0
+	wsAccess = 1
+	wsRNR    = 2
+)
+
+// Errors specific to this fabric.
+var (
+	ErrFrameTooLarge = errors.New("netfabric: frame exceeds limit")
+	ErrBadFrame      = errors.New("netfabric: malformed frame")
+)
+
+// frame is the parsed wire unit.
+type frame struct {
+	op      uint8
+	channel uint32
+	token   uint64
+	addr    uint64
+	rkey    uint32
+	imm     uint32
+	status  uint8
+	payload []byte
+}
+
+const frameHeaderLen = 1 + 1 + 4 + 8 + 8 + 4 + 4 + 4 // op, status, channel, token, addr, rkey, imm, paylen
+
+func writeFrame(w *bufio.Writer, f *frame) error {
+	var h [frameHeaderLen]byte
+	h[0] = f.op
+	h[1] = f.status
+	binary.BigEndian.PutUint32(h[2:6], f.channel)
+	binary.BigEndian.PutUint64(h[6:14], f.token)
+	binary.BigEndian.PutUint64(h[14:22], f.addr)
+	binary.BigEndian.PutUint32(h[22:26], f.rkey)
+	binary.BigEndian.PutUint32(h[26:30], f.imm)
+	binary.BigEndian.PutUint32(h[30:34], uint32(len(f.payload)))
+	if _, err := w.Write(h[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(f.payload)
+	return err
+}
+
+func readFrame(r *bufio.Reader) (*frame, error) {
+	var h [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, h[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(h[30:34])
+	if n > frameMaxLen {
+		return nil, ErrFrameTooLarge
+	}
+	f := &frame{
+		op:      h[0],
+		status:  h[1],
+		channel: binary.BigEndian.Uint32(h[2:6]),
+		token:   binary.BigEndian.Uint64(h[6:14]),
+		addr:    binary.BigEndian.Uint64(h[14:22]),
+		rkey:    binary.BigEndian.Uint32(h[22:26]),
+		imm:     binary.BigEndian.Uint32(h[26:30]),
+	}
+	if n > 0 {
+		f.payload = make([]byte, n)
+		if _, err := io.ReadFull(r, f.payload); err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// Listener accepts fabric connections.
+type Listener struct {
+	l net.Listener
+}
+
+// Listen starts a fabric listener on addr ("host:port").
+func Listen(addr string) (*Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Listener{l: l}, nil
+}
+
+// Addr returns the bound address.
+func (ln *Listener) Addr() net.Addr { return ln.l.Addr() }
+
+// Close stops accepting.
+func (ln *Listener) Close() error { return ln.l.Close() }
+
+// Accept waits for one peer and returns the device bound to it.
+func (ln *Listener) Accept() (*Device, error) {
+	c, err := ln.l.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return newDevice("net-server", c), nil
+}
+
+// Dial connects to a listener and returns the device bound to it.
+func Dial(addr string) (*Device, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return newDevice("net-client", c), nil
+}
+
+// Device is one endpoint of a TCP-backed fabric connection.
+type Device struct {
+	name  string
+	conn  net.Conn
+	space *verbs.AddressSpace
+
+	outMu   sync.Mutex
+	outCond *sync.Cond
+	outQ    []*frame
+	closed  atomic.Bool
+	wg      sync.WaitGroup
+
+	mu       sync.Mutex
+	nextPD   uint32
+	nextQP   verbs.QPID
+	channels map[uint32]*QP
+	parked   map[uint32][]*frame // frames arriving before BindQP
+	tokens   map[uint64]pendingToken
+	nextTok  uint64
+
+	// RNRStalls counts SEND arrivals parked waiting for receives.
+	RNRStalls atomic.Uint64
+	RxBytes   atomic.Uint64
+	TxBytes   atomic.Uint64
+
+	// OnClose observes connection teardown (EOF or error).
+	OnClose func(error)
+}
+
+type pendingToken struct {
+	qp *QP
+	wr verbs.SendWR
+}
+
+func newDevice(name string, conn net.Conn) *Device {
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	d := &Device{
+		name:     name,
+		conn:     conn,
+		space:    verbs.NewAddressSpace(),
+		channels: make(map[uint32]*QP),
+		parked:   make(map[uint32][]*frame),
+		tokens:   make(map[uint64]pendingToken),
+	}
+	d.outCond = sync.NewCond(&d.outMu)
+	d.wg.Add(2)
+	go d.writer()
+	go d.reader()
+	return d
+}
+
+// Name implements verbs.Device.
+func (d *Device) Name() string { return d.name }
+
+// AllocPD implements verbs.Device.
+func (d *Device) AllocPD() *verbs.PD {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.nextPD++
+	return &verbs.PD{ID: d.nextPD, Device: d.name}
+}
+
+// CreateCQ implements verbs.Device.
+func (d *Device) CreateCQ(loop verbs.Loop, depth int) verbs.CQ {
+	return verbs.NewUpcallCQ(loop)
+}
+
+// RegisterMR implements verbs.Device.
+func (d *Device) RegisterMR(pd *verbs.PD, buf []byte, access verbs.Access) (*verbs.MR, error) {
+	return d.space.Register(pd, buf, access)
+}
+
+// RegisterModelMR implements verbs.Device: unsupported on a real-byte
+// fabric.
+func (d *Device) RegisterModelMR(pd *verbs.PD, length, shadow int, access verbs.Access) (*verbs.MR, error) {
+	return nil, verbs.ErrModelBytes
+}
+
+// Close tears the connection down; all QPs err out. Frames already
+// queued (for example the final session acknowledgment) are drained to
+// the socket first, bounded by a short deadline.
+func (d *Device) Close() error {
+	if !d.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	deadline := time.Now().Add(time.Second)
+	d.outMu.Lock()
+	for len(d.outQ) > 0 && time.Now().Before(deadline) {
+		d.outCond.Broadcast()
+		d.outMu.Unlock()
+		time.Sleep(time.Millisecond)
+		d.outMu.Lock()
+	}
+	d.outCond.Broadcast()
+	d.outMu.Unlock()
+	return d.conn.Close()
+}
+
+// send enqueues a frame for the writer. The queue is unbounded so the
+// reader goroutine can never deadlock generating ACKs; protocol-level
+// flow control (send queue depths, credits) bounds it in practice.
+func (d *Device) send(f *frame) bool {
+	if d.closed.Load() {
+		return false
+	}
+	d.outMu.Lock()
+	d.outQ = append(d.outQ, f)
+	d.outCond.Signal()
+	d.outMu.Unlock()
+	return true
+}
+
+func (d *Device) writer() {
+	defer d.wg.Done()
+	w := bufio.NewWriterSize(d.conn, 256<<10)
+	for {
+		d.outMu.Lock()
+		for len(d.outQ) == 0 && !d.closed.Load() {
+			d.outCond.Wait()
+		}
+		if len(d.outQ) == 0 && d.closed.Load() {
+			d.outMu.Unlock()
+			w.Flush()
+			return
+		}
+		f := d.outQ[0]
+		d.outQ = d.outQ[1:]
+		more := len(d.outQ) > 0
+		d.outMu.Unlock()
+		if err := writeFrame(w, f); err != nil {
+			d.teardown(err)
+			return
+		}
+		d.TxBytes.Add(uint64(frameHeaderLen + len(f.payload)))
+		if !more {
+			if err := w.Flush(); err != nil {
+				d.teardown(err)
+				return
+			}
+		}
+	}
+}
+
+func (d *Device) reader() {
+	defer d.wg.Done()
+	r := bufio.NewReaderSize(d.conn, 256<<10)
+	for {
+		f, err := readFrame(r)
+		if err != nil {
+			d.teardown(err)
+			return
+		}
+		d.RxBytes.Add(uint64(frameHeaderLen + len(f.payload)))
+		d.dispatch(f)
+	}
+}
+
+// teardown fails every bound QP after a connection error.
+func (d *Device) teardown(err error) {
+	if d.closed.Load() {
+		return
+	}
+	d.mu.Lock()
+	qps := make([]*QP, 0, len(d.channels))
+	for _, qp := range d.channels {
+		qps = append(qps, qp)
+	}
+	d.mu.Unlock()
+	for _, qp := range qps {
+		qp.connectionLost()
+	}
+	if cb := d.OnClose; cb != nil {
+		cb(err)
+	}
+}
+
+// dispatch routes an inbound frame.
+func (d *Device) dispatch(f *frame) {
+	switch f.op {
+	case frAck, frReadResp:
+		d.mu.Lock()
+		pt, ok := d.tokens[f.token]
+		delete(d.tokens, f.token)
+		d.mu.Unlock()
+		if !ok {
+			return
+		}
+		pt.qp.remoteAck(pt.wr, f)
+	case frGoodbye:
+		d.teardown(io.EOF)
+	default:
+		d.mu.Lock()
+		qp, ok := d.channels[f.channel]
+		if !ok {
+			if len(d.parked[f.channel]) < 4096 {
+				d.parked[f.channel] = append(d.parked[f.channel], f)
+			}
+			d.mu.Unlock()
+			return
+		}
+		d.mu.Unlock()
+		qp.inbound(f)
+	}
+}
+
+// registerToken stores a completion continuation keyed by token.
+func (d *Device) registerToken(qp *QP, wr *verbs.SendWR) uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.nextTok++
+	d.tokens[d.nextTok] = pendingToken{qp: qp, wr: *wr}
+	return d.nextTok
+}
+
+var _ verbs.Device = (*Device)(nil)
+
+func frameStatusToVerbs(s uint8) verbs.Status {
+	switch s {
+	case wsOK:
+		return verbs.StatusSuccess
+	case wsAccess:
+		return verbs.StatusRemoteAccessError
+	case wsRNR:
+		return verbs.StatusRNRRetryExceeded
+	default:
+		return verbs.StatusLocalError
+	}
+}
+
+// fmt is referenced for error wrapping below; keep the import honest.
+var _ = fmt.Sprintf

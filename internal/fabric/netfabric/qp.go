@@ -1,0 +1,330 @@
+package netfabric
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"rftp/internal/verbs"
+)
+
+type qpState = int32
+
+const (
+	stateInit int32 = iota
+	stateReady
+	stateError
+	stateClosed
+)
+
+// QP is a queue pair bound to a channel of the device's TCP connection.
+type QP struct {
+	dev     *Device
+	id      verbs.QPID
+	cfg     verbs.QPConfig
+	channel uint32
+	state   atomic.Int32
+
+	sendCQ *verbs.UpcallCQ
+	recvCQ *verbs.UpcallCQ
+
+	sendMu        sync.Mutex
+	sqOutstanding int
+
+	recvMu  sync.Mutex
+	recvQ   []*verbs.RecvWR
+	pending []*frame // SEND/WRITE_IMM frames awaiting a posted receive
+}
+
+// CreateQP implements verbs.Device.
+func (d *Device) CreateQP(cfg verbs.QPConfig) (verbs.QP, error) {
+	if cfg.Type != verbs.RC {
+		return nil, verbs.ErrBadWR
+	}
+	cfg = cfg.Normalize()
+	sendCQ, ok1 := cfg.SendCQ.(*verbs.UpcallCQ)
+	recvCQ, ok2 := cfg.RecvCQ.(*verbs.UpcallCQ)
+	if !ok1 || !ok2 {
+		return nil, verbs.ErrBadWR
+	}
+	d.mu.Lock()
+	d.nextQP++
+	id := d.nextQP
+	d.mu.Unlock()
+	return &QP{dev: d, id: id, cfg: cfg, sendCQ: sendCQ, recvCQ: recvCQ}, nil
+}
+
+// BindQP attaches a QP to a channel id. Both peers must bind matching
+// channel ids (0 = control, 1..n = data, by convention). Frames that
+// arrived early are replayed.
+func (d *Device) BindQP(q verbs.QP, channel uint32) error {
+	qp, ok := q.(*QP)
+	if !ok || qp.dev != d {
+		return verbs.ErrBadWR
+	}
+	d.mu.Lock()
+	if _, dup := d.channels[channel]; dup {
+		d.mu.Unlock()
+		return verbs.ErrBadWR
+	}
+	qp.channel = channel
+	qp.state.Store(stateReady)
+	d.channels[channel] = qp
+	early := d.parked[channel]
+	delete(d.parked, channel)
+	d.mu.Unlock()
+	for _, f := range early {
+		qp.inbound(f)
+	}
+	return nil
+}
+
+// ID implements verbs.QP.
+func (q *QP) ID() verbs.QPID { return q.id }
+
+// PostSend implements verbs.QP.
+func (q *QP) PostSend(wr *verbs.SendWR) error {
+	switch q.state.Load() {
+	case stateClosed:
+		return verbs.ErrQPClosed
+	case stateError:
+		return verbs.ErrQPError
+	case stateInit:
+		return verbs.ErrNotConnected
+	}
+	if wr.ModelBytes != 0 {
+		return verbs.ErrModelBytes
+	}
+	switch wr.Op {
+	case verbs.OpSend, verbs.OpWrite, verbs.OpWriteImm:
+		if wr.Length() <= 0 {
+			return verbs.ErrBadWR
+		}
+	case verbs.OpRead:
+		if wr.ReadLen <= 0 || wr.Local == nil || wr.LocalOffset < 0 ||
+			wr.LocalOffset+wr.ReadLen > wr.Local.Len {
+			return verbs.ErrBadWR
+		}
+	default:
+		return verbs.ErrBadWR
+	}
+	q.sendMu.Lock()
+	if q.sqOutstanding >= q.cfg.MaxSend {
+		q.sendMu.Unlock()
+		return verbs.ErrSendQueueFull
+	}
+	q.sqOutstanding++
+	q.sendMu.Unlock()
+
+	tok := q.dev.registerToken(q, wr)
+	f := &frame{channel: q.channel, token: tok, imm: wr.Imm}
+	switch wr.Op {
+	case verbs.OpSend:
+		f.op = frSend
+		f.payload = append([]byte(nil), wr.Data...)
+	case verbs.OpWrite:
+		f.op = frWrite
+		f.addr, f.rkey = wr.Remote.Addr, wr.Remote.RKey
+		f.payload = append([]byte(nil), wr.Data...)
+	case verbs.OpWriteImm:
+		f.op = frWriteImm
+		f.addr, f.rkey = wr.Remote.Addr, wr.Remote.RKey
+		f.payload = append([]byte(nil), wr.Data...)
+	case verbs.OpRead:
+		f.op = frReadReq
+		f.addr, f.rkey = wr.Remote.Addr, wr.Remote.RKey
+		f.imm = uint32(wr.ReadLen)
+	}
+	if !q.dev.send(f) {
+		q.dropToken(tok)
+		return verbs.ErrQPClosed
+	}
+	return nil
+}
+
+func (q *QP) dropToken(tok uint64) {
+	q.dev.mu.Lock()
+	delete(q.dev.tokens, tok)
+	q.dev.mu.Unlock()
+	q.sendMu.Lock()
+	q.sqOutstanding--
+	q.sendMu.Unlock()
+}
+
+// PostRecv implements verbs.QP.
+func (q *QP) PostRecv(wr *verbs.RecvWR) error {
+	switch q.state.Load() {
+	case stateClosed:
+		return verbs.ErrQPClosed
+	case stateError:
+		return verbs.ErrQPError
+	}
+	if wr.MR == nil || wr.Len <= 0 || wr.Offset < 0 || wr.Offset+wr.Len > wr.MR.Len {
+		return verbs.ErrBadWR
+	}
+	cp := *wr
+	q.recvMu.Lock()
+	if len(q.recvQ) >= q.cfg.MaxRecv {
+		q.recvMu.Unlock()
+		return verbs.ErrRecvQueueFull
+	}
+	q.recvQ = append(q.recvQ, &cp)
+	q.recvMu.Unlock()
+	q.recvCQ.Loop().Post(0, q.drainPending)
+	return nil
+}
+
+// inbound handles a data-bearing frame from the peer. Runs on the
+// device reader goroutine; receive-path work is posted to the recv loop.
+func (q *QP) inbound(f *frame) {
+	if q.state.Load() != stateReady {
+		q.ackTo(f, wsAccess)
+		return
+	}
+	switch f.op {
+	case frWrite:
+		q.applyWrite(f, false)
+	case frWriteImm:
+		q.applyWrite(f, true)
+	case frSend:
+		q.recvCQ.Loop().Post(0, func() { q.parkFrame(f) })
+	case frReadReq:
+		q.serveRead(f)
+	}
+}
+
+// applyWrite validates and places a one-sided write, then ACKs.
+func (q *QP) applyWrite(f *frame, imm bool) {
+	if _, _, err := q.dev.space.Place(verbs.RemoteAddr{Addr: f.addr, RKey: f.rkey}, f.payload, 0); err != nil {
+		q.ackTo(f, wsAccess)
+		return
+	}
+	if imm {
+		q.recvCQ.Loop().Post(0, func() { q.parkFrame(f) })
+		return // ACK after the imm notification consumes a receive
+	}
+	q.ackTo(f, wsOK)
+}
+
+// parkFrame queues a receive-consuming frame and drains.
+func (q *QP) parkFrame(f *frame) {
+	q.recvMu.Lock()
+	q.pending = append(q.pending, f)
+	stalled := len(q.recvQ) == 0
+	q.recvMu.Unlock()
+	if stalled {
+		q.dev.RNRStalls.Add(1)
+	}
+	q.drainPending()
+}
+
+func (q *QP) drainPending() {
+	for {
+		q.recvMu.Lock()
+		if len(q.pending) == 0 || len(q.recvQ) == 0 {
+			q.recvMu.Unlock()
+			return
+		}
+		f := q.pending[0]
+		q.pending = q.pending[1:]
+		rwr := q.recvQ[0]
+		q.recvQ = q.recvQ[1:]
+		q.recvMu.Unlock()
+
+		if f.op == frWriteImm {
+			q.recvCQ.Dispatch(0, verbs.WC{
+				WRID: rwr.WRID, Status: verbs.StatusSuccess, Op: verbs.OpWriteImm,
+				ByteLen: len(f.payload), Imm: f.imm, QP: q.id,
+			})
+			q.ackTo(f, wsOK)
+			continue
+		}
+		if len(f.payload) > rwr.Len {
+			q.ackTo(f, wsAccess)
+			q.enterError()
+			return
+		}
+		rwr.MR.PlaceLocal(rwr.Offset, f.payload)
+		q.recvCQ.Dispatch(0, verbs.WC{
+			WRID: rwr.WRID, Status: verbs.StatusSuccess, Op: verbs.OpRecv,
+			ByteLen: len(f.payload), Imm: f.imm,
+			Data: rwr.MR.ViewLocal(rwr.Offset, len(f.payload)), QP: q.id,
+		})
+		q.ackTo(f, wsOK)
+	}
+}
+
+// serveRead answers an inbound READ request.
+func (q *QP) serveRead(f *frame) {
+	n := int(f.imm)
+	_, view, err := q.dev.space.Fetch(verbs.RemoteAddr{Addr: f.addr, RKey: f.rkey}, n)
+	resp := &frame{op: frReadResp, channel: q.channel, token: f.token}
+	if err != nil {
+		resp.status = wsAccess
+	} else {
+		resp.payload = append([]byte(nil), view...)
+	}
+	q.dev.send(resp)
+}
+
+// ackTo acknowledges a data frame back to its sender.
+func (q *QP) ackTo(f *frame, status uint8) {
+	q.dev.send(&frame{op: frAck, channel: q.channel, token: f.token, status: status})
+}
+
+// remoteAck completes a sent WR after the peer's ACK/READ response.
+// Runs on the device reader goroutine.
+func (q *QP) remoteAck(wr verbs.SendWR, f *frame) {
+	q.sendMu.Lock()
+	q.sqOutstanding--
+	q.sendMu.Unlock()
+	status := frameStatusToVerbs(f.status)
+	byteLen := wr.Length()
+	if wr.Op == verbs.OpRead {
+		byteLen = wr.ReadLen
+		if status == verbs.StatusSuccess && wr.Local != nil {
+			wr.Local.PlaceLocal(wr.LocalOffset, f.payload)
+		}
+	}
+	if status != verbs.StatusSuccess {
+		q.enterError()
+	} else if wr.NoCompletion {
+		return
+	}
+	q.sendCQ.Dispatch(0, verbs.WC{
+		WRID: wr.WRID, Status: status, Op: wr.Op, ByteLen: byteLen, QP: q.id,
+	})
+}
+
+// connectionLost fails the QP after a transport error.
+func (q *QP) connectionLost() {
+	if q.state.CompareAndSwap(stateReady, stateError) {
+		q.flushRecvs()
+	}
+}
+
+func (q *QP) enterError() {
+	q.state.CompareAndSwap(stateReady, stateError)
+}
+
+func (q *QP) flushRecvs() {
+	q.recvMu.Lock()
+	rq := q.recvQ
+	q.recvQ = nil
+	q.pending = nil
+	q.recvMu.Unlock()
+	for _, r := range rq {
+		q.recvCQ.Dispatch(0, verbs.WC{WRID: r.WRID, Status: verbs.StatusFlushed, Op: verbs.OpRecv, QP: q.id})
+	}
+}
+
+// Close implements verbs.QP.
+func (q *QP) Close() error {
+	old := q.state.Swap(stateClosed)
+	if old == stateClosed {
+		return verbs.ErrQPClosed
+	}
+	q.flushRecvs()
+	return nil
+}
+
+var _ verbs.QP = (*QP)(nil)

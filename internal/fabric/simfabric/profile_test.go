@@ -1,0 +1,192 @@
+package simfabric
+
+import (
+	"testing"
+	"time"
+
+	"rftp/internal/hostmodel"
+	"rftp/internal/sim"
+	"rftp/internal/verbs"
+)
+
+func TestWireBytesFraming(t *testing.T) {
+	r := newRig(t, LinkConfig{RateBps: 10e9, PropDelay: time.Microsecond, MTU: 9000, HeaderBytes: 58})
+	d := r.srcDev
+	if got := d.wireBytes(9000); got != 9058 {
+		t.Fatalf("one MTU = %d, want 9058", got)
+	}
+	if got := d.wireBytes(9001); got != 9001+2*58 {
+		t.Fatalf("MTU+1 = %d, want two headers", got)
+	}
+	if got := d.wireBytes(0); got != 1+58 {
+		t.Fatalf("empty payload = %d", got)
+	}
+}
+
+func TestHostCostFactorScalesCPU(t *testing.T) {
+	run := func(factor float64) time.Duration {
+		sched := sim.New(1)
+		fab := New(sched)
+		host := hostmodel.NewHost(sched, "h", 8, hostmodel.DefaultParams())
+		peerHost := hostmodel.NewHost(sched, "p", 8, hostmodel.DefaultParams())
+		prof := DefaultNICProfile()
+		prof.HostCostFactor = factor
+		a := fab.NewDevice("a", host, prof)
+		b := fab.NewDevice("b", peerHost, prof)
+		fab.Connect(a, b, lanLink())
+		loop := host.NewThread("l")
+		peerLoop := peerHost.NewThread("pl")
+		cqa := a.CreateCQ(loop, 64).(*verbs.UpcallCQ)
+		cqb := b.CreateCQ(peerLoop, 64).(*verbs.UpcallCQ)
+		cqa.SetHandler(func(verbs.WC) {})
+		cqb.SetHandler(func(verbs.WC) {})
+		qa, _ := a.CreateQP(verbs.QPConfig{PD: a.AllocPD(), SendCQ: cqa, RecvCQ: cqa})
+		qb, _ := b.CreateQP(verbs.QPConfig{PD: b.AllocPD(), SendCQ: cqb, RecvCQ: cqb})
+		fab.ConnectQPs(qa, qb)
+		mr, _ := b.RegisterModelMR(b.AllocPD(), 1<<20, 0, verbs.AccessRemoteWrite)
+		for i := 0; i < 32; i++ {
+			qa.PostSend(&verbs.SendWR{Op: verbs.OpWrite, Data: []byte("h"), ModelBytes: 4095, Remote: mr.Remote(0)})
+		}
+		sched.RunAll()
+		return loop.Busy()
+	}
+	ib := run(1.0)
+	roce := run(1.3)
+	if roce <= ib {
+		t.Fatalf("RoCE factor 1.3 CPU (%v) not above IB (%v)", roce, ib)
+	}
+	ratio := float64(roce) / float64(ib)
+	if ratio < 1.2 || ratio > 1.45 {
+		t.Fatalf("CPU ratio = %.2f, want ~1.3", ratio)
+	}
+}
+
+func TestDeviceStatsCounters(t *testing.T) {
+	r := newRig(t, lanLink())
+	mr, _ := r.dstDev.RegisterModelMR(r.dstPD, 1<<20, 0, verbs.AccessRemoteWrite)
+	const n = 10
+	for i := 0; i < n; i++ {
+		r.srcQP.PostSend(&verbs.SendWR{Op: verbs.OpWrite, Data: []byte("x"), ModelBytes: 8191, Remote: mr.Remote(0)})
+	}
+	r.sched.RunAll()
+	if r.srcDev.TxWRs != n {
+		t.Fatalf("TxWRs = %d", r.srcDev.TxWRs)
+	}
+	if r.dstDev.RxWRs != n {
+		t.Fatalf("RxWRs = %d", r.dstDev.RxWRs)
+	}
+	if r.dstDev.RxBytes != n*8192 {
+		t.Fatalf("RxBytes = %d", r.dstDev.RxBytes)
+	}
+	// Tx includes framing overhead.
+	if r.srcDev.TxBytes <= r.dstDev.RxBytes {
+		t.Fatalf("TxBytes %d not above payload %d (framing)", r.srcDev.TxBytes, r.dstDev.RxBytes)
+	}
+}
+
+func TestDefaultProfileApplied(t *testing.T) {
+	sched := sim.New(1)
+	fab := New(sched)
+	h := hostmodel.NewHost(sched, "h", 4, hostmodel.DefaultParams())
+	d := fab.NewDevice("d", h, NICProfile{})
+	if d.profile.HostCostFactor != 1 || d.profile.RNRTimer == 0 || d.profile.MaxOutstandingReads == 0 {
+		t.Fatalf("zero profile not defaulted: %+v", d.profile)
+	}
+	if d.String() == "" || d.Host() != h {
+		t.Fatal("accessors broken")
+	}
+}
+
+func TestConnectRequiresRate(t *testing.T) {
+	sched := sim.New(1)
+	fab := New(sched)
+	h := hostmodel.NewHost(sched, "h", 4, hostmodel.DefaultParams())
+	a := fab.NewDevice("a", h, DefaultNICProfile())
+	b := fab.NewDevice("b", h, DefaultNICProfile())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-rate link did not panic")
+		}
+	}()
+	fab.Connect(a, b, LinkConfig{})
+}
+
+func TestModelMRHugeRegionIsCheap(t *testing.T) {
+	// A 1 TiB modeled region must not allocate 1 TiB.
+	r := newRig(t, lanLink())
+	mr, err := r.dstDev.RegisterModelMR(r.dstPD, 1<<40, 64, verbs.AccessRemoteWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mr.Buf) != 64 || mr.Len != 1<<40 {
+		t.Fatalf("geometry: buf=%d len=%d", len(mr.Buf), mr.Len)
+	}
+	// Writing deep into it is accounted, not materialized.
+	if err := r.srcQP.PostSend(&verbs.SendWR{Op: verbs.OpWrite, Data: []byte("x"),
+		ModelBytes: 1 << 30, Remote: mr.Remote(1 << 39)}); err != nil {
+		t.Fatal(err)
+	}
+	r.sched.RunAll()
+	if r.dstDev.RxBytes != 1<<30+1 {
+		t.Fatalf("RxBytes = %d", r.dstDev.RxBytes)
+	}
+}
+
+func TestBackboneSharedCapacity(t *testing.T) {
+	// Two pairs with 40G NICs share a 40G backbone: each gets ~half.
+	sched := sim.New(1)
+	fab := New(sched)
+	bb := fab.NewBackbone(40e9)
+	type pair struct {
+		qp  verbs.QP
+		dev *Device
+	}
+	var pairs []pair
+	link := LinkConfig{RateBps: 40e9, PropDelay: 10 * time.Microsecond, MTU: 9000, HeaderBytes: 58}
+	for i := 0; i < 2; i++ {
+		ha := hostmodel.NewHost(sched, "a", 8, hostmodel.DefaultParams())
+		hb := hostmodel.NewHost(sched, "b", 8, hostmodel.DefaultParams())
+		da := fab.NewDevice("a", ha, DefaultNICProfile())
+		db := fab.NewDevice("b", hb, DefaultNICProfile())
+		fab.ConnectVia(da, db, link, bb)
+		la, lb := ha.NewThread("la"), hb.NewThread("lb")
+		cqa := da.CreateCQ(la, 64).(*verbs.UpcallCQ)
+		cqb := db.CreateCQ(lb, 64).(*verbs.UpcallCQ)
+		cqa.SetHandler(func(verbs.WC) {})
+		cqb.SetHandler(func(verbs.WC) {})
+		qa, _ := da.CreateQP(verbs.QPConfig{PD: da.AllocPD(), SendCQ: cqa, RecvCQ: cqa, MaxSend: 256})
+		qb, _ := db.CreateQP(verbs.QPConfig{PD: db.AllocPD(), SendCQ: cqb, RecvCQ: cqb})
+		fab.ConnectQPs(qa, qb)
+		pairs = append(pairs, pair{qp: qa, dev: db})
+	}
+	const perPair = 128 << 20
+	for _, p := range pairs {
+		mr, _ := p.dev.RegisterModelMR(p.dev.AllocPD(), 64<<20, 0, verbs.AccessRemoteWrite)
+		for i := 0; i < perPair/(1<<20); i++ {
+			p.qp.PostSend(&verbs.SendWR{Op: verbs.OpWrite, Data: []byte("h"),
+				ModelBytes: 1<<20 - 1, Remote: mr.Remote(i % 64 << 20), NoCompletion: true})
+		}
+	}
+	sched.RunAll()
+	elapsed := sched.Now().Seconds()
+	agg := float64(2*perPair) * 8 / elapsed / 1e9
+	// Two 40G senders behind a 40G trunk: aggregate ~40, not ~80.
+	if agg > 40 || agg < 30 {
+		t.Fatalf("aggregate through shared trunk = %.1f Gbps, want ~35-40", agg)
+	}
+	fwd, _ := bb.Bytes()
+	if fwd < 2*perPair {
+		t.Fatalf("backbone carried only %d bytes", fwd)
+	}
+}
+
+func TestBackboneZeroRatePanics(t *testing.T) {
+	sched := sim.New(1)
+	fab := New(sched)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-rate backbone did not panic")
+		}
+	}()
+	fab.NewBackbone(0)
+}

@@ -1,0 +1,452 @@
+package simfabric
+
+import (
+	"time"
+
+	"rftp/internal/hostmodel"
+	"rftp/internal/verbs"
+)
+
+type qpState uint8
+
+const (
+	stateInit qpState = iota
+	stateReady
+	stateError
+	stateClosed
+)
+
+// QP is a simulated reliably-connected queue pair.
+type QP struct {
+	fabric *Fabric
+	dev    *Device
+	id     verbs.QPID
+	cfg    verbs.QPConfig
+	peer   *QP
+	state  qpState
+
+	sendCQ *verbs.UpcallCQ
+	recvCQ *verbs.UpcallCQ
+
+	// Send side.
+	sq               []*message // not yet on the wire (stalled behind READ limits)
+	sqOutstanding    int        // posted and not yet completed
+	outstandingReads int
+
+	// Receive side.
+	recvQ   []*verbs.RecvWR
+	pending []*message // arrivals waiting for a posted receive (FIFO)
+}
+
+// message is an in-flight work request (a snapshot of the posted WR).
+type message struct {
+	wr        verbs.SendWR
+	from      *QP
+	rnrLeft   int
+	delivered bool
+}
+
+// CreateQP implements verbs.Device.
+func (d *Device) CreateQP(cfg verbs.QPConfig) (verbs.QP, error) {
+	if cfg.Type != verbs.RC {
+		return nil, verbs.ErrBadWR
+	}
+	cfg = cfg.Normalize()
+	sendCQ, ok1 := cfg.SendCQ.(*verbs.UpcallCQ)
+	recvCQ, ok2 := cfg.RecvCQ.(*verbs.UpcallCQ)
+	if !ok1 || !ok2 {
+		return nil, verbs.ErrBadWR
+	}
+	d.fabric.nextQP++
+	qp := &QP{
+		fabric: d.fabric,
+		dev:    d,
+		id:     d.fabric.nextQP,
+		cfg:    cfg,
+		sendCQ: sendCQ,
+		recvCQ: recvCQ,
+	}
+	d.fabric.qps[qp.id] = qp
+	return qp, nil
+}
+
+// ConnectQPs joins two queue pairs created on linked devices.
+func (f *Fabric) ConnectQPs(a, b verbs.QP) error {
+	qa, ok1 := a.(*QP)
+	qb, ok2 := b.(*QP)
+	if !ok1 || !ok2 {
+		return verbs.ErrBadWR
+	}
+	if qa.dev.peer != qb.dev {
+		return verbs.ErrNotConnected
+	}
+	qa.peer, qb.peer = qb, qa
+	qa.state, qb.state = stateReady, stateReady
+	return nil
+}
+
+// ID implements verbs.QP.
+func (q *QP) ID() verbs.QPID { return q.id }
+
+// Device returns the device the QP lives on.
+func (q *QP) Device() *Device { return q.dev }
+
+func (q *QP) chargeCaller(cost time.Duration) {
+	if t, ok := q.sendCQ.Loop().(*hostmodel.Thread); ok {
+		t.Charge(cost)
+	}
+}
+
+// PostSend implements verbs.QP. The posting CPU cost is billed to the
+// send CQ's loop thread (the protocol always posts from that thread).
+func (q *QP) PostSend(wr *verbs.SendWR) error {
+	switch q.state {
+	case stateClosed:
+		return verbs.ErrQPClosed
+	case stateError:
+		return verbs.ErrQPError
+	case stateInit:
+		return verbs.ErrNotConnected
+	}
+	switch wr.Op {
+	case verbs.OpSend, verbs.OpWrite, verbs.OpWriteImm:
+		if wr.Length() <= 0 {
+			return verbs.ErrBadWR
+		}
+	case verbs.OpRead:
+		if wr.ReadLen <= 0 || wr.Local == nil {
+			return verbs.ErrBadWR
+		}
+		if wr.LocalOffset < 0 || wr.LocalOffset+wr.ReadLen > wr.Local.Len {
+			return verbs.ErrBadWR
+		}
+	default:
+		return verbs.ErrBadWR
+	}
+	if q.sqOutstanding >= q.cfg.MaxSend {
+		return verbs.ErrSendQueueFull
+	}
+	q.sqOutstanding++
+	q.chargeCaller(q.dev.chargePost())
+	m := &message{wr: *wr, from: q, rnrLeft: q.cfg.RNRRetry}
+	q.sq = append(q.sq, m)
+	q.kickSQ()
+	return nil
+}
+
+// PostRecv implements verbs.QP.
+func (q *QP) PostRecv(wr *verbs.RecvWR) error {
+	switch q.state {
+	case stateClosed:
+		return verbs.ErrQPClosed
+	case stateError:
+		return verbs.ErrQPError
+	}
+	if wr.MR == nil || wr.Len <= 0 || wr.Offset < 0 || wr.Offset+wr.Len > wr.MR.Len {
+		return verbs.ErrBadWR
+	}
+	if len(q.recvQ) >= q.cfg.MaxRecv {
+		return verbs.ErrRecvQueueFull
+	}
+	cp := *wr
+	q.recvQ = append(q.recvQ, &cp)
+	q.chargeCaller(q.dev.chargePost())
+	// An already-arrived message may be waiting for this buffer.
+	q.drainPending()
+	return nil
+}
+
+// kickSQ starts transmission of queued WRs in order. Everything except
+// READs stalled on the initiator depth limit goes onto the wire
+// immediately (the egress port serializes in virtual time). A stalled
+// READ blocks later WRs: the RC send queue is ordered.
+func (q *QP) kickSQ() {
+	for len(q.sq) > 0 {
+		m := q.sq[0]
+		if m.wr.Op == verbs.OpRead {
+			if q.outstandingReads >= q.cfg.MaxRDAtomic {
+				return
+			}
+			q.outstandingReads++
+		}
+		q.sq = q.sq[1:]
+		q.transmit(m)
+	}
+}
+
+// transmit serializes the message onto the egress port and schedules its
+// arrival at the peer NIC.
+func (q *QP) transmit(m *message) {
+	d := q.dev
+	var wire int
+	if m.wr.Op == verbs.OpRead {
+		wire = d.wireBytes(16) // READ request packet
+	} else {
+		wire = d.wireBytes(m.wr.Length())
+	}
+	d.TxWRs++
+	d.TxBytes += uint64(wire)
+	lastBit := d.port.transmit(wire)
+	if d.bbPort != nil {
+		lastBit = d.bbPort.transmitAt(lastBit, wire)
+	}
+	arriveAt := lastBit + d.profile.TxPerWR + d.link.PropDelay + d.peer.profile.RxPerWR
+	q.fabric.sched.At(arriveAt, func() { q.peer.arrive(m) })
+}
+
+// completeSend delivers the sender-side completion after the ACK returns
+// (half an RTT after the responder handled the message). Only for
+// OpSend/OpWrite/OpWriteImm; READs complete via readCompleted.
+func (q *QP) completeSend(m *message, status verbs.Status) {
+	q.fabric.sched.After(q.dev.link.PropDelay, func() {
+		q.sqOutstanding--
+		if status != verbs.StatusSuccess {
+			q.enterError()
+		} else if m.wr.NoCompletion {
+			return
+		}
+		q.sendCQ.Dispatch(q.dev.chargeCompletion(q.sendCQ.Loop()), verbs.WC{
+			WRID:    m.wr.WRID,
+			Status:  status,
+			Op:      m.wr.Op,
+			ByteLen: m.wr.Length(),
+			QP:      q.id,
+		})
+	})
+}
+
+// arrive is the peer NIC's handling of an inbound message. Runs in NIC
+// context (scheduler event; no host CPU except completion dispatches).
+func (q *QP) arrive(m *message) {
+	if q.state == stateClosed || q.state == stateError {
+		// Receiver is gone: NAK back to the sender.
+		if m.wr.Op == verbs.OpRead {
+			m.from.readCompleted(m, nil, verbs.StatusAborted)
+		} else {
+			m.from.completeSend(m, verbs.StatusAborted)
+		}
+		return
+	}
+	switch m.wr.Op {
+	case verbs.OpWrite:
+		if q.placeWrite(m) {
+			m.from.completeSend(m, verbs.StatusSuccess)
+		}
+	case verbs.OpWriteImm:
+		if q.placeWrite(m) {
+			q.enqueueDelivery(m)
+		}
+	case verbs.OpSend:
+		q.enqueueDelivery(m)
+	case verbs.OpRead:
+		q.handleReadRequest(m)
+	}
+}
+
+// placeWrite validates and applies an RDMA WRITE to the target region.
+// Returns false (after NAKing the sender) on access violations.
+func (q *QP) placeWrite(m *message) bool {
+	d := q.dev
+	if _, _, err := d.space.Place(m.wr.Remote, m.wr.Data, m.wr.ModelBytes); err != nil {
+		q.enterError()
+		m.from.completeSend(m, verbs.StatusRemoteAccessError)
+		return false
+	}
+	d.RxWRs++
+	d.RxBytes += uint64(m.wr.Length())
+	return true
+}
+
+// enqueueDelivery routes a receive-consuming arrival (SEND or the
+// notification half of WRITE_WITH_IMM) through the RNR state machine.
+func (q *QP) enqueueDelivery(m *message) {
+	q.pending = append(q.pending, m)
+	if len(q.recvQ) > 0 {
+		q.drainPending()
+		return
+	}
+	q.scheduleRNRRetry(m)
+}
+
+// scheduleRNRRetry models the receiver-not-ready NAK/retry loop: each
+// retry waits RNRTimer; when the budget is exhausted the message is
+// dropped and the sender completes with StatusRNRRetryExceeded.
+func (q *QP) scheduleRNRRetry(m *message) {
+	q.dev.RNRNaks++
+	if m.rnrLeft <= 0 {
+		for i, p := range q.pending {
+			if p == m {
+				q.pending = append(q.pending[:i], q.pending[i+1:]...)
+				break
+			}
+		}
+		m.from.completeSend(m, verbs.StatusRNRRetryExceeded)
+		return
+	}
+	m.rnrLeft--
+	q.fabric.sched.After(q.dev.profile.RNRTimer, func() {
+		if m.delivered || q.state != stateReady {
+			return
+		}
+		if len(q.recvQ) > 0 {
+			q.drainPending()
+			return
+		}
+		q.scheduleRNRRetry(m)
+	})
+}
+
+// drainPending delivers queued arrivals in order while receives are
+// available.
+func (q *QP) drainPending() {
+	for len(q.pending) > 0 && len(q.recvQ) > 0 {
+		m := q.pending[0]
+		q.pending = q.pending[1:]
+		m.delivered = true
+		if m.wr.Op == verbs.OpWriteImm {
+			q.deliverImmNotify(m)
+		} else {
+			q.deliverSend(m)
+		}
+	}
+}
+
+// deliverSend places a SEND into the next posted receive buffer.
+func (q *QP) deliverSend(m *message) {
+	d := q.dev
+	rwr := q.recvQ[0]
+	q.recvQ = q.recvQ[1:]
+	if m.wr.Length() > rwr.Len {
+		// Receive buffer too small: fatal on a reliable connection.
+		q.enterError()
+		m.from.completeSend(m, verbs.StatusRemoteAccessError)
+		return
+	}
+	rwr.MR.PlaceLocal(rwr.Offset, m.wr.Data)
+	d.RxWRs++
+	d.RxBytes += uint64(m.wr.Length())
+	q.recvCQ.Dispatch(d.chargeCompletion(q.recvCQ.Loop()), verbs.WC{
+		WRID:    rwr.WRID,
+		Status:  verbs.StatusSuccess,
+		Op:      verbs.OpRecv,
+		ByteLen: m.wr.Length(),
+		Imm:     m.wr.Imm,
+		Data:    rwr.MR.ViewLocal(rwr.Offset, len(m.wr.Data)),
+		QP:      q.id,
+	})
+	m.from.completeSend(m, verbs.StatusSuccess)
+}
+
+// deliverImmNotify consumes a receive for the immediate notification of
+// an already-placed RDMA WRITE WITH IMMEDIATE.
+func (q *QP) deliverImmNotify(m *message) {
+	d := q.dev
+	rwr := q.recvQ[0]
+	q.recvQ = q.recvQ[1:]
+	q.recvCQ.Dispatch(d.chargeCompletion(q.recvCQ.Loop()), verbs.WC{
+		WRID:    rwr.WRID,
+		Status:  verbs.StatusSuccess,
+		Op:      verbs.OpWriteImm,
+		ByteLen: m.wr.Length(),
+		Imm:     m.wr.Imm,
+		QP:      q.id,
+	})
+	m.from.completeSend(m, verbs.StatusSuccess)
+}
+
+// handleReadRequest serves an inbound RDMA READ at the responder NIC. No
+// responder host CPU is charged (one-sided semantics); responder NIC
+// resources bound concurrent responses.
+func (q *QP) handleReadRequest(m *message) {
+	d := q.dev
+	if d.inReads >= d.profile.MaxOutstandingReads {
+		d.rdQueue = append(d.rdQueue, func() { q.handleReadRequest(m) })
+		return
+	}
+	_, view, err := d.space.Fetch(m.wr.Remote, m.wr.ReadLen)
+	if err != nil {
+		q.enterError()
+		m.from.readCompleted(m, nil, verbs.StatusRemoteAccessError)
+		return
+	}
+	d.inReads++
+	wire := d.wireBytes(m.wr.ReadLen)
+	d.TxWRs++
+	d.TxBytes += uint64(wire)
+	lastBit := d.port.transmit(wire)
+	if d.bbPort != nil {
+		lastBit = d.bbPort.transmitAt(lastBit, wire)
+	}
+	arriveAt := lastBit + d.profile.TxPerWR + d.link.PropDelay + m.from.dev.profile.RxPerWR
+	data := append([]byte(nil), view...)
+	q.fabric.sched.At(arriveAt, func() {
+		d.inReads--
+		if len(d.rdQueue) > 0 {
+			next := d.rdQueue[0]
+			d.rdQueue = d.rdQueue[1:]
+			next()
+		}
+		m.from.readCompleted(m, data, verbs.StatusSuccess)
+	})
+}
+
+// readCompleted lands READ response data at the initiator.
+func (q *QP) readCompleted(m *message, data []byte, status verbs.Status) {
+	q.sqOutstanding--
+	q.outstandingReads--
+	if status == verbs.StatusSuccess && m.wr.Local != nil {
+		m.wr.Local.PlaceLocal(m.wr.LocalOffset, data)
+		q.dev.RxWRs++
+		q.dev.RxBytes += uint64(m.wr.ReadLen)
+	}
+	if status != verbs.StatusSuccess {
+		q.enterError()
+	}
+	if status != verbs.StatusSuccess || !m.wr.NoCompletion {
+		q.sendCQ.Dispatch(q.dev.chargeCompletion(q.sendCQ.Loop()), verbs.WC{
+			WRID:    m.wr.WRID,
+			Status:  status,
+			Op:      verbs.OpRead,
+			ByteLen: m.wr.ReadLen,
+			QP:      q.id,
+		})
+	}
+	q.kickSQ()
+}
+
+// enterError moves the QP to the error state and flushes queued work.
+func (q *QP) enterError() {
+	if q.state == stateError || q.state == stateClosed {
+		return
+	}
+	q.state = stateError
+	q.flushQueued()
+}
+
+// flushQueued completes all queued, untransmitted work with
+// StatusFlushed.
+func (q *QP) flushQueued() {
+	sq := q.sq
+	q.sq = nil
+	for _, m := range sq {
+		q.sqOutstanding--
+		q.sendCQ.Dispatch(0, verbs.WC{WRID: m.wr.WRID, Status: verbs.StatusFlushed, Op: m.wr.Op, QP: q.id})
+	}
+	rq := q.recvQ
+	q.recvQ = nil
+	for _, r := range rq {
+		q.recvCQ.Dispatch(0, verbs.WC{WRID: r.WRID, Status: verbs.StatusFlushed, Op: verbs.OpRecv, QP: q.id})
+	}
+}
+
+// Close implements verbs.QP.
+func (q *QP) Close() error {
+	if q.state == stateClosed {
+		return verbs.ErrQPClosed
+	}
+	q.flushQueued()
+	q.state = stateClosed
+	return nil
+}
+
+var _ verbs.QP = (*QP)(nil)

@@ -1,0 +1,297 @@
+// Package gridftp models the paper's baseline: globus-url-copy and the
+// GridFTP server moving data over N parallel TCP streams (MODE E).
+//
+// The paper's diagnosis (Section V.C.1, via strace) is that GridFTP
+// "only used a single thread to handle regular file operations ... and
+// also network events", so a single saturated core caps throughput no
+// matter how many streams or how large the blocks. The model reproduces
+// that architecture:
+//
+//   - one client thread produces data blocks (charged the /dev/zero
+//     synthesis cost), frames them with MODE E 17-byte extended-block
+//     headers, and feeds N tcpmodel flows (charged user→kernel copy,
+//     syscall, and per-segment kernel costs);
+//   - one server thread consumes every arriving segment (kernel
+//     per-segment + copy + per-block syscall costs) before the ACK is
+//     emitted, so a saturated server thread throttles the senders the
+//     way a zero receive window would;
+//   - the TCP flows share one bottleneck path with the congestion
+//     control variant from Table I.
+//
+// Data is striped over streams MODE E style: whichever stream has send
+// buffer space takes the next block.
+package gridftp
+
+import (
+	"time"
+
+	"rftp/internal/diskmodel"
+	"rftp/internal/hostmodel"
+	"rftp/internal/sim"
+	"rftp/internal/tcpmodel"
+)
+
+// modeEHeaderBytes is the MODE E extended block header (descriptor +
+// 64-bit count + 64-bit offset).
+const modeEHeaderBytes = 17
+
+// Config parameterizes a GridFTP transfer.
+type Config struct {
+	// Streams is the number of parallel TCP connections (-p).
+	Streams int
+	// BlockSize is the application read/write block (-bs).
+	BlockSize int
+	// TotalBytes is the dataset size.
+	TotalBytes int64
+	// Variant is the kernel congestion control algorithm.
+	Variant tcpmodel.Variant
+	// LoadNsPerByte is the client's data synthesis cost (defaults to
+	// the host's MemLoadNsPerByte).
+	LoadNsPerByte float64
+	// Disk, when non-nil, routes server-side data to a disk array.
+	Disk *diskmodel.Array
+	// DiskMode selects POSIX or direct I/O at the server (GridFTP has
+	// no direct I/O integration, so experiments use PosixBuffered).
+	DiskMode diskmodel.Mode
+	// BufferedBlocks is how many blocks ahead the client keeps per
+	// stream (socket buffer, in blocks).
+	BufferedBlocks int
+	// ClientThreads is a counterfactual knob: the number of client
+	// threads producing data. The real globus-url-copy of the paper's
+	// era uses 1 (the diagnosis behind Figure 8); raising it shows how
+	// much of the gap the single thread explains.
+	ClientThreads int
+}
+
+// Stats reports a finished (or in-progress) transfer.
+type Stats struct {
+	Bytes     int64
+	Blocks    int64
+	Start     time.Duration
+	End       time.Duration
+	Retrans   uint64
+	Timeouts  uint64
+	ClientCPU float64 // percent of one core, averaged over the transfer
+	ServerCPU float64
+}
+
+// Elapsed is the transfer duration.
+func (s Stats) Elapsed() time.Duration { return s.End - s.Start }
+
+// BandwidthGbps is goodput (payload bits per second / 1e9).
+func (s Stats) BandwidthGbps() float64 {
+	e := s.Elapsed().Seconds()
+	if e <= 0 {
+		return 0
+	}
+	return float64(s.Bytes) * 8 / e / 1e9
+}
+
+// Transfer is one GridFTP job.
+type Transfer struct {
+	sched  *sim.Scheduler
+	path   *tcpmodel.Path
+	client *hostmodel.Host
+	server *hostmodel.Host
+	cfg    Config
+
+	clientThreads []*hostmodel.Thread
+	serverThread  *hostmodel.Thread
+	flows         []*tcpmodel.Flow
+
+	remaining   int64
+	nextStream  int
+	nextThread  int
+	produced    int64
+	delivered   int64
+	producing   int
+	flowsClosed int
+	stats       Stats
+	clientBusy0 time.Duration
+	serverBusy0 time.Duration
+	started     time.Duration
+	done        func(Stats)
+	finished    bool
+}
+
+// New creates a transfer over the path between two hosts.
+func New(sched *sim.Scheduler, path *tcpmodel.Path, client, server *hostmodel.Host, cfg Config) *Transfer {
+	if cfg.Streams <= 0 {
+		cfg.Streams = 1
+	}
+	if cfg.BlockSize <= 0 {
+		cfg.BlockSize = 1 << 20
+	}
+	if cfg.BufferedBlocks <= 0 {
+		cfg.BufferedBlocks = 2
+	}
+	if cfg.LoadNsPerByte == 0 {
+		cfg.LoadNsPerByte = client.Params.MemLoadNsPerByte
+	}
+	if cfg.ClientThreads <= 0 {
+		cfg.ClientThreads = 1
+	}
+	t := &Transfer{
+		sched:     sched,
+		path:      path,
+		client:    client,
+		server:    server,
+		cfg:       cfg,
+		remaining: cfg.TotalBytes,
+	}
+	// The paper's strace finding: one thread at each end does all the
+	// work (ClientThreads > 1 is the counterfactual).
+	for i := 0; i < cfg.ClientThreads; i++ {
+		t.clientThreads = append(t.clientThreads, client.NewThread("globus-url-copy"))
+	}
+	t.serverThread = server.NewThread("gridftp-server")
+	return t
+}
+
+// ClientThread exposes the first client event-loop thread (for
+// utilization measurements).
+func (t *Transfer) ClientThread() *hostmodel.Thread { return t.clientThreads[0] }
+
+// ServerThread exposes the server event-loop thread.
+func (t *Transfer) ServerThread() *hostmodel.Thread { return t.serverThread }
+
+// Start launches the transfer; done fires when the server has received
+// and stored every byte.
+func (t *Transfer) Start(done func(Stats)) {
+	t.done = done
+	t.started = t.sched.Now()
+	t.stats.Start = t.started
+	for _, th := range t.clientThreads {
+		t.clientBusy0 += th.Busy()
+	}
+	t.serverBusy0 = t.serverThread.Busy()
+	for i := 0; i < t.cfg.Streams; i++ {
+		f := tcpmodel.NewFlow(t.path, "gridftp", tcpmodel.FlowConfig{Variant: t.cfg.Variant})
+		f.OnSendable = t.produceMore
+		f.OnRxProcess = t.serverProcess
+		f.OnDeliver = t.serverDeliver
+		f.OnClose = t.flowClosed
+		t.flows = append(t.flows, f)
+	}
+	t.produceMore()
+}
+
+// produceMore keeps the client threads producing blocks while any
+// stream has buffer space. With the default single thread, production
+// is strictly serial — the paper's bottleneck.
+func (t *Transfer) produceMore() {
+	for t.producing < len(t.clientThreads) && t.remaining > 0 {
+		f := t.pickStream()
+		if f == nil {
+			return
+		}
+		t.producing++
+		n := int64(t.cfg.BlockSize)
+		if n > t.remaining {
+			n = t.remaining
+		}
+		t.remaining -= n
+		p := t.client.Params
+		// Read from /dev/zero + MODE E header framing + write(2) into
+		// the socket: copy to kernel, plus kernel per-segment transmit
+		// work.
+		segs := (int(n) + t.path.Config().SegBytes - 1) / t.path.Config().SegBytes
+		cost := hostmodel.ScaleNsPerByte(t.cfg.LoadNsPerByte, int(n)) +
+			hostmodel.ScaleNsPerByte(p.TCPCopyNsPerByte, int(n)) +
+			p.Syscall + // write(2)
+			p.Syscall + // epoll_wait round
+			time.Duration(segs)*p.TCPPerSegment
+		th := t.clientThreads[t.nextThread%len(t.clientThreads)]
+		t.nextThread++
+		th.Post(cost, func() {
+			t.producing--
+			t.produced += n
+			f.Supply(int(n) + modeEHeaderBytes)
+			if t.remaining <= 0 {
+				for _, fl := range t.flows {
+					fl.Close()
+				}
+			}
+			t.produceMore()
+		})
+	}
+}
+
+// pickStream returns the next flow with room for another buffered
+// block, rotating MODE E style so every stream carries data.
+func (t *Transfer) pickStream() *tcpmodel.Flow {
+	limit := int64(t.cfg.BufferedBlocks) * int64(t.cfg.BlockSize+modeEHeaderBytes)
+	for i := 0; i < len(t.flows); i++ {
+		f := t.flows[(t.nextStream+i)%len(t.flows)]
+		if f.Buffered() < limit {
+			t.nextStream = (t.nextStream + i + 1) % len(t.flows)
+			return f
+		}
+	}
+	return nil
+}
+
+// serverProcess charges the server thread for one arriving segment
+// before the ACK goes out (kernel receive + copy to user + its share of
+// read(2) syscalls).
+func (t *Transfer) serverProcess(bytes int, emitAck func()) {
+	p := t.server.Params
+	blocksPerSeg := float64(bytes) / float64(t.cfg.BlockSize+modeEHeaderBytes)
+	cost := p.TCPPerSegment +
+		hostmodel.ScaleNsPerByte(p.TCPCopyNsPerByte, bytes) +
+		time.Duration(blocksPerSeg*float64(p.Syscall))
+	t.serverThread.Post(cost, emitAck)
+}
+
+// serverDeliver counts in-order payload and stores it (to /dev/null or
+// the disk array).
+func (t *Transfer) serverDeliver(bytes int) {
+	t.delivered += int64(bytes)
+	if t.cfg.Disk != nil {
+		t.cfg.Disk.Write(t.serverThread, t.cfg.DiskMode, bytes, func() { t.maybeFinish() })
+		return
+	}
+	// /dev/null: negligible store cost, charged anyway for fidelity.
+	t.serverThread.Post(hostmodel.ScaleNsPerByte(t.server.Params.MemStoreNsPerByte, bytes), func() {})
+	t.maybeFinish()
+}
+
+func (t *Transfer) flowClosed() {
+	t.flowsClosed++
+	t.maybeFinish()
+}
+
+func (t *Transfer) maybeFinish() {
+	if t.finished || t.flowsClosed < len(t.flows) || t.remaining > 0 {
+		return
+	}
+	// All flows drained (every supplied byte acked). Delivered counts
+	// include MODE E header padding/rounding; use produced payload.
+	t.finished = true
+	t.stats.Bytes = t.produced
+	t.stats.Blocks = (t.produced + int64(t.cfg.BlockSize) - 1) / int64(t.cfg.BlockSize)
+	t.stats.End = t.sched.Now()
+	for _, f := range t.flows {
+		t.stats.Retrans += f.Retransmits
+		t.stats.Timeouts += f.Timeouts
+	}
+	elapsed := t.stats.Elapsed()
+	if elapsed > 0 {
+		var clientBusy time.Duration
+		for _, th := range t.clientThreads {
+			clientBusy += th.Busy()
+		}
+		t.stats.ClientCPU = 100 * float64(clientBusy-t.clientBusy0) / float64(elapsed)
+		t.stats.ServerCPU = 100 * float64(t.serverThread.Busy()-t.serverBusy0) / float64(elapsed)
+	}
+	if t.done != nil {
+		t.done(t.stats)
+	}
+}
+
+// Stats returns the transfer statistics (final after done fires).
+func (t *Transfer) Stats() Stats { return t.stats }
+
+// DeliveredBytes returns payload delivered to the server so far (for
+// live bandwidth sampling).
+func (t *Transfer) DeliveredBytes() int64 { return t.delivered }

@@ -1,0 +1,139 @@
+package gridftp
+
+import (
+	"testing"
+	"time"
+
+	"rftp/internal/diskmodel"
+	"rftp/internal/hostmodel"
+	"rftp/internal/sim"
+	"rftp/internal/tcpmodel"
+)
+
+type rig struct {
+	sched  *sim.Scheduler
+	path   *tcpmodel.Path
+	client *hostmodel.Host
+	server *hostmodel.Host
+}
+
+func newRig(rateBps float64, rtt time.Duration, segBytes int) *rig {
+	s := sim.New(1)
+	return &rig{
+		sched:  s,
+		path:   tcpmodel.NewPath(s, tcpmodel.PathConfig{RateBps: rateBps, RTT: rtt, SegBytes: segBytes}),
+		client: hostmodel.NewHost(s, "client", 12, hostmodel.DefaultParams()),
+		server: hostmodel.NewHost(s, "server", 12, hostmodel.DefaultParams()),
+	}
+}
+
+func run(t *testing.T, r *rig, cfg Config) Stats {
+	t.Helper()
+	tr := New(r.sched, r.path, r.client, r.server, cfg)
+	var got *Stats
+	tr.Start(func(s Stats) { got = &s })
+	r.sched.RunAll()
+	if got == nil {
+		t.Fatal("transfer never finished")
+	}
+	return *got
+}
+
+func TestTransferCompletes(t *testing.T) {
+	r := newRig(10e9, 100*time.Microsecond, 9000)
+	st := run(t, r, Config{Streams: 1, BlockSize: 1 << 20, TotalBytes: 256 << 20, Variant: tcpmodel.Cubic})
+	if st.Bytes != 256<<20 {
+		t.Fatalf("bytes = %d", st.Bytes)
+	}
+	if st.BandwidthGbps() <= 0 {
+		t.Fatal("no bandwidth")
+	}
+}
+
+func TestSingleCoreCeiling(t *testing.T) {
+	// On a 40 Gbps LAN, GridFTP must be CPU-capped well below line
+	// rate, with the client thread near 100% of one core — the paper's
+	// central observation about the baseline.
+	r := newRig(40e9, 25*time.Microsecond, 9000)
+	st := run(t, r, Config{Streams: 8, BlockSize: 4 << 20, TotalBytes: 4 << 30, Variant: tcpmodel.Cubic})
+	bw := st.BandwidthGbps()
+	if bw >= 30 {
+		t.Fatalf("GridFTP reached %.1f Gbps on 40G LAN; the single-thread cap should bind earlier", bw)
+	}
+	if bw < 8 {
+		t.Fatalf("GridFTP only %.1f Gbps; model too pessimistic", bw)
+	}
+	if st.ClientCPU < 85 {
+		t.Fatalf("client CPU %.0f%%, want close to a saturated core", st.ClientCPU)
+	}
+}
+
+func TestCPUScalesWithSmallBlocks(t *testing.T) {
+	// Smaller blocks mean more syscalls per byte: CPU per byte rises,
+	// bandwidth falls (or at best stays).
+	small := run(t, newRig(40e9, 25*time.Microsecond, 9000),
+		Config{Streams: 4, BlockSize: 64 << 10, TotalBytes: 1 << 30, Variant: tcpmodel.Cubic})
+	large := run(t, newRig(40e9, 25*time.Microsecond, 9000),
+		Config{Streams: 4, BlockSize: 16 << 20, TotalBytes: 1 << 30, Variant: tcpmodel.Cubic})
+	if small.BandwidthGbps() > large.BandwidthGbps()*1.05 {
+		t.Fatalf("64K blocks (%.1f Gbps) beat 16M blocks (%.1f)", small.BandwidthGbps(), large.BandwidthGbps())
+	}
+}
+
+func TestMultiStreamHelpsOnWAN(t *testing.T) {
+	// 10G, 49ms RTT: during a bounded transfer the slow-start ramp is a
+	// real cost for one stream; eight streams ramp in parallel.
+	one := run(t, newRig(10e9, 49*time.Millisecond, 72000),
+		Config{Streams: 1, BlockSize: 4 << 20, TotalBytes: 2 << 30, Variant: tcpmodel.HTCP})
+	eight := run(t, newRig(10e9, 49*time.Millisecond, 72000),
+		Config{Streams: 8, BlockSize: 4 << 20, TotalBytes: 2 << 30, Variant: tcpmodel.HTCP})
+	if eight.BandwidthGbps() < one.BandwidthGbps() {
+		t.Fatalf("8 streams (%.2f) slower than 1 (%.2f) on WAN", eight.BandwidthGbps(), one.BandwidthGbps())
+	}
+}
+
+func TestServerCPUCharged(t *testing.T) {
+	r := newRig(10e9, 100*time.Microsecond, 9000)
+	st := run(t, r, Config{Streams: 2, BlockSize: 1 << 20, TotalBytes: 512 << 20, Variant: tcpmodel.Cubic})
+	if st.ServerCPU <= 0 {
+		t.Fatal("server CPU not charged")
+	}
+	if st.ClientCPU <= st.ServerCPU {
+		t.Fatalf("client CPU (%.0f%%) should exceed server (%.0f%%): it also synthesizes data", st.ClientCPU, st.ServerCPU)
+	}
+}
+
+func TestDiskSinkPosix(t *testing.T) {
+	r := newRig(10e9, 49*time.Millisecond, 72000)
+	arr := diskmodel.NewArray(r.sched, diskmodel.DefaultArray())
+	st := run(t, r, Config{
+		Streams: 4, BlockSize: 4 << 20, TotalBytes: 1 << 30,
+		Variant: tcpmodel.Cubic, Disk: arr, DiskMode: diskmodel.PosixBuffered,
+	})
+	if st.Bytes != 1<<30 {
+		t.Fatalf("bytes = %d", st.Bytes)
+	}
+	if arr.BytesWritten < 1<<30 {
+		t.Fatalf("disk saw only %d bytes", arr.BytesWritten)
+	}
+	// POSIX disk writes push server CPU above the memory-sink case.
+	mem := run(t, newRig(10e9, 49*time.Millisecond, 72000),
+		Config{Streams: 4, BlockSize: 4 << 20, TotalBytes: 1 << 30, Variant: tcpmodel.Cubic})
+	if st.ServerCPU <= mem.ServerCPU {
+		t.Fatalf("disk server CPU (%.0f%%) not above mem-to-mem (%.0f%%)", st.ServerCPU, mem.ServerCPU)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	r := newRig(1e9, time.Millisecond, 9000)
+	tr := New(r.sched, r.path, r.client, r.server, Config{TotalBytes: 1 << 20})
+	if tr.cfg.Streams != 1 || tr.cfg.BlockSize != 1<<20 || tr.cfg.BufferedBlocks != 2 {
+		t.Fatalf("defaults: %+v", tr.cfg)
+	}
+}
+
+func TestStatsBandwidthZeroSafe(t *testing.T) {
+	if (Stats{}).BandwidthGbps() != 0 {
+		t.Fatal("zero stats bandwidth should be 0")
+	}
+}

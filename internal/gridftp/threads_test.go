@@ -1,0 +1,56 @@
+package gridftp
+
+import (
+	"testing"
+	"time"
+
+	"rftp/internal/tcpmodel"
+)
+
+func TestClientThreadsLiftCeiling(t *testing.T) {
+	run := func(threads int) Stats {
+		r := newRig(40e9, 25*time.Microsecond, 9000)
+		tr := New(r.sched, r.path, r.client, r.server, Config{
+			Streams: 8, BlockSize: 4 << 20, TotalBytes: 2 << 30,
+			Variant: tcpmodel.Cubic, ClientThreads: threads,
+		})
+		var got *Stats
+		tr.Start(func(s Stats) { got = &s })
+		r.sched.RunAll()
+		if got == nil {
+			t.Fatal("transfer never finished")
+		}
+		return *got
+	}
+	one := run(1)
+	two := run(2)
+	if two.BandwidthGbps() <= one.BandwidthGbps()*1.2 {
+		t.Fatalf("2 threads (%.1f) not clearly above 1 (%.1f)",
+			two.BandwidthGbps(), one.BandwidthGbps())
+	}
+	// Client CPU now spans more than one core.
+	if two.ClientCPU <= 100 {
+		t.Fatalf("2-thread client CPU = %.0f%%, want > 100%%", two.ClientCPU)
+	}
+	// And the single server thread becomes the next binding constraint.
+	if two.ServerCPU < 95 {
+		t.Fatalf("server CPU = %.0f%%, expected saturation", two.ServerCPU)
+	}
+}
+
+func TestBytesConservedAcrossThreads(t *testing.T) {
+	r := newRig(10e9, time.Millisecond, 9000)
+	tr := New(r.sched, r.path, r.client, r.server, Config{
+		Streams: 4, BlockSize: 1 << 20, TotalBytes: 512 << 20,
+		Variant: tcpmodel.Reno, ClientThreads: 4,
+	})
+	var got *Stats
+	tr.Start(func(s Stats) { got = &s })
+	r.sched.RunAll()
+	if got == nil || got.Bytes != 512<<20 {
+		t.Fatalf("stats: %+v", got)
+	}
+	if tr.DeliveredBytes() < 512<<20 {
+		t.Fatalf("delivered %d", tr.DeliveredBytes())
+	}
+}

@@ -1,0 +1,85 @@
+package hostmodel
+
+import (
+	"testing"
+	"time"
+
+	"rftp/internal/sim"
+)
+
+func TestChargeExtendsBusyHorizon(t *testing.T) {
+	s := sim.New(1)
+	h := NewHost(s, "h", 4, DefaultParams())
+	th := h.NewThread("w")
+	var order []int
+	th.Post(time.Millisecond, func() {
+		// Synchronous work inside the handler (e.g. a verbs post).
+		th.Charge(2 * time.Millisecond)
+		order = append(order, 1)
+		// Work posted after the charge waits for it.
+		th.Post(time.Millisecond, func() { order = append(order, 2) })
+	})
+	s.RunAll()
+	// First job finishes at 1ms, the charge extends the horizon to 3ms,
+	// so the second job runs 3..4ms.
+	if s.Now() != 4*time.Millisecond {
+		t.Fatalf("end = %v, want 4ms", s.Now())
+	}
+	if th.Busy() != 4*time.Millisecond {
+		t.Fatalf("busy = %v, want 4ms", th.Busy())
+	}
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestChargeOnIdleThread(t *testing.T) {
+	s := sim.New(1)
+	h := NewHost(s, "h", 4, DefaultParams())
+	th := h.NewThread("w")
+	s.After(10*time.Millisecond, func() { th.Charge(time.Millisecond) })
+	s.RunAll()
+	if th.Busy() != time.Millisecond {
+		t.Fatalf("busy = %v", th.Busy())
+	}
+	// A job posted right after the charge waits for it.
+	done := time.Duration(0)
+	s.After(0, func() {}) // nothing; clock is at 10ms
+	th.Post(0, func() { done = s.Now() })
+	s.RunAll()
+	if done != 11*time.Millisecond {
+		t.Fatalf("post after charge finished at %v, want 11ms", done)
+	}
+}
+
+func TestChargeZeroOrNegativeIsNoop(t *testing.T) {
+	s := sim.New(1)
+	h := NewHost(s, "h", 4, DefaultParams())
+	th := h.NewThread("w")
+	th.Charge(0)
+	th.Charge(-time.Second)
+	if th.Busy() != 0 {
+		t.Fatalf("busy = %v", th.Busy())
+	}
+}
+
+func TestHostAccessors(t *testing.T) {
+	s := sim.New(1)
+	h := NewHost(s, "box", 8, DefaultParams())
+	th := h.NewThread("t0")
+	if th.Host() != h {
+		t.Fatal("Host() wrong")
+	}
+	if th.HostParams().PostWR != DefaultParams().PostWR {
+		t.Fatal("HostParams() wrong")
+	}
+	if th.Label() != "t0" {
+		t.Fatal("Label() wrong")
+	}
+	if h.Scheduler() != s {
+		t.Fatal("Scheduler() wrong")
+	}
+	if len(h.Threads()) != 1 {
+		t.Fatal("Threads() wrong")
+	}
+}

@@ -1,0 +1,222 @@
+package hostmodel
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"rftp/internal/sim"
+)
+
+func newHost(t *testing.T) (*sim.Scheduler, *Host) {
+	t.Helper()
+	s := sim.New(1)
+	return s, NewHost(s, "h", 8, DefaultParams())
+}
+
+func TestThreadSerializesWork(t *testing.T) {
+	s, h := newHost(t)
+	th := h.NewThread("w")
+	var done []time.Duration
+	// Three 10ms jobs posted at t=0 must finish at 10, 20, 30ms.
+	for i := 0; i < 3; i++ {
+		th.Post(10*time.Millisecond, func() { done = append(done, s.Now()) })
+	}
+	s.RunAll()
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 30 * time.Millisecond}
+	if len(done) != 3 {
+		t.Fatalf("finished %d jobs, want 3", len(done))
+	}
+	for i := range want {
+		if done[i] != want[i] {
+			t.Fatalf("job %d finished at %v, want %v", i, done[i], want[i])
+		}
+	}
+	if th.Busy() != 30*time.Millisecond {
+		t.Fatalf("busy = %v, want 30ms", th.Busy())
+	}
+}
+
+func TestThreadIdleGapsNotCounted(t *testing.T) {
+	s, h := newHost(t)
+	th := h.NewThread("w")
+	th.Post(time.Millisecond, func() {})
+	s.After(10*time.Millisecond, func() {
+		th.Post(time.Millisecond, func() {})
+	})
+	s.RunAll()
+	if th.Busy() != 2*time.Millisecond {
+		t.Fatalf("busy = %v, want 2ms", th.Busy())
+	}
+	if s.Now() != 11*time.Millisecond {
+		t.Fatalf("end = %v, want 11ms", s.Now())
+	}
+}
+
+func TestBacklogDelaysLaterWork(t *testing.T) {
+	s, h := newHost(t)
+	th := h.NewThread("w")
+	th.Post(50*time.Millisecond, func() {})
+	var lateAt time.Duration
+	s.After(10*time.Millisecond, func() {
+		th.Post(time.Millisecond, func() { lateAt = s.Now() })
+	})
+	s.RunAll()
+	if lateAt != 51*time.Millisecond {
+		t.Fatalf("queued-behind work finished at %v, want 51ms", lateAt)
+	}
+}
+
+func TestUtilizationSince(t *testing.T) {
+	s, h := newHost(t)
+	th := h.NewThread("w")
+	b0, t0 := h.BusyTotal(), s.Now()
+	// 25ms of CPU over a 100ms window = 25% of one core.
+	th.Post(25*time.Millisecond, func() {})
+	s.Run(100 * time.Millisecond)
+	if u := h.UtilizationSince(b0, t0); u < 24.9 || u > 25.1 {
+		t.Fatalf("utilization = %v%%, want 25%%", u)
+	}
+}
+
+func TestMultiThreadUtilizationExceeds100(t *testing.T) {
+	s, h := newHost(t)
+	a, b := h.NewThread("a"), h.NewThread("b")
+	b0, t0 := h.BusyTotal(), s.Now()
+	a.Post(100*time.Millisecond, func() {})
+	b.Post(100*time.Millisecond, func() {})
+	s.Run(100 * time.Millisecond)
+	if u := h.UtilizationSince(b0, t0); u < 199 || u > 201 {
+		t.Fatalf("utilization = %v%%, want 200%%", u)
+	}
+}
+
+func TestAfterRunsOnThread(t *testing.T) {
+	s, h := newHost(t)
+	th := h.NewThread("w")
+	// Occupy the thread until t=20ms; a timer at 5ms must still wait for
+	// the thread.
+	th.Post(20*time.Millisecond, func() {})
+	var at time.Duration
+	th.After(5*time.Millisecond, func() { at = s.Now() })
+	s.RunAll()
+	if at != 20*time.Millisecond {
+		t.Fatalf("After callback at %v, want 20ms (serialized)", at)
+	}
+}
+
+func TestChargeInterruptModeration(t *testing.T) {
+	s := sim.New(1)
+	p := DefaultParams()
+	p.CompletionsPerInterrupt = 4
+	h := NewHost(s, "h", 8, p)
+	th := h.NewThread("w")
+	var total time.Duration
+	for i := 0; i < 8; i++ {
+		total += th.ChargeInterrupt()
+	}
+	if total != 2*p.Interrupt {
+		t.Fatalf("8 completions charged %v of interrupts, want %v", total, 2*p.Interrupt)
+	}
+}
+
+func TestChargeInterruptNoModeration(t *testing.T) {
+	s := sim.New(1)
+	p := DefaultParams()
+	p.CompletionsPerInterrupt = 1
+	h := NewHost(s, "h", 8, p)
+	th := h.NewThread("w")
+	for i := 0; i < 3; i++ {
+		if c := th.ChargeInterrupt(); c != p.Interrupt {
+			t.Fatalf("call %d charged %v, want %v", i, c, p.Interrupt)
+		}
+	}
+}
+
+func TestNegativeCostPanics(t *testing.T) {
+	s, h := newHost(t)
+	th := h.NewThread("w")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative cost did not panic")
+		}
+	}()
+	th.Post(-time.Second, func() {})
+	s.RunAll()
+}
+
+func TestZeroCoresPanics(t *testing.T) {
+	s := sim.New(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("0 cores did not panic")
+		}
+	}()
+	NewHost(s, "h", 0, DefaultParams())
+}
+
+func TestScaleNsPerByte(t *testing.T) {
+	rate := 0.16
+	want := time.Duration(rate * float64(1<<30))
+	if got := ScaleNsPerByte(rate, 1<<30); got != want {
+		t.Fatalf("ScaleNsPerByte = %v", got)
+	}
+	if got := ScaleNsPerByte(0, 12345); got != 0 {
+		t.Fatalf("zero rate gave %v", got)
+	}
+}
+
+func TestMaxQueueHighWater(t *testing.T) {
+	s, h := newHost(t)
+	th := h.NewThread("w")
+	for i := 0; i < 5; i++ {
+		th.Post(time.Millisecond, func() {})
+	}
+	s.RunAll()
+	if th.MaxQueue() != 5 {
+		t.Fatalf("MaxQueue = %d, want 5", th.MaxQueue())
+	}
+	if th.Completed() != 5 {
+		t.Fatalf("Completed = %d, want 5", th.Completed())
+	}
+}
+
+// Property: total busy time equals the sum of posted costs, regardless of
+// posting pattern.
+func TestBusyConservationProperty(t *testing.T) {
+	f := func(costs []uint16) bool {
+		s := sim.New(1)
+		h := NewHost(s, "h", 4, DefaultParams())
+		th := h.NewThread("w")
+		var want time.Duration
+		for _, c := range costs {
+			d := time.Duration(c) * time.Microsecond
+			want += d
+			th.Post(d, func() {})
+		}
+		s.RunAll()
+		return th.Busy() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a saturated thread's throughput equals 1/serviceTime — the
+// single-core ceiling the GridFTP model relies on.
+func TestSaturatedThroughputProperty(t *testing.T) {
+	s, h := newHost(t)
+	th := h.NewThread("w")
+	service := 100 * time.Microsecond
+	n := 1000
+	for i := 0; i < n; i++ {
+		th.Post(service, func() {})
+	}
+	s.RunAll()
+	if s.Now() != time.Duration(n)*service {
+		t.Fatalf("drained %d jobs in %v, want %v", n, s.Now(), time.Duration(n)*service)
+	}
+	if th.Backlog() != 0 {
+		t.Fatalf("backlog = %v after drain", th.Backlog())
+	}
+}

@@ -1,0 +1,227 @@
+// Package ioengine is the analogue of the paper's RDMA fio engine
+// (Section III.B): it drives raw verbs operations — RDMA WRITE, RDMA
+// READ, or SEND/RECV — at a configurable block size and I/O depth over
+// the simulated fabric, and reports bandwidth plus CPU utilization at
+// both ends.
+//
+// The engine posts Depth operations and reposts on every completion,
+// exactly like an asynchronous fio job with iodepth=N, so the results
+// expose the effects the paper measures: the latency-bound regime at
+// depth 1, saturation versus block size, the bounded-outstanding-READ
+// ceiling, and the two-sided CPU tax of SEND/RECV.
+package ioengine
+
+import (
+	"fmt"
+	"time"
+
+	"rftp/internal/fabric/simfabric"
+	"rftp/internal/hostmodel"
+	"rftp/internal/metrics"
+	"rftp/internal/sim"
+	"rftp/internal/verbs"
+)
+
+// Params configures one engine run.
+type Params struct {
+	// Op is verbs.OpWrite, verbs.OpRead, or verbs.OpSend.
+	Op verbs.Opcode
+	// BlockSize is the transfer size per operation.
+	BlockSize int
+	// Depth is the number of operations kept in flight.
+	Depth int
+	// Duration is the simulated measurement window.
+	Duration time.Duration
+	// MaxRDAtomic bounds outstanding READs (0 = verbs default).
+	MaxRDAtomic int
+}
+
+// Result reports one run.
+type Result struct {
+	Op            verbs.Opcode
+	BlockSize     int
+	Depth         int
+	Ops           int64
+	Bytes         int64
+	Elapsed       time.Duration
+	BandwidthGbps float64
+	// SourceCPU and SinkCPU are percent of one core.
+	SourceCPU float64
+	SinkCPU   float64
+	// Latency summarizes per-operation post-to-completion latency
+	// (fio's "clat" analogue).
+	Latency metrics.Summary
+}
+
+// Env is the two-host fabric the engine runs on.
+type Env struct {
+	Sched   *sim.Scheduler
+	Fabric  *simfabric.Fabric
+	SrcHost *hostmodel.Host
+	DstHost *hostmodel.Host
+	SrcDev  *simfabric.Device
+	DstDev  *simfabric.Device
+}
+
+// NewEnv builds a two-host environment joined by link, with per-side
+// NIC profiles.
+func NewEnv(seed int64, link simfabric.LinkConfig, srcNIC, dstNIC simfabric.NICProfile, params hostmodel.Params) *Env {
+	sched := sim.New(seed)
+	fab := simfabric.New(sched)
+	src := hostmodel.NewHost(sched, "src", 16, params)
+	dst := hostmodel.NewHost(sched, "dst", 16, params)
+	sdev := fab.NewDevice("hca0", src, srcNIC)
+	ddev := fab.NewDevice("hca1", dst, dstNIC)
+	fab.Connect(sdev, ddev, link)
+	return &Env{Sched: sched, Fabric: fab, SrcHost: src, DstHost: dst, SrcDev: sdev, DstDev: ddev}
+}
+
+// Run executes one engine job on a fresh QP pair and returns the
+// measurements. Multiple Runs on one Env accumulate virtual time but
+// use independent QPs.
+func Run(env *Env, p Params) (Result, error) {
+	if p.BlockSize <= 0 || p.Depth <= 0 || p.Duration <= 0 {
+		return Result{}, fmt.Errorf("ioengine: bad params %+v", p)
+	}
+	switch p.Op {
+	case verbs.OpWrite, verbs.OpRead, verbs.OpSend:
+	default:
+		return Result{}, fmt.Errorf("ioengine: unsupported op %v", p.Op)
+	}
+
+	srcLoop := env.SrcHost.NewThread("io-src")
+	dstLoop := env.DstHost.NewThread("io-dst")
+	srcPD := env.SrcDev.AllocPD()
+	dstPD := env.DstDev.AllocPD()
+	srcCQ := env.SrcDev.CreateCQ(srcLoop, 4*p.Depth).(*verbs.UpcallCQ)
+	dstCQ := env.DstDev.CreateCQ(dstLoop, 4*p.Depth).(*verbs.UpcallCQ)
+
+	qpCfg := verbs.QPConfig{
+		SendCQ: srcCQ, RecvCQ: srcCQ, PD: srcPD,
+		MaxSend: 2*p.Depth + 4, MaxRecv: 2*p.Depth + 4,
+		MaxRDAtomic: p.MaxRDAtomic,
+	}
+	srcQP, err := env.SrcDev.CreateQP(qpCfg)
+	if err != nil {
+		return Result{}, err
+	}
+	dstQP, err := env.DstDev.CreateQP(verbs.QPConfig{
+		SendCQ: dstCQ, RecvCQ: dstCQ, PD: dstPD,
+		MaxSend: 2*p.Depth + 4, MaxRecv: 2*p.Depth + 4,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	if err := env.Fabric.ConnectQPs(srcQP, dstQP); err != nil {
+		return Result{}, err
+	}
+
+	// Target and source regions: one slab each, rotated through by the
+	// in-flight operations.
+	slab := p.BlockSize * p.Depth
+	remoteAccess := verbs.AccessRemoteWrite | verbs.AccessRemoteRead | verbs.AccessLocalWrite
+	dstMR, err := env.DstDev.RegisterModelMR(dstPD, slab, 64, remoteAccess)
+	if err != nil {
+		return Result{}, err
+	}
+	srcMR, err := env.SrcDev.RegisterModelMR(srcPD, slab, 64, verbs.AccessLocalWrite)
+	if err != nil {
+		return Result{}, err
+	}
+
+	start := env.Sched.Now()
+	deadline := start + p.Duration
+	srcBusy0 := env.SrcHost.BusyTotal()
+	dstBusy0 := env.DstHost.BusyTotal()
+
+	var ops, bytes int64
+	lastDone := start
+	stopped := false
+	hdr := make([]byte, 32)
+	postedAt := make([]time.Duration, p.Depth)
+	var latencies []float64
+
+	var post func(slot int)
+	post = func(slot int) {
+		if stopped {
+			return
+		}
+		wr := &verbs.SendWR{WRID: uint64(slot), Op: p.Op}
+		postedAt[slot] = env.Sched.Now()
+		off := slot * p.BlockSize
+		switch p.Op {
+		case verbs.OpWrite:
+			wr.Data = hdr
+			wr.ModelBytes = p.BlockSize - len(hdr)
+			wr.Remote = dstMR.Remote(off)
+		case verbs.OpRead:
+			wr.ReadLen = p.BlockSize
+			wr.Remote = dstMR.Remote(off)
+			wr.Local = srcMR
+			wr.LocalOffset = off
+		case verbs.OpSend:
+			wr.Data = hdr
+			wr.ModelBytes = p.BlockSize - len(hdr)
+		}
+		if err := srcQP.PostSend(wr); err != nil {
+			panic(fmt.Sprintf("ioengine: post: %v", err))
+		}
+	}
+
+	// SEND needs pre-posted receives, replenished on completion (the
+	// engine never lets the queue run dry, avoiding RNR).
+	if p.Op == verbs.OpSend {
+		dstCQ.SetHandler(func(wc verbs.WC) {
+			if wc.Status != verbs.StatusSuccess {
+				return
+			}
+			if !stopped {
+				dstQP.PostRecv(&verbs.RecvWR{WRID: wc.WRID, MR: dstMR, Offset: 0, Len: p.BlockSize})
+			}
+		})
+		for i := 0; i < 2*p.Depth+4; i++ {
+			if err := dstQP.PostRecv(&verbs.RecvWR{WRID: uint64(i), MR: dstMR, Offset: 0, Len: p.BlockSize}); err != nil {
+				return Result{}, err
+			}
+		}
+	} else {
+		dstCQ.SetHandler(func(wc verbs.WC) {})
+	}
+
+	srcCQ.SetHandler(func(wc verbs.WC) {
+		if wc.Status != verbs.StatusSuccess {
+			if wc.Status == verbs.StatusFlushed {
+				return
+			}
+			panic(fmt.Sprintf("ioengine: completion error %v", wc.Status))
+		}
+		ops++
+		bytes += int64(wc.ByteLen)
+		lastDone = env.Sched.Now()
+		latencies = append(latencies, float64(env.Sched.Now()-postedAt[int(wc.WRID)])/1e3) // µs
+		if env.Sched.Now() < deadline {
+			post(int(wc.WRID))
+		}
+	})
+
+	for i := 0; i < p.Depth; i++ {
+		post(i)
+	}
+	env.Sched.Run(deadline + time.Second) // allow tail completions
+	stopped = true
+
+	elapsed := lastDone - start
+	res := Result{
+		Op: p.Op, BlockSize: p.BlockSize, Depth: p.Depth,
+		Ops: ops, Bytes: bytes, Elapsed: elapsed,
+	}
+	if elapsed > 0 {
+		res.BandwidthGbps = float64(bytes) * 8 / elapsed.Seconds() / 1e9
+		res.SourceCPU = 100 * float64(env.SrcHost.BusyTotal()-srcBusy0) / float64(elapsed)
+		res.SinkCPU = 100 * float64(env.DstHost.BusyTotal()-dstBusy0) / float64(elapsed)
+	}
+	res.Latency = metrics.Summarize(latencies)
+	srcQP.Close()
+	dstQP.Close()
+	return res, nil
+}

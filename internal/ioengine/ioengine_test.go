@@ -1,0 +1,142 @@
+package ioengine
+
+import (
+	"testing"
+	"time"
+
+	"rftp/internal/fabric/simfabric"
+	"rftp/internal/hostmodel"
+	"rftp/internal/verbs"
+)
+
+func roceLAN() simfabric.LinkConfig {
+	return simfabric.LinkConfig{RateBps: 40e9, PropDelay: 12500 * time.Nanosecond, MTU: 9000, HeaderBytes: 58}
+}
+
+func roceNIC() simfabric.NICProfile {
+	p := simfabric.DefaultNICProfile()
+	p.HostCostFactor = 1.3 // RoCE verbs overhead (paper Section V.C.2)
+	return p
+}
+
+func runOne(t *testing.T, p Params) Result {
+	t.Helper()
+	env := NewEnv(1, roceLAN(), roceNIC(), roceNIC(), hostmodel.DefaultParams())
+	res, err := Run(env, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestWriteSaturatesAtLargeBlocksHighDepth(t *testing.T) {
+	res := runOne(t, Params{Op: verbs.OpWrite, BlockSize: 1 << 20, Depth: 64, Duration: 200 * time.Millisecond})
+	if res.BandwidthGbps < 34 || res.BandwidthGbps > 40 {
+		t.Fatalf("WRITE 1M/64 = %.1f Gbps, want near line rate", res.BandwidthGbps)
+	}
+}
+
+func TestLowDepthIsLatencyBound(t *testing.T) {
+	res := runOne(t, Params{Op: verbs.OpWrite, BlockSize: 64 << 10, Depth: 1, Duration: 100 * time.Millisecond})
+	// depth 1: one 64K block per (serialization + RTT + overheads).
+	if res.BandwidthGbps > 25 {
+		t.Fatalf("depth-1 bandwidth %.1f Gbps is implausibly high", res.BandwidthGbps)
+	}
+	deep := runOne(t, Params{Op: verbs.OpWrite, BlockSize: 64 << 10, Depth: 64, Duration: 100 * time.Millisecond})
+	if deep.BandwidthGbps <= res.BandwidthGbps*1.5 {
+		t.Fatalf("depth 64 (%.1f) not clearly above depth 1 (%.1f)", deep.BandwidthGbps, res.BandwidthGbps)
+	}
+}
+
+func TestBandwidthSaturatesWithBlockSize(t *testing.T) {
+	// Paper: best bandwidth from 16-128KB on, flat above 128KB.
+	small := runOne(t, Params{Op: verbs.OpWrite, BlockSize: 4 << 10, Depth: 64, Duration: 50 * time.Millisecond})
+	mid := runOne(t, Params{Op: verbs.OpWrite, BlockSize: 128 << 10, Depth: 64, Duration: 100 * time.Millisecond})
+	big := runOne(t, Params{Op: verbs.OpWrite, BlockSize: 1 << 20, Depth: 64, Duration: 100 * time.Millisecond})
+	if small.BandwidthGbps >= mid.BandwidthGbps {
+		t.Fatalf("4K (%.1f) not below 128K (%.1f)", small.BandwidthGbps, mid.BandwidthGbps)
+	}
+	if big.BandwidthGbps < mid.BandwidthGbps*0.95 || big.BandwidthGbps > mid.BandwidthGbps*1.15 {
+		t.Fatalf("no saturation: 128K=%.1f, 1M=%.1f", mid.BandwidthGbps, big.BandwidthGbps)
+	}
+}
+
+func TestReadSlowerThanWriteAtHighDepth(t *testing.T) {
+	wr := runOne(t, Params{Op: verbs.OpWrite, BlockSize: 64 << 10, Depth: 64, Duration: 100 * time.Millisecond})
+	rd := runOne(t, Params{Op: verbs.OpRead, BlockSize: 64 << 10, Depth: 64, Duration: 100 * time.Millisecond, MaxRDAtomic: 16})
+	if rd.BandwidthGbps >= wr.BandwidthGbps {
+		t.Fatalf("READ (%.1f) not below WRITE (%.1f) at depth 64", rd.BandwidthGbps, wr.BandwidthGbps)
+	}
+}
+
+func TestSendRecvCPUHigherThanWrite(t *testing.T) {
+	wr := runOne(t, Params{Op: verbs.OpWrite, BlockSize: 64 << 10, Depth: 64, Duration: 100 * time.Millisecond})
+	sr := runOne(t, Params{Op: verbs.OpSend, BlockSize: 64 << 10, Depth: 64, Duration: 100 * time.Millisecond})
+	wrTotal := wr.SourceCPU + wr.SinkCPU
+	srTotal := sr.SourceCPU + sr.SinkCPU
+	if srTotal <= wrTotal*1.5 {
+		t.Fatalf("SEND/RECV CPU (%.1f%%) not well above WRITE (%.1f%%)", srTotal, wrTotal)
+	}
+	if wr.SinkCPU != 0 {
+		t.Fatalf("one-sided WRITE charged sink CPU %.1f%%", wr.SinkCPU)
+	}
+	if sr.SinkCPU == 0 {
+		t.Fatal("two-sided SEND charged no sink CPU")
+	}
+}
+
+func TestCPUDecreasesWithBlockSize(t *testing.T) {
+	small := runOne(t, Params{Op: verbs.OpWrite, BlockSize: 16 << 10, Depth: 64, Duration: 50 * time.Millisecond})
+	big := runOne(t, Params{Op: verbs.OpWrite, BlockSize: 4 << 20, Depth: 64, Duration: 100 * time.Millisecond})
+	if big.SourceCPU >= small.SourceCPU {
+		t.Fatalf("CPU did not fall with block size: 16K=%.1f%%, 4M=%.1f%%", small.SourceCPU, big.SourceCPU)
+	}
+}
+
+func TestSimilarBandwidthAcrossSemanticsAtLowDepth(t *testing.T) {
+	// Paper Figure 3(a)/4(a): at low depth all three semantics perform
+	// about the same.
+	var bw []float64
+	for _, op := range []verbs.Opcode{verbs.OpWrite, verbs.OpRead, verbs.OpSend} {
+		r := runOne(t, Params{Op: op, BlockSize: 64 << 10, Depth: 1, Duration: 50 * time.Millisecond, MaxRDAtomic: 16})
+		bw = append(bw, r.BandwidthGbps)
+	}
+	for i := 1; i < len(bw); i++ {
+		ratio := bw[i] / bw[0]
+		if ratio < 0.7 || ratio > 1.3 {
+			t.Fatalf("low-depth semantics diverge: %v", bw)
+		}
+	}
+}
+
+func TestBadParamsRejected(t *testing.T) {
+	env := NewEnv(1, roceLAN(), roceNIC(), roceNIC(), hostmodel.DefaultParams())
+	if _, err := Run(env, Params{}); err == nil {
+		t.Fatal("zero params accepted")
+	}
+	if _, err := Run(env, Params{Op: verbs.OpWriteImm, BlockSize: 4096, Depth: 1, Duration: time.Millisecond}); err == nil {
+		t.Fatal("unsupported op accepted")
+	}
+}
+
+func TestOpsCounted(t *testing.T) {
+	res := runOne(t, Params{Op: verbs.OpWrite, BlockSize: 1 << 20, Depth: 8, Duration: 20 * time.Millisecond})
+	if res.Ops == 0 || res.Bytes != res.Ops*int64(res.BlockSize) {
+		t.Fatalf("ops=%d bytes=%d", res.Ops, res.Bytes)
+	}
+}
+
+func TestLatencyPercentilesReported(t *testing.T) {
+	res := runOne(t, Params{Op: verbs.OpWrite, BlockSize: 64 << 10, Depth: 8, Duration: 20 * time.Millisecond})
+	if res.Latency.N == 0 {
+		t.Fatal("no latency samples")
+	}
+	if res.Latency.P50 <= 0 || res.Latency.P95 < res.Latency.P50 || res.Latency.Max < res.Latency.P95 {
+		t.Fatalf("latency summary inconsistent: %+v", res.Latency)
+	}
+	// Depth-1 latency must be lower than deep-queue latency (queueing).
+	shallow := runOne(t, Params{Op: verbs.OpWrite, BlockSize: 64 << 10, Depth: 1, Duration: 20 * time.Millisecond})
+	if shallow.Latency.P50 >= res.Latency.P50 {
+		t.Fatalf("depth-1 P50 (%v) not below depth-8 P50 (%v)", shallow.Latency.P50, res.Latency.P50)
+	}
+}

@@ -1,0 +1,30 @@
+package metrics_test
+
+import (
+	"fmt"
+	"time"
+
+	"rftp/internal/metrics"
+)
+
+// RateSampler turns a cumulative byte counter into a bandwidth series.
+func ExampleRateSampler() {
+	r := metrics.NewRateSampler(time.Second)
+	// A transfer that accelerates: 100 B/s, then 300 B/s.
+	r.Observe(0, 0)
+	r.Observe(1*time.Second, 100)
+	r.Observe(2*time.Second, 400)
+	for _, p := range r.Series().Points {
+		fmt.Printf("%v: %.0f B/s\n", p.T, p.V)
+	}
+	// Output:
+	// 1s: 100 B/s
+	// 2s: 300 B/s
+}
+
+func ExampleSummarize() {
+	s := metrics.Summarize([]float64{9.9, 9.7, 9.8, 8.4, 9.9})
+	fmt.Printf("mean=%.2f min=%.1f max=%.1f\n", s.Mean, s.Min, s.Max)
+	// Output:
+	// mean=9.54 min=8.4 max=9.9
+}

@@ -1,0 +1,160 @@
+// Package metrics provides small measurement helpers for the experiment
+// harness: fixed-interval rate sampling of cumulative counters (to plot
+// bandwidth over time, ramps, and fluctuation) and summary statistics.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Point is one sample of a time series.
+type Point struct {
+	T time.Duration
+	V float64
+}
+
+// Series is a fixed-interval time series.
+type Series struct {
+	Interval time.Duration
+	Points   []Point
+}
+
+// Values returns just the sample values.
+func (s Series) Values() []float64 {
+	out := make([]float64, len(s.Points))
+	for i, p := range s.Points {
+		out[i] = p.V
+	}
+	return out
+}
+
+// RateSampler converts observations of a cumulative counter into a
+// per-interval rate series: feed it (now, cumulativeValue) pairs at
+// least once per interval and read the finished intervals out of
+// Series. Partial trailing intervals are emitted by Flush.
+type RateSampler struct {
+	interval time.Duration
+	started  bool
+	epoch    time.Duration // start of the current interval
+	base     float64       // counter value at epoch
+	lastT    time.Duration
+	lastV    float64
+	series   Series
+}
+
+// NewRateSampler creates a sampler with the given interval.
+func NewRateSampler(interval time.Duration) *RateSampler {
+	if interval <= 0 {
+		panic("metrics: interval must be positive")
+	}
+	return &RateSampler{interval: interval, series: Series{Interval: interval}}
+}
+
+// Observe records the cumulative counter value at time t. Observations
+// must be monotone in t; the counter may only grow. Each completed
+// interval appends one point whose V is the counter delta per second of
+// that interval (linear interpolation at interval boundaries).
+func (r *RateSampler) Observe(t time.Duration, v float64) {
+	if !r.started {
+		r.started = true
+		r.epoch, r.base = t, v
+		r.lastT, r.lastV = t, v
+		return
+	}
+	if t < r.lastT {
+		panic(fmt.Sprintf("metrics: time went backwards: %v < %v", t, r.lastT))
+	}
+	for t >= r.epoch+r.interval {
+		boundary := r.epoch + r.interval
+		// Interpolate the counter at the boundary.
+		var vb float64
+		if t == r.lastT {
+			vb = v
+		} else {
+			frac := float64(boundary-r.lastT) / float64(t-r.lastT)
+			vb = r.lastV + (v-r.lastV)*frac
+		}
+		rate := (vb - r.base) / r.interval.Seconds()
+		r.series.Points = append(r.series.Points, Point{T: boundary, V: rate})
+		r.epoch, r.base = boundary, vb
+	}
+	r.lastT, r.lastV = t, v
+}
+
+// Flush emits the partial final interval (if any data accumulated).
+func (r *RateSampler) Flush() {
+	if !r.started || r.lastT <= r.epoch {
+		return
+	}
+	dur := (r.lastT - r.epoch).Seconds()
+	if dur <= 0 {
+		return
+	}
+	rate := (r.lastV - r.base) / dur
+	r.series.Points = append(r.series.Points, Point{T: r.lastT, V: rate})
+	r.epoch, r.base = r.lastT, r.lastV
+}
+
+// Series returns the completed intervals so far.
+func (r *RateSampler) Series() Series { return r.series }
+
+// Summary holds order statistics of a sample set.
+type Summary struct {
+	N                int
+	Min, Max, Mean   float64
+	P50, P95         float64
+	StdDev           float64
+	CoefficientOfVar float64
+}
+
+// Summarize computes summary statistics (zero Summary for empty input).
+func Summarize(vals []float64) Summary {
+	if len(vals) == 0 {
+		return Summary{}
+	}
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	var sum float64
+	for _, v := range sorted {
+		sum += v
+	}
+	mean := sum / float64(len(sorted))
+	var ss float64
+	for _, v := range sorted {
+		d := v - mean
+		ss += d * d
+	}
+	sd := math.Sqrt(ss / float64(len(sorted)))
+	cv := 0.0
+	if mean != 0 {
+		cv = sd / mean
+	}
+	return Summary{
+		N:                len(sorted),
+		Min:              sorted[0],
+		Max:              sorted[len(sorted)-1],
+		Mean:             mean,
+		P50:              percentile(sorted, 0.50),
+		P95:              percentile(sorted, 0.95),
+		StdDev:           sd,
+		CoefficientOfVar: cv,
+	}
+}
+
+// percentile interpolates the p-quantile of sorted values.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(pos)
+	hi := lo + 1
+	if hi >= len(sorted) {
+		return sorted[len(sorted)-1]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}

@@ -1,0 +1,163 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestRateSamplerConstantRate(t *testing.T) {
+	r := NewRateSampler(time.Second)
+	// 100 bytes/second for 5 seconds, observed every 250ms.
+	for i := 0; i <= 20; i++ {
+		ts := time.Duration(i) * 250 * time.Millisecond
+		r.Observe(ts, 100*ts.Seconds())
+	}
+	s := r.Series()
+	if len(s.Points) != 5 {
+		t.Fatalf("points = %d, want 5", len(s.Points))
+	}
+	for _, p := range s.Points {
+		if math.Abs(p.V-100) > 1e-9 {
+			t.Fatalf("rate at %v = %v, want 100", p.T, p.V)
+		}
+	}
+}
+
+func TestRateSamplerSparseObservations(t *testing.T) {
+	r := NewRateSampler(time.Second)
+	r.Observe(0, 0)
+	// One observation after 4 intervals: interpolation fills them.
+	r.Observe(4*time.Second, 400)
+	s := r.Series()
+	if len(s.Points) != 4 {
+		t.Fatalf("points = %d, want 4", len(s.Points))
+	}
+	for _, p := range s.Points {
+		if math.Abs(p.V-100) > 1e-9 {
+			t.Fatalf("interpolated rate = %v", p.V)
+		}
+	}
+}
+
+func TestRateSamplerRamp(t *testing.T) {
+	r := NewRateSampler(time.Second)
+	// Quadratic counter: rate must increase interval over interval.
+	for i := 0; i <= 10; i++ {
+		ts := time.Duration(i) * time.Second
+		r.Observe(ts, float64(i*i))
+	}
+	pts := r.Series().Points
+	for i := 1; i < len(pts); i++ {
+		if pts[i].V <= pts[i-1].V {
+			t.Fatalf("ramp not increasing at %d: %v <= %v", i, pts[i].V, pts[i-1].V)
+		}
+	}
+}
+
+func TestRateSamplerFlushPartial(t *testing.T) {
+	r := NewRateSampler(time.Second)
+	r.Observe(0, 0)
+	r.Observe(1500*time.Millisecond, 300)
+	r.Flush()
+	pts := r.Series().Points
+	if len(pts) != 2 {
+		t.Fatalf("points = %d, want 2 (one full + one partial)", len(pts))
+	}
+	// Partial interval: 100 bytes over 0.5s = 200/s.
+	if math.Abs(pts[1].V-200) > 1e-6 {
+		t.Fatalf("partial rate = %v, want 200", pts[1].V)
+	}
+	// Double flush adds nothing.
+	r.Flush()
+	if len(r.Series().Points) != 2 {
+		t.Fatal("flush not idempotent")
+	}
+}
+
+func TestRateSamplerBackwardsTimePanics(t *testing.T) {
+	r := NewRateSampler(time.Second)
+	r.Observe(time.Second, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("backwards time did not panic")
+		}
+	}()
+	r.Observe(0, 2)
+}
+
+func TestBadIntervalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero interval did not panic")
+		}
+	}()
+	NewRateSampler(0)
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2, 5})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || s.Mean != 3 || s.P50 != 3 {
+		t.Fatalf("summary: %+v", s)
+	}
+	if s.P95 < 4.5 || s.P95 > 5 {
+		t.Fatalf("P95 = %v", s.P95)
+	}
+	if s.StdDev <= 0 || s.CoefficientOfVar <= 0 {
+		t.Fatalf("dispersion: %+v", s)
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Fatal("empty summary not zero")
+	}
+	one := Summarize([]float64{7})
+	if one.P50 != 7 || one.P95 != 7 || one.Min != 7 {
+		t.Fatalf("single-sample summary: %+v", one)
+	}
+}
+
+// Property: total bytes are conserved — sum(rate_i * dt_i) equals the
+// final counter value, for any observation pattern.
+func TestRateConservationProperty(t *testing.T) {
+	f := func(deltas []uint16) bool {
+		r := NewRateSampler(100 * time.Millisecond)
+		var ts time.Duration
+		var v float64
+		r.Observe(0, 0)
+		for _, d := range deltas {
+			ts += time.Duration(d%500+1) * time.Millisecond
+			v += float64(d)
+			r.Observe(ts, v)
+		}
+		r.Flush()
+		var sum float64
+		prev := time.Duration(0)
+		for _, p := range r.Series().Points {
+			sum += p.V * (p.T - prev).Seconds()
+			prev = p.T
+		}
+		return math.Abs(sum-v) < 1e-6*math.Max(1, v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: summary order statistics are consistent.
+func TestSummaryOrderingProperty(t *testing.T) {
+	f := func(raw []int32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vals := make([]float64, len(raw))
+		for i, v := range raw {
+			vals[i] = float64(v) / 1000
+		}
+		s := Summarize(vals)
+		return s.Min <= s.P50 && s.P50 <= s.P95 && s.P95 <= s.Max &&
+			s.Min <= s.Mean && s.Mean <= s.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,35 @@
+package sim_test
+
+import (
+	"fmt"
+	"time"
+
+	"rftp/internal/sim"
+)
+
+// A Scheduler runs closures at virtual times: the whole experiment is
+// deterministic and independent of wall-clock speed.
+func ExampleScheduler() {
+	s := sim.New(1)
+	s.After(2*time.Millisecond, func() { fmt.Println("second at", s.Now()) })
+	s.After(1*time.Millisecond, func() {
+		fmt.Println("first at", s.Now())
+		s.After(5*time.Millisecond, func() { fmt.Println("chained at", s.Now()) })
+	})
+	s.RunAll()
+	// Output:
+	// first at 1ms
+	// second at 2ms
+	// chained at 6ms
+}
+
+func ExampleScheduler_horizon() {
+	s := sim.New(1)
+	s.After(time.Second, func() { fmt.Println("fires") })
+	s.After(time.Hour, func() { fmt.Println("never reached") })
+	end := s.Run(2 * time.Second)
+	fmt.Println("stopped at", end)
+	// Output:
+	// fires
+	// stopped at 2s
+}

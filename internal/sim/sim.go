@@ -1,0 +1,175 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel maintains a virtual clock and a priority queue of events.
+// Events scheduled for the same instant execute in scheduling order
+// (FIFO tie-breaking by sequence number), which makes runs fully
+// deterministic for a given seed and schedule.
+//
+// All simulated subsystems (links, NICs, host threads, TCP endpoints)
+// share one Scheduler. Virtual time is expressed as time.Duration since
+// the start of the simulation.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Event is a scheduled callback. Events are managed by the Scheduler and
+// should be created through Scheduler.At / Scheduler.After.
+type Event struct {
+	when   time.Duration
+	seq    uint64
+	fn     func()
+	index  int // heap index; -1 when not queued
+	dead   bool
+	labels string // optional debug label
+}
+
+// When returns the virtual time the event will fire at.
+func (e *Event) When() time.Duration { return e.when }
+
+// Cancel prevents a pending event from firing. Canceling an already-fired
+// or already-canceled event is a no-op.
+func (e *Event) Cancel() { e.dead = true }
+
+// Canceled reports whether Cancel was called on the event.
+func (e *Event) Canceled() bool { return e.dead }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].when != q[j].when {
+		return q[i].when < q[j].when
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Scheduler is the discrete-event simulation core. It is not safe for
+// concurrent use: all simulated work runs on the single goroutine that
+// calls Run.
+type Scheduler struct {
+	now     time.Duration
+	seq     uint64
+	queue   eventQueue
+	rng     *rand.Rand
+	running bool
+	stopped bool
+	fired   uint64
+}
+
+// New returns a Scheduler whose random source is seeded with seed.
+func New(seed int64) *Scheduler {
+	return &Scheduler{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() time.Duration { return s.now }
+
+// Rand returns the scheduler's deterministic random source.
+func (s *Scheduler) Rand() *rand.Rand { return s.rng }
+
+// Fired returns the number of events executed so far.
+func (s *Scheduler) Fired() uint64 { return s.fired }
+
+// Pending returns the number of events currently queued (including
+// canceled events that have not yet been discarded).
+func (s *Scheduler) Pending() int { return len(s.queue) }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the
+// past panics: that is always a model bug.
+func (s *Scheduler) At(t time.Duration, fn func()) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
+	}
+	s.seq++
+	e := &Event{when: t, seq: s.seq, fn: fn, index: -1}
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// After schedules fn to run d from now. Negative d is treated as zero.
+func (s *Scheduler) After(d time.Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Stop halts a Run in progress after the current event completes.
+func (s *Scheduler) Stop() { s.stopped = true }
+
+// Run executes events in order until the queue empties, until the clock
+// would pass horizon (events at exactly horizon still run), or until Stop
+// is called. It returns the virtual time at exit.
+func (s *Scheduler) Run(horizon time.Duration) time.Duration {
+	if s.running {
+		panic("sim: Run called reentrantly")
+	}
+	s.running = true
+	s.stopped = false
+	defer func() { s.running = false }()
+	for len(s.queue) > 0 && !s.stopped {
+		e := s.queue[0]
+		if e.dead {
+			heap.Pop(&s.queue)
+			continue
+		}
+		if e.when > horizon {
+			s.now = horizon
+			return s.now
+		}
+		heap.Pop(&s.queue)
+		s.now = e.when
+		s.fired++
+		e.fn()
+	}
+	if s.now < horizon && len(s.queue) == 0 {
+		// Nothing left to do; advance to horizon so rate computations
+		// against Now() see the full window.
+		s.now = horizon
+	}
+	return s.now
+}
+
+// RunAll executes events until the queue is empty or Stop is called.
+func (s *Scheduler) RunAll() time.Duration {
+	if s.running {
+		panic("sim: RunAll called reentrantly")
+	}
+	s.running = true
+	s.stopped = false
+	defer func() { s.running = false }()
+	for len(s.queue) > 0 && !s.stopped {
+		e := heap.Pop(&s.queue).(*Event)
+		if e.dead {
+			continue
+		}
+		s.now = e.when
+		s.fired++
+		e.fn()
+	}
+	return s.now
+}

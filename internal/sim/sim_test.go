@@ -1,0 +1,234 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestRunOrdering(t *testing.T) {
+	s := New(1)
+	var got []int
+	s.After(30*time.Millisecond, func() { got = append(got, 3) })
+	s.After(10*time.Millisecond, func() { got = append(got, 1) })
+	s.After(20*time.Millisecond, func() { got = append(got, 2) })
+	s.RunAll()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("events out of order: %v", got)
+	}
+	if s.Now() != 30*time.Millisecond {
+		t.Fatalf("clock = %v, want 30ms", s.Now())
+	}
+}
+
+func TestTieBreakFIFO(t *testing.T) {
+	s := New(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(time.Second, func() { got = append(got, i) })
+	}
+	s.RunAll()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestHorizonStopsAndAdvances(t *testing.T) {
+	s := New(1)
+	fired := false
+	s.After(2*time.Second, func() { fired = true })
+	end := s.Run(time.Second)
+	if fired {
+		t.Fatal("event beyond horizon fired")
+	}
+	if end != time.Second {
+		t.Fatalf("Run returned %v, want 1s", end)
+	}
+	// Event at exactly the horizon fires.
+	s2 := New(1)
+	hit := false
+	s2.After(time.Second, func() { hit = true })
+	s2.Run(time.Second)
+	if !hit {
+		t.Fatal("event at horizon did not fire")
+	}
+}
+
+func TestRunEmptyQueueAdvancesToHorizon(t *testing.T) {
+	s := New(1)
+	if got := s.Run(5 * time.Second); got != 5*time.Second {
+		t.Fatalf("empty run ended at %v", got)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New(1)
+	fired := false
+	e := s.After(time.Second, func() { fired = true })
+	e.Cancel()
+	if !e.Canceled() {
+		t.Fatal("Canceled() = false after Cancel")
+	}
+	s.RunAll()
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+}
+
+func TestStopDuringRun(t *testing.T) {
+	s := New(1)
+	n := 0
+	for i := 0; i < 10; i++ {
+		d := time.Duration(i) * time.Millisecond
+		s.After(d, func() {
+			n++
+			if n == 3 {
+				s.Stop()
+			}
+		})
+	}
+	s.RunAll()
+	if n != 3 {
+		t.Fatalf("Stop did not halt run: executed %d events", n)
+	}
+}
+
+func TestSchedulingInsideEvents(t *testing.T) {
+	s := New(1)
+	var trace []time.Duration
+	var ping func()
+	count := 0
+	ping = func() {
+		trace = append(trace, s.Now())
+		count++
+		if count < 5 {
+			s.After(time.Millisecond, ping)
+		}
+	}
+	s.After(0, ping)
+	s.RunAll()
+	if len(trace) != 5 {
+		t.Fatalf("chain executed %d times, want 5", len(trace))
+	}
+	for i, ts := range trace {
+		if want := time.Duration(i) * time.Millisecond; ts != want {
+			t.Fatalf("step %d at %v, want %v", i, ts, want)
+		}
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	s := New(1)
+	s.After(time.Second, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		s.At(0, func() {})
+	})
+	s.RunAll()
+}
+
+func TestNegativeAfterClampsToNow(t *testing.T) {
+	s := New(1)
+	fired := false
+	s.After(time.Second, func() {
+		s.After(-time.Minute, func() { fired = true })
+	})
+	s.RunAll()
+	if !fired {
+		t.Fatal("negative-delay event never fired")
+	}
+	if s.Now() != time.Second {
+		t.Fatalf("clock = %v, want 1s", s.Now())
+	}
+}
+
+func TestFiredCounter(t *testing.T) {
+	s := New(1)
+	for i := 0; i < 7; i++ {
+		s.After(time.Duration(i), func() {})
+	}
+	s.RunAll()
+	if s.Fired() != 7 {
+		t.Fatalf("Fired = %d, want 7", s.Fired())
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func() []time.Duration {
+		s := New(42)
+		var out []time.Duration
+		rng := rand.New(rand.NewSource(7))
+		for i := 0; i < 200; i++ {
+			s.After(time.Duration(rng.Intn(1000))*time.Microsecond, func() {
+				out = append(out, s.Now())
+			})
+		}
+		s.RunAll()
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("runs differ in length")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// Property: events always fire in nondecreasing time order, regardless of
+// insertion order.
+func TestEventOrderProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		s := New(1)
+		var fired []time.Duration
+		for _, d := range delays {
+			s.After(time.Duration(d)*time.Microsecond, func() {
+				fired = append(fired, s.Now())
+			})
+		}
+		s.RunAll()
+		if len(fired) != len(delays) {
+			return false
+		}
+		if !sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] }) {
+			return false
+		}
+		// The set of firing times must equal the set of requested delays.
+		want := make([]time.Duration, len(delays))
+		for i, d := range delays {
+			want[i] = time.Duration(d) * time.Microsecond
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := range want {
+			if fired[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkScheduler(b *testing.B) {
+	s := New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.After(time.Duration(i%1000)*time.Nanosecond, func() {})
+		if s.Pending() > 10000 {
+			s.RunAll()
+		}
+	}
+	s.RunAll()
+}

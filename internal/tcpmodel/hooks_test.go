@@ -1,0 +1,126 @@
+package tcpmodel
+
+import (
+	"testing"
+	"time"
+
+	"rftp/internal/sim"
+)
+
+func TestOnRxProcessGatesAcks(t *testing.T) {
+	// A receiver that sits on every segment for 1ms limits throughput
+	// to one segment per millisecond regardless of the 10G link.
+	s := sim.New(1)
+	p := NewPath(s, PathConfig{RateBps: 10e9, RTT: time.Millisecond, SegBytes: 9000})
+	f := NewFlow(p, "f", FlowConfig{Variant: Cubic})
+	var busyUntil time.Duration
+	f.OnRxProcess = func(bytes int, emitAck func()) {
+		// Serial server: 1ms of receiver CPU per segment.
+		if busyUntil < s.Now() {
+			busyUntil = s.Now()
+		}
+		busyUntil += time.Millisecond
+		s.At(busyUntil, emitAck)
+	}
+	bulk(f)
+	s.Run(2 * time.Second)
+	gbps := float64(f.AckedBytes) * 8 / 2 / 1e9
+	// ~1000 segs/s * 9000B = 72 Mbit/s; allow slack for window bursts.
+	if gbps > 0.3 {
+		t.Fatalf("slow receiver did not throttle sender: %.3f Gbps", gbps)
+	}
+	if f.AckedBytes == 0 {
+		t.Fatal("no progress at all")
+	}
+}
+
+func TestOnRxProcessPassthroughMatchesDefault(t *testing.T) {
+	run := func(hook bool) int64 {
+		s := sim.New(1)
+		p := lanPath(s)
+		f := NewFlow(p, "f", FlowConfig{Variant: Cubic})
+		if hook {
+			f.OnRxProcess = func(bytes int, emitAck func()) { emitAck() }
+		}
+		bulk(f)
+		s.Run(200 * time.Millisecond)
+		return f.AckedBytes
+	}
+	plain, hooked := run(false), run(true)
+	if plain != hooked {
+		t.Fatalf("identity hook changed behavior: %d vs %d", plain, hooked)
+	}
+}
+
+func TestPacingLimitsBurstQueue(t *testing.T) {
+	// A jumbo supply into a fresh window must not dump the whole window
+	// into the queue at once: pacing caps occupancy near
+	// maxBurst*SegBytes.
+	s := sim.New(1)
+	p := NewPath(s, PathConfig{RateBps: 1e9, RTT: 50 * time.Millisecond, SegBytes: 9000, QueueBytes: 100 * 9000})
+	f := NewFlow(p, "f", FlowConfig{Variant: Reno, InitialCwnd: 80})
+	f.Supply(80 * 9000)
+	f.Close()
+	maxQ := 0
+	var watch func()
+	watch = func() {
+		if p.queued > maxQ {
+			maxQ = p.queued
+		}
+		if s.Now() < 100*time.Millisecond {
+			s.After(100*time.Microsecond, watch)
+		}
+	}
+	watch()
+	s.Run(time.Second)
+	if maxQ > (maxBurst+4)*9000 {
+		t.Fatalf("queue peaked at %d bytes (%d segs); pacing failed", maxQ, maxQ/9000)
+	}
+	if p.Drops != 0 {
+		t.Fatalf("paced burst still dropped %d", p.Drops)
+	}
+}
+
+func TestDeliveredNeverExceedsSupplied(t *testing.T) {
+	s := sim.New(1)
+	p := NewPath(s, PathConfig{RateBps: 1e9, RTT: 10 * time.Millisecond, SegBytes: 9000, QueueBytes: 50 * 9000})
+	f := NewFlow(p, "f", FlowConfig{Variant: Reno})
+	var delivered int64
+	f.OnDeliver = func(n int) { delivered += int64(n) }
+	supplied := int64(500 * 9000)
+	f.Supply(int(supplied))
+	f.Close()
+	s.RunAll()
+	if delivered != supplied {
+		t.Fatalf("delivered %d of %d supplied", delivered, supplied)
+	}
+	if f.AckedBytes != supplied {
+		t.Fatalf("acked %d of %d", f.AckedBytes, supplied)
+	}
+}
+
+func TestCwndNeverBelowFloor(t *testing.T) {
+	s := sim.New(1)
+	// Brutal queue: constant losses.
+	p := NewPath(s, PathConfig{RateBps: 1e8, RTT: 20 * time.Millisecond, SegBytes: 9000, QueueBytes: 3 * 9000})
+	f := NewFlow(p, "f", FlowConfig{Variant: Reno})
+	bulk(f)
+	floorOK := true
+	var watch func()
+	watch = func() {
+		if f.Cwnd() < 1 {
+			floorOK = false
+		}
+		if s.Now() < 5*time.Second {
+			s.After(10*time.Millisecond, watch)
+		}
+	}
+	watch()
+	s.Run(6 * time.Second)
+	if !floorOK {
+		t.Fatal("cwnd fell below 1 segment")
+	}
+	if f.AckedBytes == 0 {
+		t.Fatal("no progress under heavy loss")
+	}
+}

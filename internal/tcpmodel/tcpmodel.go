@@ -1,0 +1,583 @@
+// Package tcpmodel is a discrete-event TCP model used as the transport
+// substrate for the GridFTP baseline.
+//
+// It is a packet-level model with segment aggregation: the unit of
+// simulation is a "segment" of SegBytes (one or more MTUs — aggregating
+// keeps event counts tractable at tens of gigabits while preserving the
+// window dynamics). Flows share one bottleneck Path with a drop-tail
+// queue; congestion control implements slow start, congestion
+// avoidance, fast retransmit/recovery (NewReno-style), and retransmit
+// timeouts, with loss-response and growth rules per variant: Reno,
+// CUBIC, BIC, and H-TCP — the variants Table I lists for the testbeds.
+//
+// Receivers advertise an effectively unlimited window (the paper tunes
+// socket buffers to the bandwidth-delay product), so throughput is
+// governed by congestion control, the bottleneck, and the application's
+// ability to keep the send buffer full — which is exactly where the
+// GridFTP single-thread ceiling couples in.
+package tcpmodel
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"rftp/internal/sim"
+)
+
+// Variant selects the congestion control algorithm.
+type Variant int
+
+// Congestion control variants.
+const (
+	Reno Variant = iota
+	Cubic
+	BIC
+	HTCP
+)
+
+func (v Variant) String() string {
+	switch v {
+	case Reno:
+		return "reno"
+	case Cubic:
+		return "cubic"
+	case BIC:
+		return "bic"
+	case HTCP:
+		return "htcp"
+	default:
+		return fmt.Sprintf("Variant(%d)", int(v))
+	}
+}
+
+// PathConfig describes the shared bottleneck.
+type PathConfig struct {
+	// RateBps is the bottleneck rate in bits per second.
+	RateBps float64
+	// RTT is the two-way propagation delay (no queueing).
+	RTT time.Duration
+	// SegBytes is the simulated segment size (MTU or an aggregate of
+	// several MTUs).
+	SegBytes int
+	// QueueBytes is the drop-tail buffer at the bottleneck. Defaults to
+	// one bandwidth-delay product.
+	QueueBytes int
+}
+
+// Path is a shared bottleneck link: a drop-tail queue served at line
+// rate, plus fixed propagation. ACKs return on an uncongested reverse
+// path.
+type Path struct {
+	sched *sim.Scheduler
+	cfg   PathConfig
+
+	busyUntil time.Duration
+	queued    int
+
+	// Drops counts segments lost to queue overflow.
+	Drops uint64
+	// Delivered counts segments that reached the receiver.
+	Delivered uint64
+}
+
+// NewPath creates the bottleneck.
+func NewPath(sched *sim.Scheduler, cfg PathConfig) *Path {
+	if cfg.SegBytes <= 0 {
+		cfg.SegBytes = 9000
+	}
+	if cfg.QueueBytes <= 0 {
+		// Default: one BDP of buffering, but never less than a few
+		// megabytes — short-RTT LANs still traverse switches with
+		// megabytes of shared packet memory, and a queue that is only a
+		// handful of segments deep would RTO-storm unrealistically.
+		bdp := int(cfg.RateBps / 8 * cfg.RTT.Seconds())
+		cfg.QueueBytes = bdp
+		if min := 512 * cfg.SegBytes; cfg.QueueBytes < min {
+			cfg.QueueBytes = min
+		}
+	}
+	return &Path{sched: sched, cfg: cfg}
+}
+
+// Config returns the path configuration (with defaults applied).
+func (p *Path) Config() PathConfig { return p.cfg }
+
+// send attempts to enqueue one segment; returns false on drop. deliver
+// runs at the receiver after queueing, serialization, and propagation.
+func (p *Path) send(bytes int, deliver func()) bool {
+	if p.queued+bytes > p.cfg.QueueBytes {
+		p.Drops++
+		return false
+	}
+	p.queued += bytes
+	now := p.sched.Now()
+	start := now
+	if p.busyUntil > start {
+		start = p.busyUntil
+	}
+	tx := time.Duration(float64(bytes) * 8 / p.cfg.RateBps * float64(time.Second))
+	departure := start + tx
+	p.busyUntil = departure
+	p.sched.At(departure, func() { p.queued -= bytes })
+	p.sched.At(departure+p.cfg.RTT/2, func() {
+		p.Delivered++
+		deliver()
+	})
+	return true
+}
+
+// ackDelay is the uncongested reverse path.
+func (p *Path) ackDelay() time.Duration { return p.cfg.RTT / 2 }
+
+// FlowConfig parameterizes one TCP connection.
+type FlowConfig struct {
+	Variant Variant
+	// InitialCwnd in segments (RFC 3390-era ~3; GridFTP-era kernels 10).
+	InitialCwnd float64
+	// MinRTO clamps the retransmission timeout.
+	MinRTO time.Duration
+}
+
+// Flow is one TCP sender/receiver pair over a Path.
+//
+// The application feeds it with Supply (bytes appended to the send
+// buffer) and observes delivery via OnDeliver (in-order bytes at the
+// receiver) and OnSendable (send buffer drained below the low-water
+// mark — the model's EPOLLOUT).
+type Flow struct {
+	path *Path
+	cfg  FlowConfig
+	name string
+
+	// Sender state, in segment units.
+	sndUna   int64 // first unacked
+	sndNxt   int64 // next to send
+	appLimit int64 // total segments the app has supplied
+	lastSeg  int   // bytes in the final (short) segment, 0 if none yet
+	closed   bool
+
+	cwnd     float64
+	ssthresh float64
+	dupAcks  int
+	recover  int64
+	inFRec   bool           // fast recovery
+	rexmit   map[int64]bool // retransmitted during this recovery
+	rtoEv    *sim.Event
+	pacing   bool // a paced continuation of trySend is scheduled
+	rexTimer bool // a timed retry of retransmitHoles is scheduled
+	srtt     time.Duration
+
+	// Variant state.
+	wMax      float64 // window before last reduction
+	lossAt    time.Duration
+	bicTarget float64
+	rttMin    time.Duration
+	rttMax    time.Duration
+
+	// Receiver state.
+	rcvNxt int64
+	ooo    map[int64]bool
+
+	// Stats.
+	AckedBytes    int64
+	Retransmits   uint64
+	Timeouts      uint64
+	DeliveredSegs int64
+
+	// OnDeliver receives in-order payload sizes at the receiver.
+	OnDeliver func(bytes int)
+	// OnRxProcess, when set, interposes receive-side processing between
+	// segment arrival and ACK emission: it gets the segment size and an
+	// emitAck continuation. Routing emitAck through a busy host thread
+	// makes an application-limited receiver throttle the sender, which
+	// is how the GridFTP baseline couples its single-thread CPU ceiling
+	// into TCP.
+	OnRxProcess func(bytes int, emitAck func())
+	// OnSendable fires when window/buffer space opens (at most once per
+	// event batch).
+	OnSendable func()
+	// OnClose fires when the sender has delivered everything supplied
+	// and Close was called.
+	OnClose func()
+}
+
+// NewFlow attaches a flow to the path.
+func NewFlow(path *Path, name string, cfg FlowConfig) *Flow {
+	if cfg.InitialCwnd <= 0 {
+		cfg.InitialCwnd = 10
+	}
+	if cfg.MinRTO <= 0 {
+		cfg.MinRTO = 200 * time.Millisecond
+	}
+	f := &Flow{
+		path:     path,
+		cfg:      cfg,
+		name:     name,
+		cwnd:     cfg.InitialCwnd,
+		recover:  -1,
+		ssthresh: math.MaxFloat64,
+		ooo:      make(map[int64]bool),
+		rexmit:   make(map[int64]bool),
+		srtt:     path.cfg.RTT,
+		rttMin:   path.cfg.RTT,
+		rttMax:   path.cfg.RTT,
+	}
+	return f
+}
+
+// Cwnd returns the current congestion window in segments.
+func (f *Flow) Cwnd() float64 { return f.cwnd }
+
+// SegBytes returns the segment size in bytes.
+func (f *Flow) SegBytes() int { return f.path.cfg.SegBytes }
+
+// Buffered returns unsent bytes in the send buffer.
+func (f *Flow) Buffered() int64 {
+	segs := f.appLimit - f.sndNxt
+	if segs < 0 {
+		segs = 0
+	}
+	return segs * int64(f.path.cfg.SegBytes)
+}
+
+// Supply appends n bytes to the send buffer (rounded up to whole
+// segments internally; the model tracks goodput in bytes).
+func (f *Flow) Supply(n int) {
+	if n <= 0 {
+		return
+	}
+	segs := (n + f.path.cfg.SegBytes - 1) / f.path.cfg.SegBytes
+	f.appLimit += int64(segs)
+	f.trySend()
+}
+
+// Close marks the end of data; OnClose fires when everything is acked.
+func (f *Flow) Close() {
+	f.closed = true
+	f.maybeFinish()
+}
+
+func (f *Flow) maybeFinish() {
+	if f.closed && f.sndUna == f.appLimit && f.OnClose != nil {
+		cb := f.OnClose
+		f.OnClose = nil
+		cb()
+	}
+}
+
+// maxBurst bounds back-to-back transmissions per send opportunity;
+// anything beyond continues after the wire has drained the burst. This
+// is the pacing modern stacks apply to avoid overwhelming shallow
+// buffers after jumbo cumulative ACKs.
+const maxBurst = 16
+
+// trySend transmits while the window and buffer allow, paced.
+func (f *Flow) trySend() {
+	if f.pacing {
+		return
+	}
+	burst := 0
+	for f.sndNxt < f.appLimit && float64(f.sndNxt-f.sndUna) < f.cwnd {
+		if burst >= maxBurst {
+			f.pacing = true
+			drain := time.Duration(float64(burst*f.path.cfg.SegBytes) * 8 / f.path.cfg.RateBps * float64(time.Second))
+			f.path.sched.After(drain, func() {
+				f.pacing = false
+				f.trySend()
+			})
+			break
+		}
+		f.xmit(f.sndNxt)
+		f.sndNxt++
+		burst++
+	}
+	f.armRTO()
+}
+
+// xmit puts segment seg on the wire (fresh or retransmission). It
+// reports whether the segment survived the bottleneck queue.
+func (f *Flow) xmit(seg int64) bool {
+	sentAt := f.path.sched.Now()
+	return f.path.send(f.path.cfg.SegBytes, func() { f.receiverGot(seg, sentAt) })
+}
+
+// receiverGot runs at the receiver when a segment arrives.
+func (f *Flow) receiverGot(seg int64, sentAt time.Duration) {
+	if seg == f.rcvNxt {
+		f.rcvNxt++
+		for f.ooo[f.rcvNxt] {
+			delete(f.ooo, f.rcvNxt)
+			f.rcvNxt++
+		}
+	} else if seg > f.rcvNxt {
+		f.ooo[seg] = true
+	}
+	ackFor := f.rcvNxt
+	rtt := f.path.sched.Now() - sentAt + f.path.ackDelay()
+	emit := func() {
+		f.path.sched.After(f.path.ackDelay(), func() { f.senderAck(ackFor, rtt) })
+	}
+	if f.OnRxProcess != nil {
+		f.OnRxProcess(f.path.cfg.SegBytes, emit)
+		return
+	}
+	emit()
+}
+
+// senderAck processes a cumulative ACK at the sender.
+func (f *Flow) senderAck(ackSeg int64, rtt time.Duration) {
+	f.updateRTT(rtt)
+	if ackSeg > f.sndUna {
+		newly := ackSeg - f.sndUna
+		f.sndUna = ackSeg
+		f.dupAcks = 0
+		f.AckedBytes += newly * int64(f.path.cfg.SegBytes)
+		f.DeliveredSegs += newly
+		if f.OnDeliver != nil {
+			f.OnDeliver(int(newly) * f.path.cfg.SegBytes)
+		}
+		if f.inFRec {
+			for seg := range f.rexmit {
+				if seg < f.sndUna {
+					delete(f.rexmit, seg) // retransmission cumulatively acked
+				}
+			}
+			if ackSeg > f.recover {
+				f.inFRec = false
+				f.cwnd = f.ssthresh
+				f.rexmit = make(map[int64]bool)
+			} else {
+				// Partial ack: keep the pipe full of hole retransmits
+				// (SACK-style recovery; kernels of the era ran SACK).
+				f.retransmitHoles()
+			}
+		} else {
+			f.growCwnd(float64(newly))
+		}
+		f.armRTO()
+		f.trySend()
+		// Low-water mark: ask the application for more once the buffer
+		// can no longer fill the window (the model's EPOLLOUT).
+		if f.OnSendable != nil && !f.closed && float64(f.appLimit-f.sndNxt) < f.cwnd {
+			f.OnSendable()
+		}
+		f.maybeFinish()
+		return
+	}
+	// Duplicate ACK.
+	if f.sndNxt == f.sndUna {
+		return
+	}
+	f.dupAcks++
+	if f.dupAcks >= 3 && !f.inFRec && f.sndUna > f.recover {
+		// One reduction per window of data (NewReno): losses detected
+		// below the previous recovery point belong to the same event.
+		f.enterFastRecovery()
+	} else if f.inFRec {
+		f.retransmitHoles()
+	}
+}
+
+// retransmitHoles resends segments the receiver provably lacks, paced
+// by the (reduced) window. The model reads the receiver's reassembly
+// state directly, which plays the role of SACK scoreboard plus RFC 6675
+// loss marking: segments that are neither delivered nor retransmitted
+// count as lost and do not occupy the pipe.
+func (f *Flow) retransmitHoles() {
+	// Pipe = retransmissions still unaccounted for. Delivered (SACKed)
+	// segments are out of the network; dropped originals are known
+	// lost. Both leave the pipe.
+	pipe := len(f.rexmit)
+	for seg := f.sndUna; seg < f.recover && float64(pipe) < f.cwnd; seg++ {
+		if seg < f.rcvNxt || f.ooo[seg] || f.rexmit[seg] {
+			continue
+		}
+		f.Retransmits++
+		if !f.xmit(seg) {
+			// The retransmission itself was dropped (queue still full
+			// from the overshoot burst): leave it unmarked, stop
+			// pushing, and retry after the queue has had time to
+			// drain — ACKs may no longer be in flight to clock us.
+			if !f.rexTimer {
+				f.rexTimer = true
+				drain := time.Duration(float64(f.path.cfg.QueueBytes) * 8 / f.path.cfg.RateBps * float64(time.Second))
+				f.path.sched.After(drain, func() {
+					f.rexTimer = false
+					if f.inFRec {
+						f.retransmitHoles()
+					}
+				})
+			}
+			return
+		}
+		f.rexmit[seg] = true
+		pipe++
+	}
+}
+
+func (f *Flow) enterFastRecovery() {
+	f.inFRec = true
+	f.recover = f.sndNxt
+	f.wMax = f.cwnd
+	f.lossAt = f.path.sched.Now()
+	beta := f.lossBeta()
+	f.ssthresh = math.Max(2, f.cwnd*beta)
+	f.cwnd = f.ssthresh
+	f.rexmit = make(map[int64]bool)
+	f.retransmitHoles()
+	f.armRTO()
+	if f.cfg.Variant == BIC {
+		f.bicTarget = (f.wMax + f.ssthresh) / 2
+	}
+}
+
+// lossBeta is the multiplicative decrease factor per variant.
+func (f *Flow) lossBeta() float64 {
+	switch f.cfg.Variant {
+	case Reno:
+		return 0.5
+	case Cubic:
+		return 0.7
+	case BIC:
+		return 0.8
+	case HTCP:
+		// Adaptive backoff: RTTmin/RTTmax clamped to [0.5, 0.8].
+		b := float64(f.rttMin) / float64(f.rttMax)
+		if b < 0.5 {
+			b = 0.5
+		}
+		if b > 0.8 {
+			b = 0.8
+		}
+		return b
+	default:
+		return 0.5
+	}
+}
+
+// growCwnd applies per-ACK window growth (newly = acked segments). In
+// congestion avoidance no variant may grow faster than slow start
+// (Linux applies the same clamp), which bounds overshoot bursts.
+func (f *Flow) growCwnd(newly float64) {
+	if f.cwnd < f.ssthresh {
+		// Slow start with appropriate byte counting (RFC 3465, L=2):
+		// a jumbo cumulative ACK must not trigger a window burst.
+		if newly > 2 {
+			newly = 2
+		}
+		f.cwnd += newly
+		return
+	}
+	before := f.cwnd
+	f.growCA(newly)
+	if f.cwnd > before+newly {
+		f.cwnd = before + newly
+	}
+}
+
+func (f *Flow) growCA(newly float64) {
+	switch f.cfg.Variant {
+	case Reno:
+		f.cwnd += newly / f.cwnd
+	case Cubic:
+		// W(t) = C*(t-K)^3 + Wmax, K = cbrt(Wmax*beta/C), with the
+		// standard TCP-friendly region: never grow slower than a Reno
+		// flow would (this is what makes CUBIC safe at small windows
+		// and dominant at large BDPs).
+		const C = 0.4
+		beta := 0.3 // reduction fraction (window keeps 0.7)
+		t := (f.path.sched.Now() - f.lossAt).Seconds()
+		if f.lossAt == 0 {
+			t = f.srtt.Seconds()
+		}
+		k := math.Cbrt(f.wMax * beta / C)
+		target := C*math.Pow(t-k, 3) + f.wMax
+		rtt := f.srtt.Seconds()
+		wTCP := f.wMax*(1-beta) + 3*beta/(2-beta)*(t/rtt)
+		if wTCP > target {
+			target = wTCP
+		}
+		if target > f.cwnd {
+			f.cwnd += (target - f.cwnd) / f.cwnd * newly
+		} else {
+			f.cwnd += 0.01 * newly // minimum probing
+		}
+	case BIC:
+		const sMax, sMin = 32.0, 0.01
+		var inc float64
+		if f.bicTarget <= f.cwnd {
+			// Max probing: grow target slowly beyond wMax.
+			f.bicTarget = f.cwnd + sMax/8
+		}
+		inc = (f.bicTarget - f.cwnd)
+		if inc > sMax {
+			inc = sMax
+		}
+		if inc < sMin {
+			inc = sMin
+		}
+		f.cwnd += inc / f.cwnd * newly
+	case HTCP:
+		delta := (f.path.sched.Now() - f.lossAt).Seconds()
+		const deltaL = 1.0
+		alpha := 1.0
+		if f.lossAt != 0 && delta > deltaL {
+			d := delta - deltaL
+			alpha = 1 + 10*d + (d/2)*(d/2)
+		}
+		f.cwnd += alpha * newly / f.cwnd
+	}
+}
+
+func (f *Flow) updateRTT(rtt time.Duration) {
+	if f.srtt == 0 {
+		f.srtt = rtt
+	} else {
+		f.srtt = (7*f.srtt + rtt) / 8
+	}
+	if rtt < f.rttMin {
+		f.rttMin = rtt
+	}
+	if rtt > f.rttMax {
+		f.rttMax = rtt
+	}
+}
+
+func (f *Flow) rto() time.Duration {
+	rto := 4 * f.srtt
+	if rto < f.cfg.MinRTO {
+		rto = f.cfg.MinRTO
+	}
+	return rto
+}
+
+func (f *Flow) armRTO() {
+	if f.rtoEv != nil {
+		f.rtoEv.Cancel()
+		f.rtoEv = nil
+	}
+	if f.sndUna == f.sndNxt {
+		return // nothing outstanding
+	}
+	una := f.sndUna
+	f.rtoEv = f.path.sched.After(f.rto(), func() { f.onRTO(una) })
+}
+
+func (f *Flow) onRTO(una int64) {
+	if f.sndUna != una || f.sndUna == f.sndNxt {
+		return // progress was made; stale timer
+	}
+	f.Timeouts++
+	f.Retransmits++
+	f.ssthresh = math.Max(2, f.cwnd/2)
+	f.cwnd = 1
+	f.inFRec = false
+	f.rexmit = make(map[int64]bool)
+	f.dupAcks = 0
+	f.wMax = f.ssthresh * 2
+	f.lossAt = f.path.sched.Now()
+	// Go-back-N from the hole.
+	f.sndNxt = f.sndUna
+	f.trySend()
+}

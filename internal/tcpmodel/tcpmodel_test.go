@@ -1,0 +1,242 @@
+package tcpmodel
+
+import (
+	"testing"
+	"time"
+
+	"rftp/internal/sim"
+)
+
+func lanPath(s *sim.Scheduler) *Path {
+	return NewPath(s, PathConfig{RateBps: 10e9, RTT: 100 * time.Microsecond, SegBytes: 9000})
+}
+
+func wanPath(s *sim.Scheduler) *Path {
+	return NewPath(s, PathConfig{RateBps: 10e9, RTT: 49 * time.Millisecond, SegBytes: 72000})
+}
+
+// bulk attaches an always-full sender to the flow and returns a stop
+// function.
+func bulk(f *Flow) {
+	feed := func() {
+		// Keep about 4 windows buffered.
+		want := int64(4 * f.Cwnd())
+		if want < 64 {
+			want = 64
+		}
+		have := f.Buffered() / int64(f.SegBytes())
+		if have < want {
+			f.Supply(int(want-have) * f.SegBytes())
+		}
+	}
+	f.OnSendable = feed
+	feed()
+}
+
+// run simulates d and returns the flow's goodput in Gbps.
+func goodput(s *sim.Scheduler, f *Flow, d time.Duration) float64 {
+	s.Run(d)
+	return float64(f.AckedBytes) * 8 / d.Seconds() / 1e9
+}
+
+func TestSingleFlowFillsLAN(t *testing.T) {
+	s := sim.New(1)
+	p := lanPath(s)
+	f := NewFlow(p, "f0", FlowConfig{Variant: Cubic})
+	bulk(f)
+	g := goodput(s, f, 500*time.Millisecond)
+	if g < 8.5 || g > 10 {
+		t.Fatalf("LAN goodput = %.2f Gbps, want ~9-10", g)
+	}
+}
+
+func TestSingleFlowFillsWANAfterRamp(t *testing.T) {
+	s := sim.New(1)
+	p := wanPath(s)
+	f := NewFlow(p, "f0", FlowConfig{Variant: Cubic})
+	bulk(f)
+	g := goodput(s, f, 20*time.Second)
+	if g < 7.5 || g > 10 {
+		t.Fatalf("WAN goodput = %.2f Gbps, want 7.5-10", g)
+	}
+}
+
+func TestSlowStartRampIsExponential(t *testing.T) {
+	s := sim.New(1)
+	p := wanPath(s)
+	f := NewFlow(p, "f0", FlowConfig{Variant: Reno, InitialCwnd: 2})
+	bulk(f)
+	s.Run(3 * p.Config().RTT)
+	early := f.Cwnd()
+	s.Run(6 * p.Config().RTT)
+	later := f.Cwnd()
+	if later < early*3 {
+		t.Fatalf("cwnd ramp not exponential: %0.1f -> %0.1f", early, later)
+	}
+}
+
+func TestLossCausesReduction(t *testing.T) {
+	s := sim.New(1)
+	// Tiny queue forces drops.
+	p := NewPath(s, PathConfig{RateBps: 1e9, RTT: 10 * time.Millisecond, SegBytes: 9000, QueueBytes: 30000})
+	f := NewFlow(p, "f0", FlowConfig{Variant: Reno})
+	bulk(f)
+	s.Run(5 * time.Second)
+	if p.Drops == 0 {
+		t.Fatal("no drops despite tiny queue")
+	}
+	if f.Retransmits == 0 {
+		t.Fatal("no retransmits despite drops")
+	}
+	// The flow must still deliver data (recovery works).
+	if f.AckedBytes < int64(1e8) {
+		t.Fatalf("only %d bytes delivered under loss", f.AckedBytes)
+	}
+}
+
+func TestTwoFlowsShareFairly(t *testing.T) {
+	s := sim.New(1)
+	p := NewPath(s, PathConfig{RateBps: 10e9, RTT: 10 * time.Millisecond, SegBytes: 9000})
+	f1 := NewFlow(p, "f1", FlowConfig{Variant: Cubic})
+	f2 := NewFlow(p, "f2", FlowConfig{Variant: Cubic})
+	bulk(f1)
+	bulk(f2)
+	s.Run(10 * time.Second)
+	g1 := float64(f1.AckedBytes) * 8 / 10 / 1e9
+	g2 := float64(f2.AckedBytes) * 8 / 10 / 1e9
+	sum := g1 + g2
+	if sum < 8.5 || sum > 10 {
+		t.Fatalf("aggregate = %.2f Gbps, want ~9-10", sum)
+	}
+	ratio := g1 / g2
+	if ratio < 0.4 || ratio > 2.5 {
+		t.Fatalf("unfair split: %.2f vs %.2f Gbps", g1, g2)
+	}
+}
+
+func TestEightFlowsRampFasterThanOneOnWAN(t *testing.T) {
+	run := func(n int) float64 {
+		s := sim.New(1)
+		p := wanPath(s)
+		var flows []*Flow
+		for i := 0; i < n; i++ {
+			f := NewFlow(p, "f", FlowConfig{Variant: Cubic})
+			bulk(f)
+			flows = append(flows, f)
+		}
+		const window = 3 * time.Second // early window: ramp matters
+		s.Run(window)
+		var total int64
+		for _, f := range flows {
+			total += f.AckedBytes
+		}
+		return float64(total) * 8 / window.Seconds() / 1e9
+	}
+	one := run(1)
+	eight := run(8)
+	if eight <= one {
+		t.Fatalf("8 flows (%.2f Gbps) not faster than 1 (%.2f) during ramp", eight, one)
+	}
+}
+
+func TestVariantsDiffer(t *testing.T) {
+	// After a loss on a long-RTT path, CUBIC must regrow faster than
+	// Reno (that is its reason to exist).
+	regrow := func(v Variant) float64 {
+		s := sim.New(1)
+		p := NewPath(s, PathConfig{RateBps: 10e9, RTT: 49 * time.Millisecond, SegBytes: 72000, QueueBytes: 2_000_000})
+		f := NewFlow(p, "f", FlowConfig{Variant: v})
+		bulk(f)
+		s.Run(30 * time.Second)
+		return float64(f.AckedBytes) * 8 / 30 / 1e9
+	}
+	reno := regrow(Reno)
+	cubic := regrow(Cubic)
+	if cubic <= reno {
+		t.Fatalf("cubic (%.2f Gbps) not faster than reno (%.2f) on lossy WAN", cubic, reno)
+	}
+}
+
+func TestCloseFiresAfterDrain(t *testing.T) {
+	s := sim.New(1)
+	p := lanPath(s)
+	f := NewFlow(p, "f0", FlowConfig{Variant: Reno})
+	closed := false
+	f.OnClose = func() { closed = true }
+	f.Supply(90_000) // 10 segments
+	f.Close()
+	s.RunAll()
+	if !closed {
+		t.Fatal("OnClose never fired")
+	}
+	if f.AckedBytes != 90_000 {
+		t.Fatalf("acked %d bytes, want 90000", f.AckedBytes)
+	}
+}
+
+func TestOnDeliverReportsInOrderBytes(t *testing.T) {
+	s := sim.New(1)
+	p := lanPath(s)
+	f := NewFlow(p, "f0", FlowConfig{Variant: Reno})
+	var delivered int
+	f.OnDeliver = func(n int) { delivered += n }
+	f.Supply(45_000)
+	f.Close()
+	s.RunAll()
+	if delivered != 45_000 {
+		t.Fatalf("OnDeliver total = %d, want 45000", delivered)
+	}
+}
+
+func TestRTORecoversFromFullWindowLoss(t *testing.T) {
+	s := sim.New(1)
+	// Queue smaller than one segment batch: initial burst is mostly
+	// lost; RTO must rescue the connection.
+	p := NewPath(s, PathConfig{RateBps: 1e9, RTT: 5 * time.Millisecond, SegBytes: 9000, QueueBytes: 90001})
+	f := NewFlow(p, "f0", FlowConfig{Variant: Reno, InitialCwnd: 64})
+	f.Supply(64 * 9000)
+	f.Close()
+	done := false
+	f.OnClose = func() { done = true }
+	s.Run(30 * time.Second)
+	if !done {
+		t.Fatalf("flow never drained (timeouts=%d retrans=%d acked=%d)", f.Timeouts, f.Retransmits, f.AckedBytes)
+	}
+	if f.Timeouts == 0 && f.Retransmits == 0 {
+		t.Fatal("recovered without any loss response?")
+	}
+}
+
+func TestVariantStrings(t *testing.T) {
+	for v, want := range map[Variant]string{Reno: "reno", Cubic: "cubic", BIC: "bic", HTCP: "htcp"} {
+		if v.String() != want {
+			t.Errorf("%d = %q", v, v.String())
+		}
+	}
+	if Variant(9).String() == "" {
+		t.Error("unknown variant empty")
+	}
+}
+
+func TestQueueDefaultsToBDP(t *testing.T) {
+	s := sim.New(1)
+	p := NewPath(s, PathConfig{RateBps: 10e9, RTT: 49 * time.Millisecond, SegBytes: 9000})
+	bdp := int(10e9 / 8 * 0.049)
+	if p.Config().QueueBytes != bdp {
+		t.Fatalf("queue = %d, want BDP %d", p.Config().QueueBytes, bdp)
+	}
+}
+
+func TestBICAndHTCPDeliver(t *testing.T) {
+	for _, v := range []Variant{BIC, HTCP} {
+		s := sim.New(1)
+		p := NewPath(s, PathConfig{RateBps: 10e9, RTT: 20 * time.Millisecond, SegBytes: 36000, QueueBytes: 5_000_000})
+		f := NewFlow(p, "f", FlowConfig{Variant: v})
+		bulk(f)
+		s.Run(10 * time.Second)
+		g := float64(f.AckedBytes) * 8 / 10 / 1e9
+		if g < 5 {
+			t.Fatalf("%v goodput = %.2f Gbps, want > 5", v, g)
+		}
+	}
+}

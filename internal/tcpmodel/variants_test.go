@@ -1,0 +1,130 @@
+package tcpmodel
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"rftp/internal/sim"
+)
+
+// flowAt builds a flow in congestion avoidance with controlled state.
+func flowAt(v Variant, cwnd, ssthresh, wMax float64, lossAgo time.Duration) (*sim.Scheduler, *Flow) {
+	s := sim.New(1)
+	p := NewPath(s, PathConfig{RateBps: 10e9, RTT: 10 * time.Millisecond, SegBytes: 9000})
+	f := NewFlow(p, "f", FlowConfig{Variant: v})
+	f.cwnd, f.ssthresh, f.wMax = cwnd, ssthresh, wMax
+	if lossAgo > 0 {
+		// Advance virtual time so Now()-lossAt = lossAgo, keeping
+		// lossAt nonzero (zero means "never lost").
+		s.After(lossAgo+time.Nanosecond, func() {})
+		s.RunAll()
+		f.lossAt = s.Now() - lossAgo
+	}
+	return s, f
+}
+
+func TestRenoAdditiveIncrease(t *testing.T) {
+	_, f := flowAt(Reno, 100, 50, 100, time.Second)
+	before := f.cwnd
+	// One full window of acks => +1 segment.
+	for i := 0; i < 100; i++ {
+		f.growCwnd(1)
+	}
+	if inc := f.cwnd - before; math.Abs(inc-1) > 0.05 {
+		t.Fatalf("Reno grew %.3f per RTT, want ~1", inc)
+	}
+}
+
+func TestCubicConcaveBelowWmax(t *testing.T) {
+	// Shortly after a loss, cubic grows toward wMax but must not exceed
+	// it yet.
+	_, f := flowAt(Cubic, 70, 70, 100, 500*time.Millisecond)
+	for i := 0; i < 70; i++ {
+		f.growCwnd(1)
+	}
+	if f.cwnd <= 70 {
+		t.Fatal("cubic did not grow in concave region")
+	}
+	if f.cwnd > 100 {
+		t.Fatalf("cubic overshot wMax this early: %.1f", f.cwnd)
+	}
+}
+
+func TestCubicConvexBeyondK(t *testing.T) {
+	// Long after the loss, the target exceeds wMax and growth resumes
+	// aggressively (clamped to slow-start rate).
+	_, f := flowAt(Cubic, 100, 50, 100, 30*time.Second)
+	before := f.cwnd
+	f.growCwnd(1)
+	if f.cwnd <= before {
+		t.Fatal("cubic flat in convex region")
+	}
+	if f.cwnd > before+1 {
+		t.Fatalf("growth %.2f exceeded the slow-start clamp", f.cwnd-before)
+	}
+}
+
+func TestSlowStartABCCap(t *testing.T) {
+	_, f := flowAt(Reno, 10, 1000, 0, 0)
+	f.growCwnd(200) // jumbo cumulative ack
+	if f.cwnd != 12 {
+		t.Fatalf("ABC cap: cwnd = %.1f, want 12", f.cwnd)
+	}
+}
+
+func TestLossBetaPerVariant(t *testing.T) {
+	cases := map[Variant]float64{Reno: 0.5, Cubic: 0.7, BIC: 0.8}
+	for v, want := range cases {
+		_, f := flowAt(v, 100, 50, 100, time.Second)
+		if got := f.lossBeta(); math.Abs(got-want) > 1e-9 {
+			t.Errorf("%v beta = %v, want %v", v, got, want)
+		}
+	}
+}
+
+func TestHTCPBetaAdaptive(t *testing.T) {
+	_, f := flowAt(HTCP, 100, 50, 100, time.Second)
+	// Equal RTTs: ratio 1 clamps to 0.8.
+	f.rttMin, f.rttMax = 10*time.Millisecond, 10*time.Millisecond
+	if b := f.lossBeta(); b != 0.8 {
+		t.Fatalf("beta = %v, want 0.8 clamp", b)
+	}
+	// Deep queues: min/max small, clamps to 0.5.
+	f.rttMin, f.rttMax = 10*time.Millisecond, 100*time.Millisecond
+	if b := f.lossBeta(); b != 0.5 {
+		t.Fatalf("beta = %v, want 0.5 clamp", b)
+	}
+	// Intermediate.
+	f.rttMin, f.rttMax = 10*time.Millisecond, 16*time.Millisecond
+	if b := f.lossBeta(); math.Abs(b-0.625) > 1e-9 {
+		t.Fatalf("beta = %v, want 0.625", b)
+	}
+}
+
+func TestHTCPAlphaGrowsWithTimeSinceLoss(t *testing.T) {
+	_, early := flowAt(HTCP, 100, 50, 100, 500*time.Millisecond)
+	_, late := flowAt(HTCP, 100, 50, 100, 5*time.Second)
+	e0, l0 := early.cwnd, late.cwnd
+	early.growCwnd(1)
+	late.growCwnd(1)
+	if late.cwnd-l0 <= early.cwnd-e0 {
+		t.Fatalf("HTCP alpha not increasing: early +%.4f, late +%.4f",
+			early.cwnd-e0, late.cwnd-l0)
+	}
+}
+
+func TestBICBinarySearchApproach(t *testing.T) {
+	// Below wMax, BIC's increment is proportional to the distance to
+	// the midpoint target, capped at Smax.
+	_, f := flowAt(BIC, 100, 50, 500, time.Second)
+	f.bicTarget = 300 // midpoint of (100, 500)
+	before := f.cwnd
+	f.growCwnd(1)
+	inc := f.cwnd - before
+	// Distance 200 capped at Smax=32, applied as inc/cwnd per ack.
+	want := 32.0 / 100
+	if math.Abs(inc-want) > 0.01 {
+		t.Fatalf("BIC inc = %.4f, want ~%.4f", inc, want)
+	}
+}

@@ -1,0 +1,23 @@
+package trace_test
+
+import (
+	"os"
+	"time"
+
+	"rftp/internal/trace"
+)
+
+// A Ring retains the most recent protocol events for post-mortem dumps.
+func ExampleRing() {
+	tick := time.Duration(0)
+	clock := func() time.Duration { tick += time.Millisecond; return tick }
+	r := trace.NewRing(8, clock)
+	r.Emit(trace.CatNego, "negotiation start")
+	r.Emit(trace.CatBlock, "posted block 1/0")
+	r.Emit(trace.CatError, "WRITE failed")
+	r.Render(os.Stdout)
+	// Output:
+	//        1          1ms [nego] negotiation start
+	//        2          2ms [block] posted block 1/0
+	//        3          3ms [error] WRITE failed
+}

@@ -1,0 +1,140 @@
+// Package trace provides lightweight ring-buffer event tracing for the
+// protocol middleware: the last N events of a connection (negotiation
+// steps, block movements, credit flow, errors) are retained with
+// timestamps from the owning loop's clock and can be dumped when
+// something goes wrong — the moral equivalent of the strace sessions
+// the paper used to diagnose GridFTP.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Category classifies an event.
+type Category uint8
+
+// Event categories.
+const (
+	CatNego Category = iota
+	CatSession
+	CatBlock
+	CatCredit
+	CatError
+	CatConn
+)
+
+func (c Category) String() string {
+	switch c {
+	case CatNego:
+		return "nego"
+	case CatSession:
+		return "session"
+	case CatBlock:
+		return "block"
+	case CatCredit:
+		return "credit"
+	case CatError:
+		return "error"
+	case CatConn:
+		return "conn"
+	default:
+		return fmt.Sprintf("cat(%d)", uint8(c))
+	}
+}
+
+// Event is one traced occurrence.
+type Event struct {
+	Seq uint64
+	At  time.Duration
+	Cat Category
+	Msg string
+}
+
+// Ring is a fixed-capacity event buffer. All methods are safe for
+// concurrent use (real-time loops emit from goroutines).
+type Ring struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  int
+	total uint64
+	clock func() time.Duration
+}
+
+// NewRing creates a ring holding the most recent capacity events,
+// timestamped by clock (pass the loop's Now).
+func NewRing(capacity int, clock func() time.Duration) *Ring {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	if clock == nil {
+		start := time.Now()
+		clock = func() time.Duration { return time.Since(start) }
+	}
+	return &Ring{buf: make([]Event, 0, capacity), clock: clock}
+}
+
+// Emit records an event.
+func (r *Ring) Emit(cat Category, format string, args ...any) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.total++
+	e := Event{Seq: r.total, At: r.clock(), Cat: cat, Msg: fmt.Sprintf(format, args...)}
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, e)
+		return
+	}
+	r.buf[r.next] = e
+	r.next = (r.next + 1) % cap(r.buf)
+}
+
+// Total returns how many events were ever emitted (including evicted).
+func (r *Ring) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Events returns the retained events in chronological order.
+func (r *Ring) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, 0, len(r.buf))
+	if len(r.buf) < cap(r.buf) {
+		return append(out, r.buf...)
+	}
+	out = append(out, r.buf[r.next:]...)
+	return append(out, r.buf[:r.next]...)
+}
+
+// Render writes the retained events, one per line.
+func (r *Ring) Render(w io.Writer) error {
+	for _, e := range r.Events() {
+		if _, err := fmt.Fprintf(w, "%8d %12v [%s] %s\n", e.Seq, e.At, e.Cat, e.Msg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Filter returns retained events in the given category.
+func (r *Ring) Filter(cat Category) []Event {
+	var out []Event
+	for _, e := range r.Events() {
+		if e.Cat == cat {
+			out = append(out, e)
+		}
+	}
+	return out
+}

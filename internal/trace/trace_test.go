@@ -1,0 +1,135 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func fixedClock() func() time.Duration {
+	var n time.Duration
+	return func() time.Duration {
+		n += time.Millisecond
+		return n
+	}
+}
+
+func TestEmitAndEvents(t *testing.T) {
+	r := NewRing(8, fixedClock())
+	r.Emit(CatNego, "hello %d", 1)
+	r.Emit(CatBlock, "block %d/%d", 2, 3)
+	evs := r.Events()
+	if len(evs) != 2 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	if evs[0].Msg != "hello 1" || evs[0].Cat != CatNego || evs[0].Seq != 1 {
+		t.Fatalf("ev0: %+v", evs[0])
+	}
+	if evs[1].Msg != "block 2/3" || evs[1].At <= evs[0].At {
+		t.Fatalf("ev1: %+v", evs[1])
+	}
+}
+
+func TestRingWrapsKeepingNewest(t *testing.T) {
+	r := NewRing(4, fixedClock())
+	for i := 0; i < 10; i++ {
+		r.Emit(CatBlock, "e%d", i)
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d", len(evs))
+	}
+	for i, e := range evs {
+		want := fmt.Sprintf("e%d", 6+i)
+		if e.Msg != want {
+			t.Fatalf("evs[%d] = %q, want %q", i, e.Msg, want)
+		}
+	}
+	if r.Total() != 10 {
+		t.Fatalf("total = %d", r.Total())
+	}
+	// Chronological ordering preserved across the wrap.
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq != evs[i-1].Seq+1 {
+			t.Fatalf("sequence broken: %+v", evs)
+		}
+	}
+}
+
+func TestNilRingIsSafe(t *testing.T) {
+	var r *Ring
+	r.Emit(CatError, "into the void")
+	if r.Events() != nil || r.Total() != 0 {
+		t.Fatal("nil ring not inert")
+	}
+}
+
+func TestRenderAndFilter(t *testing.T) {
+	r := NewRing(16, fixedClock())
+	r.Emit(CatNego, "start")
+	r.Emit(CatError, "bad thing")
+	r.Emit(CatBlock, "b1")
+	var buf bytes.Buffer
+	if err := r.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"[nego] start", "[error] bad thing", "[block] b1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	errs := r.Filter(CatError)
+	if len(errs) != 1 || errs[0].Msg != "bad thing" {
+		t.Fatalf("filter: %+v", errs)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	r := NewRing(0, nil)
+	r.Emit(CatConn, "x")
+	if len(r.Events()) != 1 {
+		t.Fatal("default ring broken")
+	}
+	if r.Events()[0].At < 0 {
+		t.Fatal("default clock negative")
+	}
+}
+
+func TestCategoryStrings(t *testing.T) {
+	for c, want := range map[Category]string{
+		CatNego: "nego", CatSession: "session", CatBlock: "block",
+		CatCredit: "credit", CatError: "error", CatConn: "conn",
+	} {
+		if c.String() != want {
+			t.Errorf("%d = %q", c, c.String())
+		}
+	}
+	if Category(99).String() == "" {
+		t.Error("unknown category empty")
+	}
+}
+
+func TestConcurrentEmit(t *testing.T) {
+	r := NewRing(64, nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Emit(CatBlock, "g")
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Total() != 800 {
+		t.Fatalf("total = %d", r.Total())
+	}
+	if len(r.Events()) != 64 {
+		t.Fatalf("retained = %d", len(r.Events()))
+	}
+}

@@ -1,0 +1,47 @@
+package verbs
+
+import (
+	"sync"
+	"time"
+)
+
+// UpcallCQ is the completion-queue implementation shared by all fabrics:
+// completions are dispatched as upcalls serialized on the owning Loop.
+// Fabric implementations decide the CPU cost of each dispatch (modeled
+// fabrics charge completion-reap plus amortized interrupt costs,
+// real-time fabrics charge zero).
+type UpcallCQ struct {
+	mu   sync.Mutex
+	loop Loop
+	fn   func(WC)
+}
+
+// NewUpcallCQ creates a CQ whose handler runs on loop.
+func NewUpcallCQ(loop Loop) *UpcallCQ {
+	return &UpcallCQ{loop: loop}
+}
+
+// SetHandler installs the completion upcall.
+func (c *UpcallCQ) SetHandler(fn func(WC)) {
+	c.mu.Lock()
+	c.fn = fn
+	c.mu.Unlock()
+}
+
+// Loop returns the loop completions are dispatched on.
+func (c *UpcallCQ) Loop() Loop { return c.loop }
+
+// Dispatch delivers wc to the handler on the CQ's loop, charging cost.
+// Completions that arrive before a handler is installed are dropped with
+// a panic: that is always a wiring bug in a fabric or test.
+func (c *UpcallCQ) Dispatch(cost time.Duration, wc WC) {
+	c.loop.Post(cost, func() {
+		c.mu.Lock()
+		fn := c.fn
+		c.mu.Unlock()
+		if fn == nil {
+			panic("verbs: completion delivered to CQ with no handler")
+		}
+		fn(wc)
+	})
+}

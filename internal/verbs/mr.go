@@ -1,0 +1,204 @@
+package verbs
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// PD is a protection domain. Memory regions and queue pairs belong to a
+// PD; one-sided access is validated against the region's keys, not the
+// PD, matching verbs semantics closely enough for the protocol under
+// study.
+type PD struct {
+	ID     uint32
+	Device string
+}
+
+// MR is a registered memory region.
+//
+// Real regions wrap a caller-supplied buffer. Modeled regions (simulated
+// fabrics) have Len >= len(Buf): only the Shadow-byte prefix is backed by
+// real memory, which is where protocol headers are placed; the remainder
+// is accounted but never materialized. Real fabrics always have
+// Shadow == Len.
+type MR struct {
+	PD     *PD
+	Addr   uint64 // virtual address of the start of the region
+	Len    int    // registered length
+	Shadow int    // length of the real backing prefix (== Len for real MRs)
+	Buf    []byte // real backing store (len(Buf) == Shadow)
+	LKey   uint32
+	RKey   uint32
+	Access Access
+
+	invalid bool
+}
+
+// Remote returns the RemoteAddr a peer should target to write at the
+// given offset into the region.
+func (m *MR) Remote(offset int) RemoteAddr {
+	return RemoteAddr{Addr: m.Addr + uint64(offset), RKey: m.RKey}
+}
+
+// Errors reported by address-space validation.
+var (
+	ErrMRNotFound    = errors.New("verbs: address not in any registered region")
+	ErrMRBounds      = errors.New("verbs: access outside region bounds")
+	ErrMRKey         = errors.New("verbs: rkey mismatch")
+	ErrMRAccess      = errors.New("verbs: access flags forbid operation")
+	ErrMRInvalidated = errors.New("verbs: region deregistered")
+)
+
+// placeAt copies data into the region at offset, honoring the shadow
+// prefix: bytes beyond Shadow are modeled and silently accounted. The
+// caller has already bounds-checked offset+len(data) <= Len.
+func (m *MR) placeAt(offset int, data []byte) {
+	if offset >= m.Shadow {
+		return
+	}
+	n := m.Shadow - offset
+	if n > len(data) {
+		n = len(data)
+	}
+	copy(m.Buf[offset:], data[:n])
+}
+
+// viewAt returns the real bytes available at [offset, offset+n),
+// truncated to the shadow prefix.
+func (m *MR) viewAt(offset, n int) []byte {
+	if offset >= m.Shadow {
+		return nil
+	}
+	end := offset + n
+	if end > m.Shadow {
+		end = m.Shadow
+	}
+	return m.Buf[offset:end]
+}
+
+// PlaceLocal copies data into the region at offset as local DMA (receive
+// placement): no remote-access rights are required. Bounds must have
+// been validated by the caller (PostRecv does). Bytes beyond the shadow
+// prefix are modeled.
+func (m *MR) PlaceLocal(offset int, data []byte) { m.placeAt(offset, data) }
+
+// ViewLocal returns the real bytes stored at [offset, offset+n),
+// truncated to the shadow prefix (nil when the window is entirely
+// modeled).
+func (m *MR) ViewLocal(offset, n int) []byte { return m.viewAt(offset, n) }
+
+// AddressSpace is the per-device registry of memory regions: it assigns
+// virtual addresses and keys at registration and validates one-sided
+// accesses. Fabric implementations embed one per device.
+type AddressSpace struct {
+	mu      sync.Mutex
+	nextKey uint32
+	nextVA  uint64
+	regions map[uint32]*MR // by rkey
+	byAddr  []*MR          // sorted by Addr (append-only bump allocation keeps it sorted)
+}
+
+// NewAddressSpace returns an empty address space. Virtual addresses
+// start away from zero so a zero RemoteAddr is always invalid.
+func NewAddressSpace() *AddressSpace {
+	return &AddressSpace{nextKey: 0x1000, nextVA: 0x10000, regions: make(map[uint32]*MR)}
+}
+
+const vaAlign = 4096
+
+// Register creates an MR for a real buffer.
+func (a *AddressSpace) Register(pd *PD, buf []byte, access Access) (*MR, error) {
+	if buf == nil {
+		return nil, fmt.Errorf("%w: nil buffer", ErrBadWR)
+	}
+	return a.register(pd, buf, len(buf), access)
+}
+
+// RegisterModel creates a modeled MR of the given length with a
+// shadow-byte real prefix.
+func (a *AddressSpace) RegisterModel(pd *PD, length, shadow int, access Access) (*MR, error) {
+	if length <= 0 || shadow < 0 || shadow > length {
+		return nil, fmt.Errorf("%w: bad modeled region length=%d shadow=%d", ErrBadWR, length, shadow)
+	}
+	return a.register(pd, make([]byte, shadow), length, access)
+}
+
+func (a *AddressSpace) register(pd *PD, buf []byte, length int, access Access) (*MR, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.nextKey++
+	lkey := a.nextKey
+	a.nextKey++
+	rkey := a.nextKey
+	size := uint64(length)
+	size = (size + vaAlign - 1) &^ uint64(vaAlign-1)
+	mr := &MR{
+		PD:     pd,
+		Addr:   a.nextVA,
+		Len:    length,
+		Shadow: len(buf),
+		Buf:    buf,
+		LKey:   lkey,
+		RKey:   rkey,
+		Access: access,
+	}
+	a.nextVA += size + vaAlign // guard page between regions
+	a.regions[rkey] = mr
+	a.byAddr = append(a.byAddr, mr)
+	return mr, nil
+}
+
+// Deregister invalidates the region; later remote accesses fail.
+func (a *AddressSpace) Deregister(mr *MR) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	mr.invalid = true
+	delete(a.regions, mr.RKey)
+}
+
+// CheckRemote validates a one-sided access of n bytes at remote with the
+// required access right, returning the region and the offset within it.
+func (a *AddressSpace) CheckRemote(remote RemoteAddr, n int, need Access) (*MR, int, error) {
+	a.mu.Lock()
+	mr, ok := a.regions[remote.RKey]
+	a.mu.Unlock()
+	if !ok {
+		return nil, 0, ErrMRKey
+	}
+	if mr.invalid {
+		return nil, 0, ErrMRInvalidated
+	}
+	if mr.Access&need == 0 {
+		return nil, 0, ErrMRAccess
+	}
+	if remote.Addr < mr.Addr {
+		return nil, 0, ErrMRBounds
+	}
+	off := remote.Addr - mr.Addr
+	if off > uint64(mr.Len) || uint64(n) > uint64(mr.Len)-off {
+		return nil, 0, ErrMRBounds
+	}
+	return mr, int(off), nil
+}
+
+// Place performs a validated remote write: data (real bytes) followed by
+// modelBytes of modeled payload at remote.
+func (a *AddressSpace) Place(remote RemoteAddr, data []byte, modelBytes int) (*MR, int, error) {
+	mr, off, err := a.CheckRemote(remote, len(data)+modelBytes, AccessRemoteWrite)
+	if err != nil {
+		return nil, 0, err
+	}
+	mr.placeAt(off, data)
+	return mr, off, nil
+}
+
+// Fetch performs a validated remote read of n bytes at remote, returning
+// the real bytes available (may be shorter than n for modeled regions).
+func (a *AddressSpace) Fetch(remote RemoteAddr, n int) (*MR, []byte, error) {
+	mr, off, err := a.CheckRemote(remote, n, AccessRemoteRead)
+	if err != nil {
+		return nil, nil, err
+	}
+	return mr, mr.viewAt(off, n), nil
+}

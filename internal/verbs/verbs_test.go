@@ -1,0 +1,250 @@
+package verbs
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpcodeStrings(t *testing.T) {
+	cases := map[Opcode]string{
+		OpSend:     "SEND",
+		OpWrite:    "RDMA_WRITE",
+		OpWriteImm: "RDMA_WRITE_WITH_IMM",
+		OpRead:     "RDMA_READ",
+		OpRecv:     "RECV",
+		Opcode(99): "Opcode(99)",
+	}
+	for op, want := range cases {
+		if op.String() != want {
+			t.Errorf("%d.String() = %q, want %q", op, op.String(), want)
+		}
+	}
+}
+
+func TestStatusStrings(t *testing.T) {
+	if StatusSuccess.String() != "success" {
+		t.Error("StatusSuccess string wrong")
+	}
+	if StatusRNRRetryExceeded.String() != "RNR retry exceeded" {
+		t.Error("RNR string wrong")
+	}
+	if Status(200).String() != "Status(200)" {
+		t.Error("unknown status string wrong")
+	}
+}
+
+func TestSendWRLength(t *testing.T) {
+	wr := &SendWR{Op: OpWrite, Data: make([]byte, 32), ModelBytes: 1000}
+	if wr.Length() != 1032 {
+		t.Fatalf("Length = %d, want 1032", wr.Length())
+	}
+	rd := &SendWR{Op: OpRead, ReadLen: 4096}
+	if rd.Length() != 4096 {
+		t.Fatalf("read Length = %d, want 4096", rd.Length())
+	}
+}
+
+func TestQPConfigNormalize(t *testing.T) {
+	c := QPConfig{}.Normalize()
+	if c.MaxSend != 256 || c.MaxRecv != 256 || c.MaxRDAtomic != 4 || c.RNRRetry != 7 {
+		t.Fatalf("defaults wrong: %+v", c)
+	}
+	c2 := QPConfig{MaxSend: 8, MaxRecv: 4, MaxRDAtomic: 16, RNRRetry: -1}.Normalize()
+	if c2.MaxSend != 8 || c2.MaxRecv != 4 || c2.MaxRDAtomic != 16 || c2.RNRRetry != -1 {
+		t.Fatalf("explicit values clobbered: %+v", c2)
+	}
+}
+
+func TestRegisterAndPlace(t *testing.T) {
+	as := NewAddressSpace()
+	pd := &PD{ID: 1}
+	buf := make([]byte, 128)
+	mr, err := as.Register(pd, buf, AccessLocalWrite|AccessRemoteWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mr.Shadow != 128 || mr.Len != 128 {
+		t.Fatalf("real MR shadow/len = %d/%d", mr.Shadow, mr.Len)
+	}
+	data := []byte("hello rdma")
+	if _, _, err := as.Place(mr.Remote(10), data, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf[10:10+len(data)], data) {
+		t.Fatalf("placed bytes wrong: %q", buf[10:10+len(data)])
+	}
+}
+
+func TestRegisterNilBuffer(t *testing.T) {
+	as := NewAddressSpace()
+	if _, err := as.Register(&PD{}, nil, AccessRemoteWrite); err == nil {
+		t.Fatal("nil buffer registered")
+	}
+}
+
+func TestPlaceValidation(t *testing.T) {
+	as := NewAddressSpace()
+	pd := &PD{ID: 1}
+	mr, _ := as.Register(pd, make([]byte, 64), AccessRemoteWrite)
+	rdonly, _ := as.Register(pd, make([]byte, 64), AccessRemoteRead)
+
+	// Wrong rkey.
+	if _, _, err := as.Place(RemoteAddr{Addr: mr.Addr, RKey: mr.RKey + 999}, []byte("x"), 0); err != ErrMRKey {
+		t.Fatalf("wrong rkey: err = %v", err)
+	}
+	// Out of bounds.
+	if _, _, err := as.Place(mr.Remote(60), []byte("too long"), 0); err != ErrMRBounds {
+		t.Fatalf("bounds: err = %v", err)
+	}
+	// Address below region.
+	if _, _, err := as.Place(RemoteAddr{Addr: mr.Addr - 1, RKey: mr.RKey}, []byte("x"), 0); err != ErrMRBounds {
+		t.Fatalf("below region: err = %v", err)
+	}
+	// Access violation: write to read-only region.
+	if _, _, err := as.Place(rdonly.Remote(0), []byte("x"), 0); err != ErrMRAccess {
+		t.Fatalf("access: err = %v", err)
+	}
+	// Deregistered.
+	as.Deregister(mr)
+	if _, _, err := as.Place(mr.Remote(0), []byte("x"), 0); err != ErrMRKey && err != ErrMRInvalidated {
+		t.Fatalf("deregistered: err = %v", err)
+	}
+}
+
+func TestModelRegionShadow(t *testing.T) {
+	as := NewAddressSpace()
+	pd := &PD{ID: 1}
+	// 1 MiB modeled region backed by 64 real bytes.
+	mr, err := as.RegisterModel(pd, 1<<20, 64, AccessRemoteWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mr.Len != 1<<20 || mr.Shadow != 64 || len(mr.Buf) != 64 {
+		t.Fatalf("model MR geometry wrong: %+v", mr)
+	}
+	// A write of a 32-byte header plus modeled bulk lands the header.
+	hdr := bytes.Repeat([]byte{0xAB}, 32)
+	if _, _, err := as.Place(mr.Remote(0), hdr, 1<<20-32); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mr.Buf[:32], hdr) {
+		t.Fatal("header not placed in shadow")
+	}
+	// Writing entirely beyond the shadow is accounted but placed nowhere.
+	if _, _, err := as.Place(mr.Remote(128), []byte("deep"), 0); err != nil {
+		t.Fatal(err)
+	}
+	// Writing past the modeled length fails.
+	if _, _, err := as.Place(mr.Remote(1<<20-4), []byte("12345"), 0); err != ErrMRBounds {
+		t.Fatalf("beyond model length: err = %v", err)
+	}
+}
+
+func TestModelRegionBadGeometry(t *testing.T) {
+	as := NewAddressSpace()
+	pd := &PD{}
+	if _, err := as.RegisterModel(pd, 0, 0, 0); err == nil {
+		t.Error("zero-length model region registered")
+	}
+	if _, err := as.RegisterModel(pd, 100, 200, 0); err == nil {
+		t.Error("shadow > length registered")
+	}
+	if _, err := as.RegisterModel(pd, 100, -1, 0); err == nil {
+		t.Error("negative shadow registered")
+	}
+}
+
+func TestFetch(t *testing.T) {
+	as := NewAddressSpace()
+	pd := &PD{}
+	buf := []byte("0123456789abcdef")
+	mr, _ := as.Register(pd, buf, AccessRemoteRead)
+	_, view, err := as.Fetch(mr.Remote(4), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(view) != "4567" {
+		t.Fatalf("fetched %q", view)
+	}
+	// Read access denied on a write-only region.
+	wr, _ := as.Register(pd, make([]byte, 8), AccessRemoteWrite)
+	if _, _, err := as.Fetch(wr.Remote(0), 4); err != ErrMRAccess {
+		t.Fatalf("fetch access: err = %v", err)
+	}
+}
+
+func TestRegionsDoNotOverlap(t *testing.T) {
+	as := NewAddressSpace()
+	pd := &PD{}
+	var prevEnd uint64
+	for i := 0; i < 50; i++ {
+		mr, err := as.Register(pd, make([]byte, 1000), AccessRemoteWrite)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mr.Addr < prevEnd {
+			t.Fatalf("region %d overlaps previous (addr %#x < end %#x)", i, mr.Addr, prevEnd)
+		}
+		prevEnd = mr.Addr + uint64(mr.Len)
+	}
+}
+
+func TestKeysUnique(t *testing.T) {
+	as := NewAddressSpace()
+	pd := &PD{}
+	seen := map[uint32]bool{}
+	for i := 0; i < 100; i++ {
+		mr, _ := as.Register(pd, make([]byte, 8), 0)
+		if seen[mr.RKey] || seen[mr.LKey] || mr.RKey == mr.LKey {
+			t.Fatalf("key collision at region %d", i)
+		}
+		seen[mr.RKey], seen[mr.LKey] = true, true
+	}
+}
+
+// Property: any in-bounds write into a real region is recoverable by a
+// fetch of the same window (Place/Fetch round trip).
+func TestPlaceFetchRoundTripProperty(t *testing.T) {
+	as := NewAddressSpace()
+	pd := &PD{}
+	mr, _ := as.Register(pd, make([]byte, 4096), AccessRemoteWrite|AccessRemoteRead)
+	f := func(off uint16, payload []byte) bool {
+		o := int(off) % 4096
+		if len(payload) > 4096-o {
+			payload = payload[:4096-o]
+		}
+		if len(payload) == 0 {
+			return true
+		}
+		if _, _, err := as.Place(mr.Remote(o), payload, 0); err != nil {
+			return false
+		}
+		_, view, err := as.Fetch(mr.Remote(o), len(payload))
+		return err == nil && bytes.Equal(view, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: out-of-bounds accesses are always rejected, never partially
+// applied.
+func TestBoundsRejectionProperty(t *testing.T) {
+	as := NewAddressSpace()
+	pd := &PD{}
+	mr, _ := as.Register(pd, make([]byte, 256), AccessRemoteWrite)
+	f := func(off uint32, n uint16) bool {
+		o, ln := uint64(off), int(n)
+		if ln == 0 {
+			ln = 1
+		}
+		addr := mr.Addr + o
+		_, _, err := as.Place(RemoteAddr{Addr: addr, RKey: mr.RKey}, make([]byte, ln), 0)
+		inBounds := o <= 256 && uint64(ln) <= 256-o
+		return (err == nil) == inBounds
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,208 @@
+package wire
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestControlRoundTrip(t *testing.T) {
+	in := &Control{
+		Type:      MsgMRInfoResponse,
+		Flags:     FlagAccept,
+		Session:   0xDEADBEEF,
+		Seq:       42,
+		Addr:      0x123456789ABCDEF0,
+		RKey:      0xCAFEBABE,
+		Length:    1 << 20,
+		AssocData: 900 << 30, // 900 GB fits
+		Credits: []Credit{
+			{Addr: 0x1000, RKey: 1, Len: 4096},
+			{Addr: 0x2000, RKey: 2, Len: 8192},
+		},
+	}
+	b, err := in.Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != in.EncodedLen() {
+		t.Fatalf("encoded %d bytes, EncodedLen says %d", len(b), in.EncodedLen())
+	}
+	out, err := DecodeControl(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\n in=%+v\nout=%+v", in, out)
+	}
+}
+
+func TestControlNoCredits(t *testing.T) {
+	in := &Control{Type: MsgBlockComplete, Session: 7, Seq: 9, Addr: 100, RKey: 5, Length: 64}
+	b, _ := in.Encode(nil)
+	if len(b) != ControlHeaderSize {
+		t.Fatalf("len = %d, want %d", len(b), ControlHeaderSize)
+	}
+	out, err := DecodeControl(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Type != MsgBlockComplete || out.Seq != 9 || len(out.Credits) != 0 {
+		t.Fatalf("decoded %+v", out)
+	}
+}
+
+func TestControlTruncated(t *testing.T) {
+	in := &Control{Type: MsgMRInfoResponse, Credits: []Credit{{Addr: 1, RKey: 2, Len: 3}}}
+	b, _ := in.Encode(nil)
+	for cut := 0; cut < len(b); cut++ {
+		if _, err := DecodeControl(b[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestControlTooManyCredits(t *testing.T) {
+	in := &Control{Type: MsgMRInfoResponse, Credits: make([]Credit, MaxCreditsPerMsg+1)}
+	if _, err := in.Encode(nil); err != ErrBadCount {
+		t.Fatalf("encode overflow: %v", err)
+	}
+	// Forged count on the wire.
+	ok := &Control{Type: MsgMRInfoResponse}
+	b, _ := ok.Encode(nil)
+	b[2], b[3] = 0xFF, 0xFF
+	if _, err := DecodeControl(b); err != ErrBadCount {
+		t.Fatalf("decode forged count: %v", err)
+	}
+}
+
+func TestControlEncodeAppends(t *testing.T) {
+	prefix := []byte("prefix")
+	in := &Control{Type: MsgAbort}
+	b, _ := in.Encode(prefix)
+	if string(b[:6]) != "prefix" || len(b) != 6+ControlHeaderSize {
+		t.Fatalf("append semantics broken: len=%d", len(b))
+	}
+}
+
+func TestMsgTypeStrings(t *testing.T) {
+	for ty := MsgBlockSizeReq; ty <= MsgAbort; ty++ {
+		if s := ty.String(); s == "" || s[0] == 'M' && s[1] == 's' {
+			t.Fatalf("MsgType(%d) has no name: %q", ty, s)
+		}
+	}
+	if MsgType(200).String() != "MsgType(200)" {
+		t.Fatal("unknown type string")
+	}
+}
+
+func TestBlockHeaderRoundTrip(t *testing.T) {
+	in := BlockHeader{Session: 3, Seq: 77, Offset: 9 << 33, PayloadLen: 1 << 22, Last: true}
+	buf := make([]byte, BlockHeaderSize)
+	if err := EncodeBlockHeader(buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeBlockHeader(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip: in=%+v out=%+v", in, out)
+	}
+}
+
+func TestBlockHeaderShortBuffers(t *testing.T) {
+	if err := EncodeBlockHeader(make([]byte, BlockHeaderSize-1), BlockHeader{}); err != ErrShortMessage {
+		t.Fatalf("encode short: %v", err)
+	}
+	if _, err := DecodeBlockHeader(make([]byte, BlockHeaderSize-1)); err != ErrShortMessage {
+		t.Fatalf("decode short: %v", err)
+	}
+}
+
+func TestBlockHeaderReservedZeroed(t *testing.T) {
+	buf := make([]byte, BlockHeaderSize)
+	for i := range buf {
+		buf[i] = 0xFF
+	}
+	EncodeBlockHeader(buf, BlockHeader{Session: 1})
+	for i := 21; i < BlockHeaderSize; i++ {
+		if buf[i] != 0 {
+			t.Fatalf("reserved byte %d not zeroed", i)
+		}
+	}
+}
+
+// Property: Control encode/decode is a bijection on valid messages.
+func TestControlRoundTripProperty(t *testing.T) {
+	f := func(ty uint8, flags uint8, sess, seq, rkey, length uint32, addr, assoc uint64, nCred uint8) bool {
+		in := &Control{
+			Type: MsgType(ty), Flags: flags, Session: sess, Seq: seq,
+			Addr: addr, RKey: rkey, Length: length, AssocData: assoc,
+		}
+		for i := 0; i < int(nCred)%MaxCreditsPerMsg; i++ {
+			in.Credits = append(in.Credits, Credit{
+				Addr: addr ^ uint64(i), RKey: rkey + uint32(i), Len: length ^ uint32(i),
+			})
+		}
+		b, err := in.Encode(nil)
+		if err != nil {
+			return false
+		}
+		out, err := DecodeControl(b)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(in, out)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: BlockHeader encode/decode is a bijection.
+func TestBlockHeaderRoundTripProperty(t *testing.T) {
+	f := func(sess, seq, plen uint32, off uint64, last bool) bool {
+		in := BlockHeader{Session: sess, Seq: seq, Offset: off, PayloadLen: plen, Last: last}
+		buf := make([]byte, BlockHeaderSize)
+		if err := EncodeBlockHeader(buf, in); err != nil {
+			return false
+		}
+		out, err := DecodeBlockHeader(buf)
+		return err == nil && out == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: decoding arbitrary bytes never panics.
+func TestDecodeFuzzNoPanic(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 2000; i++ {
+		b := make([]byte, rng.Intn(200))
+		rng.Read(b)
+		DecodeControl(b)
+		DecodeBlockHeader(b)
+	}
+}
+
+func BenchmarkControlEncode(b *testing.B) {
+	c := &Control{Type: MsgMRInfoResponse, Credits: make([]Credit, 2)}
+	buf := make([]byte, 0, 128)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = buf[:0]
+		c.Encode(buf)
+	}
+}
+
+func BenchmarkControlDecode(b *testing.B) {
+	c := &Control{Type: MsgMRInfoResponse, Credits: make([]Credit, 2)}
+	buf, _ := c.Encode(nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		DecodeControl(buf)
+	}
+}
