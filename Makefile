@@ -2,9 +2,16 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench experiments cover clean
+.PHONY: all build vet test race bench experiments cover check clean
 
 all: build vet test
+
+# check is the pre-merge gate: vet, a full build, and the whole test
+# suite under the race detector.
+check:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race ./...
 
 build:
 	$(GO) build ./...

@@ -22,6 +22,7 @@ import (
 	"rftp/internal/core"
 	"rftp/internal/fabric/chanfabric"
 	"rftp/internal/fabric/netfabric"
+	"rftp/internal/telemetry"
 	"rftp/internal/trace"
 )
 
@@ -33,6 +34,9 @@ func main() {
 	zero := flag.String("zero", "", "memory-to-memory benchmark: send SIZE of synthetic zeros instead of files (e.g. -zero 1G)")
 	imm := flag.Bool("imm", false, "notify block completions via RDMA WRITE WITH IMMEDIATE instead of control messages")
 	doTrace := flag.Bool("trace", false, "dump the protocol event trace when the transfer ends")
+	traceOut := flag.String("trace-out", "", "write the protocol event trace to FILE as JSONL")
+	doStats := flag.Bool("stats", false, "print a telemetry summary when the transfer ends")
+	statsEvery := flag.Duration("stats-every", 0, "also print the telemetry summary at this interval (implies -stats)")
 	flag.Parse()
 	if flag.NArg() == 0 && *zero == "" {
 		fmt.Fprintln(os.Stderr, "usage: rftp [flags] file...")
@@ -75,17 +79,47 @@ func main() {
 		log.Fatalf("rftp: source: %v", err)
 	}
 	source.OnError = func(err error) { log.Printf("rftp: connection error: %v", err) }
+
+	// Telemetry: source protocol metrics plus fabric WR/byte counters,
+	// attached before negotiation so nothing is missed.
+	var reg *telemetry.Registry
+	if *doStats || *statsEvery > 0 {
+		reg = telemetry.NewRegistry("rftp")
+		dev.Telemetry = telemetry.NewFabricMetrics(reg.Child("fabric"))
+		source.AttachTelemetry(reg)
+	}
 	var ring *trace.Ring
-	if *doTrace {
-		ring = trace.NewRing(4096, nil)
+	if *doTrace || *traceOut != "" {
+		capacity := 4096
+		if *traceOut != "" {
+			capacity = 1 << 16 // exported traces want the full history
+		}
+		ring = trace.NewRing(capacity, nil)
 		source.Trace = ring
 	}
 	defer func() {
-		if ring != nil {
+		if ring != nil && *traceOut != "" {
+			if err := writeTraceFile(*traceOut, ring); err != nil {
+				log.Printf("rftp: trace-out: %v", err)
+			}
+		}
+		if ring != nil && *doTrace {
 			fmt.Fprintln(os.Stderr, "--- protocol trace ---")
 			ring.Render(os.Stderr)
 		}
+		if reg != nil {
+			fmt.Fprintln(os.Stderr, "--- telemetry ---")
+			reg.Snapshot().WriteText(os.Stderr)
+		}
 	}()
+	if reg != nil && *statsEvery > 0 {
+		go func() {
+			for range time.Tick(*statsEvery) {
+				fmt.Fprintln(os.Stderr, "--- telemetry ---")
+				reg.Snapshot().WriteText(os.Stderr)
+			}
+		}()
+	}
 
 	type result struct {
 		name string
@@ -161,6 +195,19 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// writeTraceFile exports the ring's retained events as JSONL.
+func writeTraceFile(path string, ring *trace.Ring) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteJSONL(f, ring.Events()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // zeroReader yields an endless stream of zero bytes (/dev/zero).

@@ -15,13 +15,32 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"path/filepath"
+	"sync"
 
 	"rftp/internal/core"
 	"rftp/internal/fabric/chanfabric"
 	"rftp/internal/fabric/netfabric"
+	"rftp/internal/telemetry"
+	"rftp/internal/trace"
 )
+
+// serveOpts carries the observability configuration into each
+// connection handler.
+type serveOpts struct {
+	dir      string
+	channels int
+	depth    int
+	devnull  bool
+	stats    bool
+	trace    bool
+	traceOut string
+	root     *telemetry.Registry // nil when telemetry is off
+
+	mu sync.Mutex // serializes trace-out appends across connections
+}
 
 func main() {
 	listen := flag.String("listen", ":2811", "address to listen on")
@@ -30,6 +49,10 @@ func main() {
 	depth := flag.Int("depth", 16, "I/O depth (sink block pool = 2x)")
 	once := flag.Bool("once", false, "serve a single connection, then exit")
 	devnull := flag.Bool("devnull", false, "discard received data instead of writing files (memory-to-memory benchmark)")
+	doStats := flag.Bool("stats", false, "print a telemetry summary when each connection ends")
+	doTrace := flag.Bool("trace", false, "dump the protocol event trace when each connection ends")
+	traceOut := flag.String("trace-out", "", "append each connection's protocol event trace to FILE as JSONL")
+	httpAddr := flag.String("http", "", "serve live telemetry over HTTP on this address (GET /, ?text=1 for plain text)")
 	flag.Parse()
 
 	if err := os.MkdirAll(*dir, 0o755); err != nil {
@@ -41,13 +64,34 @@ func main() {
 	}
 	log.Printf("rftpd: listening on %s (channels=%d)", ln.Addr(), *channels)
 
-	for {
+	opts := &serveOpts{
+		dir:      *dir,
+		channels: *channels,
+		depth:    *depth,
+		devnull:  *devnull,
+		stats:    *doStats,
+		trace:    *doTrace,
+		traceOut: *traceOut,
+	}
+	if *doStats || *httpAddr != "" {
+		opts.root = telemetry.NewRegistry("rftpd")
+	}
+	if *httpAddr != "" {
+		go func() {
+			log.Printf("rftpd: telemetry on http://%s/", *httpAddr)
+			if err := http.ListenAndServe(*httpAddr, telemetry.Handler(opts.root)); err != nil {
+				log.Printf("rftpd: telemetry http: %v", err)
+			}
+		}()
+	}
+
+	for conn := 1; ; conn++ {
 		dev, err := ln.Accept()
 		if err != nil {
 			log.Fatalf("rftpd: accept: %v", err)
 		}
 		served := make(chan struct{})
-		go serve(dev, *dir, *channels, *depth, *devnull, served)
+		go serve(dev, conn, opts, served)
 		if *once {
 			<-served
 			return
@@ -55,9 +99,10 @@ func main() {
 	}
 }
 
-func serve(dev *netfabric.Device, dir string, channels, depth int, devnull bool, served chan<- struct{}) {
+func serve(dev *netfabric.Device, conn int, opts *serveOpts, served chan<- struct{}) {
 	defer close(served)
 	defer dev.Close()
+	dir, channels, depth, devnull := opts.dir, opts.channels, opts.depth, opts.devnull
 	loop := chanfabric.NewLoop("rftpd")
 	defer loop.Stop()
 
@@ -84,6 +129,36 @@ func serve(dev *netfabric.Device, dir string, channels, depth int, devnull bool,
 		log.Printf("rftpd: sink: %v", err)
 		return
 	}
+
+	// Per-connection observability: a child registry under the shared
+	// root (also visible over -http) and an optional trace ring.
+	var reg *telemetry.Registry
+	if opts.root != nil {
+		reg = opts.root.Child(fmt.Sprintf("conn%d", conn))
+		dev.Telemetry = telemetry.NewFabricMetrics(reg.Child("fabric"))
+		sink.AttachTelemetry(reg)
+	}
+	var ring *trace.Ring
+	if opts.trace || opts.traceOut != "" {
+		ring = trace.NewRing(1<<16, nil)
+		sink.Trace = ring
+	}
+	defer func() {
+		if ring != nil && opts.traceOut != "" {
+			if err := appendTraceFile(opts, ring); err != nil {
+				log.Printf("rftpd: trace-out: %v", err)
+			}
+		}
+		if ring != nil && opts.trace {
+			fmt.Fprintf(os.Stderr, "--- protocol trace (conn %d) ---\n", conn)
+			ring.Render(os.Stderr)
+		}
+		if reg != nil && opts.stats {
+			fmt.Fprintf(os.Stderr, "--- telemetry (conn %d) ---\n", conn)
+			reg.Snapshot().WriteText(os.Stderr)
+		}
+	}()
+
 	connDone := make(chan struct{})
 	dev.OnClose = func(error) { close(connDone) }
 
@@ -121,6 +196,22 @@ func serve(dev *netfabric.Device, dir string, channels, depth int, devnull bool,
 	<-connDone
 	loop.Post(0, sink.Close)
 	log.Printf("rftpd: peer disconnected")
+}
+
+// appendTraceFile appends the ring's retained events to the shared
+// trace-out file; JSONL concatenates cleanly across connections.
+func appendTraceFile(opts *serveOpts, ring *trace.Ring) error {
+	opts.mu.Lock()
+	defer opts.mu.Unlock()
+	f, err := os.OpenFile(opts.traceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteJSONL(f, ring.Events()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func sizeLabel(n int) string {

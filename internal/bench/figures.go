@@ -21,7 +21,13 @@ type Row struct {
 	Gbps      float64
 	ClientCPU float64
 	ServerCPU float64
-	Note      string
+	// Stalls counts source credit-starvation events (RFTP rows).
+	Stalls int64
+	// Retrans counts TCP retransmissions (GridFTP rows).
+	Retrans uint64
+	// RNR counts fabric receiver-not-ready events (RFTP rows).
+	RNR uint64
+	Note string
 }
 
 // Scale reduces experiment sizes for quick runs: 1.0 reproduces the
@@ -114,6 +120,7 @@ func FigComparison(figure string, tb Testbed, streams []int, scale Scale) ([]Row
 				Figure: figure, Testbed: tb.Name, Tool: "RFTP",
 				BlockSize: bs, Streams: ns,
 				Gbps: r.BandwidthGbps, ClientCPU: r.ClientCPU, ServerCPU: r.ServerCPU,
+				Stalls: r.Stalls, RNR: r.RNR,
 			})
 
 			g, err := RunGridFTP(tb, GridFTPOptions{
@@ -126,6 +133,7 @@ func FigComparison(figure string, tb Testbed, streams []int, scale Scale) ([]Row
 				Figure: figure, Testbed: tb.Name, Tool: "GridFTP",
 				BlockSize: bs, Streams: ns,
 				Gbps: g.BandwidthGbps, ClientCPU: g.ClientCPU, ServerCPU: g.ServerCPU,
+				Retrans: g.Retrans,
 			})
 		}
 	}
@@ -167,6 +175,7 @@ func FigMemVsDisk(tb Testbed, scale Scale) ([]Row, error) {
 			Figure: "fig11", Testbed: tb.Name, Tool: "RFTP mem-to-mem",
 			BlockSize: bs, Streams: 4,
 			Gbps: mem.BandwidthGbps, ClientCPU: mem.ClientCPU, ServerCPU: mem.ServerCPU,
+			Stalls: mem.Stalls, RNR: mem.RNR,
 		})
 
 		dsk, err := RunRFTP(tb, RFTPOptions{
@@ -180,6 +189,7 @@ func FigMemVsDisk(tb Testbed, scale Scale) ([]Row, error) {
 			Figure: "fig11", Testbed: tb.Name, Tool: "RFTP mem-to-disk",
 			BlockSize: bs, Streams: 4,
 			Gbps: dsk.BandwidthGbps, ClientCPU: dsk.ClientCPU, ServerCPU: dsk.ServerCPU,
+			Stalls: dsk.Stalls, RNR: dsk.RNR,
 			Note: "O_DIRECT RAID",
 		})
 
@@ -196,7 +206,8 @@ func FigMemVsDisk(tb Testbed, scale Scale) ([]Row, error) {
 			Figure: "fig11", Testbed: tb.Name, Tool: "GridFTP mem-to-disk",
 			BlockSize: bs, Streams: 4,
 			Gbps: g.BandwidthGbps, ClientCPU: g.ClientCPU, ServerCPU: g.ServerCPU,
-			Note: "buffered POSIX",
+			Retrans: g.Retrans,
+			Note:    "buffered POSIX",
 		})
 	}
 	return rows, nil
@@ -226,7 +237,8 @@ func AblationCreditPolicy(scale Scale) ([]Row, error) {
 				Figure: "ablation-credit", Testbed: tb.Name, Tool: policy.String(),
 				BlockSize: cfg.BlockSize, Streams: 1,
 				Gbps: r.BandwidthGbps, ClientCPU: r.ClientCPU, ServerCPU: r.ServerCPU,
-				Note: fmt.Sprintf("rtt=%v stalls=%d", rtt, r.Stalls),
+				Stalls: r.Stalls, RNR: r.RNR,
+				Note: fmt.Sprintf("rtt=%v", rtt),
 			})
 		}
 	}
@@ -251,6 +263,7 @@ func AblationQPCount(tb Testbed, scale Scale) ([]Row, error) {
 			Figure: "ablation-qps", Testbed: tb.Name, Tool: "RFTP",
 			BlockSize: cfg.BlockSize, Streams: ch,
 			Gbps: r.BandwidthGbps, ClientCPU: r.ClientCPU, ServerCPU: r.ServerCPU,
+			Stalls: r.Stalls, RNR: r.RNR,
 		})
 	}
 	return rows, nil
@@ -274,6 +287,7 @@ func AblationIODepth(tb Testbed, scale Scale) ([]Row, error) {
 			Figure: "ablation-depth", Testbed: tb.Name, Tool: "RFTP",
 			BlockSize: cfg.BlockSize, Depth: depth,
 			Gbps: r.BandwidthGbps, ClientCPU: r.ClientCPU, ServerCPU: r.ServerCPU,
+			Stalls: r.Stalls, RNR: r.RNR,
 		})
 	}
 	return rows, nil
@@ -363,6 +377,7 @@ func AblationThreading(tb Testbed, scale Scale) ([]Row, error) {
 			Tool:      fmt.Sprintf("GridFTP x%d threads", threads),
 			BlockSize: 4 << 20, Streams: 8,
 			Gbps: r.BandwidthGbps, ClientCPU: r.ClientCPU, ServerCPU: r.ServerCPU,
+			Retrans: r.Retrans,
 		})
 	}
 	return rows, nil
@@ -426,7 +441,8 @@ func AblationCreditRamp(tb Testbed, scale Scale) ([]Row, error) {
 			Figure: "ablation-ramp", Testbed: tb.Name, Tool: fmt.Sprintf("grant=%d", grant),
 			BlockSize: cfg.BlockSize,
 			Gbps:      r.BandwidthGbps, ClientCPU: r.ClientCPU, ServerCPU: r.ServerCPU,
-			Note: fmt.Sprintf("stalls=%d elapsed=%v", r.Stalls, r.Elapsed.Round(time.Millisecond)),
+			Stalls: r.Stalls,
+			Note:   fmt.Sprintf("elapsed=%v", r.Elapsed.Round(time.Millisecond)),
 		})
 	}
 	return rows, nil

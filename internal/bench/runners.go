@@ -11,6 +11,7 @@ import (
 	"rftp/internal/hostmodel"
 	"rftp/internal/sim"
 	"rftp/internal/tcpmodel"
+	"rftp/internal/telemetry"
 	"rftp/internal/wire"
 )
 
@@ -23,6 +24,10 @@ type RFTPOptions struct {
 	DiskMode diskmodel.Mode
 	DiskCfg  diskmodel.ArrayConfig
 	Seed     int64
+	// Telemetry, when non-nil, instruments the run: source/sink protocol
+	// metrics and per-device fabric metrics are registered as children.
+	// Nil runs stay uninstrumented (and measure the disabled-path cost).
+	Telemetry *telemetry.Registry
 }
 
 // RunResult is a normalized result row for either tool.
@@ -42,6 +47,8 @@ type RunResult struct {
 	CtrlMsgs int64
 	// Retrans counts TCP retransmissions (GridFTP only).
 	Retrans uint64
+	// RNR counts fabric receiver-not-ready NAKs (RFTP only).
+	RNR uint64
 }
 
 // RunRFTP executes one modeled RFTP transfer on the testbed and reports
@@ -107,6 +114,12 @@ func RunRFTP(tb Testbed, opt RFTPOptions) (RunResult, error) {
 	if err != nil {
 		return RunResult{}, err
 	}
+	if opt.Telemetry != nil {
+		srcDev.Telemetry = telemetry.NewFabricMetrics(opt.Telemetry.Child("src_fabric"))
+		dstDev.Telemetry = telemetry.NewFabricMetrics(opt.Telemetry.Child("dst_fabric"))
+		source.AttachTelemetry(opt.Telemetry.Child("source"))
+		sink.AttachTelemetry(opt.Telemetry.Child("sink"))
+	}
 
 	var srcRes core.TransferResult
 	srcDone := false
@@ -144,6 +157,7 @@ func RunRFTP(tb Testbed, opt RFTPOptions) (RunResult, error) {
 		Elapsed:       elapsed,
 		Stalls:        st.CreditStalls,
 		CtrlMsgs:      st.CtrlMsgs + sink.Stats().CtrlMsgs,
+		RNR:           srcDev.RNRNaks + dstDev.RNRNaks,
 	}
 	if elapsed > 0 {
 		res.ClientCPU = 100 * float64(srcHost.BusyTotal()-srcBusy0) / float64(elapsed)
@@ -174,6 +188,9 @@ type GridFTPOptions struct {
 	Disk       bool
 	DiskMode   diskmodel.Mode
 	Seed       int64
+	// Telemetry, when non-nil, instruments the transfer (per-stream cwnd
+	// and retransmit metrics, server backlog, bottleneck drops).
+	Telemetry *telemetry.Registry
 }
 
 // runGridFTPThreads runs the multi-threaded-client counterfactual.
@@ -233,6 +250,9 @@ func RunGridFTP(tb Testbed, opt GridFTPOptions) (RunResult, error) {
 		cfg.DiskMode = opt.DiskMode
 	}
 	tr := gridftp.New(sched, path, client, server, cfg)
+	if opt.Telemetry != nil {
+		tr.AttachTelemetry(opt.Telemetry)
+	}
 	var got *gridftp.Stats
 	clientBusy0, serverBusy0 := client.BusyTotal(), server.BusyTotal()
 	tr.Start(func(s gridftp.Stats) { got = &s })

@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 	"io"
+	"strings"
 	"text/tabwriter"
 	"time"
 
@@ -13,6 +14,7 @@ import (
 	"rftp/internal/metrics"
 	"rftp/internal/sim"
 	"rftp/internal/tcpmodel"
+	"rftp/internal/telemetry"
 )
 
 // TimeSeriesResult holds bandwidth-over-time curves for both tools from
@@ -25,6 +27,9 @@ type TimeSeriesResult struct {
 	// Summaries over the steady-state half of the window.
 	RFTPSummary    metrics.Summary
 	GridFTPSummary metrics.Summary
+	// Telemetry snapshots taken when each run's window closed.
+	RFTPTelemetry    *telemetry.Snapshot
+	GridFTPTelemetry *telemetry.Snapshot
 }
 
 // TimeSeries runs both tools from a cold start on the testbed for the
@@ -83,6 +88,11 @@ func TimeSeries(tb Testbed, window, interval time.Duration, blockSize, streams i
 		if err != nil {
 			return nil, err
 		}
+		reg := telemetry.NewRegistry("rftp")
+		srcDev.Telemetry = telemetry.NewFabricMetrics(reg.Child("src_fabric"))
+		dstDev.Telemetry = telemetry.NewFabricMetrics(reg.Child("dst_fabric"))
+		source.AttachTelemetry(reg.Child("source"))
+		sink.AttachTelemetry(reg.Child("sink"))
 		// Enough data to outlast the window at line rate.
 		total := int64(tb.Link.RateBps/8*window.Seconds()) * 2
 		source.Start(func(err error) {
@@ -104,6 +114,7 @@ func TimeSeries(tb Testbed, window, interval time.Duration, blockSize, streams i
 		sched.Run(window + interval)
 		sampler.Flush()
 		res.RFTP = sampler.Series()
+		res.RFTPTelemetry = reg.Snapshot()
 	}
 
 	// GridFTP on the same structural parameters.
@@ -118,6 +129,8 @@ func TimeSeries(tb Testbed, window, interval time.Duration, blockSize, streams i
 		tr := gridftp.New(sched, path, client, server, gridftp.Config{
 			Streams: streams, BlockSize: blockSize, TotalBytes: total, Variant: tb.TCPVariant,
 		})
+		greg := telemetry.NewRegistry("gridftp")
+		tr.AttachTelemetry(greg)
 		tr.Start(func(gridftp.Stats) {})
 		sampler := metrics.NewRateSampler(interval)
 		var sample func()
@@ -131,6 +144,7 @@ func TimeSeries(tb Testbed, window, interval time.Duration, blockSize, streams i
 		sched.Run(window + interval)
 		sampler.Flush()
 		res.GridFTP = sampler.Series()
+		res.GridFTPTelemetry = greg.Snapshot()
 	}
 
 	res.RFTPSummary = steadySummary(res.RFTP)
@@ -169,5 +183,50 @@ func (r *TimeSeriesResult) Render(w io.Writer) error {
 	}
 	fmt.Fprintf(tw, "steady mean\t%.2f\t%.2f\n", r.RFTPSummary.Mean, r.GridFTPSummary.Mean)
 	fmt.Fprintf(tw, "steady CoV\t%.3f\t%.3f\n", r.RFTPSummary.CoefficientOfVar, r.GridFTPSummary.CoefficientOfVar)
-	return tw.Flush()
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	return r.renderTelemetry(w)
+}
+
+// renderTelemetry summarizes each tool's instrumentation over the
+// window: the flow-control story (credit stalls and latency vs cwnd and
+// retransmits) behind the bandwidth curves above.
+func (r *TimeSeriesResult) renderTelemetry(w io.Writer) error {
+	if r.RFTPTelemetry == nil && r.GridFTPTelemetry == nil {
+		return nil
+	}
+	fmt.Fprintln(w, "\n-- telemetry --")
+	if src := r.RFTPTelemetry.Find("source"); src != nil {
+		sink := r.RFTPTelemetry.Find("sink")
+		rnr := r.RFTPTelemetry.Find("src_fabric").Counter("rnr_events") +
+			r.RFTPTelemetry.Find("dst_fabric").Counter("rnr_events")
+		credLat := sink.Histogram("credit_latency")
+		postLat := src.Histogram("post_latency")
+		fmt.Fprintf(w, "RFTP:    blocks=%d credit_stalls=%d rnr=%d credit_latency p50=%v p95=%v post_latency p50=%v p95=%v\n",
+			src.Counter("blocks_posted"), src.Counter("credit_stalls"), rnr,
+			time.Duration(credLat.Quantile(0.5)).Round(time.Microsecond),
+			time.Duration(credLat.Quantile(0.95)).Round(time.Microsecond),
+			time.Duration(postLat.Quantile(0.5)).Round(time.Microsecond),
+			time.Duration(postLat.Quantile(0.95)).Round(time.Microsecond))
+	}
+	if g := r.GridFTPTelemetry; g != nil {
+		var retrans, timeouts int64
+		var cwnd telemetry.HistogramSnapshot
+		for _, child := range g.Children {
+			if !strings.HasPrefix(child.Name, "stream") {
+				continue
+			}
+			retrans += child.Counter("retransmits")
+			timeouts += child.Counter("timeouts")
+			if merged, err := cwnd.Merge(child.Histogram("cwnd_segments")); err == nil {
+				cwnd = merged
+			}
+		}
+		fmt.Fprintf(w, "GridFTP: retrans=%d timeouts=%d path_drops=%d cwnd_segs p50=%.0f p95=%.0f server_backlog p95=%v\n",
+			retrans, timeouts, g.Find("path").Counter("drops"),
+			float64(cwnd.Quantile(0.5)), float64(cwnd.Quantile(0.95)),
+			time.Duration(g.Histogram("server_backlog").Quantile(0.95)).Round(time.Microsecond))
+	}
+	return nil
 }

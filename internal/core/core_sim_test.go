@@ -515,18 +515,18 @@ func TestTraceCapturesProtocolEvents(t *testing.T) {
 
 	srcMsgs := ""
 	for _, e := range srcRing.Events() {
-		srcMsgs += e.Msg + "\n"
+		srcMsgs += e.String() + "\n"
 	}
-	for _, want := range []string{"negotiation start", "negotiation complete", "session 1 open", "acknowledged complete"} {
+	for _, want := range []string{"nego_start", "nego_complete", "session_open sess=1", "complete_ack sess=1"} {
 		if !strings.Contains(srcMsgs, want) {
 			t.Fatalf("source trace missing %q:\n%s", want, srcMsgs)
 		}
 	}
 	sinkMsgs := ""
 	for _, e := range sinkRing.Events() {
-		sinkMsgs += e.Msg + "\n"
+		sinkMsgs += e.String() + "\n"
 	}
-	for _, want := range []string{"accepted block size", "accepted session 1", "granted", "session 1 complete"} {
+	for _, want := range []string{"blocksize_accepted", "session_accept sess=1", "grant_", "session_complete sess=1"} {
 		if !strings.Contains(sinkMsgs, want) {
 			t.Fatalf("sink trace missing %q:\n%s", want, sinkMsgs)
 		}

@@ -1,0 +1,272 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"rftp/internal/fabric/chanfabric"
+	"rftp/internal/telemetry"
+	"rftp/internal/trace"
+)
+
+// TestChanTelemetryEndToEnd is the acceptance run: a chanfabric
+// transfer with telemetry attached must report per-channel bytes and
+// blocks, a populated credit-latency histogram, and lose no trace
+// events.
+func TestChanTelemetryEndToEnd(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BlockSize = 32 << 10
+	cfg.Channels = 4
+	cfg.IODepth = 16
+	p := newChanPipe(t, chanfabric.Shaping{}, cfg)
+
+	srcReg := telemetry.NewRegistry("source")
+	sinkReg := telemetry.NewRegistry("sink")
+	ring := trace.NewRing(1 << 16, nil) // large enough to retain everything
+	p.srcLoop.Post(0, func() {
+		p.source.AttachTelemetry(srcReg)
+		p.source.Trace = ring
+	})
+	p.dstLoop.Post(0, func() { p.sink.AttachTelemetry(sinkReg) })
+
+	data := randBytes(4<<20+777, 42)
+	got := p.transferBytes(t, data)
+	if !bytes.Equal(got, data) {
+		t.Fatal("transfer corrupted")
+	}
+
+	src := srcReg.Snapshot()
+	sink := sinkReg.Snapshot()
+
+	if src.Counter("bytes_posted") != int64(len(data)) {
+		t.Fatalf("bytes_posted = %d, want %d", src.Counter("bytes_posted"), len(data))
+	}
+	wantBlocks := (int64(len(data)) + int64(cfg.PayloadCapacity()) - 1) / int64(cfg.PayloadCapacity())
+	if src.Counter("blocks_posted") != wantBlocks {
+		t.Fatalf("blocks_posted = %d, want %d", src.Counter("blocks_posted"), wantBlocks)
+	}
+
+	// Per-channel accounting must partition the totals.
+	var chBytes, chBlocks int64
+	used := 0
+	for i := 0; i < cfg.Channels; i++ {
+		ch := src.Find(chanName(i))
+		if ch == nil {
+			t.Fatalf("missing %s in snapshot", chanName(i))
+		}
+		chBytes += ch.Counter("bytes")
+		chBlocks += ch.Counter("blocks")
+		if ch.Counter("blocks") > 0 {
+			used++
+		}
+	}
+	if chBytes != int64(len(data)) || chBlocks != wantBlocks {
+		t.Fatalf("per-channel sums %d bytes / %d blocks, want %d / %d", chBytes, chBlocks, len(data), wantBlocks)
+	}
+	if used < 2 {
+		t.Fatalf("only %d of %d channels carried blocks", used, cfg.Channels)
+	}
+
+	// Latency histograms: every block contributes one observation.
+	for _, name := range []string{"load_latency", "credit_wait", "post_latency"} {
+		if h := src.Histogram(name); h.Count != wantBlocks {
+			t.Fatalf("%s count = %d, want %d", name, h.Count, wantBlocks)
+		}
+	}
+	credLat := sink.Histogram("credit_latency")
+	if credLat.Count != wantBlocks {
+		t.Fatalf("credit_latency count = %d, want %d", credLat.Count, wantBlocks)
+	}
+	if credLat.Quantile(0.5) <= 0 {
+		t.Fatal("credit_latency p50 not positive")
+	}
+	if h := sink.Histogram("reassembly_occupancy"); h.Count != wantBlocks {
+		t.Fatalf("reassembly_occupancy count = %d, want %d", h.Count, wantBlocks)
+	}
+	if h := sink.Histogram("store_latency"); h.Count != wantBlocks {
+		t.Fatalf("store_latency count = %d, want %d", h.Count, wantBlocks)
+	}
+
+	// Grant accounting by reason must agree with the sink's Stats.
+	stCh := make(chan Stats, 1)
+	p.dstLoop.Post(0, func() { stCh <- p.sink.Stats() })
+	sinkStats := <-stCh
+	var grants int64
+	for _, reason := range []string{"initial", "on_consume", "on_free", "on_demand"} {
+		grants += sink.Counter("grants_" + reason)
+	}
+	if grants != sinkStats.CreditsGranted {
+		t.Fatalf("grant reasons sum %d, stats say %d", grants, sinkStats.CreditsGranted)
+	}
+	if sink.Counter("grants_initial") == 0 {
+		t.Fatal("no initial grant recorded")
+	}
+	if sink.Counter("bytes_arrived") != int64(len(data)) {
+		t.Fatalf("bytes_arrived = %d", sink.Counter("bytes_arrived"))
+	}
+	if sess := sink.Find("sess1"); sess.Counter("bytes") != int64(len(data)) {
+		t.Fatalf("per-session bytes = %d", sess.Counter("bytes"))
+	}
+
+	// Zero lost events: the ring was sized above the event volume.
+	if ring.Total() != uint64(len(ring.Events())) {
+		t.Fatalf("trace ring evicted events: total=%d retained=%d", ring.Total(), len(ring.Events()))
+	}
+	if posted := ring.Find("posted"); int64(len(posted)) != wantBlocks {
+		t.Fatalf("trace has %d posted events, want %d", len(posted), wantBlocks)
+	}
+}
+
+func chanName(i int) string {
+	return fmt.Sprintf("chan%d", i)
+}
+
+// TestChanTelemetryConcurrentSnapshots runs concurrent sessions while
+// hammering the telemetry registry and Stats accessors from other
+// goroutines. Run under -race (make check) this proves the snapshot
+// path is safe against live protocol traffic.
+func TestChanTelemetryConcurrentSnapshots(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BlockSize = 32 << 10
+	cfg.Channels = 2
+	cfg.IODepth = 16
+	cfg.SinkBlocks = 64
+	p := newChanPipe(t, chanfabric.Shaping{}, cfg)
+
+	srcReg := telemetry.NewRegistry("source")
+	sinkReg := telemetry.NewRegistry("sink")
+	p.srcLoop.Post(0, func() { p.source.AttachTelemetry(srcReg) })
+	p.dstLoop.Post(0, func() { p.sink.AttachTelemetry(sinkReg) })
+
+	// Snapshot hammers: concurrent readers during the transfers.
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				srcReg.Snapshot()
+				sinkReg.Snapshot()
+				// Stats structs are loop-owned: read them on the loop,
+				// like the CLI's periodic reporter does.
+				done := make(chan struct{})
+				p.srcLoop.Post(0, func() { _ = p.source.Stats(); close(done) })
+				<-done
+				done = make(chan struct{})
+				p.dstLoop.Post(0, func() { _ = p.sink.Stats(); close(done) })
+				<-done
+			}
+		}()
+	}
+
+	inputs := map[int][]byte{}
+	for i := 0; i < 3; i++ {
+		inputs[i] = randBytes(256<<10+i*4093, int64(50+i))
+	}
+	var mu sync.Mutex
+	outputs := map[uint32]*bytes.Buffer{}
+	done := make(chan error, 8)
+	p.sink.NewWriter = func(info SessionInfo) BlockSink {
+		mu.Lock()
+		buf := &bytes.Buffer{}
+		outputs[info.ID] = buf
+		mu.Unlock()
+		return lockedWriterSink{w: buf, mu: &mu}
+	}
+	p.sink.OnSessionDone = func(info SessionInfo, r TransferResult) { done <- r.Err }
+	p.srcLoop.Post(0, func() {
+		p.source.Start(func(err error) {
+			if err != nil {
+				t.Errorf("nego: %v", err)
+				return
+			}
+			for i := 0; i < 3; i++ {
+				data := inputs[i]
+				p.source.Transfer(ReaderSource{R: bytes.NewReader(data)}, int64(len(data)),
+					func(r TransferResult) { done <- r.Err })
+			}
+		})
+	})
+	for i := 0; i < 6; i++ {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("transfer error: %v", err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatal("concurrent telemetry transfer timed out")
+		}
+	}
+	close(stop)
+	readers.Wait()
+
+	var total int64
+	for _, in := range inputs {
+		total += int64(len(in))
+	}
+	src := srcReg.Snapshot()
+	if src.Counter("bytes_posted") != total {
+		t.Fatalf("bytes_posted = %d, want %d", src.Counter("bytes_posted"), total)
+	}
+	sink := sinkReg.Snapshot()
+	if sink.Counter("bytes_arrived") != total {
+		t.Fatalf("bytes_arrived = %d, want %d", sink.Counter("bytes_arrived"), total)
+	}
+	// Three per-session registries, each with its own byte count.
+	var sessBytes int64
+	for _, id := range []string{"sess1", "sess2", "sess3"} {
+		sess := sink.Find(id)
+		if sess == nil {
+			t.Fatalf("missing %s", id)
+		}
+		sessBytes += sess.Counter("bytes")
+	}
+	if sessBytes != total {
+		t.Fatalf("per-session bytes sum %d, want %d", sessBytes, total)
+	}
+}
+
+// TestTelemetryDetachedCostsNothing checks the disabled path stays
+// disabled: a transfer with no telemetry attached must leave a fresh
+// registry empty and not stamp block timestamps.
+func TestTelemetryDetachedCostsNothing(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BlockSize = 64 << 10
+	p := newChanPipe(t, chanfabric.Shaping{}, cfg)
+	data := randBytes(512<<10, 7)
+	got := p.transferBytes(t, data)
+	if !bytes.Equal(got, data) {
+		t.Fatal("transfer corrupted")
+	}
+	if p.source.Telemetry() != nil || p.sink.Telemetry() != nil {
+		t.Fatal("telemetry attached by default")
+	}
+}
+
+func TestAttachDetach(t *testing.T) {
+	cfg := DefaultConfig()
+	p := newChanPipe(t, chanfabric.Shaping{}, cfg)
+	reg := telemetry.NewRegistry("x")
+	sync1 := make(chan struct{})
+	p.srcLoop.Post(0, func() {
+		p.source.AttachTelemetry(reg)
+		if p.source.Telemetry() != reg {
+			t.Error("attach did not take")
+		}
+		p.source.AttachTelemetry(nil)
+		if p.source.Telemetry() != nil {
+			t.Error("detach did not take")
+		}
+		close(sync1)
+	})
+	<-sync1
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"rftp/internal/verbs"
 	"rftp/internal/wire"
@@ -77,6 +78,11 @@ type block struct {
 	retries    int
 	credit     wire.Credit // the remote region the block was written to
 	chIdx      int         // data channel the block was posted on
+
+	// Telemetry timestamps, stamped only while telemetry is attached.
+	// Source: tAcq = load start, tReady = loaded, tPost = WRITE posted.
+	// Sink: tAcq = credit granted, tReady = store issued.
+	tAcq, tReady, tPost time.Duration
 }
 
 func (b *block) setState(to BlockState) {

@@ -2,7 +2,9 @@ package core
 
 import (
 	"fmt"
+	"time"
 
+	"rftp/internal/telemetry"
 	"rftp/internal/trace"
 	"rftp/internal/verbs"
 	"rftp/internal/wire"
@@ -34,6 +36,9 @@ type Sink struct {
 	OnError func(error)
 	// Trace, when set, records protocol events into a ring buffer.
 	Trace *trace.Ring
+	// tel holds resolved metric handles; nil when telemetry is detached
+	// (see AttachTelemetry).
+	tel *sinkTelemetry
 
 	ctrlQ      []ctrlItem // encoded messages awaiting queue space
 	ctrlSent   []func()   // per posted send: completion callback (may be nil)
@@ -64,6 +69,10 @@ type sinkSession struct {
 	blocks      int64
 	completeRx  bool
 	finished    bool
+
+	// Per-session telemetry counters (nil when telemetry is detached).
+	telBytes  *telemetry.Counter
+	telBlocks *telemetry.Counter
 }
 
 // NewSink creates the sink on an endpoint. Set NewWriter /
@@ -122,6 +131,9 @@ func (k *Sink) sendCtrlThen(c *wire.Control, onSent func()) {
 		return
 	}
 	k.stats.CtrlMsgs++
+	if k.tel != nil {
+		k.tel.ctrlMsgs.Inc()
+	}
 	k.ctrlQ = append(k.ctrlQ, ctrlItem{buf: buf, onSent: onSent})
 	k.pumpCtrl()
 }
@@ -278,7 +290,8 @@ func (k *Sink) handleBlockSize(c *wire.Control) {
 			return
 		}
 		k.blockSize = proposed
-		k.Trace.Emit(trace.CatNego, "accepted block size %d; pool of %d blocks", proposed, k.cfg.SinkBlocks)
+		k.Trace.Emit(trace.Event{Cat: trace.CatNego, Name: "blocksize_accepted",
+			V1: int64(proposed), V2: int64(k.cfg.SinkBlocks)})
 		// Adopt the source's notification mode; immediate mode needs
 		// pre-posted receives on every data channel.
 		if c.Flags&wire.FlagImmNotify != 0 {
@@ -312,7 +325,11 @@ func (k *Sink) handleSessionReq(c *wire.Control) {
 		writer: nil,
 	}
 	sess.writer = k.NewWriter(sess.info)
-	k.Trace.Emit(trace.CatSession, "accepted session %d (%d bytes advertised)", sess.info.ID, sess.info.Total)
+	k.Trace.Emit(trace.Event{Cat: trace.CatSession, Name: "session_accept",
+		Session: sess.info.ID, V1: sess.info.Total})
+	if k.tel != nil {
+		sess.telBytes, sess.telBlocks = k.tel.sessionCounters(sess.info.ID)
+	}
 	k.sessions[sess.info.ID] = sess
 	if k.stats.Start == 0 {
 		k.stats.Start = k.ep.Loop.Now()
@@ -320,15 +337,20 @@ func (k *Sink) handleSessionReq(c *wire.Control) {
 	k.sendCtrl(&wire.Control{Type: wire.MsgSessionResp, Flags: wire.FlagAccept, Session: sess.info.ID})
 	// Active feedback begins: push the initial credit window.
 	if k.cfg.CreditPolicy == CreditProactive {
-		k.grantCredits(k.cfg.InitialCredits)
+		k.grantCredits(k.cfg.InitialCredits, grantInitial)
 	}
 }
 
 // grantCredits advertises up to n free blocks to the source
-// (free → waiting in the sink FSM).
-func (k *Sink) grantCredits(n int) {
+// (free → waiting in the sink FSM). reason records which policy leg
+// issued the grant for telemetry and tracing.
+func (k *Sink) grantCredits(n int, reason grantReason) {
 	if n <= 0 || k.pool == nil {
 		return
+	}
+	var now time.Duration
+	if k.tel != nil {
+		now = k.ep.Loop.Now()
 	}
 	var credits []wire.Credit
 	for len(credits) < n && len(credits) < wire.MaxCreditsPerMsg {
@@ -337,6 +359,7 @@ func (k *Sink) grantCredits(n int) {
 			break
 		}
 		b.setState(BlockWaiting)
+		b.tAcq = now
 		credits = append(credits, wire.Credit{Addr: b.mr.Addr, RKey: b.mr.RKey, Len: uint32(k.blockSize)})
 	}
 	if len(credits) == 0 {
@@ -344,7 +367,12 @@ func (k *Sink) grantCredits(n int) {
 	}
 	k.granted += len(credits)
 	k.stats.CreditsGranted += int64(len(credits))
-	k.Trace.Emit(trace.CatCredit, "granted %d credits (%d outstanding)", len(credits), k.granted)
+	if t := k.tel; t != nil {
+		t.grants[reason].Add(int64(len(credits)))
+		t.granted.Set(int64(k.granted))
+	}
+	k.Trace.Emit(trace.Event{Cat: trace.CatCredit, Name: "grant_" + reason.String(),
+		V1: int64(len(credits)), V2: int64(k.granted)})
 	k.sendCtrl(&wire.Control{Type: wire.MsgMRInfoResponse, Credits: credits})
 }
 
@@ -358,7 +386,7 @@ func (k *Sink) handleMRRequest() {
 		k.pendingReq = true
 		return
 	}
-	k.grantCredits(batch)
+	k.grantCredits(batch, grantOnDemand)
 }
 
 // handleBlockComplete processes a block-transfer completion
@@ -406,8 +434,17 @@ func (k *Sink) blockArrived(b *block, hdr wire.BlockHeader) {
 	b.setState(BlockDataReady)
 	b.session, b.seq, b.payloadLen, b.last = hdr.Session, hdr.Seq, int(hdr.PayloadLen), hdr.Last
 	b.offset = hdr.Offset
-	k.Trace.Emit(trace.CatBlock, "block %d/%d arrived (%dB, last=%v)", hdr.Session, hdr.Seq, hdr.PayloadLen, hdr.Last)
+	k.Trace.Emit(trace.Event{Cat: trace.CatBlock, Name: "arrived",
+		Session: hdr.Session, Block: hdr.Seq, V1: int64(hdr.PayloadLen)})
 	sess.ready[hdr.Seq] = b
+	if t := k.tel; t != nil {
+		now := k.ep.Loop.Now()
+		t.creditLatency.Observe(int64(now - b.tAcq))
+		t.reassembly.Observe(int64(len(sess.ready)))
+		t.blocksArrived.Inc()
+		t.bytesArrived.Add(int64(b.payloadLen))
+		t.granted.Set(int64(k.granted))
+	}
 	if hdr.Last {
 		sess.haveLast = true
 		sess.lastSeq = hdr.Seq
@@ -415,7 +452,7 @@ func (k *Sink) blockArrived(b *block, hdr wire.BlockHeader) {
 	// Proactive feedback: grant replacements right away; if nothing is
 	// free the notification is simply not answered (paper semantics).
 	if k.cfg.CreditPolicy == CreditProactive {
-		k.grantCredits(k.cfg.GrantPerConsume)
+		k.grantCredits(k.cfg.GrantPerConsume, grantOnConsume)
 	}
 	k.deliver(sess)
 }
@@ -431,6 +468,9 @@ func (k *Sink) deliver(sess *sinkSession) {
 		delete(sess.ready, sess.nextDeliver)
 		sess.nextDeliver++
 		b.setState(BlockStoring)
+		if k.tel != nil {
+			b.tReady = k.ep.Loop.Now()
+		}
 		sess.storing++
 		hdr := wire.BlockHeader{
 			Session: b.session, Seq: b.seq,
@@ -464,6 +504,11 @@ func (k *Sink) storeDone(sess *sinkSession, b *block, err error) {
 	k.stats.Bytes += int64(b.payloadLen)
 	k.stats.Blocks++
 	k.stats.End = k.ep.Loop.Now()
+	if t := k.tel; t != nil {
+		t.storeLatency.Observe(int64(k.stats.End - b.tReady))
+		sess.telBytes.Add(int64(b.payloadLen))
+		sess.telBlocks.Inc()
+	}
 	b.setState(BlockFree)
 	k.pool.put(b)
 	if k.pendingReq {
@@ -475,7 +520,7 @@ func (k *Sink) storeDone(sess *sinkSession, b *block, err error) {
 		// each block the moment it frees. Without this the source
 		// burns its stash and degenerates into explicit request
 		// round-trips.
-		k.grantCredits(1)
+		k.grantCredits(1, grantOnFree)
 	}
 	k.maybeFinish(sess)
 }
@@ -498,7 +543,8 @@ func (k *Sink) maybeFinish(sess *sinkSession) {
 	if sess.nextDeliver <= sess.lastSeq || sess.storing > 0 || len(sess.ready) > 0 {
 		return
 	}
-	k.Trace.Emit(trace.CatSession, "session %d complete (%d bytes, %d blocks)", sess.info.ID, sess.received, sess.blocks)
+	k.Trace.Emit(trace.Event{Cat: trace.CatSession, Name: "session_complete",
+		Session: sess.info.ID, V1: sess.received, V2: sess.blocks})
 	// Fire OnSessionDone only once the acknowledgment's send completion
 	// arrives: a server that closes the connection on session-done must
 	// not strand the ack.
@@ -533,7 +579,7 @@ func (k *Sink) fail(err error) {
 		return
 	}
 	k.failed = err
-	k.Trace.Emit(trace.CatError, "connection failed: %v", err)
+	k.Trace.EmitErr(trace.CatError, "conn_failed", err)
 	k.sendCtrl(&wire.Control{Type: wire.MsgAbort})
 	for _, sess := range k.sessions {
 		k.finishSession(sess, err)

@@ -47,6 +47,9 @@ type Source struct {
 	OnProgress func(session uint32, bytes int64)
 	// Trace, when set, records protocol events into a ring buffer.
 	Trace *trace.Ring
+	// tel holds resolved metric handles; nil when telemetry is detached
+	// (see AttachTelemetry).
+	tel *sourceTelemetry
 }
 
 // srcSession is one dataset transfer in progress at the source.
@@ -114,8 +117,8 @@ func (s *Source) Start(onReady func(error)) {
 		onReady(ErrBusy)
 		return
 	}
-	s.Trace.Emit(trace.CatNego, "negotiation start: block=%d channels=%d depth=%d imm=%v",
-		s.cfg.BlockSize, s.cfg.Channels, s.cfg.IODepth, s.cfg.NotifyViaImm)
+	s.Trace.Emit(trace.Event{Cat: trace.CatNego, Name: "nego_start",
+		V1: int64(s.cfg.BlockSize), V2: int64(s.cfg.Channels)})
 	s.onReady = onReady
 	s.negoStep = 1
 	if s.cfg.NegotiateTimeout > 0 {
@@ -173,6 +176,9 @@ func (s *Source) sendCtrl(c *wire.Control) {
 		return
 	}
 	s.stats.CtrlMsgs++
+	if s.tel != nil {
+		s.tel.ctrlMsgs.Inc()
+	}
 	s.ctrlQ = append(s.ctrlQ, buf)
 	s.pumpCtrl()
 }
@@ -261,7 +267,7 @@ func (s *Source) handleCtrl(c *wire.Control) {
 			return
 		}
 		s.negoStep = 3
-		s.Trace.Emit(trace.CatNego, "negotiation complete")
+		s.Trace.Emit(trace.Event{Cat: trace.CatNego, Name: "nego_complete"})
 		s.finishNego(nil)
 		s.tryOpenSession()
 
@@ -277,7 +283,8 @@ func (s *Source) handleCtrl(c *wire.Control) {
 			return
 		}
 		sess.id = c.Session
-		s.Trace.Emit(trace.CatSession, "session %d open (%d bytes advertised)", sess.id, sess.total)
+		s.Trace.Emit(trace.Event{Cat: trace.CatSession, Name: "session_open",
+			Session: sess.id, V1: sess.total})
 		s.sessions[sess.id] = sess
 		s.rrSessions = append(s.rrSessions, sess)
 		if s.stats.Start == 0 {
@@ -290,7 +297,12 @@ func (s *Source) handleCtrl(c *wire.Control) {
 		s.stalled = false
 		s.credits = append(s.credits, c.Credits...)
 		s.stats.CreditsGranted += int64(len(c.Credits))
-		s.Trace.Emit(trace.CatCredit, "received %d credits (stash %d)", len(c.Credits), len(s.credits))
+		if s.tel != nil {
+			s.tel.creditsRecv.Add(int64(len(c.Credits)))
+			s.tel.creditStash.Set(int64(len(s.credits)))
+		}
+		s.Trace.Emit(trace.Event{Cat: trace.CatCredit, Name: "credits_recv",
+			V1: int64(len(c.Credits)), V2: int64(len(s.credits))})
 		s.pump()
 
 	case wire.MsgDatasetCompleteAck:
@@ -298,8 +310,8 @@ func (s *Source) handleCtrl(c *wire.Control) {
 		if sess == nil {
 			return
 		}
-		s.Trace.Emit(trace.CatSession, "session %d acknowledged complete (%d bytes, %d blocks)",
-			sess.id, sess.sent, sess.blocks)
+		s.Trace.Emit(trace.Event{Cat: trace.CatSession, Name: "complete_ack",
+			Session: sess.id, V1: sess.sent, V2: sess.blocks})
 		s.removeSession(sess)
 		sess.onDone(TransferResult{Session: sess.id, Bytes: sess.sent, Blocks: sess.blocks})
 
@@ -342,7 +354,11 @@ func (s *Source) pump() {
 	if len(s.loaded) > 0 && len(s.credits) == 0 && !s.stalled {
 		s.stalled = true
 		s.stats.CreditStalls++
-		s.Trace.Emit(trace.CatCredit, "credit stall #%d (%d blocks waiting)", s.stats.CreditStalls, len(s.loaded))
+		if s.tel != nil {
+			s.tel.creditStalls.Inc()
+		}
+		s.Trace.Emit(trace.Event{Cat: trace.CatCredit, Name: "credit_stall",
+			V1: s.stats.CreditStalls, V2: int64(len(s.loaded))})
 		s.sendCtrl(&wire.Control{Type: wire.MsgMRInfoRequest})
 	}
 	s.checkSessionCompletion()
@@ -361,6 +377,9 @@ func (s *Source) issueLoads() {
 		}
 		sess.loading = true
 		b.setState(BlockLoading)
+		if s.tel != nil {
+			b.tAcq = s.ep.Loop.Now()
+		}
 		b.session = sess.id
 		b.seq = sess.nextSeq
 		b.offset = sess.nextOffset
@@ -397,6 +416,10 @@ func (s *Source) loadDone(sess *srcSession, b *block, n int, eof bool, err error
 	b.payloadLen = n
 	b.last = eof
 	b.setState(BlockLoaded)
+	if s.tel != nil {
+		b.tReady = s.ep.Loop.Now()
+		s.tel.loadLatency.Observe(int64(b.tReady - b.tAcq))
+	}
 	s.loaded = append(s.loaded, b)
 	sess.queued++
 	s.pump()
@@ -462,11 +485,22 @@ func (s *Source) postWrites() {
 		}
 		b.setState(BlockWaiting)
 		b.chIdx = ch
-		s.Trace.Emit(trace.CatBlock, "posted block %d/%d (%dB) on channel %d", b.session, b.seq, b.payloadLen, ch)
+		s.Trace.Emit(trace.Event{Cat: trace.CatBlock, Name: "posted",
+			Session: b.session, Block: b.seq, Channel: int32(ch), V1: int64(b.payloadLen)})
 		s.chInflight[ch]++
 		if sess != nil {
 			sess.inflight++
 			sess.queued--
+		}
+		if t := s.tel; t != nil {
+			b.tPost = s.ep.Loop.Now()
+			t.creditWait.Observe(int64(b.tPost - b.tReady))
+			t.blocksPosted.Inc()
+			t.bytesPosted.Add(int64(b.payloadLen))
+			t.chBlocks[ch].Inc()
+			t.chBytes[ch].Add(int64(b.payloadLen))
+			t.creditStash.Set(int64(len(s.credits)))
+			t.inflight.Set(s.totalInflight())
 		}
 	}
 }
@@ -488,6 +522,14 @@ func (s *Source) pickChannel() int {
 		return ch
 	}
 	return -1
+}
+
+func (s *Source) totalInflight() int64 {
+	var n int64
+	for _, c := range s.chInflight {
+		n += int64(c)
+	}
+	return n
 }
 
 func (s *Source) liveChannels() int {
@@ -529,6 +571,10 @@ func (s *Source) onDataWC(wc verbs.WC) {
 		s.stats.Bytes += int64(b.payloadLen)
 		s.stats.Blocks++
 		s.stats.End = s.ep.Loop.Now()
+		if t := s.tel; t != nil {
+			t.postLatency.Observe(int64(s.stats.End - b.tPost))
+			t.inflight.Set(s.totalInflight())
+		}
 		if sess != nil {
 			sess.sent += int64(b.payloadLen)
 			sess.blocks++
@@ -549,10 +595,14 @@ func (s *Source) onDataWC(wc verbs.WC) {
 	default:
 		// Failed WRITE: retry with a fresh credit (the old one is
 		// considered burned). The QP that failed is dead.
-		s.Trace.Emit(trace.CatError, "WRITE of block %d/%d failed (%v); channel %d dead, retry %d",
-			b.session, b.seq, wc.Status, b.chIdx, b.retries+1)
+		s.Trace.Emit(trace.Event{Cat: trace.CatError, Name: "write_failed",
+			Session: b.session, Block: b.seq, Channel: int32(b.chIdx),
+			V1: int64(b.retries + 1), Text: wc.Status.String()})
 		s.chDead[b.chIdx] = true
 		s.stats.Retries++
+		if s.tel != nil {
+			s.tel.retransmits.Inc()
+		}
 		b.retries++
 		if b.retries > s.cfg.MaxRetries {
 			s.fail(fmt.Errorf("%w: block %d/%d after %v", ErrTooManyRetries, b.session, b.seq, wc.Status))
@@ -579,8 +629,8 @@ func (s *Source) checkSessionCompletion() {
 			continue
 		}
 		sess.completeTx = true
-		s.Trace.Emit(trace.CatSession, "session %d dataset complete sent (%d bytes, %d blocks)",
-			sess.id, sess.sent, sess.blocks)
+		s.Trace.Emit(trace.Event{Cat: trace.CatSession, Name: "complete_tx",
+			Session: sess.id, V1: sess.sent, V2: sess.blocks})
 		s.sendCtrl(&wire.Control{
 			Type: wire.MsgDatasetComplete, Session: sess.id,
 			Seq: sess.nextSeq, AssocData: uint64(sess.sent),
@@ -601,7 +651,7 @@ func (s *Source) fail(err error) {
 		return
 	}
 	s.failed = err
-	s.Trace.Emit(trace.CatError, "connection failed: %v", err)
+	s.Trace.EmitErr(trace.CatError, "conn_failed", err)
 	s.failSessions(err)
 	if s.onReady != nil {
 		cb := s.onReady

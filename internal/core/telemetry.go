@@ -1,0 +1,161 @@
+package core
+
+import (
+	"fmt"
+
+	"rftp/internal/telemetry"
+)
+
+// grantReason classifies why the sink issued credits, mirroring the
+// paper's credit policies: the initial window at session setup, the
+// active-feedback grant per consumed block, the re-advertise-on-free
+// extension, and the explicit on-demand request path.
+type grantReason uint8
+
+const (
+	grantInitial grantReason = iota
+	grantOnConsume
+	grantOnFree
+	grantOnDemand
+)
+
+func (r grantReason) String() string {
+	switch r {
+	case grantInitial:
+		return "initial"
+	case grantOnConsume:
+		return "on_consume"
+	case grantOnFree:
+		return "on_free"
+	case grantOnDemand:
+		return "on_demand"
+	default:
+		return fmt.Sprintf("reason(%d)", uint8(r))
+	}
+}
+
+// reassemblyBuckets bounds the sink's out-of-order occupancy histogram
+// (how many data-ready blocks wait on the in-order delivery cursor).
+func reassemblyBuckets() []int64 {
+	return []int64{0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+}
+
+// sourceTelemetry holds the source's metric handles, resolved once at
+// attach time so hot paths touch atomics directly. A nil
+// *sourceTelemetry disables everything at the cost of one branch.
+type sourceTelemetry struct {
+	reg *telemetry.Registry
+
+	blocksPosted *telemetry.Counter
+	bytesPosted  *telemetry.Counter
+	retransmits  *telemetry.Counter
+	creditStalls *telemetry.Counter
+	creditsRecv  *telemetry.Counter
+	ctrlMsgs     *telemetry.Counter
+	inflight     *telemetry.Gauge
+	creditStash  *telemetry.Gauge
+
+	// FSM residency: Loading→Loaded, Loaded→Sending (credit+channel
+	// wait), and post→completion round trip.
+	loadLatency *telemetry.Histogram
+	creditWait  *telemetry.Histogram
+	postLatency *telemetry.Histogram
+
+	chBlocks []*telemetry.Counter
+	chBytes  []*telemetry.Counter
+}
+
+// AttachTelemetry wires the source to a registry. Call before Start,
+// from the loop or before any fabric activity. A nil registry detaches.
+func (s *Source) AttachTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		s.tel = nil
+		return
+	}
+	t := &sourceTelemetry{
+		reg:          reg,
+		blocksPosted: reg.Counter("blocks_posted"),
+		bytesPosted:  reg.Counter("bytes_posted"),
+		retransmits:  reg.Counter("retransmits"),
+		creditStalls: reg.Counter("credit_stalls"),
+		creditsRecv:  reg.Counter("credits_received"),
+		ctrlMsgs:     reg.Counter("ctrl_msgs"),
+		inflight:     reg.Gauge("blocks_inflight"),
+		creditStash:  reg.Gauge("credit_stash"),
+		loadLatency:  reg.Histogram("load_latency", telemetry.DurationBuckets()...),
+		creditWait:   reg.Histogram("credit_wait", telemetry.DurationBuckets()...),
+		postLatency:  reg.Histogram("post_latency", telemetry.DurationBuckets()...),
+	}
+	for i := range s.ep.Data {
+		ch := reg.Child(fmt.Sprintf("chan%d", i))
+		t.chBlocks = append(t.chBlocks, ch.Counter("blocks"))
+		t.chBytes = append(t.chBytes, ch.Counter("bytes"))
+	}
+	s.tel = t
+}
+
+// Telemetry returns the attached registry (nil when detached).
+func (s *Source) Telemetry() *telemetry.Registry {
+	if s.tel == nil {
+		return nil
+	}
+	return s.tel.reg
+}
+
+// sinkTelemetry mirrors sourceTelemetry for the receive side.
+type sinkTelemetry struct {
+	reg *telemetry.Registry
+
+	blocksArrived *telemetry.Counter
+	bytesArrived  *telemetry.Counter
+	ctrlMsgs      *telemetry.Counter
+	granted       *telemetry.Gauge
+
+	// grants[reason] counts credits issued under each policy leg.
+	grants [4]*telemetry.Counter
+
+	// creditLatency is grant→consume (the credit's round trip through
+	// the source); storeLatency is data-ready→stored; reassembly is the
+	// out-of-order occupancy observed at each arrival.
+	creditLatency *telemetry.Histogram
+	storeLatency  *telemetry.Histogram
+	reassembly    *telemetry.Histogram
+}
+
+// AttachTelemetry wires the sink to a registry. Call before the peer's
+// Source starts. A nil registry detaches.
+func (k *Sink) AttachTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		k.tel = nil
+		return
+	}
+	t := &sinkTelemetry{
+		reg:           reg,
+		blocksArrived: reg.Counter("blocks_arrived"),
+		bytesArrived:  reg.Counter("bytes_arrived"),
+		ctrlMsgs:      reg.Counter("ctrl_msgs"),
+		granted:       reg.Gauge("credits_outstanding"),
+		creditLatency: reg.Histogram("credit_latency", telemetry.DurationBuckets()...),
+		storeLatency:  reg.Histogram("store_latency", telemetry.DurationBuckets()...),
+		reassembly:    reg.Histogram("reassembly_occupancy", reassemblyBuckets()...),
+	}
+	for r := grantInitial; r <= grantOnDemand; r++ {
+		t.grants[r] = reg.Counter("grants_" + r.String())
+	}
+	k.tel = t
+}
+
+// Telemetry returns the attached registry (nil when detached).
+func (k *Sink) Telemetry() *telemetry.Registry {
+	if k.tel == nil {
+		return nil
+	}
+	return k.tel.reg
+}
+
+// sessionCounters resolves the per-session byte/block counters lazily
+// (sessions are created while telemetry may be attached or not).
+func (t *sinkTelemetry) sessionCounters(id uint32) (bytes, blocks *telemetry.Counter) {
+	sess := t.reg.Child(fmt.Sprintf("sess%d", id))
+	return sess.Counter("bytes"), sess.Counter("blocks")
+}

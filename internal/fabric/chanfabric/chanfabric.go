@@ -20,6 +20,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"rftp/internal/telemetry"
 	"rftp/internal/verbs"
 )
 
@@ -55,6 +56,10 @@ type Device struct {
 	RNRStalls atomic.Uint64
 	RxBytes   atomic.Uint64
 	TxBytes   atomic.Uint64
+
+	// Telemetry, when set before traffic starts, records per-opcode WR
+	// and byte counters for this device. Nil costs nothing.
+	Telemetry *telemetry.FabricMetrics
 }
 
 // NewDevice creates a device.
@@ -219,6 +224,7 @@ func (q *QP) PostSend(wr *verbs.SendWR) error {
 	q.pipe <- m // buffered beyond MaxSend: never blocks
 	q.sendMu.Unlock()
 	q.dev.TxBytes.Add(uint64(wr.Length()))
+	q.dev.Telemetry.Posted(wr.Op, wr.Length())
 	return nil
 }
 
@@ -304,6 +310,7 @@ func (q *QP) placeWrite(m *message) bool {
 		return false
 	}
 	q.dev.RxBytes.Add(uint64(len(m.data)))
+	q.dev.Telemetry.Rx(len(m.data))
 	return true
 }
 
@@ -315,6 +322,7 @@ func (q *QP) park(m *message) {
 	q.recvMu.Unlock()
 	if stalled {
 		q.dev.RNRStalls.Add(1)
+		q.dev.Telemetry.RNR()
 	}
 	q.drainPending()
 }
@@ -349,6 +357,7 @@ func (q *QP) drainPending() {
 		}
 		rwr.MR.PlaceLocal(rwr.Offset, m.data)
 		q.dev.RxBytes.Add(uint64(len(m.data)))
+		q.dev.Telemetry.Rx(len(m.data))
 		q.recvCQ.Dispatch(0, verbs.WC{
 			WRID: rwr.WRID, Status: verbs.StatusSuccess, Op: verbs.OpRecv,
 			ByteLen: m.wr.Length(), Imm: m.wr.Imm,
@@ -378,6 +387,7 @@ func (q *QP) completeRead(m *message, data []byte, status verbs.Status) {
 	if status == verbs.StatusSuccess && m.wr.Local != nil {
 		m.wr.Local.PlaceLocal(m.wr.LocalOffset, data)
 		q.dev.RxBytes.Add(uint64(len(data)))
+		q.dev.Telemetry.Rx(len(data))
 	}
 	q.finishSend(m, status, m.wr.ReadLen)
 }
@@ -401,6 +411,7 @@ func (q *QP) finishSend(m *message, status verbs.Status, byteLen int) {
 	q.sendMu.Lock()
 	q.sqOutstanding--
 	q.sendMu.Unlock()
+	q.dev.Telemetry.Completed(m.wr.Op)
 	if status != verbs.StatusSuccess {
 		q.enterError()
 	} else if m.wr.NoCompletion {

@@ -27,6 +27,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"rftp/internal/telemetry"
 	"rftp/internal/verbs"
 )
 
@@ -176,6 +177,10 @@ type Device struct {
 	RxBytes   atomic.Uint64
 	TxBytes   atomic.Uint64
 
+	// Telemetry, when set before traffic starts, records per-opcode WR
+	// and byte counters for this device. Nil costs nothing.
+	Telemetry *telemetry.FabricMetrics
+
 	// OnClose observes connection teardown (EOF or error).
 	OnClose func(error)
 }
@@ -287,6 +292,7 @@ func (d *Device) writer() {
 			return
 		}
 		d.TxBytes.Add(uint64(frameHeaderLen + len(f.payload)))
+		d.Telemetry.Tx(frameHeaderLen + len(f.payload))
 		if !more {
 			if err := w.Flush(); err != nil {
 				d.teardown(err)
@@ -306,6 +312,7 @@ func (d *Device) reader() {
 			return
 		}
 		d.RxBytes.Add(uint64(frameHeaderLen + len(f.payload)))
+		d.Telemetry.Rx(frameHeaderLen + len(f.payload))
 		d.dispatch(f)
 	}
 }

@@ -138,6 +138,7 @@ func (q *QP) PostSend(wr *verbs.SendWR) error {
 		q.dropToken(tok)
 		return verbs.ErrQPClosed
 	}
+	q.dev.Telemetry.Posted(wr.Op, 0) // wire bytes counted at the framing layer
 	return nil
 }
 
@@ -213,6 +214,7 @@ func (q *QP) parkFrame(f *frame) {
 	q.recvMu.Unlock()
 	if stalled {
 		q.dev.RNRStalls.Add(1)
+		q.dev.Telemetry.RNR()
 	}
 	q.drainPending()
 }
@@ -277,6 +279,7 @@ func (q *QP) remoteAck(wr verbs.SendWR, f *frame) {
 	q.sendMu.Lock()
 	q.sqOutstanding--
 	q.sendMu.Unlock()
+	q.dev.Telemetry.Completed(wr.Op)
 	status := frameStatusToVerbs(f.status)
 	byteLen := wr.Length()
 	if wr.Op == verbs.OpRead {

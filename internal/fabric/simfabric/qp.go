@@ -186,6 +186,7 @@ func (q *QP) transmit(m *message) {
 	}
 	d.TxWRs++
 	d.TxBytes += uint64(wire)
+	d.Telemetry.Posted(m.wr.Op, wire)
 	lastBit := d.port.transmit(wire)
 	if d.bbPort != nil {
 		lastBit = d.bbPort.transmitAt(lastBit, wire)
@@ -200,6 +201,7 @@ func (q *QP) transmit(m *message) {
 func (q *QP) completeSend(m *message, status verbs.Status) {
 	q.fabric.sched.After(q.dev.link.PropDelay, func() {
 		q.sqOutstanding--
+		q.dev.Telemetry.Completed(m.wr.Op)
 		if status != verbs.StatusSuccess {
 			q.enterError()
 		} else if m.wr.NoCompletion {
@@ -254,6 +256,7 @@ func (q *QP) placeWrite(m *message) bool {
 	}
 	d.RxWRs++
 	d.RxBytes += uint64(m.wr.Length())
+	d.Telemetry.Rx(m.wr.Length())
 	return true
 }
 
@@ -273,6 +276,7 @@ func (q *QP) enqueueDelivery(m *message) {
 // dropped and the sender completes with StatusRNRRetryExceeded.
 func (q *QP) scheduleRNRRetry(m *message) {
 	q.dev.RNRNaks++
+	q.dev.Telemetry.RNR()
 	if m.rnrLeft <= 0 {
 		for i, p := range q.pending {
 			if p == m {
@@ -325,6 +329,7 @@ func (q *QP) deliverSend(m *message) {
 	rwr.MR.PlaceLocal(rwr.Offset, m.wr.Data)
 	d.RxWRs++
 	d.RxBytes += uint64(m.wr.Length())
+	d.Telemetry.Rx(m.wr.Length())
 	q.recvCQ.Dispatch(d.chargeCompletion(q.recvCQ.Loop()), verbs.WC{
 		WRID:    rwr.WRID,
 		Status:  verbs.StatusSuccess,
@@ -373,6 +378,7 @@ func (q *QP) handleReadRequest(m *message) {
 	wire := d.wireBytes(m.wr.ReadLen)
 	d.TxWRs++
 	d.TxBytes += uint64(wire)
+	d.Telemetry.Tx(wire)
 	lastBit := d.port.transmit(wire)
 	if d.bbPort != nil {
 		lastBit = d.bbPort.transmitAt(lastBit, wire)
@@ -394,10 +400,12 @@ func (q *QP) handleReadRequest(m *message) {
 func (q *QP) readCompleted(m *message, data []byte, status verbs.Status) {
 	q.sqOutstanding--
 	q.outstandingReads--
+	q.dev.Telemetry.Completed(verbs.OpRead)
 	if status == verbs.StatusSuccess && m.wr.Local != nil {
 		m.wr.Local.PlaceLocal(m.wr.LocalOffset, data)
 		q.dev.RxWRs++
 		q.dev.RxBytes += uint64(m.wr.ReadLen)
+		q.dev.Telemetry.Rx(m.wr.ReadLen)
 	}
 	if status != verbs.StatusSuccess {
 		q.enterError()

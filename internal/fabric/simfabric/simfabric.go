@@ -25,6 +25,7 @@ import (
 
 	"rftp/internal/hostmodel"
 	"rftp/internal/sim"
+	"rftp/internal/telemetry"
 	"rftp/internal/verbs"
 )
 
@@ -131,6 +132,10 @@ type Device struct {
 	RNRNaks uint64
 	inReads int // inbound READ responses in service
 	rdQueue []func()
+
+	// Telemetry, when set, mirrors the plain stats into per-opcode
+	// registry counters. Nil costs nothing.
+	Telemetry *telemetry.FabricMetrics
 }
 
 // NewDevice creates a device on host. Link it to a peer with Connect.

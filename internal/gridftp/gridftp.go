@@ -23,12 +23,14 @@
 package gridftp
 
 import (
+	"fmt"
 	"time"
 
 	"rftp/internal/diskmodel"
 	"rftp/internal/hostmodel"
 	"rftp/internal/sim"
 	"rftp/internal/tcpmodel"
+	"rftp/internal/telemetry"
 )
 
 // modeEHeaderBytes is the MODE E extended block header (descriptor +
@@ -112,6 +114,36 @@ type Transfer struct {
 	started     time.Duration
 	done        func(Stats)
 	finished    bool
+
+	telReg       *telemetry.Registry
+	telBacklog   *telemetry.Histogram
+	telProduced  *telemetry.Counter
+	telDelivered *telemetry.Counter
+}
+
+// AttachTelemetry mirrors transfer progress into reg: bytes produced
+// and delivered, a server-thread backlog histogram sampled per arriving
+// segment, bottleneck drop counts under "path", and per-stream cwnd and
+// retransmit metrics under "stream<i>". Attach before Start so the
+// stream children exist from the first segment; attaching later picks
+// up flows already running. Nil detaches.
+func (t *Transfer) AttachTelemetry(reg *telemetry.Registry) {
+	t.telReg = reg
+	if reg == nil {
+		t.telBacklog, t.telProduced, t.telDelivered = nil, nil, nil
+		t.path.AttachTelemetry(nil)
+		for _, f := range t.flows {
+			f.AttachTelemetry(nil)
+		}
+		return
+	}
+	t.telBacklog = reg.Histogram("server_backlog", telemetry.DurationBuckets()...)
+	t.telProduced = reg.Counter("bytes_produced")
+	t.telDelivered = reg.Counter("bytes_delivered")
+	t.path.AttachTelemetry(reg.Child("path"))
+	for i, f := range t.flows {
+		f.AttachTelemetry(reg.Child(fmt.Sprintf("stream%d", i)))
+	}
 }
 
 // New creates a transfer over the path between two hosts.
@@ -171,6 +203,9 @@ func (t *Transfer) Start(done func(Stats)) {
 		f.OnRxProcess = t.serverProcess
 		f.OnDeliver = t.serverDeliver
 		f.OnClose = t.flowClosed
+		if t.telReg != nil {
+			f.AttachTelemetry(t.telReg.Child(fmt.Sprintf("stream%d", i)))
+		}
 		t.flows = append(t.flows, f)
 	}
 	t.produceMore()
@@ -206,6 +241,7 @@ func (t *Transfer) produceMore() {
 		th.Post(cost, func() {
 			t.producing--
 			t.produced += n
+			t.telProduced.Add(n)
 			f.Supply(int(n) + modeEHeaderBytes)
 			if t.remaining <= 0 {
 				for _, fl := range t.flows {
@@ -240,6 +276,7 @@ func (t *Transfer) serverProcess(bytes int, emitAck func()) {
 	cost := p.TCPPerSegment +
 		hostmodel.ScaleNsPerByte(p.TCPCopyNsPerByte, bytes) +
 		time.Duration(blocksPerSeg*float64(p.Syscall))
+	t.telBacklog.ObserveDuration(t.serverThread.Backlog())
 	t.serverThread.Post(cost, emitAck)
 }
 
@@ -247,6 +284,7 @@ func (t *Transfer) serverProcess(bytes int, emitAck func()) {
 // the disk array).
 func (t *Transfer) serverDeliver(bytes int) {
 	t.delivered += int64(bytes)
+	t.telDelivered.Add(int64(bytes))
 	if t.cfg.Disk != nil {
 		t.cfg.Disk.Write(t.serverThread, t.cfg.DiskMode, bytes, func() { t.maybeFinish() })
 		return

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"rftp/internal/sim"
+	"rftp/internal/telemetry"
 )
 
 // Variant selects the congestion control algorithm.
@@ -79,6 +80,9 @@ type Path struct {
 	Drops uint64
 	// Delivered counts segments that reached the receiver.
 	Delivered uint64
+
+	telDrops     *telemetry.Counter
+	telDelivered *telemetry.Counter
 }
 
 // NewPath creates the bottleneck.
@@ -108,6 +112,7 @@ func (p *Path) Config() PathConfig { return p.cfg }
 func (p *Path) send(bytes int, deliver func()) bool {
 	if p.queued+bytes > p.cfg.QueueBytes {
 		p.Drops++
+		p.telDrops.Inc()
 		return false
 	}
 	p.queued += bytes
@@ -122,6 +127,7 @@ func (p *Path) send(bytes int, deliver func()) bool {
 	p.sched.At(departure, func() { p.queued -= bytes })
 	p.sched.At(departure+p.cfg.RTT/2, func() {
 		p.Delivered++
+		p.telDelivered.Inc()
 		deliver()
 	})
 	return true
@@ -184,6 +190,12 @@ type Flow struct {
 	Retransmits   uint64
 	Timeouts      uint64
 	DeliveredSegs int64
+
+	// Telemetry mirrors (nil-safe; see AttachTelemetry).
+	telCwnd        *telemetry.Histogram
+	telRetransmits *telemetry.Counter
+	telTimeouts    *telemetry.Counter
+	telRecoveries  *telemetry.Counter
 
 	// OnDeliver receives in-order payload sizes at the receiver.
 	OnDeliver func(bytes int)
@@ -355,6 +367,7 @@ func (f *Flow) senderAck(ackSeg int64, rtt time.Duration) {
 		} else {
 			f.growCwnd(float64(newly))
 		}
+		f.telCwnd.Observe(int64(f.cwnd))
 		f.armRTO()
 		f.trySend()
 		// Low-water mark: ask the application for more once the buffer
@@ -394,6 +407,7 @@ func (f *Flow) retransmitHoles() {
 			continue
 		}
 		f.Retransmits++
+		f.telRetransmits.Inc()
 		if !f.xmit(seg) {
 			// The retransmission itself was dropped (queue still full
 			// from the overshoot burst): leave it unmarked, stop
@@ -417,6 +431,7 @@ func (f *Flow) retransmitHoles() {
 }
 
 func (f *Flow) enterFastRecovery() {
+	f.telRecoveries.Inc()
 	f.inFRec = true
 	f.recover = f.sndNxt
 	f.wMax = f.cwnd
@@ -570,6 +585,8 @@ func (f *Flow) onRTO(una int64) {
 	}
 	f.Timeouts++
 	f.Retransmits++
+	f.telTimeouts.Inc()
+	f.telRetransmits.Inc()
 	f.ssthresh = math.Max(2, f.cwnd/2)
 	f.cwnd = 1
 	f.inFRec = false

@@ -1,0 +1,34 @@
+package tcpmodel
+
+import "rftp/internal/telemetry"
+
+// cwndBuckets cover congestion windows from a handful of segments up to
+// the tens of thousands a large-BDP path sustains.
+func cwndBuckets() []int64 { return telemetry.ExpBuckets(1, 2, 16) }
+
+// AttachTelemetry mirrors the flow's congestion state into reg: a
+// cwnd_segments histogram sampled once per cumulative ACK, plus
+// retransmit, timeout, and fast-recovery counters. Nil detaches. The
+// metric fields are nil-safe, so a detached flow pays only dead
+// branches.
+func (f *Flow) AttachTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		f.telCwnd, f.telRetransmits, f.telTimeouts, f.telRecoveries = nil, nil, nil, nil
+		return
+	}
+	f.telCwnd = reg.Histogram("cwnd_segments", cwndBuckets()...)
+	f.telRetransmits = reg.Counter("retransmits")
+	f.telTimeouts = reg.Counter("timeouts")
+	f.telRecoveries = reg.Counter("fast_recoveries")
+}
+
+// AttachTelemetry mirrors the bottleneck's drop and delivery counts
+// into reg. Nil detaches.
+func (p *Path) AttachTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		p.telDrops, p.telDelivered = nil, nil
+		return
+	}
+	p.telDrops = reg.Counter("drops")
+	p.telDelivered = reg.Counter("delivered_segs")
+}

@@ -1,0 +1,131 @@
+package telemetry
+
+import "rftp/internal/verbs"
+
+// maxOpcode bounds the per-opcode counter arrays; verbs opcodes are
+// small consecutive constants starting at 1.
+const maxOpcode = int(verbs.OpRecv) + 1
+
+// FabricMetrics counts work requests and bytes at the device layer: WRs
+// posted and completed by opcode, receive-side deliveries, bytes on the
+// wire in each direction, and RNR (receiver-not-ready) events. All
+// fabrics share this one vocabulary so RFTP runs are comparable across
+// simfabric, chanfabric, and netfabric.
+//
+// A nil *FabricMetrics is valid and free: every method no-ops.
+type FabricMetrics struct {
+	posted    [maxOpcode]Counter
+	completed [maxOpcode]Counter
+	txBytes   Counter
+	rxBytes   Counter
+	rnr       Counter
+}
+
+// NewFabricMetrics creates fabric metrics registered under reg (a "wr_"
+// counter per opcode plus byte/RNR counters). A nil registry yields
+// standalone metrics that still count but appear in no snapshot —
+// callers that want zero cost should keep the *FabricMetrics nil
+// instead.
+func NewFabricMetrics(reg *Registry) *FabricMetrics {
+	m := &FabricMetrics{}
+	if reg != nil {
+		reg.mu.Lock()
+		for op := verbs.OpSend; op <= verbs.OpRecv; op++ {
+			reg.counters["wr_posted_"+op.String()] = &m.posted[op]
+			reg.counters["wr_completed_"+op.String()] = &m.completed[op]
+		}
+		reg.counters["tx_bytes"] = &m.txBytes
+		reg.counters["rx_bytes"] = &m.rxBytes
+		reg.counters["rnr_events"] = &m.rnr
+		reg.mu.Unlock()
+	}
+	return m
+}
+
+// Posted records a work request entering the send queue with its wire
+// length.
+func (m *FabricMetrics) Posted(op verbs.Opcode, bytes int) {
+	if m == nil {
+		return
+	}
+	if int(op) < maxOpcode {
+		m.posted[op].Add(1)
+	}
+	m.txBytes.Add(int64(bytes))
+}
+
+// Completed records a work completion by opcode.
+func (m *FabricMetrics) Completed(op verbs.Opcode) {
+	if m == nil {
+		return
+	}
+	if int(op) < maxOpcode {
+		m.completed[op].Add(1)
+	}
+}
+
+// Tx records bytes leaving toward the wire without a WR (framing,
+// acks). Fabrics that account bytes at post time use Posted instead.
+func (m *FabricMetrics) Tx(bytes int) {
+	if m == nil {
+		return
+	}
+	m.txBytes.Add(int64(bytes))
+}
+
+// Rx records bytes arriving from the wire.
+func (m *FabricMetrics) Rx(bytes int) {
+	if m == nil {
+		return
+	}
+	m.rxBytes.Add(int64(bytes))
+}
+
+// RNR records one receiver-not-ready event (NAK, park, or stall
+// depending on the fabric).
+func (m *FabricMetrics) RNR() {
+	if m == nil {
+		return
+	}
+	m.rnr.Add(1)
+}
+
+// TxBytes returns total bytes posted toward the wire.
+func (m *FabricMetrics) TxBytes() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.txBytes.Value()
+}
+
+// RxBytes returns total bytes received from the wire.
+func (m *FabricMetrics) RxBytes() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.rxBytes.Value()
+}
+
+// RNRCount returns total receiver-not-ready events.
+func (m *FabricMetrics) RNRCount() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.rnr.Value()
+}
+
+// PostedCount returns WRs posted with the given opcode.
+func (m *FabricMetrics) PostedCount(op verbs.Opcode) int64 {
+	if m == nil || int(op) >= maxOpcode {
+		return 0
+	}
+	return m.posted[op].Value()
+}
+
+// CompletedCount returns completions observed with the given opcode.
+func (m *FabricMetrics) CompletedCount(op verbs.Opcode) int64 {
+	if m == nil || int(op) >= maxOpcode {
+		return 0
+	}
+	return m.completed[op].Value()
+}

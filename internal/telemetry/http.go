@@ -1,0 +1,30 @@
+package telemetry
+
+import "net/http"
+
+// Handler serves the registry tree as JSON, expvar-style: GET / returns
+// the full snapshot; `?text=1` switches to the indented text rendering
+// used by the -stats flags. Intended for the rftpd introspection
+// endpoint (`rftpd -http :9110`).
+func Handler(root *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		snap := root.Snapshot()
+		if snap == nil {
+			http.Error(w, "telemetry disabled", http.StatusNotFound)
+			return
+		}
+		if req.URL.Query().Get("text") != "" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			snap.WriteText(w)
+			return
+		}
+		buf, err := snap.MarshalJSONIndent()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(buf)
+		w.Write([]byte("\n"))
+	})
+}

@@ -12,12 +12,23 @@ func ExampleRing() {
 	tick := time.Duration(0)
 	clock := func() time.Duration { tick += time.Millisecond; return tick }
 	r := trace.NewRing(8, clock)
-	r.Emit(trace.CatNego, "negotiation start")
-	r.Emit(trace.CatBlock, "posted block 1/0")
-	r.Emit(trace.CatError, "WRITE failed")
+	r.Emit(trace.Event{Cat: trace.CatNego, Name: "nego_start"})
+	r.Emit(trace.Event{Cat: trace.CatBlock, Name: "posted", Block: 1, V1: 4096})
+	r.Emit(trace.Event{Cat: trace.CatError, Name: "write_failed", Text: "remote access error"})
 	r.Render(os.Stdout)
 	// Output:
-	//        1          1ms [nego] negotiation start
-	//        2          2ms [block] posted block 1/0
-	//        3          3ms [error] WRITE failed
+	//        1          1ms [nego] nego_start
+	//        2          2ms [block] posted blk=1 v1=4096
+	//        3          3ms [error] write_failed "remote access error"
+}
+
+// Events export losslessly as JSONL for offline analysis.
+func ExampleWriteJSONL() {
+	tick := time.Duration(0)
+	clock := func() time.Duration { tick += time.Millisecond; return tick }
+	r := trace.NewRing(8, clock)
+	r.Emit(trace.Event{Cat: trace.CatCredit, Name: "grant", Session: 2, V1: 64})
+	trace.WriteJSONL(os.Stdout, r.Events())
+	// Output:
+	// {"seq":1,"at":1000000,"cat":"credit","name":"grant","session":2,"v1":64}
 }

@@ -1,0 +1,106 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// WriteJSONL writes events as newline-delimited JSON, one event per
+// line. The output round-trips through ReadJSONL.
+func WriteJSONL(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, e := range events {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL decodes a stream produced by WriteJSONL. Blank lines are
+// skipped; a malformed line aborts with its line number.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	var out []Event
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(b, &e); err != nil {
+			return out, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// chromeEvent is one entry in the Chrome trace_event JSON format
+// (chrome://tracing, Perfetto). Events are emitted as instant events
+// ("ph":"i") with thread scope, one tid per category so the viewer
+// lays categories out as parallel tracks.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"` // microseconds
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace writes events in the Chrome trace_event format
+// ({"traceEvents":[...]}), loadable in chrome://tracing or Perfetto.
+// pid labels the process (use 0 for a single endpoint; client/server
+// dumps can use distinct pids and be concatenated by a viewer).
+func WriteChromeTrace(w io.Writer, events []Event, pid int) error {
+	out := struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}{TraceEvents: make([]chromeEvent, 0, len(events))}
+	for _, e := range events {
+		ce := chromeEvent{
+			Name:  e.Name,
+			Cat:   e.Cat.String(),
+			Phase: "i",
+			TS:    float64(e.At) / float64(time.Microsecond),
+			PID:   pid,
+			TID:   int(e.Cat),
+			Scope: "t",
+		}
+		args := map[string]any{"seq": e.Seq}
+		if e.Session != 0 {
+			args["session"] = e.Session
+		}
+		if e.Block != 0 {
+			args["block"] = e.Block
+		}
+		if e.Channel != 0 {
+			args["channel"] = e.Channel
+		}
+		if e.V1 != 0 {
+			args["v1"] = e.V1
+		}
+		if e.V2 != 0 {
+			args["v2"] = e.V2
+		}
+		if e.Text != "" {
+			args["text"] = e.Text
+		}
+		ce.Args = args
+		out.TraceEvents = append(out.TraceEvents, ce)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

@@ -4,11 +4,18 @@
 // timestamps from the owning loop's clock and can be dumped when
 // something goes wrong — the moral equivalent of the strace sessions
 // the paper used to diagnose GridFTP.
+//
+// Events are structured: typed fields (session, block, channel, two
+// numeric values) instead of preformatted strings, so emitting against
+// a nil ring costs a single branch and zero allocations, and retained
+// events can be exported losslessly as JSONL or as a Chrome
+// `trace_event` timeline (see export.go).
 package trace
 
 import (
 	"fmt"
 	"io"
+	"strings"
 	"sync"
 	"time"
 )
@@ -45,12 +52,77 @@ func (c Category) String() string {
 	}
 }
 
-// Event is one traced occurrence.
+// MarshalText encodes the category as its name for JSON export.
+func (c Category) MarshalText() ([]byte, error) {
+	return []byte(c.String()), nil
+}
+
+// UnmarshalText decodes a category name (round-trip of MarshalText).
+func (c *Category) UnmarshalText(b []byte) error {
+	switch s := string(b); s {
+	case "nego":
+		*c = CatNego
+	case "session":
+		*c = CatSession
+	case "block":
+		*c = CatBlock
+	case "credit":
+		*c = CatCredit
+	case "error":
+		*c = CatError
+	case "conn":
+		*c = CatConn
+	default:
+		var n uint8
+		if _, err := fmt.Sscanf(s, "cat(%d)", &n); err != nil {
+			return fmt.Errorf("trace: unknown category %q", s)
+		}
+		*c = Category(n)
+	}
+	return nil
+}
+
+// Event is one traced occurrence. Fields beyond Name are optional,
+// typed slots: protocol identifiers (Session/Block/Channel), two
+// free-form numeric values whose meaning depends on Name (credits
+// granted, bytes, retry count...), and Text for payloads that are
+// genuinely strings (error messages, peer addresses).
 type Event struct {
-	Seq uint64
-	At  time.Duration
-	Cat Category
-	Msg string
+	Seq     uint64        `json:"seq"`
+	At      time.Duration `json:"at"`
+	Cat     Category      `json:"cat"`
+	Name    string        `json:"name"`
+	Session uint32        `json:"session,omitempty"`
+	Block   uint32        `json:"block,omitempty"`
+	Channel int32         `json:"channel,omitempty"`
+	V1      int64         `json:"v1,omitempty"`
+	V2      int64         `json:"v2,omitempty"`
+	Text    string        `json:"text,omitempty"`
+}
+
+// String renders the event's payload (everything after seq/time/cat).
+func (e Event) String() string {
+	var b strings.Builder
+	b.WriteString(e.Name)
+	if e.Session != 0 {
+		fmt.Fprintf(&b, " sess=%d", e.Session)
+	}
+	if e.Block != 0 {
+		fmt.Fprintf(&b, " blk=%d", e.Block)
+	}
+	if e.Channel != 0 {
+		fmt.Fprintf(&b, " ch=%d", e.Channel)
+	}
+	if e.V1 != 0 {
+		fmt.Fprintf(&b, " v1=%d", e.V1)
+	}
+	if e.V2 != 0 {
+		fmt.Fprintf(&b, " v2=%d", e.V2)
+	}
+	if e.Text != "" {
+		fmt.Fprintf(&b, " %q", e.Text)
+	}
+	return b.String()
 }
 
 // Ring is a fixed-capacity event buffer. All methods are safe for
@@ -76,21 +148,37 @@ func NewRing(capacity int, clock func() time.Duration) *Ring {
 	return &Ring{buf: make([]Event, 0, capacity), clock: clock}
 }
 
-// Emit records an event.
-func (r *Ring) Emit(cat Category, format string, args ...any) {
+// Emit records an event, stamping Seq and At. On a nil ring this is a
+// single branch: the event literal lives on the caller's stack and no
+// formatting ever happens (see BenchmarkRingEmitDisabled).
+func (r *Ring) Emit(e Event) {
 	if r == nil {
 		return
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.total++
-	e := Event{Seq: r.total, At: r.clock(), Cat: cat, Msg: fmt.Sprintf(format, args...)}
+	e.Seq = r.total
+	e.At = r.clock()
 	if len(r.buf) < cap(r.buf) {
 		r.buf = append(r.buf, e)
 		return
 	}
 	r.buf[r.next] = e
 	r.next = (r.next + 1) % cap(r.buf)
+}
+
+// EmitErr records an error event without touching err on a nil ring
+// (err.Error() may itself format). For cold failure paths.
+func (r *Ring) EmitErr(cat Category, name string, err error) {
+	if r == nil {
+		return
+	}
+	e := Event{Cat: cat, Name: name}
+	if err != nil {
+		e.Text = err.Error()
+	}
+	r.Emit(e)
 }
 
 // Total returns how many events were ever emitted (including evicted).
@@ -121,7 +209,7 @@ func (r *Ring) Events() []Event {
 // Render writes the retained events, one per line.
 func (r *Ring) Render(w io.Writer) error {
 	for _, e := range r.Events() {
-		if _, err := fmt.Fprintf(w, "%8d %12v [%s] %s\n", e.Seq, e.At, e.Cat, e.Msg); err != nil {
+		if _, err := fmt.Fprintf(w, "%8d %12v [%s] %s\n", e.Seq, e.At, e.Cat, e.String()); err != nil {
 			return err
 		}
 	}
@@ -133,6 +221,17 @@ func (r *Ring) Filter(cat Category) []Event {
 	var out []Event
 	for _, e := range r.Events() {
 		if e.Cat == cat {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Find returns retained events with the given name.
+func (r *Ring) Find(name string) []Event {
+	var out []Event
+	for _, e := range r.Events() {
+		if e.Name == name {
 			out = append(out, e)
 		}
 	}
