@@ -26,7 +26,7 @@ race:
 	$(GO) test -race ./internal/fabric/... ./internal/core ./internal/trace
 
 bench:
-	$(GO) test -bench . -benchmem -benchtime 1x .
+	$(GO) test -bench . -benchmem -benchtime 1x . ./internal/fabric/netfabric
 
 # Report-quality regeneration of every table and figure (~1 minute).
 experiments:

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"path/filepath"
 	"sync"
@@ -53,7 +54,12 @@ func main() {
 	doTrace := flag.Bool("trace", false, "dump the protocol event trace when each connection ends")
 	traceOut := flag.String("trace-out", "", "append each connection's protocol event trace to FILE as JSONL")
 	httpAddr := flag.String("http", "", "serve live telemetry over HTTP on this address (GET /, ?text=1 for plain text)")
+	doPprof := flag.Bool("pprof", false, "expose net/http/pprof profiling under /debug/pprof/ on the -http address")
 	flag.Parse()
+
+	if *doPprof && *httpAddr == "" {
+		log.Fatalf("rftpd: -pprof requires -http to provide the listen address")
+	}
 
 	if err := os.MkdirAll(*dir, 0o755); err != nil {
 		log.Fatalf("rftpd: %v", err)
@@ -77,9 +83,21 @@ func main() {
 		opts.root = telemetry.NewRegistry("rftpd")
 	}
 	if *httpAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/", telemetry.Handler(opts.root))
+		if *doPprof {
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		}
 		go func() {
 			log.Printf("rftpd: telemetry on http://%s/", *httpAddr)
-			if err := http.ListenAndServe(*httpAddr, telemetry.Handler(opts.root)); err != nil {
+			if *doPprof {
+				log.Printf("rftpd: profiling on http://%s/debug/pprof/", *httpAddr)
+			}
+			if err := http.ListenAndServe(*httpAddr, mux); err != nil {
 				log.Printf("rftpd: telemetry http: %v", err)
 			}
 		}()
@@ -160,7 +178,7 @@ func serve(dev *netfabric.Device, conn int, opts *serveOpts, served chan<- struc
 	}()
 
 	connDone := make(chan struct{})
-	dev.OnClose = func(error) { close(connDone) }
+	dev.SetOnClose(func(error) { close(connDone) })
 
 	files := map[uint32]*os.File{}
 	sink.NewWriter = func(info core.SessionInfo) core.BlockSink {

@@ -27,7 +27,13 @@ type Row struct {
 	Retrans uint64
 	// RNR counts fabric receiver-not-ready events (RFTP rows).
 	RNR uint64
-	Note string
+	// AllocsPerOp is heap allocations per block (RFTP rows); tracks
+	// data-path churn across revisions.
+	AllocsPerOp float64
+	// CopiedPerOp is CPU-copied payload bytes per block (RFTP rows);
+	// zero-copy placement keeps it near zero.
+	CopiedPerOp float64
+	Note        string
 }
 
 // Scale reduces experiment sizes for quick runs: 1.0 reproduces the
@@ -121,6 +127,7 @@ func FigComparison(figure string, tb Testbed, streams []int, scale Scale) ([]Row
 				BlockSize: bs, Streams: ns,
 				Gbps: r.BandwidthGbps, ClientCPU: r.ClientCPU, ServerCPU: r.ServerCPU,
 				Stalls: r.Stalls, RNR: r.RNR,
+				AllocsPerOp: r.AllocsPerBlock, CopiedPerOp: r.CopiedPerBlock,
 			})
 
 			g, err := RunGridFTP(tb, GridFTPOptions{
@@ -176,6 +183,7 @@ func FigMemVsDisk(tb Testbed, scale Scale) ([]Row, error) {
 			BlockSize: bs, Streams: 4,
 			Gbps: mem.BandwidthGbps, ClientCPU: mem.ClientCPU, ServerCPU: mem.ServerCPU,
 			Stalls: mem.Stalls, RNR: mem.RNR,
+			AllocsPerOp: mem.AllocsPerBlock, CopiedPerOp: mem.CopiedPerBlock,
 		})
 
 		dsk, err := RunRFTP(tb, RFTPOptions{
@@ -190,7 +198,8 @@ func FigMemVsDisk(tb Testbed, scale Scale) ([]Row, error) {
 			BlockSize: bs, Streams: 4,
 			Gbps: dsk.BandwidthGbps, ClientCPU: dsk.ClientCPU, ServerCPU: dsk.ServerCPU,
 			Stalls: dsk.Stalls, RNR: dsk.RNR,
-			Note: "O_DIRECT RAID",
+			AllocsPerOp: dsk.AllocsPerBlock, CopiedPerOp: dsk.CopiedPerBlock,
+			Note:        "O_DIRECT RAID",
 		})
 
 		// The comparison the paper declines to chart: GridFTP has no
@@ -238,6 +247,7 @@ func AblationCreditPolicy(scale Scale) ([]Row, error) {
 				BlockSize: cfg.BlockSize, Streams: 1,
 				Gbps: r.BandwidthGbps, ClientCPU: r.ClientCPU, ServerCPU: r.ServerCPU,
 				Stalls: r.Stalls, RNR: r.RNR,
+				AllocsPerOp: r.AllocsPerBlock, CopiedPerOp: r.CopiedPerBlock,
 				Note: fmt.Sprintf("rtt=%v", rtt),
 			})
 		}
@@ -264,6 +274,7 @@ func AblationQPCount(tb Testbed, scale Scale) ([]Row, error) {
 			BlockSize: cfg.BlockSize, Streams: ch,
 			Gbps: r.BandwidthGbps, ClientCPU: r.ClientCPU, ServerCPU: r.ServerCPU,
 			Stalls: r.Stalls, RNR: r.RNR,
+			AllocsPerOp: r.AllocsPerBlock, CopiedPerOp: r.CopiedPerBlock,
 		})
 	}
 	return rows, nil
@@ -288,6 +299,7 @@ func AblationIODepth(tb Testbed, scale Scale) ([]Row, error) {
 			BlockSize: cfg.BlockSize, Depth: depth,
 			Gbps: r.BandwidthGbps, ClientCPU: r.ClientCPU, ServerCPU: r.ServerCPU,
 			Stalls: r.Stalls, RNR: r.RNR,
+			AllocsPerOp: r.AllocsPerBlock, CopiedPerOp: r.CopiedPerBlock,
 		})
 	}
 	return rows, nil
@@ -407,6 +419,7 @@ func AblationNotify(tb Testbed, scale Scale) ([]Row, error) {
 			Figure: "ablation-notify", Testbed: tb.Name, Tool: name,
 			BlockSize: cfg.BlockSize,
 			Gbps:      r.BandwidthGbps, ClientCPU: r.ClientCPU, ServerCPU: r.ServerCPU,
+			AllocsPerOp: r.AllocsPerBlock, CopiedPerOp: r.CopiedPerBlock,
 			Note: fmt.Sprintf("ctrlMsgs=%d", r.CtrlMsgs),
 		})
 	}
@@ -441,8 +454,9 @@ func AblationCreditRamp(tb Testbed, scale Scale) ([]Row, error) {
 			Figure: "ablation-ramp", Testbed: tb.Name, Tool: fmt.Sprintf("grant=%d", grant),
 			BlockSize: cfg.BlockSize,
 			Gbps:      r.BandwidthGbps, ClientCPU: r.ClientCPU, ServerCPU: r.ServerCPU,
-			Stalls: r.Stalls,
-			Note:   fmt.Sprintf("elapsed=%v", r.Elapsed.Round(time.Millisecond)),
+			Stalls:      r.Stalls,
+			AllocsPerOp: r.AllocsPerBlock, CopiedPerOp: r.CopiedPerBlock,
+			Note: fmt.Sprintf("elapsed=%v", r.Elapsed.Round(time.Millisecond)),
 		})
 	}
 	return rows, nil

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"rftp/internal/core"
@@ -12,6 +13,7 @@ import (
 	"rftp/internal/sim"
 	"rftp/internal/tcpmodel"
 	"rftp/internal/telemetry"
+	"rftp/internal/verbs"
 	"rftp/internal/wire"
 )
 
@@ -49,6 +51,14 @@ type RunResult struct {
 	Retrans uint64
 	// RNR counts fabric receiver-not-ready NAKs (RFTP only).
 	RNR uint64
+	// AllocsPerBlock is heap allocations per transferred block across the
+	// whole run (protocol machinery + simulator), from runtime.MemStats.
+	// Tracks data-path allocation churn across revisions (RFTP only).
+	AllocsPerBlock float64
+	// CopiedPerBlock is CPU-copied payload bytes per block, from
+	// verbs.CopiedBytes. Zero-copy placement keeps it near zero even as
+	// block sizes grow (RFTP only).
+	CopiedPerBlock float64
 }
 
 // RunRFTP executes one modeled RFTP transfer on the testbed and reports
@@ -127,6 +137,9 @@ func RunRFTP(tb Testbed, opt RFTPOptions) (RunResult, error) {
 	sink.OnSessionDone = func(info core.SessionInfo, r core.TransferResult) { sinkDone = true }
 	var negoErr error
 	srcBusy0, dstBusy0 := srcHost.BusyTotal(), dstHost.BusyTotal()
+	copied0 := verbs.CopiedBytes()
+	var ms0 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
 	source.Start(func(err error) {
 		if err != nil {
 			negoErr = err
@@ -139,6 +152,9 @@ func RunRFTP(tb Testbed, opt RFTPOptions) (RunResult, error) {
 		})
 	})
 	sched.RunAll()
+	var ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms1)
+	copied1 := verbs.CopiedBytes()
 	if negoErr != nil {
 		return RunResult{}, negoErr
 	}
@@ -158,6 +174,10 @@ func RunRFTP(tb Testbed, opt RFTPOptions) (RunResult, error) {
 		Stalls:        st.CreditStalls,
 		CtrlMsgs:      st.CtrlMsgs + sink.Stats().CtrlMsgs,
 		RNR:           srcDev.RNRNaks + dstDev.RNRNaks,
+	}
+	if srcRes.Blocks > 0 {
+		res.AllocsPerBlock = float64(ms1.Mallocs-ms0.Mallocs) / float64(srcRes.Blocks)
+		res.CopiedPerBlock = float64(copied1-copied0) / float64(srcRes.Blocks)
 	}
 	if elapsed > 0 {
 		res.ClientCPU = 100 * float64(srcHost.BusyTotal()-srcBusy0) / float64(elapsed)

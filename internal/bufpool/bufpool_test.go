@@ -1,0 +1,55 @@
+package bufpool
+
+import "testing"
+
+func TestGetLengthAndClassCapacity(t *testing.T) {
+	cases := map[int]int{
+		1:           512,
+		512:         512,
+		513:         1024,
+		4096:        4096,
+		5000:        8192,
+		1 << 20:     1 << 20,
+		1<<20 + 1:   2 << 20,
+		4<<20 - 100: 4 << 20,
+	}
+	for n, wantCap := range cases {
+		b := Get(n)
+		if len(b) != n {
+			t.Fatalf("Get(%d): len = %d", n, len(b))
+		}
+		if cap(b) != wantCap {
+			t.Fatalf("Get(%d): cap = %d, want %d", n, cap(b), wantCap)
+		}
+		Put(b)
+	}
+}
+
+func TestReuseAfterPut(t *testing.T) {
+	b := Get(4096)
+	b[0] = 0xAB
+	Put(b)
+	// The next Get of the same class should hand back the pooled
+	// buffer (single-goroutine, so the per-P cache hits).
+	c := Get(100)
+	if cap(c) != 512 {
+		t.Fatalf("class mixed up: cap = %d", cap(c))
+	}
+	d := Get(2049)
+	if len(d) != 2049 || cap(d) != 4096 {
+		t.Fatalf("Get(2049): len %d cap %d", len(d), cap(d))
+	}
+}
+
+func TestZeroAndOversize(t *testing.T) {
+	if Get(0) != nil || Get(-5) != nil {
+		t.Fatal("non-nil buffer for n <= 0")
+	}
+	huge := Get(1<<26 + 1)
+	if len(huge) != 1<<26+1 {
+		t.Fatalf("oversize len = %d", len(huge))
+	}
+	Put(huge) // not a class size: dropped, must not panic
+	Put(nil)  // must not panic
+	Put(make([]byte, 100, 100))
+}

@@ -20,6 +20,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"rftp/internal/bufpool"
+	"rftp/internal/ringq"
 	"rftp/internal/telemetry"
 	"rftp/internal/verbs"
 )
@@ -114,7 +116,17 @@ const (
 
 type message struct {
 	wr   verbs.SendWR
-	data []byte // copy of wr.Data taken at post time
+	data []byte // pooled copy of wr.Data taken at post time
+}
+
+// releaseData recycles the message's pooled payload copy once it has
+// been placed (or the message aborted), so parked arrivals do not pin
+// transfer-sized buffers and steady-state traffic allocates nothing.
+func (m *message) releaseData() {
+	if m.data != nil {
+		bufpool.Put(m.data)
+		m.data = nil
+	}
 }
 
 // QP is an in-process queue pair.
@@ -136,8 +148,8 @@ type QP struct {
 
 	// receiver-side state, touched only on the recv CQ's loop.
 	recvMu  sync.Mutex
-	recvQ   []*verbs.RecvWR
-	pending []*message
+	recvQ   ringq.Ring[*verbs.RecvWR]
+	pending ringq.Ring[*message]
 }
 
 // CreateQP implements verbs.Device.
@@ -209,8 +221,13 @@ func (q *QP) PostSend(wr *verbs.SendWR) error {
 	// Copy payload: ownership of wr.Data stays with the caller until the
 	// completion, but copying here keeps the pipe safe even if the
 	// caller reuses the buffer early (matches DMA-at-post semantics
-	// closely enough for an emulation).
-	m.data = append([]byte(nil), wr.Data...)
+	// closely enough for an emulation). The copy lives in a pooled
+	// size-class buffer, recycled as soon as it is placed.
+	if len(wr.Data) > 0 {
+		m.data = bufpool.Get(len(wr.Data))
+		copy(m.data, wr.Data)
+		verbs.CountCopy(len(wr.Data))
+	}
 	q.sendMu.Lock()
 	if q.state.Load() == stateClosed {
 		q.sendMu.Unlock()
@@ -241,11 +258,11 @@ func (q *QP) PostRecv(wr *verbs.RecvWR) error {
 	}
 	cp := *wr
 	q.recvMu.Lock()
-	if len(q.recvQ) >= q.cfg.MaxRecv {
+	if q.recvQ.Len() >= q.cfg.MaxRecv {
 		q.recvMu.Unlock()
 		return verbs.ErrRecvQueueFull
 	}
-	q.recvQ = append(q.recvQ, &cp)
+	q.recvQ.Push(&cp)
 	q.recvMu.Unlock()
 	// Deliver any parked arrivals on the receiver loop.
 	q.recvCQ.Loop().Post(0, q.drainPending)
@@ -273,6 +290,7 @@ func (q *QP) runPipe() {
 		}
 		peer := q.peer
 		if peer == nil || peer.state.Load() == stateClosed {
+			m.releaseData()
 			q.completeSend(m, verbs.StatusAborted)
 			continue
 		}
@@ -284,6 +302,7 @@ func (q *QP) runPipe() {
 // arrive runs on the receiver's loop; q.peer is the sender.
 func (q *QP) arrive(m *message) {
 	if q.state.Load() != stateReady {
+		m.releaseData()
 		q.peer.completeSend(m, verbs.StatusAborted)
 		return
 	}
@@ -304,21 +323,24 @@ func (q *QP) arrive(m *message) {
 }
 
 func (q *QP) placeWrite(m *message) bool {
-	if _, _, err := q.dev.space.Place(m.wr.Remote, m.data, 0); err != nil {
+	n := len(m.data)
+	_, _, err := q.dev.space.Place(m.wr.Remote, m.data, 0)
+	m.releaseData() // placed (or rejected) — either way the staging copy is done
+	if err != nil {
 		q.enterError()
 		q.peer.completeSendAndError(m, verbs.StatusRemoteAccessError)
 		return false
 	}
-	q.dev.RxBytes.Add(uint64(len(m.data)))
-	q.dev.Telemetry.Rx(len(m.data))
+	q.dev.RxBytes.Add(uint64(n))
+	q.dev.Telemetry.Rx(n)
 	return true
 }
 
 // park queues a receive-consuming arrival and tries to deliver.
 func (q *QP) park(m *message) {
 	q.recvMu.Lock()
-	q.pending = append(q.pending, m)
-	stalled := len(q.recvQ) == 0
+	q.pending.Push(m)
+	stalled := q.recvQ.Len() == 0
 	q.recvMu.Unlock()
 	if stalled {
 		q.dev.RNRStalls.Add(1)
@@ -332,14 +354,12 @@ func (q *QP) park(m *message) {
 func (q *QP) drainPending() {
 	for {
 		q.recvMu.Lock()
-		if len(q.pending) == 0 || len(q.recvQ) == 0 {
+		if q.pending.Len() == 0 || q.recvQ.Len() == 0 {
 			q.recvMu.Unlock()
 			return
 		}
-		m := q.pending[0]
-		q.pending = q.pending[1:]
-		rwr := q.recvQ[0]
-		q.recvQ = q.recvQ[1:]
+		m, _ := q.pending.Pop()
+		rwr, _ := q.recvQ.Pop()
 		q.recvMu.Unlock()
 
 		if m.wr.Op == verbs.OpWriteImm {
@@ -351,17 +371,20 @@ func (q *QP) drainPending() {
 			continue
 		}
 		if len(m.data) > rwr.Len {
+			m.releaseData()
 			q.enterError()
 			q.peer.completeSendAndError(m, verbs.StatusRemoteAccessError)
 			return
 		}
+		n := len(m.data)
 		rwr.MR.PlaceLocal(rwr.Offset, m.data)
-		q.dev.RxBytes.Add(uint64(len(m.data)))
-		q.dev.Telemetry.Rx(len(m.data))
+		m.releaseData() // staging copy consumed by placement
+		q.dev.RxBytes.Add(uint64(n))
+		q.dev.Telemetry.Rx(n)
 		q.recvCQ.Dispatch(0, verbs.WC{
 			WRID: rwr.WRID, Status: verbs.StatusSuccess, Op: verbs.OpRecv,
 			ByteLen: m.wr.Length(), Imm: m.wr.Imm,
-			Data: rwr.MR.ViewLocal(rwr.Offset, len(m.data)), QP: q.id,
+			Data: rwr.MR.ViewLocal(rwr.Offset, n), QP: q.id,
 		})
 		q.peer.completeSend(m, verbs.StatusSuccess)
 	}
@@ -376,7 +399,9 @@ func (q *QP) serveRead(m *message) {
 		q.peer.completeRead(m, nil, verbs.StatusRemoteAccessError)
 		return
 	}
-	data := append([]byte(nil), view...)
+	data := bufpool.Get(len(view))
+	copy(data, view)
+	verbs.CountCopy(len(view))
 	q.dev.TxBytes.Add(uint64(m.wr.ReadLen))
 	init := q.peer
 	init.sendCQ.Loop().Post(0, func() { init.completeRead(m, data, verbs.StatusSuccess) })
@@ -389,6 +414,7 @@ func (q *QP) completeRead(m *message, data []byte, status verbs.Status) {
 		q.dev.RxBytes.Add(uint64(len(data)))
 		q.dev.Telemetry.Rx(len(data))
 	}
+	bufpool.Put(data)
 	q.finishSend(m, status, m.wr.ReadLen)
 }
 
@@ -440,10 +466,12 @@ func (q *QP) Close() error {
 		return verbs.ErrQPClosed
 	}
 	q.recvMu.Lock()
-	rq := q.recvQ
-	q.recvQ = nil
-	q.pending = nil
+	rq := q.recvQ.Drain(nil)
+	pend := q.pending.Drain(nil)
 	q.recvMu.Unlock()
+	for _, m := range pend {
+		m.releaseData()
+	}
 	for _, r := range rq {
 		r := r
 		q.recvCQ.Dispatch(0, verbs.WC{WRID: r.WRID, Status: verbs.StatusFlushed, Op: verbs.OpRecv, QP: q.id})

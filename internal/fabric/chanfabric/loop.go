@@ -3,6 +3,8 @@ package chanfabric
 import (
 	"sync"
 	"time"
+
+	"rftp/internal/ringq"
 )
 
 // Loop is a real-time event loop: one goroutine executing posted
@@ -15,7 +17,7 @@ type Loop struct {
 	name string
 	mu   sync.Mutex
 	cond *sync.Cond
-	q    []func()
+	q    ringq.Ring[func()]
 	stop bool
 	done chan struct{}
 	t0   time.Time
@@ -42,7 +44,7 @@ func (l *Loop) Post(cost time.Duration, fn func()) {
 		l.mu.Unlock()
 		return
 	}
-	l.q = append(l.q, fn)
+	l.q.Push(fn)
 	l.cond.Signal()
 	l.mu.Unlock()
 }
@@ -71,15 +73,14 @@ func (l *Loop) run() {
 	defer close(l.done)
 	for {
 		l.mu.Lock()
-		for len(l.q) == 0 && !l.stop {
+		for l.q.Len() == 0 && !l.stop {
 			l.cond.Wait()
 		}
 		if l.stop {
 			l.mu.Unlock()
 			return
 		}
-		fn := l.q[0]
-		l.q = l.q[1:]
+		fn, _ := l.q.Pop()
 		l.mu.Unlock()
 		fn()
 	}

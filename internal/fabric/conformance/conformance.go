@@ -111,6 +111,7 @@ func Run(t *testing.T, factory Factory) {
 	t.Run("CloseFlushesRecvs", func(t *testing.T) { testCloseFlush(t, factory(t)) })
 	t.Run("WriteOrdering", func(t *testing.T) { testOrdering(t, factory(t)) })
 	t.Run("UnsignaledSend", func(t *testing.T) { testUnsignaled(t, factory(t)) })
+	t.Run("LargePayloadRoundTrip", func(t *testing.T) { testLargeRoundTrip(t, factory(t)) })
 }
 
 func testSendRecv(t *testing.T, p *Pair) {
@@ -359,6 +360,54 @@ func testUnsignaled(t *testing.T, p *Pair) {
 		if sink[i] != 1 {
 			t.Fatalf("unsignaled write %d not placed", i)
 		}
+	}
+}
+
+// testLargeRoundTrip pushes a transfer-sized payload through the
+// one-sided path both ways: WRITE it into a remote region at an
+// offset, READ it back into a different local region, and compare
+// byte-for-byte. This exercises in-place placement paths (fabrics that
+// land wire payload directly in the registered region) with data large
+// enough that a staging bug or short read would corrupt it.
+func testLargeRoundTrip(t *testing.T, p *Pair) {
+	e := newEnv(t, p, verbs.QPConfig{MaxSend: 8, MaxRecv: 8})
+	const size = 1 << 20
+	const off = 4096
+	sink := make([]byte, size+2*off)
+	rmr, err := p.B.RegisterMR(e.pdB, sink, verbs.AccessRemoteWrite|verbs.AccessRemoteRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, size)
+	rand.New(rand.NewSource(42)).Read(payload)
+	if err := e.qpA.PostSend(&verbs.SendWR{WRID: 1, Op: verbs.OpWrite, Data: payload, Remote: rmr.Remote(off)}); err != nil {
+		t.Fatal(err)
+	}
+	e.settleCount(t, e.wcsA, 1)
+	if wc := e.wcsA.get(0); wc.Status != verbs.StatusSuccess || wc.ByteLen != size {
+		t.Fatalf("large write WC: %+v", wc)
+	}
+	if !bytes.Equal(sink[off:off+size], payload) {
+		t.Fatal("large write corrupted in flight")
+	}
+	if sink[off-1] != 0 || sink[off+size] != 0 {
+		t.Fatal("large write spilled outside its window")
+	}
+	local := make([]byte, size)
+	lmr, err := p.A.RegisterMR(e.pdA, local, verbs.AccessLocalWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.qpA.PostSend(&verbs.SendWR{WRID: 2, Op: verbs.OpRead,
+		Remote: rmr.Remote(off), ReadLen: size, Local: lmr}); err != nil {
+		t.Fatal(err)
+	}
+	e.settleCount(t, e.wcsA, 2)
+	if wc := e.wcsA.get(1); wc.Status != verbs.StatusSuccess || wc.ByteLen != size {
+		t.Fatalf("large read WC: %+v", wc)
+	}
+	if !bytes.Equal(local, payload) {
+		t.Fatal("large read-back mismatch")
 	}
 }
 

@@ -87,6 +87,7 @@ func netFactory(t *testing.T) *Pair {
 	lb := chanfabric.NewLoop("lb")
 	t.Cleanup(func() { la.Stop(); lb.Stop() })
 	nextCh := uint32(0)
+	settle := SettleRealtime(10 * time.Second)
 	return &Pair{
 		A: client, B: r.d,
 		LoopA: la, LoopB: lb,
@@ -97,7 +98,15 @@ func netFactory(t *testing.T) *Pair {
 			}
 			return r.d.BindQP(b, nextCh)
 		},
-		Settle: SettleRealtime(10 * time.Second),
+		Settle: func(cond func() bool) bool {
+			ok := settle(cond)
+			// The battery inspects registered regions directly after
+			// one-sided ops complete; Sync orders the devices' in-place
+			// placements before those reads (see Device.Sync).
+			client.Sync()
+			r.d.Sync()
+			return ok
+		},
 	}
 }
 

@@ -150,7 +150,7 @@ func TestGoodbyeFrameTearsDown(t *testing.T) {
 	qa, _, cqA, _ := boundQPs(t, a, b, la, lb, 0)
 	cqA.SetHandler(func(verbs.WC) {})
 	closed := make(chan struct{})
-	a.OnClose = func(error) { close(closed) }
+	a.SetOnClose(func(error) { close(closed) })
 	// The peer announces an orderly shutdown.
 	b.send(&frame{op: frGoodbye})
 	select {

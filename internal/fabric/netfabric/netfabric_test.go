@@ -125,6 +125,7 @@ func TestWriteAndReadOverTCP(t *testing.T) {
 	case <-time.After(5 * time.Second):
 		t.Fatal("write timeout")
 	}
+	b.Sync() // order the reader's in-place placement before our read
 	if !bytes.Equal(sink, payload) {
 		t.Fatal("write payload mismatch")
 	}
@@ -203,6 +204,7 @@ func TestEarlyFramesParkedUntilBind(t *testing.T) {
 	case <-time.After(5 * time.Second):
 		t.Fatal("parked frame never applied")
 	}
+	b.Sync()
 	if string(sink[:5]) != "early" {
 		t.Fatal("parked frame not placed")
 	}

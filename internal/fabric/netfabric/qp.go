@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"rftp/internal/ringq"
 	"rftp/internal/verbs"
 )
 
@@ -31,8 +32,8 @@ type QP struct {
 	sqOutstanding int
 
 	recvMu  sync.Mutex
-	recvQ   []*verbs.RecvWR
-	pending []*frame // SEND/WRITE_IMM frames awaiting a posted receive
+	recvQ   ringq.Ring[*verbs.RecvWR]
+	pending ringq.Ring[*frame] // SEND/WRITE_IMM frames awaiting a posted receive
 }
 
 // CreateQP implements verbs.Device.
@@ -81,7 +82,10 @@ func (d *Device) BindQP(q verbs.QP, channel uint32) error {
 // ID implements verbs.QP.
 func (q *QP) ID() verbs.QPID { return q.id }
 
-// PostSend implements verbs.QP.
+// PostSend implements verbs.QP. The payload is NOT copied: the frame
+// references wr.Data until it reaches the socket, honoring verbs
+// ownership semantics (the caller owns the buffer again only when the
+// completion fires).
 func (q *QP) PostSend(wr *verbs.SendWR) error {
 	switch q.state.Load() {
 	case stateClosed:
@@ -116,25 +120,27 @@ func (q *QP) PostSend(wr *verbs.SendWR) error {
 	q.sendMu.Unlock()
 
 	tok := q.dev.registerToken(q, wr)
-	f := &frame{channel: q.channel, token: tok, imm: wr.Imm}
+	f := getFrame()
+	f.channel, f.token, f.imm = q.channel, tok, wr.Imm
 	switch wr.Op {
 	case verbs.OpSend:
 		f.op = frSend
-		f.payload = append([]byte(nil), wr.Data...)
+		f.payload = wr.Data
 	case verbs.OpWrite:
 		f.op = frWrite
 		f.addr, f.rkey = wr.Remote.Addr, wr.Remote.RKey
-		f.payload = append([]byte(nil), wr.Data...)
+		f.payload = wr.Data
 	case verbs.OpWriteImm:
 		f.op = frWriteImm
 		f.addr, f.rkey = wr.Remote.Addr, wr.Remote.RKey
-		f.payload = append([]byte(nil), wr.Data...)
+		f.payload = wr.Data
 	case verbs.OpRead:
 		f.op = frReadReq
 		f.addr, f.rkey = wr.Remote.Addr, wr.Remote.RKey
 		f.imm = uint32(wr.ReadLen)
 	}
 	if !q.dev.send(f) {
+		putFrame(f)
 		q.dropToken(tok)
 		return verbs.ErrQPClosed
 	}
@@ -164,11 +170,11 @@ func (q *QP) PostRecv(wr *verbs.RecvWR) error {
 	}
 	cp := *wr
 	q.recvMu.Lock()
-	if len(q.recvQ) >= q.cfg.MaxRecv {
+	if q.recvQ.Len() >= q.cfg.MaxRecv {
 		q.recvMu.Unlock()
 		return verbs.ErrRecvQueueFull
 	}
-	q.recvQ = append(q.recvQ, &cp)
+	q.recvQ.Push(&cp)
 	q.recvMu.Unlock()
 	q.recvCQ.Loop().Post(0, q.drainPending)
 	return nil
@@ -179,6 +185,7 @@ func (q *QP) PostRecv(wr *verbs.RecvWR) error {
 func (q *QP) inbound(f *frame) {
 	if q.state.Load() != stateReady {
 		q.ackTo(f, wsAccess)
+		putFrame(f)
 		return
 	}
 	switch f.op {
@@ -190,27 +197,45 @@ func (q *QP) inbound(f *frame) {
 		q.recvCQ.Loop().Post(0, func() { q.parkFrame(f) })
 	case frReadReq:
 		q.serveRead(f)
+		putFrame(f)
+	default:
+		putFrame(f)
 	}
 }
 
-// applyWrite validates and places a one-sided write, then ACKs.
+// applyWrite validates and places a one-sided write, then ACKs. The
+// fast path placed the payload straight into the region at read time;
+// the staged path (frames parked before BindQP) places it here. Either
+// way the payload is released before any RNR parking, so stalled
+// WRITE_IMM frames pin no memory.
 func (q *QP) applyWrite(f *frame, imm bool) {
-	if _, _, err := q.dev.space.Place(verbs.RemoteAddr{Addr: f.addr, RKey: f.rkey}, f.payload, 0); err != nil {
+	if f.placeErr {
 		q.ackTo(f, wsAccess)
+		putFrame(f)
 		return
+	}
+	if !f.placed {
+		if _, _, err := q.dev.space.Place(verbs.RemoteAddr{Addr: f.addr, RKey: f.rkey}, f.payload, 0); err != nil {
+			q.ackTo(f, wsAccess)
+			putFrame(f)
+			return
+		}
+		f.placed = true
+		f.releasePayload()
 	}
 	if imm {
 		q.recvCQ.Loop().Post(0, func() { q.parkFrame(f) })
 		return // ACK after the imm notification consumes a receive
 	}
 	q.ackTo(f, wsOK)
+	putFrame(f)
 }
 
 // parkFrame queues a receive-consuming frame and drains.
 func (q *QP) parkFrame(f *frame) {
 	q.recvMu.Lock()
-	q.pending = append(q.pending, f)
-	stalled := len(q.recvQ) == 0
+	q.pending.Push(f)
+	stalled := q.recvQ.Len() == 0
 	q.recvMu.Unlock()
 	if stalled {
 		q.dev.RNRStalls.Add(1)
@@ -222,55 +247,65 @@ func (q *QP) parkFrame(f *frame) {
 func (q *QP) drainPending() {
 	for {
 		q.recvMu.Lock()
-		if len(q.pending) == 0 || len(q.recvQ) == 0 {
+		if q.pending.Len() == 0 || q.recvQ.Len() == 0 {
 			q.recvMu.Unlock()
 			return
 		}
-		f := q.pending[0]
-		q.pending = q.pending[1:]
-		rwr := q.recvQ[0]
-		q.recvQ = q.recvQ[1:]
+		f, _ := q.pending.Pop()
+		rwr, _ := q.recvQ.Pop()
 		q.recvMu.Unlock()
 
 		if f.op == frWriteImm {
 			q.recvCQ.Dispatch(0, verbs.WC{
 				WRID: rwr.WRID, Status: verbs.StatusSuccess, Op: verbs.OpWriteImm,
-				ByteLen: len(f.payload), Imm: f.imm, QP: q.id,
+				ByteLen: f.paylen, Imm: f.imm, QP: q.id,
 			})
 			q.ackTo(f, wsOK)
+			putFrame(f)
 			continue
 		}
-		if len(f.payload) > rwr.Len {
+		if f.paylen > rwr.Len {
 			q.ackTo(f, wsAccess)
+			putFrame(f)
 			q.enterError()
 			return
 		}
 		rwr.MR.PlaceLocal(rwr.Offset, f.payload)
 		q.recvCQ.Dispatch(0, verbs.WC{
 			WRID: rwr.WRID, Status: verbs.StatusSuccess, Op: verbs.OpRecv,
-			ByteLen: len(f.payload), Imm: f.imm,
-			Data: rwr.MR.ViewLocal(rwr.Offset, len(f.payload)), QP: q.id,
+			ByteLen: f.paylen, Imm: f.imm,
+			Data: rwr.MR.ViewLocal(rwr.Offset, f.paylen), QP: q.id,
 		})
 		q.ackTo(f, wsOK)
+		putFrame(f) // returns the staging buffer to the pool
 	}
 }
 
-// serveRead answers an inbound READ request.
+// serveRead answers an inbound READ request. The response payload
+// references the region's bytes directly (no copy); the writer drops
+// the reference once the frame reaches the socket.
 func (q *QP) serveRead(f *frame) {
 	n := int(f.imm)
 	_, view, err := q.dev.space.Fetch(verbs.RemoteAddr{Addr: f.addr, RKey: f.rkey}, n)
-	resp := &frame{op: frReadResp, channel: q.channel, token: f.token}
+	resp := getFrame()
+	resp.op, resp.channel, resp.token = frReadResp, q.channel, f.token
 	if err != nil {
 		resp.status = wsAccess
 	} else {
-		resp.payload = append([]byte(nil), view...)
+		resp.payload = view
 	}
-	q.dev.send(resp)
+	if !q.dev.send(resp) {
+		putFrame(resp)
+	}
 }
 
 // ackTo acknowledges a data frame back to its sender.
 func (q *QP) ackTo(f *frame, status uint8) {
-	q.dev.send(&frame{op: frAck, channel: q.channel, token: f.token, status: status})
+	a := getFrame()
+	a.op, a.channel, a.token, a.status = frAck, q.channel, f.token, status
+	if !q.dev.send(a) {
+		putFrame(a)
+	}
 }
 
 // remoteAck completes a sent WR after the peer's ACK/READ response.
@@ -284,7 +319,9 @@ func (q *QP) remoteAck(wr verbs.SendWR, f *frame) {
 	byteLen := wr.Length()
 	if wr.Op == verbs.OpRead {
 		byteLen = wr.ReadLen
-		if status == verbs.StatusSuccess && wr.Local != nil {
+		if status == verbs.StatusSuccess && wr.Local != nil && !f.placed {
+			// Fallback: the response was staged (e.g. a truncated or
+			// oversized reply); place it now.
 			wr.Local.PlaceLocal(wr.LocalOffset, f.payload)
 		}
 	}
@@ -311,10 +348,12 @@ func (q *QP) enterError() {
 
 func (q *QP) flushRecvs() {
 	q.recvMu.Lock()
-	rq := q.recvQ
-	q.recvQ = nil
-	q.pending = nil
+	rq := q.recvQ.Drain(nil)
+	pend := q.pending.Drain(nil)
 	q.recvMu.Unlock()
+	for _, f := range pend {
+		putFrame(f)
+	}
 	for _, r := range rq {
 		q.recvCQ.Dispatch(0, verbs.WC{WRID: r.WRID, Status: verbs.StatusFlushed, Op: verbs.OpRecv, QP: q.id})
 	}

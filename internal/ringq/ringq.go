@@ -1,0 +1,91 @@
+// Package ringq provides a reusing FIFO ring queue.
+//
+// The hot queues of the real-byte fabrics (outbound frames, posted
+// receives, parked arrivals) used to be Go slices popped with
+// q = q[1:]: every push eventually reallocates because the backing
+// array can never be reused once the head has advanced. Ring keeps a
+// power-of-two circular buffer with head/tail indices instead, so a
+// steady-state producer/consumer pair allocates nothing at all, and
+// popped slots are zeroed so the queue never pins freed payloads.
+package ringq
+
+// Ring is an unbounded FIFO queue over a reusing circular buffer. The
+// zero value is ready to use. Not safe for concurrent use; callers
+// hold their own locks (the fabrics already do).
+type Ring[T any] struct {
+	buf  []T
+	head int // index of the front element
+	n    int // number of elements
+}
+
+// Len returns the number of queued elements.
+func (r *Ring[T]) Len() int { return r.n }
+
+// Push appends v at the tail, growing the buffer when full.
+func (r *Ring[T]) Push(v T) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = v
+	r.n++
+}
+
+// Pop removes and returns the front element; ok is false when empty.
+// The vacated slot is zeroed so the ring does not retain the value.
+func (r *Ring[T]) Pop() (v T, ok bool) {
+	if r.n == 0 {
+		return v, false
+	}
+	var zero T
+	v = r.buf[r.head]
+	r.buf[r.head] = zero
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return v, true
+}
+
+// Peek returns the front element without removing it.
+func (r *Ring[T]) Peek() (v T, ok bool) {
+	if r.n == 0 {
+		return v, false
+	}
+	return r.buf[r.head], true
+}
+
+// PushFront prepends v at the head (used to return an element after a
+// failed pop-and-try).
+func (r *Ring[T]) PushFront(v T) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.head = (r.head - 1) & (len(r.buf) - 1)
+	r.buf[r.head] = v
+	r.n++
+}
+
+// Drain appends every queued element to dst in FIFO order, empties the
+// ring (zeroing its slots), and returns the extended slice.
+func (r *Ring[T]) Drain(dst []T) []T {
+	var zero T
+	for i := 0; i < r.n; i++ {
+		j := (r.head + i) & (len(r.buf) - 1)
+		dst = append(dst, r.buf[j])
+		r.buf[j] = zero
+	}
+	r.head, r.n = 0, 0
+	return dst
+}
+
+// grow doubles the buffer (minimum 8) and linearizes the elements.
+func (r *Ring[T]) grow() {
+	size := len(r.buf) * 2
+	if size == 0 {
+		size = 8
+	}
+	nb := make([]T, size)
+	for i := 0; i < r.n; i++ {
+		nb[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+	}
+	r.buf = nb
+	r.head = 0
+}

@@ -1,0 +1,125 @@
+package ringq
+
+import "testing"
+
+func TestFIFOOrder(t *testing.T) {
+	var r Ring[int]
+	for i := 0; i < 100; i++ {
+		r.Push(i)
+	}
+	if r.Len() != 100 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	for i := 0; i < 100; i++ {
+		v, ok := r.Pop()
+		if !ok || v != i {
+			t.Fatalf("pop %d = %d, %v", i, v, ok)
+		}
+	}
+	if _, ok := r.Pop(); ok {
+		t.Fatal("pop from empty succeeded")
+	}
+}
+
+func TestInterleavedWraparound(t *testing.T) {
+	var r Ring[int]
+	next, want := 0, 0
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 7; i++ {
+			r.Push(next)
+			next++
+		}
+		for i := 0; i < 5; i++ {
+			v, ok := r.Pop()
+			if !ok || v != want {
+				t.Fatalf("round %d: pop = %d, %v (want %d)", round, v, ok, want)
+			}
+			want++
+		}
+	}
+	for r.Len() > 0 {
+		v, _ := r.Pop()
+		if v != want {
+			t.Fatalf("drain pop = %d, want %d", v, want)
+		}
+		want++
+	}
+	if want != next {
+		t.Fatalf("consumed %d of %d", want, next)
+	}
+}
+
+func TestPeekAndPushFront(t *testing.T) {
+	var r Ring[string]
+	if _, ok := r.Peek(); ok {
+		t.Fatal("peek on empty succeeded")
+	}
+	r.Push("b")
+	r.PushFront("a")
+	if v, _ := r.Peek(); v != "a" {
+		t.Fatalf("peek = %q", v)
+	}
+	if v, _ := r.Pop(); v != "a" {
+		t.Fatalf("pop = %q", v)
+	}
+	if v, _ := r.Pop(); v != "b" {
+		t.Fatalf("pop = %q", v)
+	}
+}
+
+func TestDrain(t *testing.T) {
+	var r Ring[int]
+	for i := 0; i < 20; i++ {
+		r.Push(i)
+	}
+	// Force a wrapped layout.
+	for i := 0; i < 10; i++ {
+		r.Pop()
+	}
+	for i := 20; i < 25; i++ {
+		r.Push(i)
+	}
+	got := r.Drain(nil)
+	if len(got) != 15 || r.Len() != 0 {
+		t.Fatalf("drain: %v (ring len %d)", got, r.Len())
+	}
+	for i, v := range got {
+		if v != 10+i {
+			t.Fatalf("drain[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestPoppedSlotsZeroed(t *testing.T) {
+	var r Ring[*int]
+	x := new(int)
+	r.Push(x)
+	r.Pop()
+	for _, p := range r.buf {
+		if p != nil {
+			t.Fatal("popped slot retains pointer")
+		}
+	}
+	r.Push(x)
+	r.Drain(nil)
+	for _, p := range r.buf {
+		if p != nil {
+			t.Fatal("drained slot retains pointer")
+		}
+	}
+}
+
+func TestSteadyStateDoesNotGrow(t *testing.T) {
+	var r Ring[int]
+	for i := 0; i < 8; i++ {
+		r.Push(i)
+	}
+	capBefore := len(r.buf)
+	for i := 0; i < 10000; i++ {
+		r.Pop()
+		r.Push(i)
+	}
+	if len(r.buf) != capBefore {
+		t.Fatalf("buffer grew from %d to %d at steady state", capBefore, len(r.buf))
+	}
+}

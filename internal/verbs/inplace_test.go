@@ -1,0 +1,96 @@
+package verbs
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestWritableRemoteInPlace(t *testing.T) {
+	a := NewAddressSpace()
+	buf := make([]byte, 4096)
+	mr, err := a.Register(&PD{ID: 1}, buf, AccessRemoteWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotMR, dst, err := a.WritableRemote(mr.Remote(1024), 512)
+	if err != nil || gotMR != mr {
+		t.Fatalf("WritableRemote: %v (mr %p vs %p)", err, gotMR, mr)
+	}
+	if len(dst) != 512 {
+		t.Fatalf("dst len = %d", len(dst))
+	}
+	// Writing through the view must land in the registered buffer: the
+	// view is the region, not a copy.
+	for i := range dst {
+		dst[i] = byte(i)
+	}
+	if buf[1024] != 0 || buf[1025] != 1 || buf[1024+511] != byte(511%256) {
+		t.Fatal("in-place write did not reach the backing buffer")
+	}
+
+	// Validation still applies.
+	if _, _, err := a.WritableRemote(RemoteAddr{Addr: mr.Addr, RKey: mr.RKey + 99}, 8); err != ErrMRKey {
+		t.Fatalf("bad rkey: %v", err)
+	}
+	if _, _, err := a.WritableRemote(mr.Remote(4090), 16); err != ErrMRBounds {
+		t.Fatalf("out of bounds: %v", err)
+	}
+	ro, _ := a.Register(&PD{ID: 1}, make([]byte, 64), AccessRemoteRead)
+	if _, _, err := a.WritableRemote(ro.Remote(0), 8); err != ErrMRAccess {
+		t.Fatalf("read-only region writable: %v", err)
+	}
+}
+
+func TestWritableRemoteModeledTruncation(t *testing.T) {
+	a := NewAddressSpace()
+	mr, err := a.RegisterModel(&PD{ID: 1}, 1<<20, 64, AccessRemoteWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, dst, err := a.WritableRemote(mr.Remote(0), 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dst) != 64 {
+		t.Fatalf("modeled view len = %d, want shadow prefix 64", len(dst))
+	}
+	_, dst, err = a.WritableRemote(mr.Remote(128), 4096)
+	if err != nil || dst != nil {
+		t.Fatalf("fully modeled window: dst=%v err=%v", dst, err)
+	}
+}
+
+func TestWritableLocal(t *testing.T) {
+	a := NewAddressSpace()
+	buf := make([]byte, 256)
+	mr, _ := a.Register(&PD{ID: 1}, buf, AccessLocalWrite)
+	dst := mr.WritableLocal(16, 32)
+	if len(dst) != 32 {
+		t.Fatalf("len = %d", len(dst))
+	}
+	copy(dst, bytes.Repeat([]byte{7}, 32))
+	if buf[16] != 7 || buf[47] != 7 {
+		t.Fatal("write did not land")
+	}
+	if mr.WritableLocal(-1, 8) != nil || mr.WritableLocal(250, 16) != nil || mr.WritableLocal(0, 0) != nil {
+		t.Fatal("bad windows not rejected")
+	}
+}
+
+func TestCopiedBytesCounter(t *testing.T) {
+	a := NewAddressSpace()
+	mr, _ := a.Register(&PD{ID: 1}, make([]byte, 1024), AccessRemoteWrite)
+	before := CopiedBytes()
+	if _, _, err := a.Place(mr.Remote(0), make([]byte, 300), 0); err != nil {
+		t.Fatal(err)
+	}
+	if d := CopiedBytes() - before; d != 300 {
+		t.Fatalf("Place counted %d copied bytes, want 300", d)
+	}
+	before = CopiedBytes()
+	CountCopy(41)
+	CountCopy(-5) // ignored
+	if d := CopiedBytes() - before; d != 41 {
+		t.Fatalf("CountCopy delta = %d", d)
+	}
+}

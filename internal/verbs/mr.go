@@ -4,7 +4,27 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
+
+// copiedBytes counts payload bytes moved by a CPU copy anywhere in the
+// data path (region placement, fabric fallback copies). Zero-copy
+// paths — sockets reading straight into a registered region — bypass
+// it, so the delta across a transfer is the host-side copy cost the
+// paper's one-sided design eliminates.
+var copiedBytes atomic.Uint64
+
+// CopiedBytes returns the process-wide count of CPU-copied payload
+// bytes. Benchmarks snapshot it before and after a run.
+func CopiedBytes() uint64 { return copiedBytes.Load() }
+
+// CountCopy records n payload bytes moved by an explicit copy outside
+// the MR placement helpers (fabric-internal staging copies).
+func CountCopy(n int) {
+	if n > 0 {
+		copiedBytes.Add(uint64(n))
+	}
+}
 
 // PD is a protection domain. Memory regions and queue pairs belong to a
 // PD; one-sided access is validated against the region's keys, not the
@@ -62,6 +82,7 @@ func (m *MR) placeAt(offset int, data []byte) {
 		n = len(data)
 	}
 	copy(m.Buf[offset:], data[:n])
+	CountCopy(n)
 }
 
 // viewAt returns the real bytes available at [offset, offset+n),
@@ -87,6 +108,20 @@ func (m *MR) PlaceLocal(offset int, data []byte) { m.placeAt(offset, data) }
 // truncated to the shadow prefix (nil when the window is entirely
 // modeled).
 func (m *MR) ViewLocal(offset, n int) []byte { return m.viewAt(offset, n) }
+
+// WritableLocal returns the real-backed destination bytes at
+// [offset, offset+n) for in-place local placement: a fabric may read
+// wire payload directly into the returned slice instead of staging it
+// and calling PlaceLocal. The window is bounds-checked against the
+// region and truncated to the shadow prefix, so the result may be
+// shorter than n for modeled regions (nil when out of bounds or
+// entirely modeled).
+func (m *MR) WritableLocal(offset, n int) []byte {
+	if offset < 0 || n <= 0 || offset > m.Len || n > m.Len-offset {
+		return nil
+	}
+	return m.viewAt(offset, n)
+}
 
 // AddressSpace is the per-device registry of memory regions: it assigns
 // virtual addresses and keys at registration and validates one-sided
@@ -191,6 +226,20 @@ func (a *AddressSpace) Place(remote RemoteAddr, data []byte, modelBytes int) (*M
 	}
 	mr.placeAt(off, data)
 	return mr, off, nil
+}
+
+// WritableRemote validates a one-sided write of n bytes at remote and
+// returns the real-backed destination slice for in-place placement:
+// the caller moves the payload itself (typically io.ReadFull from a
+// socket straight into the registered region), skipping the
+// intermediate copy Place would perform. The slice is shorter than n
+// when the window's tail is modeled; the caller accounts the rest.
+func (a *AddressSpace) WritableRemote(remote RemoteAddr, n int) (*MR, []byte, error) {
+	mr, off, err := a.CheckRemote(remote, n, AccessRemoteWrite)
+	if err != nil {
+		return nil, nil, err
+	}
+	return mr, mr.viewAt(off, n), nil
 }
 
 // Fetch performs a validated remote read of n bytes at remote, returning
