@@ -23,7 +23,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/fabric/... ./internal/core ./internal/trace
+	$(GO) test -race ./internal/fabric/... ./internal/core ./internal/storage ./internal/trace
 
 bench:
 	$(GO) test -bench . -benchmem -benchtime 1x . ./internal/fabric/netfabric

@@ -7,7 +7,8 @@
 //	experiments [-scale f] [-csv file] <experiment>|all
 //
 // Experiments: table1, fig3a, fig3b, fig4a, fig4b, fig8, fig9, fig10,
-// fig11, ablation-credit, ablation-qps, ablation-depth, ablation-ramp.
+// fig11, ablation-credit, ablation-qps, ablation-depth,
+// ablation-loaddepth, ablation-ramp.
 //
 // -scale 1.0 runs report-quality sizes (tens of GB per point; minutes of
 // CPU); the default 0.25 keeps a full sweep under a minute.
@@ -25,7 +26,7 @@ import (
 var experimentNames = []string{
 	"table1", "fig3a", "fig3b", "fig4a", "fig4b",
 	"fig8", "fig9", "fig10", "fig11",
-	"ablation-credit", "ablation-qps", "ablation-depth", "ablation-ramp",
+	"ablation-credit", "ablation-qps", "ablation-depth", "ablation-loaddepth", "ablation-ramp",
 	"ablation-notify", "ablation-threads", "cross-arch", "scale-out", "latency", "timeseries",
 }
 
@@ -109,6 +110,8 @@ func runExperiment(name string, sc bench.Scale) ([]bench.Row, error) {
 		return bench.AblationQPCount(bench.RoCEWAN(), sc)
 	case "ablation-depth":
 		return bench.AblationIODepth(bench.RoCEWAN(), sc)
+	case "ablation-loaddepth":
+		return bench.AblationLoadDepth(bench.RoCEWAN(), sc)
 	case "ablation-ramp":
 		return bench.AblationCreditRamp(bench.RoCEWAN(), sc)
 	case "ablation-notify":

@@ -22,6 +22,7 @@ import (
 	"rftp/internal/core"
 	"rftp/internal/fabric/chanfabric"
 	"rftp/internal/fabric/netfabric"
+	"rftp/internal/storage"
 	"rftp/internal/telemetry"
 	"rftp/internal/trace"
 )
@@ -31,6 +32,7 @@ func main() {
 	channels := flag.Int("channels", 2, "parallel data channel queue pairs (must match the server)")
 	blockStr := flag.String("block", "1M", "block size (e.g. 64K, 1M, 4M)")
 	depth := flag.Int("depth", 16, "blocks kept in flight")
+	loadDepth := flag.Int("load-depth", 0, "file reads kept in flight against storage (0 = -depth)")
 	zero := flag.String("zero", "", "memory-to-memory benchmark: send SIZE of synthetic zeros instead of files (e.g. -zero 1G)")
 	imm := flag.Bool("imm", false, "notify block completions via RDMA WRITE WITH IMMEDIATE instead of control messages")
 	doTrace := flag.Bool("trace", false, "dump the protocol event trace when the transfer ends")
@@ -73,12 +75,22 @@ func main() {
 	cfg.BlockSize = blockSize
 	cfg.Channels = *channels
 	cfg.IODepth = *depth
+	cfg.LoadDepth = *loadDepth
 	cfg.NotifyViaImm = *imm
 	source, err := core.NewSource(ep, cfg)
 	if err != nil {
 		log.Fatalf("rftp: source: %v", err)
 	}
 	source.OnError = func(err error) { log.Printf("rftp: connection error: %v", err) }
+
+	// The storage engine: a shared pool of reader workers sized to the
+	// load depth, so file reads overlap each other and the network.
+	workers := *loadDepth
+	if workers <= 0 || workers > *depth {
+		workers = *depth
+	}
+	eng := storage.NewEngine(workers)
+	defer eng.Close()
 
 	// Telemetry: source protocol metrics plus fabric WR/byte counters,
 	// attached before negotiation so nothing is missed.
@@ -87,6 +99,7 @@ func main() {
 		reg = telemetry.NewRegistry("rftp")
 		dev.Telemetry = telemetry.NewFabricMetrics(reg.Child("fabric"))
 		source.AttachTelemetry(reg)
+		eng.SetMetrics(core.NewIOMetrics(reg.Child("storage")))
 	}
 	var ring *trace.Ring
 	if *doTrace || *traceOut != "" {
@@ -134,7 +147,7 @@ func main() {
 	if err := <-ready; err != nil {
 		log.Fatalf("rftp: negotiation: %v", err)
 	}
-	log.Printf("rftp: negotiated block=%s channels=%d depth=%d", *blockStr, *channels, *depth)
+	log.Printf("rftp: negotiated block=%s channels=%d depth=%d load-depth=%d", *blockStr, *channels, *depth, workers)
 
 	if *zero != "" {
 		// The paper's memory-to-memory test: /dev/zero at the source,
@@ -144,8 +157,11 @@ func main() {
 			log.Fatalf("rftp: %v", err)
 		}
 		start := time.Now()
+		// The synthetic reader is serial, so the engine runs its loads
+		// one at a time — but off the protocol loop.
+		src := storage.NewAsyncSource(core.ReaderSource{R: io.LimitReader(zeroReader{}, int64(n))}, eng)
 		loop.Post(0, func() {
-			source.Transfer(core.ReaderSource{R: io.LimitReader(zeroReader{}, int64(n))}, int64(n),
+			source.Transfer(src, int64(n),
 				func(r core.TransferResult) {
 					results <- result{name: "<zeros>", r: r, dur: time.Since(start)}
 				})
@@ -172,8 +188,11 @@ func main() {
 			log.Fatalf("rftp: %v", err)
 		}
 		start := time.Now()
+		// Offset-addressed reads through the engine: the protocol keeps
+		// -load-depth reads in flight against the file.
+		src := storage.NewFileSource(f, st.Size(), eng)
 		loop.Post(0, func() {
-			source.Transfer(core.ReaderSource{R: f}, st.Size(), func(r core.TransferResult) {
+			source.Transfer(src, st.Size(), func(r core.TransferResult) {
 				f.Close()
 				results <- result{name: name, r: r, dur: time.Since(start)}
 			})

@@ -24,6 +24,7 @@ import (
 	"rftp/internal/core"
 	"rftp/internal/fabric/chanfabric"
 	"rftp/internal/fabric/netfabric"
+	"rftp/internal/storage"
 	"rftp/internal/telemetry"
 	"rftp/internal/trace"
 )
@@ -31,14 +32,15 @@ import (
 // serveOpts carries the observability configuration into each
 // connection handler.
 type serveOpts struct {
-	dir      string
-	channels int
-	depth    int
-	devnull  bool
-	stats    bool
-	trace    bool
-	traceOut string
-	root     *telemetry.Registry // nil when telemetry is off
+	dir        string
+	channels   int
+	depth      int
+	storeDepth int
+	devnull    bool
+	stats      bool
+	trace      bool
+	traceOut   string
+	root       *telemetry.Registry // nil when telemetry is off
 
 	mu sync.Mutex // serializes trace-out appends across connections
 }
@@ -48,6 +50,7 @@ func main() {
 	dir := flag.String("dir", ".", "directory to store received sessions in")
 	channels := flag.Int("channels", 2, "number of data channel queue pairs")
 	depth := flag.Int("depth", 16, "I/O depth (sink block pool = 2x)")
+	storeDepth := flag.Int("store-depth", 0, "file writes kept in flight against storage (0 = -depth)")
 	once := flag.Bool("once", false, "serve a single connection, then exit")
 	devnull := flag.Bool("devnull", false, "discard received data instead of writing files (memory-to-memory benchmark)")
 	doStats := flag.Bool("stats", false, "print a telemetry summary when each connection ends")
@@ -71,13 +74,14 @@ func main() {
 	log.Printf("rftpd: listening on %s (channels=%d)", ln.Addr(), *channels)
 
 	opts := &serveOpts{
-		dir:      *dir,
-		channels: *channels,
-		depth:    *depth,
-		devnull:  *devnull,
-		stats:    *doStats,
-		trace:    *doTrace,
-		traceOut: *traceOut,
+		dir:        *dir,
+		channels:   *channels,
+		depth:      *depth,
+		storeDepth: *storeDepth,
+		devnull:    *devnull,
+		stats:      *doStats,
+		trace:      *doTrace,
+		traceOut:   *traceOut,
 	}
 	if *doStats || *httpAddr != "" {
 		opts.root = telemetry.NewRegistry("rftpd")
@@ -142,11 +146,22 @@ func serve(dev *netfabric.Device, conn int, opts *serveOpts, served chan<- struc
 	cfg := core.DefaultConfig()
 	cfg.Channels = channels
 	cfg.IODepth = depth
+	cfg.StoreDepth = opts.storeDepth
 	sink, err := core.NewSink(ep, cfg)
 	if err != nil {
 		log.Printf("rftpd: sink: %v", err)
 		return
 	}
+
+	// The storage engine: a per-connection pool of writer workers sized
+	// to the store depth, so positioned file writes overlap each other
+	// and the network.
+	workers := opts.storeDepth
+	if workers <= 0 || workers > depth {
+		workers = depth
+	}
+	eng := storage.NewEngine(workers)
+	defer eng.Close()
 
 	// Per-connection observability: a child registry under the shared
 	// root (also visible over -http) and an optional trace ring.
@@ -155,6 +170,7 @@ func serve(dev *netfabric.Device, conn int, opts *serveOpts, served chan<- struc
 		reg = opts.root.Child(fmt.Sprintf("conn%d", conn))
 		dev.Telemetry = telemetry.NewFabricMetrics(reg.Child("fabric"))
 		sink.AttachTelemetry(reg)
+		eng.SetMetrics(core.NewIOMetrics(reg.Child("storage")))
 	}
 	var ring *trace.Ring
 	if opts.trace || opts.traceOut != "" {
@@ -195,10 +211,15 @@ func serve(dev *netfabric.Device, conn int, opts *serveOpts, served chan<- struc
 		files[info.ID] = f
 		log.Printf("rftpd: session %d -> %s (%d bytes expected, block %s)",
 			info.ID, name, info.Total, sizeLabel(info.BlockSize))
-		return core.WriterSink{W: f}
+		// Offset-addressed writes through the engine: arriving blocks
+		// are stored immediately, -store-depth at a time.
+		return storage.NewFileSink(f, eng)
 	}
 	sink.OnSessionDone = func(info core.SessionInfo, r core.TransferResult) {
 		if f := files[info.ID]; f != nil {
+			if err := f.Sync(); err != nil {
+				log.Printf("rftpd: sync session %d: %v", info.ID, err)
+			}
 			f.Close()
 			delete(files, info.ID)
 		}

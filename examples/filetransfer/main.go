@@ -23,6 +23,7 @@ import (
 	"rftp/internal/core"
 	"rftp/internal/fabric/chanfabric"
 	"rftp/internal/fabric/netfabric"
+	"rftp/internal/storage"
 )
 
 const fileSize = 32 << 20
@@ -42,6 +43,8 @@ func main() {
 	cfg.BlockSize = 256 << 10
 	cfg.Channels = 2
 	cfg.IODepth = 16
+	cfg.LoadDepth = 8  // file reads kept in flight at the source
+	cfg.StoreDepth = 8 // file writes kept in flight at the sink
 
 	// ---- Server side (sink) ----
 	ln, err := netfabric.Listen("127.0.0.1:0")
@@ -74,16 +77,16 @@ func main() {
 			serverDone <- err
 			return
 		}
-		var out *os.File
+		var out *storage.FileSink
 		sink.NewWriter = func(info core.SessionInfo) core.BlockSink {
-			out, err = os.Create(output)
+			out, err = storage.OpenFileSink(output, cfg.StoreDepth)
 			check(err)
 			fmt.Printf("server: receiving session %d into %s\n", info.ID, output)
-			return core.WriterSink{W: out}
+			return out
 		}
 		sink.OnSessionDone = func(info core.SessionInfo, r core.TransferResult) {
 			if out != nil {
-				out.Close()
+				check(out.Close())
 			}
 			serverDone <- r.Err
 		}
@@ -106,16 +109,16 @@ func main() {
 	source, err := core.NewSource(ep, cfg)
 	check(err)
 
-	f, err := os.Open(input)
+	src, err := storage.OpenFileSource(input, cfg.LoadDepth)
 	check(err)
-	defer f.Close()
+	defer src.Close()
 
 	start := time.Now()
 	clientDone := make(chan core.TransferResult, 1)
 	loop.Post(0, func() {
 		source.Start(func(err error) {
 			check(err)
-			source.Transfer(core.ReaderSource{R: f}, fileSize,
+			source.Transfer(src, src.Size(),
 				func(r core.TransferResult) { clientDone <- r })
 		})
 	})

@@ -188,6 +188,37 @@ func TestAblationIODepthShape(t *testing.T) {
 	}
 }
 
+// TestAblationLoadDepthCrossover is the PR's acceptance criterion: with
+// modeled per-spindle disk latency at the source, pipelining loads at
+// depth 8 must at least double depth-1 throughput (disk-bound →
+// network-bound crossover), and the load-latency column must be
+// populated from telemetry.
+func TestAblationLoadDepthCrossover(t *testing.T) {
+	rows, err := AblationLoadDepth(RoCEWAN(), ScaleQuick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byDepth := map[int]Row{}
+	for _, r := range rows {
+		byDepth[r.Depth] = r
+	}
+	d1, ok1 := byDepth[1]
+	d8, ok8 := byDepth[8]
+	if !ok1 || !ok8 {
+		t.Fatalf("sweep missing depth 1 or 8: %+v", rows)
+	}
+	if d8.Gbps < 2*d1.Gbps {
+		t.Fatalf("LoadDepth=8 %.2f Gbps < 2x LoadDepth=1 %.2f Gbps", d8.Gbps, d1.Gbps)
+	}
+	// Depth 1 must be disk-bound: well under the 10 Gbps WAN NIC.
+	if d1.Gbps > 5 {
+		t.Fatalf("depth-1 run not disk-bound: %.2f Gbps", d1.Gbps)
+	}
+	if d1.LoadLatUs <= 0 || d8.LoadLatUs <= 0 {
+		t.Fatalf("load latency telemetry missing: d1=%.0f d8=%.0f", d1.LoadLatUs, d8.LoadLatUs)
+	}
+}
+
 func TestRunGridFTPDiskOption(t *testing.T) {
 	r, err := RunGridFTP(RoCEWAN(), GridFTPOptions{
 		Streams: 2, BlockSize: 4 << 20, TotalBytes: 256 << 20,

@@ -7,6 +7,7 @@ import (
 	"rftp/internal/core"
 	"rftp/internal/diskmodel"
 	"rftp/internal/ioengine"
+	"rftp/internal/telemetry"
 	"rftp/internal/verbs"
 )
 
@@ -33,7 +34,12 @@ type Row struct {
 	// CopiedPerOp is CPU-copied payload bytes per block (RFTP rows);
 	// zero-copy placement keeps it near zero.
 	CopiedPerOp float64
-	Note        string
+	// LoadLatUs / StoreLatUs are p50 storage-stage latencies in
+	// microseconds (load: issue→completion at the source; store:
+	// data-ready→stored at the sink), from telemetry-instrumented runs.
+	LoadLatUs  float64
+	StoreLatUs float64
+	Note       string
 }
 
 // Scale reduces experiment sizes for quick runs: 1.0 reproduces the
@@ -199,7 +205,7 @@ func FigMemVsDisk(tb Testbed, scale Scale) ([]Row, error) {
 			Gbps: dsk.BandwidthGbps, ClientCPU: dsk.ClientCPU, ServerCPU: dsk.ServerCPU,
 			Stalls: dsk.Stalls, RNR: dsk.RNR,
 			AllocsPerOp: dsk.AllocsPerBlock, CopiedPerOp: dsk.CopiedPerBlock,
-			Note:        "O_DIRECT RAID",
+			Note: "O_DIRECT RAID",
 		})
 
 		// The comparison the paper declines to chart: GridFTP has no
@@ -300,6 +306,46 @@ func AblationIODepth(tb Testbed, scale Scale) ([]Row, error) {
 			Gbps: r.BandwidthGbps, ClientCPU: r.ClientCPU, ServerCPU: r.ServerCPU,
 			Stalls: r.Stalls, RNR: r.RNR,
 			AllocsPerOp: r.AllocsPerBlock, CopiedPerOp: r.CopiedPerBlock,
+		})
+	}
+	return rows, nil
+}
+
+// AblationLoadDepth sweeps the storage pipeline depth with the source
+// reading from the modeled RAID array: at depth 1 every block pays one
+// spindle's seek latency and streaming time serially (disk-bound); as
+// depth grows, reads overlap across spindles until the WAN NIC becomes
+// the bottleneck. The crossover is the paper's Section III argument
+// applied to the storage stage: the asynchronous interface only pays
+// off when the application keeps many operations in flight.
+func AblationLoadDepth(tb Testbed, scale Scale) ([]Row, error) {
+	total := scale.bytes(8 << 30)
+	arr := diskmodel.DefaultArray()
+	var rows []Row
+	for _, depth := range []int{1, 2, 4, 8, 16, 32} {
+		cfg := core.DefaultConfig()
+		cfg.BlockSize = 1 << 20
+		cfg.IODepth = rftpDepthFor(tb, cfg.BlockSize)
+		cfg.SinkBlocks = 2 * cfg.IODepth
+		cfg.LoadDepth = depth
+		reg := telemetry.NewRegistry("run")
+		r, err := RunRFTP(tb, RFTPOptions{
+			Config: cfg, TotalBytes: total,
+			SrcDisk: true, SrcDiskMode: diskmodel.ODirect, SrcDiskCfg: arr,
+			Telemetry: reg,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("ablation-loaddepth d=%d: %w", depth, err)
+		}
+		snap := reg.Snapshot()
+		rows = append(rows, Row{
+			Figure: "ablation-loaddepth", Testbed: tb.Name, Tool: "RFTP src-disk",
+			BlockSize: cfg.BlockSize, Depth: depth,
+			Gbps: r.BandwidthGbps, ClientCPU: r.ClientCPU, ServerCPU: r.ServerCPU,
+			Stalls: r.Stalls, RNR: r.RNR,
+			LoadLatUs:  float64(snap.Find("source").Histogram("load_latency").Quantile(0.5)) / 1e3,
+			StoreLatUs: float64(snap.Find("sink").Histogram("store_latency").Quantile(0.5)) / 1e3,
+			Note:       fmt.Sprintf("spindles=%d seek=%v", arr.Spindles, arr.PerReadLatency),
 		})
 	}
 	return rows, nil

@@ -25,7 +25,7 @@ func FormatBlockSize(n int) string {
 // WriteTable renders rows as an aligned text table.
 func WriteTable(w io.Writer, rows []Row) error {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "figure\ttestbed\ttool\tblock\tstreams\tdepth\tGbps\tclientCPU%\tserverCPU%\tstalls\tretrans\trnr\tallocs/op\tcopied/op\tnote")
+	fmt.Fprintln(tw, "figure\ttestbed\ttool\tblock\tstreams\tdepth\tGbps\tclientCPU%\tserverCPU%\tstalls\tretrans\trnr\tallocs/op\tcopied/op\tloadlat(µs)\tstorelat(µs)\tnote")
 	for _, r := range rows {
 		streams := ""
 		if r.Streams > 0 {
@@ -40,25 +40,32 @@ func WriteTable(w io.Writer, rows []Row) error {
 			allocs = fmt.Sprintf("%.0f", r.AllocsPerOp)
 			copied = fmt.Sprintf("%.0f", r.CopiedPerOp)
 		}
-		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%s\t%.2f\t%.0f\t%.0f\t%d\t%d\t%d\t%s\t%s\t%s\n",
+		loadlat, storelat := "", ""
+		if r.LoadLatUs > 0 {
+			loadlat = fmt.Sprintf("%.0f", r.LoadLatUs)
+		}
+		if r.StoreLatUs > 0 {
+			storelat = fmt.Sprintf("%.0f", r.StoreLatUs)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%s\t%.2f\t%.0f\t%.0f\t%d\t%d\t%d\t%s\t%s\t%s\t%s\t%s\n",
 			r.Figure, r.Testbed, r.Tool, FormatBlockSize(r.BlockSize),
 			streams, depth, r.Gbps, r.ClientCPU, r.ServerCPU,
-			r.Stalls, r.Retrans, r.RNR, allocs, copied, r.Note)
+			r.Stalls, r.Retrans, r.RNR, allocs, copied, loadlat, storelat, r.Note)
 	}
 	return tw.Flush()
 }
 
 // WriteCSV renders rows as CSV.
 func WriteCSV(w io.Writer, rows []Row) error {
-	if _, err := fmt.Fprintln(w, "figure,testbed,tool,block_bytes,streams,depth,gbps,client_cpu_pct,server_cpu_pct,stalls,retrans,rnr,allocs_per_op,copied_bytes_per_op,note"); err != nil {
+	if _, err := fmt.Fprintln(w, "figure,testbed,tool,block_bytes,streams,depth,gbps,client_cpu_pct,server_cpu_pct,stalls,retrans,rnr,allocs_per_op,copied_bytes_per_op,load_lat_us,store_lat_us,note"); err != nil {
 		return err
 	}
 	for _, r := range rows {
 		note := strings.ReplaceAll(r.Note, ",", ";")
-		if _, err := fmt.Fprintf(w, "%s,%s,%s,%d,%d,%d,%.3f,%.1f,%.1f,%d,%d,%d,%.1f,%.1f,%s\n",
+		if _, err := fmt.Fprintf(w, "%s,%s,%s,%d,%d,%d,%.3f,%.1f,%.1f,%d,%d,%d,%.1f,%.1f,%.1f,%.1f,%s\n",
 			r.Figure, r.Testbed, r.Tool, r.BlockSize, r.Streams, r.Depth,
 			r.Gbps, r.ClientCPU, r.ServerCPU, r.Stalls, r.Retrans, r.RNR,
-			r.AllocsPerOp, r.CopiedPerOp, note); err != nil {
+			r.AllocsPerOp, r.CopiedPerOp, r.LoadLatUs, r.StoreLatUs, note); err != nil {
 			return err
 		}
 	}

@@ -25,7 +25,18 @@ type RFTPOptions struct {
 	Disk     bool
 	DiskMode diskmodel.Mode
 	DiskCfg  diskmodel.ArrayConfig
-	Seed     int64
+	// SrcDisk routes the source to a modeled RAID array: loads become
+	// spindle-parallel reads whose latency only overlaps when
+	// Config.LoadDepth keeps several in flight (the load-depth
+	// ablation's disk-bound regime).
+	SrcDisk     bool
+	SrcDiskMode diskmodel.Mode
+	SrcDiskCfg  diskmodel.ArrayConfig
+	// Loaders / Storers spread memory-model loads/stores over N CPU
+	// threads (0 or 1 = the single dedicated thread).
+	Loaders int
+	Storers int
+	Seed    int64
 	// Telemetry, when non-nil, instruments the run: source/sink protocol
 	// metrics and per-device fabric metrics are registered as children.
 	// Nil runs stay uninstrumented (and measure the disabled-path cost).
@@ -79,6 +90,19 @@ func RunRFTP(tb Testbed, opt RFTPOptions) (RunResult, error) {
 	dstLoop := dstHost.NewThread("rftp-sink")
 	loader := srcHost.NewThread("loader")
 	storer := dstHost.NewThread("storer")
+	var loaders, storers []*hostmodel.Thread
+	for i := 1; i < opt.Loaders; i++ {
+		loaders = append(loaders, srcHost.NewThread(fmt.Sprintf("loader%d", i)))
+	}
+	if loaders != nil {
+		loaders = append([]*hostmodel.Thread{loader}, loaders...)
+	}
+	for i := 1; i < opt.Storers; i++ {
+		storers = append(storers, dstHost.NewThread(fmt.Sprintf("storer%d", i)))
+	}
+	if storers != nil {
+		storers = append([]*hostmodel.Thread{storer}, storers...)
+	}
 
 	cfg := opt.Config
 	cfg.ModelPayload = true
@@ -117,7 +141,7 @@ func RunRFTP(tb Testbed, opt RFTPOptions) (RunResult, error) {
 		}
 	} else {
 		sink.NewWriter = func(core.SessionInfo) core.BlockSink {
-			return &core.ModelSink{Storer: storer, NsPerByte: tb.Host.MemStoreNsPerByte}
+			return &core.ModelSink{Storer: storer, Storers: storers, NsPerByte: tb.Host.MemStoreNsPerByte}
 		}
 	}
 	source, err := core.NewSource(srcEP, cfg)
@@ -145,7 +169,19 @@ func RunRFTP(tb Testbed, opt RFTPOptions) (RunResult, error) {
 			negoErr = err
 			return
 		}
-		src := &core.ModelSource{Total: opt.TotalBytes, Loader: loader, NsPerByte: tb.Host.MemLoadNsPerByte}
+		var src core.BlockSource
+		if opt.SrcDisk {
+			cfg := opt.SrcDiskCfg
+			if cfg.RateBps == 0 {
+				cfg = diskmodel.DefaultArray()
+			}
+			src = &diskSource{
+				arr: diskmodel.NewArray(sched, cfg), th: loader,
+				mode: opt.SrcDiskMode, total: opt.TotalBytes,
+			}
+		} else {
+			src = &core.ModelSource{Total: opt.TotalBytes, Loader: loader, Loaders: loaders, NsPerByte: tb.Host.MemLoadNsPerByte}
+		}
 		source.Transfer(src, opt.TotalBytes, func(r core.TransferResult) {
 			srcRes = r
 			srcDone = true
@@ -184,6 +220,41 @@ func RunRFTP(tb Testbed, opt RFTPOptions) (RunResult, error) {
 		res.ServerCPU = 100 * float64(dstHost.BusyTotal()-dstBusy0) / float64(elapsed)
 	}
 	return res, nil
+}
+
+// diskSource adapts the RAID array model to the protocol's
+// BlockSourceAt: each load is one spindle read, so the device only
+// reaches aggregate bandwidth when the protocol keeps LoadDepth reads
+// outstanding.
+type diskSource struct {
+	arr   *diskmodel.Array
+	th    *hostmodel.Thread
+	mode  diskmodel.Mode
+	total int64
+
+	cursor int64 // serial Load path only
+}
+
+// Load implements core.BlockSource (serial reads).
+func (d *diskSource) Load(p []byte, capacity int, done func(int, bool, error)) {
+	off := d.cursor
+	d.cursor += int64(capacity)
+	d.LoadAt(p, capacity, uint64(off), done)
+}
+
+// LoadAt implements core.BlockSourceAt.
+func (d *diskSource) LoadAt(p []byte, capacity int, off uint64, done func(int, bool, error)) {
+	remaining := d.total - int64(off)
+	if remaining <= 0 {
+		done(0, true, nil)
+		return
+	}
+	n := int64(capacity)
+	if n > remaining {
+		n = remaining
+	}
+	eof := int64(off)+n >= d.total
+	d.arr.Read(d.th, d.mode, int(n), func() { done(int(n), eof, nil) })
 }
 
 // diskSink adapts the RAID array model to the protocol's BlockSink.

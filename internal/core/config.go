@@ -71,6 +71,19 @@ type Config struct {
 	// SinkBlocks is the sink block pool size (the credit supply).
 	// Defaults to 2*IODepth so reassembly holes never starve credits.
 	SinkBlocks int
+	// LoadDepth bounds in-flight Loads per session when the session's
+	// BlockSource is offset-addressed (BlockSourceAt): seq and offset
+	// are assigned at issue time, so loads overlap and may complete out
+	// of order, keeping the storage stage as deep as the network stages.
+	// Plain BlockSources always run one load at a time regardless.
+	// Defaults to IODepth; values above IODepth are clamped to it (the
+	// pool cannot hold more).
+	LoadDepth int
+	// StoreDepth bounds concurrent Stores per session at the sink, on
+	// both the in-order delivery path and the OffsetSink fast path.
+	// Defaults to SinkBlocks (effectively unbounded: every arrived block
+	// may be storing at once).
+	StoreDepth int
 	// CreditPolicy selects proactive (paper) or on-demand (baseline)
 	// credit flow.
 	CreditPolicy CreditPolicy
@@ -137,6 +150,12 @@ func (c Config) Normalize() (Config, error) {
 	}
 	if c.SinkBlocks <= 0 {
 		c.SinkBlocks = 2 * c.IODepth
+	}
+	if c.LoadDepth <= 0 || c.LoadDepth > c.IODepth {
+		c.LoadDepth = c.IODepth
+	}
+	if c.StoreDepth <= 0 || c.StoreDepth > c.SinkBlocks {
+		c.StoreDepth = c.SinkBlocks
 	}
 	if c.GrantPerConsume <= 0 {
 		c.GrantPerConsume = 2

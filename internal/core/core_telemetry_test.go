@@ -25,7 +25,7 @@ func TestChanTelemetryEndToEnd(t *testing.T) {
 
 	srcReg := telemetry.NewRegistry("source")
 	sinkReg := telemetry.NewRegistry("sink")
-	ring := trace.NewRing(1 << 16, nil) // large enough to retain everything
+	ring := trace.NewRing(1<<16, nil) // large enough to retain everything
 	p.srcLoop.Post(0, func() {
 		p.source.AttachTelemetry(srcReg)
 		p.source.Trace = ring

@@ -11,6 +11,13 @@ import (
 // credit batch.
 const ctrlBufSize = wire.ControlHeaderSize + wire.MaxCreditsPerMsg*16
 
+// dataQueueSlack is the send-queue headroom each data QP gets beyond
+// the block pool's IODepth, absorbing retries and posting bursts so a
+// momentarily full queue is exceptional rather than routine. The
+// source's per-channel inflight bound uses the same value, so the QP
+// queue and the protocol's own accounting agree.
+const dataQueueSlack = 4
+
 // Endpoint bundles the queue pairs one side of a connection uses: a
 // dedicated control QP (SEND/RECV) and one or more data channel QPs
 // (RDMA WRITE), all completing onto one event loop.
@@ -42,7 +49,7 @@ func NewEndpoint(dev verbs.Device, loop verbs.Loop, channels, ioDepth int) (*End
 	if ctrlDepth < 64 {
 		ctrlDepth = 64
 	}
-	ep := &Endpoint{Dev: dev, Loop: loop, PD: dev.AllocPD(), ctrlDepth: ctrlDepth, dataDepth: ioDepth + 4}
+	ep := &Endpoint{Dev: dev, Loop: loop, PD: dev.AllocPD(), ctrlDepth: ctrlDepth, dataDepth: ioDepth + dataQueueSlack}
 	ep.CtrlCQ = verbs.NewUpcallCQ(loop)
 	ep.DataCQ = verbs.NewUpcallCQ(loop)
 
@@ -54,7 +61,7 @@ func NewEndpoint(dev verbs.Device, loop verbs.Loop, channels, ioDepth int) (*End
 	if err != nil {
 		return nil, fmt.Errorf("core: control QP: %w", err)
 	}
-	dataDepth := ioDepth + 4
+	dataDepth := ep.dataDepth
 	for i := 0; i < channels; i++ {
 		qp, err := dev.CreateQP(verbs.QPConfig{
 			PD: ep.PD, SendCQ: ep.DataCQ, RecvCQ: ep.DataCQ,

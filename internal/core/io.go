@@ -25,12 +25,48 @@ type BlockSource interface {
 	Load(p []byte, cap int, done func(n int, eof bool, err error))
 }
 
+// BlockSourceAt is an offset-addressed BlockSource: LoadAt fills p with
+// up to capacity bytes starting at byte offset off of the dataset, and
+// is safe to call with multiple loads outstanding (the paper's source
+// FSM keeps many blocks in `loading` at once via a dedicated
+// data-loading thread and O_DIRECT RAID reads).
+//
+// Contract: a load whose window lies strictly inside the dataset
+// returns exactly capacity bytes with eof=false; the load straddling
+// the end returns the remaining n>0 bytes with eof=true; loads at or
+// past the end return (0, true, nil). The protocol issues LoadAts at
+// consecutive capacity-strided offsets and may observe completions in
+// any order; blocks over-issued past EOF are discarded.
+//
+// Sources that cannot honor this (streaming readers with no known
+// length) should implement only BlockSource and stay on the serial
+// one-load-at-a-time path.
+type BlockSourceAt interface {
+	BlockSource
+	LoadAt(p []byte, capacity int, off uint64, done func(n int, eof bool, err error))
+}
+
 // BlockSink consumes delivered payload in order (the "offloading data
 // into file system" stage of the sink FSM). payload is nil for modeled
 // transfers; modelLen is the payload length either way. done must be
 // called exactly once.
 type BlockSink interface {
 	Store(hdr wire.BlockHeader, payload []byte, modelLen int, done func(err error))
+}
+
+// OffsetSink marks a BlockSink whose Store places payload by
+// hdr.Offset, independent of call order, and tolerates multiple Stores
+// outstanding at once. The sink then runs the offset fast path: blocks
+// are stored the moment they arrive — no waiting behind reassembly
+// holes — bounded by Config.StoreDepth. Sinks that append to a stream
+// (WriterSink) must not implement this; they keep the in-order
+// delivery path.
+type OffsetSink interface {
+	BlockSink
+	// OffsetStores reports whether the fast path may be used; a wrapper
+	// can return false to force in-order delivery for a particular
+	// destination.
+	OffsetStores() bool
 }
 
 // ReaderSource adapts an io.Reader. Reads happen synchronously in the
@@ -71,16 +107,21 @@ func (DiscardSink) Store(hdr wire.BlockHeader, payload []byte, modelLen int, don
 // Total bytes from /dev/zero, charging NsPerByte of CPU per byte to the
 // loader thread (the paper measured 50% of one core at 25 Gbps). A
 // separate loader thread mirrors the middleware's dedicated data-loading
-// thread.
+// thread. It is offset-addressed (BlockSourceAt), so the protocol keeps
+// LoadDepth loads pipelined through the loader; set Loaders to spread
+// concurrent loads round-robin over several threads (parallel loader
+// threads on independent cores).
 type ModelSource struct {
 	Total     int64
 	Loader    *hostmodel.Thread
+	Loaders   []*hostmodel.Thread
 	NsPerByte float64
 
 	produced int64
+	nextTh   int
 }
 
-// Load implements BlockSource.
+// Load implements BlockSource (serial cursor-based loads).
 func (s *ModelSource) Load(p []byte, capacity int, done func(int, bool, error)) {
 	remaining := s.Total - s.produced
 	n := int64(capacity)
@@ -90,25 +131,73 @@ func (s *ModelSource) Load(p []byte, capacity int, done func(int, bool, error)) 
 	s.produced += n
 	eof := s.produced >= s.Total
 	cost := hostmodel.ScaleNsPerByte(s.NsPerByte, int(n))
-	s.Loader.Post(cost, func() { done(int(n), eof, nil) })
+	s.loaderThread().Post(cost, func() { done(int(n), eof, nil) })
+}
+
+// LoadAt implements BlockSourceAt: stateless offset-addressed loads,
+// safe with many outstanding.
+func (s *ModelSource) LoadAt(p []byte, capacity int, off uint64, done func(int, bool, error)) {
+	remaining := s.Total - int64(off)
+	if remaining <= 0 {
+		done(0, true, nil)
+		return
+	}
+	n := int64(capacity)
+	if n > remaining {
+		n = remaining
+	}
+	eof := int64(off)+n >= s.Total
+	cost := hostmodel.ScaleNsPerByte(s.NsPerByte, int(n))
+	s.loaderThread().Post(cost, func() { done(int(n), eof, nil) })
+}
+
+// loaderThread picks the next loader round-robin (Loaders when set,
+// else the single Loader).
+func (s *ModelSource) loaderThread() *hostmodel.Thread {
+	if len(s.Loaders) == 0 {
+		return s.Loader
+	}
+	t := s.Loaders[s.nextTh%len(s.Loaders)]
+	s.nextTh++
+	return t
 }
 
 // ModelSink is the simulation-scale consumer: it charges NsPerByte per
 // byte to the storer thread (near zero for /dev/null, higher for POSIX
 // disk writes) and optionally an extra fixed PerBlock cost (syscalls).
+// It is offset-addressed (its accounting is order-independent), so the
+// sink stores arriving blocks immediately instead of waiting behind
+// reassembly holes; set Storers to spread concurrent stores over
+// several threads.
 type ModelSink struct {
 	Storer    *hostmodel.Thread
+	Storers   []*hostmodel.Thread
 	NsPerByte float64
 	PerBlock  time.Duration
 
 	stored int64
+	nextTh int
 }
 
 // Store implements BlockSink.
 func (s *ModelSink) Store(hdr wire.BlockHeader, payload []byte, modelLen int, done func(error)) {
 	s.stored += int64(modelLen)
 	cost := hostmodel.ScaleNsPerByte(s.NsPerByte, modelLen) + s.PerBlock
-	s.Storer.Post(cost, func() { done(nil) })
+	s.storerThread().Post(cost, func() { done(nil) })
+}
+
+// OffsetStores implements OffsetSink: modeled stores are placement-free.
+func (s *ModelSink) OffsetStores() bool { return true }
+
+// storerThread picks the next storer round-robin (Storers when set,
+// else the single Storer).
+func (s *ModelSink) storerThread() *hostmodel.Thread {
+	if len(s.Storers) == 0 {
+		return s.Storer
+	}
+	t := s.Storers[s.nextTh%len(s.Storers)]
+	s.nextTh++
+	return t
 }
 
 // Stored returns total bytes consumed.

@@ -58,11 +58,19 @@ type Sink struct {
 
 // sinkSession is one dataset being received.
 type sinkSession struct {
-	info        SessionInfo
-	writer      BlockSink
+	info   SessionInfo
+	writer BlockSink
+	// offsetSink is non-nil when writer accepts offset-addressed
+	// concurrent stores: arriving blocks then go straight to storage
+	// (bounded by StoreDepth) instead of waiting behind reassembly
+	// holes. nextDeliver tracks the contiguous-arrival low-water mark on
+	// this path rather than the delivery cursor.
+	offsetSink  OffsetSink
 	nextDeliver uint32
-	ready       map[uint32]*block // data-ready blocks by seq
-	storing     int               // Stores issued, not yet done
+	ready       map[uint32]*block   // in-order path: data-ready blocks by seq
+	ooo         map[uint32]struct{} // offset path: arrived seqs above nextDeliver
+	storeQ      []*block            // offset path: arrived blocks awaiting a store slot
+	storing     int                 // Stores issued, not yet done
 	haveLast    bool
 	lastSeq     uint32
 	received    int64
@@ -325,6 +333,10 @@ func (k *Sink) handleSessionReq(c *wire.Control) {
 		writer: nil,
 	}
 	sess.writer = k.NewWriter(sess.info)
+	if os, ok := sess.writer.(OffsetSink); ok && os.OffsetStores() {
+		sess.offsetSink = os
+		sess.ooo = make(map[uint32]struct{})
+	}
 	k.Trace.Emit(trace.Event{Cat: trace.CatSession, Name: "session_accept",
 		Session: sess.info.ID, V1: sess.info.Total})
 	if k.tel != nil {
@@ -427,7 +439,7 @@ func (k *Sink) blockArrived(b *block, hdr wire.BlockHeader) {
 		k.fail(fmt.Errorf("%w: block for unknown session %d", ErrProtocol, hdr.Session))
 		return
 	}
-	if _, dup := sess.ready[hdr.Seq]; dup || hdr.Seq < sess.nextDeliver {
+	if dup := k.noteArrival(sess, hdr.Seq); dup {
 		k.fail(fmt.Errorf("%w: duplicate block %d/%d", ErrProtocol, hdr.Session, hdr.Seq))
 		return
 	}
@@ -436,11 +448,15 @@ func (k *Sink) blockArrived(b *block, hdr wire.BlockHeader) {
 	b.offset = hdr.Offset
 	k.Trace.Emit(trace.Event{Cat: trace.CatBlock, Name: "arrived",
 		Session: hdr.Session, Block: hdr.Seq, V1: int64(hdr.PayloadLen)})
-	sess.ready[hdr.Seq] = b
+	if sess.offsetSink != nil {
+		sess.storeQ = append(sess.storeQ, b)
+	} else {
+		sess.ready[hdr.Seq] = b
+	}
 	if t := k.tel; t != nil {
 		now := k.ep.Loop.Now()
 		t.creditLatency.Observe(int64(now - b.tAcq))
-		t.reassembly.Observe(int64(len(sess.ready)))
+		t.reassembly.Observe(int64(len(sess.ready) + len(sess.storeQ)))
 		t.blocksArrived.Inc()
 		t.bytesArrived.Add(int64(b.payloadLen))
 		t.granted.Set(int64(k.granted))
@@ -454,37 +470,103 @@ func (k *Sink) blockArrived(b *block, hdr wire.BlockHeader) {
 	if k.cfg.CreditPolicy == CreditProactive {
 		k.grantCredits(k.cfg.GrantPerConsume, grantOnConsume)
 	}
-	k.deliver(sess)
+	if sess.offsetSink != nil {
+		k.pumpStores(sess)
+	} else {
+		k.deliver(sess)
+	}
+}
+
+// noteArrival records seq as arrived and reports whether it is a
+// duplicate. Both paths keep nextDeliver as the contiguous low-water
+// mark of processed-or-arrived sequence numbers; the offset path
+// additionally tracks out-of-order arrivals in sess.ooo (the in-order
+// path's ready map plays that role implicitly).
+func (k *Sink) noteArrival(sess *sinkSession, seq uint32) (dup bool) {
+	if sess.offsetSink == nil {
+		_, inReady := sess.ready[seq]
+		return inReady || seq < sess.nextDeliver
+	}
+	if seq < sess.nextDeliver {
+		return true
+	}
+	if _, seen := sess.ooo[seq]; seen {
+		return true
+	}
+	if seq == sess.nextDeliver {
+		sess.nextDeliver++
+		for {
+			if _, ok := sess.ooo[sess.nextDeliver]; !ok {
+				break
+			}
+			delete(sess.ooo, sess.nextDeliver)
+			sess.nextDeliver++
+		}
+	} else {
+		sess.ooo[seq] = struct{}{}
+	}
+	return false
 }
 
 // deliver hands ready blocks to the writer in sequence order
-// (get_ready_blk in the paper's FSM).
+// (get_ready_blk in the paper's FSM), keeping at most StoreDepth
+// stores outstanding.
 func (k *Sink) deliver(sess *sinkSession) {
-	for {
+	for sess.storing < k.cfg.StoreDepth {
 		b, ok := sess.ready[sess.nextDeliver]
 		if !ok {
 			break
 		}
 		delete(sess.ready, sess.nextDeliver)
 		sess.nextDeliver++
-		b.setState(BlockStoring)
-		if k.tel != nil {
-			b.tReady = k.ep.Loop.Now()
-		}
-		sess.storing++
-		hdr := wire.BlockHeader{
-			Session: b.session, Seq: b.seq,
-			Offset: b.offset, PayloadLen: uint32(b.payloadLen), Last: b.last,
-		}
-		var payload []byte
-		if !k.cfg.ModelPayload {
-			payload = b.mr.ViewLocal(wire.BlockHeaderSize, b.payloadLen)
-		}
-		sess.writer.Store(hdr, payload, b.payloadLen, func(err error) {
-			k.ep.Loop.Post(0, func() { k.storeDone(sess, b, err) })
-		})
+		k.issueStore(sess, b)
 	}
 	k.maybeFinish(sess)
+}
+
+// pumpStores is the OffsetSink fast path: arrived blocks go to storage
+// in arrival order, up to StoreDepth concurrently, with no reassembly
+// wait — the writer places each block by its header offset.
+func (k *Sink) pumpStores(sess *sinkSession) {
+	for len(sess.storeQ) > 0 && sess.storing < k.cfg.StoreDepth {
+		b := sess.storeQ[0]
+		sess.storeQ = sess.storeQ[1:]
+		k.issueStore(sess, b)
+	}
+	k.maybeFinish(sess)
+}
+
+// issueStore starts one Store (data-ready → storing) and arranges for
+// storeDone on the loop.
+func (k *Sink) issueStore(sess *sinkSession, b *block) {
+	b.setState(BlockStoring)
+	if k.tel != nil {
+		b.tReady = k.ep.Loop.Now()
+	}
+	sess.storing++
+	if t := k.tel; t != nil {
+		t.storesInflight.Set(k.totalStoring())
+	}
+	hdr := wire.BlockHeader{
+		Session: b.session, Seq: b.seq,
+		Offset: b.offset, PayloadLen: uint32(b.payloadLen), Last: b.last,
+	}
+	var payload []byte
+	if !k.cfg.ModelPayload {
+		payload = b.mr.ViewLocal(wire.BlockHeaderSize, b.payloadLen)
+	}
+	sess.writer.Store(hdr, payload, b.payloadLen, func(err error) {
+		k.ep.Loop.Post(0, func() { k.storeDone(sess, b, err) })
+	})
+}
+
+// totalStoring sums in-flight stores across sessions (telemetry).
+func (k *Sink) totalStoring() int64 {
+	var n int64
+	for _, sess := range k.sessions {
+		n += int64(sess.storing)
+	}
+	return n
 }
 
 // storeDone recycles a consumed block (put_free_blk) and answers any
@@ -494,6 +576,9 @@ func (k *Sink) storeDone(sess *sinkSession, b *block, err error) {
 		return
 	}
 	sess.storing--
+	if t := k.tel; t != nil {
+		t.storesInflight.Set(k.totalStoring())
+	}
 	if err != nil {
 		k.finishSession(sess, fmt.Errorf("core: storing block %d: %w", b.seq, err))
 		k.sendCtrl(&wire.Control{Type: wire.MsgAbort, Session: sess.info.ID})
@@ -522,7 +607,12 @@ func (k *Sink) storeDone(sess *sinkSession, b *block, err error) {
 		// round-trips.
 		k.grantCredits(1, grantOnFree)
 	}
-	k.maybeFinish(sess)
+	// A freed store slot may unblock queued or ready blocks.
+	if sess.offsetSink != nil {
+		k.pumpStores(sess)
+	} else {
+		k.deliver(sess)
+	}
 }
 
 func (k *Sink) handleDatasetComplete(c *wire.Control) {
@@ -540,7 +630,10 @@ func (k *Sink) maybeFinish(sess *sinkSession) {
 	if sess.finished || !sess.completeRx || !sess.haveLast {
 		return
 	}
-	if sess.nextDeliver <= sess.lastSeq || sess.storing > 0 || len(sess.ready) > 0 {
+	// nextDeliver is the contiguous low-water mark on both paths: past
+	// lastSeq means every block arrived (offset path) or was delivered
+	// (in-order path); pending stores and undrained queues still block.
+	if sess.nextDeliver <= sess.lastSeq || sess.storing > 0 || len(sess.ready) > 0 || len(sess.storeQ) > 0 {
 		return
 	}
 	k.Trace.Emit(trace.Event{Cat: trace.CatSession, Name: "session_complete",
@@ -566,7 +659,13 @@ func (k *Sink) finishSession(sess *sinkSession, err error) {
 		b.state = BlockFree
 		k.pool.put(b)
 	}
+	for _, b := range sess.storeQ {
+		b.state = BlockFree
+		k.pool.put(b)
+	}
 	sess.ready = nil
+	sess.storeQ = nil
+	sess.ooo = nil
 	if k.OnSessionDone != nil {
 		k.OnSessionDone(sess.info, TransferResult{
 			Session: sess.info.ID, Bytes: sess.received, Blocks: sess.blocks, Err: err,

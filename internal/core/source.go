@@ -33,9 +33,10 @@ type Source struct {
 	sessions   map[uint32]*srcSession
 	rrSessions []*srcSession // load scheduling order
 
-	chInflight []int // per data QP
-	chDead     []bool
-	nextCh     int
+	chInflight  []int // per data QP
+	chDead      []bool
+	chSaturated []bool // PostSend hit ErrSendQueueFull; cleared on next WC
+	nextCh      int
 
 	stats  Stats
 	closed bool
@@ -54,19 +55,36 @@ type Source struct {
 
 // srcSession is one dataset transfer in progress at the source.
 type srcSession struct {
-	id         uint32
-	src        BlockSource
-	total      int64 // advisory; EOF from the BlockSource is authoritative
-	sent       int64
-	blocks     int64
-	nextSeq    uint32
+	id      uint32
+	src     BlockSource
+	srcAt   BlockSourceAt // non-nil when src is offset-addressed
+	total   int64         // advisory; EOF from the BlockSource is authoritative
+	sent    int64
+	blocks  int64
+	nextSeq uint32
+	// nextOffset is the byte offset of the next load. Offset-addressed
+	// sessions advance it by the full payload capacity at issue time
+	// (seq and offset are fixed before the load completes, so loads
+	// overlap); serial sessions advance it by the actual length at
+	// completion.
 	nextOffset uint64
-	loading    bool
+	loads      int // Loads issued, not yet completed
 	eof        bool
 	inflight   int // blocks sending/waiting
 	queued     int // blocks in s.loaded
 	completeTx bool
 	onDone     func(TransferResult)
+}
+
+// loadDepth is how many loads this session may keep in flight: plain
+// BlockSources are strictly serial (the next load's offset depends on
+// the previous load's length); offset-addressed sources pipeline up to
+// Config.LoadDepth.
+func (sess *srcSession) loadDepth(cfg *Config) int {
+	if sess.srcAt == nil {
+		return 1
+	}
+	return cfg.LoadDepth
 }
 
 // TransferResult reports one finished dataset transfer.
@@ -88,11 +106,12 @@ func NewSource(ep *Endpoint, cfg Config) (*Source, error) {
 		return nil, fmt.Errorf("core: config asks %d channels, endpoint has %d", cfg.Channels, len(ep.Data))
 	}
 	s := &Source{
-		ep:         ep,
-		cfg:        cfg,
-		sessions:   make(map[uint32]*srcSession),
-		chInflight: make([]int, len(ep.Data)),
-		chDead:     make([]bool, len(ep.Data)),
+		ep:          ep,
+		cfg:         cfg,
+		sessions:    make(map[uint32]*srcSession),
+		chInflight:  make([]int, len(ep.Data)),
+		chDead:      make([]bool, len(ep.Data)),
+		chSaturated: make([]bool, len(ep.Data)),
 	}
 	s.pool, err = newPool(ep.Dev, ep.PD, cfg.IODepth, cfg.BlockSize, cfg.ModelPayload, verbs.AccessLocalWrite)
 	if err != nil {
@@ -144,6 +163,7 @@ func (s *Source) Transfer(src BlockSource, total int64, onDone func(TransferResu
 		return
 	}
 	sess := &srcSession{src: src, total: total, onDone: onDone}
+	sess.srcAt, _ = src.(BlockSourceAt)
 	s.openQ = append(s.openQ, sess)
 	s.tryOpenSession()
 }
@@ -364,35 +384,57 @@ func (s *Source) pump() {
 	s.checkSessionCompletion()
 }
 
-// issueLoads starts block loads: one outstanding load per session,
-// blocks permitting (get_free_blk in the paper's FSM).
+// issueLoads starts block loads (get_free_blk in the paper's FSM):
+// round-robin over sessions, each allowed up to its load depth in
+// flight, blocks permitting. Offset-addressed sessions fix seq and
+// offset at issue time, so many loads overlap and completions may
+// arrive in any order — the storage stage pipelines like the network
+// stages already do.
 func (s *Source) issueLoads() {
-	for _, sess := range s.rrSessions {
-		if sess.loading || sess.eof {
-			continue
+	for progress := true; progress; {
+		progress = false
+		for _, sess := range s.rrSessions {
+			if sess.eof || sess.loads >= sess.loadDepth(&s.cfg) {
+				continue
+			}
+			b := s.pool.get()
+			if b == nil {
+				return
+			}
+			s.issueLoad(sess, b)
+			progress = true
 		}
-		b := s.pool.get()
-		if b == nil {
-			return
-		}
-		sess.loading = true
-		b.setState(BlockLoading)
-		if s.tel != nil {
-			b.tAcq = s.ep.Loop.Now()
-		}
-		b.session = sess.id
-		b.seq = sess.nextSeq
-		b.offset = sess.nextOffset
-		sess.nextSeq++
-		var payload []byte
-		if !s.cfg.ModelPayload {
-			payload = b.mr.Buf[wire.BlockHeaderSize:]
-		}
-		capacity := s.cfg.PayloadCapacity()
-		sess, b := sess, b
-		sess.src.Load(payload, capacity, func(n int, eof bool, err error) {
-			s.ep.Loop.Post(0, func() { s.loadDone(sess, b, n, eof, err) })
-		})
+	}
+}
+
+// issueLoad starts one load into b for sess.
+func (s *Source) issueLoad(sess *srcSession, b *block) {
+	sess.loads++
+	b.setState(BlockLoading)
+	if s.tel != nil {
+		b.tAcq = s.ep.Loop.Now()
+		s.tel.loadsInflight.Set(s.totalLoads())
+	}
+	b.session = sess.id
+	b.seq = sess.nextSeq
+	b.offset = sess.nextOffset
+	sess.nextSeq++
+	var payload []byte
+	if !s.cfg.ModelPayload {
+		payload = b.mr.Buf[wire.BlockHeaderSize:]
+	}
+	capacity := s.cfg.PayloadCapacity()
+	done := func(n int, eof bool, err error) {
+		s.ep.Loop.Post(0, func() { s.loadDone(sess, b, n, eof, err) })
+	}
+	if sess.srcAt != nil {
+		// Assume a full block; an EOF completion trims. Once any load
+		// reports EOF no further loads are issued, so the stride error
+		// never propagates into a sent block.
+		sess.nextOffset += uint64(capacity)
+		sess.srcAt.LoadAt(payload, capacity, b.offset, done)
+	} else {
+		sess.src.Load(payload, capacity, done)
 	}
 }
 
@@ -400,7 +442,18 @@ func (s *Source) loadDone(sess *srcSession, b *block, n int, eof bool, err error
 	if s.failed != nil || s.closed {
 		return
 	}
-	sess.loading = false
+	sess.loads--
+	if s.tel != nil {
+		s.tel.loadsInflight.Set(s.totalLoads())
+	}
+	if s.sessions[sess.id] != sess {
+		// The session failed or finished while this load was in flight;
+		// recycle the block and keep other sessions moving.
+		b.setState(BlockFree)
+		s.pool.put(b)
+		s.pump()
+		return
+	}
 	if err != nil {
 		b.setState(BlockFree)
 		s.pool.put(b)
@@ -411,8 +464,24 @@ func (s *Source) loadDone(sess *srcSession, b *block, n int, eof bool, err error
 		s.failSession(sess, fmt.Errorf("%w: empty load without EOF", ErrProtocol))
 		return
 	}
-	sess.nextOffset += uint64(n)
-	sess.eof = eof
+	if eof {
+		sess.eof = true
+	}
+	if sess.srcAt != nil && n == 0 && eof && b.seq != 0 {
+		// Over-issued load past the dataset end (offset-addressed
+		// pipelining cannot know where EOF falls until a completion
+		// reports it): discard. Seq 0 is the exception — an empty
+		// dataset still sends one empty last block.
+		s.Trace.Emit(trace.Event{Cat: trace.CatBlock, Name: "load_overrun",
+			Session: sess.id, Block: b.seq})
+		b.setState(BlockFree)
+		s.pool.put(b)
+		s.pump()
+		return
+	}
+	if sess.srcAt == nil {
+		sess.nextOffset += uint64(n)
+	}
 	b.payloadLen = n
 	b.last = eof
 	b.setState(BlockLoaded)
@@ -423,6 +492,15 @@ func (s *Source) loadDone(sess *srcSession, b *block, n int, eof bool, err error
 	s.loaded = append(s.loaded, b)
 	sess.queued++
 	s.pump()
+}
+
+// totalLoads sums in-flight loads across sessions (telemetry).
+func (s *Source) totalLoads() int64 {
+	var n int64
+	for _, sess := range s.rrSessions {
+		n += int64(sess.loads)
+	}
+	return n
 }
 
 // postWrites pairs loaded blocks with credits and channels.
@@ -473,7 +551,12 @@ func (s *Source) postWrites() {
 			s.loaded = append([]*block{b}, s.loaded...)
 			s.credits = append([]wire.Credit{cr}, s.credits...)
 			if err == verbs.ErrSendQueueFull {
-				s.chInflight[ch] = s.cfg.IODepth + 4 // treat as saturated
+				// The QP's send queue is full even though our inflight
+				// count had room (completions can lag the queue): mark
+				// the channel saturated without corrupting the count.
+				// The flag clears on the channel's next completion,
+				// which is exactly when a send slot frees.
+				s.chSaturated[ch] = true
 				continue
 			}
 			s.chDead[ch] = true
@@ -510,12 +593,12 @@ func wire2remote(c wire.Credit) verbs.RemoteAddr {
 }
 
 // pickChannel returns the next usable data channel (round-robin),
-// or -1 when every live channel is at depth.
+// or -1 when every live channel is at depth or saturated.
 func (s *Source) pickChannel() int {
-	depth := s.cfg.IODepth + 4
+	depth := s.cfg.IODepth + dataQueueSlack
 	for i := 0; i < len(s.ep.Data); i++ {
 		ch := (s.nextCh + i) % len(s.ep.Data)
-		if s.chDead[ch] || s.chInflight[ch] >= depth {
+		if s.chDead[ch] || s.chSaturated[ch] || s.chInflight[ch] >= depth {
 			continue
 		}
 		s.nextCh = (ch + 1) % len(s.ep.Data)
@@ -552,6 +635,7 @@ func (s *Source) onDataWC(wc verbs.WC) {
 		return // stale completion after failure handling
 	}
 	s.chInflight[b.chIdx]--
+	s.chSaturated[b.chIdx] = false // a send slot freed with this WC
 	sess := s.sessions[b.session]
 	switch wc.Status {
 	case verbs.StatusSuccess:
@@ -625,7 +709,7 @@ func (s *Source) onDataWC(wc verbs.WC) {
 // checkSessionCompletion sends DATASET_COMPLETE for drained sessions.
 func (s *Source) checkSessionCompletion() {
 	for _, sess := range s.rrSessions {
-		if sess.completeTx || !sess.eof || sess.loading || sess.inflight > 0 || sess.queued > 0 {
+		if sess.completeTx || !sess.eof || sess.loads > 0 || sess.inflight > 0 || sess.queued > 0 {
 			continue
 		}
 		sess.completeTx = true

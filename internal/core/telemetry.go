@@ -54,6 +54,10 @@ type sourceTelemetry struct {
 	ctrlMsgs     *telemetry.Counter
 	inflight     *telemetry.Gauge
 	creditStash  *telemetry.Gauge
+	// loadsInflight tracks Loads issued but not completed across all
+	// sessions (the storage pipeline depth actually achieved; bounded by
+	// Config.LoadDepth per session).
+	loadsInflight *telemetry.Gauge
 
 	// FSM residency: Loading→Loaded, Loaded→Sending (credit+channel
 	// wait), and post→completion round trip.
@@ -73,18 +77,19 @@ func (s *Source) AttachTelemetry(reg *telemetry.Registry) {
 		return
 	}
 	t := &sourceTelemetry{
-		reg:          reg,
-		blocksPosted: reg.Counter("blocks_posted"),
-		bytesPosted:  reg.Counter("bytes_posted"),
-		retransmits:  reg.Counter("retransmits"),
-		creditStalls: reg.Counter("credit_stalls"),
-		creditsRecv:  reg.Counter("credits_received"),
-		ctrlMsgs:     reg.Counter("ctrl_msgs"),
-		inflight:     reg.Gauge("blocks_inflight"),
-		creditStash:  reg.Gauge("credit_stash"),
-		loadLatency:  reg.Histogram("load_latency", telemetry.DurationBuckets()...),
-		creditWait:   reg.Histogram("credit_wait", telemetry.DurationBuckets()...),
-		postLatency:  reg.Histogram("post_latency", telemetry.DurationBuckets()...),
+		reg:           reg,
+		blocksPosted:  reg.Counter("blocks_posted"),
+		bytesPosted:   reg.Counter("bytes_posted"),
+		retransmits:   reg.Counter("retransmits"),
+		creditStalls:  reg.Counter("credit_stalls"),
+		creditsRecv:   reg.Counter("credits_received"),
+		ctrlMsgs:      reg.Counter("ctrl_msgs"),
+		inflight:      reg.Gauge("blocks_inflight"),
+		creditStash:   reg.Gauge("credit_stash"),
+		loadsInflight: reg.Gauge("loads_inflight"),
+		loadLatency:   reg.Histogram("load_latency", telemetry.DurationBuckets()...),
+		creditWait:    reg.Histogram("credit_wait", telemetry.DurationBuckets()...),
+		postLatency:   reg.Histogram("post_latency", telemetry.DurationBuckets()...),
 	}
 	for i := range s.ep.Data {
 		ch := reg.Child(fmt.Sprintf("chan%d", i))
@@ -110,6 +115,9 @@ type sinkTelemetry struct {
 	bytesArrived  *telemetry.Counter
 	ctrlMsgs      *telemetry.Counter
 	granted       *telemetry.Gauge
+	// storesInflight tracks Stores issued but not completed across all
+	// sessions (bounded by Config.StoreDepth per session).
+	storesInflight *telemetry.Gauge
 
 	// grants[reason] counts credits issued under each policy leg.
 	grants [4]*telemetry.Counter
@@ -130,14 +138,15 @@ func (k *Sink) AttachTelemetry(reg *telemetry.Registry) {
 		return
 	}
 	t := &sinkTelemetry{
-		reg:           reg,
-		blocksArrived: reg.Counter("blocks_arrived"),
-		bytesArrived:  reg.Counter("bytes_arrived"),
-		ctrlMsgs:      reg.Counter("ctrl_msgs"),
-		granted:       reg.Gauge("credits_outstanding"),
-		creditLatency: reg.Histogram("credit_latency", telemetry.DurationBuckets()...),
-		storeLatency:  reg.Histogram("store_latency", telemetry.DurationBuckets()...),
-		reassembly:    reg.Histogram("reassembly_occupancy", reassemblyBuckets()...),
+		reg:            reg,
+		blocksArrived:  reg.Counter("blocks_arrived"),
+		bytesArrived:   reg.Counter("bytes_arrived"),
+		ctrlMsgs:       reg.Counter("ctrl_msgs"),
+		granted:        reg.Gauge("credits_outstanding"),
+		storesInflight: reg.Gauge("stores_inflight"),
+		creditLatency:  reg.Histogram("credit_latency", telemetry.DurationBuckets()...),
+		storeLatency:   reg.Histogram("store_latency", telemetry.DurationBuckets()...),
+		reassembly:     reg.Histogram("reassembly_occupancy", reassemblyBuckets()...),
 	}
 	for r := grantInitial; r <= grantOnDemand; r++ {
 		t.grants[r] = reg.Counter("grants_" + r.String())
@@ -158,4 +167,27 @@ func (k *Sink) Telemetry() *telemetry.Registry {
 func (t *sinkTelemetry) sessionCounters(id uint32) (bytes, blocks *telemetry.Counter) {
 	sess := t.reg.Child(fmt.Sprintf("sess%d", id))
 	return sess.Counter("bytes"), sess.Counter("blocks")
+}
+
+// IOMetrics instruments a storage engine feeding the protocol
+// (internal/storage or any custom BlockSource/BlockSink): jobs in
+// flight at the device, time each job waited queued before a worker
+// picked it up, and time the device operation itself took. Queue wait
+// growing while device time stays flat means the pipeline is deeper
+// than the device can absorb; the reverse means the device is the
+// bottleneck and more depth would overlap its latency.
+type IOMetrics struct {
+	InFlight   *telemetry.Gauge
+	QueueWait  *telemetry.Histogram
+	DeviceTime *telemetry.Histogram
+}
+
+// NewIOMetrics resolves engine metric handles under reg (conventionally
+// a Child registry named "srcio" or "sinkio").
+func NewIOMetrics(reg *telemetry.Registry) *IOMetrics {
+	return &IOMetrics{
+		InFlight:   reg.Gauge("io_inflight"),
+		QueueWait:  reg.Histogram("io_queue_wait", telemetry.DurationBuckets()...),
+		DeviceTime: reg.Histogram("io_device_time", telemetry.DurationBuckets()...),
+	}
 }

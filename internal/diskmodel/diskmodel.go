@@ -40,25 +40,48 @@ type ArrayConfig struct {
 	RateBps float64
 	// PerWriteLatency is fixed setup latency per write request.
 	PerWriteLatency time.Duration
+	// Spindles is the number of independent disks for reads. Each read
+	// occupies one spindle end to end at RateBps/Spindles, so a single
+	// outstanding read sees one disk's bandwidth plus its seek latency,
+	// while Spindles concurrent reads stream the whole array — the
+	// regime the load-depth pipeline must reach (fio iodepth
+	// methodology, paper Section III.B). Writes keep the aggregate
+	// serialization model. Defaults to 1.
+	Spindles int
+	// PerReadLatency is fixed positioning latency per read request
+	// (seek + rotation for the stripe's lead disk).
+	PerReadLatency time.Duration
 }
 
 // DefaultArray returns a RAID profile comfortably faster than a 10 Gbps
-// NIC (the paper's configuration goal).
+// NIC (the paper's configuration goal): 8 spindles whose aggregate
+// outruns the WAN, but whose individual latency starves a serial
+// reader.
 func DefaultArray() ArrayConfig {
-	return ArrayConfig{RateBps: 16e9, PerWriteLatency: 50 * time.Microsecond}
+	return ArrayConfig{
+		RateBps:         16e9,
+		PerWriteLatency: 50 * time.Microsecond,
+		Spindles:        8,
+		PerReadLatency:  2 * time.Millisecond,
+	}
 }
 
 // Array is a shared disk array: writes serialize against its aggregate
-// bandwidth.
+// bandwidth; reads occupy individual spindles.
 type Array struct {
 	sched *sim.Scheduler
 	cfg   ArrayConfig
 
 	busyUntil time.Duration
+	readBusy  []time.Duration // per-spindle commitment
 	// BytesWritten is the cumulative payload written.
 	BytesWritten int64
 	// Writes counts write requests.
 	Writes int64
+	// BytesRead is the cumulative payload read.
+	BytesRead int64
+	// Reads counts read requests.
+	Reads int64
 }
 
 // NewArray creates an array.
@@ -66,7 +89,10 @@ func NewArray(sched *sim.Scheduler, cfg ArrayConfig) *Array {
 	if cfg.RateBps <= 0 {
 		cfg = DefaultArray()
 	}
-	return &Array{sched: sched, cfg: cfg}
+	if cfg.Spindles < 1 {
+		cfg.Spindles = 1
+	}
+	return &Array{sched: sched, cfg: cfg, readBusy: make([]time.Duration, cfg.Spindles)}
 }
 
 // Write schedules an n-byte write issued by thread using mode. The CPU
@@ -91,6 +117,42 @@ func (a *Array) Write(thread *hostmodel.Thread, mode Mode, n int, done func()) {
 		dur := a.cfg.PerWriteLatency + time.Duration(float64(n)*8/a.cfg.RateBps*float64(time.Second))
 		a.busyUntil = start + dur
 		a.sched.At(a.busyUntil, done)
+	})
+}
+
+// Read schedules an n-byte read issued by thread using mode. The CPU
+// cost is charged to the thread; the read then occupies the
+// least-committed spindle (seek latency plus streaming at the
+// per-spindle rate) and done fires when the data is in memory. With one
+// read outstanding the caller sees a single disk; with Spindles reads
+// outstanding the array streams at full aggregate bandwidth.
+func (a *Array) Read(thread *hostmodel.Thread, mode Mode, n int, done func()) {
+	params := threadParams(thread)
+	var cpu time.Duration
+	switch mode {
+	case ODirect:
+		cpu = hostmodel.ScaleNsPerByte(params.DiskDirectNsPerByte, n)
+	default:
+		cpu = hostmodel.ScaleNsPerByte(params.DiskPosixNsPerByte, n) + params.Syscall
+	}
+	a.Reads++
+	a.BytesRead += int64(n)
+	perSpindleRate := a.cfg.RateBps / float64(a.cfg.Spindles)
+	thread.Post(cpu, func() {
+		// Pick the spindle that frees first.
+		sp := 0
+		for i := 1; i < len(a.readBusy); i++ {
+			if a.readBusy[i] < a.readBusy[sp] {
+				sp = i
+			}
+		}
+		start := a.sched.Now()
+		if a.readBusy[sp] > start {
+			start = a.readBusy[sp]
+		}
+		dur := a.cfg.PerReadLatency + time.Duration(float64(n)*8/perSpindleRate*float64(time.Second))
+		a.readBusy[sp] = start + dur
+		a.sched.At(a.readBusy[sp], done)
 	})
 }
 

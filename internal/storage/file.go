@@ -1,0 +1,181 @@
+package storage
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync/atomic"
+
+	"rftp/internal/wire"
+)
+
+// FileSource reads a dataset of known size through an Engine. It
+// implements core.BlockSourceAt: LoadAt calls are offset-addressed and
+// safe with many outstanding, so the protocol pipelines Config.LoadDepth
+// reads and the device sees real queue depth (the paper's O_DIRECT RAID
+// reads from a dedicated loading thread).
+type FileSource struct {
+	r    io.ReaderAt
+	size int64
+	eng  *Engine
+	ownE bool
+	f    *os.File // non-nil when opened via OpenFileSource
+
+	cursor int64 // serial Load path only
+}
+
+// NewFileSource wraps an io.ReaderAt of the given size on eng. The
+// engine is shared: closing the source does not close it.
+func NewFileSource(r io.ReaderAt, size int64, eng *Engine) *FileSource {
+	return &FileSource{r: r, size: size, eng: eng}
+}
+
+// OpenFileSource opens path and a private Engine with workers readers.
+// Close releases both.
+func OpenFileSource(path string, workers int) (*FileSource, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	s := NewFileSource(f, st.Size(), NewEngine(workers))
+	s.f, s.ownE = f, true
+	return s, nil
+}
+
+// Size returns the dataset length in bytes.
+func (s *FileSource) Size() int64 { return s.size }
+
+// Engine returns the underlying engine (to share or instrument).
+func (s *FileSource) Engine() *Engine { return s.eng }
+
+// Load implements core.BlockSource: serial cursor-based reads, for
+// protocols or tools that do not drive the offset path.
+func (s *FileSource) Load(p []byte, capacity int, done func(int, bool, error)) {
+	off := atomic.AddInt64(&s.cursor, int64(capacity)) - int64(capacity)
+	s.LoadAt(p, capacity, uint64(off), done)
+}
+
+// LoadAt implements core.BlockSourceAt. Per the contract: a window
+// strictly inside the dataset yields exactly capacity bytes with
+// eof=false; the window straddling the end yields the remaining bytes
+// with eof=true; windows at or past the end yield (0, true, nil).
+func (s *FileSource) LoadAt(p []byte, capacity int, off uint64, done func(n int, eof bool, err error)) {
+	remaining := s.size - int64(off)
+	if remaining <= 0 {
+		done(0, true, nil)
+		return
+	}
+	n := int64(capacity)
+	if n > remaining {
+		n = remaining
+	}
+	eof := int64(off)+n >= s.size
+	s.eng.submit(func() {
+		if p == nil { // modeled payload: charge no real read
+			done(int(n), eof, nil)
+			return
+		}
+		rn, err := s.r.ReadAt(p[:n], int64(off))
+		if err == io.EOF && int64(rn) == n {
+			err = nil
+		}
+		if err != nil {
+			done(rn, false, fmt.Errorf("storage: read %d@%d: %w", n, off, err))
+			return
+		}
+		done(rn, eof, nil)
+	})
+}
+
+// Close shuts the private engine and file down when the source owns
+// them (OpenFileSource); it is a no-op for NewFileSource.
+func (s *FileSource) Close() error {
+	if !s.ownE {
+		return nil
+	}
+	s.eng.Close()
+	if s.f != nil {
+		return s.f.Close()
+	}
+	return nil
+}
+
+// FileSink writes blocks by their header offset through an Engine. It
+// implements core.OffsetSink, so the protocol's sink stores arriving
+// blocks immediately — out of order, Config.StoreDepth at a time — and
+// the file ends up correct because every write is positioned.
+type FileSink struct {
+	w    io.WriterAt
+	eng  *Engine
+	ownE bool
+	f    *os.File
+}
+
+// NewFileSink wraps an io.WriterAt on eng. The engine is shared:
+// closing the sink does not close it.
+func NewFileSink(w io.WriterAt, eng *Engine) *FileSink {
+	return &FileSink{w: w, eng: eng}
+}
+
+// OpenFileSink creates/truncates path and a private Engine with workers
+// writers. Close releases both.
+func OpenFileSink(path string, workers int) (*FileSink, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	k := NewFileSink(f, NewEngine(workers))
+	k.f, k.ownE = f, true
+	return k, nil
+}
+
+// Engine returns the underlying engine (to share or instrument).
+func (k *FileSink) Engine() *Engine { return k.eng }
+
+// Store implements core.BlockSink.
+func (k *FileSink) Store(hdr wire.BlockHeader, payload []byte, modelLen int, done func(error)) {
+	k.eng.submit(func() {
+		if payload == nil { // modeled payload: nothing to place
+			done(nil)
+			return
+		}
+		_, err := k.w.WriteAt(payload, int64(hdr.Offset))
+		if err != nil {
+			err = fmt.Errorf("storage: write %d@%d: %w", len(payload), hdr.Offset, err)
+		}
+		done(err)
+	})
+}
+
+// OffsetStores implements core.OffsetSink: every write is positioned.
+func (k *FileSink) OffsetStores() bool { return true }
+
+// Sync flushes file contents when backed by an *os.File.
+func (k *FileSink) Sync() error {
+	if k.f == nil {
+		return nil
+	}
+	return k.f.Sync()
+}
+
+// Close drains pending writes, then syncs and closes the file when the
+// sink owns it (OpenFileSink).
+func (k *FileSink) Close() error {
+	if !k.ownE {
+		return nil
+	}
+	k.eng.Close()
+	if k.f != nil {
+		if err := k.f.Sync(); err != nil {
+			k.f.Close()
+			return err
+		}
+		return k.f.Close()
+	}
+	return nil
+}
