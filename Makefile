@@ -2,16 +2,15 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench experiments cover check clean
+.PHONY: all build vet test race lint debugtest staticcheck vulncheck bench experiments cover check clean
 
 all: build vet test
 
-# check is the pre-merge gate: vet, a full build, and the whole test
-# suite under the race detector.
-check:
-	$(GO) vet ./...
-	$(GO) build ./...
-	$(GO) test -race ./...
+# check is the pre-merge gate: vet, the custom analyzer suite, a full
+# build, the whole test suite under the race detector (via race, so the
+# package list is defined once), and the external scanners when they
+# are installed.
+check: vet build race lint staticcheck vulncheck
 
 build:
 	$(GO) build ./...
@@ -22,8 +21,39 @@ vet:
 test:
 	$(GO) test ./...
 
+# race runs every package under the race detector. check depends on
+# this target instead of repeating the invocation.
 race:
-	$(GO) test -race ./internal/fabric/... ./internal/core ./internal/storage ./internal/trace
+	$(GO) test -race ./...
+
+# lint runs RFTP's own static-analysis passes (fsmtransition,
+# bufownership, atomicmix, lockorder — see internal/analysis). Any
+# finding fails the build; suppress with //lint:allow <pass> <why>.
+lint:
+	$(GO) run ./cmd/rftplint ./...
+
+# debugtest runs the suite with the rftpdebug invariant layer compiled
+# in (credit ledgers, sequence monotonicity, gauge sanity, buffer
+# poisoning — see internal/invariant) under the race detector.
+debugtest:
+	$(GO) test -race -tags rftpdebug ./...
+
+# staticcheck / vulncheck run when the tools are on PATH (CI installs
+# them; offline dev machines may not have them) and are skipped with a
+# notice otherwise.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+
+vulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
+	fi
 
 bench:
 	$(GO) test -bench . -benchmem -benchtime 1x . ./internal/fabric/netfabric

@@ -1,0 +1,80 @@
+// Command rftplint runs RFTP's custom static-analysis suite over the
+// module: fsmtransition, bufownership, atomicmix, and lockorder (see
+// internal/analysis for what each enforces and why).
+//
+// Usage:
+//
+//	rftplint [-tags taglist] [-allows] [-list] [packages...]
+//
+// Patterns default to ./... resolved against the current directory.
+// Findings print as file:line:col: [pass] message and any finding makes
+// the exit status 1. Suppressions (//lint:allow pass justification)
+// drop the finding; -allows prints every suppression in force so stale
+// ones stay visible.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"rftp/internal/analysis"
+)
+
+func main() {
+	var (
+		tags   = flag.String("tags", "", "comma-separated build tags for loading (e.g. rftpdebug)")
+		allows = flag.Bool("allows", false, "also print //lint:allow suppressions in force")
+		list   = flag.Bool("list", false, "list the analyzers and exit")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: rftplint [flags] [packages]\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	var tagList []string
+	if *tags != "" {
+		tagList = strings.Split(*tags, ",")
+	}
+
+	pkgs, err := analysis.Load("", tagList, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	res, err := analysis.Run(pkgs, analysis.All())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	if *allows {
+		for _, s := range res.Suppressions {
+			reason := s.Reason
+			if reason == "" {
+				reason = "(no justification)"
+			}
+			fmt.Printf("%s: allow %s: %s\n", s.Pos, s.Analyzer, reason)
+		}
+	}
+	for _, f := range res.Findings {
+		fmt.Println(f)
+	}
+	if len(res.Findings) > 0 {
+		fmt.Fprintf(os.Stderr, "rftplint: %d finding(s)\n", len(res.Findings))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,277 @@
+// Package analysis is RFTP's custom static-analysis suite: a minimal
+// go/analysis-style framework (self-contained, standard library only)
+// plus the protocol-specific passes cmd/rftplint runs over the tree.
+//
+// The passes machine-check the three conventions the paper's
+// correctness story rests on but the compiler cannot see:
+//
+//   - fsmtransition: every write to a state-machine field guarded by a
+//     setState method must go through setState, keeping the validNext
+//     transition table the single source of truth (Figure 6).
+//   - bufownership: after a buffer is handed to PostSend (zero-copy
+//     verbs ownership), the caller must not mutate or repost it until
+//     the completion returns ownership.
+//   - atomicmix: a field accessed through sync/atomic anywhere must be
+//     accessed through sync/atomic everywhere.
+//   - lockorder: the cross-package mutex-acquisition graph must be
+//     acyclic, and no function may reacquire a lock its caller already
+//     holds on the same receiver.
+//
+// Findings are suppressed with an inline comment on the flagged line
+// (or alone on the line above):
+//
+//	//lint:allow <pass-name> <justification>
+//
+// The justification is mandatory by convention; the suppression is
+// reported by cmd/rftplint -allows so stale ones stay visible.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one static-analysis pass.
+type Analyzer struct {
+	// Name identifies the pass in output and in //lint:allow comments.
+	Name string
+	// Doc is a one-line description.
+	Doc string
+	// Run inspects one package.
+	Run func(*Pass) error
+	// Begin, when non-nil, allocates whole-program state shared by every
+	// Pass (via Pass.Shared) across packages of one Run call.
+	Begin func() any
+	// End, when non-nil, runs after every package has been visited and
+	// reports whole-program findings (e.g. cross-package lock cycles).
+	End func(shared any, report func(Diagnostic))
+}
+
+// Pass carries one package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	// Shared is the value returned by Analyzer.Begin (nil otherwise).
+	Shared any
+	// Report records one finding. Suppressed findings are dropped by the
+	// driver before they reach the caller.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Finding is a resolved diagnostic as returned by Run.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// Suppression records one //lint:allow comment encountered in a loaded
+// file, whether or not it matched a finding.
+type Suppression struct {
+	Pos      token.Position
+	Analyzer string
+	Reason   string
+}
+
+// allowKey addresses a source line for suppression lookup.
+type allowKey struct {
+	file string
+	line int
+}
+
+// allowIndex maps lines to the analyzer names allowed there.
+type allowIndex map[allowKey][]string
+
+// collectAllows scans file comments for //lint:allow directives. A
+// directive suppresses findings of the named analyzer on its own line
+// and, when it is the only thing on its line, on the following line.
+func collectAllows(fset *token.FileSet, files []*ast.File, idx allowIndex, sups *[]Suppression) {
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "lint:allow") {
+					continue
+				}
+				fields := strings.Fields(strings.TrimPrefix(text, "lint:allow"))
+				if len(fields) == 0 {
+					continue
+				}
+				name := fields[0]
+				pos := fset.Position(c.Pos())
+				*sups = append(*sups, Suppression{
+					Pos:      pos,
+					Analyzer: name,
+					Reason:   strings.Join(fields[1:], " "),
+				})
+				key := allowKey{pos.Filename, pos.Line}
+				idx[key] = append(idx[key], name)
+				next := allowKey{pos.Filename, pos.Line + 1}
+				idx[next] = append(idx[next], name)
+			}
+		}
+	}
+}
+
+func (idx allowIndex) allowed(name string, pos token.Position) bool {
+	for _, n := range idx[allowKey{pos.Filename, pos.Line}] {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Result is the outcome of running a set of analyzers over a set of
+// packages.
+type Result struct {
+	Findings     []Finding
+	Suppressions []Suppression
+}
+
+// Run applies every analyzer to every package and returns the surviving
+// findings sorted by position. Package order is the loader's
+// (dependency order), so whole-program analyzers see a stable view.
+func Run(pkgs []*Package, analyzers []*Analyzer) (*Result, error) {
+	res := &Result{}
+	if len(pkgs) == 0 {
+		return res, nil
+	}
+	fset := pkgs[0].Fset
+	allows := make(allowIndex)
+	for _, p := range pkgs {
+		collectAllows(fset, p.Files, allows, &res.Suppressions)
+	}
+	for _, a := range analyzers {
+		var shared any
+		if a.Begin != nil {
+			shared = a.Begin()
+		}
+		report := func(d Diagnostic) {
+			pos := fset.Position(d.Pos)
+			if allows.allowed(a.Name, pos) {
+				return
+			}
+			res.Findings = append(res.Findings, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
+		}
+		for _, p := range pkgs {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     fset,
+				Files:    p.Files,
+				Pkg:      p.Types,
+				Info:     p.Info,
+				Shared:   shared,
+				Report:   report,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, p.ImportPath, err)
+			}
+		}
+		if a.End != nil {
+			a.End(shared, report)
+		}
+	}
+	sort.Slice(res.Findings, func(i, j int) bool {
+		a, b := res.Findings[i], res.Findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return res, nil
+}
+
+// All returns the full RFTP analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{FSMTransition, BufOwnership, AtomicMix, LockOrder}
+}
+
+// pathString renders an ident/selector chain as a stable dotted path
+// ("s.ep.Ctrl"), eliding index and slice expressions ("s.ctrlQ[]").
+// Expressions that are not simple paths render as "" (never matched).
+// Shared by bufownership (alias matching) and lockorder (instance
+// identity).
+func pathString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		base := pathString(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		base := pathString(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "[]"
+	case *ast.SliceExpr:
+		return pathString(e.X)
+	case *ast.ParenExpr:
+		return pathString(e.X)
+	case *ast.StarExpr:
+		return pathString(e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return pathString(e.X)
+		}
+		return ""
+	default:
+		return ""
+	}
+}
+
+// baseVar resolves the root object of a path expression (the "s" in
+// s.ep.Ctrl), or nil when the expression is not rooted in an identifier.
+func baseVar(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return info.ObjectOf(x)
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			if x.Op != token.AND {
+				return nil
+			}
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package analysis
+
+// Fixture harness: each pass is tested against a deliberately broken
+// package under testdata/src/<fixture>. Lines that must be flagged
+// carry a trailing comment of the form
+//
+//	// want `regex`
+//
+// (one or more quoted regexes; double quotes work too). The harness
+// loads the fixture through the real loader, runs the one analyzer,
+// and fails on any unmatched finding or unmet expectation — so it
+// exercises the exact pipeline cmd/rftplint uses.
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// wantRE extracts the quoted regexes of a want comment.
+var wantRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	met  bool
+}
+
+func runFixture(t *testing.T, a *Analyzer, fixture string) *Result {
+	t.Helper()
+	pkgs, err := Load("", nil, "./testdata/src/"+fixture)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixture, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("fixture %s: no packages loaded", fixture)
+	}
+
+	var wants []*expectation
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					if !strings.HasPrefix(text, "want ") {
+						continue
+					}
+					pos := p.Fset.Position(c.Pos())
+					for _, q := range wantRE.FindAllString(strings.TrimPrefix(text, "want "), -1) {
+						raw, err := strconv.Unquote(q)
+						if err != nil {
+							t.Fatalf("%s: bad want quote %s: %v", pos, q, err)
+						}
+						re, err := regexp.Compile(raw)
+						if err != nil {
+							t.Fatalf("%s: bad want regex %q: %v", pos, raw, err)
+						}
+						wants = append(wants, &expectation{
+							file: pos.Filename, line: pos.Line, re: re, raw: raw,
+						})
+					}
+				}
+			}
+		}
+	}
+
+	res, err := Run(pkgs, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on fixture %s: %v", a.Name, fixture, err)
+	}
+
+	for _, f := range res.Findings {
+		matched := false
+		for _, w := range wants {
+			if w.met || w.file != f.Pos.Filename || w.line != f.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(f.Message) {
+				w.met = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s:%d: no %s finding matched %q", w.file, w.line, a.Name, w.raw)
+		}
+	}
+	return res
+}
+
+// findingsString renders findings for debugging output.
+func findingsString(res *Result) string {
+	var sb strings.Builder
+	for _, f := range res.Findings {
+		fmt.Fprintf(&sb, "  %s\n", f)
+	}
+	return sb.String()
+}

@@ -1,0 +1,148 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicMix flags variables accessed through sync/atomic in one place
+// and by plain load or store in another.
+//
+// Mixing the two breaks both memory models at once: the plain access
+// races with the atomic one (undefined under the Go memory model, and
+// -race only catches it when the schedule cooperates), and readers can
+// observe torn or stale values on weakly-ordered hardware. The rule is
+// absolute: once a field or package-level variable is touched by an
+// address-taking sync/atomic function anywhere in the package, every
+// access must be atomic. Fields of type atomic.Int64 & friends are
+// immune by construction and outside this pass's scope.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "flag plain accesses to variables that are accessed atomically elsewhere",
+	Run:  runAtomicMix,
+}
+
+// atomicFns is the set of sync/atomic functions whose first argument is
+// the address of the guarded variable.
+var atomicFns = map[string]bool{
+	"AddInt32": true, "AddInt64": true, "AddUint32": true, "AddUint64": true, "AddUintptr": true,
+	"LoadInt32": true, "LoadInt64": true, "LoadUint32": true, "LoadUint64": true, "LoadUintptr": true, "LoadPointer": true,
+	"StoreInt32": true, "StoreInt64": true, "StoreUint32": true, "StoreUint64": true, "StoreUintptr": true, "StorePointer": true,
+	"SwapInt32": true, "SwapInt64": true, "SwapUint32": true, "SwapUint64": true, "SwapUintptr": true, "SwapPointer": true,
+	"CompareAndSwapInt32": true, "CompareAndSwapInt64": true, "CompareAndSwapUint32": true,
+	"CompareAndSwapUint64": true, "CompareAndSwapUintptr": true, "CompareAndSwapPointer": true,
+}
+
+func runAtomicMix(pass *Pass) error {
+	// Pass 1: every variable whose address feeds a sync/atomic call, and
+	// the positions of those sanctioned accesses.
+	atomicVars := make(map[*types.Var]token.Pos) // var -> first atomic use
+	sanctioned := make(map[token.Pos]bool)       // positions of &v inside atomic calls
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(pass.Info, call) || len(call.Args) == 0 {
+				return true
+			}
+			u, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || u.Op != token.AND {
+				return true
+			}
+			if v := addressableVar(pass.Info, u.X); v != nil {
+				if _, seen := atomicVars[v]; !seen {
+					atomicVars[v] = call.Pos()
+				}
+				sanctioned[u.X.Pos()] = true
+				// Inner idents/selectors of the path are part of the
+				// sanctioned access too.
+				ast.Inspect(u.X, func(inner ast.Node) bool {
+					if e, ok := inner.(ast.Expr); ok {
+						sanctioned[e.Pos()] = true
+					}
+					return true
+				})
+			}
+			return true
+		})
+	}
+	if len(atomicVars) == 0 {
+		return nil
+	}
+	// Pass 2: any other use of those variables is a plain access.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var v *types.Var
+			var pos token.Pos
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if sanctioned[n.Pos()] {
+					return true
+				}
+				if sel, ok := pass.Info.Selections[n]; ok {
+					if fv, ok := sel.Obj().(*types.Var); ok {
+						v, pos = fv, n.Pos()
+					}
+				}
+			case *ast.Ident:
+				if sanctioned[n.Pos()] {
+					return true
+				}
+				if obj, ok := pass.Info.Uses[n].(*types.Var); ok && !obj.IsField() {
+					v, pos = obj, n.Pos()
+				}
+			}
+			if v == nil {
+				return true
+			}
+			if first, ok := atomicVars[v]; ok {
+				pass.Report(Diagnostic{
+					Pos: pos,
+					Message: fmt.Sprintf("plain access to %s, which is accessed via sync/atomic at %s; mixing atomic and plain accesses races",
+						v.Name(), pass.Fset.Position(first)),
+				})
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isAtomicCall reports whether call is sync/atomic.<fn> for an
+// address-taking fn.
+func isAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !atomicFns[sel.Sel.Name] {
+		return false
+	}
+	obj := info.Uses[sel.Sel]
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// addressableVar resolves &expr's operand to the variable being guarded:
+// a struct field (via selector) or a plain variable.
+func addressableVar(info *types.Info, e ast.Expr) *types.Var {
+	e = ast.Unparen(e)
+	switch e := e.(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok {
+			if v, ok := sel.Obj().(*types.Var); ok {
+				return v
+			}
+		}
+		if v, ok := info.Uses[e.Sel].(*types.Var); ok {
+			return v
+		}
+	case *ast.Ident:
+		if v, ok := info.ObjectOf(e).(*types.Var); ok {
+			return v
+		}
+	case *ast.IndexExpr:
+		// &slice[i]: guard the element's backing variable only when the
+		// indexed expression itself resolves to a var; element-level
+		// tracking is out of scope.
+		return nil
+	}
+	return nil
+}

@@ -1,0 +1,235 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+// BufOwnership flags zero-copy buffer aliasing after a send is posted.
+//
+// The verbs contract (netfabric PostSend documents it) is that the
+// fabric references wr.Data until the completion fires: the frame is
+// written to the socket asynchronously, so mutating the posted bytes —
+// or reposting the same work request — races with the wire. This pass
+// checks the straight-line tail of each function after a PostSend call:
+//
+//   - writes through the posted buffer (element stores, copy into it,
+//     append to it),
+//   - writes to any field of the posted work-request value,
+//   - a second PostSend of the same work request.
+//
+// The check is function-local and position-based (no loop wraparound:
+// an earlier-in-the-body statement on the next iteration targets a
+// different block's buffer). Mutations inside the `if err != nil`
+// handler of the post itself are exempt — a rejected post never
+// reached the wire, so the caller still owns the buffer.
+var BufOwnership = &Analyzer{
+	Name: "bufownership",
+	Doc:  "flag mutation or reuse of a buffer between PostSend and its completion",
+	Run:  runBufOwnership,
+}
+
+// postedBuf is one buffer the current function has handed to the fabric.
+type postedBuf struct {
+	wrPath  string       // path of the work-request value ("" for literals)
+	bufPath string       // path of the bytes posted as Data ("" when unknown)
+	end     token.Pos    // end of the PostSend call
+	exempt  [2]token.Pos // error-handler body range excluded from checks
+}
+
+func runBufOwnership(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFuncOwnership(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkFuncOwnership(pass *Pass, fd *ast.FuncDecl) {
+	// dataAssign maps a work-request path to the path of the buffer most
+	// recently assigned to its Data field ("wr" -> "b.mr.Buf").
+	dataAssign := make(map[string]string)
+	var posted []postedBuf
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			// Track wr.Data = <buf> and wr := &SendWR{Data: <buf>}.
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) && len(n.Rhs) != 1 {
+					break
+				}
+				rhs := n.Rhs[min(i, len(n.Rhs)-1)]
+				if sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr); ok && sel.Sel.Name == "Data" {
+					if wp := pathString(sel.X); wp != "" {
+						dataAssign[wp] = pathString(rhs)
+					}
+				}
+				if lp := pathString(lhs); lp != "" {
+					if bp, ok := dataFieldOfLiteral(rhs); ok {
+						dataAssign[lp] = bp
+					}
+				}
+			}
+		case *ast.IfStmt:
+			// if err := q.PostSend(wr); err != nil { ... } — record the
+			// post with its handler body exempted.
+			if call := postSendCallOf(n.Init); call != nil {
+				recordPost(pass, call, dataAssign, &posted, n.Body)
+			}
+		case *ast.CallExpr:
+			if isPostSend(n) {
+				// Skip calls already recorded via their if-init.
+				for _, p := range posted {
+					if p.end == n.End() {
+						return true
+					}
+				}
+				recordPost(pass, n, dataAssign, &posted, nil)
+			}
+		}
+		return true
+	})
+	if len(posted) == 0 {
+		return
+	}
+
+	flag := func(pos token.Pos, what string, p postedBuf) {
+		pass.Report(Diagnostic{
+			Pos: pos,
+			Message: fmt.Sprintf("%s after PostSend and before its completion (zero-copy: the fabric still references the buffer)",
+				what),
+		})
+	}
+	after := func(pos token.Pos, p postedBuf) bool {
+		if pos <= p.end {
+			return false
+		}
+		if p.exempt[0] != token.NoPos && p.exempt[0] <= pos && pos <= p.exempt[1] {
+			return false
+		}
+		return true
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				lu := ast.Unparen(lhs)
+				for _, p := range posted {
+					if !after(lhs.Pos(), p) {
+						continue
+					}
+					// Element store through the posted buffer.
+					if idx, ok := lu.(*ast.IndexExpr); ok && p.bufPath != "" && pathString(idx.X) == p.bufPath {
+						flag(lhs.Pos(), fmt.Sprintf("write into posted buffer %s", p.bufPath), p)
+					}
+					// Field write on the posted work request.
+					if sel, ok := lu.(*ast.SelectorExpr); ok && p.wrPath != "" && pathString(sel.X) == p.wrPath {
+						flag(lhs.Pos(), fmt.Sprintf("write to field %s.%s of posted work request", p.wrPath, sel.Sel.Name), p)
+					}
+				}
+			}
+		case *ast.CallExpr:
+			for _, p := range posted {
+				if !after(n.Pos(), p) {
+					continue
+				}
+				if isPostSend(n) && p.wrPath != "" && len(n.Args) == 1 && pathString(n.Args[0]) == p.wrPath {
+					flag(n.Pos(), fmt.Sprintf("work request %s reposted", p.wrPath), p)
+				}
+				if p.bufPath == "" {
+					continue
+				}
+				if name := builtinName(n); name == "copy" && len(n.Args) == 2 && pathString(n.Args[0]) == p.bufPath {
+					flag(n.Pos(), fmt.Sprintf("copy into posted buffer %s", p.bufPath), p)
+				} else if name == "append" && len(n.Args) > 0 && pathString(n.Args[0]) == p.bufPath {
+					flag(n.Pos(), fmt.Sprintf("append to posted buffer %s", p.bufPath), p)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// recordPost notes one PostSend call's posted paths. exemptBody, when
+// non-nil, is the `err != nil` handler whose statements keep ownership.
+func recordPost(pass *Pass, call *ast.CallExpr, dataAssign map[string]string, posted *[]postedBuf, exemptBody *ast.BlockStmt) {
+	if len(call.Args) != 1 {
+		return
+	}
+	arg := ast.Unparen(call.Args[0])
+	p := postedBuf{end: call.End()}
+	if bp, ok := dataFieldOfLiteral(arg); ok {
+		p.bufPath = bp
+	} else if wp := pathString(arg); wp != "" {
+		p.wrPath = wp
+		p.bufPath = dataAssign[wp]
+	}
+	if exemptBody != nil {
+		p.exempt = [2]token.Pos{exemptBody.Pos(), exemptBody.End()}
+	}
+	if p.wrPath == "" && p.bufPath == "" {
+		return
+	}
+	*posted = append(*posted, p)
+}
+
+// postSendCallOf extracts the PostSend call from an if-init statement
+// of the form `err := q.PostSend(wr)` (or `err = ...`).
+func postSendCallOf(init ast.Stmt) *ast.CallExpr {
+	assign, ok := init.(*ast.AssignStmt)
+	if !ok || len(assign.Rhs) != 1 {
+		return nil
+	}
+	call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr)
+	if !ok || !isPostSend(call) {
+		return nil
+	}
+	return call
+}
+
+// isPostSend reports whether call invokes a method named PostSend.
+func isPostSend(call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "PostSend"
+}
+
+// builtinName returns the name of a builtin call ("copy", "append"),
+// or "".
+func builtinName(call *ast.CallExpr) string {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	return id.Name
+}
+
+// dataFieldOfLiteral extracts the Data field path from &SendWR{...} or
+// SendWR{...} literals.
+func dataFieldOfLiteral(e ast.Expr) (string, bool) {
+	e = ast.Unparen(e)
+	if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		e = ast.Unparen(u.X)
+	}
+	lit, ok := e.(*ast.CompositeLit)
+	if !ok {
+		return "", false
+	}
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "Data" {
+			return pathString(kv.Value), true
+		}
+	}
+	return "", false
+}

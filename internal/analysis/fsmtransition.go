@@ -1,0 +1,178 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FSMTransition flags writes to a state-machine field that bypass its
+// setState method.
+//
+// The convention it enforces is structural: a struct with a field named
+// "state" and a method named "setState" is a guarded FSM (core's buffer
+// block, Figure 6 of the paper). setState validates every transition
+// against the validNext table; a direct write — assignment, composite
+// literal, increment, or taking the field's address — skips that
+// validation, so the table silently stops being the single source of
+// truth.
+var FSMTransition = &Analyzer{
+	Name: "fsmtransition",
+	Doc:  "flag writes to a setState-guarded state field outside setState",
+	Run:  runFSMTransition,
+}
+
+func runFSMTransition(pass *Pass) error {
+	// Find guarded fields: the "state" field of any struct that also has
+	// a setState method declared in this package.
+	guarded := make(map[*types.Var]bool)
+	var setStateBodies []*ast.FuncDecl
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Name.Name != "setState" || len(fd.Recv.List) == 0 {
+				continue
+			}
+			recvType := pass.Info.TypeOf(fd.Recv.List[0].Type)
+			if v := stateFieldOf(recvType); v != nil {
+				guarded[v] = true
+				setStateBodies = append(setStateBodies, fd)
+			}
+		}
+	}
+	if len(guarded) == 0 {
+		return nil
+	}
+	inSetState := func(pos token.Pos) bool {
+		for _, fd := range setStateBodies {
+			if fd.Body != nil && fd.Body.Pos() <= pos && pos <= fd.Body.End() {
+				return true
+			}
+		}
+		return false
+	}
+	report := func(pos token.Pos, v *types.Var, how string) {
+		owner := ownerName(v)
+		pass.Report(Diagnostic{
+			Pos: pos,
+			Message: fmt.Sprintf("%s of %s.%s outside setState bypasses FSM transition validation (validNext)",
+				how, owner, v.Name()),
+		})
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					if v := guardedField(pass.Info, guarded, lhs); v != nil && !inSetState(n.Pos()) {
+						report(lhs.Pos(), v, "direct write")
+					}
+				}
+			case *ast.IncDecStmt:
+				if v := guardedField(pass.Info, guarded, n.X); v != nil && !inSetState(n.Pos()) {
+					report(n.Pos(), v, "direct write")
+				}
+			case *ast.UnaryExpr:
+				if n.Op == token.AND {
+					if v := guardedField(pass.Info, guarded, n.X); v != nil && !inSetState(n.Pos()) {
+						report(n.Pos(), v, "taking the address")
+					}
+				}
+			case *ast.CompositeLit:
+				reportGuardedLiteral(pass, guarded, n, inSetState, report)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// stateFieldOf returns the "state" field of the struct underlying t
+// (through one pointer), or nil.
+func stateFieldOf(t types.Type) *types.Var {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if f := st.Field(i); f.Name() == "state" {
+			return f
+		}
+	}
+	return nil
+}
+
+// guardedField resolves e to a guarded field var when e is a selector
+// (or parenthesized selector) naming one.
+func guardedField(info *types.Info, guarded map[*types.Var]bool, e ast.Expr) *types.Var {
+	e = ast.Unparen(e)
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	var obj types.Object
+	if s, ok := info.Selections[sel]; ok {
+		obj = s.Obj()
+	} else {
+		obj = info.Uses[sel.Sel]
+	}
+	if v, ok := obj.(*types.Var); ok && guarded[v] {
+		return v
+	}
+	return nil
+}
+
+// reportGuardedLiteral flags composite literals that initialize a
+// guarded state field, keyed or positional: constructing a block at an
+// arbitrary state is as much an unvalidated transition as assigning one.
+func reportGuardedLiteral(pass *Pass, guarded map[*types.Var]bool, lit *ast.CompositeLit,
+	inSetState func(token.Pos) bool, report func(token.Pos, *types.Var, string)) {
+	t := pass.Info.TypeOf(lit)
+	v := stateFieldOf(t)
+	if v == nil || !guarded[v] || inSetState(lit.Pos()) {
+		return
+	}
+	st := t.Underlying().(*types.Struct)
+	for i, elt := range lit.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			if key, ok := kv.Key.(*ast.Ident); ok && key.Name == v.Name() {
+				report(kv.Pos(), v, "composite-literal initialization")
+			}
+			continue
+		}
+		// Positional literal: field i is being set.
+		if i < st.NumFields() && st.Field(i) == v {
+			report(elt.Pos(), v, "composite-literal initialization")
+		}
+	}
+}
+
+// ownerName names the struct a field belongs to, best effort.
+func ownerName(v *types.Var) string {
+	if v.Pkg() != nil {
+		scope := v.Pkg().Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok {
+				continue
+			}
+			st, ok := tn.Type().Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			for i := 0; i < st.NumFields(); i++ {
+				if st.Field(i) == v {
+					return tn.Name()
+				}
+			}
+		}
+	}
+	return "struct"
+}

@@ -1,0 +1,171 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one type-checked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	// ForTest is the ImportPath of the package under test when this is a
+	// test-augmented variant ("p [p.test]" entries from go list -test).
+	ForTest string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	ForTest    string
+	ImportMap  map[string]string
+	Module     *struct {
+		Path string
+		Main bool
+	}
+	Error *struct{ Err string }
+}
+
+// Load lists patterns with the go tool (including test variants), reads
+// compiler export data for every dependency, and type-checks each
+// main-module package from source. dir anchors the go invocation (""
+// means the current directory); tags are extra build tags.
+//
+// Test-augmented variants ("p [p.test]") supersede their base package:
+// the variant's file set includes the in-package _test.go files, so
+// analyzers see test code too. External test packages ("p_test") load
+// as their own entries.
+func Load(dir string, tags []string, patterns ...string) ([]*Package, error) {
+	args := []string{"list", "-deps", "-test", "-export",
+		"-json=ImportPath,Dir,Name,Export,GoFiles,Standard,ForTest,ImportMap,Module,Error"}
+	if len(tags) > 0 {
+		args = append(args, "-tags", strings.Join(tags, ","))
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list: %v\n%s", err, stderr.String())
+	}
+	var entries []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listPkg)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %w", err)
+		}
+		entries = append(entries, p)
+	}
+
+	exports := make(map[string]string)
+	superseded := make(map[string]bool) // base packages shadowed by a test variant
+	for _, p := range entries {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if p.ForTest != "" && !strings.HasSuffix(p.ImportPath, ".test") {
+			superseded[p.ForTest] = true
+		}
+	}
+
+	fset := token.NewFileSet()
+	sizes := types.SizesFor("gc", build.Default.GOARCH)
+	var pkgs []*Package
+	for _, p := range entries {
+		if p.Standard || p.Module == nil || !p.Module.Main {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("analysis: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if strings.HasSuffix(p.ImportPath, ".test") && p.Name == "main" {
+			continue // synthesized test main
+		}
+		if superseded[p.ImportPath] {
+			continue // the "p [p.test]" variant covers this package
+		}
+		pkg, err := checkPackage(fset, sizes, p, exports)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// checkPackage parses and type-checks one go list entry against the
+// export data of its dependencies.
+func checkPackage(fset *token.FileSet, sizes types.Sizes, p *listPkg, exports map[string]string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range p.GoFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(p.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parsing %s: %w", path, err)
+		}
+		files = append(files, f)
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := p.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "gc", lookup),
+		Sizes:    sizes,
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	tpkg, err := conf.Check(p.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", p.ImportPath, err)
+	}
+	return &Package{
+		ImportPath: p.ImportPath,
+		Dir:        p.Dir,
+		ForTest:    p.ForTest,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}

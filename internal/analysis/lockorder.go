@@ -1,0 +1,474 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrder builds the mutex-acquisition graph across every analyzed
+// package and flags cycles and same-receiver reacquisition.
+//
+// A lock class is a mutex declaration site — a struct field
+// ("netfabric.QP.sendMu") or a package-level variable. Within each
+// function the pass walks statements in source order, tracking which
+// classes are held; acquiring class B while holding class A records the
+// edge A -> B. Two whole-program findings result:
+//
+//   - a cycle A -> B -> ... -> A in the class graph: two executions
+//     taking the component's edges in different orders can deadlock;
+//   - calling, while holding a lock, a same-package method that
+//     acquires the same class on the same receiver: Go mutexes are not
+//     reentrant, so that path self-deadlocks outright.
+//
+// The walk is syntactic and intraprocedural (plus the one-level call
+// check above): conditional unlocks are handled by forking the held set
+// into branches, and a deferred Unlock holds to function end. Nested
+// acquisition of the SAME class on DIFFERENT instances (hierarchies
+// like a registry locking its child) is reported as a self-edge cycle —
+// suppress with //lint:allow lockorder and a justification of the
+// instance ordering.
+var LockOrder = &Analyzer{
+	Name:  "lockorder",
+	Doc:   "flag mutex-acquisition cycles and same-receiver lock reacquisition",
+	Run:   runLockOrder,
+	Begin: func() any { return newLockGraph() },
+	End:   finishLockOrder,
+}
+
+// lockEdge is one observed nested acquisition.
+type lockEdge struct {
+	from, to string
+	pos      token.Pos
+	detail   string
+}
+
+type lockGraph struct {
+	edges []lockEdge
+	seen  map[string]bool // dedupe (from, to, pos)
+}
+
+func newLockGraph() *lockGraph { return &lockGraph{seen: make(map[string]bool)} }
+
+func (g *lockGraph) add(e lockEdge) {
+	key := fmt.Sprintf("%s|%s|%d", e.from, e.to, e.pos)
+	if g.seen[key] {
+		return
+	}
+	g.seen[key] = true
+	g.edges = append(g.edges, e)
+}
+
+// heldLock is one acquisition currently in force.
+type heldLock struct {
+	class string
+	path  string // caller-side instance path ("q.sendMu")
+	pos   token.Pos
+}
+
+// lockOp classifies one mutex method call.
+type lockOp struct {
+	acquire bool // Lock, RLock, TryLock, TryRLock
+	release bool // Unlock, RUnlock
+	class   string
+	path    string
+}
+
+func runLockOrder(pass *Pass) error {
+	g := pass.Shared.(*lockGraph)
+
+	// Footprints: for each function in this package, the classes it
+	// acquires directly on its own receiver.
+	receiverLocks := make(map[*types.Func]map[string]bool)
+	var fns []*ast.FuncDecl
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				fns = append(fns, fd)
+			}
+		}
+	}
+	for _, fd := range fns {
+		obj, ok := pass.Info.Defs[fd.Name].(*types.Func)
+		if !ok || fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+			continue
+		}
+		recvName := fd.Recv.List[0].Names[0].Name
+		fp := make(map[string]bool)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if op := classifyLockOp(pass, call); op != nil && op.acquire {
+				// Only locks rooted at the receiver count ("x.mu.Lock"
+				// where x is the receiver).
+				if op.path == recvName+"."+lastField(op.class) || strings.HasPrefix(op.path, recvName+".") {
+					fp[op.class] = true
+				}
+			}
+			return true
+		})
+		if len(fp) > 0 {
+			receiverLocks[obj] = fp
+		}
+	}
+
+	for _, fd := range fns {
+		w := &lockWalker{pass: pass, g: g, receiverLocks: receiverLocks}
+		w.walkStmts(fd.Body.List, nil)
+	}
+	return nil
+}
+
+// lockWalker tracks held locks through one function body.
+type lockWalker struct {
+	pass          *Pass
+	g             *lockGraph
+	receiverLocks map[*types.Func]map[string]bool
+}
+
+// walkStmts processes stmts in order against the held set, returning
+// the set as of the end of the sequence. Branch bodies fork a copy.
+func (w *lockWalker) walkStmts(stmts []ast.Stmt, held []heldLock) []heldLock {
+	for _, s := range stmts {
+		held = w.walkStmt(s, held)
+	}
+	return held
+}
+
+func (w *lockWalker) walkStmt(s ast.Stmt, held []heldLock) []heldLock {
+	fork := func(body *ast.BlockStmt) {
+		if body != nil {
+			w.walkStmts(body.List, append([]heldLock(nil), held...))
+		}
+	}
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return w.walkStmts(s.List, held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			held = w.walkStmt(s.Init, held)
+		}
+		held = w.scanCalls(s.Cond, held)
+		fork(s.Body)
+		if s.Else != nil {
+			w.walkStmt(s.Else, append([]heldLock(nil), held...))
+		}
+		return held
+	case *ast.ForStmt:
+		if s.Init != nil {
+			held = w.walkStmt(s.Init, held)
+		}
+		fork(s.Body)
+		return held
+	case *ast.RangeStmt:
+		fork(s.Body)
+		return held
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		ast.Inspect(s, func(n ast.Node) bool {
+			if cc, ok := n.(*ast.CaseClause); ok {
+				w.walkStmts(cc.Body, append([]heldLock(nil), held...))
+				return false
+			}
+			if cc, ok := n.(*ast.CommClause); ok {
+				w.walkStmts(cc.Body, append([]heldLock(nil), held...))
+				return false
+			}
+			return true
+		})
+		return held
+	case *ast.LabeledStmt:
+		return w.walkStmt(s.Stmt, held)
+	case *ast.DeferStmt:
+		if op := classifyLockOp(w.pass, s.Call); op != nil && op.release {
+			// Held to function end: leave it on the stack for the rest of
+			// the walk (the unlock fires only at return).
+			return held
+		}
+		return held
+	case *ast.GoStmt:
+		// The goroutine body runs with its own (empty) held set.
+		if fl, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			w.walkStmts(fl.Body.List, nil)
+		}
+		return held
+	case *ast.ExprStmt:
+		return w.scanCalls(s.X, held)
+	default:
+		// Assignments, returns, sends, declarations: process any calls
+		// they contain in source order.
+		var held2 = held
+		ast.Inspect(s, func(n ast.Node) bool {
+			if fl, ok := n.(*ast.FuncLit); ok {
+				w.walkStmts(fl.Body.List, nil)
+				return false
+			}
+			if call, ok := n.(*ast.CallExpr); ok {
+				held2 = w.applyCall(call, held2)
+			}
+			return true
+		})
+		return held2
+	}
+}
+
+// scanCalls processes every call within an expression in source order.
+func (w *lockWalker) scanCalls(e ast.Expr, held []heldLock) []heldLock {
+	if e == nil {
+		return held
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			w.walkStmts(fl.Body.List, nil)
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			held = w.applyCall(call, held)
+		}
+		return true
+	})
+	return held
+}
+
+// applyCall updates the held set for one call: mutex operations push
+// and pop; calls to same-package methods are checked for same-receiver
+// reacquisition.
+func (w *lockWalker) applyCall(call *ast.CallExpr, held []heldLock) []heldLock {
+	if op := classifyLockOp(w.pass, call); op != nil {
+		if op.acquire {
+			for _, h := range held {
+				if h.class == op.class && h.path == op.path {
+					w.pass.Report(Diagnostic{
+						Pos: call.Pos(),
+						Message: fmt.Sprintf("%s acquired while already held (locked at %s): Go mutexes are not reentrant",
+							op.path, w.pass.Fset.Position(h.pos)),
+					})
+					return held
+				}
+			}
+			for _, h := range held {
+				if h.class != op.class || h.path != op.path {
+					w.g.add(lockEdge{
+						from: h.class, to: op.class, pos: call.Pos(),
+						detail: fmt.Sprintf("%s locked while holding %s", op.path, h.path),
+					})
+				}
+			}
+			return append(held, heldLock{class: op.class, path: op.path, pos: call.Pos()})
+		}
+		if op.release {
+			for i := len(held) - 1; i >= 0; i-- {
+				if held[i].class == op.class && held[i].path == op.path {
+					return append(append([]heldLock(nil), held[:i]...), held[i+1:]...)
+				}
+			}
+			return held
+		}
+	}
+	// Same-receiver reentrancy through one call level.
+	if len(held) > 0 {
+		if callee, recvPath := calleeMethod(w.pass, call); callee != nil {
+			if fp := w.receiverLocks[callee]; fp != nil {
+				for _, h := range held {
+					ownerPath := strings.TrimSuffix(h.path, "."+lastField(h.class))
+					if fp[h.class] && ownerPath == recvPath {
+						w.pass.Report(Diagnostic{
+							Pos: call.Pos(),
+							Message: fmt.Sprintf("call to %s while holding %s (locked at %s): the callee locks the same mutex on the same receiver",
+								callee.Name(), h.path, w.pass.Fset.Position(h.pos)),
+						})
+					}
+				}
+			}
+		}
+	}
+	return held
+}
+
+// classifyLockOp recognizes x.mu.Lock()/Unlock()/RLock()/RUnlock()/
+// TryLock()/TryRLock() where mu is a sync.Mutex or sync.RWMutex.
+func classifyLockOp(pass *Pass, call *ast.CallExpr) *lockOp {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	var acquire, release bool
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "TryLock", "TryRLock":
+		acquire = true
+	case "Unlock", "RUnlock":
+		release = true
+	default:
+		return nil
+	}
+	mu := ast.Unparen(sel.X)
+	if !isSyncMutex(pass.Info.TypeOf(mu)) {
+		return nil
+	}
+	class := lockClass(pass, mu)
+	if class == "" {
+		return nil
+	}
+	return &lockOp{acquire: acquire, release: release, class: class, path: pathString(mu)}
+}
+
+// isSyncMutex reports whether t is sync.Mutex or sync.RWMutex (through
+// one pointer).
+func isSyncMutex(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// lockClass names the declaration site of a mutex expression:
+// "pkg.Type.field" for struct fields, "pkg.var" for package-level
+// variables, "pkg.func.var" for locals.
+func lockClass(pass *Pass, mu ast.Expr) string {
+	switch mu := mu.(type) {
+	case *ast.SelectorExpr:
+		var obj types.Object
+		if s, ok := pass.Info.Selections[mu]; ok {
+			obj = s.Obj()
+		} else {
+			obj = pass.Info.Uses[mu.Sel]
+		}
+		v, ok := obj.(*types.Var)
+		if !ok {
+			return ""
+		}
+		if v.IsField() {
+			return fieldClass(pass, v)
+		}
+		return objClass(v)
+	case *ast.Ident:
+		if v, ok := pass.Info.ObjectOf(mu).(*types.Var); ok {
+			return objClass(v)
+		}
+	}
+	return ""
+}
+
+func objClass(v *types.Var) string {
+	pkg := ""
+	if v.Pkg() != nil {
+		pkg = v.Pkg().Path()
+	}
+	return pkg + "." + v.Name()
+}
+
+// fieldClass names a mutex field by its owning struct type.
+func fieldClass(pass *Pass, v *types.Var) string {
+	pkg := ""
+	if v.Pkg() != nil {
+		pkg = v.Pkg().Path()
+		scope := v.Pkg().Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok {
+				continue
+			}
+			st, ok := tn.Type().Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			for i := 0; i < st.NumFields(); i++ {
+				if st.Field(i) == v {
+					return pkg + "." + tn.Name() + "." + v.Name()
+				}
+			}
+		}
+	}
+	// Field of an unnamed struct: key by position for stability.
+	return fmt.Sprintf("%s.(anon@%d).%s", pkg, v.Pos(), v.Name())
+}
+
+// lastField returns the final component of a class name.
+func lastField(class string) string {
+	if i := strings.LastIndex(class, "."); i >= 0 {
+		return class[i+1:]
+	}
+	return class
+}
+
+// calleeMethod resolves a call to a method defined in the analyzed
+// package, returning the callee and the caller-side receiver path.
+func calleeMethod(pass *Pass, call *ast.CallExpr) (*types.Func, string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() != pass.Pkg {
+		return nil, ""
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() == nil {
+		return nil, ""
+	}
+	return fn, pathString(sel.X)
+}
+
+// finishLockOrder reports every edge participating in a cycle of the
+// whole-program class graph.
+func finishLockOrder(shared any, report func(Diagnostic)) {
+	g := shared.(*lockGraph)
+	adj := make(map[string]map[string]bool)
+	for _, e := range g.edges {
+		if adj[e.from] == nil {
+			adj[e.from] = make(map[string]bool)
+		}
+		adj[e.from][e.to] = true
+	}
+	// A node set is cyclic when it can reach itself. Compute reachability
+	// per node (graphs here are tiny).
+	reaches := func(from, to string) bool {
+		seen := map[string]bool{}
+		stack := []string{from}
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for next := range adj[n] {
+				if next == to {
+					return true
+				}
+				if !seen[next] {
+					seen[next] = true
+					stack = append(stack, next)
+				}
+			}
+		}
+		return false
+	}
+	var cyclic []lockEdge
+	for _, e := range g.edges {
+		if e.from == e.to || reaches(e.to, e.from) {
+			cyclic = append(cyclic, e)
+		}
+	}
+	sort.Slice(cyclic, func(i, j int) bool { return cyclic[i].pos < cyclic[j].pos })
+	for _, e := range cyclic {
+		kind := "completes a lock-order cycle"
+		if e.from == e.to {
+			kind = "nests two instances of the same lock class (order by instance is unchecked)"
+		}
+		report(Diagnostic{
+			Pos:     e.pos,
+			Message: fmt.Sprintf("%s: edge %s -> %s (%s)", kind, e.from, e.to, e.detail),
+		})
+	}
+}

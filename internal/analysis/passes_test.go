@@ -1,0 +1,58 @@
+package analysis
+
+import "testing"
+
+func TestFSMTransitionFixture(t *testing.T) {
+	res := runFixture(t, FSMTransition, "fsm")
+	assertSuppression(t, res, "fsmtransition")
+}
+
+func TestBufOwnershipFixture(t *testing.T) {
+	res := runFixture(t, BufOwnership, "bufown")
+	assertSuppression(t, res, "bufownership")
+}
+
+func TestAtomicMixFixture(t *testing.T) {
+	res := runFixture(t, AtomicMix, "atomicmix")
+	assertSuppression(t, res, "atomicmix")
+}
+
+func TestLockOrderFixture(t *testing.T) {
+	runFixture(t, LockOrder, "lockorder")
+}
+
+// assertSuppression checks that the fixture's //lint:allow line was
+// recorded (the want-matching in runFixture already proved it produced
+// no finding).
+func assertSuppression(t *testing.T, res *Result, analyzer string) {
+	t.Helper()
+	for _, s := range res.Suppressions {
+		if s.Analyzer == analyzer {
+			if s.Reason == "" {
+				t.Errorf("suppression at %s has no justification", s.Pos)
+			}
+			return
+		}
+	}
+	t.Errorf("no %s suppression recorded; fixture should carry one //lint:allow", analyzer)
+}
+
+// TestRepoClean runs the full suite over the whole module — the same
+// invocation as make lint — and fails on any finding. Fixture packages
+// under testdata are excluded from ./... expansion by the go tool.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module load in -short mode")
+	}
+	pkgs, err := Load("../..", nil, "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	res, err := Run(pkgs, All())
+	if err != nil {
+		t.Fatalf("running suite: %v", err)
+	}
+	if len(res.Findings) > 0 {
+		t.Errorf("suite reported %d findings on the tree:\n%s", len(res.Findings), findingsString(res))
+	}
+}

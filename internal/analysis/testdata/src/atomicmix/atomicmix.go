@@ -1,0 +1,39 @@
+// Package atomicmix is a deliberately broken fixture for the atomicmix
+// pass: fields and package variables touched by sync/atomic in one
+// function and by plain loads/stores in another.
+package atomicmix
+
+import "sync/atomic"
+
+type counters struct {
+	hits int64
+	cold int64
+}
+
+var total int64
+
+func bump(c *counters) {
+	atomic.AddInt64(&c.hits, 1)
+	atomic.AddInt64(&total, 1)
+}
+
+func read(c *counters) int64 {
+	return c.hits // want `plain access to hits`
+}
+
+func reset(c *counters) {
+	c.hits = 0 // want `plain access to hits`
+	c.cold = 0 // fine: cold is never accessed atomically
+}
+
+func readTotal() int64 {
+	return total // want `plain access to total`
+}
+
+func sanctioned(c *counters) int64 {
+	return atomic.LoadInt64(&c.hits) + atomic.SwapInt64(&total, 0)
+}
+
+func suppressed(c *counters) int64 {
+	return c.hits //lint:allow atomicmix fixture: proves suppression drops the finding
+}

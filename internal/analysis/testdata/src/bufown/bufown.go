@@ -1,0 +1,63 @@
+// Package bufown is a deliberately broken fixture for the bufownership
+// pass: a minimal PostSend queue plus every use-after-post shape the
+// pass must catch, and the ownership-retained paths it must not flag.
+package bufown
+
+type sendWR struct {
+	Data []byte
+	Imm  uint32
+}
+
+type queue struct{ posted int }
+
+func (q *queue) PostSend(wr *sendWR) error {
+	q.posted++
+	return nil
+}
+
+func mutateAfterPost(q *queue, buf []byte) {
+	buf[0] = 1 // fine: not posted yet
+	wr := &sendWR{Data: buf}
+	if err := q.PostSend(wr); err != nil {
+		buf[0] = 0 // fine: rejected post, the caller still owns the buffer
+		return
+	}
+	buf[1] = 2 // want `write into posted buffer buf`
+}
+
+func fieldWriteAfterPost(q *queue, wr *sendWR) {
+	_ = q.PostSend(wr)
+	wr.Imm = 7 // want `write to field wr\.Imm of posted work request`
+}
+
+func repost(q *queue, wr *sendWR) {
+	if err := q.PostSend(wr); err != nil {
+		return
+	}
+	_ = q.PostSend(wr) // want `work request wr reposted`
+}
+
+func copyAndAppend(q *queue, buf, src []byte) []byte {
+	wr := &sendWR{Data: buf}
+	if err := q.PostSend(wr); err != nil {
+		return nil
+	}
+	copy(buf, src)        // want `copy into posted buffer buf`
+	return append(buf, 0) // want `append to posted buffer buf`
+}
+
+func trackedThroughDataField(q *queue, wr *sendWR, buf []byte) {
+	wr.Data = buf
+	if err := q.PostSend(wr); err != nil {
+		return
+	}
+	buf[0] = 3 // want `write into posted buffer buf`
+}
+
+func suppressed(q *queue, buf []byte) {
+	wr := &sendWR{Data: buf}
+	if err := q.PostSend(wr); err != nil {
+		return
+	}
+	buf[0] = 4 //lint:allow bufownership fixture: proves suppression drops the finding
+}

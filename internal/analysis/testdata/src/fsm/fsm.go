@@ -1,0 +1,62 @@
+// Package fsm is a deliberately broken fixture for the fsmtransition
+// pass: a minimal setState-guarded machine plus every way of bypassing
+// the guard that the pass must catch.
+package fsm
+
+type state int
+
+const (
+	idle state = iota
+	running
+	done
+)
+
+type machine struct {
+	state state
+	runs  int
+}
+
+var validNext = map[state][]state{
+	idle:    {running},
+	running: {done},
+	done:    {idle},
+}
+
+func (m *machine) setState(next state) {
+	for _, ok := range validNext[m.state] {
+		if ok == next {
+			m.state = next
+			return
+		}
+	}
+	panic("fsm: illegal transition")
+}
+
+func legal(m *machine) {
+	m.setState(running)
+	m.runs++ // unguarded field: fine
+}
+
+func directWrite(m *machine) {
+	m.state = done // want `direct write of machine\.state outside setState`
+}
+
+func increment(m *machine) {
+	m.state++ // want `direct write of machine\.state outside setState`
+}
+
+func literalKeyed() *machine {
+	return &machine{state: running} // want `composite-literal initialization of machine\.state`
+}
+
+func literalPositional() machine {
+	return machine{running, 0} // want `composite-literal initialization of machine\.state`
+}
+
+func addressTaken(m *machine) *state {
+	return &m.state // want `taking the address of machine\.state`
+}
+
+func suppressed(m *machine) {
+	m.state = idle //lint:allow fsmtransition fixture: proves suppression drops the finding
+}

@@ -1,0 +1,62 @@
+// Package lockorder is a deliberately broken fixture for the lockorder
+// pass: an A->B / B->A acquisition cycle, a direct double lock, and a
+// same-receiver reacquisition through a method call.
+package lockorder
+
+import "sync"
+
+type left struct {
+	mu sync.Mutex
+	n  int
+}
+
+type right struct {
+	mu sync.Mutex
+	n  int
+}
+
+func leftThenRight(l *left, r *right) {
+	l.mu.Lock()
+	r.mu.Lock() // want `edge .*left\.mu -> .*right\.mu`
+	r.n++
+	l.n++
+	r.mu.Unlock()
+	l.mu.Unlock()
+}
+
+func rightThenLeft(l *left, r *right) {
+	r.mu.Lock()
+	l.mu.Lock() // want `edge .*right\.mu -> .*left\.mu`
+	l.n++
+	r.n++
+	l.mu.Unlock()
+	r.mu.Unlock()
+}
+
+func (l *left) double() {
+	l.mu.Lock()
+	l.mu.Lock() // want `acquired while already held`
+	l.mu.Unlock()
+	l.mu.Unlock()
+}
+
+func (l *left) locked() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.n++
+}
+
+func (l *left) reenters() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.locked() // want `the callee locks the same mutex on the same receiver`
+}
+
+func fine(l *left, r *right) {
+	l.mu.Lock()
+	l.n++
+	l.mu.Unlock()
+	r.mu.Lock()
+	r.n++
+	r.mu.Unlock()
+}

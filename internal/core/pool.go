@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"rftp/internal/invariant"
 	"rftp/internal/verbs"
 	"rftp/internal/wire"
 )
@@ -49,12 +50,14 @@ func (s BlockState) String() string {
 // every transition; an illegal transition panics, because it is always a
 // protocol-implementation bug, never a runtime condition.
 var validNext = map[BlockState][]BlockState{
-	BlockFree:      {BlockLoading, BlockWaiting},
-	BlockLoading:   {BlockLoaded, BlockFree},
-	BlockLoaded:    {BlockSending},
-	BlockSending:   {BlockWaiting, BlockLoaded},
-	BlockWaiting:   {BlockFree, BlockLoaded, BlockDataReady},
-	BlockDataReady: {BlockStoring},
+	BlockFree:    {BlockLoading, BlockWaiting},
+	BlockLoading: {BlockLoaded, BlockFree},
+	BlockLoaded:  {BlockSending},
+	BlockSending: {BlockWaiting, BlockLoaded},
+	BlockWaiting: {BlockFree, BlockLoaded, BlockDataReady},
+	// DataReady → Free is the sink's abort shortcut: a finished or
+	// failed session recycles blocks that never reached Storing.
+	BlockDataReady: {BlockStoring, BlockFree},
 	BlockStoring:   {BlockFree},
 }
 
@@ -117,6 +120,7 @@ func newPool(dev verbs.Device, pd *verbs.PD, nblocks, blockSize int, modeled boo
 			return nil, fmt.Errorf("core: registering block %d: %w", i, err)
 		}
 		b := &block{idx: i, mr: mr}
+		invariant.PoisonFill(b.mr.Buf) // free blocks carry the poison pattern
 		p.blocks = append(p.blocks, b)
 		p.free = append(p.free, b)
 	}
@@ -130,6 +134,9 @@ func (p *pool) get() *block {
 	}
 	b := p.free[len(p.free)-1]
 	p.free = p.free[:len(p.free)-1]
+	// A free block's region must be untouched since put poisoned it: a
+	// write while free means a stale zero-copy reference survived.
+	invariant.PoisonCheck(b.mr.Buf)
 	return b
 }
 
@@ -142,6 +149,7 @@ func (p *pool) put(b *block) {
 	b.session, b.seq, b.offset, b.payloadLen, b.last, b.retries = 0, 0, 0, 0, false, 0
 	b.credit = wire.Credit{}
 	b.chIdx = 0
+	invariant.PoisonFill(b.mr.Buf)
 	p.free = append(p.free, b)
 }
 

@@ -224,3 +224,33 @@ func TestNegotiationTimeoutFires(t *testing.T) {
 		t.Fatal("negotiation never timed out")
 	}
 }
+
+// Regression: finishSession used to write b.state directly, bypassing
+// setState — and DataReady -> Free was missing from validNext, so the
+// abort path silently skipped FSM validation (routing it through
+// setState would have panicked). Aborting a session that still holds
+// data-ready blocks must recycle them to the pool through the FSM.
+func TestSinkAbortRecyclesDataReadyBlocksThroughFSM(t *testing.T) {
+	p, sess := sinkRig(t)
+	var b *block
+	for _, cand := range p.sink.pool.blocks {
+		if cand.state == BlockWaiting {
+			b = cand
+			break
+		}
+	}
+	if b == nil {
+		t.Skip("no waiting block to park in reassembly")
+	}
+	b.setState(BlockDataReady)
+	b.session, b.seq = sess.info.ID, sess.nextDeliver+3 // parked behind a hole
+	sess.ready[b.seq] = b
+	want := len(p.sink.pool.free) + len(sess.ready) + len(sess.storeQ)
+	p.sink.handleCtrl(&wire.Control{Type: wire.MsgAbort, Session: sess.info.ID})
+	if b.state != BlockFree {
+		t.Fatalf("aborted session left block in %v, want free", b.state)
+	}
+	if got := len(p.sink.pool.free); got != want {
+		t.Fatalf("pool free = %d, want %d (data-ready blocks not recycled)", got, want)
+	}
+}

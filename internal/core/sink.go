@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"rftp/internal/invariant"
 	"rftp/internal/telemetry"
 	"rftp/internal/trace"
 	"rftp/internal/verbs"
@@ -54,6 +55,9 @@ type Sink struct {
 	stats  Stats
 	closed bool
 	failed error
+
+	// inv is the debug-build invariant ledger (no-op handle otherwise).
+	inv uint64
 }
 
 // sinkSession is one dataset being received.
@@ -97,6 +101,7 @@ func NewSink(ep *Endpoint, cfg Config) (*Sink, error) {
 		cfg:       cfg,
 		sessions:  make(map[uint32]*sinkSession),
 		NewWriter: func(SessionInfo) BlockSink { return DiscardSink{} },
+		inv:       invariant.NewConn("sink"),
 	}
 	ep.CtrlCQ.SetHandler(k.onCtrlWC)
 	ep.DataCQ.SetHandler(k.onDataWC)
@@ -378,6 +383,7 @@ func (k *Sink) grantCredits(n int, reason grantReason) {
 		return
 	}
 	k.granted += len(credits)
+	invariant.GaugeAdd(k.inv, "granted", 0, int64(len(credits)))
 	k.stats.CreditsGranted += int64(len(credits))
 	if t := k.tel; t != nil {
 		t.grants[reason].Add(int64(len(credits)))
@@ -434,6 +440,7 @@ func (k *Sink) handleBlockComplete(c *wire.Control) {
 // are granted and in-order delivery advances.
 func (k *Sink) blockArrived(b *block, hdr wire.BlockHeader) {
 	k.granted--
+	invariant.GaugeAdd(k.inv, "granted", 0, -1)
 	sess := k.sessions[hdr.Session]
 	if sess == nil || sess.finished {
 		k.fail(fmt.Errorf("%w: block for unknown session %d", ErrProtocol, hdr.Session))
@@ -518,6 +525,8 @@ func (k *Sink) deliver(sess *sinkSession) {
 			break
 		}
 		delete(sess.ready, sess.nextDeliver)
+		// In-order delivery: blocks leave reassembly as 0,1,2,...
+		invariant.SeqNext(k.inv, sess.info.ID, b.seq)
 		sess.nextDeliver++
 		k.issueStore(sess, b)
 	}
@@ -544,6 +553,7 @@ func (k *Sink) issueStore(sess *sinkSession, b *block) {
 		b.tReady = k.ep.Loop.Now()
 	}
 	sess.storing++
+	invariant.GaugeAdd(k.inv, "storing", int(sess.info.ID), 1)
 	if t := k.tel; t != nil {
 		t.storesInflight.Set(k.totalStoring())
 	}
@@ -576,6 +586,7 @@ func (k *Sink) storeDone(sess *sinkSession, b *block, err error) {
 		return
 	}
 	sess.storing--
+	invariant.GaugeAdd(k.inv, "storing", int(sess.info.ID), -1)
 	if t := k.tel; t != nil {
 		t.storesInflight.Set(k.totalStoring())
 	}
@@ -654,13 +665,15 @@ func (k *Sink) finishSession(sess *sinkSession, err error) {
 	}
 	sess.finished = true
 	delete(k.sessions, sess.info.ID)
-	// Blocks still held by an aborted session return to the pool.
+	invariant.StreamReset(k.inv, sess.info.ID)
+	// Blocks still held by an aborted session return to the pool
+	// (data-ready → free, the abort shortcut past Storing).
 	for _, b := range sess.ready {
-		b.state = BlockFree
+		b.setState(BlockFree)
 		k.pool.put(b)
 	}
 	for _, b := range sess.storeQ {
-		b.state = BlockFree
+		b.setState(BlockFree)
 		k.pool.put(b)
 	}
 	sess.ready = nil

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"rftp/internal/invariant"
 	"rftp/internal/trace"
 	"rftp/internal/verbs"
 	"rftp/internal/wire"
@@ -37,6 +38,9 @@ type Source struct {
 	chDead      []bool
 	chSaturated []bool // PostSend hit ErrSendQueueFull; cleared on next WC
 	nextCh      int
+
+	// inv is the debug-build invariant ledger (no-op handle otherwise).
+	inv uint64
 
 	stats  Stats
 	closed bool
@@ -112,6 +116,7 @@ func NewSource(ep *Endpoint, cfg Config) (*Source, error) {
 		chInflight:  make([]int, len(ep.Data)),
 		chDead:      make([]bool, len(ep.Data)),
 		chSaturated: make([]bool, len(ep.Data)),
+		inv:         invariant.NewConn("source"),
 	}
 	s.pool, err = newPool(ep.Dev, ep.PD, cfg.IODepth, cfg.BlockSize, cfg.ModelPayload, verbs.AccessLocalWrite)
 	if err != nil {
@@ -316,6 +321,7 @@ func (s *Source) handleCtrl(c *wire.Control) {
 	case wire.MsgMRInfoResponse:
 		s.stalled = false
 		s.credits = append(s.credits, c.Credits...)
+		invariant.CreditGrant(s.inv, int64(len(c.Credits)))
 		s.stats.CreditsGranted += int64(len(c.Credits))
 		if s.tel != nil {
 			s.tel.creditsRecv.Add(int64(len(c.Credits)))
@@ -352,6 +358,7 @@ func (s *Source) finishNego(err error) {
 
 func (s *Source) removeSession(sess *srcSession) {
 	delete(s.sessions, sess.id)
+	invariant.StreamReset(s.inv, sess.id)
 	for i, r := range s.rrSessions {
 		if r == sess {
 			s.rrSessions = append(s.rrSessions[:i], s.rrSessions[i+1:]...)
@@ -381,6 +388,9 @@ func (s *Source) pump() {
 			V1: s.stats.CreditStalls, V2: int64(len(s.loaded))})
 		s.sendCtrl(&wire.Control{Type: wire.MsgMRInfoRequest})
 	}
+	// Credit conservation: every granted credit is either consumed by a
+	// posted WRITE or still in the stash.
+	invariant.CreditOutstanding(s.inv, int64(len(s.credits)))
 	s.checkSessionCompletion()
 }
 
@@ -418,6 +428,7 @@ func (s *Source) issueLoad(sess *srcSession, b *block) {
 	b.session = sess.id
 	b.seq = sess.nextSeq
 	b.offset = sess.nextOffset
+	invariant.SeqNext(s.inv, sess.id, b.seq)
 	sess.nextSeq++
 	var payload []byte
 	if !s.cfg.ModelPayload {
@@ -520,6 +531,7 @@ func (s *Source) postWrites() {
 		}
 		s.loaded = s.loaded[1:]
 		s.credits = s.credits[1:]
+		invariant.CreditConsume(s.inv, 1)
 		sess := s.sessions[b.session]
 		b.credit = cr
 		b.setState(BlockSending)
@@ -550,6 +562,9 @@ func (s *Source) postWrites() {
 			b.setState(BlockLoaded)
 			s.loaded = append([]*block{b}, s.loaded...)
 			s.credits = append([]wire.Credit{cr}, s.credits...)
+			// The credit went back to the stash unused: re-grant so the
+			// ledger keeps matching len(s.credits).
+			invariant.CreditGrant(s.inv, 1)
 			if err == verbs.ErrSendQueueFull {
 				// The QP's send queue is full even though our inflight
 				// count had room (completions can lag the queue): mark
@@ -571,6 +586,7 @@ func (s *Source) postWrites() {
 		s.Trace.Emit(trace.Event{Cat: trace.CatBlock, Name: "posted",
 			Session: b.session, Block: b.seq, Channel: int32(ch), V1: int64(b.payloadLen)})
 		s.chInflight[ch]++
+		invariant.GaugeAdd(s.inv, "ch.inflight", ch, 1)
 		if sess != nil {
 			sess.inflight++
 			sess.queued--
@@ -635,6 +651,7 @@ func (s *Source) onDataWC(wc verbs.WC) {
 		return // stale completion after failure handling
 	}
 	s.chInflight[b.chIdx]--
+	invariant.GaugeAdd(s.inv, "ch.inflight", b.chIdx, -1)
 	s.chSaturated[b.chIdx] = false // a send slot freed with this WC
 	sess := s.sessions[b.session]
 	switch wc.Status {

@@ -1,0 +1,20 @@
+//go:build !rftpdebug
+
+package invariant
+
+// Enabled reports whether invariant checking is compiled in.
+const Enabled = false
+
+// Every function below is an empty no-op: production builds keep the
+// call sites but the inliner erases them.
+
+func NewConn(name string) uint64                          { return 0 }
+func Release(conn uint64)                                 {}
+func CreditGrant(conn uint64, n int64)                    {}
+func CreditConsume(conn uint64, n int64)                  {}
+func CreditOutstanding(conn uint64, outstanding int64)    {}
+func GaugeAdd(conn uint64, name string, idx int, d int64) {}
+func SeqNext(conn uint64, stream, seq uint32)             {}
+func StreamReset(conn uint64, stream uint32)              {}
+func PoisonFill(buf []byte)                               {}
+func PoisonCheck(buf []byte)                              {}

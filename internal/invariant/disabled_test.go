@@ -1,0 +1,32 @@
+//go:build !rftpdebug
+
+package invariant
+
+import "testing"
+
+// TestDisabledStubsAreInert proves the production build's stubs never
+// fire: violations that would panic under rftpdebug pass silently, and
+// buffers are left untouched.
+func TestDisabledStubsAreInert(t *testing.T) {
+	if Enabled {
+		t.Fatal("Enabled must be false without the rftpdebug tag")
+	}
+	id := NewConn("src")
+	if id != 0 {
+		t.Fatalf("disabled NewConn returned %d, want 0", id)
+	}
+	CreditGrant(id, 1)
+	CreditConsume(id, 99) // would panic when enabled
+	CreditOutstanding(id, 42)
+	GaugeAdd(id, "storing", 0, -5)
+	SeqNext(id, 1, 7)
+	SeqNext(id, 1, 3)
+	StreamReset(id, 1)
+	buf := []byte{1, 2, 3}
+	PoisonFill(buf) // must NOT poison in production builds
+	if buf[0] != 1 || buf[1] != 2 || buf[2] != 3 {
+		t.Fatalf("disabled PoisonFill mutated the buffer: %v", buf)
+	}
+	PoisonCheck(buf)
+	Release(id)
+}

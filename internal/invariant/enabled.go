@@ -1,0 +1,169 @@
+//go:build rftpdebug
+
+package invariant
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Enabled reports whether invariant checking is compiled in.
+const Enabled = true
+
+// conn is one endpoint's ledger. All checks panic on violation: an
+// invariant miss is an implementation bug, never a runtime condition.
+type conn struct {
+	name              string
+	granted, consumed int64
+	gauges            map[gaugeKey]int64
+	seqs              map[uint32]uint32 // stream -> next expected seq
+}
+
+type gaugeKey struct {
+	name string
+	idx  int
+}
+
+var registry = struct {
+	sync.Mutex
+	next  uint64
+	conns map[uint64]*conn
+}{conns: make(map[uint64]*conn)}
+
+// NewConn registers one endpoint ledger and returns its handle.
+func NewConn(name string) uint64 {
+	registry.Lock()
+	defer registry.Unlock()
+	registry.next++
+	registry.conns[registry.next] = &conn{
+		name:   name,
+		gauges: make(map[gaugeKey]int64),
+		seqs:   make(map[uint32]uint32),
+	}
+	return registry.next
+}
+
+// Release drops a ledger. Remaining gauge debt is checked: releasing a
+// conn with a non-zero gauge means an inflight operation leaked.
+func Release(conn uint64) {
+	registry.Lock()
+	defer registry.Unlock()
+	c := registry.conns[conn]
+	if c == nil {
+		return
+	}
+	delete(registry.conns, conn)
+	for k, v := range c.gauges {
+		if v != 0 {
+			panic(fmt.Sprintf("invariant: %s released with gauge %s[%d] = %d (leaked inflight operation)",
+				c.name, k.name, k.idx, v))
+		}
+	}
+}
+
+func get(id uint64) *conn {
+	registry.Lock()
+	defer registry.Unlock()
+	return registry.conns[id]
+}
+
+// CreditGrant records n credits entering the endpoint's stash.
+func CreditGrant(conn uint64, n int64) {
+	registry.Lock()
+	defer registry.Unlock()
+	if c := registry.conns[conn]; c != nil {
+		c.granted += n
+	}
+}
+
+// CreditConsume records n credits leaving the stash for the wire.
+func CreditConsume(conn uint64, n int64) {
+	registry.Lock()
+	defer registry.Unlock()
+	c := registry.conns[conn]
+	if c == nil {
+		return
+	}
+	c.consumed += n
+	if c.consumed > c.granted {
+		panic(fmt.Sprintf("invariant: %s consumed %d credits but only %d were granted",
+			c.name, c.consumed, c.granted))
+	}
+}
+
+// CreditOutstanding cross-checks conservation: every granted credit is
+// either consumed or still in the stash.
+func CreditOutstanding(conn uint64, outstanding int64) {
+	registry.Lock()
+	defer registry.Unlock()
+	c := registry.conns[conn]
+	if c == nil {
+		return
+	}
+	if c.granted-c.consumed != outstanding {
+		panic(fmt.Sprintf("invariant: %s credit ledger broken: granted %d - consumed %d != outstanding %d",
+			c.name, c.granted, c.consumed, outstanding))
+	}
+}
+
+// GaugeAdd moves a named inflight gauge and panics when it goes
+// negative (a completion without a matching submission).
+func GaugeAdd(conn uint64, name string, idx int, d int64) {
+	registry.Lock()
+	defer registry.Unlock()
+	c := registry.conns[conn]
+	if c == nil {
+		return
+	}
+	k := gaugeKey{name, idx}
+	c.gauges[k] += d
+	if c.gauges[k] < 0 {
+		panic(fmt.Sprintf("invariant: %s gauge %s[%d] went negative (%d)",
+			c.name, name, idx, c.gauges[k]))
+	}
+}
+
+// SeqNext asserts seq is the next number of the stream: 0 first, then
+// +1 each call, no gap, no repeat.
+func SeqNext(conn uint64, stream, seq uint32) {
+	registry.Lock()
+	defer registry.Unlock()
+	c := registry.conns[conn]
+	if c == nil {
+		return
+	}
+	want := c.seqs[stream]
+	if seq != want {
+		panic(fmt.Sprintf("invariant: %s stream %d sequence broke monotonicity: got %d, want %d",
+			c.name, stream, seq, want))
+	}
+	c.seqs[stream] = want + 1
+}
+
+// StreamReset forgets a stream's sequence state (session teardown, so a
+// reused session ID restarts at 0).
+func StreamReset(conn uint64, stream uint32) {
+	registry.Lock()
+	defer registry.Unlock()
+	if c := registry.conns[conn]; c != nil {
+		delete(c.seqs, stream)
+	}
+}
+
+// PoisonFill stamps a released buffer.
+func PoisonFill(buf []byte) {
+	for i := range buf {
+		buf[i] = PoisonByte
+	}
+}
+
+// PoisonCheck verifies a buffer still carries the poison pattern,
+// catching writes through stale references while the block sat free.
+func PoisonCheck(buf []byte) {
+	for i, b := range buf {
+		if b != PoisonByte {
+			panic(fmt.Sprintf("invariant: freed buffer written through a stale reference: byte %d of %d is %#02x, want %#02x",
+				i, len(buf), b, PoisonByte))
+		}
+	}
+}

@@ -1,0 +1,112 @@
+//go:build rftpdebug
+
+package invariant
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustPanic(t *testing.T, want string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("no panic; want one containing %q", want)
+		}
+		if msg := r.(string); !strings.Contains(msg, want) {
+			t.Fatalf("panic %q does not contain %q", msg, want)
+		}
+	}()
+	fn()
+}
+
+func TestCreditConservation(t *testing.T) {
+	id := NewConn("src")
+	defer Release(id)
+	CreditGrant(id, 4)
+	CreditConsume(id, 1)
+	CreditOutstanding(id, 3)
+	CreditConsume(id, 3)
+	CreditOutstanding(id, 0)
+}
+
+func TestCreditOverconsumePanics(t *testing.T) {
+	id := NewConn("src")
+	defer Release(id)
+	CreditGrant(id, 1)
+	mustPanic(t, "consumed 2 credits but only 1 were granted", func() {
+		CreditConsume(id, 2)
+	})
+}
+
+func TestCreditLedgerMismatchPanics(t *testing.T) {
+	id := NewConn("src")
+	defer Release(id)
+	CreditGrant(id, 5)
+	CreditConsume(id, 2)
+	mustPanic(t, "credit ledger broken", func() {
+		CreditOutstanding(id, 2) // truth is 3
+	})
+}
+
+func TestGaugeNeverNegative(t *testing.T) {
+	id := NewConn("sink")
+	defer Release(id)
+	GaugeAdd(id, "storing", 0, 1)
+	GaugeAdd(id, "storing", 0, -1)
+	mustPanic(t, "went negative", func() {
+		GaugeAdd(id, "storing", 0, -1)
+	})
+	GaugeAdd(id, "storing", 0, 1) // restore balance so Release passes
+}
+
+func TestReleaseWithGaugeDebtPanics(t *testing.T) {
+	id := NewConn("src")
+	GaugeAdd(id, "ch.inflight", 2, 1)
+	mustPanic(t, "leaked inflight operation", func() {
+		Release(id)
+	})
+}
+
+func TestSeqMonotonic(t *testing.T) {
+	id := NewConn("src")
+	defer Release(id)
+	SeqNext(id, 7, 0)
+	SeqNext(id, 7, 1)
+	SeqNext(id, 9, 0) // independent stream
+	mustPanic(t, "sequence broke monotonicity", func() {
+		SeqNext(id, 7, 3) // gap: want 2
+	})
+}
+
+func TestStreamResetRestartsAtZero(t *testing.T) {
+	id := NewConn("sink")
+	defer Release(id)
+	SeqNext(id, 7, 0)
+	SeqNext(id, 7, 1)
+	StreamReset(id, 7)
+	SeqNext(id, 7, 0)
+}
+
+func TestPoisonRoundTrip(t *testing.T) {
+	buf := make([]byte, 256)
+	PoisonFill(buf)
+	PoisonCheck(buf)
+	buf[100] = 0x01
+	mustPanic(t, "stale reference", func() {
+		PoisonCheck(buf)
+	})
+}
+
+func TestUnknownConnIsIgnored(t *testing.T) {
+	// Checks against a released or zero conn are silent no-ops, so
+	// teardown ordering cannot spuriously fire.
+	CreditGrant(0, 1)
+	CreditConsume(0, 5)
+	CreditOutstanding(0, 99)
+	GaugeAdd(0, "x", 0, -3)
+	SeqNext(0, 1, 42)
+	StreamReset(0, 1)
+	Release(0)
+}

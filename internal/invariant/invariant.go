@@ -1,0 +1,27 @@
+// Package invariant is RFTP's debug-build runtime assertion layer.
+//
+// Production builds compile this package to nothing: every function in
+// disabled.go is an empty no-op the compiler inlines away, so call
+// sites in the data path cost zero. Building with the rftpdebug tag
+// (make debugtest) swaps in enabled.go, which checks the protocol
+// invariants the static passes cannot prove:
+//
+//   - credit conservation: credits granted == credits consumed +
+//     credits outstanding in the stash, checked every pump cycle;
+//   - sequence monotonicity: per-session block sequence numbers are
+//     issued and delivered as 0,1,2,... with no gap or repeat;
+//   - gauge sanity: inflight counters (per-channel posts, sink grants,
+//     concurrent stores) never go negative;
+//   - buffer poisoning: a released block's payload region is filled
+//     with PoisonByte and verified untouched on reacquire, catching
+//     writes through stale zero-copy references (the dynamic complement
+//     to the bufownership static pass).
+//
+// A violated invariant panics immediately with the ledger involved:
+// these are protocol-implementation bugs, never runtime conditions, so
+// the policy matches the block FSM's (see core.setState).
+package invariant
+
+// PoisonByte fills released buffers in rftpdebug builds. 0xDB ("dead
+// block") is distinctive in hex dumps and is not a valid wire magic.
+const PoisonByte = 0xDB

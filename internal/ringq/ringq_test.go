@@ -123,3 +123,104 @@ func TestSteadyStateDoesNotGrow(t *testing.T) {
 		t.Fatalf("buffer grew from %d to %d at steady state", capBefore, len(r.buf))
 	}
 }
+
+// TestGrowWhileWrapped forces a grow at the moment the ring is full AND
+// wrapped (head past the midpoint), so both segments of the circular
+// buffer must be relinearized in order.
+func TestGrowWhileWrapped(t *testing.T) {
+	var r Ring[int]
+	// Fill the initial 8-slot buffer, then advance head so the live
+	// window wraps: buf = [8 9 10 | 3..7], head = 3.
+	for i := 0; i < 8; i++ {
+		r.Push(i)
+	}
+	for i := 0; i < 3; i++ {
+		r.Pop()
+	}
+	for i := 8; i < 11; i++ {
+		r.Push(i)
+	}
+	// Next push grows 8 -> 16 from the wrapped state.
+	r.Push(11)
+	for want := 3; want <= 11; want++ {
+		v, ok := r.Pop()
+		if !ok || v != want {
+			t.Fatalf("after wrapped grow: pop = %d, %v (want %d)", v, ok, want)
+		}
+	}
+	if r.Len() != 0 {
+		t.Fatalf("len = %d after drain", r.Len())
+	}
+}
+
+// TestPushFrontWrapsAndGrows covers PushFront's two edges: head at slot
+// 0 wrapping to the last slot, and PushFront itself triggering a grow.
+func TestPushFrontWrapsAndGrows(t *testing.T) {
+	var r Ring[int]
+	r.Push(100)     // head = 0
+	r.PushFront(99) // head wraps to len(buf)-1
+	r.PushFront(98)
+	for i := 0; i < 5; i++ {
+		r.Push(101 + i) // ring now full (8/8)
+	}
+	r.PushFront(97) // grow via PushFront
+	want := []int{97, 98, 99, 100, 101, 102, 103, 104, 105}
+	for _, w := range want {
+		v, ok := r.Pop()
+		if !ok || v != w {
+			t.Fatalf("pop = %d, %v (want %d)", v, ok, w)
+		}
+	}
+}
+
+// TestDrainWrappedAndReuse drains a wrapped ring and then reuses it,
+// checking Drain resets indices cleanly.
+func TestDrainWrappedAndReuse(t *testing.T) {
+	var r Ring[int]
+	for i := 0; i < 8; i++ {
+		r.Push(i)
+	}
+	for i := 0; i < 6; i++ {
+		r.Pop()
+	}
+	for i := 8; i < 12; i++ {
+		r.Push(i) // live window wraps: 6..11
+	}
+	got := r.Drain(nil)
+	want := []int{6, 7, 8, 9, 10, 11}
+	if len(got) != len(want) {
+		t.Fatalf("drained %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("drained %v, want %v", got, want)
+		}
+	}
+	if r.Len() != 0 {
+		t.Fatalf("len = %d after drain", r.Len())
+	}
+	// Reuse after drain: indices were reset, FIFO still holds.
+	r.Push(42)
+	r.Push(43)
+	if v, _ := r.Pop(); v != 42 {
+		t.Fatalf("reuse pop = %d, want 42", v)
+	}
+}
+
+// TestZeroValueRing exercises every operation on the zero value.
+func TestZeroValueRing(t *testing.T) {
+	var r Ring[int]
+	if _, ok := r.Pop(); ok {
+		t.Fatal("Pop on zero value succeeded")
+	}
+	if _, ok := r.Peek(); ok {
+		t.Fatal("Peek on zero value succeeded")
+	}
+	if got := r.Drain(nil); got != nil {
+		t.Fatalf("Drain on zero value = %v", got)
+	}
+	r.PushFront(7) // PushFront as the very first operation must grow
+	if v, ok := r.Pop(); !ok || v != 7 {
+		t.Fatalf("pop = %d, %v", v, ok)
+	}
+}
