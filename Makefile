@@ -55,8 +55,12 @@ vulncheck:
 		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
 	fi
 
+# bench runs the benchmark suite and, via benchfmt, leaves a
+# machine-readable BENCH_<rev>.json snapshot alongside the usual text
+# output for cross-revision regression diffing.
 bench:
-	$(GO) test -bench . -benchmem -benchtime 1x . ./internal/fabric/netfabric
+	$(GO) test -bench . -benchmem -benchtime 1x . ./internal/fabric/netfabric \
+		| $(GO) run ./cmd/benchfmt -rev $$(git rev-parse --short HEAD 2>/dev/null || echo dev)
 
 # Report-quality regeneration of every table and figure (~1 minute).
 experiments:

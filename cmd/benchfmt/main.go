@@ -1,0 +1,110 @@
+// Command benchfmt tees `go test -bench` output to stdout while
+// collecting every benchmark result into a machine-readable JSON file,
+// so `make bench` leaves a BENCH_<rev>.json snapshot that regression
+// tooling can diff across revisions.
+//
+// Usage:
+//
+//	go test -bench . -benchmem ./... | benchfmt -rev $(git rev-parse --short HEAD)
+//
+// The output file name is BENCH_<rev>.json (override with -o). Lines
+// that are not benchmark results pass through untouched.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name string `json:"name"`
+	Runs int64  `json:"runs"`
+	// Metrics maps a unit (ns/op, B/op, allocs/op, MB/s, or any custom
+	// testing.B.ReportMetric unit) to its value.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Snapshot is the file-level JSON document.
+type Snapshot struct {
+	Rev        string   `json:"rev"`
+	Date       string   `json:"date"`
+	GoVersion  string   `json:"go_version,omitempty"`
+	GOOS       string   `json:"goos,omitempty"`
+	GOARCH     string   `json:"goarch,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	rev := flag.String("rev", "dev", "revision label recorded in the snapshot")
+	out := flag.String("o", "", "output path (default BENCH_<rev>.json)")
+	flag.Parse()
+
+	snap := Snapshot{Rev: *rev, Date: time.Now().UTC().Format(time.RFC3339)}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			snap.GOOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			snap.GOARCH = strings.TrimPrefix(line, "goarch: ")
+		}
+		if r, ok := parseBenchLine(line); ok {
+			snap.Benchmarks = append(snap.Benchmarks, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchfmt: read: %v\n", err)
+		os.Exit(1)
+	}
+
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("BENCH_%s.json", *rev)
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchfmt: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchfmt: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchfmt: wrote %d benchmarks to %s\n", len(snap.Benchmarks), path)
+}
+
+// parseBenchLine parses one `go test -bench` result line: the
+// benchmark name, the iteration count, then (value, unit) pairs.
+func parseBenchLine(line string) (Result, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return Result{}, false
+	}
+	fields := strings.Fields(line)
+	// Shortest valid line: name, runs, value, unit.
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Result{}, false
+	}
+	runs, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: fields[0], Runs: runs, Metrics: make(map[string]float64)}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		r.Metrics[fields[i+1]] = v
+	}
+	return r, true
+}

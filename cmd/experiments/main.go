@@ -8,7 +8,7 @@
 //
 // Experiments: table1, fig3a, fig3b, fig4a, fig4b, fig8, fig9, fig10,
 // fig11, ablation-credit, ablation-qps, ablation-depth,
-// ablation-loaddepth, ablation-ramp.
+// ablation-loaddepth, ablation-ramp, ablation-creditbatch.
 //
 // -scale 1.0 runs report-quality sizes (tens of GB per point; minutes of
 // CPU); the default 0.25 keeps a full sweep under a minute.
@@ -26,7 +26,7 @@ import (
 var experimentNames = []string{
 	"table1", "fig3a", "fig3b", "fig4a", "fig4b",
 	"fig8", "fig9", "fig10", "fig11",
-	"ablation-credit", "ablation-qps", "ablation-depth", "ablation-loaddepth", "ablation-ramp",
+	"ablation-credit", "ablation-qps", "ablation-depth", "ablation-loaddepth", "ablation-ramp", "ablation-creditbatch",
 	"ablation-notify", "ablation-threads", "cross-arch", "scale-out", "latency", "timeseries",
 }
 
@@ -114,6 +114,8 @@ func runExperiment(name string, sc bench.Scale) ([]bench.Row, error) {
 		return bench.AblationLoadDepth(bench.RoCEWAN(), sc)
 	case "ablation-ramp":
 		return bench.AblationCreditRamp(bench.RoCEWAN(), sc)
+	case "ablation-creditbatch":
+		return bench.AblationCreditBatch(bench.RoCEWAN(), sc)
 	case "ablation-notify":
 		return bench.AblationNotify(bench.RoCEWAN(), sc)
 	case "ablation-threads":

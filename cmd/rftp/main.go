@@ -123,6 +123,11 @@ func main() {
 		if reg != nil {
 			fmt.Fprintln(os.Stderr, "--- telemetry ---")
 			reg.Snapshot().WriteText(os.Stderr)
+			if m := dev.Telemetry; m != nil && m.TxBatches() > 0 {
+				log.Printf("rftp: control plane: %d ctrl msgs (%d B); %d vectored writes carried %d frames (%.1f frames/write)",
+					m.CtrlMsgs(), m.CtrlBytes(), m.TxBatches(), m.TxFrames(),
+					float64(m.TxFrames())/float64(m.TxBatches()))
+			}
 		}
 	}()
 	if reg != nil && *statsEvery > 0 {

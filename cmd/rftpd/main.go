@@ -20,6 +20,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"rftp/internal/core"
 	"rftp/internal/fabric/chanfabric"
@@ -32,15 +33,18 @@ import (
 // serveOpts carries the observability configuration into each
 // connection handler.
 type serveOpts struct {
-	dir        string
-	channels   int
-	depth      int
-	storeDepth int
-	devnull    bool
-	stats      bool
-	trace      bool
-	traceOut   string
-	root       *telemetry.Registry // nil when telemetry is off
+	dir         string
+	channels    int
+	depth       int
+	storeDepth  int
+	creditBatch int
+	creditFlush time.Duration
+	creditWin   int
+	devnull     bool
+	stats       bool
+	trace       bool
+	traceOut    string
+	root        *telemetry.Registry // nil when telemetry is off
 
 	mu sync.Mutex // serializes trace-out appends across connections
 }
@@ -51,6 +55,9 @@ func main() {
 	channels := flag.Int("channels", 2, "number of data channel queue pairs")
 	depth := flag.Int("depth", 16, "I/O depth (sink block pool = 2x)")
 	storeDepth := flag.Int("store-depth", 0, "file writes kept in flight against storage (0 = -depth)")
+	creditBatch := flag.Int("credit-batch", 0, "credits coalesced per grant message (0 = default, 1 = unbatched)")
+	creditFlush := flag.Duration("credit-flush", 0, "credit coalescer flush timer (0 = adaptive from the measured arrival gap)")
+	creditWin := flag.Int("credit-window", 0, "fixed credit window in blocks (0 = adaptive from measured RTT x delivery rate)")
 	once := flag.Bool("once", false, "serve a single connection, then exit")
 	devnull := flag.Bool("devnull", false, "discard received data instead of writing files (memory-to-memory benchmark)")
 	doStats := flag.Bool("stats", false, "print a telemetry summary when each connection ends")
@@ -74,14 +81,17 @@ func main() {
 	log.Printf("rftpd: listening on %s (channels=%d)", ln.Addr(), *channels)
 
 	opts := &serveOpts{
-		dir:        *dir,
-		channels:   *channels,
-		depth:      *depth,
-		storeDepth: *storeDepth,
-		devnull:    *devnull,
-		stats:      *doStats,
-		trace:      *doTrace,
-		traceOut:   *traceOut,
+		dir:         *dir,
+		channels:    *channels,
+		depth:       *depth,
+		storeDepth:  *storeDepth,
+		creditBatch: *creditBatch,
+		creditFlush: *creditFlush,
+		creditWin:   *creditWin,
+		devnull:     *devnull,
+		stats:       *doStats,
+		trace:       *doTrace,
+		traceOut:    *traceOut,
 	}
 	if *doStats || *httpAddr != "" {
 		opts.root = telemetry.NewRegistry("rftpd")
@@ -147,6 +157,11 @@ func serve(dev *netfabric.Device, conn int, opts *serveOpts, served chan<- struc
 	cfg.Channels = channels
 	cfg.IODepth = depth
 	cfg.StoreDepth = opts.storeDepth
+	if opts.creditBatch > 0 {
+		cfg.CreditBatch = opts.creditBatch
+	}
+	cfg.CreditFlushInterval = opts.creditFlush
+	cfg.CreditWindow = opts.creditWin
 	sink, err := core.NewSink(ep, cfg)
 	if err != nil {
 		log.Printf("rftpd: sink: %v", err)

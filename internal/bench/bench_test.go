@@ -175,6 +175,37 @@ func TestAblationCreditPolicyShape(t *testing.T) {
 	}
 }
 
+// TestAblationCreditBatchShape is the PR's acceptance criterion for
+// control-plane coalescing: sweeping the flush threshold on the WAN
+// testbed, the batched configurations must cut control messages per
+// transferred block by at least 4× against the CreditBatch=1 baseline
+// at equal-or-better goodput, and the grant-batch column must show
+// multi-credit messages.
+func TestAblationCreditBatchShape(t *testing.T) {
+	rows, err := AblationCreditBatch(RoCEWAN(), ScaleQuick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 5 {
+		t.Fatalf("too few rows: %d", len(rows))
+	}
+	base := rows[0]
+	if base.Tool != "batch=1" || base.CtrlPerOp <= 0 {
+		t.Fatalf("bad baseline row: %+v", base)
+	}
+	best := rows[len(rows)-1] // largest threshold
+	if best.CtrlPerOp*4 > base.CtrlPerOp {
+		t.Fatalf("ctrl-msgs/op %.3f (batched) vs %.3f (baseline): under 4× reduction",
+			best.CtrlPerOp, base.CtrlPerOp)
+	}
+	if best.Gbps < 0.98*base.Gbps {
+		t.Fatalf("goodput regressed under coalescing: %.2f vs %.2f Gbps", best.Gbps, base.Gbps)
+	}
+	if best.GrantBatch <= 2 {
+		t.Fatalf("grant-batch %.1f: sink not emitting multi-credit grants", best.GrantBatch)
+	}
+}
+
 func TestAblationIODepthShape(t *testing.T) {
 	rows, err := AblationIODepth(RoCEWAN(), ScaleQuick)
 	if err != nil {
@@ -242,7 +273,7 @@ func TestRunRFTPRejectsBadConfig(t *testing.T) {
 
 func TestReportFormatting(t *testing.T) {
 	rows := []Row{
-		{Figure: "fig8", Testbed: "RoCE-LAN", Tool: "RFTP", BlockSize: 4 << 20, Streams: 8, Gbps: 39.5, ClientCPU: 150, ServerCPU: 90},
+		{Figure: "fig8", Testbed: "RoCE-LAN", Tool: "RFTP", BlockSize: 4 << 20, Streams: 8, Gbps: 39.5, ClientCPU: 150, ServerCPU: 90, CtrlPerOp: 0.25, GrantBatch: 7.9},
 		{Figure: "fig8", Testbed: "RoCE-LAN", Tool: "GridFTP", BlockSize: 4 << 20, Streams: 8, Gbps: 15.1, ClientCPU: 120, ServerCPU: 110, Note: "x, y"},
 	}
 	var tbl, csv bytes.Buffer
@@ -252,11 +283,19 @@ func TestReportFormatting(t *testing.T) {
 	if !strings.Contains(tbl.String(), "RFTP") || !strings.Contains(tbl.String(), "4M") {
 		t.Fatalf("table missing content:\n%s", tbl.String())
 	}
+	for _, col := range []string{"ctrl-msgs/op", "grant-batch", "0.25", "7.9"} {
+		if !strings.Contains(tbl.String(), col) {
+			t.Fatalf("table missing %q:\n%s", col, tbl.String())
+		}
+	}
 	if err := WriteCSV(&csv, rows); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(csv.String(), "4194304") || strings.Count(csv.String(), "\n") != 3 {
 		t.Fatalf("csv wrong:\n%s", csv.String())
+	}
+	if !strings.Contains(csv.String(), "ctrl_msgs_per_op,grant_batch_mean") {
+		t.Fatalf("csv header missing control-plane columns:\n%s", csv.String())
 	}
 	if strings.Contains(csv.String(), "x, y") {
 		t.Fatal("comma in note not escaped")

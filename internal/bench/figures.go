@@ -39,6 +39,13 @@ type Row struct {
 	// data-ready→stored at the sink), from telemetry-instrumented runs.
 	LoadLatUs  float64
 	StoreLatUs float64
+	// CtrlPerOp is control messages per transferred block, both
+	// endpoints combined (RFTP rows); the control-plane coalescer's
+	// figure of merit.
+	CtrlPerOp float64
+	// GrantBatch is the mean credits per grant message the sink emitted
+	// (RFTP rows); 1.0 means every credit traveled alone.
+	GrantBatch float64
 	Note       string
 }
 
@@ -134,6 +141,7 @@ func FigComparison(figure string, tb Testbed, streams []int, scale Scale) ([]Row
 				Gbps: r.BandwidthGbps, ClientCPU: r.ClientCPU, ServerCPU: r.ServerCPU,
 				Stalls: r.Stalls, RNR: r.RNR,
 				AllocsPerOp: r.AllocsPerBlock, CopiedPerOp: r.CopiedPerBlock,
+				CtrlPerOp: r.CtrlPerBlock, GrantBatch: r.GrantBatchMean,
 			})
 
 			g, err := RunGridFTP(tb, GridFTPOptions{
@@ -190,6 +198,7 @@ func FigMemVsDisk(tb Testbed, scale Scale) ([]Row, error) {
 			Gbps: mem.BandwidthGbps, ClientCPU: mem.ClientCPU, ServerCPU: mem.ServerCPU,
 			Stalls: mem.Stalls, RNR: mem.RNR,
 			AllocsPerOp: mem.AllocsPerBlock, CopiedPerOp: mem.CopiedPerBlock,
+			CtrlPerOp: mem.CtrlPerBlock, GrantBatch: mem.GrantBatchMean,
 		})
 
 		dsk, err := RunRFTP(tb, RFTPOptions{
@@ -205,6 +214,7 @@ func FigMemVsDisk(tb Testbed, scale Scale) ([]Row, error) {
 			Gbps: dsk.BandwidthGbps, ClientCPU: dsk.ClientCPU, ServerCPU: dsk.ServerCPU,
 			Stalls: dsk.Stalls, RNR: dsk.RNR,
 			AllocsPerOp: dsk.AllocsPerBlock, CopiedPerOp: dsk.CopiedPerBlock,
+			CtrlPerOp: dsk.CtrlPerBlock, GrantBatch: dsk.GrantBatchMean,
 			Note: "O_DIRECT RAID",
 		})
 
@@ -254,6 +264,7 @@ func AblationCreditPolicy(scale Scale) ([]Row, error) {
 				Gbps: r.BandwidthGbps, ClientCPU: r.ClientCPU, ServerCPU: r.ServerCPU,
 				Stalls: r.Stalls, RNR: r.RNR,
 				AllocsPerOp: r.AllocsPerBlock, CopiedPerOp: r.CopiedPerBlock,
+				CtrlPerOp: r.CtrlPerBlock, GrantBatch: r.GrantBatchMean,
 				Note: fmt.Sprintf("rtt=%v", rtt),
 			})
 		}
@@ -281,6 +292,7 @@ func AblationQPCount(tb Testbed, scale Scale) ([]Row, error) {
 			Gbps: r.BandwidthGbps, ClientCPU: r.ClientCPU, ServerCPU: r.ServerCPU,
 			Stalls: r.Stalls, RNR: r.RNR,
 			AllocsPerOp: r.AllocsPerBlock, CopiedPerOp: r.CopiedPerBlock,
+			CtrlPerOp: r.CtrlPerBlock, GrantBatch: r.GrantBatchMean,
 		})
 	}
 	return rows, nil
@@ -306,6 +318,7 @@ func AblationIODepth(tb Testbed, scale Scale) ([]Row, error) {
 			Gbps: r.BandwidthGbps, ClientCPU: r.ClientCPU, ServerCPU: r.ServerCPU,
 			Stalls: r.Stalls, RNR: r.RNR,
 			AllocsPerOp: r.AllocsPerBlock, CopiedPerOp: r.CopiedPerBlock,
+			CtrlPerOp: r.CtrlPerBlock, GrantBatch: r.GrantBatchMean,
 		})
 	}
 	return rows, nil
@@ -466,6 +479,44 @@ func AblationNotify(tb Testbed, scale Scale) ([]Row, error) {
 			BlockSize: cfg.BlockSize,
 			Gbps:      r.BandwidthGbps, ClientCPU: r.ClientCPU, ServerCPU: r.ServerCPU,
 			AllocsPerOp: r.AllocsPerBlock, CopiedPerOp: r.CopiedPerBlock,
+			CtrlPerOp: r.CtrlPerBlock, GrantBatch: r.GrantBatchMean,
+			Note: fmt.Sprintf("ctrlMsgs=%d", r.CtrlMsgs),
+		})
+	}
+	return rows, nil
+}
+
+// AblationCreditBatch sweeps the credit coalescer's flush threshold in
+// the regime it targets — small blocks, a sink pool several times the
+// source's pipeline depth, completion via WRITE-with-imm — so the
+// control-message rate is the moving part while goodput stays pinned
+// at the link. CreditBatch=1 is the no-coalescing baseline (every
+// credit in its own MR_INFO_RESPONSE); the ctrl-msgs/op and
+// grant-batch columns carry the evidence.
+func AblationCreditBatch(tb Testbed, scale Scale) ([]Row, error) {
+	total := scale.bytes(8 << 30)
+	var rows []Row
+	for _, batch := range []int{1, 2, 4, 8, 16, 32, 64} {
+		cfg := core.DefaultConfig()
+		cfg.BlockSize = 256 << 10
+		cfg.NotifyViaImm = true
+		cfg.IODepth = rftpDepthFor(tb, cfg.BlockSize)
+		cfg.SinkBlocks = 4 * cfg.IODepth
+		cfg.CreditBatch = batch
+		// Pin the window at the pool so the sweep isolates the flush
+		// threshold from the adaptive-window estimator.
+		cfg.CreditWindow = cfg.SinkBlocks
+		r, err := RunRFTP(tb, RFTPOptions{Config: cfg, TotalBytes: total})
+		if err != nil {
+			return nil, fmt.Errorf("ablation-creditbatch b=%d: %w", batch, err)
+		}
+		rows = append(rows, Row{
+			Figure: "ablation-creditbatch", Testbed: tb.Name,
+			Tool:      fmt.Sprintf("batch=%d", batch),
+			BlockSize: cfg.BlockSize, Depth: cfg.IODepth,
+			Gbps: r.BandwidthGbps, ClientCPU: r.ClientCPU, ServerCPU: r.ServerCPU,
+			Stalls:    r.Stalls,
+			CtrlPerOp: r.CtrlPerBlock, GrantBatch: r.GrantBatchMean,
 			Note: fmt.Sprintf("ctrlMsgs=%d", r.CtrlMsgs),
 		})
 	}
@@ -502,6 +553,7 @@ func AblationCreditRamp(tb Testbed, scale Scale) ([]Row, error) {
 			Gbps:      r.BandwidthGbps, ClientCPU: r.ClientCPU, ServerCPU: r.ServerCPU,
 			Stalls:      r.Stalls,
 			AllocsPerOp: r.AllocsPerBlock, CopiedPerOp: r.CopiedPerBlock,
+			CtrlPerOp: r.CtrlPerBlock, GrantBatch: r.GrantBatchMean,
 			Note: fmt.Sprintf("elapsed=%v", r.Elapsed.Round(time.Millisecond)),
 		})
 	}

@@ -58,6 +58,14 @@ type RunResult struct {
 	Stalls int64
 	// CtrlMsgs counts control messages (RFTP only).
 	CtrlMsgs int64
+	// CtrlPerBlock is control messages per transferred block across both
+	// endpoints — the figure of merit for control-plane coalescing
+	// (RFTP only).
+	CtrlPerBlock float64
+	// GrantBatchMean is the mean credits per MR_INFO_RESPONSE the sink
+	// emitted: 1.0 means no coalescing, MaxCreditsPerMsg is the wire
+	// ceiling (RFTP only).
+	GrantBatchMean float64
 	// Retrans counts TCP retransmissions (GridFTP only).
 	Retrans uint64
 	// RNR counts fabric receiver-not-ready NAKs (RFTP only).
@@ -201,6 +209,7 @@ func RunRFTP(tb Testbed, opt RFTPOptions) (RunResult, error) {
 		return RunResult{}, srcRes.Err
 	}
 	st := source.Stats()
+	sinkSt := sink.Stats()
 	elapsed := st.Elapsed()
 	res := RunResult{
 		Tool:          "RFTP",
@@ -208,10 +217,14 @@ func RunRFTP(tb Testbed, opt RFTPOptions) (RunResult, error) {
 		Bytes:         st.Bytes,
 		Elapsed:       elapsed,
 		Stalls:        st.CreditStalls,
-		CtrlMsgs:      st.CtrlMsgs + sink.Stats().CtrlMsgs,
+		CtrlMsgs:      st.CtrlMsgs + sinkSt.CtrlMsgs,
 		RNR:           srcDev.RNRNaks + dstDev.RNRNaks,
 	}
+	if sinkSt.GrantMsgs > 0 {
+		res.GrantBatchMean = float64(sinkSt.CreditsGranted) / float64(sinkSt.GrantMsgs)
+	}
 	if srcRes.Blocks > 0 {
+		res.CtrlPerBlock = float64(res.CtrlMsgs) / float64(srcRes.Blocks)
 		res.AllocsPerBlock = float64(ms1.Mallocs-ms0.Mallocs) / float64(srcRes.Blocks)
 		res.CopiedPerBlock = float64(copied1-copied0) / float64(srcRes.Blocks)
 	}

@@ -109,6 +109,28 @@ type Config struct {
 	// (grants only at block-completion notifications and explicit
 	// requests). Used by the credit-ramp ablation.
 	NoGrantOnFree bool
+	// CreditBatch is the coalescing flush threshold: proactive grants
+	// (on-consume and on-free) accumulate in a pending batch that is
+	// sent as one MR_INFO_RESPONSE once it reaches this many credits.
+	// The batch also flushes early when the source's outstanding-credit
+	// level falls below the low watermark or when the flush timer
+	// fires, so the ramp and starvation behavior match the unbatched
+	// protocol in aggregate. 1 disables coalescing (every grant event
+	// sends immediately, the pre-coalescing behavior); 0 picks the
+	// default (16); values above wire.MaxCreditsPerMsg are clamped.
+	CreditBatch int
+	// CreditFlushInterval bounds how long a non-empty grant batch may
+	// wait before it is flushed. 0 picks an adaptive interval — the
+	// time a full batch takes to form at the measured block-arrival
+	// gap (batch size × gap), clamped to [200µs, 25ms] — so the timer
+	// scales from LAN to WAN without tuning.
+	CreditFlushInterval time.Duration
+	// CreditWindow overrides the sink's target for credits outstanding
+	// at the source. 0 sizes the window adaptively from measured
+	// delivery rate × credit round-trip (a BDP estimate) clamped to
+	// [max(4, SinkBlocks/8), SinkBlocks]; values above SinkBlocks are
+	// clamped (the pool cannot back more credits).
+	CreditWindow int
 	// ModelPayload marks simulation-scale transfers: payload is length
 	// modeled, only headers travel as real bytes. Requires a fabric
 	// supporting modeled memory regions.
@@ -169,6 +191,21 @@ func (c Config) Normalize() (Config, error) {
 	if c.OnDemandBatch <= 0 {
 		c.OnDemandBatch = 16
 	}
+	if c.CreditBatch <= 0 {
+		c.CreditBatch = 16
+	}
+	if c.CreditBatch > wire.MaxCreditsPerMsg {
+		c.CreditBatch = wire.MaxCreditsPerMsg
+	}
+	if c.CreditFlushInterval < 0 {
+		c.CreditFlushInterval = 0
+	}
+	if c.CreditWindow < 0 {
+		c.CreditWindow = 0
+	}
+	if c.CreditWindow > c.SinkBlocks {
+		c.CreditWindow = c.SinkBlocks
+	}
 	if c.MaxRetries <= 0 {
 		c.MaxRetries = 5
 	}
@@ -198,6 +235,10 @@ type Stats struct {
 	CtrlMsgs int64
 	// CreditsGranted counts credits issued (sink) or received (source).
 	CreditsGranted int64
+	// GrantMsgs counts MR_INFO_RESPONSE messages sent (sink) or
+	// received (source); CreditsGranted/GrantMsgs is the mean
+	// grant-batch size the coalescer achieved.
+	GrantMsgs int64
 	// CreditStalls counts times the source ran dry and had to issue an
 	// explicit MR_INFO_REQUEST.
 	CreditStalls int64

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"math/rand"
 	"testing"
+	"time"
 
 	"rftp/internal/fabric/chanfabric"
 )
@@ -25,6 +26,9 @@ func TestRandomConfigIntegrityProperty(t *testing.T) {
 		cfg.SinkBlocks = cfg.IODepth + 1 + rng.Intn(2*cfg.IODepth)
 		cfg.GrantPerConsume = 1 + rng.Intn(4)
 		cfg.NotifyViaImm = rng.Intn(2) == 1
+		cfg.CreditBatch = 1 + rng.Intn(64)
+		cfg.CreditFlushInterval = time.Duration(rng.Intn(2000)) * time.Microsecond
+		cfg.CreditWindow = rng.Intn(2) * (1 + rng.Intn(cfg.SinkBlocks))
 		if rng.Intn(4) == 0 {
 			cfg.CreditPolicy = CreditOnDemand
 		}
@@ -44,7 +48,13 @@ func TestRandomConfigIntegrityProperty(t *testing.T) {
 
 // TestRandomSimConfigsComplete is the virtual-time counterpart: random
 // configurations on random link profiles must complete with exact byte
-// accounting and an intact sink pool.
+// accounting and an intact sink pool. The coalescing knobs (flush
+// threshold, flush timer, window override) are randomized too, so the
+// final pool-conservation check doubles as the credit-conservation
+// property under arbitrarily timed flush firings: every credit the
+// coalescer queued, deferred, flushed, or dropped is either consumed
+// (block moved) or still granted, and free + granted always
+// reconstructs the whole pool.
 func TestRandomSimConfigsComplete(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	for i := 0; i < 16; i++ {
@@ -53,6 +63,11 @@ func TestRandomSimConfigsComplete(t *testing.T) {
 		cfg.Channels = 1 + rng.Intn(4)
 		cfg.IODepth = 1 + rng.Intn(64)
 		cfg.NotifyViaImm = rng.Intn(2) == 1
+		cfg.CreditBatch = 1 + rng.Intn(64)
+		cfg.CreditFlushInterval = time.Duration(rng.Intn(5000)) * time.Microsecond
+		if rng.Intn(2) == 1 {
+			cfg.CreditWindow = 1 + rng.Intn(2*cfg.IODepth)
+		}
 		link := lanLink()
 		if rng.Intn(2) == 1 {
 			link = wanLink()

@@ -49,6 +49,47 @@ type Sink struct {
 	granted    int  // credits outstanding at the source
 	pendingReq bool // MR_INFO_REQUEST awaiting a free block
 
+	// Credit coalescer: proactive grants accumulate here and flush as
+	// one MR_INFO_RESPONSE when the batch reaches Config.CreditBatch,
+	// the source's outstanding credits fall below the low watermark, or
+	// the flush timer fires. pendingByReason keeps per-policy-leg
+	// attribution for telemetry.
+	pendingGrant    int
+	pendingByReason [grantReasons]int
+	flushArmed      bool // a flush timer is outstanding
+
+	// Adaptive credit window estimator (BBR-style): windowed-minimum
+	// credit round trip × delivery rate approximates the path BDP in
+	// blocks. winGap is an EWMA of the mean inter-arrival gap (1/rate),
+	// averaged over epochs of winGapEpoch arrivals so completion bursts
+	// do not skew it; winRTT is the min grant→consume latency over the
+	// last winRTTWindow samples.
+	winRTT      time.Duration
+	winRTTAge   int
+	winGap      time.Duration
+	winSamples  int
+	epochStart  time.Duration
+	epochBlocks int
+	// winBoost ratchets the window up on each explicit MR_INFO_REQUEST:
+	// a starving source is ground truth that the BDP estimate ran below
+	// the pipeline's real depth (the credit round trip only measures
+	// queueing that the current window allows to exist).
+	winBoost int
+	// stallDepth is the highest granted+pending level at which the
+	// source has recently starved (sent an explicit MR_INFO_REQUEST).
+	// Under explicit completion notification, granted includes blocks
+	// whose notification is still in flight, so the source's true
+	// runway is smaller than granted suggests; a stall at level g
+	// proves the effective pipeline depth is at least g, and batching
+	// only above that level is safe. Not sticky: each full-batch flush
+	// that completes without an intervening stall decays it back
+	// toward the static pipeline depth, so a stall that merely
+	// coincided with a large pending batch (pool-limited WAN paths
+	// starve regardless of batching) does not disable coalescing for
+	// the sink's lifetime, while a path where batching itself starves
+	// the source keeps re-recording it faster than it decays.
+	stallDepth int
+
 	sessions map[uint32]*sinkSession
 	nextID   uint32
 
@@ -358,17 +399,45 @@ func (k *Sink) handleSessionReq(c *wire.Control) {
 	}
 }
 
-// grantCredits advertises up to n free blocks to the source
-// (free → waiting in the sink FSM). reason records which policy leg
-// issued the grant for telemetry and tracing.
-func (k *Sink) grantCredits(n int, reason grantReason) {
+// debugStallHook is a test-only observation point invoked on each
+// explicit MR_INFO_REQUEST (nil outside tests).
+var debugStallHook func(*Sink)
+
+// Adaptive-window constants: warmup arrivals before the estimate is
+// trusted, the sliding window (in samples) of the RTT minimum filter,
+// and the BDP headroom multiplier (2× absorbs rate and RTT noise
+// without letting the window collapse below the pipe's needs).
+const (
+	winWarmup    = 16
+	winRTTWindow = 64
+	winHeadroom  = 2
+	// winGapEpoch is how many arrivals each delivery-rate sample spans.
+	winGapEpoch = 8
+)
+
+// grantCredits advertises up to n free blocks to the source in one
+// message (free → waiting in the sink FSM), bypassing the coalescer —
+// the immediate legs (initial window, explicit on-demand requests) use
+// it directly. reason records which policy leg issued the grant for
+// telemetry and tracing. Returns the number of credits actually sent.
+func (k *Sink) grantCredits(n int, reason grantReason) int {
+	got := k.sendGrant(n, "grant_"+reason.String())
+	if got > 0 {
+		if t := k.tel; t != nil {
+			t.grants[reason].Add(int64(got))
+		}
+	}
+	return got
+}
+
+// sendGrant acquires up to n free blocks and sends them as a single
+// MR_INFO_RESPONSE. It does everything but per-reason attribution,
+// which differs between the immediate legs and coalesced flushes.
+func (k *Sink) sendGrant(n int, traceName string) int {
 	if n <= 0 || k.pool == nil {
-		return
+		return 0
 	}
-	var now time.Duration
-	if k.tel != nil {
-		now = k.ep.Loop.Now()
-	}
+	now := k.ep.Loop.Now()
 	var credits []wire.Credit
 	for len(credits) < n && len(credits) < wire.MaxCreditsPerMsg {
 		b := k.pool.get()
@@ -380,26 +449,331 @@ func (k *Sink) grantCredits(n int, reason grantReason) {
 		credits = append(credits, wire.Credit{Addr: b.mr.Addr, RKey: b.mr.RKey, Len: uint32(k.blockSize)})
 	}
 	if len(credits) == 0 {
-		return
+		return 0
 	}
 	k.granted += len(credits)
 	invariant.GaugeAdd(k.inv, "granted", 0, int64(len(credits)))
 	k.stats.CreditsGranted += int64(len(credits))
+	k.stats.GrantMsgs++
 	if t := k.tel; t != nil {
-		t.grants[reason].Add(int64(len(credits)))
 		t.granted.Set(int64(k.granted))
+		t.creditBatchSize.Observe(int64(len(credits)))
+		t.creditWindow.Set(int64(k.targetWindow()))
 	}
-	k.Trace.Emit(trace.Event{Cat: trace.CatCredit, Name: "grant_" + reason.String(),
+	k.Trace.Emit(trace.Event{Cat: trace.CatCredit, Name: traceName,
 		V1: int64(len(credits)), V2: int64(k.granted)})
 	k.sendCtrl(&wire.Control{Type: wire.MsgMRInfoResponse, Credits: credits})
+	return len(credits)
+}
+
+// queueGrants adds n credits to the coalescer's pending batch under the
+// proactive policy and flushes when a trigger fires: the batch reached
+// Config.CreditBatch, or the source's outstanding credits fell below
+// the low watermark (it could run dry within a round trip). Otherwise
+// the flush timer bounds the wait. Credits beyond the target window
+// are not queued at all — the window is the point of the adaptive
+// sizing — and freed blocks re-enter via the on-free leg.
+func (k *Sink) queueGrants(n int, reason grantReason) {
+	if n <= 0 || k.pool == nil || k.closed || k.failed != nil {
+		return
+	}
+	win := k.targetWindow()
+	// Cap at the window head so granted + pending never exceeds the
+	// target window; the excess is dropped exactly as the unbatched
+	// protocol dropped over-window grants — freed blocks re-enter via
+	// the on-free leg. In the pinned steady state each consumed block
+	// opens one head slot, so pending still accumulates toward a batch.
+	if head := win - k.granted - k.pendingGrant; n > head {
+		n = head
+	}
+	if n <= 0 {
+		return
+	}
+	k.pendingGrant += n
+	k.pendingByReason[reason] += n
+	if t := k.tel; t != nil {
+		t.pendingGrants.Set(int64(k.pendingGrant))
+	}
+	if k.pendingGrant >= k.batchSize(win) || k.granted < k.lowWater(win) {
+		k.flushGrants()
+		return
+	}
+	k.armFlushTimer()
+}
+
+// pipeDepth estimates the source's effective pipeline depth as the
+// sink sees it through granted: blocks the source may hold loaded or
+// in flight (IODepth + InitialCredits), plus — under explicit
+// completion notification — roughly one flight's worth of consumed
+// blocks whose MsgBlockComplete has not yet landed. Those unnotified
+// blocks inflate granted without representing source runway, so every
+// watermark derived from granted must sit higher by that lag or the
+// coalescer withholds credits a starving source needed.
+func (k *Sink) pipeDepth() int {
+	d := k.cfg.IODepth + k.cfg.InitialCredits
+	if !k.immMode {
+		d += k.bdpBlocks()
+	}
+	return d
+}
+
+// batchSize is the effective flush threshold: Config.CreditBatch capped
+// at half the window slack beyond the source's pipeline depth. While a
+// batch accumulates, granted dips by up to one batch below the window;
+// the source rides out that dip on stash, which is at best
+// win − depth, where depth is pipeDepth or the measured stallDepth
+// (whichever is higher — see that field). Half the slack leaves an
+// equal-size margin, so tight pools coalesce gently, deep pools reach
+// the configured threshold, and a pool with no headroom at all
+// degrades to unbatched granting.
+func (k *Sink) batchSize(win int) int {
+	depth := k.pipeDepth()
+	if k.stallDepth > depth {
+		depth = k.stallDepth
+	}
+	slack := (win - depth) / 2
+	b := k.cfg.CreditBatch
+	if b > slack {
+		b = slack
+	}
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// lowWater is the outstanding-credit level below which a pending batch
+// flushes immediately instead of waiting out the timer: once granted
+// falls to the source's pipeline depth the stash is empty (granted
+// counts blocks mid-write and, in explicit-notification mode,
+// consumed blocks whose notification is still in flight) and every
+// queued credit is needed now. Early in a transfer granted is always
+// below it, so the exponential ramp is indistinguishable from
+// unbatched granting.
+func (k *Sink) lowWater(win int) int {
+	lw := k.pipeDepth()
+	if half := win / 2; lw > half {
+		lw = half
+	}
+	if lw < 2 {
+		lw = 2
+	}
+	return lw
+}
+
+// bdpBlocks estimates blocks in flight from the window estimator:
+// credit round trip ÷ mean inter-arrival gap (rate × RTT). Zero before
+// any samples.
+func (k *Sink) bdpBlocks() int {
+	if k.winGap <= 0 || k.winRTT <= 0 {
+		return 0
+	}
+	return int(float64(k.winRTT) / float64(k.winGap))
+}
+
+// flushGrants drains the pending batch into MR_INFO_RESPONSE messages
+// (one per wire.MaxCreditsPerMsg). If the pool runs dry mid-flush the
+// remainder is dropped — the unbatched protocol likewise dropped
+// grants that found no free block; freed blocks re-advertise via the
+// on-free leg or the explicit-request fallback.
+func (k *Sink) flushGrants() {
+	for k.pendingGrant > 0 {
+		want := k.pendingGrant
+		if want > wire.MaxCreditsPerMsg {
+			want = wire.MaxCreditsPerMsg
+		}
+		got := k.sendGrant(want, "grant_flush")
+		k.attributeGrants(got, want)
+		if got < want {
+			k.dropPending()
+			break
+		}
+	}
+	if t := k.tel; t != nil {
+		t.pendingGrants.Set(int64(k.pendingGrant))
+	}
+}
+
+// attributeGrants retires `taken` queued credits in policy-leg order
+// and credits the first `granted` of them to the per-reason telemetry
+// counters, so grants_* still sum to Stats.CreditsGranted.
+func (k *Sink) attributeGrants(granted, taken int) {
+	k.pendingGrant -= taken
+	for r := range k.pendingByReason {
+		if taken == 0 {
+			break
+		}
+		n := k.pendingByReason[r]
+		if n > taken {
+			n = taken
+		}
+		k.pendingByReason[r] -= n
+		taken -= n
+		g := n
+		if g > granted {
+			g = granted
+		}
+		granted -= g
+		if t := k.tel; t != nil && g > 0 {
+			t.grants[r].Add(int64(g))
+		}
+	}
+}
+
+// dropPending abandons the pending batch (transfer ended, pool dry).
+func (k *Sink) dropPending() {
+	k.pendingGrant = 0
+	k.pendingByReason = [grantReasons]int{}
+	if t := k.tel; t != nil {
+		t.pendingGrants.Set(0)
+	}
+}
+
+// armFlushTimer bounds how long a non-empty batch may wait. The timer
+// is one-shot and never re-arms itself: if the batch flushed early the
+// firing is a no-op, so an idle sink schedules nothing.
+func (k *Sink) armFlushTimer() {
+	if k.flushArmed || k.pendingGrant <= 0 {
+		return
+	}
+	k.flushArmed = true
+	k.ep.Loop.After(k.flushInterval(), func() {
+		k.flushArmed = false
+		if k.closed || k.failed != nil {
+			return
+		}
+		if len(k.sessions) == 0 {
+			// The transfer ended while the batch was pending: nothing
+			// left to feed, keep the pool whole.
+			k.dropPending()
+			return
+		}
+		if k.pendingGrant > 0 {
+			k.flushGrants()
+		}
+	})
+}
+
+// flushInterval is the batch-age bound: the time a full batch takes to
+// form at the measured delivery rate (batch × mean inter-arrival gap —
+// waiting longer than that cannot grow the batch further), clamped so
+// the LAN still flushes promptly and the WAN timer does not balloon.
+// Config.CreditFlushInterval overrides.
+func (k *Sink) flushInterval() time.Duration {
+	if k.cfg.CreditFlushInterval > 0 {
+		return k.cfg.CreditFlushInterval
+	}
+	d := time.Duration(k.batchSize(k.targetWindow())) * k.winGap
+	if d < 200*time.Microsecond {
+		d = 200 * time.Microsecond
+	}
+	if d > 25*time.Millisecond {
+		d = 25 * time.Millisecond
+	}
+	return d
+}
+
+// targetWindow is the sink's goal for credits outstanding at the
+// source. With Config.CreditWindow set it is fixed; otherwise it is
+// winHeadroom × (credit round trip ÷ mean inter-arrival gap) — delivery
+// rate × RTT, a BDP estimate in blocks — plus the source's pipeline
+// depth (granted credits include blocks mid-write, so a window below
+// IODepth + InitialCredits would starve a source that is merely keeping
+// its own pipe full), clamped to [max(4, SinkBlocks/8), SinkBlocks].
+// Before warmup the window is the whole pool, the pre-adaptive
+// behavior.
+func (k *Sink) targetWindow() int {
+	if k.cfg.CreditWindow > 0 {
+		return k.cfg.CreditWindow
+	}
+	win := k.cfg.SinkBlocks
+	if k.winSamples < winWarmup || k.winGap <= 0 || k.winRTT <= 0 {
+		return win
+	}
+	w := winHeadroom*k.bdpBlocks() + k.cfg.IODepth + k.cfg.InitialCredits + k.winBoost
+	floor := k.cfg.SinkBlocks / 8
+	if floor < 4 {
+		floor = 4
+	}
+	if w < floor {
+		w = floor
+	}
+	if w > win {
+		w = win
+	}
+	return w
+}
+
+// noteWindowSample feeds one arrival into the window estimator: rtt is
+// the credit's grant→consume latency, now the arrival timestamp. The
+// RTT minimum filter slides by resetting every winRTTWindow samples.
+// The gap estimate averages over epochs of winGapEpoch arrivals before
+// folding into an EWMA (gain 1/2): fabric completions arrive in bursts
+// whose intra-burst gaps say nothing about delivery rate, so the epoch
+// mean — total elapsed over a run of arrivals — is the robust 1/rate.
+func (k *Sink) noteWindowSample(now time.Duration, rtt time.Duration) {
+	k.winSamples++
+	if rtt > 0 && (k.winRTT == 0 || rtt < k.winRTT || k.winRTTAge >= winRTTWindow) {
+		k.winRTT, k.winRTTAge = rtt, 0
+	} else {
+		k.winRTTAge++
+	}
+	if k.epochBlocks == 0 {
+		k.epochStart, k.epochBlocks = now, 1
+		return
+	}
+	k.epochBlocks++
+	if k.epochBlocks <= winGapEpoch {
+		return
+	}
+	if elapsed := now - k.epochStart; elapsed > 0 {
+		mean := elapsed / time.Duration(k.epochBlocks-1)
+		if k.winGap == 0 {
+			k.winGap = mean
+		} else {
+			k.winGap += (mean - k.winGap) / 2
+		}
+	}
+	k.epochStart, k.epochBlocks = now, 1
+	// An epoch of steady arrivals without a fresh stall recording is
+	// weak evidence the recorded stall depth is stale: decay it toward
+	// the estimated pipeline depth. A genuinely batching-starved path
+	// re-records faster than this drains (recordings raise it in one
+	// step; decay removes an eighth of the excess per epoch), while a
+	// stall that merely coincided with a large pending batch stops
+	// suppressing coalescing after a few epochs.
+	if base := k.pipeDepth(); k.stallDepth > base {
+		k.stallDepth -= (k.stallDepth - base + 7) / 8
+	}
 }
 
 // handleMRRequest must answer as soon as at least one region frees
 // (paper: "the responder will be delayed until one becomes available").
 func (k *Sink) handleMRRequest() {
 	// An explicit request means the source is starving: answer with a
-	// full batch regardless of policy.
+	// full batch regardless of policy or window — the request is direct
+	// evidence the window estimate ran behind the pipe. Any coalesced
+	// batch still pending rides along instead of waiting out its timer.
 	batch := k.cfg.OnDemandBatch
+	if p := k.pendingGrant; p > batch {
+		batch = p
+	}
+	if debugStallHook != nil {
+		debugStallHook(k)
+	}
+	// Record the starvation level only when the coalescer was actually
+	// withholding a substantial batch — a request that finds little or
+	// nothing pending (pool dry, pipe deeper than the pool) is not
+	// batching's fault, and penalizing the batch size for it would
+	// disable coalescing on every pool-limited path.
+	if g := k.granted + k.pendingGrant; g > k.stallDepth &&
+		2*k.pendingGrant >= k.batchSize(k.targetWindow()) && k.pendingGrant > 1 {
+		k.stallDepth = g
+	}
+	k.dropPending()
+	if k.winBoost < k.cfg.SinkBlocks {
+		k.winBoost += k.cfg.OnDemandBatch
+	}
 	if k.pool == nil || k.pool.countState(BlockFree) == 0 {
 		k.pendingReq = true
 		return
@@ -460,8 +834,9 @@ func (k *Sink) blockArrived(b *block, hdr wire.BlockHeader) {
 	} else {
 		sess.ready[hdr.Seq] = b
 	}
+	now := k.ep.Loop.Now()
+	k.noteWindowSample(now, now-b.tAcq)
 	if t := k.tel; t != nil {
-		now := k.ep.Loop.Now()
 		t.creditLatency.Observe(int64(now - b.tAcq))
 		t.reassembly.Observe(int64(len(sess.ready) + len(sess.storeQ)))
 		t.blocksArrived.Inc()
@@ -472,10 +847,11 @@ func (k *Sink) blockArrived(b *block, hdr wire.BlockHeader) {
 		sess.haveLast = true
 		sess.lastSeq = hdr.Seq
 	}
-	// Proactive feedback: grant replacements right away; if nothing is
-	// free the notification is simply not answered (paper semantics).
+	// Proactive feedback: queue replacement grants with the coalescer;
+	// if nothing is free by flush time the notification is simply not
+	// answered (paper semantics).
 	if k.cfg.CreditPolicy == CreditProactive {
-		k.grantCredits(k.cfg.GrantPerConsume, grantOnConsume)
+		k.queueGrants(k.cfg.GrantPerConsume, grantOnConsume)
 	}
 	if sess.offsetSink != nil {
 		k.pumpStores(sess)
@@ -611,12 +987,13 @@ func (k *Sink) storeDone(sess *sinkSession, b *block, err error) {
 		k.pendingReq = false
 		k.handleMRRequest()
 	} else if k.cfg.CreditPolicy == CreditProactive && !k.cfg.NoGrantOnFree && len(k.sessions) > 0 {
-		// Active feedback: once the window has ramped to the whole
-		// pool, consume-time grants find nothing free, so re-advertise
-		// each block the moment it frees. Without this the source
-		// burns its stash and degenerates into explicit request
-		// round-trips.
-		k.grantCredits(1, grantOnFree)
+		// Active feedback: once the window has ramped, consume-time
+		// grants find nothing free, so re-advertise each block the
+		// moment it frees. Without this the source burns its stash and
+		// degenerates into explicit request round-trips. Freed blocks
+		// join the coalescer's batch rather than each paying for a
+		// full control message.
+		k.queueGrants(1, grantOnFree)
 	}
 	// A freed store slot may unblock queued or ready blocks.
 	if sess.offsetSink != nil {
@@ -666,6 +1043,11 @@ func (k *Sink) finishSession(sess *sinkSession, err error) {
 	sess.finished = true
 	delete(k.sessions, sess.info.ID)
 	invariant.StreamReset(k.inv, sess.info.ID)
+	if len(k.sessions) == 0 && k.pendingGrant > 0 {
+		// No session left to feed: abandon the coalesced batch so its
+		// blocks stay free instead of being advertised into the void.
+		k.dropPending()
+	}
 	// Blocks still held by an aborted session return to the pool
 	// (data-ready → free, the abort shortcut past Storing).
 	for _, b := range sess.ready {

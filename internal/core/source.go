@@ -323,6 +323,7 @@ func (s *Source) handleCtrl(c *wire.Control) {
 		s.credits = append(s.credits, c.Credits...)
 		invariant.CreditGrant(s.inv, int64(len(c.Credits)))
 		s.stats.CreditsGranted += int64(len(c.Credits))
+		s.stats.GrantMsgs++
 		if s.tel != nil {
 			s.tel.creditsRecv.Add(int64(len(c.Credits)))
 			s.tel.creditStash.Set(int64(len(s.credits)))

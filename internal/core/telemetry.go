@@ -17,6 +17,9 @@ const (
 	grantOnConsume
 	grantOnFree
 	grantOnDemand
+
+	// grantReasons sizes per-reason arrays.
+	grantReasons = int(grantOnDemand) + 1
 )
 
 func (r grantReason) String() string {
@@ -38,6 +41,12 @@ func (r grantReason) String() string {
 // (how many data-ready blocks wait on the in-order delivery cursor).
 func reassemblyBuckets() []int64 {
 	return []int64{0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+}
+
+// creditBatchBuckets spans the credit-coalescer's batch sizes, 1 (no
+// coalescing) through wire.MaxCreditsPerMsg.
+func creditBatchBuckets() []int64 {
+	return []int64{1, 2, 4, 8, 16, 32, 64}
 }
 
 // sourceTelemetry holds the source's metric handles, resolved once at
@@ -118,16 +127,23 @@ type sinkTelemetry struct {
 	// storesInflight tracks Stores issued but not completed across all
 	// sessions (bounded by Config.StoreDepth per session).
 	storesInflight *telemetry.Gauge
+	// pendingGrants is the coalescer's unflushed batch; creditWindow is
+	// the current adaptive (or overridden) target for credits
+	// outstanding at the source.
+	pendingGrants *telemetry.Gauge
+	creditWindow  *telemetry.Gauge
 
 	// grants[reason] counts credits issued under each policy leg.
-	grants [4]*telemetry.Counter
+	grants [grantReasons]*telemetry.Counter
 
 	// creditLatency is grant→consume (the credit's round trip through
 	// the source); storeLatency is data-ready→stored; reassembly is the
-	// out-of-order occupancy observed at each arrival.
-	creditLatency *telemetry.Histogram
-	storeLatency  *telemetry.Histogram
-	reassembly    *telemetry.Histogram
+	// out-of-order occupancy observed at each arrival; creditBatchSize
+	// is credits per MR_INFO_RESPONSE (the coalescer's yield).
+	creditLatency   *telemetry.Histogram
+	storeLatency    *telemetry.Histogram
+	reassembly      *telemetry.Histogram
+	creditBatchSize *telemetry.Histogram
 }
 
 // AttachTelemetry wires the sink to a registry. Call before the peer's
@@ -138,15 +154,18 @@ func (k *Sink) AttachTelemetry(reg *telemetry.Registry) {
 		return
 	}
 	t := &sinkTelemetry{
-		reg:            reg,
-		blocksArrived:  reg.Counter("blocks_arrived"),
-		bytesArrived:   reg.Counter("bytes_arrived"),
-		ctrlMsgs:       reg.Counter("ctrl_msgs"),
-		granted:        reg.Gauge("credits_outstanding"),
-		storesInflight: reg.Gauge("stores_inflight"),
-		creditLatency:  reg.Histogram("credit_latency", telemetry.DurationBuckets()...),
-		storeLatency:   reg.Histogram("store_latency", telemetry.DurationBuckets()...),
-		reassembly:     reg.Histogram("reassembly_occupancy", reassemblyBuckets()...),
+		reg:             reg,
+		blocksArrived:   reg.Counter("blocks_arrived"),
+		bytesArrived:    reg.Counter("bytes_arrived"),
+		ctrlMsgs:        reg.Counter("ctrl_msgs"),
+		granted:         reg.Gauge("credits_outstanding"),
+		storesInflight:  reg.Gauge("stores_inflight"),
+		pendingGrants:   reg.Gauge("pending_grants"),
+		creditWindow:    reg.Gauge("credit_window"),
+		creditLatency:   reg.Histogram("credit_latency", telemetry.DurationBuckets()...),
+		storeLatency:    reg.Histogram("store_latency", telemetry.DurationBuckets()...),
+		reassembly:      reg.Histogram("reassembly_occupancy", reassemblyBuckets()...),
+		creditBatchSize: reg.Histogram("credit_batch_size", creditBatchBuckets()...),
 	}
 	for r := grantInitial; r <= grantOnDemand; r++ {
 		t.grants[r] = reg.Counter("grants_" + r.String())

@@ -242,6 +242,9 @@ func (q *QP) PostSend(wr *verbs.SendWR) error {
 	q.sendMu.Unlock()
 	q.dev.TxBytes.Add(uint64(wr.Length()))
 	q.dev.Telemetry.Posted(wr.Op, wr.Length())
+	if wr.Op == verbs.OpSend {
+		q.dev.Telemetry.Ctrl(len(wr.Data))
+	}
 	return nil
 }
 

@@ -365,11 +365,22 @@ func (d *Device) send(f *frame) bool {
 	return true
 }
 
+// ctrlInlineMax bounds payloads copied into the writer's header arena:
+// control messages (SEND frames) top out around wire header + max
+// credits ≈ 1.1 KiB, far below this. Bulk WRITE/READ payloads always
+// stay zero-copy regardless of size — the arena copy is framing, like
+// the header encode, not a payload staging copy.
+const ctrlInlineMax = 2048
+
 // writer drains the outbound queue in batches: one lock acquisition
 // swaps the whole queue out, then every frame's header and payload
-// are emitted as a single vectored write. Batch storage (the swapped
-// slice, the header arena, the iovec) is reused across batches, so a
-// steady-state sender allocates nothing here.
+// are emitted as a single vectored write. Headers encode sequentially
+// into one arena, and small control (SEND) payloads are inlined right
+// after their header, so a run of queued control messages collapses
+// into a single contiguous iovec entry — one scatter element instead
+// of 2×N — interrupted only by large zero-copy payload references.
+// Batch storage (the swapped slice, the arena, the iovec) is reused
+// across batches, so a steady-state sender allocates nothing here.
 func (d *Device) writer() {
 	defer d.wg.Done()
 	var batch []*frame
@@ -388,19 +399,36 @@ func (d *Device) writer() {
 		d.writing = true
 		d.outMu.Unlock()
 
-		if need := len(batch) * frameHeaderLen; cap(hdrs) < need {
+		need := 0
+		for _, f := range batch {
+			need += frameHeaderLen
+			if f.op == frSend && len(f.payload) <= ctrlInlineMax {
+				need += len(f.payload)
+			}
+		}
+		if cap(hdrs) < need {
 			hdrs = make([]byte, need)
 		}
+		hdrs = hdrs[:need]
 		iov = iov[:0]
 		total := 0
-		for i, f := range batch {
-			h := hdrs[i*frameHeaderLen : (i+1)*frameHeaderLen]
-			encodeHeader(h, f)
-			iov = append(iov, h)
-			if len(f.payload) > 0 {
-				iov = append(iov, f.payload)
+		off, runStart := 0, 0
+		for _, f := range batch {
+			encodeHeader(hdrs[off:off+frameHeaderLen], f)
+			off += frameHeaderLen
+			if n := len(f.payload); n > 0 {
+				if f.op == frSend && n <= ctrlInlineMax {
+					off += copy(hdrs[off:], f.payload)
+				} else {
+					iov = append(iov, hdrs[runStart:off])
+					iov = append(iov, f.payload)
+					runStart = off
+				}
 			}
 			total += frameHeaderLen + len(f.payload)
+		}
+		if off > runStart {
+			iov = append(iov, hdrs[runStart:off])
 		}
 		bufs := net.Buffers(iov)
 		_, err := bufs.WriteTo(d.conn)
@@ -418,6 +446,7 @@ func (d *Device) writer() {
 		}
 		d.TxBytes.Add(uint64(total))
 		d.Telemetry.Tx(total)
+		d.Telemetry.TxBatch(len(batch))
 	}
 }
 

@@ -145,6 +145,9 @@ func (q *QP) PostSend(wr *verbs.SendWR) error {
 		return verbs.ErrQPClosed
 	}
 	q.dev.Telemetry.Posted(wr.Op, 0) // wire bytes counted at the framing layer
+	if wr.Op == verbs.OpSend {
+		q.dev.Telemetry.Ctrl(len(wr.Data))
+	}
 	return nil
 }
 

@@ -187,6 +187,9 @@ func (q *QP) transmit(m *message) {
 	d.TxWRs++
 	d.TxBytes += uint64(wire)
 	d.Telemetry.Posted(m.wr.Op, wire)
+	if m.wr.Op == verbs.OpSend {
+		d.Telemetry.Ctrl(m.wr.Length())
+	}
 	lastBit := d.port.transmit(wire)
 	if d.bbPort != nil {
 		lastBit = d.bbPort.transmitAt(lastBit, wire)

@@ -19,6 +19,15 @@ type FabricMetrics struct {
 	txBytes   Counter
 	rxBytes   Counter
 	rnr       Counter
+	// Control-plane accounting: SEND-opcode messages and their payload
+	// bytes, kept separate from bulk tx so the control/data split is
+	// visible per device.
+	ctrlMsgs  Counter
+	ctrlBytes Counter
+	// Vectored-write accounting: batches drained to the wire and frames
+	// carried; frames/batches is the achieved write coalescing.
+	txBatches Counter
+	txFrames  Counter
 }
 
 // NewFabricMetrics creates fabric metrics registered under reg (a "wr_"
@@ -37,6 +46,10 @@ func NewFabricMetrics(reg *Registry) *FabricMetrics {
 		reg.counters["tx_bytes"] = &m.txBytes
 		reg.counters["rx_bytes"] = &m.rxBytes
 		reg.counters["rnr_events"] = &m.rnr
+		reg.counters["ctrl_msgs"] = &m.ctrlMsgs
+		reg.counters["ctrl_bytes"] = &m.ctrlBytes
+		reg.counters["tx_batches"] = &m.txBatches
+		reg.counters["tx_frames"] = &m.txFrames
 		reg.mu.Unlock()
 	}
 	return m
@@ -79,6 +92,58 @@ func (m *FabricMetrics) Rx(bytes int) {
 		return
 	}
 	m.rxBytes.Add(int64(bytes))
+}
+
+// Ctrl records one control-plane message (SEND opcode) of the given
+// payload length leaving this device.
+func (m *FabricMetrics) Ctrl(bytes int) {
+	if m == nil {
+		return
+	}
+	m.ctrlMsgs.Add(1)
+	m.ctrlBytes.Add(int64(bytes))
+}
+
+// TxBatch records one vectored write that carried the given number of
+// frames.
+func (m *FabricMetrics) TxBatch(frames int) {
+	if m == nil {
+		return
+	}
+	m.txBatches.Add(1)
+	m.txFrames.Add(int64(frames))
+}
+
+// CtrlMsgs returns control-plane messages sent.
+func (m *FabricMetrics) CtrlMsgs() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.ctrlMsgs.Value()
+}
+
+// CtrlBytes returns control-plane payload bytes sent.
+func (m *FabricMetrics) CtrlBytes() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.ctrlBytes.Value()
+}
+
+// TxBatches returns vectored writes drained to the wire.
+func (m *FabricMetrics) TxBatches() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.txBatches.Value()
+}
+
+// TxFrames returns frames carried by those vectored writes.
+func (m *FabricMetrics) TxFrames() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.txFrames.Value()
 }
 
 // RNR records one receiver-not-ready event (NAK, park, or stall

@@ -15,6 +15,19 @@ func FuzzDecodeControl(f *testing.F) {
 	f.Add(valid)
 	withCredits, _ := (&Control{Type: MsgMRInfoResponse, Credits: []Credit{{Addr: 1, RKey: 2, Len: 3}}}).Encode(nil)
 	f.Add(withCredits)
+	// Max-size multi-credit grant: the largest message a coalesced
+	// flush can produce (MaxCreditsPerMsg credits).
+	maxed := &Control{Type: MsgMRInfoResponse}
+	for i := 0; i < MaxCreditsPerMsg; i++ {
+		maxed.Credits = append(maxed.Credits, Credit{Addr: uint64(i) << 12, RKey: uint32(i), Len: 4096})
+	}
+	maxSeed, _ := maxed.Encode(nil)
+	f.Add(maxSeed)
+	// Oversize forged count: valid header bytes but a credit count one
+	// past the ceiling, with enough trailing bytes to look plausible.
+	forged := append([]byte(nil), maxSeed...)
+	forged[2], forged[3] = byte((MaxCreditsPerMsg+1)>>8), byte(MaxCreditsPerMsg+1)
+	f.Add(append(forged, make([]byte, creditSize)...))
 	f.Add([]byte{})
 	f.Add(bytes.Repeat([]byte{0xFF}, ControlHeaderSize))
 	f.Add(bytes.Repeat([]byte{0x00}, ControlHeaderSize+16))

@@ -63,6 +63,57 @@ func TestControlTruncated(t *testing.T) {
 	}
 }
 
+// TestControlMaxCredits exercises the exact batch ceiling: a grant
+// message carrying MaxCreditsPerMsg distinct credits must encode to
+// the documented size and round-trip losslessly. This is the largest
+// message the credit coalescer is allowed to emit in one flush.
+func TestControlMaxCredits(t *testing.T) {
+	in := &Control{Type: MsgMRInfoResponse, Session: 3, Seq: 11}
+	for i := 0; i < MaxCreditsPerMsg; i++ {
+		in.Credits = append(in.Credits, Credit{
+			Addr: 0x10000 + uint64(i)*4096,
+			RKey: uint32(i + 1),
+			Len:  uint32(4096 + i),
+		})
+	}
+	b, err := in.Encode(nil)
+	if err != nil {
+		t.Fatalf("encode at batch ceiling: %v", err)
+	}
+	if want := ControlHeaderSize + MaxCreditsPerMsg*creditSize; len(b) != want {
+		t.Fatalf("encoded %d bytes, want %d", len(b), want)
+	}
+	out, err := DecodeControl(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("max-size round trip mismatch (got %d credits)", len(out.Credits))
+	}
+}
+
+// TestControlZeroCreditResponse pins down the zero-credit grant edge:
+// an MR_INFO_RESPONSE with no credits is legal on the wire (the sink
+// may answer an explicit request with a header-only message when its
+// pool is dry) and must not be confused with a malformed count.
+func TestControlZeroCreditResponse(t *testing.T) {
+	in := &Control{Type: MsgMRInfoResponse, Session: 5, Seq: 1}
+	b, err := in.Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != ControlHeaderSize {
+		t.Fatalf("zero-credit response encoded %d bytes, want header-only %d", len(b), ControlHeaderSize)
+	}
+	out, err := DecodeControl(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Credits) != 0 || out.Type != MsgMRInfoResponse {
+		t.Fatalf("decoded %+v", out)
+	}
+}
+
 func TestControlTooManyCredits(t *testing.T) {
 	in := &Control{Type: MsgMRInfoResponse, Credits: make([]Credit, MaxCreditsPerMsg+1)}
 	if _, err := in.Encode(nil); err != ErrBadCount {
