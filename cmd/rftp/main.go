@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
@@ -39,6 +40,9 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write the protocol event trace to FILE as JSONL")
 	doStats := flag.Bool("stats", false, "print a telemetry summary when the transfer ends")
 	statsEvery := flag.Duration("stats-every", 0, "also print the telemetry summary at this interval (implies -stats)")
+	httpAddr := flag.String("http", "", "serve live telemetry over HTTP on this address (GET /metrics for Prometheus, /debug/telemetry for JSON)")
+	spanSample := flag.Int("span-sample", 16, "record the lifecycle span of 1 in N blocks (0 = off, 1 = every block)")
+	spanOut := flag.String("span-out", "", "write completed block lifecycle spans to FILE as JSONL")
 	flag.Parse()
 	if flag.NArg() == 0 && *zero == "" {
 		fmt.Fprintln(os.Stderr, "usage: rftp [flags] file...")
@@ -95,11 +99,20 @@ func main() {
 	// Telemetry: source protocol metrics plus fabric WR/byte counters,
 	// attached before negotiation so nothing is missed.
 	var reg *telemetry.Registry
-	if *doStats || *statsEvery > 0 {
+	if *doStats || *statsEvery > 0 || *httpAddr != "" || *spanOut != "" {
 		reg = telemetry.NewRegistry("rftp")
 		dev.Telemetry = telemetry.NewFabricMetrics(reg.Child("fabric"))
 		source.AttachTelemetry(reg)
+		source.AttachSpans(reg, *spanSample)
 		eng.SetMetrics(core.NewIOMetrics(reg.Child("storage")))
+	}
+	if *httpAddr != "" {
+		go func() {
+			log.Printf("rftp: telemetry on http://%s/", *httpAddr)
+			if err := http.ListenAndServe(*httpAddr, telemetry.Handler(reg)); err != nil {
+				log.Printf("rftp: telemetry http: %v", err)
+			}
+		}()
 	}
 	var ring *trace.Ring
 	if *doTrace || *traceOut != "" {
@@ -111,6 +124,11 @@ func main() {
 		source.Trace = ring
 	}
 	defer func() {
+		if *spanOut != "" {
+			if err := writeSpanFile(*spanOut, loop, source); err != nil {
+				log.Printf("rftp: span-out: %v", err)
+			}
+		}
 		if ring != nil && *traceOut != "" {
 			if err := writeTraceFile(*traceOut, ring); err != nil {
 				log.Printf("rftp: trace-out: %v", err)
@@ -219,6 +237,28 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// writeSpanFile exports completed block lifecycle spans as JSONL. The
+// span ring is owned by the protocol loop, so the dump runs there.
+func writeSpanFile(path string, loop *chanfabric.Loop, source *core.Source) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	errc := make(chan error, 1)
+	loop.Post(0, func() {
+		if rec := source.Spans(); rec != nil {
+			errc <- rec.WriteJSONL(f)
+			return
+		}
+		errc <- nil
+	})
+	if err := <-errc; err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeTraceFile exports the ring's retained events as JSONL.

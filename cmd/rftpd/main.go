@@ -28,6 +28,7 @@ import (
 	"rftp/internal/storage"
 	"rftp/internal/telemetry"
 	"rftp/internal/trace"
+	"rftp/internal/watch"
 )
 
 // serveOpts carries the observability configuration into each
@@ -44,6 +45,7 @@ type serveOpts struct {
 	stats       bool
 	trace       bool
 	traceOut    string
+	spanSample  int
 	root        *telemetry.Registry // nil when telemetry is off
 
 	mu sync.Mutex // serializes trace-out appends across connections
@@ -63,8 +65,10 @@ func main() {
 	doStats := flag.Bool("stats", false, "print a telemetry summary when each connection ends")
 	doTrace := flag.Bool("trace", false, "dump the protocol event trace when each connection ends")
 	traceOut := flag.String("trace-out", "", "append each connection's protocol event trace to FILE as JSONL")
-	httpAddr := flag.String("http", "", "serve live telemetry over HTTP on this address (GET /, ?text=1 for plain text)")
+	httpAddr := flag.String("http", "", "serve live telemetry over HTTP on this address (GET /metrics for Prometheus, /debug/telemetry for JSON)")
 	doPprof := flag.Bool("pprof", false, "expose net/http/pprof profiling under /debug/pprof/ on the -http address")
+	doWatch := flag.Bool("watch", false, "redraw a live transfer view (goodput, credits, stalls) on stderr every second")
+	spanSample := flag.Int("span-sample", 16, "record the lifecycle span of 1 in N blocks (0 = off, 1 = every block)")
 	flag.Parse()
 
 	if *doPprof && *httpAddr == "" {
@@ -92,9 +96,17 @@ func main() {
 		stats:       *doStats,
 		trace:       *doTrace,
 		traceOut:    *traceOut,
+		spanSample:  *spanSample,
 	}
-	if *doStats || *httpAddr != "" {
+	if *doStats || *httpAddr != "" || *doWatch {
 		opts.root = telemetry.NewRegistry("rftpd")
+	}
+	if *doWatch {
+		r := watch.New()
+		r.ANSI = true
+		go r.Run(os.Stderr, func() (*telemetry.Snapshot, error) {
+			return opts.root.Snapshot(), nil
+		}, time.Second, nil)
 	}
 	if *httpAddr != "" {
 		mux := http.NewServeMux()
@@ -185,6 +197,7 @@ func serve(dev *netfabric.Device, conn int, opts *serveOpts, served chan<- struc
 		reg = opts.root.Child(fmt.Sprintf("conn%d", conn))
 		dev.Telemetry = telemetry.NewFabricMetrics(reg.Child("fabric"))
 		sink.AttachTelemetry(reg)
+		sink.AttachSpans(reg, opts.spanSample)
 		eng.SetMetrics(core.NewIOMetrics(reg.Child("storage")))
 	}
 	var ring *trace.Ring

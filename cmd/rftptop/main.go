@@ -1,0 +1,73 @@
+// Command rftptop is a live terminal view of a running rftpd or rftp
+// process: it polls the JSON telemetry endpoint served by their -http
+// flag and redraws a compact frame every second — goodput, credit
+// window, inflight loads/stores, the top pipeline stall cause, and the
+// block critical-path decomposition from the span layer.
+//
+// Usage:
+//
+//	rftptop -addr localhost:6060
+//	rftptop -addr http://localhost:6060/debug/telemetry -every 500ms
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"rftp/internal/telemetry"
+	"rftp/internal/watch"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:6060", "telemetry endpoint (host:port or full URL)")
+	every := flag.Duration("every", time.Second, "refresh interval")
+	plain := flag.Bool("plain", false, "append frames instead of redrawing in place")
+	flag.Parse()
+
+	url := *addr
+	if !strings.Contains(url, "://") {
+		url = "http://" + url
+	}
+	if !strings.Contains(url, "/debug/") && !strings.HasSuffix(url, "/") {
+		url += "/debug/telemetry"
+	}
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	fetch := func() (*telemetry.Snapshot, error) {
+		resp, err := client.Get(url)
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode == http.StatusNotFound {
+			return nil, nil // server up, telemetry not attached yet
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("%s: %s", url, resp.Status)
+		}
+		var snap telemetry.Snapshot
+		if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+			return nil, fmt.Errorf("%s: %v", url, err)
+		}
+		return &snap, nil
+	}
+
+	done := make(chan struct{})
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	go func() { <-sig; close(done) }()
+
+	r := watch.New()
+	r.ANSI = !*plain
+	fmt.Printf("rftptop: watching %s (refresh %v)\n", url, *every)
+	if err := r.Run(os.Stdout, fetch, *every, done); err != nil {
+		log.Fatalf("rftptop: %v", err)
+	}
+}

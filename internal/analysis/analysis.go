@@ -8,6 +8,9 @@
 //   - fsmtransition: every write to a state-machine field guarded by a
 //     setState method must go through setState, keeping the validNext
 //     transition table the single source of truth (Figure 6).
+//   - spanstamp: every spans.Recorder.Transition call (a lifecycle
+//     span stamp) must sit inside a setState body, so the span table
+//     can never record a transition the FSM did not validate.
 //   - bufownership: after a buffer is handed to PostSend (zero-copy
 //     verbs ownership), the caller must not mutate or repost it until
 //     the completion returns ownership.
@@ -208,7 +211,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) (*Result, error) {
 
 // All returns the full RFTP analyzer suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{FSMTransition, BufOwnership, AtomicMix, LockOrder}
+	return []*Analyzer{FSMTransition, SpanStamp, BufOwnership, AtomicMix, LockOrder}
 }
 
 // pathString renders an ident/selector chain as a stable dotted path

@@ -7,6 +7,11 @@ func TestFSMTransitionFixture(t *testing.T) {
 	assertSuppression(t, res, "fsmtransition")
 }
 
+func TestSpanStampFixture(t *testing.T) {
+	res := runFixture(t, SpanStamp, "spanstamp")
+	assertSuppression(t, res, "spanstamp")
+}
+
 func TestBufOwnershipFixture(t *testing.T) {
 	res := runFixture(t, BufOwnership, "bufown")
 	assertSuppression(t, res, "bufownership")

@@ -1,0 +1,108 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// SpanStamp flags span lifecycle stamps placed outside the FSM guard.
+//
+// spans.Recorder.Transition is the single entry point that records a
+// block's state change into the span table; the observability story
+// depends on the table agreeing with the FSM, which only holds if every
+// stamp happens inside the setState body that validated the transition.
+// A stamp anywhere else can record a transition validNext rejected (or
+// miss one it allowed), silently skewing every derived histogram and
+// the critical-path decomposition.
+//
+// The convention is structural: any call to a method named "Transition"
+// on a type named "Recorder" from a package named "spans" must appear
+// lexically inside a function declaration named "setState". The spans
+// package itself is exempt — its implementation and tests drive the
+// recorder directly, by design.
+var SpanStamp = &Analyzer{
+	Name: "spanstamp",
+	Doc:  "flag spans.Recorder.Transition calls outside the FSM's setState",
+	Run:  runSpanStamp,
+}
+
+func runSpanStamp(pass *Pass) error {
+	var setStateBodies []*ast.FuncDecl
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Name.Name == "setState" {
+				setStateBodies = append(setStateBodies, fd)
+			}
+		}
+	}
+	inSetState := func(pos token.Pos) bool {
+		for _, fd := range setStateBodies {
+			if fd.Body != nil && fd.Body.Pos() <= pos && pos <= fd.Body.End() {
+				return true
+			}
+		}
+		return false
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !isRecorderTransition(pass, call) || inSetState(call.Pos()) {
+				return true
+			}
+			pass.Report(Diagnostic{
+				Pos:     call.Pos(),
+				Message: "span stamp (spans.Recorder.Transition) outside setState: lifecycle transitions must be stamped by the FSM guard",
+			})
+			return true
+		})
+	}
+	return nil
+}
+
+// isRecorderTransition reports whether call invokes the Transition
+// method of a Recorder type defined in another package named "spans".
+func isRecorderTransition(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	var obj types.Object
+	if s, ok := pass.Info.Selections[sel]; ok {
+		obj = s.Obj()
+	} else {
+		obj = pass.Info.Uses[sel.Sel]
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Name() != "Transition" {
+		return false
+	}
+	// The defining package stamps freely (implementation and tests);
+	// pointer identity also covers its test-augmented variant, which is
+	// type-checked as one package.
+	if fn.Pkg() == nil || fn.Pkg() == pass.Pkg || pathBase(fn.Pkg().Path()) != "spans" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Recorder"
+}
+
+// pathBase returns the last element of an import path.
+func pathBase(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

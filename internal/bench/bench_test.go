@@ -248,6 +248,20 @@ func TestAblationLoadDepthCrossover(t *testing.T) {
 	if d1.LoadLatUs <= 0 || d8.LoadLatUs <= 0 {
 		t.Fatalf("load latency telemetry missing: d1=%.0f d8=%.0f", d1.LoadLatUs, d8.LoadLatUs)
 	}
+	// Stall attribution must flip with the bottleneck: the depth-1 run
+	// is dominated by storage (load-pending), while at depth 8 the disk
+	// keeps up and the source is bound by the network side — credits,
+	// send-queue depth, or the pool held by in-flight WRITEs.
+	if !strings.HasPrefix(d1.TopStall, "load-pending") {
+		t.Fatalf("depth-1 top stall = %q, want load-pending", d1.TopStall)
+	}
+	switch {
+	case strings.HasPrefix(d8.TopStall, "credit-starved"),
+		strings.HasPrefix(d8.TopStall, "send-queue-saturated"),
+		strings.HasPrefix(d8.TopStall, "wire-bound"):
+	default:
+		t.Fatalf("depth-8 top stall = %q, want a network-side cause", d8.TopStall)
+	}
 }
 
 func TestRunGridFTPDiskOption(t *testing.T) {

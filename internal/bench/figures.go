@@ -7,6 +7,7 @@ import (
 	"rftp/internal/core"
 	"rftp/internal/diskmodel"
 	"rftp/internal/ioengine"
+	"rftp/internal/spans"
 	"rftp/internal/telemetry"
 	"rftp/internal/verbs"
 )
@@ -46,7 +47,11 @@ type Row struct {
 	// GrantBatch is the mean credits per grant message the sink emitted
 	// (RFTP rows); 1.0 means every credit traveled alone.
 	GrantBatch float64
-	Note       string
+	// TopStall names the dominant pipeline stall cause with its share of
+	// attributed stall time, e.g. "load-pending 83%" (span-instrumented
+	// RFTP rows only).
+	TopStall string
+	Note     string
 }
 
 // Scale reduces experiment sizes for quick runs: 1.0 reproduces the
@@ -345,7 +350,7 @@ func AblationLoadDepth(tb Testbed, scale Scale) ([]Row, error) {
 		r, err := RunRFTP(tb, RFTPOptions{
 			Config: cfg, TotalBytes: total,
 			SrcDisk: true, SrcDiskMode: diskmodel.ODirect, SrcDiskCfg: arr,
-			Telemetry: reg,
+			Telemetry: reg, SpanSample: 1,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("ablation-loaddepth d=%d: %w", depth, err)
@@ -358,10 +363,21 @@ func AblationLoadDepth(tb Testbed, scale Scale) ([]Row, error) {
 			Stalls: r.Stalls, RNR: r.RNR,
 			LoadLatUs:  float64(snap.Find("source").Histogram("load_latency").Quantile(0.5)) / 1e3,
 			StoreLatUs: float64(snap.Find("sink").Histogram("store_latency").Quantile(0.5)) / 1e3,
+			TopStall:   stallLabel(snap.Find("source")),
 			Note:       fmt.Sprintf("spindles=%d seek=%v", arr.Spindles, arr.PerReadLatency),
 		})
 	}
 	return rows, nil
+}
+
+// stallLabel renders a snapshot's dominant stall cause as a table cell
+// ("load-pending 83%"), empty when nothing was attributed.
+func stallLabel(snap *telemetry.Snapshot) string {
+	cause, ns, share := spans.TopStall(snap)
+	if ns == 0 {
+		return ""
+	}
+	return fmt.Sprintf("%s %d%%", cause, int(share*100))
 }
 
 // LatencyTable reports per-operation completion-latency percentiles

@@ -11,6 +11,7 @@ import (
 	"rftp/internal/gridftp"
 	"rftp/internal/hostmodel"
 	"rftp/internal/sim"
+	"rftp/internal/spans"
 	"rftp/internal/tcpmodel"
 	"rftp/internal/telemetry"
 	"rftp/internal/verbs"
@@ -41,6 +42,10 @@ type RFTPOptions struct {
 	// metrics and per-device fabric metrics are registered as children.
 	// Nil runs stay uninstrumented (and measure the disabled-path cost).
 	Telemetry *telemetry.Registry
+	// SpanSample, with Telemetry set, records block lifecycle spans and
+	// pipeline stall attribution for 1 in N blocks (0 = off, 1 = every
+	// block). Drives the stall-attrib columns and the Fig3b flip test.
+	SpanSample int
 }
 
 // RunResult is a normalized result row for either tool.
@@ -78,6 +83,12 @@ type RunResult struct {
 	// verbs.CopiedBytes. Zero-copy placement keeps it near zero even as
 	// block sizes grow (RFTP only).
 	CopiedPerBlock float64
+	// TopStall names the dominant pipeline stall cause from the span
+	// layer's attributor ("" when spans were off or nothing stalled) and
+	// TopStallShare its fraction of total attributed stall time
+	// (RFTP runs with Telemetry + SpanSample only).
+	TopStall      string
+	TopStallShare float64
 }
 
 // RunRFTP executes one modeled RFTP transfer on the testbed and reports
@@ -161,6 +172,10 @@ func RunRFTP(tb Testbed, opt RFTPOptions) (RunResult, error) {
 		dstDev.Telemetry = telemetry.NewFabricMetrics(opt.Telemetry.Child("dst_fabric"))
 		source.AttachTelemetry(opt.Telemetry.Child("source"))
 		sink.AttachTelemetry(opt.Telemetry.Child("sink"))
+		if opt.SpanSample > 0 {
+			source.AttachSpans(opt.Telemetry.Child("source"), opt.SpanSample)
+			sink.AttachSpans(opt.Telemetry.Child("sink"), opt.SpanSample)
+		}
 	}
 
 	var srcRes core.TransferResult
@@ -231,6 +246,12 @@ func RunRFTP(tb Testbed, opt RFTPOptions) (RunResult, error) {
 	if elapsed > 0 {
 		res.ClientCPU = 100 * float64(srcHost.BusyTotal()-srcBusy0) / float64(elapsed)
 		res.ServerCPU = 100 * float64(dstHost.BusyTotal()-dstBusy0) / float64(elapsed)
+	}
+	if opt.Telemetry != nil && opt.SpanSample > 0 {
+		if cause, ns, share := spans.TopStall(opt.Telemetry.Snapshot()); ns > 0 {
+			res.TopStall = cause
+			res.TopStallShare = share
+		}
 	}
 	return res, nil
 }

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"rftp/internal/fabric/chanfabric"
+	"rftp/internal/spans"
+	"rftp/internal/telemetry"
+)
+
+// TestSpanStateMirror pins the numeric correspondence between
+// core.BlockState and the mirrored constants in internal/spans (spans
+// cannot import core, so the values are duplicated there).
+func TestSpanStateMirror(t *testing.T) {
+	pairs := []struct {
+		core BlockState
+		span uint8
+	}{
+		{BlockFree, spans.StateFree},
+		{BlockLoading, spans.StateLoading},
+		{BlockLoaded, spans.StateLoaded},
+		{BlockSending, spans.StateSending},
+		{BlockWaiting, spans.StateWaiting},
+		{BlockDataReady, spans.StateDataReady},
+		{BlockStoring, spans.StateStoring},
+	}
+	for _, p := range pairs {
+		if uint8(p.core) != p.span {
+			t.Errorf("state %v = %d, spans mirror = %d", p.core, uint8(p.core), p.span)
+		}
+		if p.core.String() != spans.StateName(p.span) {
+			t.Errorf("state name %q != spans %q", p.core.String(), spans.StateName(p.span))
+		}
+	}
+}
+
+// TestChanSpansEndToEnd runs a chanfabric transfer with span recording
+// at sample=1 on both ends and checks that the recorded critical path
+// is complete: every block contributes a span, each source stage is
+// observed, (session, seq, channel) identity is captured, and the sink
+// decomposition covers credit/reassembly/store.
+func TestChanSpansEndToEnd(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BlockSize = 32 << 10
+	cfg.Channels = 2
+	cfg.IODepth = 8
+	p := newChanPipe(t, chanfabric.Shaping{}, cfg)
+
+	srcReg := telemetry.NewRegistry("source")
+	sinkReg := telemetry.NewRegistry("sink")
+	p.srcLoop.Post(0, func() { p.source.AttachSpans(srcReg, 1) })
+	p.dstLoop.Post(0, func() { p.sink.AttachSpans(sinkReg, 1) })
+
+	data := randBytes(2<<20+123, 7)
+	got := p.transferBytes(t, data)
+	if !bytes.Equal(got, data) {
+		t.Fatal("transfer corrupted")
+	}
+
+	wantBlocks := (int64(len(data)) + int64(cfg.PayloadCapacity()) - 1) / int64(cfg.PayloadCapacity())
+	src := srcReg.Snapshot()
+	sink := sinkReg.Snapshot()
+
+	if got := src.Counter("spans_completed"); got != wantBlocks {
+		t.Fatalf("source spans_completed = %d, want %d", got, wantBlocks)
+	}
+	if got := src.Counter("spans_dropped"); got != 0 {
+		t.Fatalf("source spans_dropped = %d with slots == pool size", got)
+	}
+	for _, name := range []string{"span_load_ns", "span_wire_ns"} {
+		if h := src.Histogram(name); h.Count != wantBlocks {
+			t.Fatalf("%s count = %d, want %d", name, h.Count, wantBlocks)
+		}
+	}
+	if src.Counter("path_load_ns") <= 0 || src.Counter("path_wire_ns") <= 0 {
+		t.Fatal("source path decomposition empty")
+	}
+	d := spans.Decomposition(src)
+	var sum float64
+	for _, share := range d {
+		sum += share
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("decomposition shares sum to %v: %v", sum, d)
+	}
+	// Per-session and per-channel attribution exists (session ids are
+	// assigned by the sink; the test pipe carries exactly one).
+	found := false
+	for _, child := range src.Children {
+		if len(child.Name) > 4 && child.Name[:4] == "sess" && child.Counter("path_wire_ns") > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no per-session path attribution in source snapshot")
+	}
+	var chWire int64
+	for i := 0; i < cfg.Channels; i++ {
+		if ch := src.Find(chanName(i)); ch != nil {
+			chWire += ch.Counter("path_wire_ns")
+		}
+	}
+	if chWire != src.Counter("path_wire_ns") {
+		t.Fatalf("per-channel wire %d != total %d", chWire, src.Counter("path_wire_ns"))
+	}
+
+	// Sink half: every block spans credit → (reassembly) → store.
+	if got := sink.Counter("spans_completed"); got != wantBlocks {
+		t.Fatalf("sink spans_completed = %d, want %d", got, wantBlocks)
+	}
+	if h := sink.Histogram("span_credit_ns"); h.Count != wantBlocks {
+		t.Fatalf("span_credit_ns count = %d, want %d", h.Count, wantBlocks)
+	}
+	if h := sink.Histogram("span_store_ns"); h.Count != wantBlocks {
+		t.Fatalf("span_store_ns count = %d, want %d", h.Count, wantBlocks)
+	}
+
+	// Completed-span forensics ring captured identity and stages.
+	var recs []spans.Record
+	done := make(chan struct{})
+	p.srcLoop.Post(0, func() {
+		recs = p.source.Spans().Completed()
+		close(done)
+	})
+	<-done
+	if len(recs) == 0 {
+		t.Fatal("no completed span records retained")
+	}
+	for _, r := range recs {
+		if r.Kind != "source" || r.Session == 0 {
+			t.Fatalf("record missing identity: %+v", r)
+		}
+		if r.Stages()["wire"] <= 0 {
+			t.Fatalf("record missing wire stage: %v", r.Stages())
+		}
+	}
+}
+
+// TestChanStallAttribution checks that a transfer accumulates stall
+// time and that the trackers' counters reach the snapshot via the
+// registry (cause correctness under controlled bottlenecks is pinned
+// by the bench shape test).
+func TestChanStallAttribution(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BlockSize = 32 << 10
+	cfg.IODepth = 4
+	p := newChanPipe(t, chanfabric.Shaping{}, cfg)
+
+	srcReg := telemetry.NewRegistry("source")
+	sinkReg := telemetry.NewRegistry("sink")
+	p.srcLoop.Post(0, func() { p.source.AttachSpans(srcReg, 0) }) // spans off, stalls on
+	p.dstLoop.Post(0, func() { p.sink.AttachSpans(sinkReg, 0) })
+
+	data := randBytes(1<<20, 3)
+	got := p.transferBytes(t, data)
+	if !bytes.Equal(got, data) {
+		t.Fatal("transfer corrupted")
+	}
+	if p.source.Spans() != nil {
+		t.Fatal("sample=0 should leave the span recorder nil")
+	}
+
+	root := telemetry.NewRegistry("conn")
+	// TopStall works across a merged tree; rebuild one for the check.
+	cause, ns, share := spans.TopStall(srcReg.Snapshot())
+	if ns > 0 && (cause == "none" || share <= 0) {
+		t.Fatalf("TopStall inconsistent: %s %d %v", cause, ns, share)
+	}
+	_ = root
+}

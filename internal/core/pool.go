@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"rftp/internal/invariant"
+	"rftp/internal/spans"
 	"rftp/internal/verbs"
 	"rftp/internal/wire"
 )
@@ -86,12 +87,23 @@ type block struct {
 	// Source: tAcq = load start, tReady = loaded, tPost = WRITE posted.
 	// Sink: tAcq = credit granted, tReady = store issued.
 	tAcq, tReady, tPost time.Duration
+
+	// Lifecycle span recording (nil/RefNone when spans are detached or
+	// this lifecycle is unsampled). Stamped exclusively by setState so
+	// the span table can never disagree with the FSM; rftplint's
+	// spanstamp pass enforces that no other call site exists.
+	spans   *spans.Recorder
+	spanRef spans.Ref
 }
 
 func (b *block) setState(to BlockState) {
 	for _, ok := range validNext[b.state] {
 		if ok == to {
+			from := b.state
 			b.state = to
+			if b.spans != nil {
+				b.spanRef = b.spans.Transition(b.spanRef, uint8(from), uint8(to))
+			}
 			return
 		}
 	}
@@ -119,7 +131,7 @@ func newPool(dev verbs.Device, pd *verbs.PD, nblocks, blockSize int, modeled boo
 		if err != nil {
 			return nil, fmt.Errorf("core: registering block %d: %w", i, err)
 		}
-		b := &block{idx: i, mr: mr}
+		b := &block{idx: i, mr: mr, spanRef: spans.RefNone}
 		invariant.PoisonFill(b.mr.Buf) // free blocks carry the poison pattern
 		p.blocks = append(p.blocks, b)
 		p.free = append(p.free, b)

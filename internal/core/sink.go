@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"rftp/internal/invariant"
+	"rftp/internal/spans"
 	"rftp/internal/telemetry"
 	"rftp/internal/trace"
 	"rftp/internal/verbs"
@@ -40,6 +41,13 @@ type Sink struct {
 	// tel holds resolved metric handles; nil when telemetry is detached
 	// (see AttachTelemetry).
 	tel *sinkTelemetry
+	// spans/stalls hold the lifecycle span recorder and the stall
+	// attributor (see AttachSpans). The recorder is built lazily at
+	// pool creation from spanReg/spanSample.
+	spans      *spans.Recorder
+	stalls     *spans.StallTracker
+	spanReg    *telemetry.Registry
+	spanSample int
 
 	ctrlQ      []ctrlItem // encoded messages awaiting queue space
 	ctrlSent   []func()   // per posted send: completion callback (may be nil)
@@ -344,6 +352,9 @@ func (k *Sink) handleBlockSize(c *wire.Control) {
 			return
 		}
 		k.blockSize = proposed
+		if k.stalls != nil {
+			k.attachPoolSpans()
+		}
 		k.Trace.Emit(trace.Event{Cat: trace.CatNego, Name: "blocksize_accepted",
 			V1: int64(proposed), V2: int64(k.cfg.SinkBlocks)})
 		// Adopt the source's notification mode; immediate mode needs
@@ -827,6 +838,7 @@ func (k *Sink) blockArrived(b *block, hdr wire.BlockHeader) {
 	b.setState(BlockDataReady)
 	b.session, b.seq, b.payloadLen, b.last = hdr.Session, hdr.Seq, int(hdr.PayloadLen), hdr.Last
 	b.offset = hdr.Offset
+	b.spans.SetKey(b.spanRef, b.session, b.seq)
 	k.Trace.Emit(trace.Event{Cat: trace.CatBlock, Name: "arrived",
 		Session: hdr.Session, Block: hdr.Seq, V1: int64(hdr.PayloadLen)})
 	if sess.offsetSink != nil {
@@ -858,6 +870,7 @@ func (k *Sink) blockArrived(b *block, hdr wire.BlockHeader) {
 	} else {
 		k.deliver(sess)
 	}
+	k.noteStall()
 }
 
 // noteArrival records seq as arrived and reports whether it is a
@@ -1001,6 +1014,7 @@ func (k *Sink) storeDone(sess *sinkSession, b *block, err error) {
 	} else {
 		k.deliver(sess)
 	}
+	k.noteStall()
 }
 
 func (k *Sink) handleDatasetComplete(c *wire.Control) {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"rftp/internal/invariant"
+	"rftp/internal/spans"
 	"rftp/internal/trace"
 	"rftp/internal/verbs"
 	"rftp/internal/wire"
@@ -55,6 +56,10 @@ type Source struct {
 	// tel holds resolved metric handles; nil when telemetry is detached
 	// (see AttachTelemetry).
 	tel *sourceTelemetry
+	// spans/stalls hold the lifecycle span recorder and the stall
+	// attributor; nil when detached (see AttachSpans).
+	spans  *spans.Recorder
+	stalls *spans.StallTracker
 }
 
 // srcSession is one dataset transfer in progress at the source.
@@ -393,6 +398,7 @@ func (s *Source) pump() {
 	// posted WRITE or still in the stash.
 	invariant.CreditOutstanding(s.inv, int64(len(s.credits)))
 	s.checkSessionCompletion()
+	s.noteStall()
 }
 
 // issueLoads starts block loads (get_free_blk in the paper's FSM):
@@ -429,6 +435,7 @@ func (s *Source) issueLoad(sess *srcSession, b *block) {
 	b.session = sess.id
 	b.seq = sess.nextSeq
 	b.offset = sess.nextOffset
+	b.spans.SetKey(b.spanRef, b.session, b.seq)
 	invariant.SeqNext(s.inv, sess.id, b.seq)
 	sess.nextSeq++
 	var payload []byte
@@ -584,6 +591,7 @@ func (s *Source) postWrites() {
 		}
 		b.setState(BlockWaiting)
 		b.chIdx = ch
+		b.spans.SetChannel(b.spanRef, ch)
 		s.Trace.Emit(trace.Event{Cat: trace.CatBlock, Name: "posted",
 			Session: b.session, Block: b.seq, Channel: int32(ch), V1: int64(b.payloadLen)})
 		s.chInflight[ch]++

@@ -1,0 +1,139 @@
+package core
+
+// Span and stall-attribution wiring: AttachSpans mirrors
+// AttachTelemetry (resolve once, nil when detached) and hands every
+// pool block a recorder handle so setState can stamp transitions. The
+// stall trackers are fed from the pump tails, where the endpoint's
+// ledgers (loaded queue, credit stash, load/store inflight, reassembly
+// maps) describe exactly which resource is binding right now.
+
+import (
+	"rftp/internal/spans"
+	"rftp/internal/telemetry"
+)
+
+// AttachSpans wires the source to a lifecycle span recorder and stall
+// tracker registered under reg. sample records 1-in-sample block
+// lifecycles; sample < 1 disables span recording (leaving a single nil
+// check per transition) while stall attribution stays on. Call before
+// Start, from the loop or while it is not running.
+func (s *Source) AttachSpans(reg *telemetry.Registry, sample int) {
+	clock := s.ep.Loop.Now
+	s.spans = spans.New(spans.KindSource, spans.Config{
+		Sample:   sample,
+		Slots:    len(s.pool.blocks),
+		Clock:    clock,
+		Registry: reg,
+	})
+	s.stalls = spans.NewStallTracker(reg, clock)
+	for _, b := range s.pool.blocks {
+		b.spans = s.spans
+	}
+}
+
+// Spans returns the attached span recorder (nil when detached or
+// disabled by sampling).
+func (s *Source) Spans() *spans.Recorder { return s.spans }
+
+// noteStall classifies the source pipeline at the end of a pump step:
+// which single resource, if available now, would let it post another
+// block. Loaded blocks with an empty credit stash are credit
+// starvation; loaded blocks despite credits mean every channel is at
+// depth or saturated. With nothing loaded, outstanding loads only
+// indicate a storage bottleneck when a session has actually hit its
+// load-depth cap — at line rate the pool is drained by blocks waiting
+// on WRITE acks and every freed block instantly re-issues as a load,
+// so a part-filled load window with the pool held on the wire is
+// wire-bound, not disk-bound.
+func (s *Source) noteStall() {
+	if s.stalls == nil {
+		return
+	}
+	loads := s.totalLoads()
+	var c spans.Cause
+	switch {
+	case len(s.loaded) > 0 && len(s.credits) == 0:
+		c = spans.CauseCreditStarved
+	case len(s.loaded) > 0:
+		c = spans.CauseSendQueueSaturated
+	case loads > 0 && s.loadsAtDepth():
+		c = spans.CauseLoadPending
+	case s.pool.countState(BlockWaiting) > 0:
+		c = spans.CauseWireBound
+	case loads > 0:
+		c = spans.CauseLoadPending
+	}
+	s.stalls.Note(c)
+}
+
+// loadsAtDepth reports whether any active session has its full
+// load-depth window outstanding against storage, i.e. the disk is the
+// resource the pipeline is genuinely waiting on.
+func (s *Source) loadsAtDepth() bool {
+	for _, sess := range s.rrSessions {
+		if sess.eof {
+			continue
+		}
+		if sess.loads >= sess.loadDepth(&s.cfg) {
+			return true
+		}
+	}
+	return false
+}
+
+// AttachSpans wires the sink to a lifecycle span recorder and stall
+// tracker registered under reg, with the same sampling contract as the
+// source's. The sink's pool does not exist until block-size
+// negotiation, so attachment is deferred to pool creation when needed.
+func (k *Sink) AttachSpans(reg *telemetry.Registry, sample int) {
+	k.spanReg, k.spanSample = reg, sample
+	k.stalls = spans.NewStallTracker(reg, k.ep.Loop.Now)
+	if k.pool != nil {
+		k.attachPoolSpans()
+	}
+}
+
+// attachPoolSpans builds the sink recorder once the pool exists.
+func (k *Sink) attachPoolSpans() {
+	k.spans = spans.New(spans.KindSink, spans.Config{
+		Sample:   k.spanSample,
+		Slots:    len(k.pool.blocks),
+		Clock:    k.ep.Loop.Now,
+		Registry: k.spanReg,
+	})
+	for _, b := range k.pool.blocks {
+		b.spans = k.spans
+	}
+}
+
+// Spans returns the attached span recorder (nil when detached,
+// disabled, or before block-size negotiation).
+func (k *Sink) Spans() *spans.Recorder { return k.spans }
+
+// noteStall classifies the sink pipeline after arrivals and store
+// completions: a session with a backlog and all store slots busy is
+// store-bound; an in-order session holding out-of-order blocks it
+// cannot deliver is waiting on a reassembly gap.
+func (k *Sink) noteStall() {
+	if k.stalls == nil {
+		return
+	}
+	var c spans.Cause
+	for _, sess := range k.sessions {
+		if sess.finished {
+			continue
+		}
+		backlog := len(sess.ready) + len(sess.storeQ)
+		if backlog > 0 && sess.storing >= k.cfg.StoreDepth {
+			c = spans.CauseStorePending
+			break
+		}
+		if sess.offsetSink == nil && len(sess.ready) > 0 {
+			if _, ok := sess.ready[sess.nextDeliver]; !ok {
+				// Keep scanning: a store-bound session outranks a gap.
+				c = spans.CauseReassemblyGap
+			}
+		}
+	}
+	k.stalls.Note(c)
+}

@@ -117,6 +117,9 @@ const (
 type message struct {
 	wr   verbs.SendWR
 	data []byte // pooled copy of wr.Data taken at post time
+	// postedAt is the wire-entry stamp (zero when the device has no
+	// telemetry attached, so the disabled path never calls time.Now).
+	postedAt time.Time
 }
 
 // releaseData recycles the message's pooled payload copy once it has
@@ -218,6 +221,9 @@ func (q *QP) PostSend(wr *verbs.SendWR) error {
 		return verbs.ErrBadWR
 	}
 	m := &message{wr: *wr}
+	if q.dev.Telemetry != nil {
+		m.postedAt = time.Now()
+	}
 	// Copy payload: ownership of wr.Data stays with the caller until the
 	// completion, but copying here keeps the pipe safe even if the
 	// caller reuses the buffer early (matches DMA-at-post semantics
@@ -276,6 +282,11 @@ func (q *QP) PostRecv(wr *verbs.RecvWR) error {
 func (q *QP) runPipe() {
 	var wireFree time.Time
 	for m := range q.pipe {
+		if !m.postedAt.IsZero() {
+			// Wire-entry stamp: send-queue residency ends when the pipe
+			// goroutine picks the message up for serialization.
+			q.dev.Telemetry.WireQueue(time.Since(m.postedAt))
+		}
 		sh := q.dev.shaping
 		if sh.RateBps > 0 || sh.Latency > 0 {
 			now := time.Now()
@@ -441,6 +452,9 @@ func (q *QP) finishSend(m *message, status verbs.Status, byteLen int) {
 	q.sqOutstanding--
 	q.sendMu.Unlock()
 	q.dev.Telemetry.Completed(m.wr.Op)
+	if !m.postedAt.IsZero() {
+		q.dev.Telemetry.WireRTT(time.Since(m.postedAt))
+	}
 	if status != verbs.StatusSuccess {
 		q.enterError()
 	} else if m.wr.NoCompletion {

@@ -97,6 +97,10 @@ type frame struct {
 	// validation; the payload was discarded and the sender gets a
 	// remote-access NAK.
 	placeErr bool
+	// postedNs is the wall-clock nanosecond stamp taken at PostSend,
+	// feeding the wire-queue histogram when the writer drains the frame.
+	// Zero (and never read) when the device has no telemetry attached.
+	postedNs int64
 }
 
 var framePool = sync.Pool{New: func() any { return new(frame) }}
@@ -267,6 +271,9 @@ func (d *Device) SetOnClose(fn func(error)) {
 type pendingToken struct {
 	qp *QP
 	wr verbs.SendWR
+	// postedNs mirrors frame.postedNs for the ack path: the frame is
+	// recycled once written, so the round-trip stamp rides the token.
+	postedNs int64
 }
 
 func newDevice(name string, conn net.Conn) *Device {
@@ -432,6 +439,16 @@ func (d *Device) writer() {
 		}
 		bufs := net.Buffers(iov)
 		_, err := bufs.WriteTo(d.conn)
+		if d.Telemetry != nil {
+			// One clock read amortized over the batch: every frame's
+			// send-queue residency ends at this socket write.
+			nowNs := time.Now().UnixNano()
+			for _, f := range batch {
+				if f.postedNs != 0 {
+					d.Telemetry.WireQueue(time.Duration(nowNs - f.postedNs))
+				}
+			}
+		}
 		for i, f := range batch {
 			putFrame(f)
 			batch[i] = nil
@@ -582,7 +599,7 @@ func (d *Device) dispatch(f *frame) {
 			putFrame(f)
 			return
 		}
-		pt.qp.remoteAck(pt.wr, f)
+		pt.qp.remoteAck(pt.wr, f, pt.postedNs)
 		putFrame(f)
 	case frGoodbye:
 		putFrame(f)
@@ -605,11 +622,13 @@ func (d *Device) dispatch(f *frame) {
 }
 
 // registerToken stores a completion continuation keyed by token.
-func (d *Device) registerToken(qp *QP, wr *verbs.SendWR) uint64 {
+// postedNs carries the wire-entry stamp to the ack path (0 when
+// telemetry is detached).
+func (d *Device) registerToken(qp *QP, wr *verbs.SendWR, postedNs int64) uint64 {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.nextTok++
-	d.tokens[d.nextTok] = pendingToken{qp: qp, wr: *wr}
+	d.tokens[d.nextTok] = pendingToken{qp: qp, wr: *wr, postedNs: postedNs}
 	return d.nextTok
 }
 

@@ -3,6 +3,7 @@ package netfabric
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"rftp/internal/ringq"
 	"rftp/internal/verbs"
@@ -119,9 +120,14 @@ func (q *QP) PostSend(wr *verbs.SendWR) error {
 	q.sqOutstanding++
 	q.sendMu.Unlock()
 
-	tok := q.dev.registerToken(q, wr)
+	var postedNs int64
+	if q.dev.Telemetry != nil {
+		postedNs = time.Now().UnixNano()
+	}
+	tok := q.dev.registerToken(q, wr, postedNs)
 	f := getFrame()
 	f.channel, f.token, f.imm = q.channel, tok, wr.Imm
+	f.postedNs = postedNs
 	switch wr.Op {
 	case verbs.OpSend:
 		f.op = frSend
@@ -312,12 +318,16 @@ func (q *QP) ackTo(f *frame, status uint8) {
 }
 
 // remoteAck completes a sent WR after the peer's ACK/READ response.
-// Runs on the device reader goroutine.
-func (q *QP) remoteAck(wr verbs.SendWR, f *frame) {
+// Runs on the device reader goroutine. postedNs is the wire-entry stamp
+// carried by the pending token (0 when telemetry is detached).
+func (q *QP) remoteAck(wr verbs.SendWR, f *frame, postedNs int64) {
 	q.sendMu.Lock()
 	q.sqOutstanding--
 	q.sendMu.Unlock()
 	q.dev.Telemetry.Completed(wr.Op)
+	if postedNs != 0 {
+		q.dev.Telemetry.WireRTT(time.Duration(time.Now().UnixNano() - postedNs))
+	}
 	status := frameStatusToVerbs(f.status)
 	byteLen := wr.Length()
 	if wr.Op == verbs.OpRead {

@@ -44,6 +44,9 @@ type message struct {
 	from      *QP
 	rnrLeft   int
 	delivered bool
+	// postedAt is the virtual time PostSend accepted the WR, feeding the
+	// wire-entry/exit histograms (queue delay and ack round trip).
+	postedAt time.Duration
 }
 
 // CreateQP implements verbs.Device.
@@ -128,7 +131,7 @@ func (q *QP) PostSend(wr *verbs.SendWR) error {
 	}
 	q.sqOutstanding++
 	q.chargeCaller(q.dev.chargePost())
-	m := &message{wr: *wr, from: q, rnrLeft: q.cfg.RNRRetry}
+	m := &message{wr: *wr, from: q, rnrLeft: q.cfg.RNRRetry, postedAt: q.fabric.sched.Now()}
 	q.sq = append(q.sq, m)
 	q.kickSQ()
 	return nil
@@ -190,6 +193,9 @@ func (q *QP) transmit(m *message) {
 	if m.wr.Op == verbs.OpSend {
 		d.Telemetry.Ctrl(m.wr.Length())
 	}
+	// Wire-entry stamp: delay between posting and the egress port
+	// accepting the WR (stall behind the READ depth limit, mostly).
+	d.Telemetry.WireQueue(q.fabric.sched.Now() - m.postedAt)
 	lastBit := d.port.transmit(wire)
 	if d.bbPort != nil {
 		lastBit = d.bbPort.transmitAt(lastBit, wire)
@@ -205,6 +211,7 @@ func (q *QP) completeSend(m *message, status verbs.Status) {
 	q.fabric.sched.After(q.dev.link.PropDelay, func() {
 		q.sqOutstanding--
 		q.dev.Telemetry.Completed(m.wr.Op)
+		q.dev.Telemetry.WireRTT(q.fabric.sched.Now() - m.postedAt)
 		if status != verbs.StatusSuccess {
 			q.enterError()
 		} else if m.wr.NoCompletion {
@@ -404,6 +411,7 @@ func (q *QP) readCompleted(m *message, data []byte, status verbs.Status) {
 	q.sqOutstanding--
 	q.outstandingReads--
 	q.dev.Telemetry.Completed(verbs.OpRead)
+	q.dev.Telemetry.WireRTT(q.fabric.sched.Now() - m.postedAt)
 	if status == verbs.StatusSuccess && m.wr.Local != nil {
 		m.wr.Local.PlaceLocal(m.wr.LocalOffset, data)
 		q.dev.RxWRs++

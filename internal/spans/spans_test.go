@@ -1,0 +1,388 @@
+package spans
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"rftp/internal/telemetry"
+)
+
+// fakeClock is a manually-advanced clock for deterministic stamping.
+type fakeClock struct{ now time.Duration }
+
+func (c *fakeClock) Now() time.Duration      { return c.now }
+func (c *fakeClock) Advance(d time.Duration) { c.now += d }
+
+func newTestRecorder(t *testing.T, kind Kind, sample int) (*Recorder, *fakeClock, *telemetry.Registry) {
+	t.Helper()
+	clk := &fakeClock{}
+	reg := telemetry.NewRegistry("spans")
+	r := New(kind, Config{Sample: sample, Slots: 8, Ring: 8, Clock: clk.Now, Registry: reg})
+	if sample >= 1 && r == nil {
+		t.Fatal("New returned nil for enabled config")
+	}
+	return r, clk, reg
+}
+
+func TestSourceLifecycleStages(t *testing.T) {
+	r, clk, reg := newTestRecorder(t, KindSource, 1)
+
+	ref := r.Transition(RefNone, StateFree, StateLoading)
+	if ref == RefNone {
+		t.Fatal("sample=1 lifecycle not sampled")
+	}
+	r.SetKey(ref, 7, 42)
+	clk.Advance(10 * time.Millisecond) // load
+	ref = r.Transition(ref, StateLoading, StateLoaded)
+	clk.Advance(5 * time.Millisecond) // credit wait
+	ref = r.Transition(ref, StateLoaded, StateSending)
+	r.SetChannel(ref, 2)
+	clk.Advance(1 * time.Millisecond) // send queue (post attempt)
+	ref = r.Transition(ref, StateSending, StateWaiting)
+	clk.Advance(20 * time.Millisecond) // wire
+	ref = r.Transition(ref, StateWaiting, StateFree)
+	if ref != RefNone {
+		t.Fatalf("terminal transition returned live ref %d", ref)
+	}
+
+	snap := reg.Snapshot()
+	want := map[string]int64{
+		"path_load_ns":        int64(10 * time.Millisecond),
+		"path_credit_wait_ns": int64(5 * time.Millisecond),
+		"path_send_queue_ns":  int64(1 * time.Millisecond),
+		"path_wire_ns":        int64(20 * time.Millisecond),
+	}
+	for name, v := range want {
+		if got := snap.Counter(name); got != v {
+			t.Errorf("%s = %d, want %d", name, got, v)
+		}
+	}
+	if got := snap.Counter("spans_completed"); got != 1 {
+		t.Errorf("spans_completed = %d, want 1", got)
+	}
+	if h := snap.Histogram("span_wire_ns"); h.Count != 1 {
+		t.Errorf("span_wire_ns count = %d, want 1", h.Count)
+	}
+	// Per-channel and per-session attribution.
+	if got := snap.Find("chan2").Counter("path_wire_ns"); got != int64(20*time.Millisecond) {
+		t.Errorf("chan2 path_wire_ns = %d", got)
+	}
+	if got := snap.Find("sess7").Counter("path_load_ns"); got != int64(10*time.Millisecond) {
+		t.Errorf("sess7 path_load_ns = %d", got)
+	}
+
+	recs := r.Completed()
+	if len(recs) != 1 {
+		t.Fatalf("completed records = %d, want 1", len(recs))
+	}
+	rec := recs[0]
+	if rec.Session != 7 || rec.Seq != 42 || rec.Channel != 2 || rec.Kind != "source" {
+		t.Errorf("record identity = %+v", rec)
+	}
+	if d := rec.Stages()["wire"]; d != 20*time.Millisecond {
+		t.Errorf("record wire stage = %v", d)
+	}
+}
+
+func TestSendQueueRevertAttribution(t *testing.T) {
+	r, clk, reg := newTestRecorder(t, KindSource, 1)
+
+	ref := r.Transition(RefNone, StateFree, StateLoading)
+	clk.Advance(time.Millisecond)
+	ref = r.Transition(ref, StateLoading, StateLoaded)
+	clk.Advance(2 * time.Millisecond) // genuine credit wait
+	ref = r.Transition(ref, StateLoaded, StateSending)
+	// ErrSendQueueFull rollback: Sending → Loaded. The re-queued wait
+	// must charge to send_queue, not credit_wait.
+	clk.Advance(time.Millisecond)
+	ref = r.Transition(ref, StateSending, StateLoaded)
+	clk.Advance(4 * time.Millisecond)
+	ref = r.Transition(ref, StateLoaded, StateSending)
+	clk.Advance(0)
+	ref = r.Transition(ref, StateSending, StateWaiting)
+	clk.Advance(time.Millisecond)
+	r.Transition(ref, StateWaiting, StateFree)
+
+	snap := reg.Snapshot()
+	if got := snap.Counter("path_credit_wait_ns"); got != int64(2*time.Millisecond) {
+		t.Errorf("credit_wait = %v, want 2ms", time.Duration(got))
+	}
+	if got := snap.Counter("path_send_queue_ns"); got != int64(5*time.Millisecond) {
+		t.Errorf("send_queue = %v, want 5ms (1ms failed post + 4ms re-queued)", time.Duration(got))
+	}
+}
+
+func TestSinkLifecycleAndAbort(t *testing.T) {
+	r, clk, reg := newTestRecorder(t, KindSink, 1)
+
+	// Normal path: Free → Waiting → DataReady → Storing → Free.
+	ref := r.Transition(RefNone, StateFree, StateWaiting)
+	clk.Advance(8 * time.Millisecond) // credit round trip
+	ref = r.Transition(ref, StateWaiting, StateDataReady)
+	r.SetKey(ref, 3, 1)
+	clk.Advance(2 * time.Millisecond) // reassembly / store-slot wait
+	ref = r.Transition(ref, StateDataReady, StateStoring)
+	clk.Advance(6 * time.Millisecond) // store
+	r.Transition(ref, StateStoring, StateFree)
+
+	// Abort shortcut: DataReady → Free still finalizes.
+	ref = r.Transition(RefNone, StateFree, StateWaiting)
+	clk.Advance(time.Millisecond)
+	ref = r.Transition(ref, StateWaiting, StateDataReady)
+	clk.Advance(time.Millisecond)
+	r.Transition(ref, StateDataReady, StateFree)
+
+	snap := reg.Snapshot()
+	if got := snap.Counter("path_credit_ns"); got != int64(9*time.Millisecond) {
+		t.Errorf("credit = %v", time.Duration(got))
+	}
+	if got := snap.Counter("path_reassembly_ns"); got != int64(3*time.Millisecond) {
+		t.Errorf("reassembly = %v", time.Duration(got))
+	}
+	if got := snap.Counter("path_store_ns"); got != int64(6*time.Millisecond) {
+		t.Errorf("store = %v", time.Duration(got))
+	}
+	if got := snap.Counter("spans_completed"); got != 2 {
+		t.Errorf("spans_completed = %d, want 2", got)
+	}
+}
+
+func TestSampling(t *testing.T) {
+	r, clk, _ := newTestRecorder(t, KindSource, 3)
+	sampled := 0
+	for i := 0; i < 30; i++ {
+		ref := r.Transition(RefNone, StateFree, StateLoading)
+		clk.Advance(time.Millisecond)
+		if ref != RefNone {
+			sampled++
+			ref = r.Transition(ref, StateLoading, StateLoaded)
+			ref = r.Transition(ref, StateLoaded, StateSending)
+			ref = r.Transition(ref, StateSending, StateWaiting)
+			r.Transition(ref, StateWaiting, StateFree)
+		}
+	}
+	if sampled != 10 {
+		t.Errorf("sample=3 over 30 lifecycles recorded %d, want 10", sampled)
+	}
+}
+
+func TestSlotExhaustionDrops(t *testing.T) {
+	clk := &fakeClock{}
+	reg := telemetry.NewRegistry("spans")
+	r := New(KindSource, Config{Sample: 1, Slots: 2, Clock: clk.Now, Registry: reg})
+	refs := []Ref{
+		r.Transition(RefNone, StateFree, StateLoading),
+		r.Transition(RefNone, StateFree, StateLoading),
+	}
+	if refs[0] == RefNone || refs[1] == RefNone {
+		t.Fatal("first two lifecycles should claim slots")
+	}
+	if ref := r.Transition(RefNone, StateFree, StateLoading); ref != RefNone {
+		t.Fatal("third concurrent lifecycle should be dropped")
+	}
+	if got := reg.Snapshot().Counter("spans_dropped"); got != 1 {
+		t.Errorf("spans_dropped = %d, want 1", got)
+	}
+	// Releasing a slot makes the table usable again.
+	ref := r.Transition(refs[0], StateLoading, StateFree)
+	if ref != RefNone {
+		t.Fatal("terminal transition should release")
+	}
+	if ref := r.Transition(RefNone, StateFree, StateLoading); ref == RefNone {
+		t.Fatal("freed slot not reused")
+	}
+}
+
+func TestDisabledAndNilRecorder(t *testing.T) {
+	if r := New(KindSource, Config{Sample: 0}); r != nil {
+		t.Fatal("Sample=0 should disable (nil recorder)")
+	}
+	var r *Recorder
+	if ref := r.Transition(RefNone, StateFree, StateLoading); ref != RefNone {
+		t.Fatal("nil recorder must return RefNone")
+	}
+	r.SetKey(RefNone, 1, 2)
+	r.SetChannel(RefNone, 0)
+	if r.Active() != nil || r.Completed() != nil {
+		t.Fatal("nil recorder snapshots must be empty")
+	}
+}
+
+func TestActiveSeqlockSnapshot(t *testing.T) {
+	r, clk, _ := newTestRecorder(t, KindSource, 1)
+	ref := r.Transition(RefNone, StateFree, StateLoading)
+	r.SetKey(ref, 5, 9)
+	clk.Advance(3 * time.Millisecond)
+	live := r.Active()
+	if len(live) != 1 {
+		t.Fatalf("active = %d, want 1", len(live))
+	}
+	a := live[0]
+	if a.Session != 5 || a.Seq != 9 || a.State != "loading" {
+		t.Errorf("active span = %+v", a)
+	}
+	if a.Age != 3*time.Millisecond || a.InState != 3*time.Millisecond {
+		t.Errorf("ages = %v/%v", a.Age, a.InState)
+	}
+	r.Transition(ref, StateLoading, StateFree)
+	if len(r.Active()) != 0 {
+		t.Error("released span still active")
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	r, clk, _ := newTestRecorder(t, KindSource, 1)
+	ref := r.Transition(RefNone, StateFree, StateLoading)
+	r.SetKey(ref, 1, 2)
+	clk.Advance(time.Millisecond)
+	ref = r.Transition(ref, StateLoading, StateLoaded)
+	clk.Advance(time.Millisecond)
+	ref = r.Transition(ref, StateLoaded, StateSending)
+	ref = r.Transition(ref, StateSending, StateWaiting)
+	clk.Advance(time.Millisecond)
+	r.Transition(ref, StateWaiting, StateFree)
+
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	line := strings.TrimSpace(buf.String())
+	if !strings.Contains(line, `"kind":"source"`) || !strings.Contains(line, `"stages"`) {
+		t.Errorf("jsonl line = %s", line)
+	}
+	var rec Record
+	if err := rec.UnmarshalJSON([]byte(line)); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Session != 1 || rec.Seq != 2 {
+		t.Errorf("round-trip identity = %+v", rec)
+	}
+	if rec.Stages()["load"] != time.Millisecond || rec.Stages()["wire"] != time.Millisecond {
+		t.Errorf("round-trip stages = %v", rec.Stages())
+	}
+}
+
+func TestStallTracker(t *testing.T) {
+	clk := &fakeClock{}
+	reg := telemetry.NewRegistry("source")
+	st := NewStallTracker(reg, clk.Now)
+
+	st.Note(CauseLoadPending)
+	clk.Advance(10 * time.Millisecond)
+	st.Note(CauseLoadPending) // 10ms load-pending
+	clk.Advance(5 * time.Millisecond)
+	st.Note(CauseCreditStarved) // 5ms more load-pending
+	clk.Advance(20 * time.Millisecond)
+	st.Note(CauseNone) // 20ms credit-starved
+	clk.Advance(time.Hour)
+	st.Note(CauseNone) // idle time attributed to nothing
+
+	snap := reg.Snapshot()
+	if got := snap.Counter("stall_load_pending_ns"); got != int64(15*time.Millisecond) {
+		t.Errorf("load_pending = %v", time.Duration(got))
+	}
+	if got := snap.Counter("stall_credit_starved_ns"); got != int64(20*time.Millisecond) {
+		t.Errorf("credit_starved = %v", time.Duration(got))
+	}
+
+	cause, ns, share := TopStall(snap)
+	if cause != "credit-starved" || ns != int64(20*time.Millisecond) {
+		t.Errorf("TopStall = %s/%v", cause, time.Duration(ns))
+	}
+	if share < 0.56 || share > 0.58 {
+		t.Errorf("TopStall share = %v, want ~20/35", share)
+	}
+}
+
+func TestTopStallRecursesChildren(t *testing.T) {
+	clk := &fakeClock{}
+	root := telemetry.NewRegistry("conn")
+	src := NewStallTracker(root.Child("source"), clk.Now)
+	snk := NewStallTracker(root.Child("sink"), clk.Now)
+	src.Note(CauseCreditStarved)
+	snk.Note(CauseStorePending)
+	clk.Advance(time.Millisecond)
+	src.Note(CauseNone)
+	clk.Advance(time.Millisecond)
+	snk.Note(CauseNone)
+
+	cause, ns, _ := TopStall(root.Snapshot())
+	if cause != "store-pending" || ns != int64(2*time.Millisecond) {
+		t.Errorf("TopStall over tree = %s/%v", cause, time.Duration(ns))
+	}
+}
+
+func TestNilStallTracker(t *testing.T) {
+	var st *StallTracker
+	st.Note(CauseCreditStarved)
+	if st.Current() != CauseNone {
+		t.Fatal("nil tracker current != none")
+	}
+}
+
+func TestDecomposition(t *testing.T) {
+	reg := telemetry.NewRegistry("source")
+	reg.Counter("path_load_ns").Add(610)
+	reg.Counter("path_wire_ns").Add(390)
+	reg.Counter("unrelated").Add(99)
+	d := Decomposition(reg.Snapshot())
+	if len(d) != 2 {
+		t.Fatalf("decomposition = %v", d)
+	}
+	if d["load"] != 0.61 || d["wire"] != 0.39 {
+		t.Errorf("shares = %v", d)
+	}
+	if Decomposition(nil) != nil {
+		t.Error("nil snapshot should decompose to nil")
+	}
+}
+
+// BenchmarkTransitionDisabled measures the span cost when recording is
+// off: the core FSM guards on a nil recorder, so the per-transition
+// cost must be a branch and zero allocations.
+func BenchmarkTransitionDisabled(b *testing.B) {
+	var r *Recorder
+	ref := RefNone
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ref = r.Transition(ref, StateFree, StateLoading)
+		ref = r.Transition(ref, StateLoading, StateLoaded)
+		ref = r.Transition(ref, StateLoaded, StateSending)
+		ref = r.Transition(ref, StateSending, StateWaiting)
+		ref = r.Transition(ref, StateWaiting, StateFree)
+	}
+	_ = ref
+}
+
+// BenchmarkTransitionUnsampled measures the cost for blocks the 1-in-N
+// sampler skips: one counter tick at Free→Loading, branches elsewhere.
+func BenchmarkTransitionUnsampled(b *testing.B) {
+	clk := &fakeClock{}
+	r := New(KindSource, Config{Sample: 1 << 30, Slots: 4, Clock: clk.Now})
+	ref := RefNone
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ref = r.Transition(ref, StateFree, StateLoading)
+		ref = r.Transition(ref, StateLoading, StateLoaded)
+		ref = r.Transition(ref, StateLoaded, StateSending)
+		ref = r.Transition(ref, StateSending, StateWaiting)
+		ref = r.Transition(ref, StateWaiting, StateFree)
+	}
+	_ = ref
+}
+
+// BenchmarkTransitionSampled measures a fully-recorded lifecycle.
+func BenchmarkTransitionSampled(b *testing.B) {
+	clk := &fakeClock{}
+	r := New(KindSource, Config{Sample: 1, Slots: 4, Clock: clk.Now})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ref := r.Transition(RefNone, StateFree, StateLoading)
+		ref = r.Transition(ref, StateLoading, StateLoaded)
+		ref = r.Transition(ref, StateLoaded, StateSending)
+		ref = r.Transition(ref, StateSending, StateWaiting)
+		r.Transition(ref, StateWaiting, StateFree)
+	}
+}

@@ -1,0 +1,154 @@
+package spans
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"rftp/internal/telemetry"
+)
+
+// Cause classifies why a pipeline is stalled at a given instant: what
+// single resource would, if available right now, let the endpoint make
+// forward progress.
+type Cause uint8
+
+// Stall causes. Source endpoints report credit-starved / load-pending /
+// send-queue-saturated / wire-bound; sinks report store-pending /
+// reassembly-gap.
+const (
+	CauseNone Cause = iota
+	CauseCreditStarved
+	CauseLoadPending
+	CauseSendQueueSaturated
+	// CauseWireBound marks the line-rate regime: the block pool is
+	// drained by WRITEs in flight on the network, so the next
+	// progress-enabling event is an ack returning a block — storage and
+	// credits are both keeping up.
+	CauseWireBound
+	CauseStorePending
+	CauseReassemblyGap
+	numCauses
+)
+
+// String returns the display form (hyphenated, as in the paper's
+// terminology). metricName returns the underscored counter infix.
+func (c Cause) String() string {
+	switch c {
+	case CauseNone:
+		return "none"
+	case CauseCreditStarved:
+		return "credit-starved"
+	case CauseLoadPending:
+		return "load-pending"
+	case CauseSendQueueSaturated:
+		return "send-queue-saturated"
+	case CauseWireBound:
+		return "wire-bound"
+	case CauseStorePending:
+		return "store-pending"
+	case CauseReassemblyGap:
+		return "reassembly-gap"
+	default:
+		return fmt.Sprintf("cause(%d)", uint8(c))
+	}
+}
+
+func (c Cause) metricName() string {
+	return "stall_" + strings.ReplaceAll(c.String(), "-", "_") + "_ns"
+}
+
+// StallTracker attributes wall-clock time to stall causes. The
+// endpoint classifies its state after every pump step; the tracker
+// charges the elapsed time since the previous classification to the
+// previously-diagnosed cause, so the counters integrate "time spent
+// stalled on X" exactly, with no timers. A nil tracker is valid and
+// free.
+type StallTracker struct {
+	clock func() time.Duration
+	cur   Cause
+	since int64
+	ns    [numCauses]*telemetry.Counter
+	flips *telemetry.Counter
+}
+
+// NewStallTracker creates a tracker registering stall_<cause>_ns
+// counters (and stall_flips) under reg. A nil clock defaults to wall
+// time.
+func NewStallTracker(reg *telemetry.Registry, clock func() time.Duration) *StallTracker {
+	if clock == nil {
+		start := time.Now()
+		clock = func() time.Duration { return time.Since(start) }
+	}
+	t := &StallTracker{clock: clock, since: int64(clock())}
+	if reg != nil {
+		for c := CauseNone + 1; c < numCauses; c++ {
+			t.ns[c] = reg.Counter(c.metricName())
+		}
+		t.flips = reg.Counter("stall_flips")
+	}
+	return t
+}
+
+// Note records the endpoint's current diagnosis, charging the time
+// since the previous Note to the previous cause.
+func (t *StallTracker) Note(c Cause) {
+	if t == nil {
+		return
+	}
+	now := int64(t.clock())
+	if t.cur != CauseNone {
+		t.ns[t.cur].Add(now - t.since)
+	}
+	if c != t.cur {
+		t.flips.Add(1)
+	}
+	t.cur = c
+	t.since = now
+}
+
+// Current returns the most recently diagnosed cause.
+func (t *StallTracker) Current() Cause {
+	if t == nil {
+		return CauseNone
+	}
+	return t.cur
+}
+
+// TopStall scans a telemetry snapshot subtree for stall_<cause>_ns
+// counters (recursively, so it can be pointed at a connection root
+// covering both source and sink) and returns the dominant cause, its
+// attributed time, and its share of all attributed stall time. Returns
+// ("none", 0, 0) when nothing was attributed.
+func TopStall(snap *telemetry.Snapshot) (cause string, ns int64, share float64) {
+	totals := make(map[string]int64)
+	collectStalls(snap, totals)
+	var total int64
+	cause = "none"
+	for name, v := range totals {
+		total += v
+		if v > ns {
+			cause, ns = name, v
+		}
+	}
+	if total > 0 {
+		share = float64(ns) / float64(total)
+	}
+	return cause, ns, share
+}
+
+func collectStalls(snap *telemetry.Snapshot, totals map[string]int64) {
+	if snap == nil {
+		return
+	}
+	for name, v := range snap.Counters {
+		if !strings.HasPrefix(name, "stall_") || !strings.HasSuffix(name, "_ns") || v <= 0 {
+			continue
+		}
+		c := strings.ReplaceAll(strings.TrimSuffix(strings.TrimPrefix(name, "stall_"), "_ns"), "_", "-")
+		totals[c] += v
+	}
+	for _, child := range snap.Children {
+		collectStalls(child, totals)
+	}
+}

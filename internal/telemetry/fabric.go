@@ -1,6 +1,10 @@
 package telemetry
 
-import "rftp/internal/verbs"
+import (
+	"time"
+
+	"rftp/internal/verbs"
+)
 
 // maxOpcode bounds the per-opcode counter arrays; verbs opcodes are
 // small consecutive constants starting at 1.
@@ -28,6 +32,12 @@ type FabricMetrics struct {
 	// carried; frames/batches is the achieved write coalescing.
 	txBatches Counter
 	txFrames  Counter
+	// Wire-entry/exit stamps for the span layer's wire stage: queue
+	// delay (WR posted → drained to the wire) and ack round trip (WR
+	// posted → completion observed). Histogram pointers rather than
+	// values so a metrics-less device pays nothing beyond nil checks.
+	wireQueue *Histogram
+	wireRTT   *Histogram
 }
 
 // NewFabricMetrics creates fabric metrics registered under reg (a "wr_"
@@ -36,7 +46,10 @@ type FabricMetrics struct {
 // callers that want zero cost should keep the *FabricMetrics nil
 // instead.
 func NewFabricMetrics(reg *Registry) *FabricMetrics {
-	m := &FabricMetrics{}
+	m := &FabricMetrics{
+		wireQueue: NewHistogram(DurationBuckets()...),
+		wireRTT:   NewHistogram(DurationBuckets()...),
+	}
 	if reg != nil {
 		reg.mu.Lock()
 		for op := verbs.OpSend; op <= verbs.OpRecv; op++ {
@@ -50,6 +63,8 @@ func NewFabricMetrics(reg *Registry) *FabricMetrics {
 		reg.counters["ctrl_bytes"] = &m.ctrlBytes
 		reg.counters["tx_batches"] = &m.txBatches
 		reg.counters["tx_frames"] = &m.txFrames
+		reg.hists["wire_queue_ns"] = m.wireQueue
+		reg.hists["wire_rtt_ns"] = m.wireRTT
 		reg.mu.Unlock()
 	}
 	return m
@@ -112,6 +127,40 @@ func (m *FabricMetrics) TxBatch(frames int) {
 	}
 	m.txBatches.Add(1)
 	m.txFrames.Add(int64(frames))
+}
+
+// WireQueue records the delay between a WR being posted and its bytes
+// draining to the wire (send-queue residency inside the fabric).
+func (m *FabricMetrics) WireQueue(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.wireQueue.Observe(int64(d))
+}
+
+// WireRTT records the delay between a WR being posted and its
+// completion being observed (queue + wire + ack).
+func (m *FabricMetrics) WireRTT(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.wireRTT.Observe(int64(d))
+}
+
+// WireQueueSnapshot returns the wire queue-delay distribution.
+func (m *FabricMetrics) WireQueueSnapshot() HistogramSnapshot {
+	if m == nil {
+		return HistogramSnapshot{}
+	}
+	return m.wireQueue.Snapshot()
+}
+
+// WireRTTSnapshot returns the wire ack round-trip distribution.
+func (m *FabricMetrics) WireRTTSnapshot() HistogramSnapshot {
+	if m == nil {
+		return HistogramSnapshot{}
+	}
+	return m.wireRTT.Snapshot()
 }
 
 // CtrlMsgs returns control-plane messages sent.

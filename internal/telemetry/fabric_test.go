@@ -1,0 +1,124 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+
+	"rftp/internal/verbs"
+)
+
+// TestFabricMetricsRegistration pins the registration paths: every
+// counter and histogram NewFabricMetrics wires into the registry must
+// be reachable in a snapshot under its documented name, and updates
+// through the methods must be visible there.
+func TestFabricMetricsRegistration(t *testing.T) {
+	reg := NewRegistry("fabric")
+	m := NewFabricMetrics(reg)
+
+	m.Posted(verbs.OpWrite, 1024)
+	m.Posted(verbs.OpSend, 64)
+	m.Completed(verbs.OpWrite)
+	m.Tx(10)
+	m.Rx(2048)
+	m.Ctrl(64)
+	m.TxBatch(4)
+	m.RNR()
+	m.WireQueue(5 * time.Microsecond)
+	m.WireRTT(40 * time.Microsecond)
+
+	snap := reg.Snapshot()
+	wantCounters := map[string]int64{
+		"wr_posted_" + verbs.OpWrite.String():    1,
+		"wr_posted_" + verbs.OpSend.String():     1,
+		"wr_completed_" + verbs.OpWrite.String(): 1,
+		"tx_bytes":                               1024 + 64 + 10,
+		"rx_bytes":                               2048,
+		"rnr_events":                             1,
+		"ctrl_msgs":                              1,
+		"ctrl_bytes":                             64,
+		"tx_batches":                             1,
+		"tx_frames":                              4,
+	}
+	for name, want := range wantCounters {
+		if got := snap.Counter(name); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	// Every opcode has both registration rows, even unused ones.
+	for op := verbs.OpSend; op <= verbs.OpRecv; op++ {
+		for _, prefix := range []string{"wr_posted_", "wr_completed_"} {
+			if _, ok := snap.Counters[prefix+op.String()]; !ok {
+				t.Errorf("missing registration for %s%s", prefix, op)
+			}
+		}
+	}
+	for _, name := range []string{"wire_queue_ns", "wire_rtt_ns"} {
+		h := snap.Histogram(name)
+		if h.Count != 1 {
+			t.Errorf("%s count = %d, want 1", name, h.Count)
+		}
+		if len(h.Bounds) == 0 {
+			t.Errorf("%s snapshot missing bounds", name)
+		}
+	}
+	if got := snap.Histogram("wire_rtt_ns").Sum; got != int64(40*time.Microsecond) {
+		t.Errorf("wire_rtt_ns sum = %d", got)
+	}
+
+	// Getter round trips.
+	if m.TxBytes() != 1098 || m.RxBytes() != 2048 || m.RNRCount() != 1 {
+		t.Error("byte/RNR getters disagree")
+	}
+	if m.PostedCount(verbs.OpWrite) != 1 || m.CompletedCount(verbs.OpWrite) != 1 {
+		t.Error("opcode getters disagree")
+	}
+	if m.CtrlMsgs() != 1 || m.CtrlBytes() != 64 || m.TxBatches() != 1 || m.TxFrames() != 4 {
+		t.Error("ctrl/batch getters disagree")
+	}
+	if m.WireQueueSnapshot().Count != 1 || m.WireRTTSnapshot().Count != 1 {
+		t.Error("wire histogram getters disagree")
+	}
+}
+
+// TestFabricMetricsStandalone covers the nil-registry path: metrics
+// still count (no snapshot) and never panic.
+func TestFabricMetricsStandalone(t *testing.T) {
+	m := NewFabricMetrics(nil)
+	m.Posted(verbs.OpWrite, 100)
+	m.WireQueue(time.Microsecond)
+	m.WireRTT(time.Microsecond)
+	if m.TxBytes() != 100 || m.WireRTTSnapshot().Count != 1 {
+		t.Error("standalone metrics lost updates")
+	}
+}
+
+// TestFabricMetricsNil covers the free path: every method and getter
+// of a nil *FabricMetrics is a no-op.
+func TestFabricMetricsNil(t *testing.T) {
+	var m *FabricMetrics
+	m.Posted(verbs.OpWrite, 1)
+	m.Completed(verbs.OpWrite)
+	m.Tx(1)
+	m.Rx(1)
+	m.Ctrl(1)
+	m.TxBatch(1)
+	m.RNR()
+	m.WireQueue(time.Second)
+	m.WireRTT(time.Second)
+	if m.TxBytes() != 0 || m.RxBytes() != 0 || m.RNRCount() != 0 ||
+		m.CtrlMsgs() != 0 || m.CtrlBytes() != 0 || m.TxBatches() != 0 || m.TxFrames() != 0 ||
+		m.PostedCount(verbs.OpWrite) != 0 || m.CompletedCount(verbs.OpWrite) != 0 {
+		t.Error("nil metrics returned non-zero")
+	}
+	if m.WireQueueSnapshot().Count != 0 || m.WireRTTSnapshot().Count != 0 {
+		t.Error("nil wire snapshots non-empty")
+	}
+	// Out-of-range opcodes are ignored, not panics.
+	big := verbs.Opcode(maxOpcode + 5)
+	mm := NewFabricMetrics(nil)
+	mm.Posted(big, 1)
+	mm.Completed(big)
+	if mm.PostedCount(big) != 0 || mm.CompletedCount(big) != 0 {
+		t.Error("out-of-range opcode counted")
+	}
+}

@@ -2,10 +2,16 @@ package telemetry
 
 import "net/http"
 
-// Handler serves the registry tree as JSON, expvar-style: GET / returns
-// the full snapshot; `?text=1` switches to the indented text rendering
-// used by the -stats flags. Intended for the rftpd introspection
-// endpoint (`rftpd -http :9110`).
+// Handler serves the registry tree with content negotiation by path:
+//
+//	/metrics          Prometheus text exposition (scrape endpoint)
+//	/debug/telemetry  full snapshot as indented JSON (`?text=1` for the
+//	                  indented text rendering used by the -stats flags)
+//	/                 alias for /debug/telemetry (back-compat)
+//
+// Both renderings are produced from the same Snapshot, so a scraper
+// and a JSON consumer always see identical distributions. Intended for
+// the rftpd/rftp introspection endpoint (`-http :9110`).
 func Handler(root *Registry) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		snap := root.Snapshot()
@@ -13,18 +19,27 @@ func Handler(root *Registry) http.Handler {
 			http.Error(w, "telemetry disabled", http.StatusNotFound)
 			return
 		}
-		if req.URL.Query().Get("text") != "" {
-			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-			snap.WriteText(w)
+		switch req.URL.Path {
+		case "/metrics":
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			snap.WritePrometheus(w, "rftp")
 			return
+		case "/", "/debug/telemetry":
+			if req.URL.Query().Get("text") != "" {
+				w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+				snap.WriteText(w)
+				return
+			}
+			buf, err := snap.MarshalJSONIndent()
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.Write(buf)
+			w.Write([]byte("\n"))
+		default:
+			http.NotFound(w, req)
 		}
-		buf, err := snap.MarshalJSONIndent()
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
-		}
-		w.Header().Set("Content-Type", "application/json")
-		w.Write(buf)
-		w.Write([]byte("\n"))
 	})
 }

@@ -1,0 +1,134 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WritePrometheus renders the snapshot tree in the Prometheus text
+// exposition format. Every registry node contributes its metrics with
+// the node's tree position as a `path` label, so one scrape covers the
+// whole process (all connections, endpoints, fabrics) without name
+// collisions:
+//
+//	rftp_blocks_posted{path="rftpd/conn1/source"} 123
+//	rftp_span_wire_ns_bucket{path="rftpd/conn1/source",le="1e+06"} 17
+//
+// Histograms are rendered cumulatively from the same Bounds/Counts the
+// JSON snapshot exports, so both paths describe identical
+// distributions (TestPrometheusJSONParity pins this). Gauges emit the
+// current value plus a <name>_max companion for the high-water mark.
+func (s *Snapshot) WritePrometheus(w io.Writer, namespace string) error {
+	if s == nil {
+		return nil
+	}
+	if namespace == "" {
+		namespace = "rftp"
+	}
+	f := newPromFamilies(namespace)
+	f.collect(s, "")
+
+	bw := bufio.NewWriter(w)
+	names := make([]string, 0, len(f.families))
+	for name := range f.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fam := f.families[name]
+		fmt.Fprintf(bw, "# TYPE %s %s\n", name, fam.kind)
+		for _, line := range fam.lines {
+			bw.WriteString(line)
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}
+
+// promFamily is one metric family: all samples sharing a name, which
+// the text format requires to be contiguous under a single TYPE line.
+type promFamily struct {
+	kind  string
+	lines []string
+}
+
+type promFamilies struct {
+	ns       string
+	families map[string]*promFamily
+}
+
+func newPromFamilies(ns string) *promFamilies {
+	return &promFamilies{ns: ns, families: make(map[string]*promFamily)}
+}
+
+func (f *promFamilies) family(name, kind string) *promFamily {
+	fam := f.families[name]
+	if fam == nil {
+		fam = &promFamily{kind: kind}
+		f.families[name] = fam
+	}
+	return fam
+}
+
+func (f *promFamilies) collect(s *Snapshot, prefix string) {
+	path := s.Name
+	if prefix != "" {
+		path = prefix + "/" + s.Name
+	}
+	label := fmt.Sprintf("{path=%q}", path)
+	for _, name := range sortedKeys(s.Counters) {
+		m := f.ns + "_" + sanitizeMetric(name)
+		fam := f.family(m, "counter")
+		fam.lines = append(fam.lines, fmt.Sprintf("%s%s %d", m, label, s.Counters[name]))
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		g := s.Gauges[name]
+		m := f.ns + "_" + sanitizeMetric(name)
+		fam := f.family(m, "gauge")
+		fam.lines = append(fam.lines, fmt.Sprintf("%s%s %d", m, label, g.Value))
+		fam = f.family(m+"_max", "gauge")
+		fam.lines = append(fam.lines, fmt.Sprintf("%s_max%s %d", m, label, g.Max))
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		m := f.ns + "_" + sanitizeMetric(name)
+		fam := f.family(m, "histogram")
+		var cum int64
+		for i, bound := range h.Bounds {
+			if i < len(h.Counts) {
+				cum += h.Counts[i]
+			}
+			fam.lines = append(fam.lines,
+				fmt.Sprintf("%s_bucket{path=%q,le=%q} %d", m, path, formatBound(bound), cum))
+		}
+		fam.lines = append(fam.lines,
+			fmt.Sprintf("%s_bucket{path=%q,le=\"+Inf\"} %d", m, path, h.Count),
+			fmt.Sprintf("%s_sum%s %d", m, label, h.Sum),
+			fmt.Sprintf("%s_count%s %d", m, label, h.Count))
+	}
+	for _, c := range s.Children {
+		f.collect(c, path)
+	}
+}
+
+// sanitizeMetric maps a registry metric name into the Prometheus
+// charset [a-zA-Z0-9_].
+func sanitizeMetric(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, name)
+}
+
+// formatBound renders a bucket upper bound as Prometheus renders
+// float64 le values.
+func formatBound(b int64) string {
+	return strings.TrimSuffix(fmt.Sprintf("%g", float64(b)), ".0")
+}

@@ -1,0 +1,203 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func buildPromTestRegistry() *Registry {
+	root := NewRegistry("conn")
+	root.Counter("blocks").Add(12)
+	root.Gauge("inflight").Set(4)
+	root.Gauge("inflight").Set(2) // max stays 4
+	h := root.Histogram("lat", 10, 100, 1000)
+	for _, v := range []int64{5, 50, 50, 500, 5000} {
+		h.Observe(v)
+	}
+	ch := root.Child("chan0")
+	ch.Counter("bytes").Add(1 << 20)
+	return root
+}
+
+func TestWritePrometheus(t *testing.T) {
+	var sb strings.Builder
+	if err := buildPromTestRegistry().Snapshot().WritePrometheus(&sb, "rftp"); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		"# TYPE rftp_blocks counter",
+		`rftp_blocks{path="conn"} 12`,
+		"# TYPE rftp_inflight gauge",
+		`rftp_inflight{path="conn"} 2`,
+		`rftp_inflight_max{path="conn"} 4`,
+		"# TYPE rftp_lat histogram",
+		`rftp_lat_bucket{path="conn",le="10"} 1`,
+		`rftp_lat_bucket{path="conn",le="100"} 3`,
+		`rftp_lat_bucket{path="conn",le="1000"} 4`,
+		`rftp_lat_bucket{path="conn",le="+Inf"} 5`,
+		`rftp_lat_sum{path="conn"} 5605`,
+		`rftp_lat_count{path="conn"} 5`,
+		`rftp_bytes{path="conn/chan0"} 1048576`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	// Families must be contiguous: every line of a family directly
+	// follows its TYPE header or another line of the same family.
+	seen := map[string]bool{}
+	var cur string
+	for _, line := range strings.Split(strings.TrimSpace(text), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			name := strings.Fields(line)[2]
+			if seen[name] {
+				t.Fatalf("family %s emitted twice", name)
+			}
+			seen[name] = true
+			cur = name
+			continue
+		}
+		base := line[:strings.IndexByte(line, '{')]
+		base = strings.TrimSuffix(base, "_bucket")
+		base = strings.TrimSuffix(base, "_sum")
+		base = strings.TrimSuffix(base, "_count")
+		if base != cur && base != cur+"_max" && cur != base+"_max" {
+			if !seen[base] && base != strings.TrimSuffix(cur, "_max") {
+				t.Fatalf("sample %q outside its family (current %q)", line, cur)
+			}
+		}
+	}
+}
+
+// TestPrometheusJSONParity pins that the JSON snapshot and the
+// Prometheus exposition describe the same histogram distribution: the
+// cumulative le-bucket counts reconstruct exactly the JSON
+// Bounds/Counts pairs.
+func TestPrometheusJSONParity(t *testing.T) {
+	snap := buildPromTestRegistry().Snapshot()
+
+	// The JSON side.
+	js, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(js, &back); err != nil {
+		t.Fatal(err)
+	}
+	hj := back.Histogram("lat")
+	if len(hj.Bounds) == 0 || len(hj.Counts) != len(hj.Bounds)+1 {
+		t.Fatalf("JSON histogram lost its bounds: %+v", hj)
+	}
+
+	// The Prometheus side: parse the bucket lines back.
+	var sb strings.Builder
+	if err := snap.WritePrometheus(&sb, "rftp"); err != nil {
+		t.Fatal(err)
+	}
+	type bucket struct {
+		le  string
+		cum int64
+	}
+	var buckets []bucket
+	sc := bufio.NewScanner(strings.NewReader(sb.String()))
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "rftp_lat_bucket{") {
+			continue
+		}
+		le := line[strings.Index(line, `le="`)+4:]
+		le = le[:strings.IndexByte(le, '"')]
+		var cum int64
+		fmt.Sscanf(line[strings.LastIndexByte(line, ' ')+1:], "%d", &cum)
+		buckets = append(buckets, bucket{le, cum})
+	}
+	if len(buckets) != len(hj.Bounds)+1 {
+		t.Fatalf("prometheus buckets = %d, want %d", len(buckets), len(hj.Bounds)+1)
+	}
+	var cum int64
+	for i, bound := range hj.Bounds {
+		cum += hj.Counts[i]
+		wantLE := strconv.FormatFloat(float64(bound), 'g', -1, 64)
+		if buckets[i].le != wantLE || buckets[i].cum != cum {
+			t.Errorf("bucket %d: prometheus (%s,%d), json (%s,%d)", i, buckets[i].le, buckets[i].cum, wantLE, cum)
+		}
+	}
+	if last := buckets[len(buckets)-1]; last.le != "+Inf" || last.cum != hj.Count {
+		t.Errorf("+Inf bucket = %+v, want count %d", last, hj.Count)
+	}
+}
+
+func TestWritePrometheusNilAndEmpty(t *testing.T) {
+	var s *Snapshot
+	var sb strings.Builder
+	if err := s.WritePrometheus(&sb, ""); err != nil || sb.Len() != 0 {
+		t.Fatalf("nil snapshot wrote %q, err %v", sb.String(), err)
+	}
+	if err := NewRegistry("empty").Snapshot().WritePrometheus(&sb, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSanitizeMetric(t *testing.T) {
+	if got := sanitizeMetric("span_load-ns.total"); got != "span_load_ns_total" {
+		t.Errorf("sanitize = %q", got)
+	}
+}
+
+func TestHandlerRoutes(t *testing.T) {
+	root := buildPromTestRegistry()
+	h := Handler(root)
+
+	get := func(path string) (int, string, string) {
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, httptest.NewRequest("GET", path, nil))
+		return rr.Code, rr.Header().Get("Content-Type"), rr.Body.String()
+	}
+
+	code, ct, body := get("/metrics")
+	if code != 200 || !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics = %d %s", code, ct)
+	}
+	if !strings.Contains(body, "# TYPE rftp_blocks counter") {
+		t.Fatalf("/metrics body:\n%s", body)
+	}
+
+	for _, path := range []string{"/", "/debug/telemetry"} {
+		code, ct, body = get(path)
+		if code != 200 || !strings.HasPrefix(ct, "application/json") {
+			t.Fatalf("%s = %d %s", path, code, ct)
+		}
+		var snap Snapshot
+		if err := json.Unmarshal([]byte(body), &snap); err != nil {
+			t.Fatalf("%s JSON: %v", path, err)
+		}
+		if snap.Counter("blocks") != 12 {
+			t.Fatalf("%s snapshot lost counters", path)
+		}
+		if h := snap.Histogram("lat"); len(h.Bounds) == 0 {
+			t.Fatalf("%s histogram has no bounds", path)
+		}
+	}
+
+	code, ct, body = get("/debug/telemetry?text=1")
+	if code != 200 || !strings.HasPrefix(ct, "text/plain") || !strings.Contains(body, "buckets=[") {
+		t.Fatalf("text rendering = %d %s:\n%s", code, ct, body)
+	}
+
+	if code, _, _ = get("/nope"); code != 404 {
+		t.Fatalf("unknown path = %d, want 404", code)
+	}
+
+	rr := httptest.NewRecorder()
+	Handler(nil).ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	if rr.Code != 404 {
+		t.Fatalf("nil registry = %d, want 404", rr.Code)
+	}
+}

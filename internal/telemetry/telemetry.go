@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -201,6 +202,35 @@ func (s HistogramSnapshot) Merge(o HistogramSnapshot) (HistogramSnapshot, error)
 		out.Counts[i] = s.Counts[i] + o.Counts[i]
 	}
 	return out, nil
+}
+
+// bucketsText renders the populated buckets with their upper bounds as
+// " buckets=[≤b:n ...]" (empty string for an empty histogram), so the
+// text rendering exposes the same distribution the JSON Bounds/Counts
+// fields and the Prometheus le-labelled buckets carry.
+func (s HistogramSnapshot) bucketsText() string {
+	if s.Count == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString(" buckets=[")
+	first := true
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		if !first {
+			b.WriteByte(' ')
+		}
+		first = false
+		if i < len(s.Bounds) {
+			fmt.Fprintf(&b, "≤%v:%d", time.Duration(s.Bounds[i]), c)
+		} else {
+			fmt.Fprintf(&b, ">%v:%d", time.Duration(s.Bounds[len(s.Bounds)-1]), c)
+		}
+	}
+	b.WriteByte(']')
+	return b.String()
 }
 
 // Mean returns the average observation (0 when empty).
@@ -491,9 +521,10 @@ func (s *Snapshot) writeText(w io.Writer, indent string) error {
 	}
 	for _, name := range sortedKeys(s.Histograms) {
 		h := s.Histograms[name]
-		if _, err := fmt.Fprintf(w, "%s%-28s n=%d mean=%v p50=%v p95=%v\n",
+		if _, err := fmt.Fprintf(w, "%s%-28s n=%d mean=%v p50=%v p95=%v%s\n",
 			inner, name, h.Count,
-			time.Duration(int64(h.Mean())), time.Duration(h.Quantile(0.50)), time.Duration(h.Quantile(0.95))); err != nil {
+			time.Duration(int64(h.Mean())), time.Duration(h.Quantile(0.50)), time.Duration(h.Quantile(0.95)),
+			h.bucketsText()); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,129 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Satellite coverage for ReadJSONL's failure modes: dumps from crashed
+// or interrupted processes arrive truncated mid-line or with corrupt
+// bytes spliced in, and forensics must recover everything before the
+// damage.
+
+func validLine(name string, seq int) string {
+	var buf bytes.Buffer
+	WriteJSONL(&buf, []Event{{Seq: uint64(seq), At: 1000, Cat: CatBlock, Name: name}})
+	return strings.TrimSuffix(buf.String(), "\n")
+}
+
+func TestReadJSONLTruncatedFinalLine(t *testing.T) {
+	full := validLine("a", 1) + "\n" + validLine("b", 2)
+	truncated := full[:len(full)-7] // cut mid-JSON, no trailing newline
+	evs, err := ReadJSONL(strings.NewReader(truncated))
+	if err == nil {
+		t.Fatal("truncated final line accepted")
+	}
+	if !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("error does not name the damaged line: %v", err)
+	}
+	if len(evs) != 1 || evs[0].Name != "a" {
+		t.Fatalf("events before the truncation lost: %+v", evs)
+	}
+}
+
+func TestReadJSONLCorruptMiddleLine(t *testing.T) {
+	in := validLine("a", 1) + "\n" + `{"seq":2,"cat":"block","name":` + "\n" + validLine("c", 3) + "\n"
+	evs, err := ReadJSONL(strings.NewReader(in))
+	if err == nil {
+		t.Fatal("corrupt middle line accepted")
+	}
+	if !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("error does not name line 2: %v", err)
+	}
+	// The reader aborts at the damage but keeps the valid prefix.
+	if len(evs) != 1 || evs[0].Name != "a" {
+		t.Fatalf("prefix events = %+v", evs)
+	}
+}
+
+func TestReadJSONLGarbageBytes(t *testing.T) {
+	evs, err := ReadJSONL(strings.NewReader("\x00\x01\x02 not json\n"))
+	if err == nil {
+		t.Fatal("binary garbage accepted")
+	}
+	if len(evs) != 0 {
+		t.Fatalf("garbage produced events: %+v", evs)
+	}
+}
+
+func TestReadJSONLWrongTypes(t *testing.T) {
+	// Well-formed JSON with field types that do not match Event.
+	in := `{"seq":"not-a-number","name":"a"}` + "\n"
+	if _, err := ReadJSONL(strings.NewReader(in)); err == nil {
+		t.Fatal("type-mismatched line accepted")
+	}
+	// Unknown category names are rejected by Category.UnmarshalText.
+	in = `{"seq":1,"cat":"martian","name":"a"}` + "\n"
+	if _, err := ReadJSONL(strings.NewReader(in)); err == nil {
+		t.Fatal("unknown category accepted")
+	}
+}
+
+func TestReadJSONLBlankAndEmpty(t *testing.T) {
+	evs, err := ReadJSONL(strings.NewReader(""))
+	if err != nil || len(evs) != 0 {
+		t.Fatalf("empty input: %v, %+v", err, evs)
+	}
+	evs, err = ReadJSONL(strings.NewReader("\n\n\n"))
+	if err != nil || len(evs) != 0 {
+		t.Fatalf("blank-only input: %v, %+v", err, evs)
+	}
+}
+
+func TestReadJSONLOversizedLine(t *testing.T) {
+	// A line beyond the scanner's 1 MiB cap must fail cleanly (scanner
+	// error), not hang or OOM, and keep the valid prefix.
+	var sb strings.Builder
+	sb.WriteString(validLine("a", 1) + "\n")
+	sb.WriteString(`{"name":"` + strings.Repeat("x", 2<<20) + `"}` + "\n")
+	evs, err := ReadJSONL(strings.NewReader(sb.String()))
+	if err == nil {
+		t.Fatal("oversized line accepted")
+	}
+	if len(evs) != 1 || evs[0].Name != "a" {
+		t.Fatalf("prefix before oversized line = %+v", evs)
+	}
+}
+
+func TestJSONLRoundTripThroughDamageRepair(t *testing.T) {
+	// A damaged dump repaired by dropping the bad line round-trips the
+	// surviving events exactly.
+	events := []Event{
+		{Seq: 1, At: 10, Cat: CatNego, Name: "nego_start"},
+		{Seq: 2, At: 20, Cat: CatBlock, Name: "posted", Session: 1, Block: 2, V1: 4096},
+		{Seq: 3, At: 30, Cat: CatError, Name: "boom", Text: "err"},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(buf.String(), "\n")
+	damaged := lines[0] + "GARBAGE}{\n" + lines[1] + lines[2]
+	if _, err := ReadJSONL(strings.NewReader(damaged)); err == nil {
+		t.Fatal("damage undetected")
+	}
+	repaired := lines[0] + lines[1] + lines[2]
+	back, err := ReadJSONL(strings.NewReader(repaired))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 3 {
+		t.Fatalf("repaired events = %d", len(back))
+	}
+	for i := range events {
+		if back[i] != events[i] {
+			t.Fatalf("event %d: %+v != %+v", i, back[i], events[i])
+		}
+	}
+}

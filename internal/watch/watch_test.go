@@ -1,0 +1,94 @@
+package watch
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"rftp/internal/telemetry"
+)
+
+func buildSnap(tx, rx int64) *telemetry.Snapshot {
+	root := telemetry.NewRegistry("rftpd")
+	conn := root.Child("conn1")
+	conn.Counter("bytes_posted").Add(tx)
+	conn.Counter("bytes_arrived").Add(rx)
+	conn.Gauge("credit_window").Set(24)
+	conn.Gauge("credits_outstanding").Set(7)
+	conn.Gauge("loads_inflight").Set(3)
+	conn.Gauge("stores_inflight").Set(2)
+	conn.Counter("stall_load_pending_ns").Add(9_000_000)
+	conn.Counter("stall_credit_starved_ns").Add(1_000_000)
+	conn.Counter("spans_completed").Add(5)
+	conn.Counter("path_wire_ns").Add(600)
+	conn.Counter("path_load_ns").Add(400)
+	sto := conn.Child("storage")
+	sto.Gauge("io_inflight").Set(4)
+	return root.Snapshot()
+}
+
+func TestFrameContents(t *testing.T) {
+	r := New()
+	at := time.Unix(100, 0)
+	first := strings.Join(r.Frame(buildSnap(1<<20, 1<<20), at), "\n")
+	for _, want := range []string{
+		"goodput", "(total)", "1.00 MiB",
+		"window 24 blocks, 7 outstanding",
+		"0 blocks, 3 loads, 2 stores, 4 storage ops",
+		"top stall   load-pending",
+		"90% of attributed stall time",
+		"block path  wire 60%, load 40% (5 spans)",
+	} {
+		if !strings.Contains(first, want) {
+			t.Errorf("first frame missing %q:\n%s", want, first)
+		}
+	}
+
+	// Second frame: 1 MiB more in 1 s = 8.39 Mbps = 0.01 Gbps.
+	second := strings.Join(r.Frame(buildSnap(2<<20, 2<<20), at.Add(time.Second)), "\n")
+	if !strings.Contains(second, "tx   0.01 Gbps") || !strings.Contains(second, "rx   0.01 Gbps") {
+		t.Errorf("delta goodput wrong:\n%s", second)
+	}
+}
+
+func TestFrameEmptySnapshot(t *testing.T) {
+	lines := New().Frame(telemetry.NewRegistry("empty").Snapshot(), time.Unix(1, 0))
+	joined := strings.Join(lines, "\n")
+	if !strings.Contains(joined, "window fixed") || !strings.Contains(joined, "none attributed") {
+		t.Errorf("empty frame:\n%s", joined)
+	}
+}
+
+func TestRenderANSIRedraw(t *testing.T) {
+	r := New()
+	r.ANSI = true
+	var sb strings.Builder
+	snap := buildSnap(1<<20, 1<<20)
+	if err := r.Render(&sb, snap, time.Unix(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "\x1b[") {
+		t.Error("first frame should not move the cursor")
+	}
+	sb.Reset()
+	if err := r.Render(&sb, snap, time.Unix(2, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sb.String(), "\x1b[5A\x1b[J") {
+		t.Errorf("second frame missing redraw prefix: %q", sb.String()[:12])
+	}
+}
+
+func TestRunStopsOnDone(t *testing.T) {
+	r := New()
+	var sb strings.Builder
+	done := make(chan struct{})
+	close(done)
+	err := r.Run(&sb, func() (*telemetry.Snapshot, error) { return nil, nil }, time.Millisecond, done)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "waiting for telemetry") {
+		t.Errorf("nil snapshot placeholder missing: %q", sb.String())
+	}
+}
