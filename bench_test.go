@@ -5,6 +5,7 @@
 package rftp
 
 import (
+	"fmt"
 	"io"
 	"testing"
 
@@ -221,6 +222,46 @@ func BenchmarkPaperScale900GB(b *testing.B) {
 		}
 		b.ReportMetric(res.BandwidthGbps, "rftp-Gbps")
 		b.ReportMetric(res.Elapsed.Seconds(), "virtual-sec")
+	}
+}
+
+// BenchmarkShardScaling sweeps the reactor-shard count on the 100G
+// small-block workload, reporting per-point goodput. The single-reactor
+// point is CPU-bound on one core; each added shard contributes its own
+// post/completion budget (virtual cores in the host model), so goodput
+// must rise monotonically until the wire binds.
+func BenchmarkShardScaling(b *testing.B) {
+	for _, n := range bench.ShardScaleReactorCounts {
+		b.Run(fmt.Sprintf("reactors=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := bench.RunShardScalePoint(n, bench.ScaleQuick)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.BandwidthGbps, "rftp-Gbps")
+			}
+		})
+	}
+}
+
+// BenchmarkMRCacheRepeatedSessions drives 10 sequential connections
+// through one shared pin-down cache per side: every connection after
+// the first reuses the previous pools' registrations (>=90% hit rate).
+func BenchmarkMRCacheRepeatedSessions(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := core.DefaultConfig()
+		cfg.BlockSize = 1 << 20
+		cfg.IODepth = 16
+		cfg.SinkBlocks = 32
+		_, rep, err := bench.RunRFTPRepeated(bench.RoCELAN(), bench.RFTPOptions{
+			Config: cfg, TotalBytes: 256 << 20,
+		}, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*rep.HitRate, "mr-cache-hit-%")
 	}
 }
 

@@ -27,7 +27,8 @@ var experimentNames = []string{
 	"table1", "fig3a", "fig3b", "fig4a", "fig4b",
 	"fig8", "fig9", "fig10", "fig11",
 	"ablation-credit", "ablation-qps", "ablation-depth", "ablation-loaddepth", "ablation-ramp", "ablation-creditbatch",
-	"ablation-notify", "ablation-threads", "cross-arch", "scale-out", "latency", "timeseries",
+	"ablation-notify", "ablation-threads", "ablation-reactors", "ablation-mrcache",
+	"cross-arch", "scale-out", "latency", "timeseries",
 }
 
 func main() {
@@ -120,6 +121,10 @@ func runExperiment(name string, sc bench.Scale) ([]bench.Row, error) {
 		return bench.AblationNotify(bench.RoCEWAN(), sc)
 	case "ablation-threads":
 		return bench.AblationThreading(bench.RoCELAN(), sc)
+	case "ablation-reactors":
+		return bench.AblationReactors(sc)
+	case "ablation-mrcache":
+		return bench.AblationMRCache(sc)
 	case "cross-arch":
 		return bench.CrossArch(sc)
 	case "scale-out":

@@ -26,6 +26,7 @@ import (
 	"rftp/internal/storage"
 	"rftp/internal/telemetry"
 	"rftp/internal/trace"
+	"rftp/internal/verbs"
 )
 
 func main() {
@@ -34,6 +35,8 @@ func main() {
 	blockStr := flag.String("block", "1M", "block size (e.g. 64K, 1M, 4M)")
 	depth := flag.Int("depth", 16, "blocks kept in flight")
 	loadDepth := flag.Int("load-depth", 0, "file reads kept in flight against storage (0 = -depth)")
+	reactors := flag.Int("reactors", 1, "reactor shards driving the data channels, each on its own event loop (clamped to -channels)")
+	mrCache := flag.Int("mr-cache", 0, "pin-down cache capacity in memory regions: block pools draw registrations from the cache and release them on close (0 = register directly)")
 	zero := flag.String("zero", "", "memory-to-memory benchmark: send SIZE of synthetic zeros instead of files (e.g. -zero 1G)")
 	imm := flag.Bool("imm", false, "notify block completions via RDMA WRITE WITH IMMEDIATE instead of control messages")
 	doTrace := flag.Bool("trace", false, "dump the protocol event trace when the transfer ends")
@@ -62,10 +65,28 @@ func main() {
 	defer dev.Close()
 	loop := chanfabric.NewLoop("rftp")
 	defer loop.Stop()
+	shards := *reactors
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > *channels {
+		shards = *channels
+	}
+	loops := []verbs.Loop{loop}
+	for i := 1; i < shards; i++ {
+		sl := chanfabric.NewLoop(fmt.Sprintf("rftp-shard%d", i))
+		defer sl.Stop()
+		loops = append(loops, sl)
+	}
 
-	ep, err := core.NewEndpoint(dev, loop, *channels, *depth)
+	ep, err := core.NewShardedEndpoint(dev, loops, *channels, *depth)
 	if err != nil {
 		log.Fatalf("rftp: endpoint: %v", err)
+	}
+	var cache *verbs.MRCache
+	if *mrCache > 0 {
+		cache = verbs.NewMRCache(dev, *mrCache)
+		ep.MRCache = cache
 	}
 	if err := dev.BindQP(ep.Ctrl, 0); err != nil {
 		log.Fatalf("rftp: bind: %v", err)
@@ -105,6 +126,9 @@ func main() {
 		source.AttachTelemetry(reg)
 		source.AttachSpans(reg, *spanSample)
 		eng.SetMetrics(core.NewIOMetrics(reg.Child("storage")))
+		if cache != nil {
+			telemetry.AttachMRCache(reg.Child("mrcache"), cache)
+		}
 	}
 	if *httpAddr != "" {
 		go func() {
@@ -170,7 +194,7 @@ func main() {
 	if err := <-ready; err != nil {
 		log.Fatalf("rftp: negotiation: %v", err)
 	}
-	log.Printf("rftp: negotiated block=%s channels=%d depth=%d load-depth=%d", *blockStr, *channels, *depth, workers)
+	log.Printf("rftp: negotiated block=%s channels=%d depth=%d load-depth=%d reactors=%d", *blockStr, *channels, *depth, workers, shards)
 
 	if *zero != "" {
 		// The paper's memory-to-memory test: /dev/zero at the source,

@@ -28,6 +28,7 @@ import (
 	"rftp/internal/storage"
 	"rftp/internal/telemetry"
 	"rftp/internal/trace"
+	"rftp/internal/verbs"
 	"rftp/internal/watch"
 )
 
@@ -38,6 +39,8 @@ type serveOpts struct {
 	channels    int
 	depth       int
 	storeDepth  int
+	reactors    int
+	mrCache     int
 	creditBatch int
 	creditFlush time.Duration
 	creditWin   int
@@ -57,6 +60,8 @@ func main() {
 	channels := flag.Int("channels", 2, "number of data channel queue pairs")
 	depth := flag.Int("depth", 16, "I/O depth (sink block pool = 2x)")
 	storeDepth := flag.Int("store-depth", 0, "file writes kept in flight against storage (0 = -depth)")
+	reactors := flag.Int("reactors", 1, "reactor shards driving the data channels, each on its own event loop (clamped to -channels)")
+	mrCache := flag.Int("mr-cache", 0, "per-connection pin-down cache capacity in memory regions: the sink pool draws registrations from the cache and releases them on close (0 = register directly)")
 	creditBatch := flag.Int("credit-batch", 0, "credits coalesced per grant message (0 = default, 1 = unbatched)")
 	creditFlush := flag.Duration("credit-flush", 0, "credit coalescer flush timer (0 = adaptive from the measured arrival gap)")
 	creditWin := flag.Int("credit-window", 0, "fixed credit window in blocks (0 = adaptive from measured RTT x delivery rate)")
@@ -89,6 +94,8 @@ func main() {
 		channels:    *channels,
 		depth:       *depth,
 		storeDepth:  *storeDepth,
+		reactors:    *reactors,
+		mrCache:     *mrCache,
 		creditBatch: *creditBatch,
 		creditFlush: *creditFlush,
 		creditWin:   *creditWin,
@@ -149,11 +156,29 @@ func serve(dev *netfabric.Device, conn int, opts *serveOpts, served chan<- struc
 	dir, channels, depth, devnull := opts.dir, opts.channels, opts.depth, opts.devnull
 	loop := chanfabric.NewLoop("rftpd")
 	defer loop.Stop()
+	shards := opts.reactors
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > channels {
+		shards = channels
+	}
+	loops := []verbs.Loop{loop}
+	for i := 1; i < shards; i++ {
+		sl := chanfabric.NewLoop(fmt.Sprintf("rftpd-shard%d", i))
+		defer sl.Stop()
+		loops = append(loops, sl)
+	}
 
-	ep, err := core.NewEndpoint(dev, loop, channels, depth)
+	ep, err := core.NewShardedEndpoint(dev, loops, channels, depth)
 	if err != nil {
 		log.Printf("rftpd: endpoint: %v", err)
 		return
+	}
+	var cache *verbs.MRCache
+	if opts.mrCache > 0 {
+		cache = verbs.NewMRCache(dev, opts.mrCache)
+		ep.MRCache = cache
 	}
 	if err := dev.BindQP(ep.Ctrl, 0); err != nil {
 		log.Printf("rftpd: bind: %v", err)
@@ -199,6 +224,9 @@ func serve(dev *netfabric.Device, conn int, opts *serveOpts, served chan<- struc
 		sink.AttachTelemetry(reg)
 		sink.AttachSpans(reg, opts.spanSample)
 		eng.SetMetrics(core.NewIOMetrics(reg.Child("storage")))
+		if cache != nil {
+			telemetry.AttachMRCache(reg.Child("mrcache"), cache)
+		}
 	}
 	var ring *trace.Ring
 	if opts.trace || opts.traceOut != "" {

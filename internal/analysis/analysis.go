@@ -19,6 +19,9 @@
 //   - lockorder: the cross-package mutex-acquisition graph must be
 //     acyclic, and no function may reacquire a lock its caller already
 //     holds on the same receiver.
+//   - loopconfine: loop-confined operations (setState, the credit
+//     ledger, span stamps) must never run on a raw goroutine — crossing
+//     shards is only sanctioned through a loop's Post/After handoff.
 //
 // Findings are suppressed with an inline comment on the flagged line
 // (or alone on the line above):
@@ -211,7 +214,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) (*Result, error) {
 
 // All returns the full RFTP analyzer suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{FSMTransition, SpanStamp, BufOwnership, AtomicMix, LockOrder}
+	return []*Analyzer{FSMTransition, SpanStamp, BufOwnership, AtomicMix, LockOrder, LoopConfine}
 }
 
 // pathString renders an ident/selector chain as a stable dotted path

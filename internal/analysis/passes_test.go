@@ -26,6 +26,11 @@ func TestLockOrderFixture(t *testing.T) {
 	runFixture(t, LockOrder, "lockorder")
 }
 
+func TestLoopConfineFixture(t *testing.T) {
+	res := runFixture(t, LoopConfine, "loopconfine")
+	assertSuppression(t, res, "loopconfine")
+}
+
 // assertSuppression checks that the fixture's //lint:allow line was
 // recorded (the want-matching in runFixture already proved it produced
 // no finding).

@@ -1,0 +1,93 @@
+// Package loopconfine is a deliberately broken fixture for the
+// loopconfine pass: every recognised loop-confined operation executed
+// on a raw goroutine, next to the sanctioned shapes (plain on-loop
+// calls, closures handed back through Post/After, handler literals)
+// that must stay quiet.
+package loopconfine
+
+import (
+	"rftp/internal/invariant"
+	"rftp/internal/spans"
+)
+
+// loop mimics the verbs.Loop scheduling surface.
+type loop struct{}
+
+func (l *loop) Post(ch int, fn func())   { fn() }
+func (l *loop) After(d int64, fn func()) { fn() }
+func (l *loop) enqueue(fn func())        { fn() }
+
+type block struct {
+	state   uint8
+	spanRef spans.Ref
+	rec     *spans.Recorder
+}
+
+func (b *block) setState(next uint8) {
+	b.spanRef = b.rec.Transition(b.spanRef, b.state, next)
+	b.state = next
+}
+
+// onLoop is an ordinary method context: assumed loop-confined, fine.
+func onLoop(b *block, conn uint64) {
+	b.setState(1)
+	invariant.CreditGrant(conn, 4)
+}
+
+func rawClosure(b *block) {
+	go func() {
+		b.setState(2) // want `loop-confined call \(setState\) on a raw goroutine`
+	}()
+}
+
+func rawDirect(b *block) {
+	go b.setState(3) // want `loop-confined call \(setState\) on a raw goroutine`
+}
+
+func rawCredits(conn uint64) {
+	go func() {
+		invariant.CreditConsume(conn, 1) // want `loop-confined call \(invariant.CreditConsume\) on a raw goroutine`
+	}()
+}
+
+func rawStamp(rec *spans.Recorder) {
+	go func() {
+		rec.Transition(spans.RefNone, spans.StateFree, spans.StateLoading) // want `loop-confined call \(spans.Recorder.Transition\) on a raw goroutine`
+	}()
+}
+
+func rawDeferred(b *block) {
+	go func() {
+		defer func() {
+			b.setState(4) // want `loop-confined call \(setState\) on a raw goroutine`
+		}()
+	}()
+}
+
+// postedBack crosses a goroutine boundary the sanctioned way: the
+// closure is handed to a loop scheduler, so it is confined again.
+func postedBack(l *loop, b *block, conn uint64) {
+	go func() {
+		l.Post(0, func() {
+			b.setState(5)
+			invariant.CreditOutstanding(conn, 0)
+		})
+		l.After(10, func() {
+			b.setState(6)
+		})
+	}()
+}
+
+// handler literals escape through an unknown callee and inherit their
+// defining (on-loop) context: no finding.
+func handler(l *loop, b *block) {
+	l.enqueue(func() {
+		b.setState(7)
+	})
+}
+
+func suppressed(b *block) {
+	go func() {
+		b.setState(8) //lint:allow loopconfine fixture: proves suppression drops the finding
+	}()
+}

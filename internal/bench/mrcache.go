@@ -1,0 +1,160 @@
+package bench
+
+import (
+	"fmt"
+
+	"rftp/internal/core"
+	"rftp/internal/fabric/simfabric"
+	"rftp/internal/hostmodel"
+	"rftp/internal/sim"
+	"rftp/internal/telemetry"
+	"rftp/internal/verbs"
+)
+
+// MRCacheReport summarizes pin-down cache behavior over a repeated-
+// connection run (both endpoints combined).
+type MRCacheReport struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	// HitRate is hits/(hits+misses) across both caches.
+	HitRate float64
+	// Idle is the number of registrations parked in the caches at the
+	// end of the run.
+	Idle int
+}
+
+// RunRFTPRepeated drives conns sequential RFTP connections over one
+// fabric, with each side's block pools drawing registrations from a
+// shared pin-down MR cache: the first connection registers fresh
+// regions (misses), every later one reuses them (hits). This is the
+// registration-cost scenario the pin-down cache exists for — short
+// repeated sessions where per-connection registration would otherwise
+// dominate setup. With opt.Telemetry set, the caches are mirrored into
+// the registry as src_mrcache / dst_mrcache counter groups.
+func RunRFTPRepeated(tb Testbed, opt RFTPOptions, conns int) ([]RunResult, MRCacheReport, error) {
+	if conns < 1 {
+		conns = 1
+	}
+	if opt.Seed == 0 {
+		opt.Seed = 1
+	}
+	sched := sim.New(opt.Seed)
+	fab := simfabric.New(sched)
+	srcHost := hostmodel.NewHost(sched, "src", tb.CoresTotal, tb.Host)
+	dstHost := hostmodel.NewHost(sched, "dst", tb.CoresTotal, tb.Host)
+	srcDev := fab.NewDevice("hca0", srcHost, tb.NIC)
+	dstDev := fab.NewDevice("hca1", dstHost, tb.NIC)
+	fab.Connect(srcDev, dstDev, tb.Link)
+
+	cfg := opt.Config
+	cfg.ModelPayload = true
+	cfg, err := cfg.Normalize()
+	if err != nil {
+		return nil, MRCacheReport{}, err
+	}
+	reactors := opt.Reactors
+	if reactors < 1 {
+		reactors = 1
+	}
+	if reactors > cfg.Channels {
+		reactors = cfg.Channels
+	}
+	srcLoops := []verbs.Loop{srcHost.NewThread("rftp-src")}
+	dstLoops := []verbs.Loop{dstHost.NewThread("rftp-sink")}
+	for i := 1; i < reactors; i++ {
+		srcLoops = append(srcLoops, srcHost.NewThread(fmt.Sprintf("rftp-src-shard%d", i)))
+		dstLoops = append(dstLoops, dstHost.NewThread(fmt.Sprintf("rftp-sink-shard%d", i)))
+	}
+	loader := srcHost.NewThread("loader")
+	storer := dstHost.NewThread("storer")
+
+	// Generous bound: each teardown parks one full pool per side.
+	srcCache := verbs.NewMRCache(srcDev, cfg.IODepth+cfg.SinkBlocks)
+	dstCache := verbs.NewMRCache(dstDev, cfg.IODepth+cfg.SinkBlocks)
+	if opt.Telemetry != nil {
+		telemetry.AttachMRCache(opt.Telemetry.Child("src_mrcache"), srcCache)
+		telemetry.AttachMRCache(opt.Telemetry.Child("dst_mrcache"), dstCache)
+	}
+
+	var results []RunResult
+	for c := 0; c < conns; c++ {
+		srcEP, err := core.NewShardedEndpoint(srcDev, srcLoops, cfg.Channels, cfg.IODepth)
+		if err != nil {
+			return nil, MRCacheReport{}, err
+		}
+		dstEP, err := core.NewShardedEndpoint(dstDev, dstLoops, cfg.Channels, cfg.IODepth)
+		if err != nil {
+			return nil, MRCacheReport{}, err
+		}
+		srcEP.MRCache = srcCache
+		dstEP.MRCache = dstCache
+		if err := fab.ConnectQPs(srcEP.Ctrl, dstEP.Ctrl); err != nil {
+			return nil, MRCacheReport{}, err
+		}
+		for i := range srcEP.Data {
+			if err := fab.ConnectQPs(srcEP.Data[i], dstEP.Data[i]); err != nil {
+				return nil, MRCacheReport{}, err
+			}
+		}
+		sink, err := core.NewSink(dstEP, cfg)
+		if err != nil {
+			return nil, MRCacheReport{}, err
+		}
+		sink.NewWriter = func(core.SessionInfo) core.BlockSink {
+			return &core.ModelSink{Storer: storer, NsPerByte: tb.Host.MemStoreNsPerByte}
+		}
+		source, err := core.NewSource(srcEP, cfg)
+		if err != nil {
+			return nil, MRCacheReport{}, err
+		}
+		var srcRes core.TransferResult
+		srcDone, sinkDone := false, false
+		sink.OnSessionDone = func(core.SessionInfo, core.TransferResult) { sinkDone = true }
+		var negoErr error
+		source.Start(func(err error) {
+			if err != nil {
+				negoErr = err
+				return
+			}
+			src := &core.ModelSource{Total: opt.TotalBytes, Loader: loader, NsPerByte: tb.Host.MemLoadNsPerByte}
+			source.Transfer(src, opt.TotalBytes, func(r core.TransferResult) {
+				srcRes = r
+				srcDone = true
+			})
+		})
+		sched.RunAll()
+		if negoErr != nil {
+			return nil, MRCacheReport{}, negoErr
+		}
+		if !srcDone || !sinkDone {
+			return nil, MRCacheReport{}, fmt.Errorf("bench: repeated RFTP conn %d did not complete (src=%v sink=%v)", c, srcDone, sinkDone)
+		}
+		if srcRes.Err != nil {
+			return nil, MRCacheReport{}, srcRes.Err
+		}
+		st := source.Stats()
+		results = append(results, RunResult{
+			Tool:          "RFTP",
+			BandwidthGbps: st.BandwidthGbps(),
+			Bytes:         st.Bytes,
+			Elapsed:       st.Elapsed(),
+		})
+		// Teardown releases both pools' registrations into the caches,
+		// priming the next connection's hits.
+		source.Close()
+		sink.Close()
+		sched.RunAll()
+	}
+
+	sh, sm, se := srcCache.Stats()
+	dh, dm, de := dstCache.Stats()
+	rep := MRCacheReport{
+		Hits: sh + dh, Misses: sm + dm, Evictions: se + de,
+		Idle: srcCache.Idle() + dstCache.Idle(),
+	}
+	if rep.Hits+rep.Misses > 0 {
+		rep.HitRate = float64(rep.Hits) / float64(rep.Hits+rep.Misses)
+	}
+	return results, rep, nil
+}

@@ -37,7 +37,13 @@ type RFTPOptions struct {
 	// threads (0 or 1 = the single dedicated thread).
 	Loaders int
 	Storers int
-	Seed    int64
+	// Reactors shards the data-channel hot path over N per-core event
+	// loops on each host (0 or 1 = the classic single reactor). Shard 0
+	// keeps the control plane; extra shards own disjoint channel groups
+	// with their own completion queues, so posting and completion CPU
+	// spreads across cores. Clamped to Config.Channels.
+	Reactors int
+	Seed     int64
 	// Telemetry, when non-nil, instruments the run: source/sink protocol
 	// metrics and per-device fabric metrics are registered as children.
 	// Nil runs stay uninstrumented (and measure the disabled-path cost).
@@ -129,11 +135,24 @@ func RunRFTP(tb Testbed, opt RFTPOptions) (RunResult, error) {
 	if err != nil {
 		return RunResult{}, err
 	}
-	srcEP, err := core.NewEndpoint(srcDev, srcLoop, cfg.Channels, cfg.IODepth)
+	reactors := opt.Reactors
+	if reactors < 1 {
+		reactors = 1
+	}
+	if reactors > cfg.Channels {
+		reactors = cfg.Channels
+	}
+	srcLoops := []verbs.Loop{srcLoop}
+	dstLoops := []verbs.Loop{dstLoop}
+	for i := 1; i < reactors; i++ {
+		srcLoops = append(srcLoops, srcHost.NewThread(fmt.Sprintf("rftp-src-shard%d", i)))
+		dstLoops = append(dstLoops, dstHost.NewThread(fmt.Sprintf("rftp-sink-shard%d", i)))
+	}
+	srcEP, err := core.NewShardedEndpoint(srcDev, srcLoops, cfg.Channels, cfg.IODepth)
 	if err != nil {
 		return RunResult{}, err
 	}
-	dstEP, err := core.NewEndpoint(dstDev, dstLoop, cfg.Channels, cfg.IODepth)
+	dstEP, err := core.NewShardedEndpoint(dstDev, dstLoops, cfg.Channels, cfg.IODepth)
 	if err != nil {
 		return RunResult{}, err
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"rftp/internal/verbs"
 	"rftp/internal/wire"
@@ -20,38 +21,77 @@ const dataQueueSlack = 4
 
 // Endpoint bundles the queue pairs one side of a connection uses: a
 // dedicated control QP (SEND/RECV) and one or more data channel QPs
-// (RDMA WRITE), all completing onto one event loop.
+// (RDMA WRITE). The control QP always completes onto Loop; the data
+// QPs are sharded across Shards, one completion queue per shard, so a
+// multi-core host spreads per-block posting and completion work across
+// reactors while the control plane (credits, sessions, ordering) stays
+// single-threaded on shard 0.
 type Endpoint struct {
 	Dev  verbs.Device
-	Loop verbs.Loop
+	Loop verbs.Loop // control loop == Shards[0]
 	PD   *verbs.PD
+
+	// Shards are the reactor loops. Data channel i is owned by shard
+	// i%len(Shards); Shards[0] is the control loop, so a one-shard
+	// endpoint degenerates to the classic single-reactor layout.
+	Shards []verbs.Loop
 
 	Ctrl   verbs.QP
 	Data   []verbs.QP
 	CtrlCQ *verbs.UpcallCQ
-	DataCQ *verbs.UpcallCQ
+	// DataCQs holds one completion queue per shard; data QP i completes
+	// on DataCQs[i%len(Shards)]. DataCQ aliases DataCQs[0] for the
+	// single-reactor case.
+	DataCQs []*verbs.UpcallCQ
+	DataCQ  *verbs.UpcallCQ
+
+	// MRCache, when set before pools are created, supplies block
+	// registrations from the pin-down cache instead of registering
+	// fresh regions, and receives them back on teardown.
+	MRCache *verbs.MRCache
 
 	ctrlRecvMRs []*verbs.MR
 	notifyMR    *verbs.MR
+	notifyWRs   []verbs.RecvWR // one reusable repost WR per data QP
 	ctrlDepth   int
 	dataDepth   int
-	closed      bool
+	closed      atomic.Bool
 }
 
-// NewEndpoint creates the QPs for one side: channels data QPs plus the
-// control QP. ioDepth sizes the queues: the control receive queue must
-// absorb one message per in-flight block plus negotiation traffic.
+// NewEndpoint creates a classic single-reactor endpoint: every QP
+// completes onto loop.
 func NewEndpoint(dev verbs.Device, loop verbs.Loop, channels, ioDepth int) (*Endpoint, error) {
+	return NewShardedEndpoint(dev, []verbs.Loop{loop}, channels, ioDepth)
+}
+
+// NewShardedEndpoint creates the QPs for one side: channels data QPs
+// plus the control QP. loops[0] carries the control plane; the data
+// channels are distributed round-robin over min(len(loops), channels)
+// reactor shards, each with its own completion queue on its own loop.
+// ioDepth sizes the queues: the control receive queue must absorb one
+// message per in-flight block plus negotiation traffic.
+func NewShardedEndpoint(dev verbs.Device, loops []verbs.Loop, channels, ioDepth int) (*Endpoint, error) {
 	if channels < 1 {
 		return nil, fmt.Errorf("core: need at least one data channel")
+	}
+	if len(loops) < 1 {
+		return nil, fmt.Errorf("core: need at least one reactor loop")
+	}
+	nsh := len(loops)
+	if nsh > channels {
+		nsh = channels
 	}
 	ctrlDepth := 2*ioDepth + 16
 	if ctrlDepth < 64 {
 		ctrlDepth = 64
 	}
-	ep := &Endpoint{Dev: dev, Loop: loop, PD: dev.AllocPD(), ctrlDepth: ctrlDepth, dataDepth: ioDepth + dataQueueSlack}
-	ep.CtrlCQ = verbs.NewUpcallCQ(loop)
-	ep.DataCQ = verbs.NewUpcallCQ(loop)
+	ep := &Endpoint{Dev: dev, Loop: loops[0], PD: dev.AllocPD(), ctrlDepth: ctrlDepth, dataDepth: ioDepth + dataQueueSlack}
+	ep.Shards = append(ep.Shards, loops[:nsh]...)
+	ep.CtrlCQ = verbs.NewUpcallCQ(ep.Loop)
+	for i := 0; i < nsh; i++ {
+		ep.DataCQs = append(ep.DataCQs, verbs.NewUpcallCQ(loops[i]))
+	}
+	ep.DataCQ = ep.DataCQs[0]
 
 	var err error
 	ep.Ctrl, err = dev.CreateQP(verbs.QPConfig{
@@ -63,8 +103,9 @@ func NewEndpoint(dev verbs.Device, loop verbs.Loop, channels, ioDepth int) (*End
 	}
 	dataDepth := ep.dataDepth
 	for i := 0; i < channels; i++ {
+		cq := ep.DataCQs[i%nsh]
 		qp, err := dev.CreateQP(verbs.QPConfig{
-			PD: ep.PD, SendCQ: ep.DataCQ, RecvCQ: ep.DataCQ,
+			PD: ep.PD, SendCQ: cq, RecvCQ: cq,
 			MaxSend: dataDepth, MaxRecv: dataDepth + 4,
 		})
 		if err != nil {
@@ -89,6 +130,9 @@ func NewEndpoint(dev verbs.Device, loop verbs.Loop, channels, ioDepth int) (*End
 	return ep, nil
 }
 
+// shardIndex maps a data channel to the reactor shard that owns it.
+func (ep *Endpoint) shardIndex(ch int) int { return ch % len(ep.Shards) }
+
 // postDataNotifyRecvs pre-posts notification receives on every data QP
 // (immediate-notification mode: WRITE WITH IMMEDIATE consumes one
 // receive per block). The buffers are minimal: the immediate value and
@@ -99,6 +143,7 @@ func (ep *Endpoint) postDataNotifyRecvs(perQP int) error {
 		return fmt.Errorf("core: notify recv buffer: %w", err)
 	}
 	ep.notifyMR = mr
+	ep.notifyWRs = make([]verbs.RecvWR, len(ep.Data))
 	for _, qp := range ep.Data {
 		for i := 0; i < perQP; i++ {
 			if err := qp.PostRecv(&verbs.RecvWR{WRID: uint64(i), MR: mr, Len: 64}); err != nil {
@@ -109,17 +154,21 @@ func (ep *Endpoint) postDataNotifyRecvs(perQP int) error {
 	return nil
 }
 
-// repostDataNotifyRecv replenishes one notification receive on qp.
-func (ep *Endpoint) repostDataNotifyRecv(qp verbs.QP, wrid uint64) error {
-	if ep.closed {
+// repostDataNotifyRecv replenishes one notification receive on data QP
+// ch. Each data QP is reposted only from its owning shard's loop, so
+// the per-QP reusable WR has a single writer.
+func (ep *Endpoint) repostDataNotifyRecv(ch int, wrid uint64) error {
+	if ep.closed.Load() {
 		return ErrClosed
 	}
-	return qp.PostRecv(&verbs.RecvWR{WRID: wrid, MR: ep.notifyMR, Len: 64})
+	wr := &ep.notifyWRs[ch]
+	wr.WRID, wr.MR, wr.Len = wrid, ep.notifyMR, 64
+	return ep.Data[ch].PostRecv(wr)
 }
 
 // repostCtrlRecv returns a consumed control receive buffer to the ring.
 func (ep *Endpoint) repostCtrlRecv(wrid uint64) error {
-	if ep.closed {
+	if ep.closed.Load() {
 		return ErrClosed
 	}
 	mr := ep.ctrlRecvMRs[int(wrid)]
@@ -128,10 +177,9 @@ func (ep *Endpoint) repostCtrlRecv(wrid uint64) error {
 
 // Close tears down all queue pairs.
 func (ep *Endpoint) Close() {
-	if ep.closed {
+	if !ep.closed.CompareAndSwap(false, true) {
 		return
 	}
-	ep.closed = true
 	ep.Ctrl.Close()
 	for _, qp := range ep.Data {
 		qp.Close()

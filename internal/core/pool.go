@@ -112,20 +112,28 @@ func (b *block) setState(to BlockState) {
 
 // pool is a set of blocks with registered MRs.
 type pool struct {
-	blocks []*block
-	free   []*block // LIFO free list
+	blocks  []*block
+	free    []*block // LIFO free list
+	cache   *verbs.MRCache
+	modeled bool
 }
 
 // newPool registers nblocks regions of blockSize bytes on dev. Modeled
 // pools back each block with a shadow of just the header plus slack.
-func newPool(dev verbs.Device, pd *verbs.PD, nblocks, blockSize int, modeled bool, access verbs.Access) (*pool, error) {
-	p := &pool{}
+// With a non-nil cache the registrations come from the pin-down cache
+// (reusing idle regions from earlier pools of the same size class) and
+// return to it on release.
+func newPool(dev verbs.Device, pd *verbs.PD, nblocks, blockSize int, modeled bool, access verbs.Access, cache *verbs.MRCache) (*pool, error) {
+	p := &pool{cache: cache, modeled: modeled}
 	for i := 0; i < nblocks; i++ {
 		var mr *verbs.MR
 		var err error
-		if modeled {
+		switch {
+		case cache != nil:
+			mr, err = cache.Get(pd, blockSize, wire.BlockHeaderSize, access, modeled)
+		case modeled:
 			mr, err = dev.RegisterModelMR(pd, blockSize, wire.BlockHeaderSize, access)
-		} else {
+		default:
 			mr, err = dev.RegisterMR(pd, make([]byte, blockSize), access)
 		}
 		if err != nil {
@@ -137,6 +145,26 @@ func newPool(dev verbs.Device, pd *verbs.PD, nblocks, blockSize int, modeled boo
 		p.free = append(p.free, b)
 	}
 	return p, nil
+}
+
+// release returns the pool's registrations to the pin-down cache at
+// teardown (no-op for uncached pools). Only free blocks are eligible:
+// a region that may still have a WRITE in flight (granted to a remote
+// source, posted on the wire) must never re-enter the cache, and the
+// debug build asserts that with the connection's inflight-MR ledger.
+func (p *pool) release(inv uint64) {
+	if p.cache == nil {
+		return
+	}
+	for _, b := range p.blocks {
+		if b.state != BlockFree || b.mr == nil {
+			continue
+		}
+		invariant.MRReleasable(inv, b.mr.RKey)
+		p.cache.Put(b.mr, p.modeled)
+		b.mr = nil
+	}
+	p.free = nil
 }
 
 // get pops a free block (nil when exhausted).

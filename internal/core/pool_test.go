@@ -12,7 +12,7 @@ import (
 func newTestPool(t *testing.T, n, size int) *pool {
 	t.Helper()
 	dev := chanfabric.New().NewDevice("t")
-	p, err := newPool(dev, dev.AllocPD(), n, size, false, verbs.AccessLocalWrite)
+	p, err := newPool(dev, dev.AllocPD(), n, size, false, verbs.AccessLocalWrite, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"rftp/internal/invariant"
@@ -52,6 +53,10 @@ type Sink struct {
 	ctrlQ      []ctrlItem // encoded messages awaiting queue space
 	ctrlSent   []func()   // per posted send: completion callback (may be nil)
 	pool       *pool      // allocated when block size is negotiated
+	shards     []*sinkShard
+	ctrlWR     verbs.SendWR // reused control-post WR (PostSend copies)
+	storeTasks []*storeTask // free list of store completion carriers
+	flushFn    func()       // prebound flush-timer callback
 	blockSize  int
 	immMode    bool // WRITE WITH IMMEDIATE notifications negotiated
 	granted    int  // credits outstanding at the source
@@ -104,6 +109,10 @@ type Sink struct {
 	stats  Stats
 	closed bool
 	failed error
+	// dead is the only Sink field shards read without an ownership
+	// handoff: set exclusively by Close so late completions stop
+	// touching torn-down state (mirrors Source.dead).
+	dead atomic.Bool
 
 	// inv is the debug-build invariant ledger (no-op handle otherwise).
 	inv uint64
@@ -152,9 +161,27 @@ func NewSink(ep *Endpoint, cfg Config) (*Sink, error) {
 		NewWriter: func(SessionInfo) BlockSink { return DiscardSink{} },
 		inv:       invariant.NewConn("sink"),
 	}
+	k.flushFn = k.flushTimerFired
 	ep.CtrlCQ.SetHandler(k.onCtrlWC)
-	ep.DataCQ.SetHandler(k.onDataWC)
+	for i := range ep.DataCQs {
+		k.shards = append(k.shards, newSinkShard(k, i, cfg.SinkBlocks+dataQueueSlack))
+	}
 	return k, nil
+}
+
+// onShardEvent is the control-plane entry point for shard events: an
+// arrived block changing owner back to the control loop, or a fatal
+// data-path error detected on a shard.
+func (k *Sink) onShardEvent(ev sinkEvent) {
+	if k.closed {
+		return
+	}
+	switch ev.kind {
+	case sinkEvArrived:
+		k.markArrived(ev.b)
+	case sinkEvFail:
+		k.fail(ev.err)
+	}
 }
 
 // Stats returns a snapshot of connection-level statistics.
@@ -170,7 +197,25 @@ func (k *Sink) Close() {
 		return
 	}
 	k.closed = true
+	k.dead.Store(true)
 	k.ep.Close()
+	if k.pool != nil {
+		// Granted-but-unwritten blocks are reclaimable now: closing the
+		// QPs revoked the remote's access, so the outstanding credits
+		// can never land. Without this, proactively granted blocks would
+		// bypass the pin-down cache at teardown.
+		for _, b := range k.pool.blocks {
+			if b.state != BlockWaiting {
+				continue
+			}
+			invariant.MRWriteEnd(k.inv, b.mr.RKey)
+			invariant.GaugeAdd(k.inv, "granted", 0, -1)
+			k.granted--
+			b.setState(BlockFree)
+			k.pool.put(b)
+		}
+		k.pool.release(k.inv)
+	}
 }
 
 // ctrlItem is a control message queued for transmission, with an
@@ -205,7 +250,8 @@ func (k *Sink) sendCtrlThen(c *wire.Control, onSent func()) {
 func (k *Sink) pumpCtrl() {
 	for len(k.ctrlQ) > 0 {
 		item := k.ctrlQ[0]
-		err := k.ep.Ctrl.PostSend(&verbs.SendWR{Op: verbs.OpSend, Data: item.buf})
+		k.ctrlWR = verbs.SendWR{Op: verbs.OpSend, Data: item.buf}
+		err := k.ep.Ctrl.PostSend(&k.ctrlWR)
 		if err == verbs.ErrSendQueueFull {
 			return
 		}
@@ -254,58 +300,6 @@ func (k *Sink) onCtrlWC(wc verbs.WC) {
 	k.handleCtrl(c)
 }
 
-// onDataWC: with explicit-notification mode the sink's data QPs see no
-// completions for plain RDMA WRITE (one-sided); in immediate mode every
-// block announces itself here.
-func (k *Sink) onDataWC(wc verbs.WC) {
-	if k.closed || wc.Status == verbs.StatusFlushed {
-		return
-	}
-	if wc.Status != verbs.StatusSuccess {
-		k.fail(fmt.Errorf("core: data QP failure: %v", wc.Status))
-		return
-	}
-	if wc.Op != verbs.OpWriteImm {
-		return
-	}
-	// Replenish the consumed notification receive on the same QP.
-	for _, qp := range k.ep.Data {
-		if qp.ID() == wc.QP {
-			if err := k.ep.repostDataNotifyRecv(qp, wc.WRID); err != nil && !k.closed {
-				k.fail(fmt.Errorf("core: reposting notify recv: %w", err))
-				return
-			}
-			break
-		}
-	}
-	k.handleImmNotify(wc)
-}
-
-// handleImmNotify processes a WRITE WITH IMMEDIATE arrival: the
-// immediate value is the rkey of the consumed region.
-func (k *Sink) handleImmNotify(wc verbs.WC) {
-	if k.pool == nil {
-		k.fail(fmt.Errorf("%w: immediate notification before negotiation", ErrProtocol))
-		return
-	}
-	b := k.pool.byRKey(wc.Imm)
-	if b == nil || b.state != BlockWaiting {
-		k.fail(fmt.Errorf("%w: immediate for unknown or non-waiting region rkey=%d", ErrProtocol, wc.Imm))
-		return
-	}
-	hdr, err := wire.DecodeBlockHeader(b.mr.ViewLocal(0, wire.BlockHeaderSize))
-	if err != nil {
-		k.fail(fmt.Errorf("%w: undecodable block header: %v", ErrProtocol, err))
-		return
-	}
-	if int(hdr.PayloadLen)+wire.BlockHeaderSize != wc.ByteLen {
-		k.fail(fmt.Errorf("%w: header length %d does not match WRITE length %d",
-			ErrProtocol, hdr.PayloadLen, wc.ByteLen))
-		return
-	}
-	k.blockArrived(b, hdr)
-}
-
 func (k *Sink) handleCtrl(c *wire.Control) {
 	switch c.Type {
 	case wire.MsgBlockSizeReq:
@@ -346,7 +340,7 @@ func (k *Sink) handleBlockSize(c *wire.Control) {
 	if k.pool == nil {
 		var err error
 		shadowAccess := verbs.AccessLocalWrite | verbs.AccessRemoteWrite
-		k.pool, err = newPool(k.ep.Dev, k.ep.PD, k.cfg.SinkBlocks, proposed, k.cfg.ModelPayload, shadowAccess)
+		k.pool, err = newPool(k.ep.Dev, k.ep.PD, k.cfg.SinkBlocks, proposed, k.cfg.ModelPayload, shadowAccess, k.ep.MRCache)
 		if err != nil {
 			k.fail(err)
 			return
@@ -457,6 +451,7 @@ func (k *Sink) sendGrant(n int, traceName string) int {
 		}
 		b.setState(BlockWaiting)
 		b.tAcq = now
+		invariant.MRWriteStart(k.inv, b.mr.RKey)
 		credits = append(credits, wire.Credit{Addr: b.mr.Addr, RKey: b.mr.RKey, Len: uint32(k.blockSize)})
 	}
 	if len(credits) == 0 {
@@ -648,21 +643,25 @@ func (k *Sink) armFlushTimer() {
 		return
 	}
 	k.flushArmed = true
-	k.ep.Loop.After(k.flushInterval(), func() {
-		k.flushArmed = false
-		if k.closed || k.failed != nil {
-			return
-		}
-		if len(k.sessions) == 0 {
-			// The transfer ended while the batch was pending: nothing
-			// left to feed, keep the pool whole.
-			k.dropPending()
-			return
-		}
-		if k.pendingGrant > 0 {
-			k.flushGrants()
-		}
-	})
+	k.ep.Loop.After(k.flushInterval(), k.flushFn)
+}
+
+// flushTimerFired is armFlushTimer's callback, prebound once at
+// construction so arming a timer does not allocate a closure.
+func (k *Sink) flushTimerFired() {
+	k.flushArmed = false
+	if k.closed || k.failed != nil {
+		return
+	}
+	if len(k.sessions) == 0 {
+		// The transfer ended while the batch was pending: nothing
+		// left to feed, keep the pool whole.
+		k.dropPending()
+		return
+	}
+	if k.pendingGrant > 0 {
+		k.flushGrants()
+	}
 }
 
 // flushInterval is the batch-age bound: the time a full batch takes to
@@ -785,7 +784,9 @@ func (k *Sink) handleMRRequest() {
 	if k.winBoost < k.cfg.SinkBlocks {
 		k.winBoost += k.cfg.OnDemandBatch
 	}
-	if k.pool == nil || k.pool.countState(BlockFree) == 0 {
+	// The free list is control-owned state; counting block states would
+	// race with the shards that own granted blocks.
+	if k.pool == nil || len(k.pool.free) == 0 {
 		k.pendingReq = true
 		return
 	}
@@ -817,34 +818,43 @@ func (k *Sink) handleBlockComplete(c *wire.Control) {
 			ErrProtocol, hdr.Session, hdr.Seq, hdr.PayloadLen, c.Session, c.Seq, c.Length))
 		return
 	}
-	k.blockArrived(b, hdr)
+	k.arrive(b, hdr)
+	k.markArrived(b)
 }
 
-// blockArrived is the shared tail of both notification paths: the named
-// region holds a complete block (waiting → data-ready); replacements
-// are granted and in-order delivery advances.
-func (k *Sink) blockArrived(b *block, hdr wire.BlockHeader) {
-	k.granted--
-	invariant.GaugeAdd(k.inv, "granted", 0, -1)
-	sess := k.sessions[hdr.Session]
-	if sess == nil || sess.finished {
-		k.fail(fmt.Errorf("%w: block for unknown session %d", ErrProtocol, hdr.Session))
-		return
-	}
-	if dup := k.noteArrival(sess, hdr.Seq); dup {
-		k.fail(fmt.Errorf("%w: duplicate block %d/%d", ErrProtocol, hdr.Session, hdr.Seq))
-		return
-	}
+// arrive performs the data-plane half of an arrival on whichever loop
+// owns the block (a reactor shard in immediate mode, the control loop
+// under explicit notification): the named region holds a complete
+// block, waiting → data-ready, with the header's identity stamped in.
+func (k *Sink) arrive(b *block, hdr wire.BlockHeader) {
 	b.setState(BlockDataReady)
 	b.session, b.seq, b.payloadLen, b.last = hdr.Session, hdr.Seq, int(hdr.PayloadLen), hdr.Last
 	b.offset = hdr.Offset
 	b.spans.SetKey(b.spanRef, b.session, b.seq)
 	k.Trace.Emit(trace.Event{Cat: trace.CatBlock, Name: "arrived",
 		Session: hdr.Session, Block: hdr.Seq, V1: int64(hdr.PayloadLen)})
+}
+
+// markArrived is the control-plane half of an arrival: crediting,
+// reassembly, window estimation, and delivery. The block is
+// control-owned again.
+func (k *Sink) markArrived(b *block) {
+	k.granted--
+	invariant.GaugeAdd(k.inv, "granted", 0, -1)
+	invariant.MRWriteEnd(k.inv, b.mr.RKey)
+	sess := k.sessions[b.session]
+	if sess == nil || sess.finished {
+		k.fail(fmt.Errorf("%w: block for unknown session %d", ErrProtocol, b.session))
+		return
+	}
+	if dup := k.noteArrival(sess, b.seq); dup {
+		k.fail(fmt.Errorf("%w: duplicate block %d/%d", ErrProtocol, b.session, b.seq))
+		return
+	}
 	if sess.offsetSink != nil {
 		sess.storeQ = append(sess.storeQ, b)
 	} else {
-		sess.ready[hdr.Seq] = b
+		sess.ready[b.seq] = b
 	}
 	now := k.ep.Loop.Now()
 	k.noteWindowSample(now, now-b.tAcq)
@@ -855,9 +865,9 @@ func (k *Sink) blockArrived(b *block, hdr wire.BlockHeader) {
 		t.bytesArrived.Add(int64(b.payloadLen))
 		t.granted.Set(int64(k.granted))
 	}
-	if hdr.Last {
+	if b.last {
 		sess.haveLast = true
-		sess.lastSeq = hdr.Seq
+		sess.lastSeq = b.seq
 	}
 	// Proactive feedback: queue replacement grants with the coalescer;
 	// if nothing is free by flush time the notification is simply not
@@ -954,9 +964,48 @@ func (k *Sink) issueStore(sess *sinkSession, b *block) {
 	if !k.cfg.ModelPayload {
 		payload = b.mr.ViewLocal(wire.BlockHeaderSize, b.payloadLen)
 	}
-	sess.writer.Store(hdr, payload, b.payloadLen, func(err error) {
-		k.ep.Loop.Post(0, func() { k.storeDone(sess, b, err) })
-	})
+	t := k.getStoreTask(sess, b)
+	sess.writer.Store(hdr, payload, b.payloadLen, t.done)
+}
+
+// storeTask carries one store completion from the storage backend onto
+// the control loop without allocating per store; it mirrors the
+// source's loadTask (bound closures, control-loop free list).
+type storeTask struct {
+	k    *Sink
+	sess *sinkSession
+	b    *block
+	err  error
+	done func(error)
+	run  func()
+}
+
+func (k *Sink) getStoreTask(sess *sinkSession, b *block) *storeTask {
+	var t *storeTask
+	if n := len(k.storeTasks); n > 0 {
+		t = k.storeTasks[n-1]
+		k.storeTasks = k.storeTasks[:n-1]
+	} else {
+		t = &storeTask{k: k}
+		t.done = t.complete
+		t.run = t.exec
+	}
+	t.sess, t.b = sess, b
+	return t
+}
+
+// complete is handed to the BlockSink as its completion callback; it
+// may run on any goroutine, so it only records the result and posts.
+func (t *storeTask) complete(err error) {
+	t.err = err
+	t.k.ep.Loop.Post(0, t.run)
+}
+
+func (t *storeTask) exec() {
+	k, sess, b, err := t.k, t.sess, t.b, t.err
+	t.sess, t.b, t.err = nil, nil, nil
+	k.storeTasks = append(k.storeTasks, t)
+	k.storeDone(sess, b, err)
 }
 
 // totalStoring sums in-flight stores across sessions (telemetry).

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"rftp/internal/invariant"
 	"rftp/internal/spans"
@@ -16,16 +17,28 @@ import (
 // queue pairs with RDMA WRITE, notifying the sink of each completed
 // block on the control queue pair.
 //
-// All methods must be called from the endpoint's loop (or before any
-// fabric activity); all callbacks are delivered on that loop.
+// All methods must be called from the endpoint's control loop (or
+// before any fabric activity); all callbacks are delivered on that
+// loop. On a sharded endpoint the WRITE posting and completion path
+// runs on the reactor shards (see shard.go); everything else stays on
+// the control loop.
 type Source struct {
 	ep  *Endpoint
 	cfg Config
 
 	pool    *pool
+	shards  []*srcShard
 	loaded  []*block // loaded, awaiting a credit+channel, in load order
 	credits []wire.Credit
 	stalled bool // MR_INFO_REQUEST outstanding
+
+	// pumping/repump collapse re-entrant pump calls (an inline shard
+	// handoff can bounce an event back mid-postWrites) into one loop.
+	pumping bool
+	repump  bool
+
+	ctrlWR    verbs.SendWR // reused control-post WR (PostSend copies)
+	loadTasks []*loadTask  // free list of load completion carriers
 
 	ctrlQ      [][]byte // encoded control messages awaiting queue space
 	negoStep   int      // 0 idle, 1 block size sent, 2 channels sent, 3 done
@@ -46,6 +59,11 @@ type Source struct {
 	stats  Stats
 	closed bool
 	failed error
+	// dead is the only Source field shards read without an ownership
+	// handoff: it is set exclusively by Close so late completions stop
+	// touching torn-down state, exactly where the unsharded reactor
+	// checked closed.
+	dead atomic.Bool
 	// OnError observes fatal connection-level failures.
 	OnError func(error)
 	// OnProgress, when set, observes cumulative payload bytes confirmed
@@ -123,13 +141,31 @@ func NewSource(ep *Endpoint, cfg Config) (*Source, error) {
 		chSaturated: make([]bool, len(ep.Data)),
 		inv:         invariant.NewConn("source"),
 	}
-	s.pool, err = newPool(ep.Dev, ep.PD, cfg.IODepth, cfg.BlockSize, cfg.ModelPayload, verbs.AccessLocalWrite)
+	s.pool, err = newPool(ep.Dev, ep.PD, cfg.IODepth, cfg.BlockSize, cfg.ModelPayload, verbs.AccessLocalWrite, ep.MRCache)
 	if err != nil {
 		return nil, err
 	}
 	ep.CtrlCQ.SetHandler(s.onCtrlWC)
-	ep.DataCQ.SetHandler(s.onDataWC)
+	for i := range ep.DataCQs {
+		s.shards = append(s.shards, newSrcShard(s, i, cfg.IODepth+dataQueueSlack))
+	}
 	return s, nil
+}
+
+// onShardEvent is the control-plane entry point for shard events: the
+// block in the event just changed owner, back to the control loop.
+func (s *Source) onShardEvent(ev srcEvent) {
+	if s.closed {
+		return
+	}
+	switch ev.kind {
+	case srcEvWriteDone:
+		s.writeDone(ev.b, ev.status)
+	case srcEvPostFull:
+		s.postReverted(ev.b, verbs.ErrSendQueueFull)
+	case srcEvPostErr:
+		s.postReverted(ev.b, ev.err)
+	}
 }
 
 // Stats returns a snapshot of connection-level statistics.
@@ -184,8 +220,10 @@ func (s *Source) Close() {
 		return
 	}
 	s.closed = true
+	s.dead.Store(true)
 	s.failSessions(ErrClosed)
 	s.ep.Close()
+	s.pool.release(s.inv)
 }
 
 func firstErr(errs ...error) error {
@@ -217,7 +255,8 @@ func (s *Source) sendCtrl(c *wire.Control) {
 // them; ErrSendQueueFull waits for a send completion.
 func (s *Source) pumpCtrl() {
 	for len(s.ctrlQ) > 0 {
-		err := s.ep.Ctrl.PostSend(&verbs.SendWR{Op: verbs.OpSend, Data: s.ctrlQ[0]})
+		s.ctrlWR = verbs.SendWR{Op: verbs.OpSend, Data: s.ctrlQ[0]}
+		err := s.ep.Ctrl.PostSend(&s.ctrlWR)
 		if err == verbs.ErrSendQueueFull {
 			return
 		}
@@ -380,6 +419,25 @@ func (s *Source) pump() {
 	if s.failed != nil || s.closed {
 		return
 	}
+	// A shard event arriving inline (shard 0 shares this loop) can call
+	// pump from inside postWrites; fold such calls into one outer loop
+	// instead of recursing through a half-advanced state machine.
+	if s.pumping {
+		s.repump = true
+		return
+	}
+	s.pumping = true
+	for {
+		s.repump = false
+		s.pumpOnce()
+		if !s.repump || s.failed != nil || s.closed {
+			break
+		}
+	}
+	s.pumping = false
+}
+
+func (s *Source) pumpOnce() {
 	s.issueLoads()
 	s.postWrites()
 	// Credit starvation fallback: data is ready but no credits and no
@@ -443,18 +501,60 @@ func (s *Source) issueLoad(sess *srcSession, b *block) {
 		payload = b.mr.Buf[wire.BlockHeaderSize:]
 	}
 	capacity := s.cfg.PayloadCapacity()
-	done := func(n int, eof bool, err error) {
-		s.ep.Loop.Post(0, func() { s.loadDone(sess, b, n, eof, err) })
-	}
+	t := s.getLoadTask(sess, b)
 	if sess.srcAt != nil {
 		// Assume a full block; an EOF completion trims. Once any load
 		// reports EOF no further loads are issued, so the stride error
 		// never propagates into a sent block.
 		sess.nextOffset += uint64(capacity)
-		sess.srcAt.LoadAt(payload, capacity, b.offset, done)
+		sess.srcAt.LoadAt(payload, capacity, b.offset, t.done)
 	} else {
-		sess.src.Load(payload, capacity, done)
+		sess.src.Load(payload, capacity, t.done)
 	}
+}
+
+// loadTask carries one load completion from the storage backend onto
+// the control loop without allocating per load: the done and run
+// closures are bound once at construction and the task recycles
+// through the Source's free list (control-loop only, so a plain slice
+// suffices).
+type loadTask struct {
+	s    *Source
+	sess *srcSession
+	b    *block
+	n    int
+	eof  bool
+	err  error
+	done func(int, bool, error)
+	run  func()
+}
+
+func (s *Source) getLoadTask(sess *srcSession, b *block) *loadTask {
+	var t *loadTask
+	if n := len(s.loadTasks); n > 0 {
+		t = s.loadTasks[n-1]
+		s.loadTasks = s.loadTasks[:n-1]
+	} else {
+		t = &loadTask{s: s}
+		t.done = t.complete
+		t.run = t.exec
+	}
+	t.sess, t.b = sess, b
+	return t
+}
+
+// complete is handed to the BlockSource as its completion callback; it
+// may run on any goroutine, so it only records the result and posts.
+func (t *loadTask) complete(n int, eof bool, err error) {
+	t.n, t.eof, t.err = n, eof, err
+	t.s.ep.Loop.Post(0, t.run)
+}
+
+func (t *loadTask) exec() {
+	s, sess, b, n, eof, err := t.s, t.sess, t.b, t.n, t.eof, t.err
+	t.sess, t.b, t.err = nil, nil, nil
+	s.loadTasks = append(s.loadTasks, t)
+	s.loadDone(sess, b, n, eof, err)
 }
 
 func (s *Source) loadDone(sess *srcSession, b *block, n int, eof bool, err error) {
@@ -522,9 +622,13 @@ func (s *Source) totalLoads() int64 {
 	return n
 }
 
-// postWrites pairs loaded blocks with credits and channels.
+// postWrites pairs loaded blocks with credits and channels, then hands
+// each block to its channel's reactor shard for the actual PostSend.
+// The accounting (credit consumed, inflight counters) is committed
+// here, before the handoff; a shard that cannot post sends the block
+// back and postReverted undoes it.
 func (s *Source) postWrites() {
-	for len(s.loaded) > 0 && len(s.credits) > 0 {
+	for len(s.loaded) > 0 && len(s.credits) > 0 && s.failed == nil {
 		b := s.loaded[0]
 		cr := s.credits[0]
 		if int(cr.Len) < wire.BlockHeaderSize+b.payloadLen {
@@ -542,58 +646,8 @@ func (s *Source) postWrites() {
 		invariant.CreditConsume(s.inv, 1)
 		sess := s.sessions[b.session]
 		b.credit = cr
-		b.setState(BlockSending)
-		hdr := wire.BlockHeader{
-			Session: b.session, Seq: b.seq, Offset: b.offset,
-			PayloadLen: uint32(b.payloadLen), Last: b.last,
-		}
-		wr := &verbs.SendWR{
-			WRID:   uint64(b.idx),
-			Op:     verbs.OpWrite,
-			Remote: wire2remote(cr),
-		}
-		if s.cfg.NotifyViaImm {
-			// The immediate value names the consumed region; the sink
-			// reads everything else from the block header it owns.
-			wr.Op = verbs.OpWriteImm
-			wr.Imm = cr.RKey
-		}
-		if s.cfg.ModelPayload {
-			wire.EncodeBlockHeader(b.hdrBuf[:], hdr)
-			wr.Data = b.hdrBuf[:]
-			wr.ModelBytes = b.payloadLen
-		} else {
-			wire.EncodeBlockHeader(b.mr.Buf, hdr)
-			wr.Data = b.mr.Buf[:wire.BlockHeaderSize+b.payloadLen]
-		}
-		if err := s.ep.Data[ch].PostSend(wr); err != nil {
-			b.setState(BlockLoaded)
-			s.loaded = append([]*block{b}, s.loaded...)
-			s.credits = append([]wire.Credit{cr}, s.credits...)
-			// The credit went back to the stash unused: re-grant so the
-			// ledger keeps matching len(s.credits).
-			invariant.CreditGrant(s.inv, 1)
-			if err == verbs.ErrSendQueueFull {
-				// The QP's send queue is full even though our inflight
-				// count had room (completions can lag the queue): mark
-				// the channel saturated without corrupting the count.
-				// The flag clears on the channel's next completion,
-				// which is exactly when a send slot frees.
-				s.chSaturated[ch] = true
-				continue
-			}
-			s.chDead[ch] = true
-			if s.liveChannels() == 0 {
-				s.fail(fmt.Errorf("core: all data channels failed: %w", err))
-				return
-			}
-			continue
-		}
-		b.setState(BlockWaiting)
 		b.chIdx = ch
-		b.spans.SetChannel(b.spanRef, ch)
-		s.Trace.Emit(trace.Event{Cat: trace.CatBlock, Name: "posted",
-			Session: b.session, Block: b.seq, Channel: int32(ch), V1: int64(b.payloadLen)})
+		b.setState(BlockSending)
 		s.chInflight[ch]++
 		invariant.GaugeAdd(s.inv, "ch.inflight", ch, 1)
 		if sess != nil {
@@ -601,16 +655,43 @@ func (s *Source) postWrites() {
 			sess.queued--
 		}
 		if t := s.tel; t != nil {
-			b.tPost = s.ep.Loop.Now()
-			t.creditWait.Observe(int64(b.tPost - b.tReady))
-			t.blocksPosted.Inc()
-			t.bytesPosted.Add(int64(b.payloadLen))
-			t.chBlocks[ch].Inc()
-			t.chBytes[ch].Add(int64(b.payloadLen))
 			t.creditStash.Set(int64(len(s.credits)))
 			t.inflight.Set(s.totalInflight())
 		}
+		// Ownership handoff: the shard encodes, posts, and completes the
+		// Sending→Waiting transition (or bounces the block back).
+		s.shards[s.ep.shardIndex(ch)].inbox.send(b)
 	}
+}
+
+// postReverted undoes postWrites' accounting for a block the shard
+// could not post. ErrSendQueueFull marks the channel saturated (the
+// flag clears on the channel's next completion, exactly when a send
+// slot frees); any other error kills the channel.
+func (s *Source) postReverted(b *block, err error) {
+	ch := b.chIdx
+	s.chInflight[ch]--
+	invariant.GaugeAdd(s.inv, "ch.inflight", ch, -1)
+	if sess := s.sessions[b.session]; sess != nil {
+		sess.inflight--
+		sess.queued++
+	}
+	s.loaded = append([]*block{b}, s.loaded...)
+	s.credits = append([]wire.Credit{b.credit}, s.credits...)
+	// The credit went back to the stash unused: re-grant so the ledger
+	// keeps matching len(s.credits).
+	invariant.CreditGrant(s.inv, 1)
+	if err == verbs.ErrSendQueueFull {
+		s.chSaturated[ch] = true
+		s.pump()
+		return
+	}
+	s.chDead[ch] = true
+	if s.liveChannels() == 0 {
+		s.fail(fmt.Errorf("core: all data channels failed: %w", err))
+		return
+	}
+	s.pump()
 }
 
 func wire2remote(c wire.Credit) verbs.RemoteAddr {
@@ -650,20 +731,14 @@ func (s *Source) liveChannels() int {
 	return n
 }
 
-// onDataWC handles WRITE completions.
-func (s *Source) onDataWC(wc verbs.WC) {
-	if s.closed {
-		return
-	}
-	b := s.pool.byIdx(int(wc.WRID))
-	if b == nil || b.state != BlockWaiting {
-		return // stale completion after failure handling
-	}
+// writeDone handles a WRITE completion forwarded by the block's shard
+// (the block is control-owned again).
+func (s *Source) writeDone(b *block, status verbs.Status) {
 	s.chInflight[b.chIdx]--
 	invariant.GaugeAdd(s.inv, "ch.inflight", b.chIdx, -1)
 	s.chSaturated[b.chIdx] = false // a send slot freed with this WC
 	sess := s.sessions[b.session]
-	switch wc.Status {
+	switch status {
 	case verbs.StatusSuccess:
 		// Notify the sink which region completed (block transfer
 		// completion notification) — unless the WRITE itself carried
@@ -707,7 +782,7 @@ func (s *Source) onDataWC(wc verbs.WC) {
 		// considered burned). The QP that failed is dead.
 		s.Trace.Emit(trace.Event{Cat: trace.CatError, Name: "write_failed",
 			Session: b.session, Block: b.seq, Channel: int32(b.chIdx),
-			V1: int64(b.retries + 1), Text: wc.Status.String()})
+			V1: int64(b.retries + 1), Text: status.String()})
 		s.chDead[b.chIdx] = true
 		s.stats.Retries++
 		if s.tel != nil {
@@ -715,11 +790,11 @@ func (s *Source) onDataWC(wc verbs.WC) {
 		}
 		b.retries++
 		if b.retries > s.cfg.MaxRetries {
-			s.fail(fmt.Errorf("%w: block %d/%d after %v", ErrTooManyRetries, b.session, b.seq, wc.Status))
+			s.fail(fmt.Errorf("%w: block %d/%d after %v", ErrTooManyRetries, b.session, b.seq, status))
 			return
 		}
 		if s.liveChannels() == 0 {
-			s.fail(fmt.Errorf("core: all data channels failed: %v", wc.Status))
+			s.fail(fmt.Errorf("core: all data channels failed: %v", status))
 			return
 		}
 		if sess != nil {

@@ -58,7 +58,10 @@ func (s *Source) noteStall() {
 		c = spans.CauseSendQueueSaturated
 	case loads > 0 && s.loadsAtDepth():
 		c = spans.CauseLoadPending
-	case s.pool.countState(BlockWaiting) > 0:
+	case s.totalInflight() > 0:
+		// chInflight counts blocks handed to the shards (sending or
+		// waiting on the wire) and is control-owned; inspecting block
+		// states here would race with the shards that own them.
 		c = spans.CauseWireBound
 	case loads > 0:
 		c = spans.CauseLoadPending

@@ -34,19 +34,56 @@ type QP struct {
 	outstandingReads int
 
 	// Receive side.
-	recvQ   []*verbs.RecvWR
-	pending []*message // arrivals waiting for a posted receive (FIFO)
+	recvQ    []*verbs.RecvWR
+	recvFree []*verbs.RecvWR // recycled receive WR snapshots
+	pending  []*message      // arrivals waiting for a posted receive (FIFO)
+}
+
+// takeRecv returns a recycled receive-WR snapshot (or a fresh one).
+func (q *QP) takeRecv() *verbs.RecvWR {
+	if n := len(q.recvFree); n > 0 {
+		r := q.recvFree[n-1]
+		q.recvFree[n-1] = nil
+		q.recvFree = q.recvFree[:n-1]
+		return r
+	}
+	return &verbs.RecvWR{}
+}
+
+// putRecv recycles a consumed receive-WR snapshot.
+func (q *QP) putRecv(r *verbs.RecvWR) {
+	*r = verbs.RecvWR{}
+	q.recvFree = append(q.recvFree, r)
 }
 
 // message is an in-flight work request (a snapshot of the posted WR).
+// Messages are recycled through the fabric freelist; to, compStatus and
+// rnrArmed exist so the hot-path scheduler posts need no closures.
 type message struct {
 	wr        verbs.SendWR
 	from      *QP
+	to        *QP // peer NIC the message is in flight toward
 	rnrLeft   int
 	delivered bool
+	rnrArmed  bool // an RNR timer was scheduled; message is never recycled
+	// compStatus carries the sender-side completion status across the
+	// ACK propagation delay.
+	compStatus verbs.Status
 	// postedAt is the virtual time PostSend accepted the WR, feeding the
 	// wire-entry/exit histograms (queue delay and ack round trip).
 	postedAt time.Duration
+}
+
+// runArrive and runFinishSend are the closure-free scheduler callbacks
+// for the two per-message hops (wire arrival, ACK return).
+func runArrive(a any) {
+	m := a.(*message)
+	m.to.arrive(m)
+}
+
+func runFinishSend(a any) {
+	m := a.(*message)
+	m.from.finishSend(m)
 }
 
 // CreateQP implements verbs.Device.
@@ -131,7 +168,11 @@ func (q *QP) PostSend(wr *verbs.SendWR) error {
 	}
 	q.sqOutstanding++
 	q.chargeCaller(q.dev.chargePost())
-	m := &message{wr: *wr, from: q, rnrLeft: q.cfg.RNRRetry, postedAt: q.fabric.sched.Now()}
+	m := q.fabric.takeMessage()
+	m.wr = *wr
+	m.from = q
+	m.rnrLeft = q.cfg.RNRRetry
+	m.postedAt = q.fabric.sched.Now()
 	q.sq = append(q.sq, m)
 	q.kickSQ()
 	return nil
@@ -151,8 +192,9 @@ func (q *QP) PostRecv(wr *verbs.RecvWR) error {
 	if len(q.recvQ) >= q.cfg.MaxRecv {
 		return verbs.ErrRecvQueueFull
 	}
-	cp := *wr
-	q.recvQ = append(q.recvQ, &cp)
+	cp := q.takeRecv()
+	*cp = *wr
+	q.recvQ = append(q.recvQ, cp)
 	q.chargeCaller(q.dev.chargePost())
 	// An already-arrived message may be waiting for this buffer.
 	q.drainPending()
@@ -201,22 +243,32 @@ func (q *QP) transmit(m *message) {
 		lastBit = d.bbPort.transmitAt(lastBit, wire)
 	}
 	arriveAt := lastBit + d.profile.TxPerWR + d.link.PropDelay + d.peer.profile.RxPerWR
-	q.fabric.sched.At(arriveAt, func() { q.peer.arrive(m) })
+	m.to = q.peer
+	q.fabric.sched.PostArg(arriveAt, runArrive, m)
 }
 
 // completeSend delivers the sender-side completion after the ACK returns
 // (half an RTT after the responder handled the message). Only for
 // OpSend/OpWrite/OpWriteImm; READs complete via readCompleted.
 func (q *QP) completeSend(m *message, status verbs.Status) {
-	q.fabric.sched.After(q.dev.link.PropDelay, func() {
-		q.sqOutstanding--
-		q.dev.Telemetry.Completed(m.wr.Op)
-		q.dev.Telemetry.WireRTT(q.fabric.sched.Now() - m.postedAt)
-		if status != verbs.StatusSuccess {
-			q.enterError()
-		} else if m.wr.NoCompletion {
-			return
-		}
+	m.compStatus = status
+	q.fabric.sched.PostArgAfter(q.dev.link.PropDelay, runFinishSend, m)
+}
+
+// finishSend runs at ACK arrival: it reaps the send, dispatches the
+// completion, and recycles the message.
+func (q *QP) finishSend(m *message) {
+	status := m.compStatus
+	q.sqOutstanding--
+	q.dev.Telemetry.Completed(m.wr.Op)
+	q.dev.Telemetry.WireRTT(q.fabric.sched.Now() - m.postedAt)
+	dispatch := true
+	if status != verbs.StatusSuccess {
+		q.enterError()
+	} else if m.wr.NoCompletion {
+		dispatch = false
+	}
+	if dispatch {
 		q.sendCQ.Dispatch(q.dev.chargeCompletion(q.sendCQ.Loop()), verbs.WC{
 			WRID:    m.wr.WRID,
 			Status:  status,
@@ -224,7 +276,8 @@ func (q *QP) completeSend(m *message, status verbs.Status) {
 			ByteLen: m.wr.Length(),
 			QP:      q.id,
 		})
-	})
+	}
+	q.fabric.putMessage(m)
 }
 
 // arrive is the peer NIC's handling of an inbound message. Runs in NIC
@@ -298,6 +351,7 @@ func (q *QP) scheduleRNRRetry(m *message) {
 		return
 	}
 	m.rnrLeft--
+	m.rnrArmed = true
 	q.fabric.sched.After(q.dev.profile.RNRTimer, func() {
 		if m.delivered || q.state != stateReady {
 			return
@@ -349,6 +403,7 @@ func (q *QP) deliverSend(m *message) {
 		Data:    rwr.MR.ViewLocal(rwr.Offset, len(m.wr.Data)),
 		QP:      q.id,
 	})
+	q.putRecv(rwr)
 	m.from.completeSend(m, verbs.StatusSuccess)
 }
 
@@ -366,6 +421,7 @@ func (q *QP) deliverImmNotify(m *message) {
 		Imm:     m.wr.Imm,
 		QP:      q.id,
 	})
+	q.putRecv(rwr)
 	m.from.completeSend(m, verbs.StatusSuccess)
 }
 
@@ -430,6 +486,7 @@ func (q *QP) readCompleted(m *message, data []byte, status verbs.Status) {
 			QP:      q.id,
 		})
 	}
+	q.fabric.putMessage(m)
 	q.kickSQ()
 }
 
@@ -450,11 +507,13 @@ func (q *QP) flushQueued() {
 	for _, m := range sq {
 		q.sqOutstanding--
 		q.sendCQ.Dispatch(0, verbs.WC{WRID: m.wr.WRID, Status: verbs.StatusFlushed, Op: m.wr.Op, QP: q.id})
+		q.fabric.putMessage(m)
 	}
 	rq := q.recvQ
 	q.recvQ = nil
 	for _, r := range rq {
 		q.recvCQ.Dispatch(0, verbs.WC{WRID: r.WRID, Status: verbs.StatusFlushed, Op: verbs.OpRecv, QP: q.id})
+		q.putRecv(r)
 	}
 }
 

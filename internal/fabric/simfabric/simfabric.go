@@ -98,9 +98,32 @@ func (bb *Backbone) Bytes() (fwd, rev uint64) { return bb.fwd.txBytes, bb.rev.tx
 
 // Fabric owns all simulated devices and the QP namespace.
 type Fabric struct {
-	sched  *sim.Scheduler
-	nextQP verbs.QPID
-	qps    map[verbs.QPID]*QP
+	sched   *sim.Scheduler
+	nextQP  verbs.QPID
+	qps     map[verbs.QPID]*QP
+	msgFree []*message // recycled in-flight messages (single sim goroutine)
+}
+
+// takeMessage returns a zeroed message from the fabric freelist.
+func (f *Fabric) takeMessage() *message {
+	if n := len(f.msgFree); n > 0 {
+		m := f.msgFree[n-1]
+		f.msgFree[n-1] = nil
+		f.msgFree = f.msgFree[:n-1]
+		return m
+	}
+	return &message{}
+}
+
+// putMessage recycles a message whose lifecycle has fully completed.
+// Messages that ever armed an RNR retry timer are left to the GC: the
+// timer closure may still hold a reference after delivery.
+func (f *Fabric) putMessage(m *message) {
+	if m.rnrArmed {
+		return
+	}
+	*m = message{}
+	f.msgFree = append(f.msgFree, m)
 }
 
 // New creates an empty fabric on the scheduler.

@@ -151,6 +151,25 @@ type Thread struct {
 	maxQueue  int
 	completed uint64
 	intAccum  int // completions since last charged interrupt
+	taskFree  []*threadTask
+}
+
+// threadTask carries one posted work item through the scheduler without
+// materializing a closure. Tasks are recycled on the owning thread's
+// freelist (the simulation is single-goroutine, so no locking).
+type threadTask struct {
+	t  *Thread
+	fn func()
+}
+
+func runThreadTask(arg any) {
+	tt := arg.(*threadTask)
+	t, fn := tt.t, tt.fn
+	tt.fn = nil
+	t.taskFree = append(t.taskFree, tt)
+	t.queued--
+	t.completed++
+	fn()
 }
 
 // Label returns the thread's debug label.
@@ -193,11 +212,16 @@ func (t *Thread) Post(cost time.Duration, fn func()) {
 	if t.queued > t.maxQueue {
 		t.maxQueue = t.queued
 	}
-	t.host.sched.At(finish, func() {
-		t.queued--
-		t.completed++
-		fn()
-	})
+	var tt *threadTask
+	if n := len(t.taskFree); n > 0 {
+		tt = t.taskFree[n-1]
+		t.taskFree[n-1] = nil
+		t.taskFree = t.taskFree[:n-1]
+	} else {
+		tt = &threadTask{t: t}
+	}
+	tt.fn = fn
+	t.host.sched.PostArg(finish, runThreadTask, tt)
 }
 
 // Charge adds cost to the thread's CPU accounting as if consumed by the

@@ -16,5 +16,8 @@ func CreditOutstanding(conn uint64, outstanding int64)    {}
 func GaugeAdd(conn uint64, name string, idx int, d int64) {}
 func SeqNext(conn uint64, stream, seq uint32)             {}
 func StreamReset(conn uint64, stream uint32)              {}
+func MRWriteStart(conn uint64, rkey uint32)               {}
+func MRWriteEnd(conn uint64, rkey uint32)                 {}
+func MRReleasable(conn uint64, rkey uint32)               {}
 func PoisonFill(buf []byte)                               {}
 func PoisonCheck(buf []byte)                              {}

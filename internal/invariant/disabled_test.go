@@ -22,6 +22,9 @@ func TestDisabledStubsAreInert(t *testing.T) {
 	SeqNext(id, 1, 7)
 	SeqNext(id, 1, 3)
 	StreamReset(id, 1)
+	MRWriteStart(id, 7)
+	MRReleasable(id, 7) // would panic when enabled: WRITE still in flight
+	MRWriteEnd(id, 7)
 	buf := []byte{1, 2, 3}
 	PoisonFill(buf) // must NOT poison in production builds
 	if buf[0] != 1 || buf[1] != 2 || buf[2] != 3 {

@@ -16,7 +16,8 @@ type conn struct {
 	name              string
 	granted, consumed int64
 	gauges            map[gaugeKey]int64
-	seqs              map[uint32]uint32 // stream -> next expected seq
+	seqs              map[uint32]uint32   // stream -> next expected seq
+	mrInflight        map[uint32]struct{} // rkeys with a WRITE in flight
 }
 
 type gaugeKey struct {
@@ -36,9 +37,10 @@ func NewConn(name string) uint64 {
 	defer registry.Unlock()
 	registry.next++
 	registry.conns[registry.next] = &conn{
-		name:   name,
-		gauges: make(map[gaugeKey]int64),
-		seqs:   make(map[uint32]uint32),
+		name:       name,
+		gauges:     make(map[gaugeKey]int64),
+		seqs:       make(map[uint32]uint32),
+		mrInflight: make(map[uint32]struct{}),
 	}
 	return registry.next
 }
@@ -147,6 +149,42 @@ func StreamReset(conn uint64, stream uint32) {
 	defer registry.Unlock()
 	if c := registry.conns[conn]; c != nil {
 		delete(c.seqs, stream)
+	}
+}
+
+// MRWriteStart records that a remote WRITE may be in flight against
+// the region named by rkey (the sink granted it as a credit).
+func MRWriteStart(conn uint64, rkey uint32) {
+	registry.Lock()
+	defer registry.Unlock()
+	if c := registry.conns[conn]; c != nil {
+		c.mrInflight[rkey] = struct{}{}
+	}
+}
+
+// MRWriteEnd records that the WRITE against rkey completed (the block
+// arrived) or the credit was retired.
+func MRWriteEnd(conn uint64, rkey uint32) {
+	registry.Lock()
+	defer registry.Unlock()
+	if c := registry.conns[conn]; c != nil {
+		delete(c.mrInflight, rkey)
+	}
+}
+
+// MRReleasable asserts the region named by rkey has no WRITE in
+// flight, so it is safe to hand back to the registration cache — a
+// cached region must never be reissued while remote data could still
+// land in it.
+func MRReleasable(conn uint64, rkey uint32) {
+	registry.Lock()
+	defer registry.Unlock()
+	c := registry.conns[conn]
+	if c == nil {
+		return
+	}
+	if _, ok := c.mrInflight[rkey]; ok {
+		panic(fmt.Sprintf("invariant: %s releasing MR rkey=%d to the cache with a WRITE still in flight", c.name, rkey))
 	}
 }
 

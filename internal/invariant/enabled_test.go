@@ -50,6 +50,24 @@ func TestCreditLedgerMismatchPanics(t *testing.T) {
 	})
 }
 
+// TestMRInflightLedger covers the pin-down-cache safety invariant: a
+// region with a recorded in-flight WRITE must never be declared
+// releasable, while retired regions pass.
+func TestMRInflightLedger(t *testing.T) {
+	id := NewConn("sink")
+	defer Release(id)
+	MRWriteStart(id, 7)
+	MRReleasable(id, 9) // different region: fine
+	mustPanic(t, "releasing MR rkey=7 to the cache with a WRITE still in flight", func() {
+		MRReleasable(id, 7)
+	})
+	MRWriteEnd(id, 7)
+	MRReleasable(id, 7) // retired: fine
+	// Unknown connections are ignored, like every other probe.
+	MRWriteStart(99999, 1)
+	MRReleasable(99999, 1)
+}
+
 func TestGaugeNeverNegative(t *testing.T) {
 	id := NewConn("sink")
 	defer Release(id)

@@ -141,12 +141,16 @@ func Run(env *Env, p Params) (Result, error) {
 	postedAt := make([]time.Duration, p.Depth)
 	var latencies []float64
 
+	// One reusable WR snapshot per slot: PostSend copies the WR, so
+	// reposting through the same struct keeps the hot loop allocation-free.
+	wrs := make([]verbs.SendWR, p.Depth)
 	var post func(slot int)
 	post = func(slot int) {
 		if stopped {
 			return
 		}
-		wr := &verbs.SendWR{WRID: uint64(slot), Op: p.Op}
+		wr := &wrs[slot]
+		*wr = verbs.SendWR{WRID: uint64(slot), Op: p.Op}
 		postedAt[slot] = env.Sched.Now()
 		off := slot * p.BlockSize
 		switch p.Op {
@@ -171,12 +175,14 @@ func Run(env *Env, p Params) (Result, error) {
 	// SEND needs pre-posted receives, replenished on completion (the
 	// engine never lets the queue run dry, avoiding RNR).
 	if p.Op == verbs.OpSend {
+		repostWR := &verbs.RecvWR{MR: dstMR, Offset: 0, Len: p.BlockSize}
 		dstCQ.SetHandler(func(wc verbs.WC) {
 			if wc.Status != verbs.StatusSuccess {
 				return
 			}
 			if !stopped {
-				dstQP.PostRecv(&verbs.RecvWR{WRID: wc.WRID, MR: dstMR, Offset: 0, Len: p.BlockSize})
+				repostWR.WRID = wc.WRID
+				dstQP.PostRecv(repostWR)
 			}
 		})
 		for i := 0; i < 2*p.Depth+4; i++ {

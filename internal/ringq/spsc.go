@@ -1,0 +1,93 @@
+package ringq
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// SPSC is a single-producer single-consumer queue: one goroutine (or
+// loop) may Push, one may Pop, concurrently and without locking on the
+// fast path. The fixed-capacity power-of-two ring carries the steady
+// state; when a burst overfills it, elements spill into a
+// mutex-protected overflow list rather than being dropped or blocking
+// the producer, and FIFO order is preserved across the spill (the
+// producer keeps appending to the overflow until the consumer has
+// drained it, so no element ever overtakes an earlier one).
+//
+// The atomic head/tail stores establish the happens-before edge that
+// publishes each element to the consumer, so SPSC is safe under the
+// race detector with real goroutines as well as under virtual-time
+// loops sharing one goroutine.
+type SPSC[T any] struct {
+	buf  []T
+	mask uint64
+	head atomic.Uint64 // next slot to Pop (consumer-owned)
+	tail atomic.Uint64 // next slot to Push (producer-owned)
+
+	mu       sync.Mutex
+	overflow []T
+	spilled  atomic.Bool
+}
+
+// NewSPSC creates a queue whose lock-free ring holds at least capacity
+// elements (rounded up to a power of two, minimum 8).
+func NewSPSC[T any](capacity int) *SPSC[T] {
+	n := 8
+	for n < capacity {
+		n <<= 1
+	}
+	return &SPSC[T]{buf: make([]T, n), mask: uint64(n - 1)}
+}
+
+// Push appends v. Producer side only. Never blocks and never drops.
+func (q *SPSC[T]) Push(v T) {
+	if !q.spilled.Load() {
+		t := q.tail.Load()
+		if t-q.head.Load() < uint64(len(q.buf)) {
+			q.buf[t&q.mask] = v
+			q.tail.Store(t + 1)
+			return
+		}
+	}
+	q.mu.Lock()
+	q.spilled.Store(true)
+	q.overflow = append(q.overflow, v)
+	q.mu.Unlock()
+}
+
+// Pop removes and returns the oldest element. Consumer side only.
+func (q *SPSC[T]) Pop() (T, bool) {
+	var zero T
+	h := q.head.Load()
+	if h != q.tail.Load() {
+		v := q.buf[h&q.mask]
+		q.buf[h&q.mask] = zero
+		q.head.Store(h + 1)
+		return v, true
+	}
+	if !q.spilled.Load() {
+		return zero, false
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.overflow) == 0 {
+		q.spilled.Store(false)
+		return zero, false
+	}
+	v := q.overflow[0]
+	q.overflow[0] = zero
+	q.overflow = q.overflow[1:]
+	if len(q.overflow) == 0 {
+		q.overflow = nil
+		q.spilled.Store(false)
+	}
+	return v, true
+}
+
+// Empty reports whether the queue looks empty from the consumer side.
+func (q *SPSC[T]) Empty() bool {
+	if q.head.Load() != q.tail.Load() {
+		return false
+	}
+	return !q.spilled.Load()
+}

@@ -23,8 +23,11 @@ type Event struct {
 	when   time.Duration
 	seq    uint64
 	fn     func()
+	argFn  func(any) // closure-free alternative to fn; receives arg
+	arg    any
 	index  int // heap index; -1 when not queued
 	dead   bool
+	pooled bool   // recycled onto the scheduler freelist after firing
 	labels string // optional debug label
 }
 
@@ -78,6 +81,7 @@ type Scheduler struct {
 	running bool
 	stopped bool
 	fired   uint64
+	free    []*Event // recycled pooled events (Post/PostArg)
 }
 
 // New returns a Scheduler whose random source is seeded with seed.
@@ -118,6 +122,87 @@ func (s *Scheduler) After(d time.Duration, fn func()) *Event {
 	return s.At(s.now+d, fn)
 }
 
+// take returns a recycled pooled event (or a fresh one) with the timing
+// fields set. Pooled events hand out no handle, so they can never be
+// canceled and are safe to recycle the moment they fire.
+func (s *Scheduler) take(t time.Duration) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
+	}
+	s.seq++
+	var e *Event
+	if n := len(s.free); n > 0 {
+		e = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+	} else {
+		e = &Event{}
+	}
+	e.when = t
+	e.seq = s.seq
+	e.index = -1
+	e.pooled = true
+	return e
+}
+
+// put resets a fired pooled event and returns it to the freelist.
+func (s *Scheduler) put(e *Event) {
+	e.fn = nil
+	e.argFn = nil
+	e.arg = nil
+	e.dead = false
+	e.pooled = false
+	e.labels = ""
+	s.free = append(s.free, e)
+}
+
+// Post schedules fn at absolute virtual time t on a pooled event. Unlike
+// At it returns no handle (the event cannot be canceled); hot paths use
+// it to avoid a per-event allocation.
+func (s *Scheduler) Post(t time.Duration, fn func()) {
+	e := s.take(t)
+	e.fn = fn
+	heap.Push(&s.queue, e)
+}
+
+// PostArg schedules fn(arg) at absolute virtual time t on a pooled
+// event. Passing a package-level func and a pointer-typed arg makes the
+// post allocation-free: no closure is materialized and the pooled event
+// is recycled after firing.
+func (s *Scheduler) PostArg(t time.Duration, fn func(any), arg any) {
+	e := s.take(t)
+	e.argFn = fn
+	e.arg = arg
+	heap.Push(&s.queue, e)
+}
+
+// PostArgAfter schedules fn(arg) d from now (negative d runs now) on a
+// pooled event.
+func (s *Scheduler) PostArgAfter(d time.Duration, fn func(any), arg any) {
+	if d < 0 {
+		d = 0
+	}
+	s.PostArg(s.now+d, fn, arg)
+}
+
+// call invokes a popped event's callback, recycling pooled events first
+// so the callback itself can immediately reuse them.
+func (s *Scheduler) call(e *Event) {
+	if e.argFn != nil {
+		fn, arg := e.argFn, e.arg
+		if e.pooled {
+			s.put(e)
+		}
+		fn(arg)
+		return
+	}
+	fn := e.fn
+	if e.pooled {
+		s.put(e)
+	}
+	fn()
+}
+
 // Stop halts a Run in progress after the current event completes.
 func (s *Scheduler) Stop() { s.stopped = true }
 
@@ -135,6 +220,9 @@ func (s *Scheduler) Run(horizon time.Duration) time.Duration {
 		e := s.queue[0]
 		if e.dead {
 			heap.Pop(&s.queue)
+			if e.pooled {
+				s.put(e)
+			}
 			continue
 		}
 		if e.when > horizon {
@@ -144,7 +232,7 @@ func (s *Scheduler) Run(horizon time.Duration) time.Duration {
 		heap.Pop(&s.queue)
 		s.now = e.when
 		s.fired++
-		e.fn()
+		s.call(e)
 	}
 	if s.now < horizon && len(s.queue) == 0 {
 		// Nothing left to do; advance to horizon so rate computations
@@ -165,11 +253,14 @@ func (s *Scheduler) RunAll() time.Duration {
 	for len(s.queue) > 0 && !s.stopped {
 		e := heap.Pop(&s.queue).(*Event)
 		if e.dead {
+			if e.pooled {
+				s.put(e)
+			}
 			continue
 		}
 		s.now = e.when
 		s.fired++
-		e.fn()
+		s.call(e)
 	}
 	return s.now
 }

@@ -25,6 +25,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -270,11 +271,21 @@ type Config struct {
 
 // Recorder stamps block lifecycles into a fixed-slot span table and
 // aggregates completed spans. A nil *Recorder is valid and free.
+//
+// Per-slot stamping (Transition between non-Free states, SetKey,
+// SetChannel) is lock-free: a block's ref is owned by exactly one loop
+// at a time (ownership moves with the block through the sharded
+// reactors' mailboxes, which establish the happens-before edge), and
+// the per-slot seqlock covers concurrent readers. Slot allocation and
+// release touch recorder-wide structures (free list, sampling tick,
+// completed ring, aggregate maps) and take mu, so transitions may be
+// stamped from any reactor shard, not just one owning loop.
 type Recorder struct {
 	kind   Kind
 	clock  func() time.Duration
 	sample uint32
 	tick   uint32
+	mu     sync.Mutex // guards free/tick/ring/aggregates (begin+finalize)
 	slots  []slot
 	free   []int32
 
@@ -377,7 +388,9 @@ func (r *Recorder) Transition(ref Ref, from, to uint8) Ref {
 	s.state = to
 	s.enter = now
 	if to == StateFree {
+		r.mu.Lock()
 		r.finalize(ref, s, now)
+		r.mu.Unlock()
 		s.ver.Add(1)
 		return RefNone
 	}
@@ -387,16 +400,20 @@ func (r *Recorder) Transition(ref Ref, from, to uint8) Ref {
 
 // begin applies the 1-in-N sampling decision and claims a slot.
 func (r *Recorder) begin(to uint8) Ref {
+	r.mu.Lock()
 	r.tick++
 	if r.tick%r.sample != 0 {
+		r.mu.Unlock()
 		return RefNone
 	}
 	if len(r.free) == 0 {
+		r.mu.Unlock()
 		r.dropped.Add(1)
 		return RefNone
 	}
 	i := r.free[len(r.free)-1]
 	r.free = r.free[:len(r.free)-1]
+	r.mu.Unlock()
 	now := int64(r.clock())
 	s := &r.slots[i]
 	s.ver.Add(1)
@@ -411,7 +428,7 @@ func (r *Recorder) begin(to uint8) Ref {
 }
 
 // finalize folds a completed span into the aggregates and releases the
-// slot. Called with the slot's seqlock already held odd.
+// slot. Called with the slot's seqlock already held odd and r.mu held.
 func (r *Recorder) finalize(ref Ref, s *slot, now int64) {
 	r.completed.Add(1)
 	chp := r.channelPath(s.channel)

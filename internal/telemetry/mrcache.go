@@ -1,0 +1,28 @@
+package telemetry
+
+import "rftp/internal/verbs"
+
+// AttachMRCache mirrors a pin-down cache's events into reg as the
+// mr_cache_hits / mr_cache_misses / mr_cache_evictions counters and
+// the mr_cache_idle gauge. The counters are seeded with the cache's
+// totals so far, so attaching after a pool already drew its
+// registrations (the CLI wires telemetry up last) loses nothing. (The
+// adapter lives here because verbs cannot import telemetry without a
+// cycle.)
+func AttachMRCache(reg *Registry, c *verbs.MRCache) {
+	hits := reg.Counter("mr_cache_hits")
+	misses := reg.Counter("mr_cache_misses")
+	evictions := reg.Counter("mr_cache_evictions")
+	idle := reg.Gauge("mr_cache_idle")
+	h, m, ev := c.Stats()
+	hits.Add(h)
+	misses.Add(m)
+	evictions.Add(ev)
+	idle.Set(int64(c.Idle()))
+	c.SetHooks(verbs.MRCacheHooks{
+		Hit:      hits.Inc,
+		Miss:     misses.Inc,
+		Eviction: evictions.Inc,
+		Idle:     idle.Set,
+	})
+}

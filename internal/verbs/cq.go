@@ -31,17 +31,46 @@ func (c *UpcallCQ) SetHandler(fn func(WC)) {
 // Loop returns the loop completions are dispatched on.
 func (c *UpcallCQ) Loop() Loop { return c.loop }
 
+// cqTask carries one completion through Loop.Post without materializing
+// a fresh closure per dispatch: the run field is bound once when the task
+// is constructed and the task is recycled through a sync.Pool (fabrics
+// dispatch from arbitrary goroutines, so the pool must be concurrent).
+type cqTask struct {
+	cq  *UpcallCQ
+	wc  WC
+	run func()
+}
+
+var cqTaskPool sync.Pool
+
+func newCQTask() any {
+	t := &cqTask{}
+	t.run = t.exec
+	return t
+}
+
+func init() { cqTaskPool.New = newCQTask }
+
+func (t *cqTask) exec() {
+	cq, wc := t.cq, t.wc
+	t.cq = nil
+	t.wc = WC{}
+	cqTaskPool.Put(t)
+	cq.mu.Lock()
+	fn := cq.fn
+	cq.mu.Unlock()
+	if fn == nil {
+		panic("verbs: completion delivered to CQ with no handler")
+	}
+	fn(wc)
+}
+
 // Dispatch delivers wc to the handler on the CQ's loop, charging cost.
 // Completions that arrive before a handler is installed are dropped with
 // a panic: that is always a wiring bug in a fabric or test.
 func (c *UpcallCQ) Dispatch(cost time.Duration, wc WC) {
-	c.loop.Post(cost, func() {
-		c.mu.Lock()
-		fn := c.fn
-		c.mu.Unlock()
-		if fn == nil {
-			panic("verbs: completion delivered to CQ with no handler")
-		}
-		fn(wc)
-	})
+	t := cqTaskPool.Get().(*cqTask)
+	t.cq = c
+	t.wc = wc
+	c.loop.Post(cost, t.run)
 }

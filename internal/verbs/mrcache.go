@@ -1,0 +1,250 @@
+package verbs
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// MRDeregisterer is implemented by devices that can tear a registration
+// down. The MR cache uses it to release evicted regions; devices
+// without it simply leak the registration to the GC, which matches
+// fabrics whose regions are pure bookkeeping.
+type MRDeregisterer interface {
+	DeregisterMR(*MR)
+}
+
+// mrKey is the size-class identity of a cached registration. Two
+// requests share a cached region only when every field matches, so a
+// region registered with remote-write rights is never handed to a
+// caller that asked for local-only access, and modeled regions never
+// satisfy real-buffer requests.
+type mrKey struct {
+	length  int
+	shadow  int
+	access  Access
+	modeled bool
+}
+
+// mrEntry is one idle cached registration on the LRU list.
+type mrEntry struct {
+	mr         *MR
+	key        mrKey
+	prev, next *mrEntry // LRU order: head = most recent
+}
+
+// MRCache is a pin-down cache for memory registrations (the classic
+// VIA/RDMA optimization: registration and pinning dominate setup cost,
+// so idle regions are kept registered and reissued to the next pool
+// that asks for the same size class instead of being torn down).
+//
+// The cache is keyed by size class, access rights, and modeling mode —
+// not by protection domain: one-sided access in this verbs layer is
+// validated against the region's keys, so reissuing a region under a
+// new pool's PD is safe, and the region is re-tagged with the
+// requesting PD on every hit. Capacity bounds the idle set; the least
+// recently returned region is evicted (and deregistered when the
+// device supports it) when the bound is exceeded.
+//
+// All methods are safe for concurrent use.
+type MRCache struct {
+	dev      Device
+	capacity int
+
+	mu    sync.Mutex
+	byKey map[mrKey][]*mrEntry
+	head  *mrEntry // most recently Put
+	tail  *mrEntry // least recently Put (evicted first)
+	idle  int
+	frees []*mrEntry // recycled list nodes
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+
+	hooks MRCacheHooks
+}
+
+// MRCacheHooks mirrors cache events into an external metrics system
+// (the telemetry package provides an adapter; verbs cannot import it
+// directly without a cycle). Nil funcs are skipped. Hooks run outside
+// the cache lock.
+type MRCacheHooks struct {
+	Hit      func()
+	Miss     func()
+	Eviction func()
+	Idle     func(int64)
+}
+
+// NewMRCache creates a cache over dev holding at most capacity idle
+// registrations (minimum 1).
+func NewMRCache(dev Device, capacity int) *MRCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &MRCache{dev: dev, capacity: capacity, byKey: make(map[mrKey][]*mrEntry)}
+}
+
+// SetHooks installs the event mirror. Call before the cache is shared
+// across goroutines.
+func (c *MRCache) SetHooks(h MRCacheHooks) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.hooks = h
+}
+
+// Stats returns cumulative hit/miss/eviction counts.
+func (c *MRCache) Stats() (hits, misses, evictions int64) {
+	return c.hits.Load(), c.misses.Load(), c.evictions.Load()
+}
+
+// HitRate returns hits/(hits+misses), or 0 before any request.
+func (c *MRCache) HitRate() float64 {
+	h, m, _ := c.Stats()
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
+}
+
+// Get returns a registered region of the requested class, reusing an
+// idle cached registration when one exists and registering a fresh one
+// otherwise. Modeled requests produce modeled regions (length with a
+// shadow-byte real prefix); real requests allocate and register a
+// length-byte buffer. The region is re-tagged with pd before being
+// handed out.
+func (c *MRCache) Get(pd *PD, length, shadow int, access Access, modeled bool) (*MR, error) {
+	key := mrKey{length: length, shadow: shadow, access: access, modeled: modeled}
+	if !modeled {
+		key.shadow = length
+	}
+	c.mu.Lock()
+	if stack := c.byKey[key]; len(stack) > 0 {
+		e := stack[len(stack)-1]
+		c.byKey[key] = stack[:len(stack)-1]
+		c.unlink(e)
+		c.idle--
+		mr := e.mr
+		e.mr = nil
+		c.frees = append(c.frees, e)
+		h := c.hooks
+		idle := c.idle
+		c.mu.Unlock()
+		c.hits.Add(1)
+		if h.Hit != nil {
+			h.Hit()
+		}
+		if h.Idle != nil {
+			h.Idle(int64(idle))
+		}
+		mr.PD = pd
+		return mr, nil
+	}
+	h := c.hooks
+	c.mu.Unlock()
+	c.misses.Add(1)
+	if h.Miss != nil {
+		h.Miss()
+	}
+	if modeled {
+		return c.dev.RegisterModelMR(pd, length, shadow, access)
+	}
+	return c.dev.RegisterMR(pd, make([]byte, length), access)
+}
+
+// Put returns an idle region to the cache. The caller must guarantee
+// no operation is still in flight against the region (the rftpdebug
+// invariant layer enforces this at the protocol layer). Regions past
+// the capacity bound evict the least recently returned entry.
+func (c *MRCache) Put(mr *MR, modeled bool) {
+	if mr == nil {
+		return
+	}
+	key := mrKey{length: mr.Len, shadow: mr.Shadow, access: mr.Access, modeled: modeled}
+	c.mu.Lock()
+	var e *mrEntry
+	if n := len(c.frees); n > 0 {
+		e = c.frees[n-1]
+		c.frees = c.frees[:n-1]
+	} else {
+		e = &mrEntry{}
+	}
+	e.mr, e.key, e.prev, e.next = mr, key, nil, nil
+	c.pushFront(e)
+	c.byKey[key] = append(c.byKey[key], e)
+	c.idle++
+	var evicted *MR
+	if c.idle > c.capacity {
+		evicted = c.evictTail()
+	}
+	h := c.hooks
+	idle := c.idle
+	c.mu.Unlock()
+	if h.Idle != nil {
+		h.Idle(int64(idle))
+	}
+	if evicted != nil {
+		c.evictions.Add(1)
+		if h.Eviction != nil {
+			h.Eviction()
+		}
+		if d, ok := c.dev.(MRDeregisterer); ok {
+			d.DeregisterMR(evicted)
+		}
+	}
+}
+
+// Idle returns the number of cached idle registrations.
+func (c *MRCache) Idle() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.idle
+}
+
+// pushFront links e as most recently used. Caller holds mu.
+func (c *MRCache) pushFront(e *mrEntry) {
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+// unlink removes e from the LRU list. Caller holds mu.
+func (c *MRCache) unlink(e *mrEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// evictTail drops the least recently returned entry and hands its MR
+// back for deregistration. Caller holds mu.
+func (c *MRCache) evictTail() *MR {
+	e := c.tail
+	if e == nil {
+		return nil
+	}
+	c.unlink(e)
+	stack := c.byKey[e.key]
+	for i, se := range stack {
+		if se == e {
+			c.byKey[e.key] = append(stack[:i], stack[i+1:]...)
+			break
+		}
+	}
+	c.idle--
+	mr := e.mr
+	e.mr = nil
+	c.frees = append(c.frees, e)
+	return mr
+}

@@ -1,0 +1,249 @@
+package verbs
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+// cacheTestDev is a minimal Device for exercising the MR cache: it
+// counts registrations and (via MRDeregisterer) deregistrations.
+type cacheTestDev struct {
+	registered   atomic.Int64
+	deregistered atomic.Int64
+	nextKey      atomic.Uint32
+}
+
+func (d *cacheTestDev) Name() string                      { return "mrcache-test" }
+func (d *cacheTestDev) AllocPD() *PD                      { return &PD{} }
+func (d *cacheTestDev) CreateCQ(loop Loop, depth int) CQ  { return nil }
+func (d *cacheTestDev) CreateQP(cfg QPConfig) (QP, error) { return nil, fmt.Errorf("not supported") }
+
+func (d *cacheTestDev) RegisterMR(pd *PD, buf []byte, access Access) (*MR, error) {
+	d.registered.Add(1)
+	k := d.nextKey.Add(1)
+	return &MR{PD: pd, Len: len(buf), Shadow: len(buf), Buf: buf, LKey: k, RKey: k, Access: access}, nil
+}
+
+func (d *cacheTestDev) RegisterModelMR(pd *PD, length, shadow int, access Access) (*MR, error) {
+	d.registered.Add(1)
+	k := d.nextKey.Add(1)
+	return &MR{PD: pd, Len: length, Shadow: shadow, Buf: make([]byte, shadow), LKey: k, RKey: k, Access: access}, nil
+}
+
+func (d *cacheTestDev) DeregisterMR(*MR) { d.deregistered.Add(1) }
+
+func TestMRCacheHitMissCycle(t *testing.T) {
+	dev := &cacheTestDev{}
+	c := NewMRCache(dev, 8)
+	pd1, pd2 := dev.AllocPD(), dev.AllocPD()
+
+	mr, err := c.Get(pd1, 4096, 4096, AccessLocalWrite, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h, m, _ := c.Stats(); h != 0 || m != 1 {
+		t.Fatalf("first Get: hits=%d misses=%d, want 0/1", h, m)
+	}
+	c.Put(mr, false)
+	if c.Idle() != 1 {
+		t.Fatalf("idle = %d after Put, want 1", c.Idle())
+	}
+
+	// Same class from a different PD: must reuse and re-tag.
+	mr2, err := c.Get(pd2, 4096, 4096, AccessLocalWrite, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mr2 != mr {
+		t.Fatal("same-class Get did not reuse the cached region")
+	}
+	if mr2.PD != pd2 {
+		t.Fatal("reissued region not re-tagged with the requesting PD")
+	}
+	if h, m, _ := c.Stats(); h != 1 || m != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1", h, m)
+	}
+	if dev.registered.Load() != 1 {
+		t.Fatalf("device saw %d registrations, want 1", dev.registered.Load())
+	}
+
+	// Different size class: miss, fresh registration.
+	if _, err := c.Get(pd1, 8192, 8192, AccessLocalWrite, false); err != nil {
+		t.Fatal(err)
+	}
+	if h, m, _ := c.Stats(); h != 1 || m != 2 {
+		t.Fatalf("after class change: hits=%d misses=%d, want 1/2", h, m)
+	}
+}
+
+func TestMRCacheClassIsolation(t *testing.T) {
+	dev := &cacheTestDev{}
+	c := NewMRCache(dev, 8)
+	pd := dev.AllocPD()
+
+	// A local-only region must not satisfy a remote-write request, and a
+	// modeled region must not satisfy a real one.
+	local, _ := c.Get(pd, 4096, 4096, AccessLocalWrite, false)
+	c.Put(local, false)
+	remote, err := c.Get(pd, 4096, 4096, AccessLocalWrite|AccessRemoteWrite, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if remote == local {
+		t.Fatal("cache handed a local-only region to a remote-write request")
+	}
+	modeled, _ := c.Get(pd, 4096, 64, AccessLocalWrite, true)
+	if modeled == local {
+		t.Fatal("cache crossed modeled/real classes")
+	}
+	if modeled.Shadow != 64 || modeled.Len != 4096 {
+		t.Fatalf("modeled region shape wrong: len=%d shadow=%d", modeled.Len, modeled.Shadow)
+	}
+}
+
+func TestMRCacheEvictionLRU(t *testing.T) {
+	dev := &cacheTestDev{}
+	c := NewMRCache(dev, 2)
+	pd := dev.AllocPD()
+
+	var mrs []*MR
+	for i := 0; i < 3; i++ {
+		mr, err := c.Get(pd, 4096, 4096, AccessLocalWrite, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mrs = append(mrs, mr)
+	}
+	// Return all three: capacity 2 means the first returned (now least
+	// recent) is evicted and deregistered.
+	for _, mr := range mrs {
+		c.Put(mr, false)
+	}
+	if c.Idle() != 2 {
+		t.Fatalf("idle = %d, want capacity 2", c.Idle())
+	}
+	if _, _, ev := c.Stats(); ev != 1 {
+		t.Fatalf("evictions = %d, want 1", ev)
+	}
+	if dev.deregistered.Load() != 1 {
+		t.Fatalf("device saw %d deregistrations, want 1", dev.deregistered.Load())
+	}
+	// The survivors are the two most recently returned.
+	a, _ := c.Get(pd, 4096, 4096, AccessLocalWrite, false)
+	b, _ := c.Get(pd, 4096, 4096, AccessLocalWrite, false)
+	for _, got := range []*MR{a, b} {
+		if got == mrs[0] {
+			t.Fatal("evicted (least recently returned) region reissued")
+		}
+	}
+}
+
+func TestMRCacheHooks(t *testing.T) {
+	dev := &cacheTestDev{}
+	c := NewMRCache(dev, 1)
+	var hits, misses, evictions atomic.Int64
+	var lastIdle atomic.Int64
+	c.SetHooks(MRCacheHooks{
+		Hit:      func() { hits.Add(1) },
+		Miss:     func() { misses.Add(1) },
+		Eviction: func() { evictions.Add(1) },
+		Idle:     func(n int64) { lastIdle.Store(n) },
+	})
+	pd := dev.AllocPD()
+	m1, _ := c.Get(pd, 4096, 4096, AccessLocalWrite, false)
+	m2, _ := c.Get(pd, 4096, 4096, AccessLocalWrite, false)
+	c.Put(m1, false)
+	c.Put(m2, false) // over capacity: evicts m1
+	if _, err := c.Get(pd, 4096, 4096, AccessLocalWrite, false); err != nil {
+		t.Fatal(err)
+	}
+	if hits.Load() != 1 || misses.Load() != 2 || evictions.Load() != 1 {
+		t.Fatalf("hooks saw hits=%d misses=%d evictions=%d, want 1/2/1",
+			hits.Load(), misses.Load(), evictions.Load())
+	}
+	if lastIdle.Load() != 0 {
+		t.Fatalf("last idle hook = %d, want 0", lastIdle.Load())
+	}
+}
+
+// TestMRCacheCapacityBoundProperty: no interleaving of Gets and Puts
+// drives the idle set above capacity, and cache accounting stays
+// consistent (hits+misses == Gets, idle == Puts - hits - evictions).
+func TestMRCacheCapacityBoundProperty(t *testing.T) {
+	f := func(ops []uint8, capRaw uint8) bool {
+		capacity := int(capRaw%8) + 1
+		dev := &cacheTestDev{}
+		c := NewMRCache(dev, capacity)
+		pd := dev.AllocPD()
+		var held []*MR
+		gets, puts := int64(0), int64(0)
+		for _, op := range ops {
+			cls := int(op%3+1) * 1024
+			if op&0x80 != 0 && len(held) > 0 {
+				c.Put(held[len(held)-1], false)
+				held = held[:len(held)-1]
+				puts++
+			} else {
+				mr, err := c.Get(pd, cls, cls, AccessLocalWrite, false)
+				if err != nil {
+					return false
+				}
+				held = append(held, mr)
+				gets++
+			}
+			if c.Idle() > capacity {
+				return false
+			}
+		}
+		h, m, ev := c.Stats()
+		if h+m != gets {
+			return false
+		}
+		return int64(c.Idle()) == puts-h-ev
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMRCacheConcurrent hammers one cache from many goroutines; run
+// under -race this checks the locking discipline, and afterward the
+// capacity bound and counters must still hold.
+func TestMRCacheConcurrent(t *testing.T) {
+	dev := &cacheTestDev{}
+	const capacity = 16
+	c := NewMRCache(dev, capacity)
+	c.SetHooks(MRCacheHooks{Idle: func(int64) {}})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			pd := dev.AllocPD()
+			for i := 0; i < 200; i++ {
+				cls := (g%4 + 1) * 1024
+				mr, err := c.Get(pd, cls, cls, AccessLocalWrite, false)
+				if err != nil {
+					t.Errorf("Get: %v", err)
+					return
+				}
+				if mr.Len != cls {
+					t.Errorf("got class %d, want %d", mr.Len, cls)
+					return
+				}
+				c.Put(mr, false)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Idle() > capacity {
+		t.Fatalf("idle %d exceeds capacity %d", c.Idle(), capacity)
+	}
+	h, m, _ := c.Stats()
+	if h+m != 8*200 {
+		t.Fatalf("hits+misses = %d, want %d", h+m, 8*200)
+	}
+}
