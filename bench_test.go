@@ -245,6 +245,31 @@ func BenchmarkShardScaling(b *testing.B) {
 	}
 }
 
+// BenchmarkSessionScaling sweeps concurrent tenants multiplexed over
+// one connection's shared data channels, reporting aggregate goodput,
+// Jain's fairness index over per-tenant rates, and retained memory per
+// tenant. The session manager's claims: aggregate stays near the
+// single-session rate, fairness stays >= 0.95 at equal weights, and
+// the shared pool amortizes (memory per tenant falls as tenants rise).
+func BenchmarkSessionScaling(b *testing.B) {
+	for _, n := range bench.SessionScaleCounts {
+		b.Run(fmt.Sprintf("sessions=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := bench.RunSessionScalePoint(n, nil, bench.ScaleQuick)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.BandwidthGbps, "goodput-agg-Gbps")
+				if n > 1 {
+					b.ReportMetric(res.JainIndex, "jain-index")
+					b.ReportMetric(res.MemPerSession, "mem-per-session-B")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkMRCacheRepeatedSessions drives 10 sequential connections
 // through one shared pin-down cache per side: every connection after
 // the first reuses the previous pools' registrations (>=90% hit rate).

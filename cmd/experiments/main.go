@@ -27,7 +27,7 @@ var experimentNames = []string{
 	"table1", "fig3a", "fig3b", "fig4a", "fig4b",
 	"fig8", "fig9", "fig10", "fig11",
 	"ablation-credit", "ablation-qps", "ablation-depth", "ablation-loaddepth", "ablation-ramp", "ablation-creditbatch",
-	"ablation-notify", "ablation-threads", "ablation-reactors", "ablation-mrcache",
+	"ablation-notify", "ablation-threads", "ablation-reactors", "ablation-mrcache", "ablation-sessions",
 	"cross-arch", "scale-out", "latency", "timeseries",
 }
 
@@ -125,6 +125,8 @@ func runExperiment(name string, sc bench.Scale) ([]bench.Row, error) {
 		return bench.AblationReactors(sc)
 	case "ablation-mrcache":
 		return bench.AblationMRCache(sc)
+	case "ablation-sessions":
+		return bench.AblationSessions(sc)
 	case "cross-arch":
 		return bench.CrossArch(sc)
 	case "scale-out":

@@ -38,6 +38,7 @@ func main() {
 	reactors := flag.Int("reactors", 1, "reactor shards driving the data channels, each on its own event loop (clamped to -channels)")
 	mrCache := flag.Int("mr-cache", 0, "pin-down cache capacity in memory regions: block pools draw registrations from the cache and release them on close (0 = register directly)")
 	zero := flag.String("zero", "", "memory-to-memory benchmark: send SIZE of synthetic zeros instead of files (e.g. -zero 1G)")
+	sessions := flag.Int("sessions", 1, "concurrent sessions for -zero: split the payload into N tenant streams multiplexed over the one connection")
 	imm := flag.Bool("imm", false, "notify block completions via RDMA WRITE WITH IMMEDIATE instead of control messages")
 	doTrace := flag.Bool("trace", false, "dump the protocol event trace when the transfer ends")
 	traceOut := flag.String("trace-out", "", "write the protocol event trace to FILE as JSONL")
@@ -186,7 +187,17 @@ func main() {
 		r    core.TransferResult
 		dur  time.Duration
 	}
-	results := make(chan result, flag.NArg())
+	nSess := *sessions
+	if nSess < 1 {
+		nSess = 1
+	}
+	bufDepth := flag.NArg()
+	if nSess > bufDepth {
+		bufDepth = nSess
+	}
+	// Buffered to the transfer count: onDone callbacks run on the
+	// protocol loop and must never block on this channel.
+	results := make(chan result, bufDepth)
 	ready := make(chan error, 1)
 	loop.Post(0, func() {
 		source.Start(func(err error) { ready <- err })
@@ -204,22 +215,46 @@ func main() {
 			log.Fatalf("rftp: %v", err)
 		}
 		start := time.Now()
-		// The synthetic reader is serial, so the engine runs its loads
-		// one at a time — but off the protocol loop.
-		src := storage.NewAsyncSource(core.ReaderSource{R: io.LimitReader(zeroReader{}, int64(n))}, eng)
-		loop.Post(0, func() {
-			source.Transfer(src, int64(n),
-				func(r core.TransferResult) {
-					results <- result{name: "<zeros>", r: r, dur: time.Since(start)}
-				})
-		})
-		res := <-results
-		if res.r.Err != nil {
-			log.Fatalf("rftp: %v", res.r.Err)
+		// -sessions splits the payload into N tenant streams sharing the
+		// connection's data channels; the sink's per-tenant scheduler
+		// partitions the credit window between them.
+		per := int64(n) / int64(nSess)
+		for i := 0; i < nSess; i++ {
+			sz := per
+			if i == nSess-1 {
+				sz = int64(n) - per*int64(nSess-1)
+			}
+			// The synthetic reader is serial, so the engine runs its
+			// loads one at a time — but off the protocol loop.
+			src := storage.NewAsyncSource(core.ReaderSource{R: io.LimitReader(zeroReader{}, sz)}, eng)
+			loop.Post(0, func() {
+				source.Transfer(src, sz,
+					func(r core.TransferResult) {
+						results <- result{name: "<zeros>", r: r, dur: time.Since(start)}
+					})
+			})
 		}
-		gbps := float64(res.r.Bytes) * 8 / res.dur.Seconds() / 1e9
-		log.Printf("rftp: mem-to-mem %d bytes in %v (%.2f Gbps, %d blocks)",
-			res.r.Bytes, res.dur.Round(time.Millisecond), gbps, res.r.Blocks)
+		var aggBytes, aggBlocks int64
+		var last time.Duration
+		for i := 0; i < nSess; i++ {
+			res := <-results
+			if res.r.Err != nil {
+				log.Fatalf("rftp: session %d: %v", res.r.Session, res.r.Err)
+			}
+			aggBytes += res.r.Bytes
+			aggBlocks += res.r.Blocks
+			if res.dur > last {
+				last = res.dur
+			}
+			if nSess > 1 {
+				gbps := float64(res.r.Bytes) * 8 / res.dur.Seconds() / 1e9
+				log.Printf("rftp: session %d: %d bytes in %v (%.2f Gbps)",
+					res.r.Session, res.r.Bytes, res.dur.Round(time.Millisecond), gbps)
+			}
+		}
+		gbps := float64(aggBytes) * 8 / last.Seconds() / 1e9
+		log.Printf("rftp: mem-to-mem %d bytes over %d session(s) in %v (%.2f Gbps, %d blocks)",
+			aggBytes, nSess, last.Round(time.Millisecond), gbps, aggBlocks)
 		loop.Post(0, source.Close)
 		return
 	}

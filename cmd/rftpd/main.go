@@ -19,6 +19,8 @@ import (
 	"net/http/pprof"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -32,6 +34,27 @@ import (
 	"rftp/internal/watch"
 )
 
+// parseWeights turns "-tenant-weight 2,1" into the scheduler's weight
+// vector; sessions map onto it round-robin by id.
+func parseWeights(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	weights := make([]int, 0, len(parts))
+	for _, p := range parts {
+		w, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad weight %q", p)
+		}
+		if w < 1 {
+			return nil, fmt.Errorf("weight %d out of range (must be >= 1)", w)
+		}
+		weights = append(weights, w)
+	}
+	return weights, nil
+}
+
 // serveOpts carries the observability configuration into each
 // connection handler.
 type serveOpts struct {
@@ -44,6 +67,9 @@ type serveOpts struct {
 	creditBatch int
 	creditFlush time.Duration
 	creditWin   int
+	maxSessions int
+	sessQueue   int
+	weights     []int
 	devnull     bool
 	stats       bool
 	trace       bool
@@ -65,6 +91,9 @@ func main() {
 	creditBatch := flag.Int("credit-batch", 0, "credits coalesced per grant message (0 = default, 1 = unbatched)")
 	creditFlush := flag.Duration("credit-flush", 0, "credit coalescer flush timer (0 = adaptive from the measured arrival gap)")
 	creditWin := flag.Int("credit-window", 0, "fixed credit window in blocks (0 = adaptive from measured RTT x delivery rate)")
+	maxSessions := flag.Int("max-sessions", 0, "concurrently active sessions admitted per connection (0 = unbounded)")
+	sessQueue := flag.Int("session-queue", 0, "session requests queued for a slot when -max-sessions is reached; beyond this they are rejected busy")
+	tenantWeight := flag.String("tenant-weight", "", "comma-separated DRR weights assigned to sessions round-robin by id (e.g. 2,1; empty = equal shares)")
 	once := flag.Bool("once", false, "serve a single connection, then exit")
 	devnull := flag.Bool("devnull", false, "discard received data instead of writing files (memory-to-memory benchmark)")
 	doStats := flag.Bool("stats", false, "print a telemetry summary when each connection ends")
@@ -78,6 +107,10 @@ func main() {
 
 	if *doPprof && *httpAddr == "" {
 		log.Fatalf("rftpd: -pprof requires -http to provide the listen address")
+	}
+	weights, err := parseWeights(*tenantWeight)
+	if err != nil {
+		log.Fatalf("rftpd: -tenant-weight: %v", err)
 	}
 
 	if err := os.MkdirAll(*dir, 0o755); err != nil {
@@ -99,6 +132,9 @@ func main() {
 		creditBatch: *creditBatch,
 		creditFlush: *creditFlush,
 		creditWin:   *creditWin,
+		maxSessions: *maxSessions,
+		sessQueue:   *sessQueue,
+		weights:     weights,
 		devnull:     *devnull,
 		stats:       *doStats,
 		trace:       *doTrace,
@@ -199,6 +235,9 @@ func serve(dev *netfabric.Device, conn int, opts *serveOpts, served chan<- struc
 	}
 	cfg.CreditFlushInterval = opts.creditFlush
 	cfg.CreditWindow = opts.creditWin
+	cfg.MaxSessions = opts.maxSessions
+	cfg.SessionQueue = opts.sessQueue
+	cfg.TenantWeights = opts.weights
 	sink, err := core.NewSink(ep, cfg)
 	if err != nil {
 		log.Printf("rftpd: sink: %v", err)

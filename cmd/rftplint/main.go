@@ -1,7 +1,7 @@
 // Command rftplint runs RFTP's custom static-analysis suite over the
 // module: fsmtransition, spanstamp, bufownership, atomicmix, lockorder,
-// and loopconfine (see internal/analysis for what each enforces and
-// why).
+// loopconfine, and sessionaffinity (see internal/analysis for what each
+// enforces and why).
 //
 // Usage:
 //

@@ -22,6 +22,9 @@
 //   - loopconfine: loop-confined operations (setState, the credit
 //     ledger, span stamps) must never run on a raw goroutine — crossing
 //     shards is only sanctioned through a loop's Post/After handoff.
+//   - sessionaffinity: per-session records (srcSession, sinkSession)
+//     are owned by their connection's loop; no field of one may be
+//     written on a raw goroutine.
 //
 // Findings are suppressed with an inline comment on the flagged line
 // (or alone on the line above):
@@ -214,7 +217,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) (*Result, error) {
 
 // All returns the full RFTP analyzer suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{FSMTransition, SpanStamp, BufOwnership, AtomicMix, LockOrder, LoopConfine}
+	return []*Analyzer{FSMTransition, SpanStamp, BufOwnership, AtomicMix, LockOrder, LoopConfine, SessionAffinity}
 }
 
 // pathString renders an ident/selector chain as a stable dotted path

@@ -31,6 +31,11 @@ func TestLoopConfineFixture(t *testing.T) {
 	assertSuppression(t, res, "loopconfine")
 }
 
+func TestSessionAffinityFixture(t *testing.T) {
+	res := runFixture(t, SessionAffinity, "sessionaffinity")
+	assertSuppression(t, res, "sessionaffinity")
+}
+
 // assertSuppression checks that the fixture's //lint:allow line was
 // recorded (the want-matching in runFixture already proved it produced
 // no finding).

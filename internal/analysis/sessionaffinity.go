@@ -1,0 +1,108 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SessionAffinity flags per-session state mutated from a raw goroutine.
+//
+// The multi-tenant session manager keeps every srcSession and
+// sinkSession owned by the reactor loop of its connection: credit
+// counters, deficit accounts, load depths, and block queues are all
+// mutated loop-confined, never under a lock. loopconfine guards the
+// recognised confined *operations* (setState, the credit-ledger
+// probes, span stamps); this pass guards the session *records*
+// themselves — any write to a field of a srcSession or sinkSession
+// (plain assignment, op-assignment, or ++/--) reached from a bare `go`
+// statement is a data race waiting for a schedule.
+//
+// The enclosure walk is loopconfine's: a write is on a raw goroutine
+// when walking outward hits a `go` statement before a function
+// declaration or a literal handed to a loop scheduler (Post / After /
+// AfterFunc), which re-confines the closure to the owning loop.
+var SessionAffinity = &Analyzer{
+	Name: "sessionaffinity",
+	Doc:  "flag srcSession/sinkSession field writes on raw goroutines",
+	Run:  runSessionAffinity,
+}
+
+func runSessionAffinity(pass *Pass) error {
+	for _, f := range pass.Files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			var targets []ast.Expr
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				targets = st.Lhs
+			case *ast.IncDecStmt:
+				targets = []ast.Expr{st.X}
+			default:
+				return true
+			}
+			for _, lhs := range targets {
+				what := sessionFieldWrite(pass, lhs)
+				if what == "" {
+					continue
+				}
+				if onRawGoroutine(stack) {
+					pass.Report(Diagnostic{
+						Pos: lhs.Pos(),
+						Message: "session-affine write (" + what + ") on a raw goroutine: " +
+							"session records are owned by the connection's loop; hand the write to it with Post",
+					})
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// sessionFieldWrite classifies lhs as a field write into a srcSession
+// or sinkSession record, returning "type.field" for the diagnostic
+// ("" otherwise). Nested paths (sess.info.ID = …) count: the root
+// record is still being mutated.
+func sessionFieldWrite(pass *Pass, lhs ast.Expr) string {
+	for {
+		switch e := ast.Unparen(lhs).(type) {
+		case *ast.SelectorExpr:
+			if name := sessionTypeName(pass.Info.Types[e.X].Type); name != "" {
+				return name + "." + e.Sel.Name
+			}
+			lhs = e.X
+		case *ast.IndexExpr:
+			lhs = e.X
+		case *ast.StarExpr:
+			lhs = e.X
+		default:
+			return ""
+		}
+	}
+}
+
+// sessionTypeName reports whether t (possibly behind pointers) is one
+// of the session record types, by its declared name.
+func sessionTypeName(t types.Type) string {
+	for {
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	switch named.Obj().Name() {
+	case "srcSession", "sinkSession":
+		return named.Obj().Name()
+	}
+	return ""
+}

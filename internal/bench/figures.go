@@ -51,7 +51,20 @@ type Row struct {
 	// attributed stall time, e.g. "load-pending 83%" (span-instrumented
 	// RFTP rows only).
 	TopStall string
-	Note     string
+	// Sessions is the concurrent tenant count of a session-scaling row
+	// (0 on classic single-session rows).
+	Sessions int
+	// GoodputAgg is the aggregate multi-tenant goodput in Gbps
+	// (session-scaling rows; the column named goodput_agg in the CSV).
+	GoodputAgg float64
+	// JainIndex is Jain's fairness index over weight-normalized
+	// per-tenant goodput; 1.0 = every tenant got its proportional share
+	// (session-scaling rows).
+	JainIndex float64
+	// MemPerSess is retained protocol heap bytes per tenant
+	// (session-scaling rows).
+	MemPerSess float64
+	Note       string
 }
 
 // Scale reduces experiment sizes for quick runs: 1.0 reproduces the

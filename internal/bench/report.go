@@ -25,7 +25,7 @@ func FormatBlockSize(n int) string {
 // WriteTable renders rows as an aligned text table.
 func WriteTable(w io.Writer, rows []Row) error {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "figure\ttestbed\ttool\tblock\tstreams\tdepth\tGbps\tclientCPU%\tserverCPU%\tstalls\tretrans\trnr\tallocs/op\tcopied/op\tloadlat(µs)\tstorelat(µs)\tctrl-msgs/op\tgrant-batch\ttop-stall\tnote")
+	fmt.Fprintln(tw, "figure\ttestbed\ttool\tblock\tstreams\tdepth\tGbps\tclientCPU%\tserverCPU%\tstalls\tretrans\trnr\tallocs/op\tcopied/op\tloadlat(µs)\tstorelat(µs)\tctrl-msgs/op\tgrant-batch\tsessions\tgoodput_agg\tjain_index\tmem/sess\ttop-stall\tnote")
 	for _, r := range rows {
 		streams := ""
 		if r.Streams > 0 {
@@ -54,27 +54,38 @@ func WriteTable(w io.Writer, rows []Row) error {
 		if r.GrantBatch > 0 {
 			grantBatch = fmt.Sprintf("%.1f", r.GrantBatch)
 		}
-		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%s\t%.2f\t%.0f\t%.0f\t%d\t%d\t%d\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\n",
+		sessions, goodputAgg, jain, memSess := "", "", "", ""
+		if r.Sessions > 0 {
+			sessions = fmt.Sprintf("%d", r.Sessions)
+			goodputAgg = fmt.Sprintf("%.2f", r.GoodputAgg)
+			if r.Sessions > 1 {
+				jain = fmt.Sprintf("%.3f", r.JainIndex)
+				memSess = fmt.Sprintf("%.1fKiB", r.MemPerSess/1024)
+			}
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%s\t%.2f\t%.0f\t%.0f\t%d\t%d\t%d\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\n",
 			r.Figure, r.Testbed, r.Tool, FormatBlockSize(r.BlockSize),
 			streams, depth, r.Gbps, r.ClientCPU, r.ServerCPU,
-			r.Stalls, r.Retrans, r.RNR, allocs, copied, loadlat, storelat, ctrlOp, grantBatch, r.TopStall, r.Note)
+			r.Stalls, r.Retrans, r.RNR, allocs, copied, loadlat, storelat, ctrlOp, grantBatch,
+			sessions, goodputAgg, jain, memSess, r.TopStall, r.Note)
 	}
 	return tw.Flush()
 }
 
 // WriteCSV renders rows as CSV.
 func WriteCSV(w io.Writer, rows []Row) error {
-	if _, err := fmt.Fprintln(w, "figure,testbed,tool,block_bytes,streams,depth,gbps,client_cpu_pct,server_cpu_pct,stalls,retrans,rnr,allocs_per_op,copied_bytes_per_op,load_lat_us,store_lat_us,ctrl_msgs_per_op,grant_batch_mean,top_stall,note"); err != nil {
+	if _, err := fmt.Fprintln(w, "figure,testbed,tool,block_bytes,streams,depth,gbps,client_cpu_pct,server_cpu_pct,stalls,retrans,rnr,allocs_per_op,copied_bytes_per_op,load_lat_us,store_lat_us,ctrl_msgs_per_op,grant_batch_mean,sessions,goodput_agg,jain_index,mem_per_session,top_stall,note"); err != nil {
 		return err
 	}
 	for _, r := range rows {
 		note := strings.ReplaceAll(r.Note, ",", ";")
 		topStall := strings.ReplaceAll(r.TopStall, ",", ";")
-		if _, err := fmt.Fprintf(w, "%s,%s,%s,%d,%d,%d,%.3f,%.1f,%.1f,%d,%d,%d,%.1f,%.1f,%.1f,%.1f,%.3f,%.2f,%s,%s\n",
+		if _, err := fmt.Fprintf(w, "%s,%s,%s,%d,%d,%d,%.3f,%.1f,%.1f,%d,%d,%d,%.1f,%.1f,%.1f,%.1f,%.3f,%.2f,%d,%.3f,%.4f,%.0f,%s,%s\n",
 			r.Figure, r.Testbed, r.Tool, r.BlockSize, r.Streams, r.Depth,
 			r.Gbps, r.ClientCPU, r.ServerCPU, r.Stalls, r.Retrans, r.RNR,
 			r.AllocsPerOp, r.CopiedPerOp, r.LoadLatUs, r.StoreLatUs,
-			r.CtrlPerOp, r.GrantBatch, topStall, note); err != nil {
+			r.CtrlPerOp, r.GrantBatch, r.Sessions, r.GoodputAgg, r.JainIndex, r.MemPerSess,
+			topStall, note); err != nil {
 			return err
 		}
 	}

@@ -43,7 +43,16 @@ type RFTPOptions struct {
 	// with their own completion queues, so posting and completion CPU
 	// spreads across cores. Clamped to Config.Channels.
 	Reactors int
-	Seed     int64
+	// Sessions multiplexes N concurrent tenants over the one
+	// connection's shared data channels (0 or 1 = classic single
+	// session). TotalBytes is split across the tenants proportionally to
+	// their weights, so fair scheduling makes them finish together.
+	Sessions int
+	// SessionWeights cycles DRR weights over the tenants (tenant i gets
+	// SessionWeights[i % len]; empty = equal weight 1). Also installed
+	// as Config.TenantWeights unless the config sets its own.
+	SessionWeights []int
+	Seed           int64
 	// Telemetry, when non-nil, instruments the run: source/sink protocol
 	// metrics and per-device fabric metrics are registered as children.
 	// Nil runs stay uninstrumented (and measure the disabled-path cost).
@@ -95,6 +104,71 @@ type RunResult struct {
 	// (RFTP runs with Telemetry + SpanSample only).
 	TopStall      string
 	TopStallShare float64
+	// Sessions is the concurrent tenant count of the run (1 = classic
+	// single session).
+	Sessions int
+	// SessionGbps is each tenant's whole-run goodput (multi-session
+	// runs only; index matches the transfer issue order, which matches
+	// the sink's session-id order).
+	SessionGbps []float64
+	// JainIndex is Jain's fairness index over weight-normalized
+	// per-tenant goodput: 1.0 means every tenant got exactly its
+	// proportional share (multi-session runs only).
+	JainIndex float64
+	// MemPerSession is retained protocol heap bytes per tenant
+	// (post-GC heap growth across the run divided by the session
+	// count; multi-session runs only).
+	MemPerSession float64
+}
+
+// startGate parks multi-tenant first loads until every session is
+// admitted, so fairness is measured over concurrently-backlogged flows
+// rather than the admission ramp. Control-loop confined: loads park on
+// the source loop and release is posted onto the same loop.
+type startGate struct {
+	open bool
+	q    []func()
+}
+
+func (g *startGate) run(f func()) {
+	if g.open {
+		f()
+		return
+	}
+	g.q = append(g.q, f)
+}
+
+func (g *startGate) release() {
+	g.open = true
+	for _, f := range g.q {
+		f()
+	}
+	g.q = nil
+}
+
+// gatedSource holds its inner source's loads behind the start gate.
+type gatedSource struct {
+	inner core.BlockSource
+	gate  *startGate
+}
+
+func (s *gatedSource) Load(p []byte, capacity int, done func(int, bool, error)) {
+	s.gate.run(func() { s.inner.Load(p, capacity, done) })
+}
+
+// jainIndex computes Jain's fairness index (Σx)²/(n·Σx²) over the
+// weight-normalized rates x_i = rate_i / weight_i.
+func jainIndex(rates []float64, weight func(int) int) float64 {
+	var sum, sum2 float64
+	for i, r := range rates {
+		x := r / float64(weight(i))
+		sum += x
+		sum2 += x * x
+	}
+	if sum2 <= 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(rates)) * sum2)
 }
 
 // RunRFTP executes one modeled RFTP transfer on the testbed and reports
@@ -131,6 +205,18 @@ func RunRFTP(tb Testbed, opt RFTPOptions) (RunResult, error) {
 
 	cfg := opt.Config
 	cfg.ModelPayload = true
+	sessions := opt.Sessions
+	if sessions < 1 {
+		sessions = 1
+	}
+	if sessions > 1 {
+		if cfg.MaxSessions > 0 && cfg.MaxSessions < sessions {
+			cfg.MaxSessions = sessions
+		}
+		if len(cfg.TenantWeights) == 0 {
+			cfg.TenantWeights = opt.SessionWeights
+		}
+	}
 	cfg, err := cfg.Normalize()
 	if err != nil {
 		return RunResult{}, err
@@ -197,50 +283,111 @@ func RunRFTP(tb Testbed, opt RFTPOptions) (RunResult, error) {
 		}
 	}
 
-	var srcRes core.TransferResult
-	srcDone := false
-	sinkDone := false
-	sink.OnSessionDone = func(info core.SessionInfo, r core.TransferResult) { sinkDone = true }
+	// Per-tenant byte shares, proportional to scheduler weight, so a
+	// fair schedule makes every tenant finish at the same time.
+	weight := func(i int) int {
+		if len(opt.SessionWeights) == 0 {
+			return 1
+		}
+		if w := opt.SessionWeights[i%len(opt.SessionWeights)]; w > 0 {
+			return w
+		}
+		return 1
+	}
+	perSess := make([]int64, sessions)
+	var totW int64
+	for i := range perSess {
+		totW += int64(weight(i))
+	}
+	for i := range perSess {
+		perSess[i] = opt.TotalBytes * int64(weight(i)) / totW
+		if min := int64(cfg.PayloadCapacity()); perSess[i] < min {
+			perSess[i] = min
+		}
+	}
+
+	var srcErr error
+	srcLeft, sinkLeft := sessions, sessions
+	var startAt time.Duration
+	ends := make([]time.Duration, sessions)
+	bytesDone := make([]int64, sessions)
+	sink.OnSessionDone = func(info core.SessionInfo, r core.TransferResult) { sinkLeft-- }
+	// Multi-tenant runs gate every session's first load on an admission
+	// barrier (open all flows, then measure — the standard fairness
+	// methodology). Without it, early-admitted tenants run their whole
+	// short job before the rest are even open, and the fairness index
+	// measures the admission ramp instead of the credit scheduler.
+	var gate *startGate
+	if sessions > 1 && !opt.SrcDisk {
+		gate = &startGate{}
+		admitted := 0
+		sink.OnSessionOpen = func(core.SessionInfo) {
+			admitted++
+			if admitted == sessions {
+				srcLoop.Post(0, func() {
+					startAt = sched.Now()
+					gate.release()
+				})
+			}
+		}
+	}
 	var negoErr error
 	srcBusy0, dstBusy0 := srcHost.BusyTotal(), dstHost.BusyTotal()
 	copied0 := verbs.CopiedBytes()
+	if sessions > 1 {
+		runtime.GC() // settle the heap so the per-tenant memory delta is retained growth
+	}
 	var ms0 runtime.MemStats
 	runtime.ReadMemStats(&ms0)
+	var srcArr *diskmodel.Array
+	if opt.SrcDisk {
+		acfg := opt.SrcDiskCfg
+		if acfg.RateBps == 0 {
+			acfg = diskmodel.DefaultArray()
+		}
+		srcArr = diskmodel.NewArray(sched, acfg)
+	}
 	source.Start(func(err error) {
 		if err != nil {
 			negoErr = err
 			return
 		}
-		var src core.BlockSource
-		if opt.SrcDisk {
-			cfg := opt.SrcDiskCfg
-			if cfg.RateBps == 0 {
-				cfg = diskmodel.DefaultArray()
+		startAt = sched.Now()
+		for i := 0; i < sessions; i++ {
+			i := i
+			var src core.BlockSource
+			if srcArr != nil {
+				src = &diskSource{arr: srcArr, th: loader, mode: opt.SrcDiskMode, total: perSess[i]}
+			} else {
+				src = &core.ModelSource{Total: perSess[i], Loader: loader, Loaders: loaders, NsPerByte: tb.Host.MemLoadNsPerByte}
 			}
-			src = &diskSource{
-				arr: diskmodel.NewArray(sched, cfg), th: loader,
-				mode: opt.SrcDiskMode, total: opt.TotalBytes,
+			if gate != nil {
+				src = &gatedSource{inner: src, gate: gate}
 			}
-		} else {
-			src = &core.ModelSource{Total: opt.TotalBytes, Loader: loader, Loaders: loaders, NsPerByte: tb.Host.MemLoadNsPerByte}
+			source.Transfer(src, perSess[i], func(r core.TransferResult) {
+				if r.Err != nil && srcErr == nil {
+					srcErr = r.Err
+				}
+				bytesDone[i], ends[i] = r.Bytes, sched.Now()
+				srcLeft--
+			})
 		}
-		source.Transfer(src, opt.TotalBytes, func(r core.TransferResult) {
-			srcRes = r
-			srcDone = true
-		})
 	})
 	sched.RunAll()
+	if sessions > 1 {
+		runtime.GC()
+	}
 	var ms1 runtime.MemStats
 	runtime.ReadMemStats(&ms1)
 	copied1 := verbs.CopiedBytes()
 	if negoErr != nil {
 		return RunResult{}, negoErr
 	}
-	if !srcDone || !sinkDone {
-		return RunResult{}, fmt.Errorf("bench: RFTP transfer did not complete (src=%v sink=%v)", srcDone, sinkDone)
+	if srcErr != nil {
+		return RunResult{}, srcErr
 	}
-	if srcRes.Err != nil {
-		return RunResult{}, srcRes.Err
+	if srcLeft != 0 || sinkLeft != 0 {
+		return RunResult{}, fmt.Errorf("bench: RFTP transfer did not complete (%d source / %d sink sessions outstanding)", srcLeft, sinkLeft)
 	}
 	st := source.Stats()
 	sinkSt := sink.Stats()
@@ -257,10 +404,24 @@ func RunRFTP(tb Testbed, opt RFTPOptions) (RunResult, error) {
 	if sinkSt.GrantMsgs > 0 {
 		res.GrantBatchMean = float64(sinkSt.CreditsGranted) / float64(sinkSt.GrantMsgs)
 	}
-	if srcRes.Blocks > 0 {
-		res.CtrlPerBlock = float64(res.CtrlMsgs) / float64(srcRes.Blocks)
-		res.AllocsPerBlock = float64(ms1.Mallocs-ms0.Mallocs) / float64(srcRes.Blocks)
-		res.CopiedPerBlock = float64(copied1-copied0) / float64(srcRes.Blocks)
+	if st.Blocks > 0 {
+		res.CtrlPerBlock = float64(res.CtrlMsgs) / float64(st.Blocks)
+		res.AllocsPerBlock = float64(ms1.Mallocs-ms0.Mallocs) / float64(st.Blocks)
+		res.CopiedPerBlock = float64(copied1-copied0) / float64(st.Blocks)
+	}
+	res.Sessions = sessions
+	if sessions > 1 {
+		rates := make([]float64, sessions)
+		for i := range rates {
+			if d := (ends[i] - startAt).Seconds(); d > 0 {
+				rates[i] = float64(bytesDone[i]) * 8 / d / 1e9
+			}
+		}
+		res.SessionGbps = rates
+		res.JainIndex = jainIndex(rates, weight)
+		if ms1.HeapAlloc > ms0.HeapAlloc {
+			res.MemPerSession = float64(ms1.HeapAlloc-ms0.HeapAlloc) / float64(sessions)
+		}
 	}
 	if elapsed > 0 {
 		res.ClientCPU = 100 * float64(srcHost.BusyTotal()-srcBusy0) / float64(elapsed)

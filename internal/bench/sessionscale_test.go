@@ -1,0 +1,62 @@
+package bench
+
+import "testing"
+
+// TestSessionScalingShape is the PR's acceptance criterion for the
+// multi-tenant session manager: with tenants multiplexed over one
+// connection's shared channels, aggregate goodput must stay within 10%
+// of the single-session rate, Jain's fairness index must stay >= 0.95
+// at equal weights, and per-tenant memory must not grow with the
+// tenant count (the shared pool amortizes, it does not replicate).
+func TestSessionScalingShape(t *testing.T) {
+	counts := []int{1, 8, 64}
+	res := map[int]RunResult{}
+	for _, n := range counts {
+		r, err := RunSessionScalePoint(n, nil, ScaleQuick)
+		if err != nil {
+			t.Fatalf("sessions=%d: %v", n, err)
+		}
+		res[n] = r
+		t.Logf("sessions=%d: %.2f Gbps agg, jain=%.3f, mem/sess=%.0fB",
+			n, r.BandwidthGbps, r.JainIndex, r.MemPerSession)
+	}
+	single := res[1].BandwidthGbps
+	for _, n := range counts[1:] {
+		r := res[n]
+		if r.BandwidthGbps < 0.9*single {
+			t.Errorf("sessions=%d aggregate %.2f Gbps < 90%% of single-session %.2f",
+				n, r.BandwidthGbps, single)
+		}
+		if r.JainIndex < 0.95 {
+			t.Errorf("sessions=%d jain=%.3f, want >= 0.95 (rates %v)",
+				n, r.JainIndex, r.SessionGbps)
+		}
+		if len(r.SessionGbps) != n {
+			t.Errorf("sessions=%d recorded %d per-session rates", n, len(r.SessionGbps))
+		}
+	}
+	// Shared pool: per-tenant retained memory must shrink as tenants
+	// multiply, not replicate per session.
+	if m8, m64 := res[8].MemPerSession, res[64].MemPerSession; m8 > 0 && m64 > m8 {
+		t.Errorf("mem/session grew with tenant count: 8 sessions %.0fB -> 64 sessions %.0fB", m8, m64)
+	}
+}
+
+// TestSessionWeightedShares checks proportional scheduling: a 2:1
+// weight split over 8 tenants must yield a goodput share ratio near 2.
+func TestSessionWeightedShares(t *testing.T) {
+	r, err := RunSessionScalePoint(8, []int{2, 1}, ScaleQuick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := ShareRatio(r.SessionGbps, []int{2, 1})
+	t.Logf("share-ratio=%.2f jain(weighted)=%.3f rates=%v", ratio, r.JainIndex, r.SessionGbps)
+	if ratio < 1.5 || ratio > 2.7 {
+		t.Errorf("2:1 weights gave share ratio %.2f, want ~2 (rates %v)", ratio, r.SessionGbps)
+	}
+	// Jain over weight-normalized rates: proportional shares are
+	// "fair" once normalized by weight.
+	if r.JainIndex < 0.95 {
+		t.Errorf("weight-normalized jain=%.3f, want >= 0.95", r.JainIndex)
+	}
+}

@@ -131,6 +131,20 @@ type Config struct {
 	// [max(4, SinkBlocks/8), SinkBlocks]; values above SinkBlocks are
 	// clamped (the pool cannot back more credits).
 	CreditWindow int
+	// MaxSessions caps concurrently active sessions at the sink
+	// (admission control). 0 = unlimited. A SESSION_REQ arriving at the
+	// cap is queued (up to SessionQueue deep) or answered with a
+	// SESSION_BUSY reply (MsgSessionResp carrying wire.FlagBusy).
+	MaxSessions int
+	// SessionQueue is how many SESSION_REQs may wait for a session slot
+	// when MaxSessions is reached; requests beyond it are rejected busy.
+	// 0 = reject immediately at the cap.
+	SessionQueue int
+	// TenantWeights assigns deficit-round-robin weights to the sink's
+	// per-session credit scheduler. Session id i maps to
+	// TenantWeights[(i-1) % len]; an empty slice means equal weight 1.
+	// Non-positive entries are normalized to 1.
+	TenantWeights []int
 	// ModelPayload marks simulation-scale transfers: payload is length
 	// modeled, only headers travel as real bytes. Requires a fabric
 	// supporting modeled memory regions.
@@ -209,6 +223,17 @@ func (c Config) Normalize() (Config, error) {
 	if c.MaxRetries <= 0 {
 		c.MaxRetries = 5
 	}
+	if c.MaxSessions < 0 {
+		c.MaxSessions = 0
+	}
+	if c.SessionQueue < 0 {
+		c.SessionQueue = 0
+	}
+	for i, w := range c.TenantWeights {
+		if w <= 0 {
+			c.TenantWeights[i] = 1
+		}
+	}
 	return c, nil
 }
 
@@ -223,6 +248,7 @@ var (
 	ErrTooManyRetries      = errors.New("core: block retry budget exhausted")
 	ErrProtocol            = errors.New("core: protocol violation")
 	ErrBusy                = errors.New("core: negotiation already in progress")
+	ErrSessionBusy         = errors.New("core: sink at session capacity")
 )
 
 // Stats summarizes one side of a transfer.
@@ -242,6 +268,14 @@ type Stats struct {
 	// CreditStalls counts times the source ran dry and had to issue an
 	// explicit MR_INFO_REQUEST.
 	CreditStalls int64
+	// CreditsReclaimed counts granted credits the sink took back without
+	// a block landing in them (session teardown reclaim): every granted
+	// credit is either consumed by an arrival or reclaimed, so
+	// CreditsGranted = Blocks-arrived + CreditsReclaimed + outstanding.
+	CreditsReclaimed int64
+	// SessionsRejected counts SESSION_REQs turned away busy by admission
+	// control (sink side).
+	SessionsRejected int64
 	// Retries counts block resends after failed WRITEs.
 	Retries int64
 	// Start and End are loop timestamps of first and last activity.

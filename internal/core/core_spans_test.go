@@ -105,12 +105,22 @@ func TestChanSpansEndToEnd(t *testing.T) {
 		t.Fatalf("per-channel wire %d != total %d", chWire, src.Counter("path_wire_ns"))
 	}
 
-	// Sink half: every block spans credit → (reassembly) → store.
-	if got := sink.Counter("spans_completed"); got != wantBlocks {
-		t.Fatalf("sink spans_completed = %d, want %d", got, wantBlocks)
+	// Sink half: every stored block spans credit → (reassembly) → store.
+	// Credits still outstanding when the session finishes are reclaimed,
+	// and each reclaim completes a grant-only span (credit stage, never
+	// stored), so those count toward spans_completed too.
+	var reclaimed int64
+	statsDone := make(chan struct{})
+	p.dstLoop.Post(0, func() {
+		reclaimed = p.sink.Stats().CreditsReclaimed
+		close(statsDone)
+	})
+	<-statsDone
+	if got := sink.Counter("spans_completed"); got != wantBlocks+reclaimed {
+		t.Fatalf("sink spans_completed = %d, want %d stored + %d reclaimed", got, wantBlocks, reclaimed)
 	}
-	if h := sink.Histogram("span_credit_ns"); h.Count != wantBlocks {
-		t.Fatalf("span_credit_ns count = %d, want %d", h.Count, wantBlocks)
+	if h := sink.Histogram("span_credit_ns"); h.Count < wantBlocks {
+		t.Fatalf("span_credit_ns count = %d, want >= %d", h.Count, wantBlocks)
 	}
 	if h := sink.Histogram("span_store_ns"); h.Count != wantBlocks {
 		t.Fatalf("span_store_ns count = %d, want %d", h.Count, wantBlocks)

@@ -53,7 +53,10 @@ func (s BlockState) String() string {
 var validNext = map[BlockState][]BlockState{
 	BlockFree:    {BlockLoading, BlockWaiting},
 	BlockLoading: {BlockLoaded, BlockFree},
-	BlockLoaded:  {BlockSending},
+	// Loaded → Free is the source's abort shortcut: when a session is
+	// torn down mid-transfer its queued (loaded-but-unsent) blocks are
+	// recycled without ever being posted.
+	BlockLoaded:  {BlockSending, BlockFree},
 	BlockSending: {BlockWaiting, BlockLoaded},
 	BlockWaiting: {BlockFree, BlockLoaded, BlockDataReady},
 	// DataReady → Free is the sink's abort shortcut: a finished or

@@ -101,13 +101,15 @@ func TestFSMLegalCycle(t *testing.T) {
 	b.setState(BlockSending)
 	b.setState(BlockWaiting)
 	b.setState(BlockLoaded)
+	// Abort shortcut: a queued (loaded-but-unsent) block recycled when
+	// its session is torn down mid-transfer.
+	b.setState(BlockFree)
 }
 
 func TestFSMIllegalTransitionsPanic(t *testing.T) {
 	bad := []struct{ from, to BlockState }{
 		{BlockFree, BlockLoaded},
 		{BlockFree, BlockDataReady},
-		{BlockLoaded, BlockFree},
 		{BlockLoaded, BlockWaiting},
 		{BlockStoring, BlockDataReady},
 		{BlockWaiting, BlockSending},

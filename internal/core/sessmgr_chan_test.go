@@ -1,0 +1,298 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rftp/internal/fabric/chanfabric"
+	"rftp/internal/wire"
+)
+
+// sinkLedger is the sink-side accounting snapshot the churn tests poll
+// for; all fields are read on the sink loop.
+type sinkLedger struct {
+	granted  int
+	free     int
+	sessions int
+	zombies  int
+	stats    Stats
+}
+
+func (p *chanPipe) readLedger() sinkLedger {
+	ch := make(chan sinkLedger, 1)
+	p.dstLoop.Post(0, func() {
+		ch <- sinkLedger{
+			granted:  p.sink.granted,
+			free:     p.sink.pool.countState(BlockFree),
+			sessions: len(p.sink.sessions),
+			zombies:  len(p.sink.zombies),
+			stats:    p.sink.stats,
+		}
+	})
+	return <-ch
+}
+
+// awaitCleanLedger polls until every session (and zombie) is retired
+// and the whole pool is free with nothing granted — the reclaim-on-
+// close invariant under churn.
+func awaitCleanLedger(t *testing.T, p *chanPipe, sinkBlocks int) sinkLedger {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	var led sinkLedger
+	for {
+		led = p.readLedger()
+		if led.sessions == 0 && led.zombies == 0 &&
+			led.granted == 0 && led.free == sinkBlocks {
+			return led
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sink ledger never settled: granted=%d free=%d/%d sessions=%d zombies=%d",
+				led.granted, led.free, sinkBlocks, led.sessions, led.zombies)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// abortTripSink wraps a session's BlockSink and fires trip once the
+// session has stored at least `after` payload bytes — an abort planted
+// genuinely mid-flight rather than at a timer's guess.
+type abortTripSink struct {
+	inner BlockSink
+	after int64
+	seen  *int64
+	once  *sync.Once
+	trip  func()
+}
+
+func (s abortTripSink) Store(hdr wire.BlockHeader, payload []byte, modelLen int, done func(error)) {
+	if atomic.AddInt64(s.seen, int64(len(payload))) >= s.after {
+		s.once.Do(s.trip)
+	}
+	s.inner.Store(hdr, payload, modelLen, done)
+}
+
+// TestChanSessionChurnWithAbort races k tenants over one shared
+// connection on the real-goroutine fabric: staggered opens (the
+// admission queue fills and drains while earlier tenants are already
+// streaming), one session aborted mid-flight, and closes landing in
+// whatever order the transfers finish. Survivors must deliver their
+// payloads byte-for-byte, the aborted session must surface ErrAborted
+// on both ends, and once the last session retires the sink pool must
+// be whole again: nothing granted, every block free, no zombies.
+func TestChanSessionChurnWithAbort(t *testing.T) {
+	const k = 8
+	cfg := DefaultConfig()
+	cfg.BlockSize = 32 << 10
+	cfg.Channels = 2
+	cfg.IODepth = 8
+	cfg.SinkBlocks = 64
+	cfg.MaxSessions = 4 // half the tenants wait in the admission queue
+	cfg.SessionQueue = k
+	ncfg, err := cfg.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := newChanPipe(t, chanfabric.Shaping{}, cfg)
+
+	// Session ids are assigned in request order (ordered control QP,
+	// FIFO admission queue), so transfer i carries session id i+1. The
+	// first session gets the biggest payload and is the abort target:
+	// it is guaranteed still in flight when the trip threshold lands.
+	const abortID = uint32(1)
+	inputs := make([][]byte, k)
+	inputs[0] = randBytes(6<<20, 500)
+	for i := 1; i < k; i++ {
+		inputs[i] = randBytes(192<<10+i*7919, int64(500+i))
+	}
+
+	var mu sync.Mutex
+	outputs := map[uint32]*bytes.Buffer{}
+	sinkErr := map[uint32]error{}
+	srcErr := map[uint32]error{}
+	done := make(chan struct{}, 4*k)
+	var abortSeen int64
+	abortOnce := &sync.Once{}
+	p.sink.NewWriter = func(info SessionInfo) BlockSink {
+		mu.Lock()
+		buf := &bytes.Buffer{}
+		outputs[info.ID] = buf
+		mu.Unlock()
+		var bs BlockSink = lockedWriterSink{w: buf, mu: &mu}
+		if info.ID == abortID {
+			bs = abortTripSink{
+				inner: bs, after: 256 << 10, seen: &abortSeen, once: abortOnce,
+				trip: func() {
+					p.srcLoop.Post(0, func() { p.source.Abort(abortID) })
+				},
+			}
+		}
+		return bs
+	}
+	p.sink.OnSessionDone = func(info SessionInfo, r TransferResult) {
+		mu.Lock()
+		sinkErr[info.ID] = r.Err
+		mu.Unlock()
+		done <- struct{}{}
+	}
+
+	ready := make(chan error, 1)
+	p.srcLoop.Post(0, func() { p.source.Start(func(err error) { ready <- err }) })
+	if err := <-ready; err != nil {
+		t.Fatalf("nego: %v", err)
+	}
+	for i := 0; i < k; i++ {
+		data := inputs[i]
+		p.srcLoop.Post(0, func() {
+			p.source.Transfer(ReaderSource{R: bytes.NewReader(data)}, int64(len(data)),
+				func(r TransferResult) {
+					mu.Lock()
+					srcErr[r.Session] = r.Err
+					mu.Unlock()
+					done <- struct{}{}
+				})
+		})
+		time.Sleep(time.Duration(1+i%3) * time.Millisecond) // staggered opens
+	}
+	for i := 0; i < 2*k; i++ {
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			t.Fatalf("session churn timed out after %d/%d completions", i, 2*k)
+		}
+	}
+
+	led := awaitCleanLedger(t, p, ncfg.SinkBlocks)
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(outputs) != k {
+		t.Fatalf("sink saw %d sessions, want %d", len(outputs), k)
+	}
+	for i := 0; i < k; i++ {
+		id := uint32(i + 1)
+		in, out := inputs[i], outputs[id]
+		if out == nil {
+			t.Fatalf("session %d never opened at the sink", id)
+		}
+		if id == abortID {
+			if !errors.Is(srcErr[id], ErrAborted) {
+				t.Errorf("aborted session source err = %v, want ErrAborted", srcErr[id])
+			}
+			if !errors.Is(sinkErr[id], ErrAborted) {
+				t.Errorf("aborted session sink err = %v, want ErrAborted", sinkErr[id])
+			}
+			if got := out.Bytes(); len(got) >= len(in) || !bytes.Equal(got, in[:len(got)]) {
+				t.Errorf("aborted session stored %d bytes that are not a strict prefix of its input", len(got))
+			}
+			continue
+		}
+		if srcErr[id] != nil || sinkErr[id] != nil {
+			t.Errorf("survivor %d errs: src=%v sink=%v", id, srcErr[id], sinkErr[id])
+		}
+		if !bytes.Equal(out.Bytes(), in) {
+			t.Errorf("survivor %d payload corrupted: %d bytes out, %d in", id, out.Len(), len(in))
+		}
+	}
+	// Credit conservation across the churn, abort included: every
+	// granted credit either landed a block or was reclaimed.
+	if st := led.stats; st.CreditsGranted != st.Blocks+st.CreditsReclaimed {
+		t.Errorf("credit ledger leaked: granted %d != blocks %d + reclaimed %d",
+			st.CreditsGranted, st.Blocks, st.CreditsReclaimed)
+	}
+}
+
+// TestChanWeightedGrantConservationProperty is the scheduler's
+// conservation property under arbitrary tenant weights: for random
+// weight vectors, tenant counts, and payload sizes, every credit the
+// per-tenant DRR scheduler grants is either consumed by a landed block
+// or reclaimed at session close — and the pool reassembles exactly.
+func TestChanWeightedGrantConservationProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2027))
+	for it := 0; it < 6; it++ {
+		cfg := DefaultConfig()
+		cfg.BlockSize = 8 << 10 << rng.Intn(2)
+		cfg.Channels = 1 + rng.Intn(3)
+		cfg.IODepth = 4 + rng.Intn(8)
+		cfg.SinkBlocks = 32 + rng.Intn(64)
+		n := 2 + rng.Intn(5)
+		cfg.TenantWeights = make([]int, 1+rng.Intn(n))
+		for i := range cfg.TenantWeights {
+			cfg.TenantWeights[i] = 1 + rng.Intn(4)
+		}
+		if rng.Intn(2) == 1 {
+			cfg.MaxSessions = 1 + rng.Intn(n)
+			cfg.SessionQueue = n
+		}
+		inputs := make([][]byte, n)
+		for i := range inputs {
+			inputs[i] = randBytes(32<<10+rng.Intn(512<<10), int64(it*100+i))
+		}
+		ncfg, err := cfg.Normalize()
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		t.Run("", func(t *testing.T) {
+			p := newChanPipe(t, chanfabric.Shaping{}, cfg)
+			var mu sync.Mutex
+			outputs := map[uint32]*bytes.Buffer{}
+			done := make(chan error, 2*n)
+			p.sink.NewWriter = func(info SessionInfo) BlockSink {
+				mu.Lock()
+				buf := &bytes.Buffer{}
+				outputs[info.ID] = buf
+				mu.Unlock()
+				return lockedWriterSink{w: buf, mu: &mu}
+			}
+			p.sink.OnSessionDone = func(info SessionInfo, r TransferResult) { done <- r.Err }
+			p.srcLoop.Post(0, func() {
+				p.source.Start(func(err error) {
+					if err != nil {
+						for i := 0; i < 2*n; i++ {
+							done <- err
+						}
+						return
+					}
+					for i := 0; i < n; i++ {
+						data := inputs[i]
+						p.source.Transfer(ReaderSource{R: bytes.NewReader(data)}, int64(len(data)),
+							func(r TransferResult) { done <- r.Err })
+					}
+				})
+			})
+			for i := 0; i < 2*n; i++ {
+				select {
+				case err := <-done:
+					if err != nil {
+						t.Fatalf("case %d (weights=%v, n=%d): %v", it, cfg.TenantWeights, n, err)
+					}
+				case <-time.After(30 * time.Second):
+					t.Fatalf("case %d (weights=%v, n=%d): timed out", it, cfg.TenantWeights, n)
+				}
+			}
+			led := awaitCleanLedger(t, p, ncfg.SinkBlocks)
+			st := led.stats
+			if st.CreditsGranted != st.Blocks+st.CreditsReclaimed {
+				t.Fatalf("case %d (weights=%v, n=%d): granted %d != blocks %d + reclaimed %d",
+					it, cfg.TenantWeights, n, st.CreditsGranted, st.Blocks, st.CreditsReclaimed)
+			}
+			var want, got int64
+			mu.Lock()
+			for _, in := range inputs {
+				want += int64(len(in))
+			}
+			for _, out := range outputs {
+				got += int64(out.Len())
+			}
+			mu.Unlock()
+			if got != want {
+				t.Fatalf("case %d: stored %d bytes, want %d", it, got, want)
+			}
+		})
+	}
+}

@@ -279,6 +279,14 @@ func (sh *sinkShard) handleImmNotify(wc verbs.WC) {
 			ErrProtocol, hdr.PayloadLen, wc.ByteLen)})
 		return
 	}
+	if hdr.Session != b.session {
+		// The owner stamp was written at grant time, before the credit
+		// left the sink, so it is visible here; a mismatch means one
+		// tenant's block landed in another's region.
+		sh.out.send(sinkEvent{kind: sinkEvFail, err: fmt.Errorf("%w: session %d's block landed in session %d's region rkey=%d",
+			ErrProtocol, hdr.Session, b.session, wc.Imm)})
+		return
+	}
 	k.arrive(b, hdr)
 	sh.out.send(sinkEvent{kind: sinkEvArrived, b: b})
 }

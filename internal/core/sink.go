@@ -33,6 +33,10 @@ type Sink struct {
 	// NewWriter supplies the per-session consumer. Defaults to
 	// DiscardSink.
 	NewWriter func(SessionInfo) BlockSink
+	// OnSessionOpen observes each admitted session, fired as the accept
+	// is queued — the counterpart of OnSessionDone for admission-control
+	// auditing (who got in, when, at what weight).
+	OnSessionOpen func(SessionInfo)
 	// OnSessionDone observes each finished session.
 	OnSessionDone func(SessionInfo, TransferResult)
 	// OnError observes fatal connection-level failures.
@@ -58,9 +62,20 @@ type Sink struct {
 	storeTasks []*storeTask // free list of store completion carriers
 	flushFn    func()       // prebound flush-timer callback
 	blockSize  int
-	immMode    bool // WRITE WITH IMMEDIATE notifications negotiated
-	granted    int  // credits outstanding at the source
-	pendingReq bool // MR_INFO_REQUEST awaiting a free block
+	immMode    bool     // WRITE WITH IMMEDIATE notifications negotiated
+	granted    int      // credits outstanding at the source, all sessions
+	pendingReq []uint32 // sessions whose MR_INFO_REQUEST awaits a free block
+
+	// Session manager (sessmgr.go): admission control and the
+	// per-tenant credit scheduler. schedOrder is the DRR sweep order;
+	// nextRR rotates which session a fresh batch feeds first. openQ
+	// holds SESSION_REQs waiting for a slot; zombies holds aborted
+	// sessions whose granted blocks cannot be reclaimed until their
+	// straggling WRITEs drain.
+	schedOrder []*sinkSession
+	nextRR     int
+	openQ      []pendingOpen
+	zombies    map[uint32]*zombieSession
 
 	// Credit coalescer: proactive grants accumulate here and flush as
 	// one MR_INFO_RESPONSE when the batch reaches Config.CreditBatch,
@@ -140,9 +155,23 @@ type sinkSession struct {
 	completeRx  bool
 	finished    bool
 
+	// Session-manager state (sessmgr.go): the DRR weight and running
+	// deficit, credits outstanding to this session, arrivals landed,
+	// and the control-owned set of granted-but-unarrived blocks — the
+	// session's reclaim ledger. needy/needySince bracket intervals the
+	// tenant sat with zero credits waiting on the scheduler.
+	weight     int
+	deficit    int
+	granted    int
+	arrived    int64
+	owned      map[*block]struct{}
+	needy      bool
+	needySince time.Duration
+
 	// Per-session telemetry counters (nil when telemetry is detached).
-	telBytes  *telemetry.Counter
-	telBlocks *telemetry.Counter
+	telBytes     *telemetry.Counter
+	telBlocks    *telemetry.Counter
+	telSchedWait *telemetry.Counter
 }
 
 // NewSink creates the sink on an endpoint. Set NewWriter /
@@ -158,6 +187,7 @@ func NewSink(ep *Endpoint, cfg Config) (*Sink, error) {
 		ep:        ep,
 		cfg:       cfg,
 		sessions:  make(map[uint32]*sinkSession),
+		zombies:   make(map[uint32]*zombieSession),
 		NewWriter: func(SessionInfo) BlockSink { return DiscardSink{} },
 		inv:       invariant.NewConn("sink"),
 	}
@@ -198,6 +228,22 @@ func (k *Sink) Close() {
 	}
 	k.closed = true
 	k.dead.Store(true)
+	// A session marked finished at this point has its whole stream
+	// stored and its DATASET_COMPLETE ack queued — only the ack's send
+	// completion (which fires finishSession) is outstanding, and the
+	// teardown may have outrun it. Retire such sessions as the
+	// completions they are, so OnSessionDone fires and the scheduler
+	// and gauges settle instead of stranding them in the session table.
+	var ackPending []*sinkSession
+	for _, sess := range k.sessions {
+		if sess.finished {
+			ackPending = append(ackPending, sess)
+		}
+	}
+	for _, sess := range ackPending {
+		sess.finished = false
+		k.finishSession(sess, nil, true)
+	}
 	k.ep.Close()
 	if k.pool != nil {
 		// Granted-but-unwritten blocks are reclaimable now: closing the
@@ -210,7 +256,13 @@ func (k *Sink) Close() {
 			}
 			invariant.MRWriteEnd(k.inv, b.mr.RKey)
 			invariant.GaugeAdd(k.inv, "granted", 0, -1)
+			// Multi-session reclaim invariant: every block returns
+			// through its *owning* session's ledger (the per-session
+			// gauge panics on a cross-session stray), so one tenant's
+			// teardown can never strand or absorb another's credits.
+			invariant.GaugeAdd(k.inv, "sess.granted", int(b.session), -1)
 			k.granted--
+			k.stats.CreditsReclaimed++
 			b.setState(BlockFree)
 			k.pool.put(b)
 		}
@@ -314,17 +366,13 @@ func (k *Sink) handleCtrl(c *wire.Control) {
 	case wire.MsgSessionReq:
 		k.handleSessionReq(c)
 	case wire.MsgMRInfoRequest:
-		k.handleMRRequest()
+		k.handleMRRequest(c)
 	case wire.MsgBlockComplete:
 		k.handleBlockComplete(c)
 	case wire.MsgDatasetComplete:
 		k.handleDatasetComplete(c)
 	case wire.MsgAbort:
-		if sess, ok := k.sessions[c.Session]; ok && c.Session != 0 {
-			k.finishSession(sess, ErrAborted)
-		} else {
-			k.fail(ErrAborted)
-		}
+		k.handleAbort(c)
 	}
 }
 
@@ -372,38 +420,6 @@ func (k *Sink) handleBlockSize(c *wire.Control) {
 	k.sendCtrl(&wire.Control{Type: wire.MsgBlockSizeResp, Flags: flags, AssocData: c.AssocData})
 }
 
-func (k *Sink) handleSessionReq(c *wire.Control) {
-	if k.pool == nil {
-		k.sendCtrl(&wire.Control{Type: wire.MsgSessionResp})
-		return
-	}
-	k.nextID++
-	sess := &sinkSession{
-		info:   SessionInfo{ID: k.nextID, Total: int64(c.AssocData), BlockSize: k.blockSize},
-		ready:  make(map[uint32]*block),
-		writer: nil,
-	}
-	sess.writer = k.NewWriter(sess.info)
-	if os, ok := sess.writer.(OffsetSink); ok && os.OffsetStores() {
-		sess.offsetSink = os
-		sess.ooo = make(map[uint32]struct{})
-	}
-	k.Trace.Emit(trace.Event{Cat: trace.CatSession, Name: "session_accept",
-		Session: sess.info.ID, V1: sess.info.Total})
-	if k.tel != nil {
-		sess.telBytes, sess.telBlocks = k.tel.sessionCounters(sess.info.ID)
-	}
-	k.sessions[sess.info.ID] = sess
-	if k.stats.Start == 0 {
-		k.stats.Start = k.ep.Loop.Now()
-	}
-	k.sendCtrl(&wire.Control{Type: wire.MsgSessionResp, Flags: wire.FlagAccept, Session: sess.info.ID})
-	// Active feedback begins: push the initial credit window.
-	if k.cfg.CreditPolicy == CreditProactive {
-		k.grantCredits(k.cfg.InitialCredits, grantInitial)
-	}
-}
-
 // debugStallHook is a test-only observation point invoked on each
 // explicit MR_INFO_REQUEST (nil outside tests).
 var debugStallHook func(*Sink)
@@ -420,13 +436,13 @@ const (
 	winGapEpoch = 8
 )
 
-// grantCredits advertises up to n free blocks to the source in one
-// message (free → waiting in the sink FSM), bypassing the coalescer —
-// the immediate legs (initial window, explicit on-demand requests) use
-// it directly. reason records which policy leg issued the grant for
-// telemetry and tracing. Returns the number of credits actually sent.
-func (k *Sink) grantCredits(n int, reason grantReason) int {
-	got := k.sendGrant(n, "grant_"+reason.String())
+// grantCredits advertises up to n free blocks to one session in one
+// message (free → waiting in the sink FSM), bypassing the scheduler's
+// sweep — the immediate legs (initial window, explicit on-demand
+// requests) use it directly. reason records which policy leg issued
+// the grant for telemetry and tracing. Returns the credits sent.
+func (k *Sink) grantCredits(sess *sinkSession, n int, reason grantReason) int {
+	got := k.sendGrantTo(sess, n, "grant_"+reason.String())
 	if got > 0 {
 		if t := k.tel; t != nil {
 			t.grants[reason].Add(int64(got))
@@ -435,11 +451,13 @@ func (k *Sink) grantCredits(n int, reason grantReason) int {
 	return got
 }
 
-// sendGrant acquires up to n free blocks and sends them as a single
-// MR_INFO_RESPONSE. It does everything but per-reason attribution,
-// which differs between the immediate legs and coalesced flushes.
-func (k *Sink) sendGrant(n int, traceName string) int {
-	if n <= 0 || k.pool == nil {
+// sendGrantTo acquires up to n free blocks for sess and sends them as
+// a single session-targeted MR_INFO_RESPONSE. Each block is stamped
+// with its owner at grant time: the stamp is verified when a WRITE
+// lands (a cross-session landing is a protocol violation) and keys the
+// reclaim ledger at teardown.
+func (k *Sink) sendGrantTo(sess *sinkSession, n int, traceName string) int {
+	if n <= 0 || k.pool == nil || sess.finished {
 		return 0
 	}
 	now := k.ep.Loop.Now()
@@ -451,13 +469,18 @@ func (k *Sink) sendGrant(n int, traceName string) int {
 		}
 		b.setState(BlockWaiting)
 		b.tAcq = now
+		b.session = sess.info.ID
+		sess.owned[b] = struct{}{}
 		invariant.MRWriteStart(k.inv, b.mr.RKey)
+		invariant.GaugeAdd(k.inv, "sess.granted", int(sess.info.ID), 1)
 		credits = append(credits, wire.Credit{Addr: b.mr.Addr, RKey: b.mr.RKey, Len: uint32(k.blockSize)})
 	}
 	if len(credits) == 0 {
 		return 0
 	}
 	k.granted += len(credits)
+	sess.granted += len(credits)
+	k.chargeSchedWait(sess, now)
 	invariant.GaugeAdd(k.inv, "granted", 0, int64(len(credits)))
 	k.stats.CreditsGranted += int64(len(credits))
 	k.stats.GrantMsgs++
@@ -467,8 +490,8 @@ func (k *Sink) sendGrant(n int, traceName string) int {
 		t.creditWindow.Set(int64(k.targetWindow()))
 	}
 	k.Trace.Emit(trace.Event{Cat: trace.CatCredit, Name: traceName,
-		V1: int64(len(credits)), V2: int64(k.granted)})
-	k.sendCtrl(&wire.Control{Type: wire.MsgMRInfoResponse, Credits: credits})
+		Session: sess.info.ID, V1: int64(len(credits)), V2: int64(k.granted)})
+	k.sendCtrl(&wire.Control{Type: wire.MsgMRInfoResponse, Session: sess.info.ID, Credits: credits})
 	return len(credits)
 }
 
@@ -577,23 +600,21 @@ func (k *Sink) bdpBlocks() int {
 	return int(float64(k.winRTT) / float64(k.winGap))
 }
 
-// flushGrants drains the pending batch into MR_INFO_RESPONSE messages
-// (one per wire.MaxCreditsPerMsg). If the pool runs dry mid-flush the
-// remainder is dropped — the unbatched protocol likewise dropped
-// grants that found no free block; freed blocks re-advertise via the
-// on-free leg or the explicit-request fallback.
+// flushGrants drains the pending batch through the per-tenant
+// scheduler: DRR sweeps distribute the batch across active sessions
+// (one MR_INFO_RESPONSE per session granted). If the pool runs dry or
+// every session is at its window share, the remainder is dropped —
+// the unbatched protocol likewise dropped grants that found no free
+// block; freed blocks re-advertise via the on-free leg or the
+// explicit-request fallback.
 func (k *Sink) flushGrants() {
 	for k.pendingGrant > 0 {
-		want := k.pendingGrant
-		if want > wire.MaxCreditsPerMsg {
-			want = wire.MaxCreditsPerMsg
-		}
-		got := k.sendGrant(want, "grant_flush")
-		k.attributeGrants(got, want)
-		if got < want {
+		got := k.schedSweep(k.pendingGrant)
+		if got == 0 {
 			k.dropPending()
 			break
 		}
+		k.attributeGrants(got, got)
 	}
 	if t := k.tel; t != nil {
 		t.pendingGrants.Set(int64(k.pendingGrant))
@@ -759,7 +780,51 @@ func (k *Sink) noteWindowSample(now time.Duration, rtt time.Duration) {
 
 // handleMRRequest must answer as soon as at least one region frees
 // (paper: "the responder will be delayed until one becomes available").
-func (k *Sink) handleMRRequest() {
+// The request is session-scoped: the starving tenant is named, so the
+// answer is targeted at it rather than fed through the sweep.
+func (k *Sink) handleMRRequest(c *wire.Control) {
+	sess := k.sessions[c.Session]
+	if sess == nil || sess.finished {
+		return // the session tore down; reclaim returns its blocks
+	}
+	if debugStallHook != nil {
+		debugStallHook(k)
+	}
+	if len(k.sessions) > 1 {
+		// Multiplexed tenants: the starvation bypass still honors the
+		// requester's DRR share — without this clamp the first tenant
+		// to ask would walk off with the whole pool and fairness would
+		// collapse to first-come-first-served. The request is answered
+		// directly only up to the share; it never captures the
+		// coalescer's pending batch, which flushes through the sweep so
+		// the other tenants keep their claim on it.
+		batch := k.cfg.OnDemandBatch
+		if m := k.sessionCap(sess) - sess.granted; batch > m {
+			batch = m
+		}
+		if batch < 1 {
+			// At its full share with a request on file. The request
+			// MUST stay parked: the source sends exactly one and then
+			// waits, so dropping it here is a lost wakeup — the refill
+			// in storeDone answers it once an arrival opens the share.
+			k.pendingReq = append(k.pendingReq, sess.info.ID)
+		} else if k.winBoost < k.cfg.SinkBlocks {
+			// An under-share tenant starving is evidence the shared
+			// window itself ran behind the aggregate pipe.
+			k.winBoost += k.cfg.OnDemandBatch
+		}
+		if batch >= 1 {
+			if k.pool == nil || len(k.pool.free) == 0 {
+				k.pendingReq = append(k.pendingReq, sess.info.ID)
+			} else if k.grantCredits(sess, batch, grantOnDemand) == 0 {
+				k.pendingReq = append(k.pendingReq, sess.info.ID)
+			}
+		}
+		if k.pendingGrant > 0 {
+			k.flushGrants()
+		}
+		return
+	}
 	// An explicit request means the source is starving: answer with a
 	// full batch regardless of policy or window — the request is direct
 	// evidence the window estimate ran behind the pipe. Any coalesced
@@ -767,9 +832,6 @@ func (k *Sink) handleMRRequest() {
 	batch := k.cfg.OnDemandBatch
 	if p := k.pendingGrant; p > batch {
 		batch = p
-	}
-	if debugStallHook != nil {
-		debugStallHook(k)
 	}
 	// Record the starvation level only when the coalescer was actually
 	// withholding a substantial batch — a request that finds little or
@@ -787,10 +849,24 @@ func (k *Sink) handleMRRequest() {
 	// The free list is control-owned state; counting block states would
 	// race with the shards that own granted blocks.
 	if k.pool == nil || len(k.pool.free) == 0 {
-		k.pendingReq = true
+		k.pendingReq = append(k.pendingReq, sess.info.ID)
 		return
 	}
-	k.grantCredits(batch, grantOnDemand)
+	k.grantCredits(sess, batch, grantOnDemand)
+}
+
+// popPendingReq returns the first still-live session with a starving
+// request on file (paper: the delayed responder answers as soon as a
+// region frees), discarding entries whose session tore down meanwhile.
+func (k *Sink) popPendingReq() *sinkSession {
+	for len(k.pendingReq) > 0 {
+		id := k.pendingReq[0]
+		k.pendingReq = k.pendingReq[1:]
+		if sess := k.sessions[id]; sess != nil && !sess.finished {
+			return sess
+		}
+	}
+	return nil
 }
 
 // handleBlockComplete processes a block-transfer completion
@@ -818,6 +894,14 @@ func (k *Sink) handleBlockComplete(c *wire.Control) {
 			ErrProtocol, hdr.Session, hdr.Seq, hdr.PayloadLen, c.Session, c.Seq, c.Length))
 		return
 	}
+	if hdr.Session != b.session {
+		// Cross-session landing: a block for one tenant arrived in a
+		// region granted to another. The owner stamp was set at grant
+		// time, so this is always a source-side protocol bug.
+		k.fail(fmt.Errorf("%w: session %d's block landed in session %d's region rkey=%d",
+			ErrProtocol, hdr.Session, b.session, c.RKey))
+		return
+	}
 	k.arrive(b, hdr)
 	k.markArrived(b)
 }
@@ -841,12 +925,18 @@ func (k *Sink) arrive(b *block, hdr wire.BlockHeader) {
 func (k *Sink) markArrived(b *block) {
 	k.granted--
 	invariant.GaugeAdd(k.inv, "granted", 0, -1)
+	invariant.GaugeAdd(k.inv, "sess.granted", int(b.session), -1)
 	invariant.MRWriteEnd(k.inv, b.mr.RKey)
 	sess := k.sessions[b.session]
 	if sess == nil || sess.finished {
-		k.fail(fmt.Errorf("%w: block for unknown session %d", ErrProtocol, b.session))
+		// A WRITE that raced a teardown: tolerated for sessions with a
+		// zombie record, a protocol violation otherwise.
+		k.zombieArrival(b)
 		return
 	}
+	sess.granted--
+	sess.arrived++
+	delete(sess.owned, b)
 	if dup := k.noteArrival(sess, b.seq); dup {
 		k.fail(fmt.Errorf("%w: duplicate block %d/%d", ErrProtocol, b.session, b.seq))
 		return
@@ -868,6 +958,11 @@ func (k *Sink) markArrived(b *block) {
 	if b.last {
 		sess.haveLast = true
 		sess.lastSeq = b.seq
+	}
+	if sess.granted == 0 {
+		// The tenant's last outstanding credit just landed: until the
+		// scheduler feeds it again it is waiting on a scheduling slot.
+		k.noteNeedy(sess, now)
 	}
 	// Proactive feedback: queue replacement grants with the coalescer;
 	// if nothing is free by flush time the notification is simply not
@@ -1029,7 +1124,15 @@ func (k *Sink) storeDone(sess *sinkSession, b *block, err error) {
 		t.storesInflight.Set(k.totalStoring())
 	}
 	if err != nil {
-		k.finishSession(sess, fmt.Errorf("core: storing block %d: %w", b.seq, err))
+		// Sink-initiated abort: recycle the failed block, tear the
+		// session down without reclaiming its granted blocks (the
+		// source may still have WRITEs in flight into them — the
+		// zombie record waits for its drain confirm), and tell the
+		// source to stop.
+		b.setState(BlockFree)
+		k.pool.put(b)
+		k.stats.CreditsReclaimed++
+		k.finishSession(sess, fmt.Errorf("core: storing block %d: %w", b.seq, err), false)
 		k.sendCtrl(&wire.Control{Type: wire.MsgAbort, Session: sess.info.ID})
 		return
 	}
@@ -1045,10 +1148,28 @@ func (k *Sink) storeDone(sess *sinkSession, b *block, err error) {
 	}
 	b.setState(BlockFree)
 	k.pool.put(b)
-	if k.pendingReq {
-		k.pendingReq = false
-		k.handleMRRequest()
-	} else if k.cfg.CreditPolicy == CreditProactive && !k.cfg.NoGrantOnFree && len(k.sessions) > 0 {
+	starving := k.popPendingReq()
+	if starving != nil {
+		batch := k.cfg.OnDemandBatch
+		if len(k.sessions) > 1 {
+			// Multiplexed tenants: even the starvation path honors the
+			// requester's DRR share, or FCFS refills would concentrate
+			// the pool on whoever asked first.
+			if m := k.sessionCap(starving) - starving.granted; batch > m {
+				batch = m
+			}
+		}
+		if batch >= 1 {
+			k.grantCredits(starving, batch, grantOnDemand)
+		} else {
+			// Still at its full share: keep the request on file (the
+			// source will not ask again) and let this freed block
+			// re-advertise through the sweep instead.
+			k.pendingReq = append(k.pendingReq, starving.info.ID)
+			starving = nil
+		}
+	}
+	if starving == nil && k.cfg.CreditPolicy == CreditProactive && !k.cfg.NoGrantOnFree && len(k.sessions) > 0 {
 		// Active feedback: once the window has ramped, consume-time
 		// grants find nothing free, so re-advertise each block the
 		// moment it frees. Without this the source burns its stash and
@@ -1094,41 +1215,78 @@ func (k *Sink) maybeFinish(sess *sinkSession) {
 	// not strand the ack.
 	sess.finished = true // no double-finish via other paths
 	k.sendCtrlThen(&wire.Control{Type: wire.MsgDatasetCompleteAck, Session: sess.info.ID}, func() {
+		if k.closed {
+			return // Close already retired it as complete
+		}
 		sess.finished = false
-		k.finishSession(sess, nil)
+		// Normal completion: the source drained every WRITE before
+		// DATASET_COMPLETE and dropped its unused credits, so the
+		// session's leftover granted blocks are safe to reclaim now.
+		k.finishSession(sess, nil, true)
 	})
 }
 
-func (k *Sink) finishSession(sess *sinkSession, err error) {
+// finishSession retires a session. reclaim says the source is known
+// drained (normal completion, or an abort whose reported write count
+// our arrivals have matched) so granted-but-unlanded blocks return to
+// the pool immediately; otherwise, if any remain, the session parks as
+// a zombie until the source's drain confirm proves no straggling WRITE
+// can land (see zombieSession).
+func (k *Sink) finishSession(sess *sinkSession, err error, reclaim bool) {
 	if sess.finished {
 		return
 	}
 	sess.finished = true
 	delete(k.sessions, sess.info.ID)
 	invariant.StreamReset(k.inv, sess.info.ID)
+	for i, r := range k.schedOrder {
+		if r == sess {
+			k.schedOrder = append(k.schedOrder[:i], k.schedOrder[i+1:]...)
+			break
+		}
+	}
+	if t := k.tel; t != nil {
+		t.sessionsActive.Set(int64(len(k.schedOrder)))
+	}
 	if len(k.sessions) == 0 && k.pendingGrant > 0 {
 		// No session left to feed: abandon the coalesced batch so its
 		// blocks stay free instead of being advertised into the void.
 		k.dropPending()
 	}
 	// Blocks still held by an aborted session return to the pool
-	// (data-ready → free, the abort shortcut past Storing).
+	// (data-ready → free, the abort shortcut past Storing). They were
+	// granted but never became stored blocks: reclaimed, for the
+	// conservation ledger.
+	k.stats.CreditsReclaimed += int64(len(sess.ready) + len(sess.storeQ))
 	for _, b := range sess.ready {
+		k.dropOwned(sess, b)
 		b.setState(BlockFree)
 		k.pool.put(b)
 	}
 	for _, b := range sess.storeQ {
+		k.dropOwned(sess, b)
 		b.setState(BlockFree)
 		k.pool.put(b)
 	}
 	sess.ready = nil
 	sess.storeQ = nil
 	sess.ooo = nil
+	if reclaim {
+		n := k.reclaimOwned(sess.info.ID, sess.owned)
+		if n > 0 && len(k.sessions) > 0 && k.failed == nil && !k.closed &&
+			k.cfg.CreditPolicy == CreditProactive && !k.cfg.NoGrantOnFree {
+			k.queueGrants(n, grantOnFree)
+		}
+	} else if k.failed == nil && !k.closed && len(sess.owned) > 0 {
+		k.zombies[sess.info.ID] = &zombieSession{owned: sess.owned, arrived: sess.arrived}
+	}
+	sess.owned = nil
 	if k.OnSessionDone != nil {
 		k.OnSessionDone(sess.info, TransferResult{
 			Session: sess.info.ID, Bytes: sess.received, Blocks: sess.blocks, Err: err,
 		})
 	}
+	k.admitQueued()
 }
 
 func (k *Sink) fail(err error) {
@@ -1139,7 +1297,7 @@ func (k *Sink) fail(err error) {
 	k.Trace.EmitErr(trace.CatError, "conn_failed", err)
 	k.sendCtrl(&wire.Control{Type: wire.MsgAbort})
 	for _, sess := range k.sessions {
-		k.finishSession(sess, err)
+		k.finishSession(sess, err, false)
 	}
 	if k.OnError != nil {
 		k.OnError(err)

@@ -26,11 +26,11 @@ type Source struct {
 	ep  *Endpoint
 	cfg Config
 
-	pool    *pool
-	shards  []*srcShard
-	loaded  []*block // loaded, awaiting a credit+channel, in load order
-	credits []wire.Credit
-	stalled bool // MR_INFO_REQUEST outstanding
+	pool   *pool
+	shards []*srcShard
+	// creditCount is the sum of per-session credit stashes (sessions own
+	// their credits; the sink's scheduler targets grants by session id).
+	creditCount int
 
 	// pumping/repump collapse re-entrant pump calls (an inline shard
 	// handoff can bounce an event back mid-postWrites) into one loop.
@@ -40,13 +40,21 @@ type Source struct {
 	ctrlWR    verbs.SendWR // reused control-post WR (PostSend copies)
 	loadTasks []*loadTask  // free list of load completion carriers
 
-	ctrlQ      [][]byte // encoded control messages awaiting queue space
-	negoStep   int      // 0 idle, 1 block size sent, 2 channels sent, 3 done
-	onReady    func(error)
-	openQ      []*srcSession // waiting to send SESSION_REQ
-	opening    *srcSession   // SESSION_REQ outstanding
+	ctrlQ    [][]byte // encoded control messages awaiting queue space
+	negoStep int      // 0 idle, 1 block size sent, 2 channels sent, 3 done
+	onReady  func(error)
+	openQ    []*srcSession // waiting to send SESSION_REQ
+	// opening holds sessions whose SESSION_REQ is outstanding, up to
+	// maxOpenInflight deep so thousands of Transfer calls pipeline their
+	// handshakes instead of serializing one round trip each. Responses
+	// are matched by the request token echoed in the Seq field, so a
+	// sink that answers out of order (admission queue) still resolves.
+	opening    []*srcSession
+	nextTok    uint32
 	sessions   map[uint32]*srcSession
 	rrSessions []*srcSession // load scheduling order
+	nextSess   int           // postWrites round-robin cursor into rrSessions
+	loadRR     int           // issueLoads round-robin cursor into rrSessions
 
 	chInflight  []int // per data QP
 	chDead      []bool
@@ -83,12 +91,29 @@ type Source struct {
 // srcSession is one dataset transfer in progress at the source.
 type srcSession struct {
 	id      uint32
+	openTok uint32        // SESSION_REQ token (echoed in SESSION_RESP.Seq)
 	src     BlockSource
 	srcAt   BlockSourceAt // non-nil when src is offset-addressed
 	total   int64         // advisory; EOF from the BlockSource is authoritative
 	sent    int64
 	blocks  int64
 	nextSeq uint32
+	// loadedQ and credits are this session's private queues: blocks
+	// loaded and waiting for a credit, and credits granted by the sink's
+	// scheduler to this session. Keeping them per session is what lets
+	// postWrites interleave sessions — one session exhausting its credit
+	// share can no longer park its blocks at the head of a shared FIFO
+	// and stall every other session behind it.
+	loadedQ []*block
+	credits []wire.Credit
+	stalled bool // session-scoped MR_INFO_REQUEST outstanding
+	// aborting marks a session draining toward teardown: no new loads or
+	// posts are issued, in-flight loads and WRITEs are recycled as they
+	// complete, and only when the last one lands does the source send
+	// MsgAbort for the session — so the sink never reclaims a granted
+	// block that a straggling WRITE could still hit.
+	aborting bool
+	abortErr error
 	// nextOffset is the byte offset of the next load. Offset-addressed
 	// sessions advance it by the full payload capacity at issue time
 	// (seq and offset are fixed before the load completes, so loads
@@ -214,6 +239,15 @@ func (s *Source) Transfer(src BlockSource, total int64, onDone func(TransferResu
 	s.tryOpenSession()
 }
 
+// Abort cancels one in-flight transfer; the connection and its other
+// sessions survive. The session's onDone fires with ErrAborted once
+// its in-flight loads and WRITEs drain and the sink has been told.
+func (s *Source) Abort(session uint32) {
+	if sess := s.sessions[session]; sess != nil {
+		s.abortSession(sess, ErrAborted)
+	}
+}
+
 // Close tears the connection down. In-flight transfers fail.
 func (s *Source) Close() {
 	if s.closed {
@@ -268,17 +302,38 @@ func (s *Source) pumpCtrl() {
 	}
 }
 
+// maxOpenInflight bounds concurrent SESSION_REQs outstanding, keeping
+// the control receive ring ahead of a caller queueing thousands of
+// transfers at once while still pipelining the open handshakes.
+const maxOpenInflight = 16
+
 func (s *Source) tryOpenSession() {
-	if s.opening != nil || len(s.openQ) == 0 || s.negoStep != 3 || s.failed != nil {
-		return
+	for len(s.opening) < maxOpenInflight && len(s.openQ) > 0 && s.negoStep == 3 && s.failed == nil {
+		sess := s.openQ[0]
+		s.openQ = s.openQ[1:]
+		s.nextTok++
+		sess.openTok = s.nextTok
+		s.opening = append(s.opening, sess)
+		s.sendCtrl(&wire.Control{
+			Type:      wire.MsgSessionReq,
+			Seq:       sess.openTok,
+			Length:    uint32(s.cfg.BlockSize),
+			AssocData: uint64(sess.total),
+		})
 	}
-	s.opening = s.openQ[0]
-	s.openQ = s.openQ[1:]
-	s.sendCtrl(&wire.Control{
-		Type:      wire.MsgSessionReq,
-		Length:    uint32(s.cfg.BlockSize),
-		AssocData: uint64(s.opening.total),
-	})
+}
+
+// popOpening resolves a SESSION_RESP to its request by the echoed
+// token; responses normally arrive in request order, so the head hit
+// is the common case.
+func (s *Source) popOpening(tok uint32) *srcSession {
+	for i, sess := range s.opening {
+		if sess.openTok == tok {
+			s.opening = append(s.opening[:i], s.opening[i+1:]...)
+			return sess
+		}
+	}
+	return nil
 }
 
 // onCtrlWC handles control queue completions.
@@ -341,13 +396,16 @@ func (s *Source) handleCtrl(c *wire.Control) {
 		s.tryOpenSession()
 
 	case wire.MsgSessionResp:
-		sess := s.opening
+		sess := s.popOpening(c.Seq)
 		if sess == nil {
 			return
 		}
-		s.opening = nil
 		if c.Flags&wire.FlagAccept == 0 {
-			sess.onDone(TransferResult{Err: ErrNegotiationRejected})
+			err := ErrNegotiationRejected
+			if c.Flags&wire.FlagBusy != 0 {
+				err = ErrSessionBusy
+			}
+			sess.onDone(TransferResult{Err: err})
 			s.tryOpenSession()
 			return
 		}
@@ -363,17 +421,28 @@ func (s *Source) handleCtrl(c *wire.Control) {
 		s.tryOpenSession()
 
 	case wire.MsgMRInfoResponse:
-		s.stalled = false
-		s.credits = append(s.credits, c.Credits...)
 		invariant.CreditGrant(s.inv, int64(len(c.Credits)))
 		s.stats.CreditsGranted += int64(len(c.Credits))
 		s.stats.GrantMsgs++
+		sess := s.sessions[c.Session]
+		if sess == nil || sess.completeTx || sess.aborting {
+			// Credits for a session that finished or is draining: the
+			// grant crossed the teardown on the wire. Drop them — the
+			// sink reclaims the backing blocks when it processes the
+			// session's completion or abort.
+			invariant.CreditConsume(s.inv, int64(len(c.Credits)))
+			s.pump()
+			return
+		}
+		sess.stalled = false
+		sess.credits = append(sess.credits, c.Credits...)
+		s.creditCount += len(c.Credits)
 		if s.tel != nil {
 			s.tel.creditsRecv.Add(int64(len(c.Credits)))
-			s.tel.creditStash.Set(int64(len(s.credits)))
+			s.tel.creditStash.Set(int64(s.creditCount))
 		}
 		s.Trace.Emit(trace.Event{Cat: trace.CatCredit, Name: "credits_recv",
-			V1: int64(len(c.Credits)), V2: int64(len(s.credits))})
+			Session: c.Session, V1: int64(len(c.Credits)), V2: int64(s.creditCount)})
 		s.pump()
 
 	case wire.MsgDatasetCompleteAck:
@@ -387,7 +456,18 @@ func (s *Source) handleCtrl(c *wire.Control) {
 		sess.onDone(TransferResult{Session: sess.id, Bytes: sess.sent, Blocks: sess.blocks})
 
 	case wire.MsgAbort:
-		s.fail(ErrAborted)
+		if c.Session == 0 {
+			s.fail(ErrAborted)
+			return
+		}
+		if sess := s.sessions[c.Session]; sess != nil {
+			s.abortSession(sess, ErrAborted)
+			return
+		}
+		// Unknown session: the sink's abort crossed our own teardown on
+		// the wire, and our drain confirm (carrying the write count) is
+		// already ahead of it. Nothing to do — replying would just
+		// duplicate that confirm.
 	}
 }
 
@@ -440,21 +520,26 @@ func (s *Source) pump() {
 func (s *Source) pumpOnce() {
 	s.issueLoads()
 	s.postWrites()
-	// Credit starvation fallback: data is ready but no credits and no
-	// outstanding request (paper: MR block information request).
-	if len(s.loaded) > 0 && len(s.credits) == 0 && !s.stalled {
-		s.stalled = true
+	// Credit starvation fallback, per session: data is ready but the
+	// session holds no credits and has no outstanding request (paper: MR
+	// block information request, now scoped to the starving session so
+	// the sink's scheduler knows which tenant to feed).
+	for _, sess := range s.rrSessions {
+		if len(sess.loadedQ) == 0 || len(sess.credits) > 0 || sess.stalled || sess.aborting {
+			continue
+		}
+		sess.stalled = true
 		s.stats.CreditStalls++
 		if s.tel != nil {
 			s.tel.creditStalls.Inc()
 		}
 		s.Trace.Emit(trace.Event{Cat: trace.CatCredit, Name: "credit_stall",
-			V1: s.stats.CreditStalls, V2: int64(len(s.loaded))})
-		s.sendCtrl(&wire.Control{Type: wire.MsgMRInfoRequest})
+			Session: sess.id, V1: s.stats.CreditStalls, V2: int64(len(sess.loadedQ))})
+		s.sendCtrl(&wire.Control{Type: wire.MsgMRInfoRequest, Session: sess.id})
 	}
 	// Credit conservation: every granted credit is either consumed by a
-	// posted WRITE or still in the stash.
-	invariant.CreditOutstanding(s.inv, int64(len(s.credits)))
+	// posted WRITE, dropped at session teardown, or still in a stash.
+	invariant.CreditOutstanding(s.inv, int64(s.creditCount))
 	s.checkSessionCompletion()
 	s.noteStall()
 }
@@ -466,17 +551,55 @@ func (s *Source) pumpOnce() {
 // arrive in any order — the storage stage pipelines like the network
 // stages already do.
 func (s *Source) issueLoads() {
+	n := len(s.rrSessions)
+	if n == 0 {
+		return
+	}
+	// Contention-time prefetch bounds: with several sessions sharing the
+	// block pool, a credit-starved session must not keep loading ahead —
+	// unbounded prefetch parks the whole pool in a few sessions' loaded
+	// queues and the rest (credits in hand) cannot load at all. Each
+	// session may stay an equal pool share ahead of its credits, and
+	// prefetch beyond a session's credits may only use the pool's
+	// surplus half: a load paired with an unspent credit always drains
+	// (write, complete, recycle), so reserving half the pool for paired
+	// loads keeps the pipeline deadlock-free even when parked sessions
+	// outnumber the blocks. A lone session keeps the unbounded prefetch
+	// that rides out credit dips.
+	share, reserve := 0, 0
+	if n > 1 {
+		share = len(s.pool.blocks) / n
+		if share < 1 {
+			share = 1
+		}
+		reserve = len(s.pool.blocks) / 2
+	}
 	for progress := true; progress; {
 		progress = false
-		for _, sess := range s.rrSessions {
-			if sess.eof || sess.loads >= sess.loadDepth(&s.cfg) {
+		for i := 0; i < n; i++ {
+			idx := (s.loadRR + i) % n
+			sess := s.rrSessions[idx]
+			if sess.eof || sess.aborting || sess.loads >= sess.loadDepth(&s.cfg) {
 				continue
+			}
+			if share > 0 {
+				ahead := sess.loads + len(sess.loadedQ)
+				if ahead >= len(sess.credits)+share {
+					continue
+				}
+				if ahead >= len(sess.credits) && len(s.pool.free) <= reserve {
+					continue
+				}
 			}
 			b := s.pool.get()
 			if b == nil {
+				// Dry: remember who was denied so the next freed block
+				// goes to it, not back to the front of the list.
+				s.loadRR = idx
 				return
 			}
 			s.issueLoad(sess, b)
+			s.loadRR = (idx + 1) % n
 			progress = true
 		}
 	}
@@ -565,22 +688,27 @@ func (s *Source) loadDone(sess *srcSession, b *block, n int, eof bool, err error
 	if s.tel != nil {
 		s.tel.loadsInflight.Set(s.totalLoads())
 	}
-	if s.sessions[sess.id] != sess {
-		// The session failed or finished while this load was in flight;
-		// recycle the block and keep other sessions moving.
+	if s.sessions[sess.id] != sess || sess.aborting {
+		// The session failed, finished, or is draining toward an abort
+		// while this load was in flight; recycle the block and keep
+		// other sessions moving.
 		b.setState(BlockFree)
 		s.pool.put(b)
+		s.maybeFinishAbort(sess)
 		s.pump()
 		return
 	}
 	if err != nil {
+		seq := b.seq
 		b.setState(BlockFree)
 		s.pool.put(b)
-		s.failSession(sess, fmt.Errorf("core: loading block %d: %w", b.seq, err))
+		s.abortSession(sess, fmt.Errorf("core: loading block %d: %w", seq, err))
 		return
 	}
 	if n == 0 && !eof {
-		s.failSession(sess, fmt.Errorf("%w: empty load without EOF", ErrProtocol))
+		b.setState(BlockFree)
+		s.pool.put(b)
+		s.abortSession(sess, fmt.Errorf("%w: empty load without EOF", ErrProtocol))
 		return
 	}
 	if eof {
@@ -608,7 +736,7 @@ func (s *Source) loadDone(sess *srcSession, b *block, n int, eof bool, err error
 		b.tReady = s.ep.Loop.Now()
 		s.tel.loadLatency.Observe(int64(b.tReady - b.tAcq))
 	}
-	s.loaded = append(s.loaded, b)
+	sess.loadedQ = append(sess.loadedQ, b)
 	sess.queued++
 	s.pump()
 }
@@ -624,43 +752,66 @@ func (s *Source) totalLoads() int64 {
 
 // postWrites pairs loaded blocks with credits and channels, then hands
 // each block to its channel's reactor shard for the actual PostSend.
-// The accounting (credit consumed, inflight counters) is committed
-// here, before the handoff; a shard that cannot post sends the block
-// back and postReverted undoes it.
+// Sessions are drained round-robin, one block per turn, so blocks from
+// many sessions interleave onto the shared channels: a session out of
+// credits (or out of data) is skipped rather than parking its queue
+// head in front of everyone else — the multiplexed replacement for the
+// old global FIFO's head-of-line blocking. The accounting (credit
+// consumed, inflight counters) is committed here, before the handoff;
+// a shard that cannot post sends the block back and postReverted
+// undoes it.
 func (s *Source) postWrites() {
-	for len(s.loaded) > 0 && len(s.credits) > 0 && s.failed == nil {
-		b := s.loaded[0]
-		cr := s.credits[0]
-		if int(cr.Len) < wire.BlockHeaderSize+b.payloadLen {
-			// Credit too small for this block: protocol violation (the
-			// block size was negotiated).
-			s.fail(fmt.Errorf("%w: credit len %d < block need %d", ErrProtocol, cr.Len, wire.BlockHeaderSize+b.payloadLen))
-			return
-		}
-		ch := s.pickChannel()
-		if ch < 0 {
-			return // all channels at depth; completions will re-pump
-		}
-		s.loaded = s.loaded[1:]
-		s.credits = s.credits[1:]
-		invariant.CreditConsume(s.inv, 1)
-		sess := s.sessions[b.session]
-		b.credit = cr
-		b.chIdx = ch
-		b.setState(BlockSending)
-		s.chInflight[ch]++
-		invariant.GaugeAdd(s.inv, "ch.inflight", ch, 1)
-		if sess != nil {
+	for progress := true; progress && s.failed == nil; {
+		progress = false
+		n := len(s.rrSessions)
+		for i := 0; i < n && s.failed == nil; i++ {
+			// An inline shard handoff can bounce a completion back into
+			// the control plane mid-loop and remove a session; index
+			// against the live slice length, not the snapshot.
+			m := len(s.rrSessions)
+			if m == 0 {
+				return
+			}
+			sess := s.rrSessions[(s.nextSess+i)%m]
+			if sess.aborting || len(sess.loadedQ) == 0 || len(sess.credits) == 0 {
+				continue
+			}
+			b := sess.loadedQ[0]
+			cr := sess.credits[0]
+			if int(cr.Len) < wire.BlockHeaderSize+b.payloadLen {
+				// Credit too small for this block: protocol violation
+				// (the block size was negotiated).
+				s.fail(fmt.Errorf("%w: credit len %d < block need %d", ErrProtocol, cr.Len, wire.BlockHeaderSize+b.payloadLen))
+				return
+			}
+			ch := s.pickChannel()
+			if ch < 0 {
+				s.nextSess = (s.nextSess + i) % m
+				return // all channels at depth; completions will re-pump
+			}
+			sess.loadedQ = sess.loadedQ[1:]
+			sess.credits = sess.credits[1:]
+			s.creditCount--
+			invariant.CreditConsume(s.inv, 1)
+			b.credit = cr
+			b.chIdx = ch
+			b.setState(BlockSending)
+			s.chInflight[ch]++
+			invariant.GaugeAdd(s.inv, "ch.inflight", ch, 1)
 			sess.inflight++
 			sess.queued--
+			if t := s.tel; t != nil {
+				t.creditStash.Set(int64(s.creditCount))
+				t.inflight.Set(s.totalInflight())
+			}
+			progress = true
+			// Ownership handoff: the shard encodes, posts, and completes
+			// the Sending→Waiting transition (or bounces the block back).
+			s.shards[s.ep.shardIndex(ch)].inbox.send(b)
 		}
-		if t := s.tel; t != nil {
-			t.creditStash.Set(int64(len(s.credits)))
-			t.inflight.Set(s.totalInflight())
+		if n > 0 {
+			s.nextSess = (s.nextSess + 1) % n
 		}
-		// Ownership handoff: the shard encodes, posts, and completes the
-		// Sending→Waiting transition (or bounces the block back).
-		s.shards[s.ep.shardIndex(ch)].inbox.send(b)
 	}
 }
 
@@ -672,15 +823,27 @@ func (s *Source) postReverted(b *block, err error) {
 	ch := b.chIdx
 	s.chInflight[ch]--
 	invariant.GaugeAdd(s.inv, "ch.inflight", ch, -1)
-	if sess := s.sessions[b.session]; sess != nil {
+	sess := s.sessions[b.session]
+	if sess != nil && !sess.aborting {
 		sess.inflight--
 		sess.queued++
+		sess.loadedQ = append([]*block{b}, sess.loadedQ...)
+		sess.credits = append([]wire.Credit{b.credit}, sess.credits...)
+		s.creditCount++
+		// The credit went back to the stash unused: re-grant so the
+		// ledger keeps matching the stash totals.
+		invariant.CreditGrant(s.inv, 1)
+	} else {
+		// The owning session died while the block was with the shard:
+		// recycle it and let the credit stay consumed — the sink
+		// reclaims the backing region at session teardown.
+		b.setState(BlockFree)
+		s.pool.put(b)
+		if sess != nil {
+			sess.inflight--
+			s.maybeFinishAbort(sess)
+		}
 	}
-	s.loaded = append([]*block{b}, s.loaded...)
-	s.credits = append([]wire.Credit{b.credit}, s.credits...)
-	// The credit went back to the stash unused: re-grant so the ledger
-	// keeps matching len(s.credits).
-	invariant.CreditGrant(s.inv, 1)
 	if err == verbs.ErrSendQueueFull {
 		s.chSaturated[ch] = true
 		s.pump()
@@ -742,7 +905,10 @@ func (s *Source) writeDone(b *block, status verbs.Status) {
 	case verbs.StatusSuccess:
 		// Notify the sink which region completed (block transfer
 		// completion notification) — unless the WRITE itself carried
-		// the notification as an immediate value.
+		// the notification as an immediate value. Draining sessions
+		// notify too: the abort confirm reports the successful-WRITE
+		// count, and the sink reconciles arrivals against it before
+		// reclaiming the session's granted blocks.
 		if !s.cfg.NotifyViaImm {
 			s.sendCtrl(&wire.Control{
 				Type:    wire.MsgBlockComplete,
@@ -770,12 +936,19 @@ func (s *Source) writeDone(b *block, status verbs.Status) {
 		}
 		b.setState(BlockFree)
 		s.pool.put(b)
+		if sess != nil && sess.aborting {
+			s.maybeFinishAbort(sess)
+		}
 		s.pump()
 
 	case verbs.StatusFlushed:
 		// Teardown in progress; drop.
 		b.setState(BlockFree)
 		s.pool.put(b)
+		if sess != nil && sess.aborting {
+			sess.inflight--
+			s.maybeFinishAbort(sess)
+		}
 
 	default:
 		// Failed WRITE: retry with a fresh credit (the old one is
@@ -788,6 +961,21 @@ func (s *Source) writeDone(b *block, status verbs.Status) {
 		if s.tel != nil {
 			s.tel.retransmits.Inc()
 		}
+		if sess == nil || sess.aborting {
+			// The owner died or is draining toward an abort: no retry.
+			b.setState(BlockFree)
+			s.pool.put(b)
+			if sess != nil {
+				sess.inflight--
+				s.maybeFinishAbort(sess)
+			}
+			if s.liveChannels() == 0 {
+				s.fail(fmt.Errorf("core: all data channels failed: %v", status))
+				return
+			}
+			s.pump()
+			return
+		}
 		b.retries++
 		if b.retries > s.cfg.MaxRetries {
 			s.fail(fmt.Errorf("%w: block %d/%d after %v", ErrTooManyRetries, b.session, b.seq, status))
@@ -797,12 +985,10 @@ func (s *Source) writeDone(b *block, status verbs.Status) {
 			s.fail(fmt.Errorf("core: all data channels failed: %v", status))
 			return
 		}
-		if sess != nil {
-			sess.inflight--
-			sess.queued++
-		}
+		sess.inflight--
+		sess.queued++
 		b.setState(BlockLoaded)
-		s.loaded = append([]*block{b}, s.loaded...)
+		sess.loadedQ = append([]*block{b}, sess.loadedQ...)
 		s.pump()
 	}
 }
@@ -810,10 +996,11 @@ func (s *Source) writeDone(b *block, status verbs.Status) {
 // checkSessionCompletion sends DATASET_COMPLETE for drained sessions.
 func (s *Source) checkSessionCompletion() {
 	for _, sess := range s.rrSessions {
-		if sess.completeTx || !sess.eof || sess.loads > 0 || sess.inflight > 0 || sess.queued > 0 {
+		if sess.completeTx || sess.aborting || !sess.eof || sess.loads > 0 || sess.inflight > 0 || sess.queued > 0 {
 			continue
 		}
 		sess.completeTx = true
+		s.dropCredits(sess)
 		s.Trace.Emit(trace.Event{Cat: trace.CatSession, Name: "complete_tx",
 			Session: sess.id, V1: sess.sent, V2: sess.blocks})
 		s.sendCtrl(&wire.Control{
@@ -823,11 +1010,63 @@ func (s *Source) checkSessionCompletion() {
 	}
 }
 
-// failSession aborts one session; the connection survives.
-func (s *Source) failSession(sess *srcSession, err error) {
+// dropCredits discards a session's unused credit stash (completion or
+// teardown): the sink reclaims the backing blocks when it processes
+// the session's DATASET_COMPLETE or ABORT, so our copies are dead.
+func (s *Source) dropCredits(sess *srcSession) {
+	n := len(sess.credits)
+	if n == 0 {
+		return
+	}
+	invariant.CreditConsume(s.inv, int64(n))
+	s.creditCount -= n
+	sess.credits = nil
+	if s.tel != nil {
+		s.tel.creditStash.Set(int64(s.creditCount))
+	}
+}
+
+// abortSession starts tearing one session down; the connection
+// survives. Queued blocks and credits are released immediately, but
+// the session stays registered — draining — until its in-flight loads
+// and WRITEs complete, and only then does maybeFinishAbort announce
+// the abort to the sink. Announcing earlier would let the sink recycle
+// granted blocks that a straggling WRITE could still land in.
+func (s *Source) abortSession(sess *srcSession, err error) {
+	if sess.aborting || s.sessions[sess.id] != sess {
+		return
+	}
+	sess.aborting = true
+	sess.abortErr = err
+	sess.stalled = false
+	for _, b := range sess.loadedQ {
+		b.setState(BlockFree)
+		s.pool.put(b)
+	}
+	sess.queued -= len(sess.loadedQ)
+	sess.loadedQ = nil
+	s.dropCredits(sess)
+	s.maybeFinishAbort(sess)
+	s.pump()
+}
+
+// maybeFinishAbort completes a draining session's teardown once its
+// last in-flight load and WRITE have come home.
+func (s *Source) maybeFinishAbort(sess *srcSession) {
+	if !sess.aborting || sess.loads > 0 || sess.inflight > 0 || sess.queued > 0 {
+		return
+	}
+	if s.sessions[sess.id] != sess {
+		return // connection-level teardown already reported it
+	}
+	s.Trace.Emit(trace.Event{Cat: trace.CatSession, Name: "session_abort",
+		Session: sess.id, V1: sess.sent, V2: sess.blocks})
 	s.removeSession(sess)
-	s.sendCtrl(&wire.Control{Type: wire.MsgAbort, Session: sess.id})
-	sess.onDone(TransferResult{Session: sess.id, Bytes: sess.sent, Blocks: sess.blocks, Err: err})
+	// AssocData reports the session's successful-WRITE count: the sink
+	// reconciles its arrivals against it to decide when reclaiming the
+	// session's granted blocks is safe.
+	s.sendCtrl(&wire.Control{Type: wire.MsgAbort, Session: sess.id, AssocData: uint64(sess.blocks)})
+	sess.onDone(TransferResult{Session: sess.id, Bytes: sess.sent, Blocks: sess.blocks, Err: sess.abortErr})
 }
 
 // fail is a fatal connection-level error: every session dies.
@@ -855,10 +1094,10 @@ func (s *Source) failSessions(err error) {
 	for _, sess := range sessions {
 		sess.onDone(TransferResult{Session: sess.id, Bytes: sess.sent, Blocks: sess.blocks, Err: err})
 	}
-	if s.opening != nil {
-		s.opening.onDone(TransferResult{Err: err})
-		s.opening = nil
+	for _, sess := range s.opening {
+		sess.onDone(TransferResult{Err: err})
 	}
+	s.opening = nil
 	for _, sess := range s.openQ {
 		sess.onDone(TransferResult{Err: err})
 	}

@@ -50,11 +50,15 @@ func (s *Source) noteStall() {
 		return
 	}
 	loads := s.totalLoads()
+	queued := 0
+	for _, sess := range s.rrSessions {
+		queued += len(sess.loadedQ)
+	}
 	var c spans.Cause
 	switch {
-	case len(s.loaded) > 0 && len(s.credits) == 0:
+	case queued > 0 && s.creditCount == 0:
 		c = spans.CauseCreditStarved
-	case len(s.loaded) > 0:
+	case queued > 0:
 		c = spans.CauseSendQueueSaturated
 	case loads > 0 && s.loadsAtDepth():
 		c = spans.CauseLoadPending
@@ -74,7 +78,7 @@ func (s *Source) noteStall() {
 // resource the pipeline is genuinely waiting on.
 func (s *Source) loadsAtDepth() bool {
 	for _, sess := range s.rrSessions {
-		if sess.eof {
+		if sess.eof || sess.aborting {
 			continue
 		}
 		if sess.loads >= sess.loadDepth(&s.cfg) {
@@ -135,6 +139,16 @@ func (k *Sink) noteStall() {
 			if _, ok := sess.ready[sess.nextDeliver]; !ok {
 				// Keep scanning: a store-bound session outranks a gap.
 				c = spans.CauseReassemblyGap
+			}
+		}
+	}
+	if c == spans.CauseNone && k.pool != nil && len(k.pool.free) > 0 {
+		// Free memory exists, yet some tenant holds zero credits: the
+		// binding resource is a scheduling slot, not the pool.
+		for _, sess := range k.schedOrder {
+			if !sess.finished && !sess.haveLast && sess.granted == 0 {
+				c = spans.CauseSchedWait
+				break
 			}
 		}
 	}

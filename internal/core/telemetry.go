@@ -132,6 +132,12 @@ type sinkTelemetry struct {
 	// outstanding at the source.
 	pendingGrants *telemetry.Gauge
 	creditWindow  *telemetry.Gauge
+	// Session-manager occupancy: sessions admitted and in the scheduler
+	// rotation, SESSION_REQs parked in the admission queue, and requests
+	// turned away busy.
+	sessionsActive   *telemetry.Gauge
+	sessionsQueued   *telemetry.Gauge
+	sessionsRejected *telemetry.Counter
 
 	// grants[reason] counts credits issued under each policy leg.
 	grants [grantReasons]*telemetry.Counter
@@ -160,8 +166,11 @@ func (k *Sink) AttachTelemetry(reg *telemetry.Registry) {
 		ctrlMsgs:        reg.Counter("ctrl_msgs"),
 		granted:         reg.Gauge("credits_outstanding"),
 		storesInflight:  reg.Gauge("stores_inflight"),
-		pendingGrants:   reg.Gauge("pending_grants"),
-		creditWindow:    reg.Gauge("credit_window"),
+		pendingGrants:    reg.Gauge("pending_grants"),
+		creditWindow:     reg.Gauge("credit_window"),
+		sessionsActive:   reg.Gauge("sessions_active"),
+		sessionsQueued:   reg.Gauge("sessions_queued"),
+		sessionsRejected: reg.Counter("sessions_rejected"),
 		creditLatency:   reg.Histogram("credit_latency", telemetry.DurationBuckets()...),
 		storeLatency:    reg.Histogram("store_latency", telemetry.DurationBuckets()...),
 		reassembly:      reg.Histogram("reassembly_occupancy", reassemblyBuckets()...),
@@ -186,6 +195,14 @@ func (k *Sink) Telemetry() *telemetry.Registry {
 func (t *sinkTelemetry) sessionCounters(id uint32) (bytes, blocks *telemetry.Counter) {
 	sess := t.reg.Child(fmt.Sprintf("sess%d", id))
 	return sess.Counter("bytes"), sess.Counter("blocks")
+}
+
+// sessionSchedWait resolves the per-session scheduler-wait counter:
+// time the tenant sat with zero outstanding credits waiting for the
+// DRR scheduler to feed it. Named stall_sched_wait_ns so
+// spans.TopStall's recursive scan attributes it like any other stall.
+func (t *sinkTelemetry) sessionSchedWait(id uint32) *telemetry.Counter {
+	return t.reg.Child(fmt.Sprintf("sess%d", id)).Counter("stall_sched_wait_ns")
 }
 
 // IOMetrics instruments a storage engine feeding the protocol

@@ -28,6 +28,11 @@ const (
 	CauseWireBound
 	CauseStorePending
 	CauseReassemblyGap
+	// CauseSchedWait marks a multi-session sink whose pool has credits
+	// to give but whose per-tenant scheduler is making a session wait
+	// its turn: the binding resource is a scheduling slot, not memory,
+	// storage, or the wire.
+	CauseSchedWait
 	numCauses
 )
 
@@ -49,6 +54,8 @@ func (c Cause) String() string {
 		return "store-pending"
 	case CauseReassemblyGap:
 		return "reassembly-gap"
+	case CauseSchedWait:
+		return "sched-wait"
 	default:
 		return fmt.Sprintf("cause(%d)", uint8(c))
 	}

@@ -1,6 +1,7 @@
 // Package watch renders live transfer forensics from successive
 // telemetry snapshots: goodput (byte-counter deltas over the refresh
-// interval), the credit window, inflight storage operations, the
+// interval), the credit window, inflight storage operations,
+// session-manager occupancy (active / queued / rejected tenants), the
 // critical-path stage decomposition, and the top pipeline stall cause
 // from the span layer's stall attributor.
 //
@@ -48,6 +49,9 @@ type tree struct {
 	ioInflight   int64 // storage engine io_inflight
 	blocks       int64 // blocks_inflight
 	spansDone    int64
+	sessActive   int64 // sessions_active (session-manager occupancy)
+	sessQueued   int64 // sessions_queued
+	sessRejected int64 // sessions_rejected
 	pathNs       map[string]int64 // stage -> cumulative ns on the critical path
 }
 
@@ -58,6 +62,7 @@ func collect(s *telemetry.Snapshot, t *tree) {
 	t.tx += s.Counter("bytes_posted")
 	t.rx += s.Counter("bytes_arrived")
 	t.spansDone += s.Counter("spans_completed")
+	t.sessRejected += s.Counter("sessions_rejected")
 	for name, v := range s.Counters {
 		if strings.HasPrefix(name, "path_") && strings.HasSuffix(name, "_ns") {
 			// Channel/session children repeat the totals; only count
@@ -83,6 +88,10 @@ func collect(s *telemetry.Snapshot, t *tree) {
 			t.ioInflight += g.Value
 		case "blocks_inflight":
 			t.blocks += g.Value
+		case "sessions_active":
+			t.sessActive += g.Value
+		case "sessions_queued":
+			t.sessQueued += g.Value
 		}
 	}
 	for _, c := range s.Children {
@@ -115,6 +124,10 @@ func (r *Renderer) Frame(snap *telemetry.Snapshot, at time.Time) []string {
 	lines = append(lines, fmt.Sprintf("credit      window %s, %d outstanding", credit, t.credits))
 	lines = append(lines, fmt.Sprintf("inflight    %d blocks, %d loads, %d stores, %d storage ops",
 		t.blocks, t.loads, t.stores, t.ioInflight))
+	if t.sessActive+t.sessQueued+t.sessRejected > 0 {
+		lines = append(lines, fmt.Sprintf("sessions    %d active, %d queued, %d rejected",
+			t.sessActive, t.sessQueued, t.sessRejected))
+	}
 
 	if cause, ns, share := spans.TopStall(snap); ns > 0 {
 		lines = append(lines, fmt.Sprintf("top stall   %s (%s, %d%% of attributed stall time)",

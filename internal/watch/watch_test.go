@@ -17,6 +17,9 @@ func buildSnap(tx, rx int64) *telemetry.Snapshot {
 	conn.Gauge("credits_outstanding").Set(7)
 	conn.Gauge("loads_inflight").Set(3)
 	conn.Gauge("stores_inflight").Set(2)
+	conn.Gauge("sessions_active").Set(2)
+	conn.Gauge("sessions_queued").Set(1)
+	conn.Counter("sessions_rejected").Add(3)
 	conn.Counter("stall_load_pending_ns").Add(9_000_000)
 	conn.Counter("stall_credit_starved_ns").Add(1_000_000)
 	conn.Counter("spans_completed").Add(5)
@@ -35,6 +38,7 @@ func TestFrameContents(t *testing.T) {
 		"goodput", "(total)", "1.00 MiB",
 		"window 24 blocks, 7 outstanding",
 		"0 blocks, 3 loads, 2 stores, 4 storage ops",
+		"sessions    2 active, 1 queued, 3 rejected",
 		"top stall   load-pending",
 		"90% of attributed stall time",
 		"block path  wire 60%, load 40% (5 spans)",
@@ -74,7 +78,7 @@ func TestRenderANSIRedraw(t *testing.T) {
 	if err := r.Render(&sb, snap, time.Unix(2, 0)); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.HasPrefix(sb.String(), "\x1b[5A\x1b[J") {
+	if !strings.HasPrefix(sb.String(), "\x1b[6A\x1b[J") {
 		t.Errorf("second frame missing redraw prefix: %q", sb.String()[:12])
 	}
 }

@@ -77,6 +77,10 @@ const (
 	// IMMEDIATE completion notification instead of explicit
 	// BLOCK_COMPLETE control messages.
 	FlagImmNotify
+	// FlagBusy, on MsgSessionResp without FlagAccept, distinguishes the
+	// sink's admission control turning a session away at capacity
+	// (SESSION_BUSY — retry later) from a hard negotiation rejection.
+	FlagBusy
 )
 
 // Credit advertises one available remote memory region (a token with a
