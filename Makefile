@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race lint debugtest staticcheck vulncheck bench experiments cover check clean
+.PHONY: all build vet test race lint lint-json debugtest staticcheck vulncheck bench experiments cover check clean
 
 all: build vet test
 
@@ -27,10 +27,17 @@ race:
 	$(GO) test -race ./...
 
 # lint runs RFTP's own static-analysis passes (fsmtransition,
-# bufownership, atomicmix, lockorder — see internal/analysis). Any
-# finding fails the build; suppress with //lint:allow <pass> <why>.
+# bufownership, lockorder, the flow-sensitive blockleak/msgexhaustive/
+# fsmlive trio, ... — see internal/analysis). Any finding fails the
+# build, as does a stale //lint:allow whose pass matched nothing;
+# suppress real exceptions with //lint:allow <pass> <why>.
 lint:
-	$(GO) run ./cmd/rftplint ./...
+	$(GO) run ./cmd/rftplint -strict-allows ./...
+
+# lint-json leaves the machine-readable findings/suppressions report CI
+# uploads next to the BENCH_<rev>.json snapshot.
+lint-json:
+	$(GO) run ./cmd/rftplint -strict-allows -json ./... > rftplint.json
 
 # debugtest runs the suite with the rftpdebug invariant layer compiled
 # in (credit ledgers, sequence monotonicity, gauge sanity, buffer

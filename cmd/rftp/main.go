@@ -80,7 +80,10 @@ func main() {
 		loops = append(loops, sl)
 	}
 
-	ep, err := core.NewShardedEndpoint(dev, loops, *channels, *depth)
+	// -sessions N multiplexes N tenant streams over this connection;
+	// size the control receive ring for the SESSION_RESP / credit-grant
+	// bursts they generate.
+	ep, err := core.NewServiceEndpoint(dev, loops, *channels, *depth, *sessions)
 	if err != nil {
 		log.Fatalf("rftp: endpoint: %v", err)
 	}

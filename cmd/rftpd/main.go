@@ -206,7 +206,10 @@ func serve(dev *netfabric.Device, conn int, opts *serveOpts, served chan<- struc
 		loops = append(loops, sl)
 	}
 
-	ep, err := core.NewShardedEndpoint(dev, loops, channels, depth)
+	// Size the control receive ring from the admission cap: a service
+	// endpoint admitting -max-sessions tenants (plus the queued ones)
+	// takes their SESSION_REQ / MR_INFO_REQUEST bursts on one ring.
+	ep, err := core.NewServiceEndpoint(dev, loops, channels, depth, opts.maxSessions+opts.sessQueue)
 	if err != nil {
 		log.Printf("rftpd: endpoint: %v", err)
 		return

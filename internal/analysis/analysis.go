@@ -25,6 +25,17 @@
 //   - sessionaffinity: per-session records (srcSession, sinkSession)
 //     are owned by their connection's loop; no field of one may be
 //     written on a raw goroutine.
+//   - blockleak: flow-sensitive — every pool acquisition must reach a
+//     release, repost, or ownership handoff on every path out of the
+//     function, error returns included (CFG + forward dataflow + one-
+//     level call summaries; see cfg.go and dataflow.go).
+//   - msgexhaustive: every MsgType switch covers all constants or
+//     defaults explicitly; every Flag* bit is used outside its
+//     declaring file; encoder/decoder field sets match and decoders
+//     bounds-check their input.
+//   - fsmlive: the validNext transition table itself is live — every
+//     state reachable from the zero state, every state with a path
+//     back, every transition target exercised by a setState call.
 //
 // Findings are suppressed with an inline comment on the flagged line
 // (or alone on the line above):
@@ -32,7 +43,9 @@
 //	//lint:allow <pass-name> <justification>
 //
 // The justification is mandatory by convention; the suppression is
-// reported by cmd/rftplint -allows so stale ones stay visible.
+// reported by cmd/rftplint -allows so stale ones stay visible, and a
+// suppression whose pass ran without matching anything is stale —
+// surfaced by Result.Stale and fatal under rftplint -strict-allows.
 package analysis
 
 import (
@@ -97,6 +110,11 @@ type Suppression struct {
 	Pos      token.Position
 	Analyzer string
 	Reason   string
+	// Used marks a suppression that dropped at least one finding in this
+	// Run. A suppression for an analyzer that ran but stayed unused is
+	// stale: the code it excused has been fixed (or moved), and the
+	// comment now only licenses a future regression.
+	Used bool
 }
 
 // allowKey addresses a source line for suppression lookup.
@@ -105,8 +123,9 @@ type allowKey struct {
 	line int
 }
 
-// allowIndex maps lines to the analyzer names allowed there.
-type allowIndex map[allowKey][]string
+// allowIndex maps lines to suppression indices (into the Result's
+// Suppressions slice) in force there.
+type allowIndex map[allowKey][]int
 
 // collectAllows scans file comments for //lint:allow directives. A
 // directive suppresses findings of the named analyzer on its own line
@@ -126,27 +145,32 @@ func collectAllows(fset *token.FileSet, files []*ast.File, idx allowIndex, sups 
 				}
 				name := fields[0]
 				pos := fset.Position(c.Pos())
+				i := len(*sups)
 				*sups = append(*sups, Suppression{
 					Pos:      pos,
 					Analyzer: name,
 					Reason:   strings.Join(fields[1:], " "),
 				})
 				key := allowKey{pos.Filename, pos.Line}
-				idx[key] = append(idx[key], name)
+				idx[key] = append(idx[key], i)
 				next := allowKey{pos.Filename, pos.Line + 1}
-				idx[next] = append(idx[next], name)
+				idx[next] = append(idx[next], i)
 			}
 		}
 	}
 }
 
-func (idx allowIndex) allowed(name string, pos token.Position) bool {
-	for _, n := range idx[allowKey{pos.Filename, pos.Line}] {
-		if n == name {
-			return true
+// allowed reports whether a suppression for name is in force at pos,
+// marking every matching suppression used.
+func (idx allowIndex) allowed(name string, pos token.Position, sups []Suppression) bool {
+	hit := false
+	for _, i := range idx[allowKey{pos.Filename, pos.Line}] {
+		if sups[i].Analyzer == name {
+			sups[i].Used = true
+			hit = true
 		}
 	}
-	return false
+	return hit
 }
 
 // Result is the outcome of running a set of analyzers over a set of
@@ -176,7 +200,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) (*Result, error) {
 		}
 		report := func(d Diagnostic) {
 			pos := fset.Position(d.Pos)
-			if allows.allowed(a.Name, pos) {
+			if allows.allowed(a.Name, pos, res.Suppressions) {
 				return
 			}
 			res.Findings = append(res.Findings, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
@@ -215,9 +239,28 @@ func Run(pkgs []*Package, analyzers []*Analyzer) (*Result, error) {
 	return res, nil
 }
 
+// Stale returns the suppressions addressed to an analyzer that ran in
+// this Result but matched no finding — comments excusing code that no
+// longer trips the pass. Suppressions naming analyzers outside the run
+// set are not judged (they may belong to a pass this invocation did
+// not include).
+func (r *Result) Stale(analyzers []*Analyzer) []Suppression {
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	var stale []Suppression
+	for _, s := range r.Suppressions {
+		if ran[s.Analyzer] && !s.Used {
+			stale = append(stale, s)
+		}
+	}
+	return stale
+}
+
 // All returns the full RFTP analyzer suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{FSMTransition, SpanStamp, BufOwnership, AtomicMix, LockOrder, LoopConfine, SessionAffinity}
+	return []*Analyzer{FSMTransition, SpanStamp, BufOwnership, AtomicMix, LockOrder, LoopConfine, SessionAffinity, BlockLeak, MsgExhaustive, FSMLive}
 }
 
 // pathString renders an ident/selector chain as a stable dotted path

@@ -1,0 +1,542 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"maps"
+	"strings"
+)
+
+// BlockLeak flags pool acquisitions that can leak on some path out of
+// the function.
+//
+// The two worst bugs shipped so far were lifecycle leaks on
+// rarely-taken paths: a parked frame retaining its payload after
+// teardown (PR 2) and completed-but-unacked sessions stranded by a
+// disconnect (PR 8). Both were invisible to per-statement matching
+// because the leak *is* a path property. This pass runs the CFG +
+// forward dataflow engine over every function: a value acquired from a
+// pool (a method named get/Get on a pool-typed receiver, or
+// bufpool.Get) is tracked until ownership provably leaves the function
+// on that path —
+//
+//   - released: passed to a call named put/Put/release/Release/
+//     free/Free/recycle/repost (any case),
+//   - handed off: passed to any other call (a one-level summary of
+//     same-package callees distinguishes true handoffs from callees
+//     that only read the value and return it to the caller's care),
+//   - escaped: stored into a field, map, slice, channel, or composite
+//     literal, captured by a function literal (the closure owns it
+//     now), address-taken, aliased, or returned.
+//
+// Any acquisition still held when a path reaches the function's normal
+// exit — error returns and Close included, with deferred calls applied
+// — is reported at the acquisition site. Paths that terminate in panic
+// are exempt: every pool invariant is already moot when the process is
+// dying of a protocol bug. Branch conditions refine facts, so the
+// ubiquitous `if b == nil { return }` guard after a pool draw does not
+// trip the pass. _test.go files are skipped: tests deliberately park
+// blocks in arbitrary states.
+var BlockLeak = &Analyzer{
+	Name: "blockleak",
+	Doc:  "flag pool acquisitions that miss release/handoff on some path out of the function",
+	Run:  runBlockLeak,
+}
+
+// leakReleaseNames are callee names that return a resource to its pool.
+var leakReleaseNames = map[string]bool{
+	"put": true, "Put": true,
+	"release": true, "Release": true,
+	"free": true, "Free": true,
+	"recycle": true, "Recycle": true,
+	"repost": true, "Repost": true,
+}
+
+// leakFacts maps a tracked local to its acquisition position. Join is
+// union (a leak on any path is a leak), with the earliest site kept
+// when paths disagree.
+type leakFacts map[types.Object]token.Pos
+
+// leakSummary is the one-level effect of a same-package callee on its
+// parameters: absorbed[i] means the callee releases or takes ownership
+// of parameter i (receiver first when hasRecv), so the caller stops
+// tracking; a false entry means the callee only reads it and the
+// caller still owns the value afterwards.
+type leakSummary struct {
+	absorbed []bool
+	hasRecv  bool
+}
+
+func runBlockLeak(pass *Pass) error {
+	sums := buildLeakSummaries(pass)
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			analyzeLeaks(pass, sums, fd.Body, fd.Name.Name)
+			// Nested literals are opaque to the enclosing analysis (they
+			// run at another time); analyze each body as its own function.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					analyzeLeaks(pass, sums, lit.Body, "func literal")
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func analyzeLeaks(pass *Pass, sums map[*types.Func]leakSummary, body *ast.BlockStmt, name string) {
+	g := BuildCFG(body)
+	if g == nil {
+		return
+	}
+	res := ForwardDataflow(g, Transfer[leakFacts]{
+		Entry: func() leakFacts { return nil },
+		Join:  joinLeakFacts,
+		Equal: func(a, b leakFacts) bool { return maps.Equal(a, b) },
+		Node:  func(n ast.Node, f leakFacts) leakFacts { return leakNode(pass, sums, body, n, f) },
+		Edge:  func(e *CFGEdge, f leakFacts) leakFacts { return leakEdge(pass, e, f) },
+	})
+	for obj, pos := range res.In[g.Exit] {
+		pass.Report(Diagnostic{
+			Pos: pos,
+			Message: fmt.Sprintf("%s acquired from a pool may not be released on every path out of %s: "+
+				"each acquisition must reach a release, repost, or ownership handoff on all returns",
+				obj.Name(), name),
+		})
+	}
+}
+
+func joinLeakFacts(a, b leakFacts) leakFacts {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	out := maps.Clone(a)
+	for obj, pos := range b {
+		if old, ok := out[obj]; !ok || pos < old {
+			out[obj] = pos
+		}
+	}
+	return out
+}
+
+// leakNode is the per-node transfer: apply kills (release, handoff,
+// escape, redefinition) then acquisitions.
+func leakNode(pass *Pass, sums map[*types.Func]leakSummary, enclosing *ast.BlockStmt, n ast.Node, f leakFacts) leakFacts {
+	var kills []types.Object
+	type acq struct {
+		obj types.Object
+		pos token.Pos
+	}
+	var acquires []acq
+
+	// Acquisitions: `x := pool.get()` / `x = bufpool.Get(n)` with a
+	// plain-ident destination (results stored anywhere else escape
+	// immediately and are never tracked).
+	if as, ok := n.(*ast.AssignStmt); ok && len(as.Lhs) == len(as.Rhs) {
+		for i, lhs := range as.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			rhs := ast.Unparen(as.Rhs[i])
+			if ta, ok := rhs.(*ast.TypeAssertExpr); ok {
+				rhs = ast.Unparen(ta.X)
+			}
+			call, ok := rhs.(*ast.CallExpr)
+			if ok && isAcquisition(pass, call) {
+				if obj := pass.Info.ObjectOf(id); obj != nil {
+					acquires = append(acquires, acq{obj, call.Pos()})
+				}
+			}
+		}
+	}
+
+	inspectIdents(n, func(stack []ast.Node, id *ast.Ident) {
+		obj := pass.Info.ObjectOf(id)
+		if obj == nil {
+			return
+		}
+		if _, tracked := f[obj]; !tracked {
+			return
+		}
+		if leakEffectKills(pass, sums, stack, id) {
+			kills = append(kills, obj)
+		}
+	})
+
+	if len(kills) == 0 && len(acquires) == 0 {
+		return f
+	}
+	out := maps.Clone(f)
+	if out == nil {
+		out = make(leakFacts)
+	}
+	for _, obj := range kills {
+		delete(out, obj)
+	}
+	for _, a := range acquires {
+		out[a.obj] = a.pos
+	}
+	return out
+}
+
+// leakEdge kills a tracked value on the branch edge that proves it nil
+// (`if b == nil { return }` guards after a pool draw).
+func leakEdge(pass *Pass, e *CFGEdge, f leakFacts) leakFacts {
+	if e.Cond == nil || len(f) == 0 {
+		return f
+	}
+	be, ok := ast.Unparen(e.Cond).(*ast.BinaryExpr)
+	if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+		return f
+	}
+	var id *ast.Ident
+	x, y := ast.Unparen(be.X), ast.Unparen(be.Y)
+	if isNilIdent(x) {
+		id, _ = y.(*ast.Ident)
+	} else if isNilIdent(y) {
+		id, _ = x.(*ast.Ident)
+	}
+	if id == nil {
+		return f
+	}
+	obj := pass.Info.ObjectOf(id)
+	if obj == nil {
+		return f
+	}
+	if _, tracked := f[obj]; !tracked {
+		return f
+	}
+	// Edge taken with cond true: x==nil holds -> x is nil there.
+	nilHere := (be.Op == token.EQL) != e.Negated
+	if !nilHere {
+		return f
+	}
+	out := maps.Clone(f)
+	delete(out, obj)
+	return out
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// isAcquisition recognises pool draws: a call to get/Get whose receiver
+// is a pool-named type (core's block pool, sync.Pool frame pools) or a
+// pool-named package (bufpool.Get).
+func isAcquisition(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if name := sel.Sel.Name; name != "get" && name != "Get" {
+		return false
+	}
+	if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+		if pn, ok := pass.Info.ObjectOf(id).(*types.PkgName); ok {
+			return strings.Contains(strings.ToLower(pn.Imported().Name()), "pool")
+		}
+	}
+	return poolish(pass.Info.TypeOf(sel.X))
+}
+
+// poolish reports whether t names a pool type (through pointers).
+func poolish(t types.Type) bool {
+	for {
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	return ok && strings.Contains(strings.ToLower(n.Obj().Name()), "pool")
+}
+
+// inspectIdents walks n keeping an ancestor stack and visits every
+// identifier with its enclosure context (innermost parent last).
+func inspectIdents(n ast.Node, visit func(stack []ast.Node, id *ast.Ident)) {
+	var stack []ast.Node
+	ast.Inspect(n, func(x ast.Node) bool {
+		if x == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, x)
+		if id, ok := x.(*ast.Ident); ok {
+			visit(stack, id)
+		}
+		return true
+	})
+}
+
+// leakEffectKills classifies one occurrence of a tracked identifier and
+// reports whether ownership leaves the function here (release, handoff,
+// escape) — true means stop tracking. Reads through the value (field
+// access, indexing, comparison) keep the obligation alive.
+func leakEffectKills(pass *Pass, sums map[*types.Func]leakSummary, stack []ast.Node, id *ast.Ident) bool {
+	// Captured by a nested function literal: the closure owns it now
+	// (that is how completion callbacks release blocks asynchronously).
+	for _, a := range stack[:len(stack)-1] {
+		if _, ok := a.(*ast.FuncLit); ok {
+			return true
+		}
+	}
+
+	var e ast.Expr = id
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch p := stack[i].(type) {
+		case *ast.ParenExpr:
+			e = p
+		case *ast.TypeAssertExpr:
+			if p.X != e {
+				return false
+			}
+			e = p
+		case *ast.StarExpr:
+			if p.X != e {
+				return false
+			}
+			e = p
+		case *ast.UnaryExpr:
+			if p.Op == token.AND && p.X == e {
+				return true // address escapes
+			}
+			return false
+		case *ast.SelectorExpr:
+			if p.X != e {
+				return false
+			}
+			// Access through the value. A method call may release it;
+			// reads and field writes keep tracking.
+			if i > 0 {
+				if call, ok := stack[i-1].(*ast.CallExpr); ok && ast.Unparen(call.Fun) == p {
+					return methodCallAbsorbs(pass, sums, p.Sel)
+				}
+			}
+			// A method value or func-typed field (`t.run`) carries its
+			// receiver with it: once the value leaves, the closure owns
+			// it, same as a FuncLit capture.
+			if t := pass.Info.TypeOf(p); t != nil {
+				if _, ok := t.Underlying().(*types.Signature); ok {
+					return true
+				}
+			}
+			return false
+		case *ast.SliceExpr:
+			if p.X != e {
+				return false
+			}
+			e = p // a slice of the buffer is the buffer for escape purposes
+		case *ast.IndexExpr:
+			if p.Index == e {
+				return true // stored as a map key / index
+			}
+			return false // indexing into the tracked buffer: a read/write through it
+		case *ast.CallExpr:
+			return callArgAbsorbs(pass, sums, p, e)
+		case *ast.KeyValueExpr, *ast.CompositeLit:
+			return true // stored in a literal
+		case *ast.SendStmt:
+			return p.Value == e
+		case *ast.ReturnStmt:
+			return true // ownership to the caller
+		case *ast.AssignStmt:
+			for _, lhs := range p.Lhs {
+				if ast.Unparen(lhs) == e {
+					// Redefinition drops the old handle — except the
+					// self-append idiom `b = append(b, ...)`.
+					return !isSelfAppend(pass, p, e)
+				}
+			}
+			for _, rhs := range p.Rhs {
+				if ast.Unparen(rhs) == e {
+					return true // aliased or stored
+				}
+			}
+			return false
+		case *ast.BinaryExpr, *ast.IfStmt, *ast.ForStmt, *ast.RangeStmt,
+			*ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.CaseClause, *ast.IncDecStmt:
+			return false
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// methodCallAbsorbs decides whether `obj.m(...)` moves ownership: yes
+// for release-named methods, per-summary for same-package methods,
+// otherwise no (mutating or reading methods leave the caller owning).
+func methodCallAbsorbs(pass *Pass, sums map[*types.Func]leakSummary, sel *ast.Ident) bool {
+	if leakReleaseNames[sel.Name] {
+		return true
+	}
+	if fn, ok := pass.Info.Uses[sel].(*types.Func); ok {
+		if sum, ok := sums[fn]; ok && sum.hasRecv && len(sum.absorbed) > 0 {
+			return sum.absorbed[0]
+		}
+	}
+	return false
+}
+
+// callArgAbsorbs decides whether passing the tracked value as an
+// argument moves ownership out of the function.
+func callArgAbsorbs(pass *Pass, sums map[*types.Func]leakSummary, call *ast.CallExpr, arg ast.Expr) bool {
+	argIdx := -1
+	for i, a := range call.Args {
+		if ast.Unparen(a) == arg {
+			argIdx = i
+		}
+	}
+	if argIdx < 0 {
+		return false // e.g. the Fun position; not an argument
+	}
+	switch name := calleeName(call); name {
+	case "len", "cap", "copy", "print", "println", "delete":
+		return false // reads (or, for delete, drops a map entry the caller owns)
+	case "append":
+		return argIdx > 0 // append(s, obj) stores obj; append(obj, ...) grows it
+	}
+	fn := calleeFunc(pass, call)
+	if fn == nil {
+		return true // func value / unresolvable: conservative handoff
+	}
+	if leakReleaseNames[fn.Name()] {
+		return true
+	}
+	sum, ok := sums[fn]
+	if !ok {
+		return true // foreign or bodyless callee: conservative handoff
+	}
+	idx := argIdx
+	if sum.hasRecv {
+		idx++
+	}
+	if idx >= len(sum.absorbed) {
+		idx = len(sum.absorbed) - 1 // variadic tail
+	}
+	if idx < 0 {
+		return true
+	}
+	return sum.absorbed[idx]
+}
+
+// isSelfAppend reports whether lhs in the assignment is the target of
+// the `x = append(x, ...)` idiom, which keeps the same obligation alive
+// rather than dropping the old handle.
+func isSelfAppend(pass *Pass, as *ast.AssignStmt, lhs ast.Expr) bool {
+	if len(as.Lhs) != len(as.Rhs) {
+		return false
+	}
+	for i, l := range as.Lhs {
+		if ast.Unparen(l) != lhs {
+			continue
+		}
+		call, ok := ast.Unparen(as.Rhs[i]).(*ast.CallExpr)
+		if !ok || calleeName(call) != "append" || len(call.Args) == 0 {
+			return false
+		}
+		first, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+		lid, ok2 := ast.Unparen(l).(*ast.Ident)
+		return ok && ok2 && pass.Info.ObjectOf(first) == pass.Info.ObjectOf(lid)
+	}
+	return false
+}
+
+// calleeName returns the syntactic callee name ("append", "put", ...).
+func calleeName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// calleeFunc resolves the called function object, when static.
+func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := pass.Info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.Info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// buildLeakSummaries computes the one-level parameter effects of every
+// function declared in the package. While building, calls inside a
+// callee are treated conservatively (any call taking the parameter
+// absorbs it), which is exactly the one-level cut-off.
+func buildLeakSummaries(pass *Pass) map[*types.Func]leakSummary {
+	sums := make(map[*types.Func]leakSummary)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			var params []types.Object
+			hasRecv := fd.Recv != nil
+			if hasRecv {
+				params = append(params, fieldObjs(pass, fd.Recv)...)
+			}
+			params = append(params, fieldObjs(pass, fd.Type.Params)...)
+			absorbed := make([]bool, len(params))
+			inspectIdents(fd.Body, func(stack []ast.Node, id *ast.Ident) {
+				obj := pass.Info.ObjectOf(id)
+				if obj == nil {
+					return
+				}
+				for i, p := range params {
+					if p != nil && p == obj && !absorbed[i] && leakEffectKills(pass, nil, stack, id) {
+						absorbed[i] = true
+					}
+				}
+			})
+			sums[fn] = leakSummary{absorbed: absorbed, hasRecv: hasRecv}
+		}
+	}
+	return sums
+}
+
+// fieldObjs flattens a field list to its declared objects, with nil
+// placeholders for unnamed entries so indexes stay aligned.
+func fieldObjs(pass *Pass, fl *ast.FieldList) []types.Object {
+	if fl == nil {
+		return nil
+	}
+	var out []types.Object
+	for _, f := range fl.List {
+		if len(f.Names) == 0 {
+			out = append(out, nil)
+			continue
+		}
+		for _, name := range f.Names {
+			out = append(out, pass.Info.Defs[name])
+		}
+	}
+	return out
+}

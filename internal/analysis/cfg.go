@@ -1,0 +1,467 @@
+package analysis
+
+// Per-function control-flow graph construction. The CFG is the base of
+// the flow-sensitive passes (blockleak): where the original passes
+// matched statements in isolation, a CFG lets a pass ask "does this
+// acquisition reach a release on *every* path out of the function?" —
+// including early returns, loop breaks, and abort branches, which is
+// exactly where the repo's worst lifecycle bugs have hidden.
+//
+// The builder is purely syntactic (no type information) and models:
+//
+//   - if/else with the branch condition recorded on the out-edges, so
+//     dataflow clients can refine facts (e.g. kill a tracked pointer on
+//     the `x == nil` edge);
+//   - for / range loops with back edges, break/continue including
+//     labeled forms targeting outer loops;
+//   - switch / type switch / select, including fallthrough chains and
+//     the implicit no-default exit edge;
+//   - goto (forward and backward) via label patching;
+//   - returns, which route through a shared defer block to Exit, so a
+//     `defer release()` is visible on every normal exit path;
+//   - terminating statements (panic, os.Exit, log.Fatal*), which edge
+//     to the separate Panic exit — a distinct exit kind, because most
+//     lifecycle invariants are moot once the process is dying.
+//
+// Defers are approximated: every deferred call lands in one defer block
+// executed before Exit regardless of which path registered it, in
+// reverse registration order. That over-approximates execution for a
+// defer registered in a branch (clients see its effect on all exits),
+// which for leak checking errs toward silence, never toward a false
+// positive. The registering DeferStmt also appears in its own basic
+// block, so path-sensitive clients can additionally observe the
+// registration point. Panic edges bypass the defer block: a deferred
+// cleanup does run during a real panic, but the analyses that consume
+// the CFG exempt panic exits entirely.
+//
+// Function literals nested inside statements are opaque: their bodies
+// run at some other time (or never), so their statements are not part
+// of this function's CFG. Clients decide how captured state is treated.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// CFG is one function body's control-flow graph.
+type CFG struct {
+	Blocks []*CFGBlock
+	// Entry is the block control enters first.
+	Entry *CFGBlock
+	// Defers holds the deferred calls (reverse registration order) run
+	// before Exit; it is empty but present when the function defers
+	// nothing, so Exit's predecessor structure is uniform.
+	Defers *CFGBlock
+	// Exit is the single normal exit: every return and the fall-off-end
+	// path reach it through Defers.
+	Exit *CFGBlock
+	// Panic is the abnormal exit fed by terminating statements.
+	Panic *CFGBlock
+}
+
+// CFGBlock is a basic block: a maximal straight-line node sequence.
+type CFGBlock struct {
+	Index int
+	// Kind is a structural label ("entry", "if.then", "for.head", ...)
+	// used by tests and debugging output.
+	Kind  string
+	Nodes []ast.Node
+	Succs []*CFGEdge
+	Preds []*CFGEdge
+}
+
+// CFGEdge is one control transfer. Cond, when non-nil, is the branch
+// condition that selects this edge: the edge is taken when Cond is
+// true (Negated false) or false (Negated true). Unconditional edges
+// carry a nil Cond.
+type CFGEdge struct {
+	From, To *CFGBlock
+	Cond     ast.Expr
+	Negated  bool
+}
+
+// String renders the graph structure for debugging.
+func (g *CFG) String() string {
+	var sb strings.Builder
+	for _, b := range g.Blocks {
+		fmt.Fprintf(&sb, "b%d(%s) %d nodes ->", b.Index, b.Kind, len(b.Nodes))
+		for _, e := range b.Succs {
+			tag := ""
+			if e.Cond != nil {
+				if e.Negated {
+					tag = "!cond:"
+				} else {
+					tag = "cond:"
+				}
+			}
+			fmt.Fprintf(&sb, " %sb%d", tag, e.To.Index)
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// cfgTarget is one enclosing breakable/continuable construct.
+type cfgTarget struct {
+	label string
+	brk   *CFGBlock
+	cont  *CFGBlock // nil for switch/select
+}
+
+type cfgBuilder struct {
+	g       *CFG
+	cur     *CFGBlock // nil after a terminator (return/branch/panic)
+	targets []cfgTarget
+	labels  map[string]*CFGBlock
+	gotos   map[string][]*CFGBlock // unresolved forward gotos by label
+	// pendingLabel is set while building the statement a label names, so
+	// the loop/switch it labels registers break/continue under it.
+	pendingLabel string
+}
+
+// BuildCFG constructs the CFG of one function body. A nil body (extern
+// declarations) yields nil.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	if body == nil {
+		return nil
+	}
+	b := &cfgBuilder{
+		g:      &CFG{},
+		labels: make(map[string]*CFGBlock),
+		gotos:  make(map[string][]*CFGBlock),
+	}
+	b.g.Entry = b.newBlock("entry")
+	b.g.Defers = b.newBlock("defers")
+	b.g.Exit = b.newBlock("exit")
+	b.g.Panic = b.newBlock("panic")
+	b.cur = b.g.Entry
+	b.stmtList(body.List)
+	b.edge(b.cur, b.g.Defers, nil, false) // fall off the end
+	b.edge(b.g.Defers, b.g.Exit, nil, false)
+	return b.g
+}
+
+func (b *cfgBuilder) newBlock(kind string) *CFGBlock {
+	blk := &CFGBlock{Index: len(b.g.Blocks), Kind: kind}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+// edge links from -> to; a nil from (dead code) is a no-op.
+func (b *cfgBuilder) edge(from, to *CFGBlock, cond ast.Expr, negated bool) {
+	if from == nil || to == nil {
+		return
+	}
+	e := &CFGEdge{From: from, To: to, Cond: cond, Negated: negated}
+	from.Succs = append(from.Succs, e)
+	to.Preds = append(to.Preds, e)
+}
+
+// add appends a node to the current block, reviving dead code into an
+// unreachable block so every node still lives somewhere.
+func (b *cfgBuilder) add(n ast.Node) {
+	if n == nil {
+		return
+	}
+	if b.cur == nil {
+		b.cur = b.newBlock("unreachable")
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// terminates reports whether call is a recognised no-return call:
+// panic, os.Exit, runtime.Goexit, log.Fatal*.
+func terminates(call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		pkg, ok := ast.Unparen(fun.X).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		switch {
+		case pkg.Name == "os" && fun.Sel.Name == "Exit":
+			return true
+		case pkg.Name == "runtime" && fun.Sel.Name == "Goexit":
+			return true
+		case pkg.Name == "log" && strings.HasPrefix(fun.Sel.Name, "Fatal"):
+			return true
+		}
+	}
+	return false
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s, label)
+	case *ast.RangeStmt:
+		b.rangeStmt(s, label)
+	case *ast.SwitchStmt:
+		b.add(s.Init)
+		b.add(s.Tag)
+		b.switchClauses(s.Body, label, true)
+	case *ast.TypeSwitchStmt:
+		b.add(s.Init)
+		b.add(s.Assign)
+		b.switchClauses(s.Body, label, false)
+	case *ast.SelectStmt:
+		b.selectStmt(s, label)
+	case *ast.LabeledStmt:
+		// Start a fresh block so gotos have a landing site.
+		lb := b.newBlock("label." + s.Label.Name)
+		b.edge(b.cur, lb, nil, false)
+		for _, from := range b.gotos[s.Label.Name] {
+			b.edge(from, lb, nil, false)
+		}
+		delete(b.gotos, s.Label.Name)
+		b.labels[s.Label.Name] = lb
+		b.cur = lb
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edge(b.cur, b.g.Defers, nil, false)
+		b.cur = nil
+	case *ast.DeferStmt:
+		// The registration point stays in its block (argument evaluation
+		// happens here); the call itself runs in the defer block, LIFO.
+		b.add(s)
+		b.g.Defers.Nodes = append([]ast.Node{s.Call}, b.g.Defers.Nodes...)
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok && terminates(call) {
+			b.add(s)
+			b.edge(b.cur, b.g.Panic, nil, false)
+			b.cur = nil
+			return
+		}
+		b.add(s)
+	default:
+		// Assignments, declarations, go statements, sends, inc/dec,
+		// empty statements: straight-line nodes.
+		b.add(s)
+	}
+}
+
+func (b *cfgBuilder) ifStmt(s *ast.IfStmt) {
+	b.add(s.Init)
+	b.add(s.Cond)
+	cond := b.cur
+	then := b.newBlock("if.then")
+	b.edge(cond, then, s.Cond, false)
+	b.cur = then
+	b.stmtList(s.Body.List)
+	thenEnd := b.cur
+
+	var elseEnd *CFGBlock
+	hasElse := s.Else != nil
+	if hasElse {
+		els := b.newBlock("if.else")
+		b.edge(cond, els, s.Cond, true)
+		b.cur = els
+		b.stmt(s.Else)
+		elseEnd = b.cur
+	}
+	done := b.newBlock("if.done")
+	b.edge(thenEnd, done, nil, false)
+	if hasElse {
+		b.edge(elseEnd, done, nil, false)
+	} else {
+		b.edge(cond, done, s.Cond, true)
+	}
+	b.cur = done
+}
+
+func (b *cfgBuilder) forStmt(s *ast.ForStmt, label string) {
+	b.add(s.Init)
+	head := b.newBlock("for.head")
+	b.edge(b.cur, head, nil, false)
+	if s.Cond != nil {
+		head.Nodes = append(head.Nodes, s.Cond)
+	}
+	body := b.newBlock("for.body")
+	done := b.newBlock("for.done")
+	b.edge(head, body, s.Cond, false)
+	if s.Cond != nil {
+		b.edge(head, done, s.Cond, true)
+	}
+	cont := head
+	var post *CFGBlock
+	if s.Post != nil {
+		post = b.newBlock("for.post")
+		post.Nodes = append(post.Nodes, s.Post)
+		b.edge(post, head, nil, false)
+		cont = post
+	}
+	b.targets = append(b.targets, cfgTarget{label: label, brk: done, cont: cont})
+	b.cur = body
+	b.stmtList(s.Body.List)
+	b.edge(b.cur, cont, nil, false)
+	b.targets = b.targets[:len(b.targets)-1]
+	b.cur = done
+}
+
+func (b *cfgBuilder) rangeStmt(s *ast.RangeStmt, label string) {
+	head := b.newBlock("range.head")
+	b.edge(b.cur, head, nil, false)
+	head.Nodes = append(head.Nodes, s.X)
+	if s.Key != nil {
+		head.Nodes = append(head.Nodes, s.Key)
+	}
+	if s.Value != nil {
+		head.Nodes = append(head.Nodes, s.Value)
+	}
+	body := b.newBlock("range.body")
+	done := b.newBlock("range.done")
+	b.edge(head, body, nil, false)
+	b.edge(head, done, nil, false)
+	b.targets = append(b.targets, cfgTarget{label: label, brk: done, cont: head})
+	b.cur = body
+	b.stmtList(s.Body.List)
+	b.edge(b.cur, head, nil, false)
+	b.targets = b.targets[:len(b.targets)-1]
+	b.cur = done
+}
+
+// switchClauses builds expression/type switch clause blocks.
+// fallthroughOK distinguishes expression switches (fallthrough legal)
+// from type switches.
+func (b *cfgBuilder) switchClauses(body *ast.BlockStmt, label string, fallthroughOK bool) {
+	head := b.cur
+	if head == nil {
+		head = b.newBlock("unreachable")
+		b.cur = head
+	}
+	done := b.newBlock("switch.done")
+	b.targets = append(b.targets, cfgTarget{label: label, brk: done})
+
+	var clauses []*ast.CaseClause
+	for _, cs := range body.List {
+		if cc, ok := cs.(*ast.CaseClause); ok {
+			clauses = append(clauses, cc)
+		}
+	}
+	blocks := make([]*CFGBlock, len(clauses))
+	hasDefault := false
+	for i, cc := range clauses {
+		kind := "case"
+		if cc.List == nil {
+			kind = "default"
+			hasDefault = true
+		}
+		blocks[i] = b.newBlock(kind)
+		b.edge(head, blocks[i], nil, false)
+	}
+	if !hasDefault {
+		b.edge(head, done, nil, false)
+	}
+	for i, cc := range clauses {
+		b.cur = blocks[i]
+		for _, e := range cc.List {
+			b.add(e)
+		}
+		stmts := cc.Body
+		fellThrough := false
+		if fallthroughOK && len(stmts) > 0 {
+			if br, ok := stmts[len(stmts)-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH && i+1 < len(blocks) {
+				stmts = stmts[:len(stmts)-1]
+				fellThrough = true
+			}
+		}
+		b.stmtList(stmts)
+		if fellThrough {
+			b.edge(b.cur, blocks[i+1], nil, false)
+		} else {
+			b.edge(b.cur, done, nil, false)
+		}
+	}
+	b.targets = b.targets[:len(b.targets)-1]
+	b.cur = done
+}
+
+func (b *cfgBuilder) selectStmt(s *ast.SelectStmt, label string) {
+	head := b.cur
+	if head == nil {
+		head = b.newBlock("unreachable")
+		b.cur = head
+	}
+	done := b.newBlock("select.done")
+	b.targets = append(b.targets, cfgTarget{label: label, brk: done})
+	for _, cs := range s.Body.List {
+		cc, ok := cs.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		kind := "comm"
+		if cc.Comm == nil {
+			kind = "default"
+		}
+		blk := b.newBlock(kind)
+		b.edge(head, blk, nil, false)
+		b.cur = blk
+		b.add(cc.Comm)
+		b.stmtList(cc.Body)
+		b.edge(b.cur, done, nil, false)
+	}
+	b.targets = b.targets[:len(b.targets)-1]
+	b.cur = done
+}
+
+func (b *cfgBuilder) branchStmt(s *ast.BranchStmt) {
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	switch s.Tok {
+	case token.BREAK:
+		for i := len(b.targets) - 1; i >= 0; i-- {
+			t := b.targets[i]
+			if label != "" && t.label != label {
+				continue
+			}
+			b.edge(b.cur, t.brk, nil, false)
+			b.cur = nil
+			return
+		}
+		b.cur = nil // malformed; treat as terminator
+	case token.CONTINUE:
+		for i := len(b.targets) - 1; i >= 0; i-- {
+			t := b.targets[i]
+			if t.cont == nil || (label != "" && t.label != label) {
+				continue
+			}
+			b.edge(b.cur, t.cont, nil, false)
+			b.cur = nil
+			return
+		}
+		b.cur = nil
+	case token.GOTO:
+		if to, ok := b.labels[label]; ok {
+			b.edge(b.cur, to, nil, false)
+		} else if b.cur != nil {
+			b.gotos[label] = append(b.gotos[label], b.cur)
+		}
+		b.cur = nil
+	case token.FALLTHROUGH:
+		// Normally consumed by switchClauses; a stray one (fallthrough in
+		// a default mid-switch) just ends the block.
+		b.cur = nil
+	}
+}

@@ -1,0 +1,315 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// buildTestCFG parses a single function body and builds its CFG.
+func buildTestCFG(t *testing.T, body string) *CFG {
+	t.Helper()
+	src := "package p\n" + body
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "cfg_test.go", src, 0)
+	if err != nil {
+		t.Fatalf("parsing test function: %v\n%s", err, src)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			g := BuildCFG(fd.Body)
+			if g == nil {
+				t.Fatal("BuildCFG returned nil for a non-nil body")
+			}
+			return g
+		}
+	}
+	t.Fatal("no function in test source")
+	return nil
+}
+
+// cfgReachable returns the blocks reachable from start over Succs.
+func cfgReachable(start *CFGBlock) map[*CFGBlock]bool {
+	seen := map[*CFGBlock]bool{start: true}
+	work := []*CFGBlock{start}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		for _, e := range b.Succs {
+			if !seen[e.To] {
+				seen[e.To] = true
+				work = append(work, e.To)
+			}
+		}
+	}
+	return seen
+}
+
+// blocksOfKind returns the blocks with the given kind, in creation order.
+func blocksOfKind(g *CFG, kind string) []*CFGBlock {
+	var out []*CFGBlock
+	for _, b := range g.Blocks {
+		if b.Kind == kind {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+func hasEdge(from, to *CFGBlock) bool {
+	for _, e := range from.Succs {
+		if e.To == to {
+			return true
+		}
+	}
+	return false
+}
+
+// TestCFGDeferWithClosure: the deferred closure call must land in the
+// shared defer block, and both the early return and the fall-off-end
+// path must route to Exit through it.
+func TestCFGDeferWithClosure(t *testing.T) {
+	g := buildTestCFG(t, `
+func f(n int) {
+	x := 1
+	defer func() { _ = x }()
+	if n > 0 {
+		return
+	}
+	x = 2
+}`)
+	if len(g.Defers.Nodes) != 1 {
+		t.Fatalf("defer block has %d nodes, want 1 deferred call", len(g.Defers.Nodes))
+	}
+	call, ok := g.Defers.Nodes[0].(*ast.CallExpr)
+	if !ok {
+		t.Fatalf("defer block node is %T, want *ast.CallExpr", g.Defers.Nodes[0])
+	}
+	if _, ok := call.Fun.(*ast.FuncLit); !ok {
+		t.Errorf("deferred call target is %T, want the closure literal", call.Fun)
+	}
+	// Both exits flow through Defers: the early return's block and the
+	// trailing straight-line block are both predecessors.
+	if len(g.Defers.Preds) < 2 {
+		t.Errorf("defer block has %d preds, want both the early return and the fall-off-end path", len(g.Defers.Preds))
+	}
+	if !hasEdge(g.Defers, g.Exit) {
+		t.Error("defer block does not edge to Exit")
+	}
+	for _, e := range g.Exit.Preds {
+		if e.From != g.Defers {
+			t.Errorf("Exit has a predecessor (%s) bypassing the defer block", e.From.Kind)
+		}
+	}
+}
+
+// TestCFGLabeledBreakContinue: continue outer must edge to the outer
+// loop's post block and break outer to the outer loop's done block,
+// skipping the inner loop entirely.
+func TestCFGLabeledBreakContinue(t *testing.T) {
+	g := buildTestCFG(t, `
+func f() {
+outer:
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 10; j++ {
+			if j == 1 {
+				continue outer
+			}
+			if j == 2 {
+				break outer
+			}
+		}
+	}
+}`)
+	posts := blocksOfKind(g, "for.post")
+	dones := blocksOfKind(g, "for.done")
+	if len(posts) != 2 || len(dones) != 2 {
+		t.Fatalf("got %d for.post and %d for.done blocks, want 2 and 2\n%s", len(posts), len(dones), g)
+	}
+	// Creation order: the outer loop's blocks are built first.
+	outerPost, outerDone := posts[0], dones[0]
+	innerBody := blocksOfKind(g, "for.body")[1]
+
+	fromThen := func(to *CFGBlock) bool {
+		for _, e := range to.Preds {
+			if e.From.Kind == "if.then" {
+				return true
+			}
+		}
+		return false
+	}
+	if !fromThen(outerPost) {
+		t.Errorf("continue outer: no edge from an if.then into the outer for.post\n%s", g)
+	}
+	if !fromThen(outerDone) {
+		t.Errorf("break outer: no edge from an if.then into the outer for.done\n%s", g)
+	}
+	// Sanity: neither labeled branch targets the inner loop's blocks.
+	if fromThen(posts[1]) {
+		t.Errorf("labeled continue resolved to the inner loop's post block\n%s", g)
+	}
+	_ = innerBody
+}
+
+// TestCFGSwitchFallthrough: a fallthrough chains its clause block into
+// the next clause, and a switch with a default has no head->done edge.
+func TestCFGSwitchFallthrough(t *testing.T) {
+	g := buildTestCFG(t, `
+func f(x int) int {
+	r := 0
+	switch x {
+	case 0:
+		r = 1
+		fallthrough
+	case 1:
+		r = 2
+	default:
+		r = 3
+	}
+	return r
+}`)
+	cases := blocksOfKind(g, "case")
+	defaults := blocksOfKind(g, "default")
+	if len(cases) != 2 || len(defaults) != 1 {
+		t.Fatalf("got %d case and %d default blocks, want 2 and 1\n%s", len(cases), len(defaults), g)
+	}
+	if !hasEdge(cases[0], cases[1]) {
+		t.Errorf("fallthrough did not chain case 0 into case 1\n%s", g)
+	}
+	done := blocksOfKind(g, "switch.done")[0]
+	if hasEdge(cases[0], done) {
+		t.Errorf("falling-through clause also edges straight to switch.done\n%s", g)
+	}
+	// With a default clause every tag value is consumed: the dispatch
+	// block must not edge straight to done.
+	for _, e := range done.Preds {
+		if e.From.Kind == "entry" {
+			t.Errorf("switch with default still has a head->done edge\n%s", g)
+		}
+	}
+}
+
+// TestCFGSwitchNoDefaultExitEdge: without a default, the dispatch block
+// keeps an implicit edge to switch.done (no case may match).
+func TestCFGSwitchNoDefaultExitEdge(t *testing.T) {
+	g := buildTestCFG(t, `
+func f(x int) int {
+	switch x {
+	case 0:
+		return 1
+	}
+	return 0
+}`)
+	done := blocksOfKind(g, "switch.done")[0]
+	found := false
+	for _, e := range done.Preds {
+		if e.From == g.Entry {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("switch without default lost the implicit head->done edge\n%s", g)
+	}
+}
+
+// TestCFGPanicOnlyExit: a function that always panics reaches Panic but
+// never Exit; a branch that panics leaves only the other path to Exit.
+func TestCFGPanicOnlyExit(t *testing.T) {
+	g := buildTestCFG(t, `
+func f() {
+	panic("always")
+}`)
+	reach := cfgReachable(g.Entry)
+	if !reach[g.Panic] {
+		t.Errorf("Panic block unreachable in an always-panicking function\n%s", g)
+	}
+	if reach[g.Exit] {
+		t.Errorf("Exit reachable in an always-panicking function\n%s", g)
+	}
+
+	g = buildTestCFG(t, `
+func f(fail bool) {
+	if fail {
+		panic("boom")
+	}
+}`)
+	reach = cfgReachable(g.Entry)
+	if !reach[g.Panic] || !reach[g.Exit] {
+		t.Fatalf("want both Panic and Exit reachable (panic=%v exit=%v)\n%s", reach[g.Panic], reach[g.Exit], g)
+	}
+	then := blocksOfKind(g, "if.then")[0]
+	if len(then.Succs) != 1 || then.Succs[0].To != g.Panic {
+		t.Errorf("panicking branch must edge only to Panic\n%s", g)
+	}
+	// The panic edge must bypass the defer block (panic exits are exempt
+	// from the leak analyses; see the package comment).
+	for _, e := range g.Panic.Preds {
+		if e.From == g.Defers {
+			t.Errorf("Panic fed from the defer block\n%s", g)
+		}
+	}
+}
+
+// TestCFGBranchCondEdges: if-edges carry the condition with Negated
+// marking the false edge — the hook nil-check refinement hangs on.
+func TestCFGBranchCondEdges(t *testing.T) {
+	g := buildTestCFG(t, `
+func f(p *int) int {
+	if p == nil {
+		return 0
+	}
+	return *p
+}`)
+	var onTrue, onFalse int
+	for _, e := range g.Entry.Succs {
+		if e.Cond == nil {
+			t.Errorf("entry succ edge to %s has no condition", e.To.Kind)
+			continue
+		}
+		if strings.Contains(exprString(e.Cond), "==") {
+			if e.Negated {
+				onFalse++
+			} else {
+				onTrue++
+			}
+		}
+	}
+	if onTrue != 1 || onFalse != 1 {
+		t.Errorf("want one true and one false conditional edge out of the check, got %d/%d\n%s", onTrue, onFalse, g)
+	}
+}
+
+func exprString(e ast.Expr) string {
+	if be, ok := e.(*ast.BinaryExpr); ok {
+		return be.Op.String()
+	}
+	return ""
+}
+
+// TestCFGGotoBackward: a backward goto forms a loop (the label block
+// gains a back edge), and the graph still terminates construction.
+func TestCFGGotoBackward(t *testing.T) {
+	g := buildTestCFG(t, `
+func f(n int) {
+again:
+	n--
+	if n > 0 {
+		goto again
+	}
+}`)
+	lbl := blocksOfKind(g, "label.again")
+	if len(lbl) != 1 {
+		t.Fatalf("want one label block, got %d\n%s", len(lbl), g)
+	}
+	back := false
+	for _, e := range lbl[0].Preds {
+		if e.From.Kind == "if.then" {
+			back = true
+		}
+	}
+	if !back {
+		t.Errorf("backward goto did not produce a back edge to the label block\n%s", g)
+	}
+}

@@ -1,0 +1,95 @@
+package analysis
+
+// Generic forward worklist dataflow over a CFG. A client supplies the
+// lattice operations and a per-node transfer function; the solver
+// iterates to a fixed point. Facts must form a finite-height lattice
+// under Join and transfers must be monotone for termination; a hard
+// iteration bound backstops a misbehaving client (the solver then
+// returns the best facts reached, which for the passes here can only
+// suppress findings, never invent them).
+
+import "go/ast"
+
+// Transfer is the client half of a forward dataflow problem.
+type Transfer[F any] struct {
+	// Entry produces the fact at function entry.
+	Entry func() F
+	// Join merges two facts flowing into the same block. It must not
+	// mutate its arguments.
+	Join func(a, b F) F
+	// Equal reports fact equality (fixed-point detection).
+	Equal func(a, b F) bool
+	// Node applies one CFG node to a fact, returning the fact after it.
+	// It must not mutate its input.
+	Node func(n ast.Node, f F) F
+	// Edge, when non-nil, refines the fact flowing across one edge —
+	// e.g. killing a pointer on the branch where it compared nil.
+	Edge func(e *CFGEdge, f F) F
+}
+
+// FlowResult holds the solved per-block facts. Blocks unreachable from
+// Entry are absent from both maps.
+type FlowResult[F any] struct {
+	In  map[*CFGBlock]F
+	Out map[*CFGBlock]F
+}
+
+// ForwardDataflow solves the problem to a fixed point with a worklist,
+// seeding Entry with t.Entry() and propagating along Succs.
+func ForwardDataflow[F any](g *CFG, t Transfer[F]) *FlowResult[F] {
+	res := &FlowResult[F]{
+		In:  make(map[*CFGBlock]F),
+		Out: make(map[*CFGBlock]F),
+	}
+	if g == nil {
+		return res
+	}
+	res.In[g.Entry] = t.Entry()
+
+	apply := func(b *CFGBlock, f F) F {
+		for _, n := range b.Nodes {
+			f = t.Node(n, f)
+		}
+		return f
+	}
+
+	work := []*CFGBlock{g.Entry}
+	queued := map[*CFGBlock]bool{g.Entry: true}
+	// Any monotone client converges in O(blocks * lattice height)
+	// iterations; the bound only exists to stop a buggy client.
+	limit := (len(g.Blocks) + 1) * 1000
+	for len(work) > 0 && limit > 0 {
+		limit--
+		b := work[0]
+		work = work[1:]
+		queued[b] = false
+
+		out := apply(b, res.In[b])
+		if old, ok := res.Out[b]; ok && t.Equal(old, out) {
+			continue
+		}
+		res.Out[b] = out
+		for _, e := range b.Succs {
+			ef := out
+			if t.Edge != nil {
+				ef = t.Edge(e, ef)
+			}
+			old, seen := res.In[e.To]
+			var next F
+			if seen {
+				next = t.Join(old, ef)
+				if t.Equal(old, next) {
+					continue
+				}
+			} else {
+				next = ef
+			}
+			res.In[e.To] = next
+			if !queued[e.To] {
+				queued[e.To] = true
+				work = append(work, e.To)
+			}
+		}
+	}
+	return res
+}

@@ -1,0 +1,234 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// FSMLive checks the liveness of the block FSM's transition table. The
+// fsmtransition pass guarantees every state write goes *through*
+// setState and the validNext table; this pass checks the table itself
+// is sound. It statically extracts every package-level `validNext` map
+// literal (state -> legal successor states) and verifies, against the
+// declaring package's state constants:
+//
+//   - every state is reachable from the zero state (Free) by a chain
+//     of legal transitions — an unreachable state is dead table weight
+//     or a missing edge;
+//   - every reachable state has a path back to the zero state — a
+//     state with no route back to Free strands blocks forever, which
+//     is exactly the pool-drain bug class PR 8's abort work fixed;
+//   - every declared transition target is actually exercised: some
+//     setState(Const) call site in the package (tests excluded) moves
+//     a block there. A target no code ever transitions to is either a
+//     dead table entry or transition code that was never written.
+//
+// The table and the call sites are both read statically, so the check
+// holds for paths no test happens to drive.
+var FSMLive = &Analyzer{
+	Name: "fsmlive",
+	Doc:  "check validNext FSM tables for unreachable states, states with no path back to Free, and unexercised transition targets",
+	Run:  runFSMLive,
+}
+
+func runFSMLive(pass *Pass) error {
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if name.Name != "validNext" || i >= len(vs.Values) {
+						continue
+					}
+					if lit, ok := vs.Values[i].(*ast.CompositeLit); ok {
+						checkFSMTable(pass, lit)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// fsmState is one constant of the FSM state type.
+type fsmState struct {
+	name string
+	val  int64
+	pos  token.Pos
+}
+
+func checkFSMTable(pass *Pass, lit *ast.CompositeLit) {
+	m, ok := pass.Info.TypeOf(lit).(*types.Map)
+	if !ok {
+		return
+	}
+	stateType, ok := m.Key().(*types.Named)
+	if !ok || stateType.Obj().Pkg() == nil {
+		return
+	}
+
+	// The state universe: every constant of the type in its package.
+	states := make(map[int64]fsmState)
+	scope := stateType.Obj().Pkg().Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), stateType) {
+			continue
+		}
+		if v, exact := constant.Int64Val(c.Val()); exact {
+			states[v] = fsmState{name: name, val: v, pos: c.Pos()}
+		}
+	}
+	zero, ok := states[0]
+	if !ok {
+		return // no zero-value state to anchor reachability
+	}
+
+	// Extract the edge set from the map literal.
+	edges := make(map[int64][]int64)
+	isTarget := make(map[int64]bool)
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		from, ok := fsmConstVal(pass, kv.Key, stateType)
+		if !ok {
+			continue
+		}
+		val, ok := kv.Value.(*ast.CompositeLit)
+		if !ok {
+			continue
+		}
+		for _, e := range val.Elts {
+			if to, ok := fsmConstVal(pass, e, stateType); ok {
+				edges[from] = append(edges[from], to)
+				isTarget[to] = true
+			}
+		}
+	}
+	if len(edges) == 0 {
+		return
+	}
+
+	reachable := fsmReach(0, edges)
+	back := fsmReach(0, fsmReverse(edges))
+	setTargets := fsmSetStateTargets(pass, stateType)
+
+	var order []int64
+	for v := range states {
+		order = append(order, v)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	for _, v := range order {
+		s := states[v]
+		if v == 0 {
+			continue
+		}
+		switch {
+		case !reachable[v]:
+			pass.Report(Diagnostic{
+				Pos: s.pos,
+				Message: fmt.Sprintf("state %s is unreachable from %s in validNext: "+
+					"no chain of legal transitions ever produces it", s.name, zero.name),
+			})
+			continue
+		case !back[v]:
+			pass.Report(Diagnostic{
+				Pos: s.pos,
+				Message: fmt.Sprintf("state %s has no path back to %s in validNext: "+
+					"blocks entering it can never be recycled to the pool", s.name, zero.name),
+			})
+		}
+		if isTarget[v] && !setTargets[v] {
+			pass.Report(Diagnostic{
+				Pos: s.pos,
+				Message: fmt.Sprintf("state %s is a declared transition target but no setState call "+
+					"ever moves a block there: dead table entry or missing transition code", s.name),
+			})
+		}
+	}
+}
+
+// fsmConstVal resolves e to a constant value of the state type.
+func fsmConstVal(pass *Pass, e ast.Expr, stateType *types.Named) (int64, bool) {
+	var id *ast.Ident
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return 0, false
+	}
+	c, ok := pass.Info.Uses[id].(*types.Const)
+	if !ok || !types.Identical(c.Type(), stateType) {
+		return 0, false
+	}
+	v, exact := constant.Int64Val(c.Val())
+	return v, exact
+}
+
+// fsmReach returns the states reachable from start over edges.
+func fsmReach(start int64, edges map[int64][]int64) map[int64]bool {
+	seen := map[int64]bool{start: true}
+	work := []int64{start}
+	for len(work) > 0 {
+		v := work[0]
+		work = work[1:]
+		for _, to := range edges[v] {
+			if !seen[to] {
+				seen[to] = true
+				work = append(work, to)
+			}
+		}
+	}
+	return seen
+}
+
+func fsmReverse(edges map[int64][]int64) map[int64][]int64 {
+	rev := make(map[int64][]int64)
+	for from, tos := range edges {
+		for _, to := range tos {
+			rev[to] = append(rev[to], from)
+		}
+	}
+	return rev
+}
+
+// fsmSetStateTargets collects the constant arguments of every
+// setState(...) call in the package's non-test files.
+func fsmSetStateTargets(pass *Pass, stateType *types.Named) map[int64]bool {
+	targets := make(map[int64]bool)
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 || calleeName(call) != "setState" {
+				return true
+			}
+			if v, ok := fsmConstVal(pass, call.Args[0], stateType); ok {
+				targets[v] = true
+			}
+			return true
+		})
+	}
+	return targets
+}

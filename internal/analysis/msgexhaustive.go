@@ -1,0 +1,454 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// MsgExhaustive machine-checks the wire-protocol surface three ways:
+//
+//   - Every switch over a MsgType-named type must either cover every
+//     constant of that type or carry an explicit default clause. The
+//     paper's phase machine fails silently when a new message type is
+//     added to wire but a dispatch switch in source/sink/sessmgr is
+//     not extended — the message is dropped with no trace, which
+//     presents as a remote peer hanging.
+//   - Every Flag* bit constant must be used outside its declaring
+//     file (whole-program check). A dead flag means one side of the
+//     protocol sets or expects a bit the other never looks at.
+//   - Encoder/decoder symmetry: for each struct with both an
+//     Encode*- and a Decode*-named function in its package, the field
+//     sets they touch must match (a field written on the wire but
+//     never parsed is silent data loss; a field parsed but never
+//     written reads garbage), and every decoder must bounds-check its
+//     input with len() before indexing.
+//
+// Dispatch and codec checks skip _test.go files; flag *uses* in tests
+// still count toward liveness. The flag rule is whole-program: it is
+// only meaningful when the full module is loaded (rftplint ./... from
+// the module root, as make lint does) — running it on the declaring
+// package alone cannot see the importers that keep a flag alive.
+var MsgExhaustive = &Analyzer{
+	Name:  "msgexhaustive",
+	Doc:   "check MsgType switch coverage, flag-bit liveness, and encoder/decoder field symmetry",
+	Run:   runMsgExhaustive,
+	Begin: func() any { return newFlagLiveness() },
+	End:   endMsgExhaustive,
+}
+
+// flagLiveness is the whole-program state for the flag-bit rule.
+type flagLiveness struct {
+	// decls maps "pkgpath.FlagName" to the declaration site.
+	decls map[string]flagDecl
+	// usedElsewhere marks flags referenced outside their declaring file.
+	usedElsewhere map[string]bool
+}
+
+type flagDecl struct {
+	pos  token.Pos
+	file string
+	name string
+}
+
+func newFlagLiveness() *flagLiveness {
+	return &flagLiveness{
+		decls:         make(map[string]flagDecl),
+		usedElsewhere: make(map[string]bool),
+	}
+}
+
+func runMsgExhaustive(pass *Pass) error {
+	live := pass.Shared.(*flagLiveness)
+	codecs := make(map[*types.Named]*codecInfo)
+	for _, f := range pass.Files {
+		fname := pass.Fset.Position(f.Pos()).Filename
+		isTest := strings.HasSuffix(fname, "_test.go")
+		collectFlagRefs(pass, f, fname, live)
+		if isTest {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if sw, ok := n.(*ast.SwitchStmt); ok {
+				checkMsgTypeSwitch(pass, sw)
+			}
+			return true
+		})
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				collectCodec(pass, fd, codecs)
+			}
+		}
+	}
+	checkCodecSymmetry(pass, codecs)
+	return nil
+}
+
+// isFlagBit reports whether obj is a protocol flag constant: named
+// Flag*, integer, and a single bit (power of two).
+func isFlagBit(obj types.Object) bool {
+	c, ok := obj.(*types.Const)
+	if !ok || !strings.HasPrefix(c.Name(), "Flag") {
+		return false
+	}
+	v, ok := constant.Uint64Val(c.Val())
+	return ok && v != 0 && v&(v-1) == 0
+}
+
+// flagKey addresses a flag constant across package variants: the loader
+// visits test-variant packages ("pkg [pkg.test]") whose objects must
+// unify with the export-data view other packages import.
+func flagKey(obj types.Object) string {
+	path := obj.Pkg().Path()
+	if i := strings.Index(path, " ["); i >= 0 {
+		path = path[:i]
+	}
+	return path + "." + obj.Name()
+}
+
+// collectFlagRefs records Flag* declarations and cross-file uses.
+func collectFlagRefs(pass *Pass, f *ast.File, fname string, live *flagLiveness) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := pass.Info.Defs[id]; obj != nil && isFlagBit(obj) {
+			live.decls[flagKey(obj)] = flagDecl{pos: id.Pos(), file: fname, name: obj.Name()}
+		}
+		if obj := pass.Info.Uses[id]; obj != nil && isFlagBit(obj) {
+			key := flagKey(obj)
+			declFile := pass.Fset.Position(obj.Pos()).Filename
+			if fname != declFile {
+				live.usedElsewhere[key] = true
+			}
+		}
+		return true
+	})
+}
+
+func endMsgExhaustive(shared any, report func(Diagnostic)) {
+	live := shared.(*flagLiveness)
+	keys := make([]string, 0, len(live.decls))
+	for k := range live.decls {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if live.usedElsewhere[k] {
+			continue
+		}
+		d := live.decls[k]
+		report(Diagnostic{
+			Pos: d.pos,
+			Message: fmt.Sprintf("flag bit %s is never used outside its declaring file: "+
+				"one side of the protocol sets or expects a bit the other never reads", d.name),
+		})
+	}
+}
+
+// checkMsgTypeSwitch enforces exhaustiveness on switches whose tag is a
+// MsgType-named constant enumeration.
+func checkMsgTypeSwitch(pass *Pass, sw *ast.SwitchStmt) {
+	if sw.Tag == nil {
+		return
+	}
+	named := msgTypeOf(pass.Info.TypeOf(sw.Tag))
+	if named == nil {
+		return
+	}
+	// Every constant of the type, from its declaring package's scope.
+	members := make(map[string]constant.Value)
+	scope := named.Obj().Pkg().Scope()
+	for _, name := range scope.Names() {
+		if c, ok := scope.Lookup(name).(*types.Const); ok && types.Identical(c.Type(), named) {
+			members[name] = c.Val()
+		}
+	}
+	if len(members) == 0 {
+		return
+	}
+	covered := make(map[string]bool)
+	hasDefault := false
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+			continue
+		}
+		for _, e := range cc.List {
+			var id *ast.Ident
+			switch x := ast.Unparen(e).(type) {
+			case *ast.Ident:
+				id = x
+			case *ast.SelectorExpr:
+				id = x.Sel
+			}
+			if id == nil {
+				continue
+			}
+			if c, ok := pass.Info.Uses[id].(*types.Const); ok {
+				covered[c.Name()] = true
+			}
+		}
+	}
+	if hasDefault {
+		return
+	}
+	var missing []string
+	for name := range members {
+		if !covered[name] {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	// Report in wire order (constant value), not alphabetically.
+	sort.Slice(missing, func(i, j int) bool {
+		vi, _ := constant.Uint64Val(members[missing[i]])
+		vj, _ := constant.Uint64Val(members[missing[j]])
+		return vi < vj
+	})
+	pass.Report(Diagnostic{
+		Pos: sw.Pos(),
+		Message: fmt.Sprintf("switch on %s does not handle %s and has no default clause: "+
+			"unhandled control messages are dropped without a trace",
+			named.Obj().Name(), strings.Join(missing, ", ")),
+	})
+}
+
+// msgTypeOf unwraps t to a named type whose name is MsgType-like.
+func msgTypeOf(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return nil
+	}
+	if !strings.HasSuffix(n.Obj().Name(), "MsgType") {
+		return nil
+	}
+	return n
+}
+
+// codecInfo accumulates the encoder/decoder surface of one struct type.
+type codecInfo struct {
+	encFields map[string]bool
+	decFields map[string]bool
+	encPos    token.Pos
+	decPos    token.Pos
+	// decUnchecked holds decoder functions with no len() bounds check.
+	decUnchecked []token.Pos
+	decNames     map[token.Pos]string
+}
+
+// collectCodec classifies fd as an encoder or decoder by name prefix and
+// records which fields of its subject struct it touches.
+func collectCodec(pass *Pass, fd *ast.FuncDecl, codecs map[*types.Named]*codecInfo) {
+	if fd.Body == nil {
+		return
+	}
+	lower := strings.ToLower(fd.Name.Name)
+	var enc bool
+	switch {
+	case strings.HasPrefix(lower, "encode"):
+		enc = true
+	case strings.HasPrefix(lower, "decode"):
+		enc = false
+	default:
+		return
+	}
+	// Size/length helpers (EncodedLen) are not codecs.
+	if strings.Contains(lower, "len") || strings.Contains(lower, "size") {
+		return
+	}
+	subject := codecSubject(pass, fd)
+	if subject == nil {
+		return
+	}
+	info := codecs[subject]
+	if info == nil {
+		info = &codecInfo{
+			encFields: make(map[string]bool),
+			decFields: make(map[string]bool),
+			decNames:  make(map[token.Pos]string),
+		}
+		codecs[subject] = info
+	}
+	fields := info.encFields
+	if enc {
+		if info.encPos == token.NoPos {
+			info.encPos = fd.Name.Pos()
+		}
+	} else {
+		fields = info.decFields
+		if info.decPos == token.NoPos {
+			info.decPos = fd.Name.Pos()
+		}
+		if !hasLenBoundsCheck(fd.Body) {
+			info.decUnchecked = append(info.decUnchecked, fd.Name.Pos())
+			info.decNames[fd.Name.Pos()] = fd.Name.Name
+		}
+	}
+	collectFieldRefs(pass, fd.Body, subject, fields)
+}
+
+// codecSubject picks the struct a codec function is about: the receiver,
+// else the first same-package named-struct parameter or result.
+func codecSubject(pass *Pass, fd *ast.FuncDecl) *types.Named {
+	var candidates []ast.Expr
+	if fd.Recv != nil {
+		for _, f := range fd.Recv.List {
+			candidates = append(candidates, f.Type)
+		}
+	}
+	for _, f := range fd.Type.Params.List {
+		candidates = append(candidates, f.Type)
+	}
+	if fd.Type.Results != nil {
+		for _, f := range fd.Type.Results.List {
+			candidates = append(candidates, f.Type)
+		}
+	}
+	for _, c := range candidates {
+		if n := namedStructOf(pass.Info.TypeOf(c), pass.Pkg); n != nil {
+			return n
+		}
+	}
+	return nil
+}
+
+// namedStructOf unwraps (pointers to) a named struct declared in pkg.
+func namedStructOf(t types.Type, pkg *types.Package) *types.Named {
+	for {
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() != pkg {
+		return nil
+	}
+	if _, ok := n.Underlying().(*types.Struct); !ok {
+		return nil
+	}
+	return n
+}
+
+// collectFieldRefs adds every field of subject referenced in body — via
+// selector or composite-literal key — to out.
+func collectFieldRefs(pass *Pass, body ast.Node, subject *types.Named, out map[string]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.SelectorExpr:
+			sel, ok := pass.Info.Selections[x]
+			if !ok || sel.Kind() != types.FieldVal {
+				return true
+			}
+			if namedStructOf(sel.Recv(), subject.Obj().Pkg()) == subject {
+				out[sel.Obj().Name()] = true
+			}
+		case *ast.CompositeLit:
+			if namedStructOf(pass.Info.TypeOf(x), subject.Obj().Pkg()) != subject {
+				return true
+			}
+			for _, e := range x.Elts {
+				if kv, ok := e.(*ast.KeyValueExpr); ok {
+					if id, ok := kv.Key.(*ast.Ident); ok {
+						out[id.Name] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// hasLenBoundsCheck reports whether body compares a len(...) call with
+// an ordering operator anywhere — the minimum a decoder must do before
+// trusting its input.
+func hasLenBoundsCheck(body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || found {
+			return !found
+		}
+		switch be.Op {
+		case token.LSS, token.LEQ, token.GTR, token.GEQ:
+		default:
+			return true
+		}
+		for _, side := range []ast.Expr{be.X, be.Y} {
+			if call, ok := ast.Unparen(side).(*ast.CallExpr); ok && calleeName(call) == "len" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// checkCodecSymmetry reports field-set mismatches and unchecked
+// decoders for every struct with a known codec surface.
+func checkCodecSymmetry(pass *Pass, codecs map[*types.Named]*codecInfo) {
+	// Deterministic order across the map.
+	var subjects []*types.Named
+	for n := range codecs {
+		subjects = append(subjects, n)
+	}
+	sort.Slice(subjects, func(i, j int) bool {
+		return subjects[i].Obj().Name() < subjects[j].Obj().Name()
+	})
+	for _, subject := range subjects {
+		info := codecs[subject]
+		name := subject.Obj().Name()
+		for _, pos := range info.decUnchecked {
+			pass.Report(Diagnostic{
+				Pos: pos,
+				Message: fmt.Sprintf("decoder %s for %s never bounds-checks its input with len(): "+
+					"a truncated message would panic the control plane", info.decNames[pos], name),
+			})
+		}
+		if info.encPos == token.NoPos || info.decPos == token.NoPos {
+			continue // symmetry needs both halves
+		}
+		for _, f := range sortedDiff(info.encFields, info.decFields) {
+			pass.Report(Diagnostic{
+				Pos: info.encPos,
+				Message: fmt.Sprintf("field %s.%s is written by the encoder but never read by the decoder: "+
+					"silent data loss on the wire", name, f),
+			})
+		}
+		for _, f := range sortedDiff(info.decFields, info.encFields) {
+			pass.Report(Diagnostic{
+				Pos: info.decPos,
+				Message: fmt.Sprintf("field %s.%s is read by the decoder but never written by the encoder: "+
+					"it parses bytes the encoder never produces", name, f),
+			})
+		}
+	}
+}
+
+// sortedDiff returns the keys of a missing from b, sorted.
+func sortedDiff(a, b map[string]bool) []string {
+	var out []string
+	for k := range a {
+		if !b[k] {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

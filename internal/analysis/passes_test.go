@@ -36,6 +36,20 @@ func TestSessionAffinityFixture(t *testing.T) {
 	assertSuppression(t, res, "sessionaffinity")
 }
 
+func TestBlockLeakFixture(t *testing.T) {
+	res := runFixture(t, BlockLeak, "blockleak")
+	assertSuppression(t, res, "blockleak")
+}
+
+func TestMsgExhaustiveFixture(t *testing.T) {
+	res := runFixture(t, MsgExhaustive, "msgexhaustive")
+	assertSuppression(t, res, "msgexhaustive")
+}
+
+func TestFSMLiveFixture(t *testing.T) {
+	runFixture(t, FSMLive, "fsmlive")
+}
+
 // assertSuppression checks that the fixture's //lint:allow line was
 // recorded (the want-matching in runFixture already proved it produced
 // no finding).
@@ -52,9 +66,36 @@ func assertSuppression(t *testing.T, res *Result, analyzer string) {
 	t.Errorf("no %s suppression recorded; fixture should carry one //lint:allow", analyzer)
 }
 
+// TestStaleSuppressionDetection pins the staleness semantics on a
+// fixture: an allow whose pass ran and matched nothing is stale, but
+// only relative to the set of analyzers that actually ran.
+func TestStaleSuppressionDetection(t *testing.T) {
+	pkgs, err := Load("", nil, "./testdata/src/staleallow")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	res, err := Run(pkgs, []*Analyzer{BlockLeak})
+	if err != nil {
+		t.Fatalf("running blockleak: %v", err)
+	}
+	if len(res.Findings) != 0 {
+		t.Fatalf("fixture is clean but got findings:\n%s", findingsString(res))
+	}
+	stale := res.Stale([]*Analyzer{BlockLeak})
+	if len(stale) != 1 || stale[0].Analyzer != "blockleak" {
+		t.Fatalf("stale = %+v, want the one unused blockleak allow", stale)
+	}
+	// The same suppression is not judged against a run that did not
+	// include its pass.
+	if got := res.Stale([]*Analyzer{FSMLive}); len(got) != 0 {
+		t.Errorf("allow for a pass outside the run set reported stale: %+v", got)
+	}
+}
+
 // TestRepoClean runs the full suite over the whole module — the same
-// invocation as make lint — and fails on any finding. Fixture packages
-// under testdata are excluded from ./... expansion by the go tool.
+// invocation as make lint — and fails on any finding or any stale
+// suppression (the -strict-allows gate). Fixture packages under
+// testdata are excluded from ./... expansion by the go tool.
 func TestRepoClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("whole-module load in -short mode")
@@ -69,5 +110,8 @@ func TestRepoClean(t *testing.T) {
 	}
 	if len(res.Findings) > 0 {
 		t.Errorf("suite reported %d findings on the tree:\n%s", len(res.Findings), findingsString(res))
+	}
+	for _, s := range res.Stale(All()) {
+		t.Errorf("%s: stale suppression: allow %s matched no finding (fix shipped? remove the comment)", s.Pos, s.Analyzer)
 	}
 }

@@ -1,0 +1,154 @@
+// Package blockleak is a deliberately broken fixture for the blockleak
+// pass: a minimal block pool plus every leak shape the flow-sensitive
+// engine must catch, and the release/handoff/escape paths it must not
+// flag.
+package blockleak
+
+type block struct {
+	data []byte
+	seq  uint64
+}
+
+type pool struct{ free []*block }
+
+func (p *pool) get() *block {
+	if len(p.free) == 0 {
+		return nil
+	}
+	b := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	return b
+}
+
+func (p *pool) put(b *block) { p.free = append(p.free, b) }
+
+var sendQueue []*block
+
+// post absorbs b: it escapes into the send queue, so the one-level
+// summary marks the parameter as a handoff.
+func post(b *block) error {
+	sendQueue = append(sendQueue, b)
+	return nil
+}
+
+func inspect(b *block) int { return len(b.data) } // reads only: caller still owns b
+
+// leakOnErrorPath is the canonical bug: the happy path releases, the
+// early error return does not.
+func leakOnErrorPath(p *pool, fail bool) error {
+	b := p.get() // want `b acquired from a pool may not be released on every path out of leakOnErrorPath`
+	if fail {
+		return errFailed // leak: b never released on this path
+	}
+	p.put(b)
+	return nil
+}
+
+// leakInSwitchArm leaks on exactly one arm of a switch.
+func leakInSwitchArm(p *pool, mode int) {
+	b := p.get() // want `b acquired from a pool may not be released on every path out of leakInSwitchArm`
+	switch mode {
+	case 0:
+		p.put(b)
+	case 1:
+		_ = post(b) // handoff: fine
+	default:
+		// leak: falls out of the switch still holding b
+	}
+}
+
+// readOnlyCalleeStillLeaks exercises the one-level call summary: the
+// callee only reads b, so passing it there is not a handoff.
+func readOnlyCalleeStillLeaks(p *pool) int {
+	b := p.get() // want `b acquired from a pool may not be released on every path out of readOnlyCalleeStillLeaks`
+	if b == nil {
+		return 0
+	}
+	return inspect(b)
+}
+
+// releasedOnAllPaths is clean: both branches release.
+func releasedOnAllPaths(p *pool, fast bool) {
+	b := p.get()
+	if fast {
+		p.put(b)
+		return
+	}
+	p.put(b)
+}
+
+// deferredRelease is clean: the deferred put covers every return.
+func deferredRelease(p *pool, n int) int {
+	b := p.get()
+	defer p.put(b)
+	if n < 0 {
+		return -1
+	}
+	return len(b.data)
+}
+
+// nilGuard is clean: the branch that returns early holds a provably
+// nil handle (condition refinement kills the fact on that edge).
+func nilGuard(p *pool) {
+	b := p.get()
+	if b == nil {
+		return
+	}
+	p.put(b)
+}
+
+// handoffToFabric is clean: post takes ownership on the summary's
+// say-so (b escapes through the send queue).
+func handoffToFabric(p *pool) error {
+	b := p.get()
+	return post(b)
+}
+
+// escapeIntoMap is clean: ownership moves to the table.
+func escapeIntoMap(p *pool, owned map[uint64]*block) {
+	b := p.get()
+	owned[b.seq] = b
+}
+
+// closureOwns is clean: the completion callback captures b and is the
+// release path (how asynchronous completions work in the data path).
+func closureOwns(p *pool, onDone func(func())) {
+	b := p.get()
+	onDone(func() { p.put(b) })
+}
+
+// panicPathExempt is clean: the leaking path dies by panic, where pool
+// invariants are moot.
+func panicPathExempt(p *pool, broken bool) {
+	b := p.get()
+	if broken {
+		panic("protocol violation")
+	}
+	p.put(b)
+}
+
+// loopReacquire leaks the draw that the loop's continue path abandons.
+func loopReacquire(p *pool, n int) {
+	for i := 0; i < n; i++ {
+		b := p.get() // want `b acquired from a pool may not be released on every path out of loopReacquire`
+		if i%2 == 0 {
+			continue // leak: b dropped on the floor each even iteration
+		}
+		p.put(b)
+	}
+}
+
+// suppressed proves //lint:allow drops the finding.
+func suppressed(p *pool, park bool) {
+	b := p.get() //lint:allow blockleak fixture: proves suppression drops the finding
+	if park {
+		return
+	}
+	p.put(b)
+}
+
+var errFailed = errorString("failed")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }

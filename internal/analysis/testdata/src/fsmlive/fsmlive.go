@@ -1,0 +1,50 @@
+// Package fsmlive is a deliberately broken fixture for the fsmlive
+// pass: a small FSM whose transition table declares an unreachable
+// state, a state with no way back to the zero state, and a target no
+// setState call ever produces — plus the sound states the pass must
+// not flag.
+package fsmlive
+
+type State uint8
+
+const (
+	Idle   State = iota // zero state: the recycle anchor
+	Armed               // clean: reachable, returns, exercised
+	Firing              // clean
+	Orphan State = iota + 10 // want `state Orphan is unreachable from Idle in validNext`
+	Stuck                    // want `state Stuck has no path back to Idle in validNext`
+	Ghost                    // want `state Ghost is a declared transition target but no setState call ever moves a block there`
+)
+
+var validNext = map[State][]State{
+	Idle:   {Armed},
+	Armed:  {Firing, Idle},
+	Firing: {Idle, Stuck, Ghost},
+	// Orphan has edges out but no edge in: dead table weight.
+	Orphan: {Idle},
+	// Stuck only loops on itself: blocks entering it are stranded.
+	Stuck: {Stuck},
+	Ghost: {Idle},
+}
+
+type cell struct{ state State }
+
+func (c *cell) setState(to State) {
+	for _, ok := range validNext[c.state] {
+		if ok == to {
+			c.state = to
+			return
+		}
+	}
+	panic("illegal transition")
+}
+
+// drive exercises every state except Ghost (and Orphan, which is
+// covered by a call but unreachable in the table anyway).
+func drive(c *cell) {
+	c.setState(Armed)
+	c.setState(Firing)
+	c.setState(Idle)
+	c.setState(Stuck)
+	c.setState(Orphan)
+}

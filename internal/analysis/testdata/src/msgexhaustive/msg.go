@@ -1,0 +1,138 @@
+// Package msgexhaustive is a deliberately broken fixture for the
+// msgexhaustive pass: a miniature wire surface with a non-exhaustive
+// dispatch switch, a dead flag bit, and asymmetric codec pairs, plus
+// the exhaustive/defaulted/symmetric shapes the pass must not flag.
+package msgexhaustive
+
+type MsgType uint8
+
+const (
+	MsgOpen MsgType = iota + 1
+	MsgData
+	MsgClose
+	MsgAbort
+)
+
+const (
+	// FlagAck is set by the peer file — live.
+	FlagAck uint8 = 1 << iota
+	// FlagUrgent is declared but never used outside this file — dead.
+	FlagUrgent // want `flag bit FlagUrgent is never used outside its declaring file`
+	// FlagMask is not a single bit and so is not subject to liveness.
+	FlagMask uint8 = 0x07
+)
+
+// dispatchMissing drops MsgClose and MsgAbort on the floor.
+func dispatchMissing(t MsgType) int {
+	switch t { // want `switch on MsgType does not handle MsgClose, MsgAbort and has no default clause`
+	case MsgOpen:
+		return 1
+	case MsgData:
+		return 2
+	}
+	return 0
+}
+
+// dispatchExhaustive covers every constant: clean.
+func dispatchExhaustive(t MsgType) int {
+	switch t {
+	case MsgOpen, MsgData:
+		return 1
+	case MsgClose:
+		return 2
+	case MsgAbort:
+		return 3
+	}
+	return 0
+}
+
+// dispatchDefaulted misses constants but owns up to it with an explicit
+// default: clean.
+func dispatchDefaulted(t MsgType) int {
+	switch t {
+	case MsgOpen:
+		return 1
+	default:
+		return -1
+	}
+}
+
+// dispatchSuppressed proves //lint:allow drops the finding.
+func dispatchSuppressed(t MsgType) int {
+	//lint:allow msgexhaustive fixture: proves suppression drops the finding
+	switch t {
+	case MsgData:
+		return 2
+	}
+	return 0
+}
+
+// Hdr's encoder writes Tag; the decoder never reads it.
+type Hdr struct {
+	Seq uint32
+	Off uint64
+	Tag uint8
+}
+
+func EncodeHdr(dst []byte, h Hdr) { // want `field Hdr\.Tag is written by the encoder but never read by the decoder`
+	put32(dst[0:], h.Seq)
+	put64(dst[4:], h.Off)
+	dst[12] = h.Tag
+}
+
+func DecodeHdr(b []byte) (Hdr, bool) {
+	if len(b) < 13 {
+		return Hdr{}, false
+	}
+	return Hdr{Seq: get32(b[0:]), Off: get64(b[4:])}, true
+}
+
+// Ack's decoder reads a field the encoder never writes, and never
+// bounds-checks its input.
+type Ack struct {
+	Seq   uint32
+	Spare uint32
+}
+
+func EncodeAck(dst []byte, a Ack) {
+	put32(dst, a.Seq)
+}
+
+func DecodeAck(b []byte) Ack { // want `decoder DecodeAck for Ack never bounds-checks its input with len\(\)` `field Ack\.Spare is read by the decoder but never written by the encoder`
+	return Ack{Seq: get32(b), Spare: get32(b[4:])}
+}
+
+// Sym is a clean, symmetric, bounds-checked codec pair.
+type Sym struct {
+	A uint32
+	B uint32
+}
+
+func EncodeSym(dst []byte, s Sym) {
+	put32(dst[0:], s.A)
+	put32(dst[4:], s.B)
+}
+
+func DecodeSym(b []byte) (Sym, bool) {
+	if len(b) < 8 {
+		return Sym{}, false
+	}
+	return Sym{A: get32(b[0:]), B: get32(b[4:])}, true
+}
+
+func put32(b []byte, v uint32) {
+	b[0], b[1], b[2], b[3] = byte(v>>24), byte(v>>16), byte(v>>8), byte(v)
+}
+
+func put64(b []byte, v uint64) {
+	put32(b[0:], uint32(v>>32))
+	put32(b[4:], uint32(v))
+}
+
+func get32(b []byte) uint32 {
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}
+
+func get64(b []byte) uint64 {
+	return uint64(get32(b[0:]))<<32 | uint64(get32(b[4:]))
+}

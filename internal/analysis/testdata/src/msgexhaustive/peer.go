@@ -1,0 +1,5 @@
+package msgexhaustive
+
+// acked lives in a second file so FlagAck has a cross-file use (the
+// liveness rule requires a reference outside the declaring file).
+func acked(flags uint8) bool { return flags&FlagAck != 0 }

@@ -1,0 +1,9 @@
+// Package staleallow is a fixture for stale-suppression detection: its
+// one //lint:allow names a pass that runs and finds nothing, so the
+// comment is pure shelf-ware and -strict-allows must flag it.
+package staleallow
+
+func clean() int {
+	//lint:allow blockleak stale excuse: nothing here ever leaked
+	return 1
+}

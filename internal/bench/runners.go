@@ -234,11 +234,18 @@ func RunRFTP(tb Testbed, opt RFTPOptions) (RunResult, error) {
 		srcLoops = append(srcLoops, srcHost.NewThread(fmt.Sprintf("rftp-src-shard%d", i)))
 		dstLoops = append(dstLoops, dstHost.NewThread(fmt.Sprintf("rftp-sink-shard%d", i)))
 	}
-	srcEP, err := core.NewShardedEndpoint(srcDev, srcLoops, cfg.Channels, cfg.IODepth)
+	// Both control rings are sized for the tenant count: the sink's
+	// absorbs the admission storm, the source's the SESSION_RESP /
+	// grant bursts coming back.
+	epSessions := sessions
+	if cap := cfg.MaxSessions + cfg.SessionQueue; cap > epSessions {
+		epSessions = cap
+	}
+	srcEP, err := core.NewServiceEndpoint(srcDev, srcLoops, cfg.Channels, cfg.IODepth, epSessions)
 	if err != nil {
 		return RunResult{}, err
 	}
-	dstEP, err := core.NewShardedEndpoint(dstDev, dstLoops, cfg.Channels, cfg.IODepth)
+	dstEP, err := core.NewServiceEndpoint(dstDev, dstLoops, cfg.Channels, cfg.IODepth, epSessions)
 	if err != nil {
 		return RunResult{}, err
 	}

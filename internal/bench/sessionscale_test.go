@@ -42,6 +42,24 @@ func TestSessionScalingShape(t *testing.T) {
 	}
 }
 
+// TestSessionCtrlRingNoRNR is the receive-ring sizing gate: with the
+// control ring sized from the admission cap (NewServiceEndpoint), the
+// full tenant sweep — including the 1024-tenant point whose admission
+// storm used to take hundreds of receiver-not-ready retries — must
+// report zero fabric RNR NAKs on either endpoint.
+func TestSessionCtrlRingNoRNR(t *testing.T) {
+	for _, n := range SessionScaleCounts {
+		r, err := RunSessionScalePoint(n, nil, ScaleQuick)
+		if err != nil {
+			t.Fatalf("sessions=%d: %v", n, err)
+		}
+		t.Logf("sessions=%d: rnr=%d, %.2f Gbps agg", n, r.RNR, r.BandwidthGbps)
+		if r.RNR != 0 {
+			t.Errorf("sessions=%d took %d control-plane RNR retries; the ring must be sized from the admission cap", n, r.RNR)
+		}
+	}
+}
+
 // TestSessionWeightedShares checks proportional scheduling: a 2:1
 // weight split over 8 tenants must yield a goodput share ratio near 2.
 func TestSessionWeightedShares(t *testing.T) {

@@ -64,13 +64,35 @@ func NewEndpoint(dev verbs.Device, loop verbs.Loop, channels, ioDepth int) (*End
 	return NewShardedEndpoint(dev, []verbs.Loop{loop}, channels, ioDepth)
 }
 
+// ctrlMsgsPerSession is the control receive headroom reserved per
+// additional tenant beyond the first: a session can land SESSION_REQ,
+// MR_INFO_REQUEST, BLOCK_COMPLETE, and DATASET_COMPLETE in the window
+// between a burst arriving and the control loop reposting receives, so
+// an N-tenant connection admitting everyone at once needs the ring
+// sized to the admission cap, not the block pool.
+const ctrlMsgsPerSession = 4
+
 // NewShardedEndpoint creates the QPs for one side: channels data QPs
 // plus the control QP. loops[0] carries the control plane; the data
 // channels are distributed round-robin over min(len(loops), channels)
 // reactor shards, each with its own completion queue on its own loop.
 // ioDepth sizes the queues: the control receive queue must absorb one
-// message per in-flight block plus negotiation traffic.
+// message per in-flight block plus negotiation traffic. The control
+// ring is sized for a single tenant; a multi-session service endpoint
+// must use NewServiceEndpoint so the ring scales with the admission
+// cap.
 func NewShardedEndpoint(dev verbs.Device, loops []verbs.Loop, channels, ioDepth int) (*Endpoint, error) {
+	return NewServiceEndpoint(dev, loops, channels, ioDepth, 1)
+}
+
+// NewServiceEndpoint creates a sharded endpoint whose control receive
+// ring is additionally sized for sessions concurrent tenants (admitted
+// plus queued). Below 256 tenants the single-session floor already
+// covers the burst; above it an unsized ring takes receiver-not-ready
+// retries on the admission storm (every tenant's SESSION_REQ, and later
+// each one's MR_INFO_REQUEST / DATASET_COMPLETE, can arrive back to
+// back before the loop reposts). sessions <= 1 is the classic layout.
+func NewServiceEndpoint(dev verbs.Device, loops []verbs.Loop, channels, ioDepth, sessions int) (*Endpoint, error) {
 	if channels < 1 {
 		return nil, fmt.Errorf("core: need at least one data channel")
 	}
@@ -82,6 +104,9 @@ func NewShardedEndpoint(dev verbs.Device, loops []verbs.Loop, channels, ioDepth 
 		nsh = channels
 	}
 	ctrlDepth := 2*ioDepth + 16
+	if sessions > 1 {
+		ctrlDepth += ctrlMsgsPerSession * sessions
+	}
 	if ctrlDepth < 64 {
 		ctrlDepth = 64
 	}

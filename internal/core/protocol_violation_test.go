@@ -3,7 +3,9 @@ package core
 import (
 	"errors"
 	"testing"
+	"time"
 
+	"rftp/internal/trace"
 	"rftp/internal/verbs"
 	"rftp/internal/wire"
 )
@@ -254,5 +256,38 @@ func TestSinkAbortRecyclesDataReadyBlocksThroughFSM(t *testing.T) {
 	// session gone the whole pool is free again.
 	if got, want := len(p.sink.pool.free), len(p.sink.pool.blocks); got != want {
 		t.Fatalf("pool free = %d, want %d (aborted session's blocks not recycled)", got, want)
+	}
+}
+
+// TestUnhandledControlTypesTraceNotSilent is the regression test for
+// the msgexhaustive findings: response-direction types arriving at the
+// sink (and request-direction types at the source) used to fall out of
+// the dispatch switch with no trace at all — a wedged peer looked like
+// a network hang. They must now emit a ctrl_unhandled error event and
+// leave the endpoint healthy.
+func TestUnhandledControlTypesTraceNotSilent(t *testing.T) {
+	p, _ := sinkRig(t)
+	sinkErr := sinkFailure(p)
+	p.sink.Trace = trace.NewRing(64, func() time.Duration { return 0 })
+	p.source.Trace = trace.NewRing(64, func() time.Duration { return 0 })
+	var srcErr error
+	p.source.OnError = func(err error) { srcErr = err }
+
+	p.sink.handleCtrl(&wire.Control{Type: wire.MsgSessionResp, Session: 7})
+	p.source.handleCtrl(&wire.Control{Type: wire.MsgSessionReq, Session: 7})
+
+	if *sinkErr != nil || srcErr != nil {
+		t.Fatalf("unhandled control types must not fail the endpoint (sink=%v source=%v)", *sinkErr, srcErr)
+	}
+	for name, ring := range map[string]*trace.Ring{"sink": p.sink.Trace, "source": p.source.Trace} {
+		found := false
+		for _, e := range ring.Events() {
+			if e.Name == "ctrl_unhandled" && e.Cat == trace.CatError && e.Session == 7 {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s dropped an unhandled control type without a ctrl_unhandled trace event", name)
+		}
 	}
 }

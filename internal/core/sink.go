@@ -373,6 +373,13 @@ func (k *Sink) handleCtrl(c *wire.Control) {
 		k.handleDatasetComplete(c)
 	case wire.MsgAbort:
 		k.handleAbort(c)
+
+	default:
+		// Response-direction types (and anything a newer peer invents)
+		// are not ours to handle; drop them loudly enough to show up in
+		// a trace dump instead of presenting as a silent hang.
+		k.Trace.Emit(trace.Event{Cat: trace.CatError, Name: "ctrl_unhandled",
+			Session: c.Session, V1: int64(c.Type)})
 	}
 }
 

@@ -468,6 +468,13 @@ func (s *Source) handleCtrl(c *wire.Control) {
 		// the wire, and our drain confirm (carrying the write count) is
 		// already ahead of it. Nothing to do — replying would just
 		// duplicate that confirm.
+
+	default:
+		// Request-direction types (and anything a newer peer invents) are
+		// not ours to handle; drop them loudly enough to show up in a
+		// trace dump instead of presenting as a silent hang.
+		s.Trace.Emit(trace.Event{Cat: trace.CatError, Name: "ctrl_unhandled",
+			Session: c.Session, V1: int64(c.Type)})
 	}
 }
 
