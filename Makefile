@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race lint lint-json debugtest staticcheck vulncheck bench experiments cover check clean
+.PHONY: all build vet test race lint lint-json debugtest staticcheck vulncheck bench pullmode experiments cover check clean
 
 all: build vet test
 
@@ -68,6 +68,14 @@ vulncheck:
 bench:
 	$(GO) test -bench . -benchmem -benchtime 1x . ./internal/fabric/netfabric \
 		| $(GO) run ./cmd/benchfmt -rev $$(git rev-parse --short HEAD 2>/dev/null || echo dev)
+
+# pullmode runs the pull-mode shape regression (pull >= push at a
+# saturated source, hybrid within 5% of the best fixed mode) and
+# leaves the ablation matrix as ablation-pullmode.json for CI to
+# upload next to the BENCH_<rev>.json snapshot.
+pullmode:
+	$(GO) test -run TestAblationPullModeShape -v ./internal/bench
+	$(GO) run ./cmd/experiments -scale 0.125 -json ablation-pullmode.json ablation-pullmode
 
 # Report-quality regeneration of every table and figure (~1 minute).
 experiments:

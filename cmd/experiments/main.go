@@ -4,11 +4,12 @@
 //
 // Usage:
 //
-//	experiments [-scale f] [-csv file] <experiment>|all
+//	experiments [-scale f] [-csv file] [-json file] <experiment>|all
 //
 // Experiments: table1, fig3a, fig3b, fig4a, fig4b, fig8, fig9, fig10,
 // fig11, ablation-credit, ablation-qps, ablation-depth,
-// ablation-loaddepth, ablation-ramp, ablation-creditbatch.
+// ablation-loaddepth, ablation-ramp, ablation-creditbatch,
+// ablation-pullmode.
 //
 // -scale 1.0 runs report-quality sizes (tens of GB per point; minutes of
 // CPU); the default 0.25 keeps a full sweep under a minute.
@@ -28,12 +29,14 @@ var experimentNames = []string{
 	"fig8", "fig9", "fig10", "fig11",
 	"ablation-credit", "ablation-qps", "ablation-depth", "ablation-loaddepth", "ablation-ramp", "ablation-creditbatch",
 	"ablation-notify", "ablation-threads", "ablation-reactors", "ablation-mrcache", "ablation-sessions",
+	"ablation-pullmode",
 	"cross-arch", "scale-out", "latency", "timeseries",
 }
 
 func main() {
 	scale := flag.Float64("scale", 0.25, "experiment size scale factor (1.0 = report quality)")
 	csvPath := flag.String("csv", "", "also write results as CSV to this file")
+	jsonPath := flag.String("json", "", "also write results as JSON to this file")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: experiments [flags] <experiment>|all\nexperiments: %v\n", experimentNames)
 		flag.PrintDefaults()
@@ -82,6 +85,19 @@ func main() {
 		}
 		fmt.Printf("\nCSV written to %s\n", *csvPath)
 	}
+	if *jsonPath != "" && len(all) > 0 {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := bench.WriteJSON(f, all); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nJSON written to %s\n", *jsonPath)
+	}
 }
 
 func runExperiment(name string, sc bench.Scale) ([]bench.Row, error) {
@@ -127,6 +143,8 @@ func runExperiment(name string, sc bench.Scale) ([]bench.Row, error) {
 		return bench.AblationMRCache(sc)
 	case "ablation-sessions":
 		return bench.AblationSessions(sc)
+	case "ablation-pullmode":
+		return bench.AblationPullMode(sc)
 	case "cross-arch":
 		return bench.CrossArch(sc)
 	case "scale-out":

@@ -16,8 +16,10 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"rftp/internal/core"
@@ -40,6 +42,7 @@ func main() {
 	zero := flag.String("zero", "", "memory-to-memory benchmark: send SIZE of synthetic zeros instead of files (e.g. -zero 1G)")
 	sessions := flag.Int("sessions", 1, "concurrent sessions for -zero: split the payload into N tenant streams multiplexed over the one connection")
 	imm := flag.Bool("imm", false, "notify block completions via RDMA WRITE WITH IMMEDIATE instead of control messages")
+	mode := flag.String("mode", "push", "data path: push (RDMA WRITE from source), pull (sink fetches with RDMA READ), or hybrid (switch per session on source CPU load)")
 	doTrace := flag.Bool("trace", false, "dump the protocol event trace when the transfer ends")
 	traceOut := flag.String("trace-out", "", "write the protocol event trace to FILE as JSONL")
 	doStats := flag.Bool("stats", false, "print a telemetry summary when the transfer ends")
@@ -106,6 +109,13 @@ func main() {
 	cfg.IODepth = *depth
 	cfg.LoadDepth = *loadDepth
 	cfg.NotifyViaImm = *imm
+	cfg.TransferMode, err = core.ParseTransferMode(*mode)
+	if err != nil {
+		log.Fatalf("rftp: %v", err)
+	}
+	if cfg.TransferMode == core.ModeHybrid {
+		cfg.LoadProbe = loadAvgProbe()
+	}
 	source, err := core.NewSource(ep, cfg)
 	if err != nil {
 		log.Fatalf("rftp: source: %v", err)
@@ -363,4 +373,32 @@ func parseSize(s string) (int, error) {
 		return 0, fmt.Errorf("bad size %q", s)
 	}
 	return n * mult, nil
+}
+
+// loadAvgProbe returns the hybrid controller's CPU-load signal for a
+// real host: the 1-minute load average normalized by core count,
+// sampled at most once per second so the control plane never touches
+// the filesystem on a per-block basis. Hosts without /proc/loadavg
+// (or with it unreadable) probe as idle, which degrades hybrid to
+// push — the safe default.
+func loadAvgProbe() func() float64 {
+	cores := float64(runtime.NumCPU())
+	var mu sync.Mutex
+	var last float64
+	var lastAt time.Time
+	return func() float64 {
+		mu.Lock()
+		defer mu.Unlock()
+		if now := time.Now(); now.Sub(lastAt) >= time.Second {
+			lastAt = now
+			if raw, err := os.ReadFile("/proc/loadavg"); err == nil {
+				if fields := strings.Fields(string(raw)); len(fields) > 0 {
+					if v, err := strconv.ParseFloat(fields[0], 64); err == nil {
+						last = v / cores
+					}
+				}
+			}
+		}
+		return last
+	}
 }

@@ -70,6 +70,7 @@ type serveOpts struct {
 	maxSessions int
 	sessQueue   int
 	weights     []int
+	mode        core.TransferMode
 	devnull     bool
 	stats       bool
 	trace       bool
@@ -92,6 +93,7 @@ func main() {
 	creditFlush := flag.Duration("credit-flush", 0, "credit coalescer flush timer (0 = adaptive from the measured arrival gap)")
 	creditWin := flag.Int("credit-window", 0, "fixed credit window in blocks (0 = adaptive from measured RTT x delivery rate)")
 	maxSessions := flag.Int("max-sessions", 0, "concurrently active sessions admitted per connection (0 = unbounded)")
+	mode := flag.String("mode", "hybrid", "data paths served: push (refuse pull sessions), pull, or hybrid (accept either and follow the source's mode switches)")
 	sessQueue := flag.Int("session-queue", 0, "session requests queued for a slot when -max-sessions is reached; beyond this they are rejected busy")
 	tenantWeight := flag.String("tenant-weight", "", "comma-separated DRR weights assigned to sessions round-robin by id (e.g. 2,1; empty = equal shares)")
 	once := flag.Bool("once", false, "serve a single connection, then exit")
@@ -111,6 +113,10 @@ func main() {
 	weights, err := parseWeights(*tenantWeight)
 	if err != nil {
 		log.Fatalf("rftpd: -tenant-weight: %v", err)
+	}
+	xferMode, err := core.ParseTransferMode(*mode)
+	if err != nil {
+		log.Fatalf("rftpd: %v", err)
 	}
 
 	if err := os.MkdirAll(*dir, 0o755); err != nil {
@@ -135,6 +141,7 @@ func main() {
 		maxSessions: *maxSessions,
 		sessQueue:   *sessQueue,
 		weights:     weights,
+		mode:        xferMode,
 		devnull:     *devnull,
 		stats:       *doStats,
 		trace:       *doTrace,
@@ -241,6 +248,7 @@ func serve(dev *netfabric.Device, conn int, opts *serveOpts, served chan<- struc
 	cfg.MaxSessions = opts.maxSessions
 	cfg.SessionQueue = opts.sessQueue
 	cfg.TenantWeights = opts.weights
+	cfg.TransferMode = opts.mode
 	sink, err := core.NewSink(ep, cfg)
 	if err != nil {
 		log.Printf("rftpd: sink: %v", err)

@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"fmt"
+
+	"rftp/internal/core"
+	"rftp/internal/telemetry"
+)
+
+// srcBusySaturated is the "saturated" point of the pull-mode ablation:
+// a co-located job claiming 99% of every source protocol thread — the
+// share a fair scheduler leaves a network service on a host packed with
+// batch compute (~100 runnable hog threads per core). Full saturation
+// (1.0) would starve the control loop outright; at 1% the push data
+// path, which burns source CPU for every WRITE it posts and completes,
+// becomes control-bound, while pull only spends source cycles on
+// adverts and completion notices — the READs themselves are served by
+// the NIC for free.
+const srcBusySaturated = 0.99
+
+// pullDepthFor sizes the block pool for the pull data path, which needs
+// twice the buffering rftpDepthFor gives push: a block's control loop
+// spans two RTTs (advert out, READ round trip, completion notice back),
+// so filling the pipe takes two bandwidth-delay products of
+// advertisements in flight. The same depth serves push fairly — its
+// window estimator converges to what one RTT needs and ignores the
+// extra pool.
+func pullDepthFor(tb Testbed, blockSize int) int {
+	bdp := tb.Link.RateBps / 8 * tb.RTT.Seconds()
+	depth := int(6*bdp)/blockSize + 16
+	if depth < 16 {
+		depth = 16
+	}
+	if depth > 1024 {
+		depth = 1024
+	}
+	return depth
+}
+
+// RunPullModePoint runs one cell of the push/pull/hybrid matrix: a
+// 4-channel memory-to-memory transfer under the given mode with a
+// competing job consuming the `busy` fraction of the source's protocol
+// threads (0 = idle source).
+func RunPullModePoint(tb Testbed, mode core.TransferMode, busy float64, scale Scale) (Row, error) {
+	cfg := core.DefaultConfig()
+	cfg.BlockSize = 256 << 10
+	cfg.Channels = 4
+	cfg.IODepth = pullDepthFor(tb, cfg.BlockSize)
+	cfg.SinkBlocks = 2 * cfg.IODepth
+	cfg.TransferMode = mode
+	reg := telemetry.NewRegistry("run")
+	r, err := RunRFTP(tb, RFTPOptions{
+		Config: cfg, TotalBytes: scale.bytes(32 << 30),
+		SrcBusy:   busy,
+		Telemetry: reg, SpanSample: 1,
+	})
+	if err != nil {
+		return Row{}, fmt.Errorf("ablation-pullmode %s %s busy=%.2f: %w", tb.Name, mode, busy, err)
+	}
+	snap := reg.Snapshot()
+	src := snap.Find("source")
+	stall := stallLabel(src)
+	if s := stallLabel(snap.Find("sink")); stall == "" {
+		stall = s
+	}
+	return Row{
+		Figure: "ablation-pullmode", Testbed: tb.Name,
+		Tool:      "RFTP " + mode.String(),
+		BlockSize: cfg.BlockSize, Streams: cfg.Channels, Depth: cfg.IODepth,
+		Gbps: r.BandwidthGbps, ClientCPU: r.ClientCPU, ServerCPU: r.ServerCPU,
+		Stalls: r.Stalls, RNR: r.RNR,
+		CtrlPerOp: r.CtrlPerBlock,
+		TopStall:  stall,
+		Note:      fmt.Sprintf("mode=%s src-busy=%.0f%%", mode, busy*100),
+	}, nil
+}
+
+// AblationPullMode compares the three data paths — push (source WRITEs),
+// pull (sink READs, the remote fetching paradigm), and hybrid (per-
+// session switching on the source CPU signal) — with the source host
+// idle and saturated by a competing job, on the RoCE LAN and the 49 ms
+// WAN. The claim under test: one-sided READs serve a busy source for
+// free (the NIC, not the squeezed CPU, sources the data), so pull holds
+// its rate where push collapses, and hybrid tracks the better of the
+// two everywhere without hand-tuning.
+func AblationPullMode(scale Scale) ([]Row, error) {
+	var rows []Row
+	for _, tb := range []Testbed{RoCELAN(), RoCEWAN()} {
+		for _, busy := range []float64{0, srcBusySaturated} {
+			for _, mode := range []core.TransferMode{core.ModePush, core.ModePull, core.ModeHybrid} {
+				row, err := RunPullModePoint(tb, mode, busy, scale)
+				if err != nil {
+					return nil, err
+				}
+				rows = append(rows, row)
+			}
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAblationPullModeShape is the pull-mode regression gate: remote
+// fetching must hold its rate when the source host is saturated (the
+// READs are served by the NIC, push burns the squeezed CPU for every
+// WRITE), and the hybrid controller must land within 5% of the better
+// fixed mode at every point — it may not buy its saturation win by
+// losing the idle case.
+func TestAblationPullModeShape(t *testing.T) {
+	rows, err := AblationPullMode(ScaleQuick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 {
+		t.Fatalf("want 12 rows (2 testbeds x 2 loads x 3 modes), got %d", len(rows))
+	}
+	// cell[testbed][busy][mode] -> Gbps
+	cell := map[string]map[string]map[string]float64{}
+	for _, r := range rows {
+		mode := strings.TrimPrefix(r.Tool, "RFTP ")
+		busy := "idle"
+		if strings.Contains(r.Note, "src-busy=99%") {
+			busy = "saturated"
+		}
+		if cell[r.Testbed] == nil {
+			cell[r.Testbed] = map[string]map[string]float64{}
+		}
+		if cell[r.Testbed][busy] == nil {
+			cell[r.Testbed][busy] = map[string]float64{}
+		}
+		cell[r.Testbed][busy][mode] = r.Gbps
+	}
+	for tb, byBusy := range cell {
+		// 1) With the source saturated, pull must beat (or match) push:
+		// the one-sided READs bypass the contended source CPU.
+		sat := byBusy["saturated"]
+		if sat["pull"] < sat["push"] {
+			t.Errorf("%s saturated: pull (%.2f Gbps) below push (%.2f Gbps)",
+				tb, sat["pull"], sat["push"])
+		}
+		// 2) Hybrid within 5% of the best fixed mode at every point.
+		for busy, byMode := range byBusy {
+			best := byMode["push"]
+			if byMode["pull"] > best {
+				best = byMode["pull"]
+			}
+			if byMode["hybrid"] < 0.95*best {
+				t.Errorf("%s %s: hybrid (%.2f Gbps) below 95%% of best fixed mode (%.2f Gbps)",
+					tb, busy, byMode["hybrid"], best)
+			}
+		}
+		// 3) Saturation must actually bite somewhere: push under load may
+		// not beat push idle (sanity that the busy job is wired up).
+		if byBusy["saturated"]["push"] > byBusy["idle"]["push"]*1.01 {
+			t.Errorf("%s: saturated push (%.2f) above idle push (%.2f) — busy job not applied?",
+				tb, byBusy["saturated"]["push"], byBusy["idle"]["push"])
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -90,6 +91,15 @@ func WriteCSV(w io.Writer, rows []Row) error {
 		}
 	}
 	return nil
+}
+
+// WriteJSON renders rows as a JSON array, one Row object per element,
+// for machine-readable CI artifacts (uploaded next to the benchfmt
+// BENCH_<rev>.json snapshot).
+func WriteJSON(w io.Writer, rows []Row) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rows)
 }
 
 // WriteTable1 renders the Table I testbed description.

@@ -52,7 +52,17 @@ type RFTPOptions struct {
 	// SessionWeights[i % len]; empty = equal weight 1). Also installed
 	// as Config.TenantWeights unless the config sets its own.
 	SessionWeights []int
-	Seed           int64
+	// SrcBusy co-locates a competing compute job on the source host's
+	// protocol threads: every scheduling quantum, each protocol thread
+	// (control loop and reactor shards) loses this fraction of its CPU
+	// to the other job. Models the paper's busy data source — the
+	// regime where the pull path's one-sided READs win by moving
+	// per-block data-path work to the receiver. The same value feeds
+	// Config.LoadProbe (unless the caller set its own), standing in for
+	// the OS load average the hybrid controller would consult on a real
+	// host. 0 = idle host.
+	SrcBusy float64
+	Seed    int64
 	// Telemetry, when non-nil, instruments the run: source/sink protocol
 	// metrics and per-device fabric metrics are registered as children.
 	// Nil runs stay uninstrumented (and measure the disabled-path cost).
@@ -205,6 +215,12 @@ func RunRFTP(tb Testbed, opt RFTPOptions) (RunResult, error) {
 
 	cfg := opt.Config
 	cfg.ModelPayload = true
+	if cfg.LoadProbe == nil && cfg.TransferMode == core.ModeHybrid {
+		// The hybrid controller's CPU signal: the co-located job's share
+		// of the source host, as an OS load probe would report it.
+		busy := opt.SrcBusy
+		cfg.LoadProbe = func() float64 { return busy }
+	}
 	sessions := opt.Sessions
 	if sessions < 1 {
 		sessions = 1
@@ -337,6 +353,27 @@ func RunRFTP(tb Testbed, opt RFTPOptions) (RunResult, error) {
 				})
 			}
 		}
+	}
+	// The competing job: a fixed fraction of every source protocol
+	// thread's quantum, interleaving with protocol work through the
+	// threads' FIFO CPU model until the transfer drains. The loader
+	// threads are spared — the job competes for the reactor cores, not
+	// the storage pipeline, so the contrast between the modes is the
+	// data-path CPU they place on the squeezed threads.
+	if opt.SrcBusy > 0 {
+		const busyQuantum = 20 * time.Microsecond
+		busyCost := time.Duration(opt.SrcBusy * float64(busyQuantum))
+		var busyTick func()
+		busyTick = func() {
+			if srcLeft == 0 && sinkLeft == 0 {
+				return
+			}
+			for _, l := range srcLoops {
+				l.(*hostmodel.Thread).Post(busyCost, func() {})
+			}
+			sched.After(busyQuantum, busyTick)
+		}
+		sched.After(busyQuantum, busyTick)
 	}
 	var negoErr error
 	srcBusy0, dstBusy0 := srcHost.BusyTotal(), dstHost.BusyTotal()

@@ -19,6 +19,15 @@ import (
 // repo-root BenchmarkSessionScaling run.
 var SessionScaleCounts = []int{1, 8, 64, 256, 1024}
 
+// sessionScaleMax extends the ablation (only) to the 10k-tenant point:
+// two orders of magnitude past the sink pool, every tenant at the DRR
+// scheduler's 1-credit floor, with the per-tenant byte floor pushing
+// ~20 GiB through even at quick scale. The test sweep stops at 1024 to
+// keep tier-1 runtime sane; mem/tenant and RNR at 10k are the columns
+// that prove the control rings and the shared pool, not the tenant
+// count, bound the footprint.
+const sessionScaleMax = 10240
+
 // sessionScaleConfig is the shared workload: 256 KiB blocks over 4
 // channels with a 256-block sink pool, so at the top of the sweep the
 // pool is 4x oversubscribed and every tenant runs at the scheduler's
@@ -51,12 +60,13 @@ func RunSessionScalePoint(sessions int, weights []int, scale Scale) (RunResult, 
 	})
 }
 
-// AblationSessions sweeps 1 -> 1024 concurrent tenants at equal
+// AblationSessions sweeps 1 -> 10240 concurrent tenants at equal
 // weights, then adds a 2:1 weighted run whose note reports the
 // measured goodput share ratio between the two tenant classes.
 func AblationSessions(scale Scale) ([]Row, error) {
 	var rows []Row
-	for _, n := range SessionScaleCounts {
+	counts := append(append([]int{}, SessionScaleCounts...), sessionScaleMax)
+	for _, n := range counts {
 		r, err := RunSessionScalePoint(n, nil, scale)
 		if err != nil {
 			return nil, fmt.Errorf("ablation-sessions n=%d: %w", n, err)

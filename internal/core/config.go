@@ -56,6 +56,51 @@ func (p CreditPolicy) String() string {
 	}
 }
 
+// TransferMode selects the data path direction of a transfer.
+type TransferMode int
+
+const (
+	// ModePush is the paper's design: the sink grants credits and the
+	// source issues RDMA WRITEs into them.
+	ModePush TransferMode = iota
+	// ModePull inverts the data path (the RFP remote-fetching paradigm):
+	// the source advertises loaded blocks and the sink fetches them with
+	// one-sided RDMA READs, shifting the per-block data-path work to the
+	// receiver.
+	ModePull
+	// ModeHybrid lets the source switch each session between push and
+	// pull at run time, driven by its CPU-load probe and the per-mode
+	// goodput estimators.
+	ModeHybrid
+)
+
+func (m TransferMode) String() string {
+	switch m {
+	case ModePush:
+		return "push"
+	case ModePull:
+		return "pull"
+	case ModeHybrid:
+		return "hybrid"
+	default:
+		return fmt.Sprintf("TransferMode(%d)", int(m))
+	}
+}
+
+// ParseTransferMode parses the -mode flag values.
+func ParseTransferMode(s string) (TransferMode, error) {
+	switch s {
+	case "push":
+		return ModePush, nil
+	case "pull":
+		return ModePull, nil
+	case "hybrid":
+		return ModeHybrid, nil
+	default:
+		return ModePush, fmt.Errorf("core: unknown transfer mode %q (want push|pull|hybrid)", s)
+	}
+}
+
 // Config parameterizes both ends of a transfer. The source's values are
 // proposed during negotiation; the sink accepts or rejects them.
 type Config struct {
@@ -145,6 +190,17 @@ type Config struct {
 	// TenantWeights[(i-1) % len]; an empty slice means equal weight 1.
 	// Non-positive entries are normalized to 1.
 	TenantWeights []int
+	// TransferMode selects push (paper), pull (RDMA-READ fetching), or
+	// hybrid (adaptive per-session switching). On the sink it is the
+	// policy boundary: a push-only sink refuses pull sessions and
+	// mode-switch requests.
+	TransferMode TransferMode
+	// LoadProbe, on the source under ModeHybrid, reports the source
+	// host's CPU load in [0, 1]. The hybrid controller switches sessions
+	// to pull when the probe is high (the data-path work moves to the
+	// sink) and back to push when it clears. nil leaves the controller
+	// with only its per-mode goodput estimators.
+	LoadProbe func() float64
 	// ModelPayload marks simulation-scale transfers: payload is length
 	// modeled, only headers travel as real bytes. Requires a fabric
 	// supporting modeled memory regions.
@@ -278,6 +334,15 @@ type Stats struct {
 	SessionsRejected int64
 	// Retries counts block resends after failed WRITEs.
 	Retries int64
+	// Adverts counts pull-mode block advertisements sent (source) or
+	// received (sink).
+	Adverts int64
+	// ReadsDone counts pull-mode READ completions: READ_DONE
+	// notifications received (source) or RDMA READs completed (sink).
+	// A settled ledger has Adverts == ReadsDone + reclaimed-on-abort.
+	ReadsDone int64
+	// ModeSwitches counts completed push<->pull mode-switch handshakes.
+	ModeSwitches int64
 	// Start and End are loop timestamps of first and last activity.
 	Start, End time.Duration
 }

@@ -55,7 +55,11 @@ type Endpoint struct {
 	notifyWRs   []verbs.RecvWR // one reusable repost WR per data QP
 	ctrlDepth   int
 	dataDepth   int
-	closed      atomic.Bool
+	// readDepth is the per-data-QP RDMA READ initiator depth
+	// (QPConfig.MaxRDAtomic): the pull-mode fetcher's per-channel bound
+	// on outstanding READs.
+	readDepth int
+	closed    atomic.Bool
 }
 
 // NewEndpoint creates a classic single-reactor endpoint: every QP
@@ -110,7 +114,8 @@ func NewServiceEndpoint(dev verbs.Device, loops []verbs.Loop, channels, ioDepth,
 	if ctrlDepth < 64 {
 		ctrlDepth = 64
 	}
-	ep := &Endpoint{Dev: dev, Loop: loops[0], PD: dev.AllocPD(), ctrlDepth: ctrlDepth, dataDepth: ioDepth + dataQueueSlack}
+	ep := &Endpoint{Dev: dev, Loop: loops[0], PD: dev.AllocPD(), ctrlDepth: ctrlDepth,
+		dataDepth: ioDepth + dataQueueSlack, readDepth: ioDepth + dataQueueSlack}
 	ep.Shards = append(ep.Shards, loops[:nsh]...)
 	ep.CtrlCQ = verbs.NewUpcallCQ(ep.Loop)
 	for i := 0; i < nsh; i++ {
@@ -129,9 +134,14 @@ func NewServiceEndpoint(dev verbs.Device, loops []verbs.Loop, channels, ioDepth,
 	dataDepth := ep.dataDepth
 	for i := 0; i < channels; i++ {
 		cq := ep.DataCQs[i%nsh]
+		// MaxRDAtomic is set explicitly to the full send depth: the
+		// pull-mode fetcher bounds its own outstanding READs per channel
+		// (ep.readDepth), so the QP-level initiator cap must not park
+		// READs below what the protocol already accounts for.
 		qp, err := dev.CreateQP(verbs.QPConfig{
 			PD: ep.PD, SendCQ: cq, RecvCQ: cq,
 			MaxSend: dataDepth, MaxRecv: dataDepth + 4,
+			MaxRDAtomic: ep.readDepth,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("core: data QP %d: %w", i, err)

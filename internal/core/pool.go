@@ -24,6 +24,13 @@ const (
 	BlockWaiting
 	BlockDataReady
 	BlockStoring
+	// BlockAdvertised is the pull-mode source stage: the loaded block's
+	// region has been advertised to the sink and is exposed to remote
+	// READs until the READ_DONE notification recycles it.
+	BlockAdvertised
+	// BlockFetching is the pull-mode sink stage: a free block paired with
+	// an advertisement while the RDMA READ is in flight.
+	BlockFetching
 )
 
 func (s BlockState) String() string {
@@ -42,6 +49,10 @@ func (s BlockState) String() string {
 		return "data-ready"
 	case BlockStoring:
 		return "storing"
+	case BlockAdvertised:
+		return "advertised"
+	case BlockFetching:
+		return "fetching"
 	default:
 		return fmt.Sprintf("BlockState(%d)", uint8(s))
 	}
@@ -51,18 +62,26 @@ func (s BlockState) String() string {
 // every transition; an illegal transition panics, because it is always a
 // protocol-implementation bug, never a runtime condition.
 var validNext = map[BlockState][]BlockState{
-	BlockFree:    {BlockLoading, BlockWaiting},
+	BlockFree:    {BlockLoading, BlockWaiting, BlockFetching},
 	BlockLoading: {BlockLoaded, BlockFree},
 	// Loaded → Free is the source's abort shortcut: when a session is
 	// torn down mid-transfer its queued (loaded-but-unsent) blocks are
-	// recycled without ever being posted.
-	BlockLoaded:  {BlockSending, BlockFree},
+	// recycled without ever being posted. Loaded → Advertised is the
+	// pull-mode path: the block is exposed for remote READs instead of
+	// being paired with a credit and written.
+	BlockLoaded:  {BlockSending, BlockFree, BlockAdvertised},
 	BlockSending: {BlockWaiting, BlockLoaded},
 	BlockWaiting: {BlockFree, BlockLoaded, BlockDataReady},
 	// DataReady → Free is the sink's abort shortcut: a finished or
 	// failed session recycles blocks that never reached Storing.
 	BlockDataReady: {BlockStoring, BlockFree},
 	BlockStoring:   {BlockFree},
+	// An advertised block recycles on READ_DONE (or on abort: a remote
+	// READ only reads, so teardown may reclaim immediately).
+	BlockAdvertised: {BlockFree},
+	// Fetching → Free is the sink's discard path for READs that complete
+	// after their session died.
+	BlockFetching: {BlockDataReady, BlockFree},
 }
 
 // block is one buffer block and its registered memory region. The first

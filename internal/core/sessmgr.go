@@ -44,6 +44,7 @@ import (
 type pendingOpen struct {
 	tok   uint32 // request token, echoed back in SESSION_RESP.Seq
 	total int64
+	pull  bool // FlagModePull: open directly on the pull path
 }
 
 // zombieSession tracks an aborted session whose granted blocks cannot
@@ -66,9 +67,16 @@ func (k *Sink) handleSessionReq(c *wire.Control) {
 		k.sendCtrl(&wire.Control{Type: wire.MsgSessionResp, Seq: c.Seq})
 		return
 	}
+	pull := c.Flags&wire.FlagModePull != 0
+	if pull && k.cfg.TransferMode == ModePush {
+		// Push-only policy: a session asking to open on the pull path is
+		// a hard rejection, not a capacity condition.
+		k.sendCtrl(&wire.Control{Type: wire.MsgSessionResp, Seq: c.Seq})
+		return
+	}
 	if k.cfg.MaxSessions > 0 && len(k.schedOrder) >= k.cfg.MaxSessions {
 		if len(k.openQ) < k.cfg.SessionQueue {
-			k.openQ = append(k.openQ, pendingOpen{tok: c.Seq, total: int64(c.AssocData)})
+			k.openQ = append(k.openQ, pendingOpen{tok: c.Seq, total: int64(c.AssocData), pull: pull})
 			k.Trace.Emit(trace.Event{Cat: trace.CatSession, Name: "session_queued",
 				V1: int64(len(k.openQ))})
 			if t := k.tel; t != nil {
@@ -85,17 +93,24 @@ func (k *Sink) handleSessionReq(c *wire.Control) {
 		k.sendCtrl(&wire.Control{Type: wire.MsgSessionResp, Flags: wire.FlagBusy, Seq: c.Seq})
 		return
 	}
-	k.admitSession(c.Seq, int64(c.AssocData))
+	k.admitSession(c.Seq, int64(c.AssocData), pull)
 }
 
-// admitSession opens one session and pushes its initial credit share.
-func (k *Sink) admitSession(tok uint32, total int64) {
+// admitSession opens one session and pushes its initial credit share
+// (pull sessions take no credits; the source's advertisements drive
+// them instead).
+func (k *Sink) admitSession(tok uint32, total int64, pull bool) {
 	k.nextID++
 	sess := &sinkSession{
 		info:   SessionInfo{ID: k.nextID, Total: total, BlockSize: k.blockSize},
 		ready:  make(map[uint32]*block),
 		owned:  make(map[*block]struct{}),
 		weight: k.weightFor(k.nextID),
+	}
+	if pull {
+		sess.mode = ModePull
+	} else {
+		k.pushSessions++
 	}
 	sess.writer = k.NewWriter(sess.info)
 	if os, ok := sess.writer.(OffsetSink); ok && os.OffsetStores() {
@@ -121,6 +136,9 @@ func (k *Sink) admitSession(tok uint32, total int64) {
 	}
 	k.sendCtrl(&wire.Control{Type: wire.MsgSessionResp, Flags: wire.FlagAccept,
 		Session: sess.info.ID, Seq: tok})
+	if pull {
+		return // no credit feed: the source advertises, we fetch
+	}
 	// The session is needy until its first grant; if the pool is busy
 	// with other tenants, the wait is real scheduler latency.
 	sess.needy = true
@@ -140,7 +158,7 @@ func (k *Sink) admitQueued() {
 		(k.cfg.MaxSessions == 0 || len(k.schedOrder) < k.cfg.MaxSessions) {
 		req := k.openQ[0]
 		k.openQ = k.openQ[1:]
-		k.admitSession(req.tok, req.total)
+		k.admitSession(req.tok, req.total, req.pull)
 	}
 	if t := k.tel; t != nil {
 		t.sessionsQueued.Set(int64(len(k.openQ)))
@@ -156,11 +174,13 @@ func (k *Sink) weightFor(id uint32) int {
 	return k.cfg.TenantWeights[int(id-1)%len(k.cfg.TenantWeights)]
 }
 
-// totalWeight sums the active sessions' scheduler weights.
+// totalWeight sums the active push-path sessions' scheduler weights:
+// pull sessions take no credits, so their weight must not dilute the
+// window shares of the tenants the scheduler actually feeds.
 func (k *Sink) totalWeight() int {
 	w := 0
 	for _, s := range k.schedOrder {
-		if !s.finished {
+		if !s.finished && s.mode != ModePull {
 			w += s.weight
 		}
 	}
@@ -218,7 +238,7 @@ func (k *Sink) schedSweep(budget int) int {
 	for i := 0; i < n && granted < budget; i++ {
 		idx := (k.nextRR + i) % n
 		sess := k.schedOrder[idx]
-		if sess.finished {
+		if sess.finished || sess.mode == ModePull {
 			continue
 		}
 		if sess.granted >= k.shareOf(win, sess.weight, totW) {
@@ -368,7 +388,7 @@ func (k *Sink) handleAbort(c *wire.Control) {
 // credits: from here until the scheduler feeds it again, the tenant is
 // waiting on a scheduling slot, not on memory, storage, or the wire.
 func (k *Sink) noteNeedy(sess *sinkSession, now time.Duration) {
-	if sess.needy || sess.haveLast || sess.finished {
+	if sess.needy || sess.haveLast || sess.finished || sess.mode == ModePull {
 		return
 	}
 	sess.needy = true

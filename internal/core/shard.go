@@ -193,6 +193,13 @@ const (
 	// validated and moved Waiting→DataReady on the shard; the control
 	// plane takes over reassembly and crediting.
 	sinkEvArrived sinkEvKind = iota
+	// sinkEvFetched: a pull-mode READ completed, the fetched header was
+	// validated and the block moved Fetching→DataReady on the shard; the
+	// control plane notifies the source and takes over reassembly.
+	sinkEvFetched
+	// sinkEvReadErr: PostSend for a READ failed; the block was reverted
+	// to Free and returns with the error for requeue-or-fail triage.
+	sinkEvReadErr
 	// sinkEvFail: a fatal data-path error detected on the shard.
 	sinkEvFail
 )
@@ -210,16 +217,19 @@ type sinkEvent struct {
 // the control plane. (Explicit-notification mode delivers arrivals on
 // the control QP, so sink shards then see only flushes.)
 type sinkShard struct {
-	k    *Sink
-	idx  int
-	loop verbs.Loop
-	out  *mailbox[sinkEvent] // shard → control
-	chOf map[verbs.QPID]int  // data QP id → channel index (read-only)
+	k       *Sink
+	idx     int
+	loop    verbs.Loop
+	out     *mailbox[sinkEvent] // shard → control
+	fetchIn *mailbox[*block]    // control → shard: Fetching blocks to READ
+	chOf    map[verbs.QPID]int  // data QP id → channel index (read-only)
+	rdWR    verbs.SendWR        // reused READ WR (PostSend copies)
 }
 
 func newSinkShard(k *Sink, idx int, capacity int) *sinkShard {
 	sh := &sinkShard{k: k, idx: idx, loop: k.ep.Shards[idx], chOf: make(map[verbs.QPID]int)}
 	sh.out = newMailbox(k.ep.Loop, idx == 0, capacity, k.onShardEvent)
+	sh.fetchIn = newMailbox(sh.loop, idx == 0, capacity, sh.postRead)
 	for ch, qp := range k.ep.Data {
 		if k.ep.shardIndex(ch) == idx {
 			sh.chOf[qp.ID()] = ch
@@ -236,6 +246,10 @@ func (sh *sinkShard) onDataWC(wc verbs.WC) {
 	}
 	if wc.Status != verbs.StatusSuccess {
 		sh.out.send(sinkEvent{kind: sinkEvFail, err: fmt.Errorf("core: data QP failure: %v", wc.Status)})
+		return
+	}
+	if wc.Op == verbs.OpRead {
+		sh.readWC(wc)
 		return
 	}
 	if wc.Op != verbs.OpWriteImm {
@@ -289,4 +303,63 @@ func (sh *sinkShard) handleImmNotify(wc verbs.WC) {
 	}
 	k.arrive(b, hdr)
 	sh.out.send(sinkEvent{kind: sinkEvArrived, b: b})
+}
+
+// postRead issues one pull-mode RDMA READ. The block arrives owned by
+// this shard in Fetching state with the advertised remote region in
+// its credit field and the channel already chosen by the control
+// plane (which also enforces the per-channel initiator-depth bound).
+func (sh *sinkShard) postRead(b *block) {
+	k := sh.k
+	wr := &sh.rdWR
+	*wr = verbs.SendWR{
+		WRID:    uint64(b.idx),
+		Op:      verbs.OpRead,
+		Remote:  wire2remote(b.credit),
+		Local:   b.mr,
+		ReadLen: wire.BlockHeaderSize + b.payloadLen,
+	}
+	if err := k.ep.Data[b.chIdx].PostSend(wr); err != nil {
+		b.setState(BlockFree)
+		sh.out.send(sinkEvent{kind: sinkEvReadErr, b: b, err: err})
+		return
+	}
+	b.spans.SetChannel(b.spanRef, b.chIdx)
+	k.Trace.Emit(trace.Event{Cat: trace.CatBlock, Name: "read_posted",
+		Session: b.session, Block: b.seq, Channel: int32(b.chIdx), V1: int64(b.payloadLen)})
+	if k.tel != nil {
+		b.tPost = sh.loop.Now()
+	}
+}
+
+// readWC validates a completed READ against the advertisement the
+// block was stamped from: the fetched header must name the same
+// session, sequence, and length the source advertised. The block was
+// shard-owned since postRead (one WC per READ), so the DataReady
+// transition happens here and the handoff publishes it back.
+func (sh *sinkShard) readWC(wc verbs.WC) {
+	k := sh.k
+	pool := k.pool
+	if pool == nil {
+		return
+	}
+	b := pool.byIdx(int(wc.WRID))
+	if b == nil || b.state != BlockFetching {
+		return // stale completion after failure handling
+	}
+	hdr, err := wire.DecodeBlockHeader(b.mr.ViewLocal(0, wire.BlockHeaderSize))
+	if err != nil {
+		sh.out.send(sinkEvent{kind: sinkEvFail, err: fmt.Errorf("%w: undecodable fetched header: %v", ErrProtocol, err)})
+		return
+	}
+	if hdr.Session != b.session || hdr.Seq != b.seq || int(hdr.PayloadLen) != b.payloadLen {
+		// The advertised region's content changed between advert and
+		// READ: the source must keep an advertised block frozen until
+		// READ_DONE, so this is always a source-side protocol bug.
+		sh.out.send(sinkEvent{kind: sinkEvFail, err: fmt.Errorf("%w: fetched header %d/%d/%d does not match advert %d/%d/%d",
+			ErrProtocol, hdr.Session, hdr.Seq, hdr.PayloadLen, b.session, b.seq, b.payloadLen)})
+		return
+	}
+	k.arrive(b, hdr)
+	sh.out.send(sinkEvent{kind: sinkEvFetched, b: b})
 }

@@ -118,6 +118,17 @@ type Sink struct {
 	// the source keeps re-recording it faster than it decays.
 	stallDepth int
 
+	// Pull-mode fetch pipeline (pullmode.go): outstanding READs per data
+	// channel (bounded by the QP initiator depth, ep.readDepth), their
+	// total, the channel and session round-robin cursors, and how many
+	// sessions are currently on the push path (gates push-only credit
+	// machinery such as the on-free re-grant).
+	chReads       []int
+	readsInflight int
+	nextReadCh    int
+	fetchRR       int
+	pushSessions  int
+
 	sessions map[uint32]*sinkSession
 	nextID   uint32
 
@@ -168,6 +179,15 @@ type sinkSession struct {
 	needy      bool
 	needySince time.Duration
 
+	// Pull-mode state (pullmode.go): the session's current data path,
+	// advertisements queued for fetching, and a deferred push→pull
+	// switch waiting for straggling WRITE arrivals to catch up with the
+	// source's reported count.
+	mode                TransferMode
+	fetchQ              []fetchAdvert
+	pendingSwitchToPull bool
+	pendingSwitchCount  int64
+
 	// Per-session telemetry counters (nil when telemetry is detached).
 	telBytes     *telemetry.Counter
 	telBlocks    *telemetry.Counter
@@ -188,6 +208,7 @@ func NewSink(ep *Endpoint, cfg Config) (*Sink, error) {
 		cfg:       cfg,
 		sessions:  make(map[uint32]*sinkSession),
 		zombies:   make(map[uint32]*zombieSession),
+		chReads:   make([]int, len(ep.Data)),
 		NewWriter: func(SessionInfo) BlockSink { return DiscardSink{} },
 		inv:       invariant.NewConn("sink"),
 	}
@@ -209,6 +230,10 @@ func (k *Sink) onShardEvent(ev sinkEvent) {
 	switch ev.kind {
 	case sinkEvArrived:
 		k.markArrived(ev.b)
+	case sinkEvFetched:
+		k.readArrived(ev.b)
+	case sinkEvReadErr:
+		k.readReverted(ev.b, ev.err)
 	case sinkEvFail:
 		k.fail(ev.err)
 	}
@@ -251,6 +276,13 @@ func (k *Sink) Close() {
 		// can never land. Without this, proactively granted blocks would
 		// bypass the pin-down cache at teardown.
 		for _, b := range k.pool.blocks {
+			if b.state == BlockFetching {
+				// An in-flight READ's completion was flushed with the QPs;
+				// the block never carried a credit, so no gauges to settle.
+				b.setState(BlockFree)
+				k.pool.put(b)
+				continue
+			}
 			if b.state != BlockWaiting {
 				continue
 			}
@@ -373,6 +405,10 @@ func (k *Sink) handleCtrl(c *wire.Control) {
 		k.handleDatasetComplete(c)
 	case wire.MsgAbort:
 		k.handleAbort(c)
+	case wire.MsgBlockAdvert:
+		k.handleAdvert(c)
+	case wire.MsgModeSwitchReq:
+		k.handleModeSwitch(c)
 
 	default:
 		// Response-direction types (and anything a newer peer invents)
@@ -794,6 +830,9 @@ func (k *Sink) handleMRRequest(c *wire.Control) {
 	if sess == nil || sess.finished {
 		return // the session tore down; reclaim returns its blocks
 	}
+	if sess.mode == ModePull {
+		return // stale request racing a push→pull switch on the wire
+	}
 	if debugStallHook != nil {
 		debugStallHook(k)
 	}
@@ -869,7 +908,9 @@ func (k *Sink) popPendingReq() *sinkSession {
 	for len(k.pendingReq) > 0 {
 		id := k.pendingReq[0]
 		k.pendingReq = k.pendingReq[1:]
-		if sess := k.sessions[id]; sess != nil && !sess.finished {
+		// A session that switched to the pull path since parking its
+		// request no longer consumes credits; discard its entry.
+		if sess := k.sessions[id]; sess != nil && !sess.finished && sess.mode != ModePull {
 			return sess
 		}
 	}
@@ -970,6 +1011,11 @@ func (k *Sink) markArrived(b *block) {
 		// The tenant's last outstanding credit just landed: until the
 		// scheduler feeds it again it is waiting on a scheduling slot.
 		k.noteNeedy(sess, now)
+	}
+	if sess.pendingSwitchToPull && sess.arrived >= sess.pendingSwitchCount {
+		// The straggling WRITEs the deferred push→pull switch was
+		// waiting on have all landed; complete it now.
+		k.completeSwitchToPull(sess)
 	}
 	// Proactive feedback: queue replacement grants with the coalescer;
 	// if nothing is free by flush time the notification is simply not
@@ -1176,7 +1222,8 @@ func (k *Sink) storeDone(sess *sinkSession, b *block, err error) {
 			starving = nil
 		}
 	}
-	if starving == nil && k.cfg.CreditPolicy == CreditProactive && !k.cfg.NoGrantOnFree && len(k.sessions) > 0 {
+	if starving == nil && k.cfg.CreditPolicy == CreditProactive && !k.cfg.NoGrantOnFree &&
+		len(k.sessions) > 0 && k.pushSessions > 0 {
 		// Active feedback: once the window has ramped, consume-time
 		// grants find nothing free, so re-advertise each block the
 		// moment it frees. Without this the source burns its stash and
@@ -1185,12 +1232,14 @@ func (k *Sink) storeDone(sess *sinkSession, b *block, err error) {
 		// full control message.
 		k.queueGrants(1, grantOnFree)
 	}
-	// A freed store slot may unblock queued or ready blocks.
+	// A freed store slot may unblock queued or ready blocks, and the
+	// freed block may unblock a queued fetch.
 	if sess.offsetSink != nil {
 		k.pumpStores(sess)
 	} else {
 		k.deliver(sess)
 	}
+	k.pumpFetches()
 	k.noteStall()
 }
 
@@ -1246,6 +1295,16 @@ func (k *Sink) finishSession(sess *sinkSession, err error, reclaim bool) {
 	sess.finished = true
 	delete(k.sessions, sess.info.ID)
 	invariant.StreamReset(k.inv, sess.info.ID)
+	if sess.mode == ModePush {
+		k.pushSessions--
+	}
+	// Un-fetched advertisements die with the session, but the source's
+	// drain must not: answer each with an unaccepted READ_DONE so the
+	// advertised blocks recycle.
+	for _, adv := range sess.fetchQ {
+		k.sendCtrl(&wire.Control{Type: wire.MsgReadDone, Session: sess.info.ID, Seq: adv.seq, RKey: adv.rkey})
+	}
+	sess.fetchQ = nil
 	for i, r := range k.schedOrder {
 		if r == sess {
 			k.schedOrder = append(k.schedOrder[:i], k.schedOrder[i+1:]...)

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"rftp/internal/invariant"
 	"rftp/internal/spans"
@@ -61,6 +62,20 @@ type Source struct {
 	chSaturated []bool // PostSend hit ErrSendQueueFull; cleared on next WC
 	nextCh      int
 
+	// Pull-mode advertise pipeline (pullmode.go): total advertisements
+	// outstanding across sessions, the postAdverts round-robin cursor,
+	// and the advertise-window estimator — the sink's adaptive credit
+	// window run in reverse (advert→READ_DONE RTT min-filtered over a
+	// sliding window, READ_DONE inter-arrival gap as an epoch EWMA).
+	advertCount    int
+	nextAdvSess    int
+	advRTT         time.Duration
+	advRTTAge      int
+	advGap         time.Duration
+	advSamples     int
+	advEpochStart  time.Duration
+	advEpochBlocks int
+
 	// inv is the debug-build invariant ledger (no-op handle otherwise).
 	inv uint64
 
@@ -91,7 +106,7 @@ type Source struct {
 // srcSession is one dataset transfer in progress at the source.
 type srcSession struct {
 	id      uint32
-	openTok uint32        // SESSION_REQ token (echoed in SESSION_RESP.Seq)
+	openTok uint32 // SESSION_REQ token (echoed in SESSION_RESP.Seq)
 	src     BlockSource
 	srcAt   BlockSourceAt // non-nil when src is offset-addressed
 	total   int64         // advisory; EOF from the BlockSource is authoritative
@@ -126,6 +141,22 @@ type srcSession struct {
 	queued     int // blocks in s.loaded
 	completeTx bool
 	onDone     func(TransferResult)
+
+	// Pull-mode state (pullmode.go): the session's current data path,
+	// blocks advertised and awaiting READ_DONE (by seq), and the
+	// mode-change handshake in progress.
+	mode          TransferMode
+	advertised    map[uint32]*block
+	switching     bool
+	pendingMode   TransferMode
+	switchReqSent bool
+	// Hybrid-controller state: blocks completed at the last switch and
+	// per-mode goodput EWMAs (blocks/sec; [0]=push, [1]=pull) fed by
+	// fixed-size completion epochs.
+	lastSwitchBlocks int64
+	modeRate         [2]float64
+	rateEpochStart   time.Duration
+	rateEpochBlocks  int
 }
 
 // loadDepth is how many loads this session may keep in flight: plain
@@ -166,7 +197,9 @@ func NewSource(ep *Endpoint, cfg Config) (*Source, error) {
 		chSaturated: make([]bool, len(ep.Data)),
 		inv:         invariant.NewConn("source"),
 	}
-	s.pool, err = newPool(ep.Dev, ep.PD, cfg.IODepth, cfg.BlockSize, cfg.ModelPayload, verbs.AccessLocalWrite, ep.MRCache)
+	// RemoteRead exposure lets the pull path advertise any loaded block
+	// for one-sided READs without re-registering; harmless under push.
+	s.pool, err = newPool(ep.Dev, ep.PD, cfg.IODepth, cfg.BlockSize, cfg.ModelPayload, verbs.AccessLocalWrite|verbs.AccessRemoteRead, ep.MRCache)
 	if err != nil {
 		return nil, err
 	}
@@ -233,7 +266,8 @@ func (s *Source) Transfer(src BlockSource, total int64, onDone func(TransferResu
 		onDone(TransferResult{Err: firstErr(s.failed, ErrClosed)})
 		return
 	}
-	sess := &srcSession{src: src, total: total, onDone: onDone}
+	sess := &srcSession{src: src, total: total, onDone: onDone,
+		mode: s.initialMode(), advertised: make(map[uint32]*block)}
 	sess.srcAt, _ = src.(BlockSourceAt)
 	s.openQ = append(s.openQ, sess)
 	s.tryOpenSession()
@@ -314,8 +348,13 @@ func (s *Source) tryOpenSession() {
 		s.nextTok++
 		sess.openTok = s.nextTok
 		s.opening = append(s.opening, sess)
+		var flags uint8
+		if sess.mode == ModePull {
+			flags |= wire.FlagModePull
+		}
 		s.sendCtrl(&wire.Control{
 			Type:      wire.MsgSessionReq,
+			Flags:     flags,
 			Seq:       sess.openTok,
 			Length:    uint32(s.cfg.BlockSize),
 			AssocData: uint64(sess.total),
@@ -425,11 +464,12 @@ func (s *Source) handleCtrl(c *wire.Control) {
 		s.stats.CreditsGranted += int64(len(c.Credits))
 		s.stats.GrantMsgs++
 		sess := s.sessions[c.Session]
-		if sess == nil || sess.completeTx || sess.aborting {
-			// Credits for a session that finished or is draining: the
-			// grant crossed the teardown on the wire. Drop them — the
-			// sink reclaims the backing blocks when it processes the
-			// session's completion or abort.
+		if sess == nil || sess.completeTx || sess.aborting || sess.mode == ModePull {
+			// Credits for a session that finished, is draining, or has
+			// switched to the pull path: the grant crossed the teardown
+			// (or the mode switch) on the wire. Drop them — the sink
+			// reclaims the backing blocks when it processes the
+			// session's completion, abort, or switch.
 			invariant.CreditConsume(s.inv, int64(len(c.Credits)))
 			s.pump()
 			return
@@ -468,6 +508,12 @@ func (s *Source) handleCtrl(c *wire.Control) {
 		// the wire, and our drain confirm (carrying the write count) is
 		// already ahead of it. Nothing to do — replying would just
 		// duplicate that confirm.
+
+	case wire.MsgReadDone:
+		s.handleReadDone(c)
+
+	case wire.MsgModeSwitchAck:
+		s.handleModeSwitchAck(c)
 
 	default:
 		// Request-direction types (and anything a newer peer invents) are
@@ -527,12 +573,15 @@ func (s *Source) pump() {
 func (s *Source) pumpOnce() {
 	s.issueLoads()
 	s.postWrites()
+	s.postAdverts()
 	// Credit starvation fallback, per session: data is ready but the
 	// session holds no credits and has no outstanding request (paper: MR
 	// block information request, now scoped to the starving session so
-	// the sink's scheduler knows which tenant to feed).
+	// the sink's scheduler knows which tenant to feed). Pull and
+	// mode-switching sessions don't consume credits, so they never ask.
 	for _, sess := range s.rrSessions {
-		if len(sess.loadedQ) == 0 || len(sess.credits) > 0 || sess.stalled || sess.aborting {
+		if len(sess.loadedQ) == 0 || len(sess.credits) > 0 || sess.stalled || sess.aborting ||
+			sess.mode == ModePull || sess.switching {
 			continue
 		}
 		sess.stalled = true
@@ -780,7 +829,13 @@ func (s *Source) postWrites() {
 				return
 			}
 			sess := s.rrSessions[(s.nextSess+i)%m]
-			if sess.aborting || len(sess.loadedQ) == 0 || len(sess.credits) == 0 {
+			// Pull sessions advertise instead of writing; a switching
+			// session must stop consuming credits the moment the
+			// handshake starts — the sink reclaims and re-grants its
+			// regions, so a late WRITE would land in another tenant's
+			// memory.
+			if sess.aborting || sess.mode == ModePull || sess.switching ||
+				len(sess.loadedQ) == 0 || len(sess.credits) == 0 {
 				continue
 			}
 			b := sess.loadedQ[0]
@@ -945,6 +1000,12 @@ func (s *Source) writeDone(b *block, status verbs.Status) {
 		s.pool.put(b)
 		if sess != nil && sess.aborting {
 			s.maybeFinishAbort(sess)
+		} else if sess != nil {
+			s.noteModeProgress(sess)
+			if sess.switching {
+				// A push→pull switch waits for the last WRITE to drain.
+				s.maybeSendSwitchReq(sess)
+			}
 		}
 		s.pump()
 
@@ -1003,7 +1064,8 @@ func (s *Source) writeDone(b *block, status verbs.Status) {
 // checkSessionCompletion sends DATASET_COMPLETE for drained sessions.
 func (s *Source) checkSessionCompletion() {
 	for _, sess := range s.rrSessions {
-		if sess.completeTx || sess.aborting || !sess.eof || sess.loads > 0 || sess.inflight > 0 || sess.queued > 0 {
+		if sess.completeTx || sess.aborting || !sess.eof || sess.loads > 0 || sess.inflight > 0 ||
+			sess.queued > 0 || len(sess.advertised) > 0 || sess.switching {
 			continue
 		}
 		sess.completeTx = true
@@ -1060,7 +1122,8 @@ func (s *Source) abortSession(sess *srcSession, err error) {
 // maybeFinishAbort completes a draining session's teardown once its
 // last in-flight load and WRITE have come home.
 func (s *Source) maybeFinishAbort(sess *srcSession) {
-	if !sess.aborting || sess.loads > 0 || sess.inflight > 0 || sess.queued > 0 {
+	if !sess.aborting || sess.loads > 0 || sess.inflight > 0 || sess.queued > 0 ||
+		len(sess.advertised) > 0 {
 		return
 	}
 	if s.sessions[sess.id] != sess {

@@ -50,16 +50,25 @@ func (s *Source) noteStall() {
 		return
 	}
 	loads := s.totalLoads()
-	queued := 0
+	queuedPush, queuedPull := 0, 0
 	for _, sess := range s.rrSessions {
-		queued += len(sess.loadedQ)
+		if sess.mode == ModePull && !sess.switching {
+			queuedPull += len(sess.loadedQ)
+		} else {
+			queuedPush += len(sess.loadedQ)
+		}
 	}
 	var c spans.Cause
 	switch {
-	case queued > 0 && s.creditCount == 0:
+	case queuedPush > 0 && s.creditCount == 0:
 		c = spans.CauseCreditStarved
-	case queued > 0:
+	case queuedPush > 0:
 		c = spans.CauseSendQueueSaturated
+	case queuedPull > 0:
+		// Loaded blocks on a pull session wait only on the advertise
+		// window: the sink has not yet retired enough READs for the
+		// adaptive window to admit more advertisements.
+		c = spans.CauseReadInflightFull
 	case loads > 0 && s.loadsAtDepth():
 		c = spans.CauseLoadPending
 	case s.totalInflight() > 0:
@@ -67,6 +76,11 @@ func (s *Source) noteStall() {
 		// waiting on the wire) and is control-owned; inspecting block
 		// states here would race with the shards that own them.
 		c = spans.CauseWireBound
+	case s.advertCount > 0:
+		// Everything loaded is advertised and the sink holds the ball:
+		// the pipeline is bound by the READs it has yet to issue or
+		// complete against our exposed regions.
+		c = spans.CauseReadWireBound
 	case loads > 0:
 		c = spans.CauseLoadPending
 	}
@@ -144,12 +158,37 @@ func (k *Sink) noteStall() {
 	}
 	if c == spans.CauseNone && k.pool != nil && len(k.pool.free) > 0 {
 		// Free memory exists, yet some tenant holds zero credits: the
-		// binding resource is a scheduling slot, not the pool.
+		// binding resource is a scheduling slot, not the pool. Pull
+		// sessions hold no credits by design, so the scan skips them.
 		for _, sess := range k.schedOrder {
-			if !sess.finished && !sess.haveLast && sess.granted == 0 {
+			if !sess.finished && !sess.haveLast && sess.granted == 0 && sess.mode != ModePull {
 				c = spans.CauseSchedWait
 				break
 			}
+		}
+	}
+	if c == spans.CauseNone {
+		// Pull-side diagnoses, least to most upstream: advertisements
+		// queued but no free block or READ slot; READs on the wire; or a
+		// live pull session with resources to spare waiting on the
+		// source to advertise.
+		fetchBacklog, pullLive := 0, false
+		for _, sess := range k.sessions {
+			if sess.finished || sess.mode != ModePull {
+				continue
+			}
+			fetchBacklog += len(sess.fetchQ)
+			if !sess.haveLast {
+				pullLive = true
+			}
+		}
+		switch {
+		case fetchBacklog > 0:
+			c = spans.CauseReadInflightFull
+		case k.readsInflight > 0:
+			c = spans.CauseReadWireBound
+		case pullLive && k.pool != nil && len(k.pool.free) > 0:
+			c = spans.CauseAdvertStarved
 		}
 	}
 	k.stalls.Note(c)

@@ -68,6 +68,13 @@ type sourceTelemetry struct {
 	// Config.LoadDepth per session).
 	loadsInflight *telemetry.Gauge
 
+	// Pull-mode: blocks advertised to the sink (cumulative), blocks
+	// currently advertised and not yet fetched, and push<->pull mode
+	// transitions completed by the hybrid controller.
+	advertsPosted      *telemetry.Counter
+	advertsOutstanding *telemetry.Gauge
+	modeSwitches       *telemetry.Counter
+
 	// FSM residency: Loading→Loaded, Loaded→Sending (credit+channel
 	// wait), and post→completion round trip.
 	loadLatency *telemetry.Histogram
@@ -86,19 +93,22 @@ func (s *Source) AttachTelemetry(reg *telemetry.Registry) {
 		return
 	}
 	t := &sourceTelemetry{
-		reg:           reg,
-		blocksPosted:  reg.Counter("blocks_posted"),
-		bytesPosted:   reg.Counter("bytes_posted"),
-		retransmits:   reg.Counter("retransmits"),
-		creditStalls:  reg.Counter("credit_stalls"),
-		creditsRecv:   reg.Counter("credits_received"),
-		ctrlMsgs:      reg.Counter("ctrl_msgs"),
-		inflight:      reg.Gauge("blocks_inflight"),
-		creditStash:   reg.Gauge("credit_stash"),
-		loadsInflight: reg.Gauge("loads_inflight"),
-		loadLatency:   reg.Histogram("load_latency", telemetry.DurationBuckets()...),
-		creditWait:    reg.Histogram("credit_wait", telemetry.DurationBuckets()...),
-		postLatency:   reg.Histogram("post_latency", telemetry.DurationBuckets()...),
+		reg:                reg,
+		blocksPosted:       reg.Counter("blocks_posted"),
+		bytesPosted:        reg.Counter("bytes_posted"),
+		retransmits:        reg.Counter("retransmits"),
+		creditStalls:       reg.Counter("credit_stalls"),
+		creditsRecv:        reg.Counter("credits_received"),
+		ctrlMsgs:           reg.Counter("ctrl_msgs"),
+		inflight:           reg.Gauge("blocks_inflight"),
+		creditStash:        reg.Gauge("credit_stash"),
+		loadsInflight:      reg.Gauge("loads_inflight"),
+		advertsPosted:      reg.Counter("adverts_posted"),
+		advertsOutstanding: reg.Gauge("adverts_outstanding"),
+		modeSwitches:       reg.Counter("mode_switches"),
+		loadLatency:        reg.Histogram("load_latency", telemetry.DurationBuckets()...),
+		creditWait:         reg.Histogram("credit_wait", telemetry.DurationBuckets()...),
+		postLatency:        reg.Histogram("post_latency", telemetry.DurationBuckets()...),
 	}
 	for i := range s.ep.Data {
 		ch := reg.Child(fmt.Sprintf("chan%d", i))
@@ -142,6 +152,12 @@ type sinkTelemetry struct {
 	// grants[reason] counts credits issued under each policy leg.
 	grants [grantReasons]*telemetry.Counter
 
+	// Pull-mode: RDMA READs posted (cumulative), READs currently on the
+	// wire across all channels, and push<->pull transitions completed.
+	readsPosted   *telemetry.Counter
+	readsInflight *telemetry.Gauge
+	modeSwitches  *telemetry.Counter
+
 	// creditLatency is grant→consume (the credit's round trip through
 	// the source); storeLatency is data-ready→stored; reassembly is the
 	// out-of-order occupancy observed at each arrival; creditBatchSize
@@ -160,21 +176,24 @@ func (k *Sink) AttachTelemetry(reg *telemetry.Registry) {
 		return
 	}
 	t := &sinkTelemetry{
-		reg:             reg,
-		blocksArrived:   reg.Counter("blocks_arrived"),
-		bytesArrived:    reg.Counter("bytes_arrived"),
-		ctrlMsgs:        reg.Counter("ctrl_msgs"),
-		granted:         reg.Gauge("credits_outstanding"),
-		storesInflight:  reg.Gauge("stores_inflight"),
+		reg:              reg,
+		blocksArrived:    reg.Counter("blocks_arrived"),
+		bytesArrived:     reg.Counter("bytes_arrived"),
+		ctrlMsgs:         reg.Counter("ctrl_msgs"),
+		granted:          reg.Gauge("credits_outstanding"),
+		storesInflight:   reg.Gauge("stores_inflight"),
 		pendingGrants:    reg.Gauge("pending_grants"),
 		creditWindow:     reg.Gauge("credit_window"),
 		sessionsActive:   reg.Gauge("sessions_active"),
 		sessionsQueued:   reg.Gauge("sessions_queued"),
 		sessionsRejected: reg.Counter("sessions_rejected"),
-		creditLatency:   reg.Histogram("credit_latency", telemetry.DurationBuckets()...),
-		storeLatency:    reg.Histogram("store_latency", telemetry.DurationBuckets()...),
-		reassembly:      reg.Histogram("reassembly_occupancy", reassemblyBuckets()...),
-		creditBatchSize: reg.Histogram("credit_batch_size", creditBatchBuckets()...),
+		readsPosted:      reg.Counter("reads_posted"),
+		readsInflight:    reg.Gauge("reads_inflight"),
+		modeSwitches:     reg.Counter("mode_switches"),
+		creditLatency:    reg.Histogram("credit_latency", telemetry.DurationBuckets()...),
+		storeLatency:     reg.Histogram("store_latency", telemetry.DurationBuckets()...),
+		reassembly:       reg.Histogram("reassembly_occupancy", reassemblyBuckets()...),
+		creditBatchSize:  reg.Histogram("credit_batch_size", creditBatchBuckets()...),
 	}
 	for r := grantInitial; r <= grantOnDemand; r++ {
 		t.grants[r] = reg.Counter("grants_" + r.String())

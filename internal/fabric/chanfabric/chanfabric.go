@@ -148,6 +148,12 @@ type QP struct {
 	sqOutstanding int
 	pipe          chan *message
 	pipeOnce      sync.Once
+	// READ initiator depth: posts beyond MaxRDAtomic park in rdWait
+	// (still consuming a send-queue slot) and enter the wire one at a
+	// time as earlier READs complete, matching hardware that queues
+	// rather than rejects past the negotiated depth.
+	rdOutstanding int
+	rdWait        ringq.Ring[*message]
 
 	// receiver-side state, touched only on the recv CQ's loop.
 	recvMu  sync.Mutex
@@ -244,6 +250,15 @@ func (q *QP) PostSend(wr *verbs.SendWR) error {
 		return verbs.ErrSendQueueFull
 	}
 	q.sqOutstanding++
+	if wr.Op == verbs.OpRead && q.rdOutstanding >= q.cfg.MaxRDAtomic {
+		q.rdWait.Push(m)
+		q.sendMu.Unlock()
+		q.dev.Telemetry.Posted(wr.Op, wr.Length())
+		return nil
+	}
+	if wr.Op == verbs.OpRead {
+		q.rdOutstanding++
+	}
 	q.pipe <- m // buffered beyond MaxSend: never blocks
 	q.sendMu.Unlock()
 	q.dev.TxBytes.Add(uint64(wr.Length()))
@@ -450,6 +465,17 @@ func (q *QP) completeSendAndError(m *message, status verbs.Status) {
 func (q *QP) finishSend(m *message, status verbs.Status, byteLen int) {
 	q.sendMu.Lock()
 	q.sqOutstanding--
+	var next *message
+	if m.wr.Op == verbs.OpRead {
+		q.rdOutstanding--
+		if q.rdWait.Len() > 0 && q.state.Load() == stateReady {
+			next, _ = q.rdWait.Pop()
+			q.rdOutstanding++
+		}
+	}
+	if next != nil {
+		q.pipe <- next // sqOutstanding-bounded: never blocks
+	}
 	q.sendMu.Unlock()
 	q.dev.Telemetry.Completed(m.wr.Op)
 	if !m.postedAt.IsZero() {
@@ -481,6 +507,12 @@ func (q *QP) Close() error {
 	q.sendMu.Unlock()
 	if old == stateClosed {
 		return verbs.ErrQPClosed
+	}
+	q.sendMu.Lock()
+	parked := q.rdWait.Drain(nil)
+	q.sendMu.Unlock()
+	for _, m := range parked {
+		m.releaseData()
 	}
 	q.recvMu.Lock()
 	rq := q.recvQ.Drain(nil)

@@ -104,6 +104,7 @@ func Run(t *testing.T, factory Factory) {
 	t.Run("WritePlacement", func(t *testing.T) { testWrite(t, factory(t)) })
 	t.Run("WriteImmConsumesRecv", func(t *testing.T) { testWriteImm(t, factory(t)) })
 	t.Run("ReadRoundTrip", func(t *testing.T) { testRead(t, factory(t)) })
+	t.Run("ReadDepthQueued", func(t *testing.T) { testReadDepthQueued(t, factory(t)) })
 	t.Run("RemoteAccessError", func(t *testing.T) { testAccessError(t, factory(t)) })
 	t.Run("SendQueueCap", func(t *testing.T) { testQueueCap(t, factory(t)) })
 	t.Run("BadWRRejected", func(t *testing.T) { testBadWR(t, factory(t)) })
@@ -209,6 +210,43 @@ func testRead(t *testing.T, p *Pair) {
 	}
 	if e.wcsB.count() != 0 {
 		t.Fatal("READ generated responder completions")
+	}
+}
+
+// testReadDepthQueued: posting more READs than the initiator depth
+// (MaxRDAtomic) must QUEUE the excess, not reject it or exceed the
+// depth — hardware holds extra READs in the send queue and releases
+// them as responses return. All of them must complete with the right
+// data.
+func testReadDepthQueued(t *testing.T, p *Pair) {
+	e := newEnv(t, p, verbs.QPConfig{MaxSend: 32, MaxRDAtomic: 2})
+	const n, chunk = 16, 64
+	remote := make([]byte, n*chunk)
+	rand.New(rand.NewSource(11)).Read(remote)
+	rmr, _ := p.B.RegisterMR(e.pdB, remote, verbs.AccessRemoteRead)
+	local := make([]byte, n*chunk)
+	lmr, _ := p.A.RegisterMR(e.pdA, local, verbs.AccessLocalWrite)
+	for i := 0; i < n; i++ {
+		err := e.qpA.PostSend(&verbs.SendWR{WRID: uint64(100 + i), Op: verbs.OpRead,
+			Remote: rmr.Remote(i * chunk), ReadLen: chunk, Local: lmr, LocalOffset: i * chunk})
+		if err != nil {
+			t.Fatalf("READ %d of %d rejected past initiator depth 2: %v", i, n, err)
+		}
+	}
+	e.settleCount(t, e.wcsA, n)
+	seen := map[uint64]bool{}
+	for i := 0; i < n; i++ {
+		wc := e.wcsA.get(i)
+		if wc.Status != verbs.StatusSuccess || wc.Op != verbs.OpRead || wc.ByteLen != chunk {
+			t.Fatalf("READ WC %d: %+v", i, wc)
+		}
+		seen[wc.WRID] = true
+	}
+	if len(seen) != n {
+		t.Fatalf("got %d distinct READ completions, want %d", len(seen), n)
+	}
+	if !bytes.Equal(local, remote) {
+		t.Fatal("queued READs returned wrong data")
 	}
 }
 

@@ -31,6 +31,12 @@ type QP struct {
 
 	sendMu        sync.Mutex
 	sqOutstanding int
+	// READ initiator depth: posts beyond MaxRDAtomic park in rdWait
+	// (still consuming a send-queue slot) and go on the wire one at a
+	// time as earlier READs complete, matching hardware that queues
+	// rather than rejects past the negotiated depth.
+	rdOutstanding int
+	rdWait        ringq.Ring[*verbs.SendWR]
 
 	recvMu  sync.Mutex
 	recvQ   ringq.Ring[*verbs.RecvWR]
@@ -118,6 +124,16 @@ func (q *QP) PostSend(wr *verbs.SendWR) error {
 		return verbs.ErrSendQueueFull
 	}
 	q.sqOutstanding++
+	if wr.Op == verbs.OpRead {
+		if q.rdOutstanding >= q.cfg.MaxRDAtomic {
+			cp := *wr
+			q.rdWait.Push(&cp)
+			q.sendMu.Unlock()
+			q.dev.Telemetry.Posted(wr.Op, 0)
+			return nil
+		}
+		q.rdOutstanding++
+	}
 	q.sendMu.Unlock()
 
 	var postedNs int64
@@ -147,7 +163,7 @@ func (q *QP) PostSend(wr *verbs.SendWR) error {
 	}
 	if !q.dev.send(f) {
 		putFrame(f)
-		q.dropToken(tok)
+		q.dropToken(tok, wr.Op)
 		return verbs.ErrQPClosed
 	}
 	q.dev.Telemetry.Posted(wr.Op, 0) // wire bytes counted at the framing layer
@@ -157,13 +173,39 @@ func (q *QP) PostSend(wr *verbs.SendWR) error {
 	return nil
 }
 
-func (q *QP) dropToken(tok uint64) {
+func (q *QP) dropToken(tok uint64, op verbs.Opcode) {
 	q.dev.mu.Lock()
 	delete(q.dev.tokens, tok)
 	q.dev.mu.Unlock()
 	q.sendMu.Lock()
 	q.sqOutstanding--
+	if op == verbs.OpRead {
+		q.rdOutstanding--
+	}
 	q.sendMu.Unlock()
+}
+
+// issueRead puts a previously parked READ on the wire. Called with no
+// locks held; the caller has already moved rdOutstanding to cover it.
+func (q *QP) issueRead(wr *verbs.SendWR) {
+	var postedNs int64
+	if q.dev.Telemetry != nil {
+		postedNs = time.Now().UnixNano()
+	}
+	tok := q.dev.registerToken(q, wr, postedNs)
+	f := getFrame()
+	f.channel, f.token = q.channel, tok
+	f.postedNs = postedNs
+	f.op = frReadReq
+	f.addr, f.rkey = wr.Remote.Addr, wr.Remote.RKey
+	f.imm = uint32(wr.ReadLen)
+	if !q.dev.send(f) {
+		putFrame(f)
+		q.dropToken(tok, verbs.OpRead)
+		if !wr.NoCompletion {
+			q.sendCQ.Dispatch(0, verbs.WC{WRID: wr.WRID, Status: verbs.StatusAborted, Op: verbs.OpRead, QP: q.id})
+		}
+	}
 }
 
 // PostRecv implements verbs.QP.
@@ -323,7 +365,18 @@ func (q *QP) ackTo(f *frame, status uint8) {
 func (q *QP) remoteAck(wr verbs.SendWR, f *frame, postedNs int64) {
 	q.sendMu.Lock()
 	q.sqOutstanding--
+	var next *verbs.SendWR
+	if wr.Op == verbs.OpRead {
+		q.rdOutstanding--
+		if q.rdWait.Len() > 0 && q.state.Load() == stateReady {
+			next, _ = q.rdWait.Pop()
+			q.rdOutstanding++
+		}
+	}
 	q.sendMu.Unlock()
+	if next != nil {
+		q.issueRead(next)
+	}
 	q.dev.Telemetry.Completed(wr.Op)
 	if postedNs != 0 {
 		q.dev.Telemetry.WireRTT(time.Duration(time.Now().UnixNano() - postedNs))

@@ -449,15 +449,24 @@ func (q *QP) handleReadRequest(m *message) {
 	if d.bbPort != nil {
 		lastBit = d.bbPort.transmitAt(lastBit, wire)
 	}
-	arriveAt := lastBit + d.profile.TxPerWR + d.link.PropDelay + m.from.dev.profile.RxPerWR
+	// The responder's READ context frees when the response has been
+	// transmitted (last bit out), not when it lands at the initiator:
+	// holding the slot across the propagation delay would cap pull-mode
+	// throughput at MaxOutstandingReads blocks per RTT on long paths,
+	// which is not how IRD works — the context tracks response
+	// generation, and in-flight responses are the wire's problem.
+	releaseAt := lastBit + d.profile.TxPerWR
+	arriveAt := releaseAt + d.link.PropDelay + m.from.dev.profile.RxPerWR
 	data := append([]byte(nil), view...)
-	q.fabric.sched.At(arriveAt, func() {
+	q.fabric.sched.At(releaseAt, func() {
 		d.inReads--
 		if len(d.rdQueue) > 0 {
 			next := d.rdQueue[0]
 			d.rdQueue = d.rdQueue[1:]
 			next()
 		}
+	})
+	q.fabric.sched.At(arriveAt, func() {
 		m.from.readCompleted(m, data, verbs.StatusSuccess)
 	})
 }

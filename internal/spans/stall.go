@@ -33,6 +33,18 @@ const (
 	// its turn: the binding resource is a scheduling slot, not memory,
 	// storage, or the wire.
 	CauseSchedWait
+	// CauseAdvertStarved is the pull-mode mirror of credit starvation: a
+	// sink with free blocks and READ slots is waiting for the source to
+	// advertise the next block.
+	CauseAdvertStarved
+	// CauseReadInflightFull marks the pull-mode initiator-depth regime:
+	// advertisements (sink) or the advertise window (source) are
+	// exhausted by outstanding READs, so progress waits on a READ
+	// completing.
+	CauseReadInflightFull
+	// CauseReadWireBound is the pull-mode line-rate regime: READs are in
+	// flight on the network and nothing else is binding.
+	CauseReadWireBound
 	numCauses
 )
 
@@ -56,6 +68,12 @@ func (c Cause) String() string {
 		return "reassembly-gap"
 	case CauseSchedWait:
 		return "sched-wait"
+	case CauseAdvertStarved:
+		return "advertise-starved"
+	case CauseReadInflightFull:
+		return "read-inflight-full"
+	case CauseReadWireBound:
+		return "read-wire-bound"
 	default:
 		return fmt.Sprintf("cause(%d)", uint8(c))
 	}

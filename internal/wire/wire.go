@@ -36,6 +36,15 @@ const (
 	MsgDatasetComplete    // whole dataset delivered
 	MsgDatasetCompleteAck // sink confirms
 	MsgAbort              // fatal error; Session is torn down
+
+	// Pull mode (phase 2, RDMA-READ data path). The advertisement is the
+	// mirror image of the MR_INFO credit grant: instead of the sink
+	// exposing landing regions for source WRITEs, the source exposes
+	// loaded blocks for sink READs.
+	MsgBlockAdvert   // source advertises a loaded block (Seq, Addr/RKey, Length = payload, AssocData = offset)
+	MsgReadDone      // sink finished READing the advertised block; source may recycle it
+	MsgModeSwitchReq // source requests push<->pull switch (AssocData = cumulative blocks sent)
+	MsgModeSwitchAck // sink confirms the switch (AssocData = cumulative blocks arrived)
 )
 
 func (t MsgType) String() string {
@@ -64,6 +73,14 @@ func (t MsgType) String() string {
 		return "DATASET_COMPLETE_ACK"
 	case MsgAbort:
 		return "ABORT"
+	case MsgBlockAdvert:
+		return "BLOCK_ADVERT"
+	case MsgReadDone:
+		return "READ_DONE"
+	case MsgModeSwitchReq:
+		return "MODE_SWITCH_REQ"
+	case MsgModeSwitchAck:
+		return "MODE_SWITCH_ACK"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(t))
 	}
@@ -81,6 +98,13 @@ const (
 	// sink's admission control turning a session away at capacity
 	// (SESSION_BUSY — retry later) from a hard negotiation rejection.
 	FlagBusy
+	// FlagModePull selects the pull (RDMA READ) data path: on
+	// MsgSessionReq it opens the session directly in pull mode, on
+	// MsgModeSwitchReq/Ack it names the target mode (absent = push).
+	FlagModePull
+	// FlagLastBlock, on MsgBlockAdvert, marks the advertisement of the
+	// session's final block.
+	FlagLastBlock
 )
 
 // Credit advertises one available remote memory region (a token with a
